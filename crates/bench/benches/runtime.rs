@@ -1,0 +1,121 @@
+//! Work-stealing runtime benchmarks: our Cilk-style pool vs rayon vs
+//! sequential on the shapes multigrid actually uses (row sweeps), plus
+//! raw join/scope overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use petamg_runtime::{join, parallel_for, scope, ThreadPool};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+}
+
+fn fib_seq(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib_seq(n - 1) + fib_seq(n - 2)
+    }
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_fib18");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let pool = ThreadPool::new(2);
+    group.bench_function("pbrt", |bench| {
+        bench.iter(|| pool.install(|| black_box(fib(18))));
+    });
+    group.bench_function("rayon", |bench| {
+        fn rfib(n: u64) -> u64 {
+            if n < 2 {
+                n
+            } else {
+                let (a, b) = rayon::join(|| rfib(n - 1), || rfib(n - 2));
+                a + b
+            }
+        }
+        bench.iter(|| black_box(rfib(18)));
+    });
+    group.bench_function("sequential", |bench| {
+        // black_box the *input* too, or LLVM constant-folds the whole
+        // recursion away.
+        bench.iter(|| black_box(fib_seq(black_box(18))));
+    });
+    group.finish();
+}
+
+fn bench_parallel_for(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_for_100k");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let pool = ThreadPool::new(2);
+    let sums: Vec<AtomicU64> = (0..100_000).map(|_| AtomicU64::new(0)).collect();
+    group.bench_function("pbrt_grain256", |bench| {
+        bench.iter(|| {
+            pool.install(|| {
+                parallel_for(100_000, 256, &|i| {
+                    sums[i].fetch_add(1, Ordering::Relaxed);
+                })
+            })
+        });
+    });
+    group.bench_function("rayon", |bench| {
+        use rayon::prelude::*;
+        bench.iter(|| {
+            (0..100_000usize)
+                .into_par_iter()
+                .with_min_len(256)
+                .for_each(|i| {
+                    sums[i].fetch_add(1, Ordering::Relaxed);
+                })
+        });
+    });
+    group.bench_function("sequential", |bench| {
+        bench.iter(|| {
+            for i in 0..100_000usize {
+                sums[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_scope_spawn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scope_spawn_64");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    let pool = ThreadPool::new(2);
+    group.bench_function("pbrt", |bench| {
+        bench.iter(|| {
+            pool.install(|| {
+                let counter = AtomicU64::new(0);
+                scope(|s| {
+                    for _ in 0..64 {
+                        s.spawn(|_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                black_box(counter.load(Ordering::Relaxed))
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join, bench_parallel_for, bench_scope_spawn);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Tuning-cost benchmarks: how long the DP autotuner itself takes
+//! (modeled mode), plus the discrete-vs-Pareto ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use petamg_core::training::Distribution;
+use petamg_core::tuner::{ParetoTuner, TunerOptions, VTuner};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_dp_tune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_tune_modeled");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for max_level in [4usize, 5] {
+        group.bench_function(format!("level_{max_level}"), |bench| {
+            bench.iter(|| {
+                let tuner = VTuner::new(TunerOptions::quick(
+                    max_level,
+                    Distribution::UnbiasedUniform,
+                ));
+                black_box(tuner.tune())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_discrete_vs_pareto(c: &mut Criterion) {
+    // DESIGN.md ablation: the discrete-accuracy DP vs the full
+    // Pareto-set DP (the paper's approximation argument §2.3).
+    let mut group = c.benchmark_group("discrete_vs_pareto_level4");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("discrete", |bench| {
+        bench.iter(|| {
+            let tuner = VTuner::new(TunerOptions::quick(4, Distribution::UnbiasedUniform));
+            black_box(tuner.tune())
+        });
+    });
+    group.bench_function("pareto", |bench| {
+        bench.iter(|| {
+            let mut tuner =
+                ParetoTuner::new(TunerOptions::quick(4, Distribution::UnbiasedUniform));
+            tuner.max_sor_probe = 64;
+            tuner.max_recurse_probe = 6;
+            black_box(tuner.tune())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_tune, bench_discrete_vs_pareto);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig 1: the choice structure of the multigrid algorithm — at every
+//! level the algorithm may recurse (diagonal arrow) or shortcut to a
+//! direct/iterative solve (dotted horizontal arrow).
+//!
+//! The figure is schematic in the paper; here we print the schematic
+//! *and* the concrete choices a tuned family actually made, which is
+//! the figure's point.
+
+use petamg_bench::{banner, env_max_level, n_of};
+use petamg_core::training::Distribution;
+use petamg_core::tuner::{TunerOptions, VTuner};
+
+fn main() {
+    let max_level = env_max_level(7);
+    banner(
+        "Figure 1",
+        "algorithmic choices in the multigrid algorithm",
+        "Schematic (top) and the concrete tuned decision table (bottom).",
+    );
+
+    println!("at every recursion level, MULTIGRID-V may:");
+    println!("   (a) solve directly              [horizontal shortcut]");
+    println!("   (b) iterate SOR(w_opt)          [horizontal shortcut]");
+    println!("   (c) recurse to a coarser grid   [diagonal descent]");
+    println!();
+    for level in (1..=max_level).rev() {
+        let pad = "  ".repeat(max_level - level);
+        println!(
+            "{pad}level {level} (N={}) --(a|b)--> done",
+            n_of(level)
+        );
+        if level > 1 {
+            println!("{pad}  \\--(c)--v");
+        }
+    }
+    println!();
+
+    let fam = VTuner::new(TunerOptions::quick(max_level, Distribution::UnbiasedUniform)).tune();
+    println!("tuned decisions (modeled Intel-Harpertown, unbiased data):");
+    println!("level,N,{}", fam
+        .accuracies
+        .iter()
+        .map(|p| format!("p={p:.0e}"))
+        .collect::<Vec<_>>()
+        .join(","));
+    for level in (1..=max_level).rev() {
+        let row: Vec<String> = (0..fam.num_accuracies())
+            .map(|i| fam.plan(level, i).describe())
+            .collect();
+        println!("{level},{},{}", n_of(level), row.join(","));
+    }
+}

@@ -1,0 +1,73 @@
+//! Fig 2(a): candidate algorithms in (time, accuracy) space with the
+//! Pareto-optimal set marked, and the discrete accuracy cutoffs p_i
+//! selecting the members the DP tuner remembers. Fig 2(b): the
+//! accuracy path a tuned algorithm takes through the per-level tables.
+
+use petamg_bench::{banner, env_max_level, n_of};
+use petamg_core::plan::{Choice, PAPER_ACCURACIES};
+use petamg_core::training::Distribution;
+use petamg_core::tuner::{ParetoTuner, TunerOptions, VTuner};
+
+fn main() {
+    let level = env_max_level(6);
+    banner(
+        "Figure 2",
+        "(a) Pareto set of candidate algorithms; (b) accuracy path through levels",
+        "Points: every candidate the full-DP variant enumerated at the top level.\n\
+         optimal=true marks the non-dominated set (hollow+solid squares in the\n\
+         paper); the p_i columns mark the members the discrete tuner remembers.",
+    );
+
+    let opts = TunerOptions::quick(level, Distribution::UnbiasedUniform);
+    let pareto = ParetoTuner::new(opts.clone());
+    let points = pareto.figure2_points(level);
+
+    println!("## (a) candidates at level {level} (N={})", n_of(level));
+    println!("cost_seconds,accuracy,optimal,label");
+    for p in &points {
+        println!(
+            "{:.6e},{:.3e},{},{}",
+            p.cost, p.accuracy, p.optimal, p.label
+        );
+    }
+
+    println!("#");
+    println!("# discrete cutoffs: fastest optimal candidate with accuracy >= p_i");
+    println!("p_i,cost_seconds,label");
+    for p_i in PAPER_ACCURACIES {
+        if let Some(best) = points
+            .iter()
+            .filter(|c| c.optimal && c.accuracy >= p_i)
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+        {
+            println!("{p_i:.0e},{:.6e},{}", best.cost, best.label);
+        }
+    }
+
+    println!("#");
+    println!("## (b) accuracy path of the tuned MULTIGRID-V family");
+    let fam = VTuner::new(opts).tune();
+    for i in (0..fam.num_accuracies()).rev() {
+        let mut path = vec![format!("p{}", i + 1)];
+        let mut lvl = level;
+        let mut acc = i;
+        while lvl > 1 {
+            match fam.plan(lvl, acc) {
+                Choice::Recurse { sub_accuracy, .. } => {
+                    path.push(format!("L{}:p{}", lvl - 1, sub_accuracy + 1));
+                    acc = sub_accuracy as usize;
+                    lvl -= 1;
+                }
+                Choice::Direct => {
+                    path.push(format!("L{lvl}:Direct"));
+                    break;
+                }
+                Choice::Sor { iterations } => {
+                    path.push(format!("L{lvl}:SOR*{iterations}"));
+                    break;
+                }
+            }
+        }
+        println!("{}", path.join(" -> "));
+    }
+}

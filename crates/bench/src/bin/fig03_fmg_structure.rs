@@ -1,0 +1,47 @@
+//! Fig 3: conceptual breakdown of full multigrid into an estimation
+//! phase (a recursive FMG call on the coarser problem) and a solve
+//! phase. Rendered from an actual traced execution of the standard FMG
+//! structure expressed in the tuned-plan machinery.
+
+use petamg_bench::{banner, env_max_level, n_of};
+use petamg_core::plan::{simple_v_family, ExecCtx, FmgChoice, FollowUp, TunedFmgFamily};
+use petamg_core::render;
+use petamg_core::training::{Distribution, ProblemInstance};
+use petamg_grid::Exec;
+
+fn main() {
+    let level = env_max_level(5);
+    banner(
+        "Figure 3",
+        "full multigrid = estimation phase + solve phase",
+        "Standard FMG as a hand-built plan: ESTIMATE recurses into FMG one level\n\
+         down; the solve phase is one V cycle per level.",
+    );
+
+    // Standard FMG: estimate at the same accuracy, then one V-like cycle.
+    let v = simple_v_family(level, &[1e30]);
+    let mut plans = vec![Vec::new(); level + 1];
+    plans[1] = vec![FmgChoice::Direct];
+    for k in 2..=level {
+        plans[k] = vec![FmgChoice::Estimate {
+            estimate_accuracy: 0,
+            follow: FollowUp::Recurse {
+                sub_accuracy: 0,
+                iterations: 1,
+            },
+        }];
+    }
+    let fmg = TunedFmgFamily { v, plans };
+
+    let inst = ProblemInstance::random(level, Distribution::UnbiasedUniform, 12);
+    let mut ctx = ExecCtx::new(Exec::seq()).tracing();
+    let mut x = inst.working_grid();
+    fmg.run(level, 0, &mut x, &inst.b, &mut ctx);
+
+    println!("full multigrid cycle at N = {}:", n_of(level));
+    println!("{}", render::render_cycle(&ctx.tracer.events));
+    println!("{}", render::summarize_trace(&ctx.tracer.events));
+    println!();
+    println!("call structure (estimation phase = the recursive FMG calls):");
+    println!("{}", render::fmg_call_stack(&fmg, level, 0));
+}

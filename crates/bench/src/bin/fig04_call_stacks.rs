@@ -1,0 +1,34 @@
+//! Fig 4: call stacks of the tuned MULTIGRID-V_4 (p = 1e7) for
+//! (a) unbiased and (b) biased random inputs — which family member each
+//! recursion level invokes. The paper traced N = 4097 on the Intel
+//! Xeon; level is configurable via PETAMG_MAX_LEVEL (default 9, N=513).
+
+use petamg_bench::{banner, env_max_level, n_of};
+use petamg_core::render;
+use petamg_core::training::Distribution;
+use petamg_core::tuner::{TunerOptions, VTuner};
+
+fn main() {
+    let level = env_max_level(9);
+    banner(
+        "Figure 4",
+        "call stacks of tuned MULTIGRID-V_4 (accuracy 1e7)",
+        "Modeled Intel-Harpertown machine (the paper's Intel Xeon testbed).\n\
+         Accuracies are 1-indexed as in the paper: V_4 targets p_4 = 1e7.",
+    );
+
+    for dist in [Distribution::UnbiasedUniform, Distribution::BiasedUniform] {
+        println!("## ({}) {} random inputs, N = {}",
+            if dist == Distribution::UnbiasedUniform { "a" } else { "b" },
+            dist.name(),
+            n_of(level));
+        let fam = VTuner::new(TunerOptions::quick(level, dist)).tune();
+        let acc_idx = fam.acc_index_for(1e7);
+        print!("{}", render::call_stack(&fam, level, acc_idx));
+        println!();
+    }
+    println!(
+        "# note: each arrow to a lower level is a RECURSE_i call (grid coarsening)\n\
+         # followed by a MULTIGRID-V_i call, as in the paper's Fig 4."
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig 5: optimized multigrid V (a, b) and full multigrid (c, d) cycles
+//! created by the autotuner, trained on unbiased (a, c) and biased
+//! (b, d) uniform random data. Cycles i-iv correspond to accuracy
+//! targets 10, 1e3, 1e5, 1e7.
+//!
+//! The paper used N = 2049 on the AMD Opteron; the modeled
+//! AMD-Barcelona profile stands in (PETAMG_MAX_LEVEL overrides, default
+//! level 9 → N = 513).
+
+use petamg_bench::{banner, env_max_level, n_of};
+use petamg_core::cost::MachineProfile;
+use petamg_core::plan::ExecCtx;
+use petamg_core::render;
+use petamg_core::training::{Distribution, ProblemInstance};
+use petamg_core::tuner::{FmgTuner, TunerOptions};
+use petamg_grid::Exec;
+
+fn main() {
+    let level = env_max_level(9);
+    banner(
+        "Figure 5",
+        "autotuned V-type and full-multigrid cycle shapes",
+        "Modeled AMD-Barcelona machine. Dots = SOR(1.15) relaxations,\n\
+         D = direct solve, S = iterated SOR, \\/ = restrict/interpolate.",
+    );
+
+    for (tag, dist) in [
+        ("a/c", Distribution::UnbiasedUniform),
+        ("b/d", Distribution::BiasedUniform),
+    ] {
+        println!(
+            "=== ({tag}) trained on {} data, N = {} ===\n",
+            dist.name(),
+            n_of(level)
+        );
+        let opts = TunerOptions::modeled(level, dist, MachineProfile::amd_barcelona());
+        let fmg = FmgTuner::new(opts).tune();
+        let inst = ProblemInstance::random(level, dist, 2_049);
+
+        for (roman, target) in [("i", 1e1), ("ii", 1e3), ("iii", 1e5), ("iv", 1e7)] {
+            let i = fmg.v.acc_index_for(target);
+
+            println!("--- {roman}) MULTIGRID-V, accuracy {target:.0e} ---");
+            let mut ctx = ExecCtx::new(Exec::seq()).tracing();
+            let mut x = inst.working_grid();
+            fmg.v.run(level, i, &mut x, &inst.b, &mut ctx);
+            println!("{}", render::render_cycle(&ctx.tracer.events));
+
+            println!("--- {roman}) FULL-MULTIGRID, accuracy {target:.0e} ---");
+            let mut ctx = ExecCtx::new(Exec::seq()).tracing();
+            let mut x = inst.working_grid();
+            fmg.run(level, i, &mut x, &inst.b, &mut ctx);
+            println!("{}", render::render_cycle(&ctx.tracer.events));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig 8: ratio view of Fig 7 — times slower than the autotuned
+//! algorithm, computed on *modeled* cost (deterministic, extends to the
+//! paper's larger sizes without hour-long SOR runs). Use
+//! `fig07_heuristics` for the wall-clock version; both shapes must
+//! agree.
+
+use petamg_bench::{banner, env_max_level, n_of};
+use petamg_core::cost::MachineProfile;
+use petamg_core::heuristics::paper_strategies;
+use petamg_core::training::{Distribution, ProblemInstance};
+use petamg_core::tuner::{priced_run, TunerOptions, VTuner};
+use petamg_grid::Exec;
+use petamg_solvers::DirectSolverCache;
+use std::sync::Arc;
+
+fn main() {
+    let max_level = env_max_level(10);
+    banner(
+        "Figure 8",
+        "times slower than autotuned (modeled cost), accuracy 1e9, biased data",
+        "Deterministic modeled Intel-Harpertown costs; complements the\n\
+         wall-clock ratios printed by fig07_heuristics.",
+    );
+
+    let profile = MachineProfile::intel_harpertown();
+    let opts = TunerOptions::modeled(max_level, Distribution::BiasedUniform, profile.clone());
+    eprintln!("tuning autotuned family ...");
+    let tuned = VTuner::new(opts.clone()).tune();
+    eprintln!("building heuristics ...");
+    let strategies = paper_strategies(&opts);
+
+    let exec = Exec::seq();
+    let cache = Arc::new(DirectSolverCache::new());
+    let names: Vec<String> = strategies
+        .iter()
+        .map(|(n, _)| n.replace(' ', "_"))
+        .collect();
+    println!("N,{},autotuned", names.join(","));
+
+    for level in 6..=max_level {
+        let n = n_of(level);
+        let inst = ProblemInstance::random(level, Distribution::BiasedUniform, 800 + level as u64);
+        let (auto_cost, _) = priced_run(&profile, &exec, &cache, |ctx| {
+            let mut x = inst.working_grid();
+            tuned.run(level, tuned.acc_index_for(1e9), &mut x, &inst.b, ctx);
+        });
+        let mut cols = Vec::new();
+        for (_, fam) in &strategies {
+            let (cost, _) = priced_run(&profile, &exec, &cache, |ctx| {
+                let mut x = inst.working_grid();
+                fam.run(level, fam.num_accuracies() - 1, &mut x, &inst.b, ctx);
+            });
+            cols.push(format!("{:.2}", cost / auto_cost));
+        }
+        println!("{n},{},1.00", cols.join(","));
+    }
+    println!(
+        "# paper shape check: ratios >= 1 everywhere; the crossing order of the\n\
+         # 10^x/10^9 curves shifts toward higher x as N grows."
+    );
+}

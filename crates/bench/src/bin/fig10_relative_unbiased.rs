@@ -1,0 +1,12 @@
+//! Fig 10: relative performance vs reference V cycle — accuracy 1e5,
+//! unbiased uniform data, across the three (modeled) testbed machines.
+
+use petamg_core::training::Distribution;
+
+fn main() {
+    petamg_bench::relative_performance_figure(
+        "Figure 10",
+        Distribution::UnbiasedUniform,
+        1e5,
+    );
+}

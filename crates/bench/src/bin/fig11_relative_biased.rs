@@ -1,0 +1,8 @@
+//! Fig 11: relative performance vs reference V cycle — accuracy 1e5,
+//! biased uniform data, across the three (modeled) testbed machines.
+
+use petamg_core::training::Distribution;
+
+fn main() {
+    petamg_bench::relative_performance_figure("Figure 11", Distribution::BiasedUniform, 1e5);
+}

@@ -1,0 +1,14 @@
+//! Fig 12: relative performance vs reference V cycle — accuracy 1e9,
+//! unbiased uniform data, across the three (modeled) testbed machines.
+//! The paper's expectation: gains shrink at high accuracy + large size
+//! (unavoidable fine-grid relaxations dominate).
+
+use petamg_core::training::Distribution;
+
+fn main() {
+    petamg_bench::relative_performance_figure(
+        "Figure 12",
+        Distribution::UnbiasedUniform,
+        1e9,
+    );
+}

@@ -1,0 +1,8 @@
+//! Fig 13: relative performance vs reference V cycle — accuracy 1e9,
+//! biased uniform data, across the three (modeled) testbed machines.
+
+use petamg_core::training::Distribution;
+
+fn main() {
+    petamg_bench::relative_performance_figure("Figure 13", Distribution::BiasedUniform, 1e9);
+}

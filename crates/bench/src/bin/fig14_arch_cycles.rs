@@ -1,0 +1,44 @@
+//! Fig 14: tuned full-multigrid cycles across machine architectures —
+//! i) Intel Harpertown, ii) AMD Barcelona, iii) Sun Niagara — all
+//! solving unbiased data to accuracy 1e5 (paper: initial grid 2^11;
+//! default here level 9, PETAMG_MAX_LEVEL overrides).
+
+use petamg_bench::{banner, env_max_level, n_of};
+use petamg_core::cost::MachineProfile;
+use petamg_core::plan::ExecCtx;
+use petamg_core::render;
+use petamg_core::training::{Distribution, ProblemInstance};
+use petamg_core::tuner::{FmgTuner, TunerOptions};
+use petamg_grid::Exec;
+
+fn main() {
+    let level = env_max_level(9);
+    banner(
+        "Figure 14",
+        "tuned full-multigrid cycles across machine architectures (accuracy 1e5)",
+        "Substitution: modeled machine profiles stand in for the paper's\n\
+         physical testbeds (DESIGN.md §2). Watch for: different direct-solve\n\
+         cutoff depths and different relaxation placement per machine.",
+    );
+
+    let dist = Distribution::UnbiasedUniform;
+    let inst = ProblemInstance::random(level, dist, 14_014);
+    for (roman, profile) in [
+        ("i", MachineProfile::intel_harpertown()),
+        ("ii", MachineProfile::amd_barcelona()),
+        ("iii", MachineProfile::sun_niagara()),
+    ] {
+        println!("=== {roman}) {} (N = {}) ===", profile.name, n_of(level));
+        let opts = TunerOptions::modeled(level, dist, profile);
+        let fmg = FmgTuner::new(opts).tune();
+        let acc = fmg.v.acc_index_for(1e5);
+        let mut ctx = ExecCtx::new(Exec::seq()).tracing();
+        let mut x = inst.working_grid();
+        fmg.run(level, acc, &mut x, &inst.b, &mut ctx);
+        println!("{}", render::render_cycle(&ctx.tracer.events));
+        println!("coarsest level reached: {} (N = {})",
+            ctx.tracer.min_level(),
+            n_of(ctx.tracer.min_level()));
+        println!("{}\n", render::summarize_trace(&ctx.tracer.events));
+    }
+}

@@ -1,0 +1,67 @@
+//! §4.3 cross-tuning study: run each machine's tuned cycle on every
+//! other machine and report the slowdown vs native tuning (the paper
+//! measured 29% / 79% slowdowns between the Xeon and the Niagara for
+//! full-multigrid cycles at N = 2049).
+
+use petamg_bench::{banner, env_max_level, n_of, tuned_fmg_cost};
+use petamg_core::cost::MachineProfile;
+use petamg_core::training::{Distribution, ProblemInstance};
+use petamg_core::tuner::{FmgTuner, TunerOptions};
+use petamg_grid::Exec;
+use petamg_solvers::DirectSolverCache;
+use std::sync::Arc;
+
+fn main() {
+    let level = env_max_level(9);
+    banner(
+        "Cross-tuning (§4.3)",
+        "slowdown from running a cycle tuned on machine A on machine B",
+        "Rows: machine the cycle was trained on. Columns: machine it runs on.\n\
+         Entries: modeled time relative to that column's natively-tuned cycle\n\
+         (1.00 on the diagonal by construction). Accuracy 1e5, unbiased data.",
+    );
+
+    let dist = Distribution::UnbiasedUniform;
+    let profiles = MachineProfile::all_testbeds();
+    eprintln!("tuning FMG families on all three machines ...");
+    let families: Vec<_> = profiles
+        .iter()
+        .map(|p| {
+            FmgTuner::new(TunerOptions::modeled(level, dist, p.clone())).tune()
+        })
+        .collect();
+
+    let cache = Arc::new(DirectSolverCache::new());
+    let exec = Exec::seq();
+    let mut inst = ProblemInstance::random(level, dist, 4_343);
+    inst.ensure_x_opt(&exec, &cache);
+
+    // cost[a][b] = family tuned on a, priced on b.
+    let mut cost = vec![vec![0.0f64; profiles.len()]; profiles.len()];
+    for (a, fam) in families.iter().enumerate() {
+        for (b, profile) in profiles.iter().enumerate() {
+            cost[a][b] = tuned_fmg_cost(profile, fam, &inst, 1e5, &cache);
+        }
+    }
+
+    println!(
+        "trained_on\\runs_on,{}",
+        profiles
+            .iter()
+            .map(|p| p.name.clone())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    for (a, fam_profile) in profiles.iter().enumerate() {
+        let row: Vec<String> = (0..profiles.len())
+            .map(|b| format!("{:.2}", cost[a][b] / cost[b][b]))
+            .collect();
+        println!("{},{}", fam_profile.name, row.join(","));
+    }
+    println!(
+        "# N = {}; paper observed 1.29x (Niagara-trained on Xeon) and 1.79x\n\
+         # (Xeon-trained on Niagara); the matrix shape — off-diagonal >= 1.00 —\n\
+         # is the claim under reproduction.",
+        n_of(level)
+    );
+}

@@ -1,0 +1,294 @@
+//! Demonstration transform: tunable sorting with an algorithm switch and
+//! a divide-and-conquer cutoff — the paper's introductory example ("in
+//! the C++ Standard Template Library's sort routine, the algorithm
+//! switches from ... merge sort to ... insertion sort once the working
+//! array size falls below a set cutoff").
+//!
+//! Used by tests, the `sort_autotune` example, and the choice-framework
+//! benchmarks.
+
+use crate::space::{Config, ConfigSpace, ParamId, Scale};
+use crate::Tunable;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+/// Top-level sorting strategies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SortAlgo {
+    /// O(n²), tiny constant — wins on small arrays.
+    Insertion,
+    /// Divide-and-conquer with insertion below the cutoff.
+    Merge,
+    /// Divide-and-conquer (Hoare partition) with insertion below the
+    /// cutoff.
+    Quick,
+}
+
+impl SortAlgo {
+    /// All variants (indexable by switch value).
+    pub const ALL: [SortAlgo; 3] = [SortAlgo::Insertion, SortAlgo::Merge, SortAlgo::Quick];
+}
+
+/// A tunable sort "transform": `algorithm` switch + `cutoff` int.
+pub struct SortTransform {
+    space: ConfigSpace,
+    algo: ParamId,
+    cutoff: ParamId,
+    rng: StdRng,
+}
+
+impl Default for SortTransform {
+    fn default() -> Self {
+        Self::new(0xC0FFEE)
+    }
+}
+
+impl SortTransform {
+    /// Build with an RNG seed for the benchmark inputs used in
+    /// `evaluate`.
+    pub fn new(seed: u64) -> Self {
+        let mut space = ConfigSpace::new();
+        let algo = space.add_switch("algorithm", &["insertion", "merge", "quick"], 1);
+        let cutoff = space.add_int("cutoff", 1, 4096, 32, Scale::Log);
+        space.add_dependency(algo, cutoff); // pick cutoff before algorithm
+        SortTransform {
+            space,
+            algo,
+            cutoff,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The `algorithm` parameter id.
+    pub fn algo_param(&self) -> ParamId {
+        self.algo
+    }
+
+    /// The `cutoff` parameter id.
+    pub fn cutoff_param(&self) -> ParamId {
+        self.cutoff
+    }
+
+    /// Run the configured sort on `data`.
+    pub fn sort(&self, config: &Config, data: &mut [u64]) {
+        let cutoff = config.int(self.cutoff).max(1) as usize;
+        match SortAlgo::ALL[config.switch(self.algo)] {
+            SortAlgo::Insertion => insertion_sort(data),
+            SortAlgo::Merge => {
+                let mut scratch = data.to_vec();
+                merge_sort(data, &mut scratch, cutoff);
+            }
+            SortAlgo::Quick => quick_sort(data, cutoff),
+        }
+    }
+}
+
+impl Tunable for SortTransform {
+    fn space(&self) -> ConfigSpace {
+        self.space.clone()
+    }
+
+    fn evaluate(&mut self, config: &Config, size: usize) -> f64 {
+        // Median of three timed runs on fresh random data.
+        let mut times = [0.0f64; 3];
+        for t in &mut times {
+            let mut data: Vec<u64> = (0..size).map(|_| self.rng.random()).collect();
+            let start = Instant::now();
+            self.sort(config, &mut data);
+            *t = start.elapsed().as_secs_f64();
+            debug_assert!(data.windows(2).all(|w| w[0] <= w[1]));
+        }
+        times.sort_by(f64::total_cmp);
+        times[1]
+    }
+}
+
+/// In-place insertion sort.
+pub fn insertion_sort(data: &mut [u64]) {
+    for i in 1..data.len() {
+        let mut j = i;
+        let v = data[i];
+        while j > 0 && data[j - 1] > v {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = v;
+    }
+}
+
+/// Merge sort with insertion-sort leaves below `cutoff`.
+pub fn merge_sort(data: &mut [u64], scratch: &mut [u64], cutoff: usize) {
+    let n = data.len();
+    if n <= cutoff.max(1) || n <= 1 {
+        insertion_sort(data);
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (dl, dr) = data.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        merge_sort(dl, sl, cutoff);
+        merge_sort(dr, sr, cutoff);
+    }
+    // Merge halves through scratch.
+    scratch[..n].copy_from_slice(data);
+    let (left, right) = scratch[..n].split_at(mid);
+    let (mut i, mut j) = (0usize, 0usize);
+    for slot in data.iter_mut() {
+        if i < left.len() && (j >= right.len() || left[i] <= right[j]) {
+            *slot = left[i];
+            i += 1;
+        } else {
+            *slot = right[j];
+            j += 1;
+        }
+    }
+}
+
+/// Quicksort (Hoare partition, median-of-three pivot placed at index 0)
+/// with insertion-sort leaves below `cutoff`.
+///
+/// With the pivot at the low end and the pre-increment/pre-decrement
+/// scan structure, the returned split always satisfies `j <= n-2`, so
+/// both recursive halves strictly shrink (no adversarial-input stack
+/// overflow).
+pub fn quick_sort(data: &mut [u64], cutoff: usize) {
+    let n = data.len();
+    if n <= cutoff.max(1) || n <= 1 {
+        insertion_sort(data);
+        return;
+    }
+    // Median-of-three: move the median of {first, middle, last} to
+    // index 0, where the Hoare scheme requires the pivot.
+    let mid = n / 2;
+    if data[mid] < data[0] {
+        data.swap(0, mid);
+    }
+    if data[n - 1] < data[0] {
+        data.swap(0, n - 1);
+    }
+    // data[0] is now the minimum of the three; the median is the
+    // smaller of the remaining two.
+    if data[n - 1] < data[mid] {
+        data.swap(mid, n - 1);
+    }
+    data.swap(0, mid);
+    let pivot = data[0];
+
+    // CLRS Hoare partition with pre-moves emulated in unsigned math.
+    let mut i = 0usize; // last index confirmed on the left side
+    let mut j = n; // pre-decremented before every comparison
+    let mut first = true;
+    loop {
+        j -= 1;
+        while data[j] > pivot {
+            j -= 1; // terminates: data[0] == pivot
+        }
+        if first {
+            first = false; // i starts at 0 where data[0] == pivot
+        } else {
+            i += 1;
+        }
+        while data[i] < pivot {
+            i += 1; // terminates: data[j] >= ... bounded by pivot slot
+        }
+        if i >= j {
+            break;
+        }
+        data.swap(i, j);
+    }
+    let (l, r) = data.split_at_mut(j + 1);
+    quick_sort(l, cutoff);
+    quick_sort(r, cutoff);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeneticTuner, GeneticTunerOptions};
+
+    fn random_data(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random()).collect()
+    }
+
+    fn assert_sorts(f: impl Fn(&mut [u64])) {
+        for (n, seed) in [(0, 1), (1, 2), (2, 3), (17, 4), (100, 5), (1000, 6)] {
+            let mut data = random_data(n, seed);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            f(&mut data);
+            assert_eq!(data, expect, "n={n}");
+        }
+        // Adversarial patterns.
+        for pattern in [
+            vec![5u64, 4, 3, 2, 1],
+            vec![1u64; 64],
+            (0..64u64).collect::<Vec<_>>(),
+        ] {
+            let mut data = pattern.clone();
+            let mut expect = pattern.clone();
+            expect.sort_unstable();
+            f(&mut data);
+            assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn insertion_sort_correct() {
+        assert_sorts(insertion_sort);
+    }
+
+    #[test]
+    fn merge_sort_correct_all_cutoffs() {
+        for cutoff in [1, 2, 8, 64, 10_000] {
+            assert_sorts(|d| {
+                let mut scratch = d.to_vec();
+                merge_sort(d, &mut scratch, cutoff);
+            });
+        }
+    }
+
+    #[test]
+    fn quick_sort_correct_all_cutoffs() {
+        for cutoff in [1, 2, 8, 64, 10_000] {
+            assert_sorts(|d| quick_sort(d, cutoff));
+        }
+    }
+
+    #[test]
+    fn transform_sort_respects_config() {
+        let t = SortTransform::default();
+        let space = t.space();
+        for algo in 0..3 {
+            let mut cfg = space.default_config();
+            cfg.set(&space, t.algo_param(), crate::ParamValue::Switch(algo))
+                .unwrap();
+            let mut data = random_data(500, 7 + algo as u64);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            t.sort(&cfg, &mut data);
+            assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn tuned_sort_picks_divide_and_conquer_for_large_inputs() {
+        let mut t = SortTransform::new(99);
+        let mut tuner = GeneticTuner::new(GeneticTunerOptions {
+            initial_size: 64,
+            max_size: 16384,
+            passes: 1,
+            mutants_per_generation: 4,
+            ..GeneticTunerOptions::default()
+        });
+        let result = tuner.tune(&mut t);
+        let algo = result.best.switch(t.algo_param());
+        assert_ne!(
+            SortAlgo::ALL[algo],
+            SortAlgo::Insertion,
+            "insertion sort must lose at n=16384"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! N-ary search over scalar tunables.
+//!
+//! "PetaBricks uses an n-ary search tuning algorithm to optimize
+//! additional parameters such as parallel-sequential cutoff points ...,
+//! block sizes ..., as well as user specified tunable parameters."
+//! (§3.2.2)
+//!
+//! The search samples `arms` evenly spaced candidates across the current
+//! interval, keeps the best, and shrinks the interval around it;
+//! repeated for `rounds` rounds. Robust for the unimodal-ish cost
+//! surfaces cutoffs produce, and needs no derivatives.
+
+/// Minimize `eval` over the integer range `[lo, hi]`.
+///
+/// Returns the best value found. `eval` may be noisy; each candidate is
+/// evaluated once per round, so later rounds re-test the incumbent.
+///
+/// # Panics
+/// Panics if `lo > hi` or `arms < 2`.
+pub fn nary_search_int(
+    lo: i64,
+    hi: i64,
+    arms: usize,
+    rounds: usize,
+    mut eval: impl FnMut(i64) -> f64,
+) -> i64 {
+    assert!(lo <= hi, "empty search range");
+    assert!(arms >= 2, "need at least two arms");
+    let mut cur_lo = lo;
+    let mut cur_hi = hi;
+    let mut best_x = lo;
+    let mut best_cost = f64::INFINITY;
+    for _ in 0..rounds.max(1) {
+        let span = cur_hi - cur_lo;
+        let mut candidates: Vec<i64> = (0..arms)
+            .map(|k| cur_lo + (span * k as i64) / (arms as i64 - 1))
+            .collect();
+        candidates.dedup();
+        let mut round_best_x = candidates[0];
+        let mut round_best_cost = f64::INFINITY;
+        for &x in &candidates {
+            let c = eval(x);
+            if c < round_best_cost {
+                round_best_cost = c;
+                round_best_x = x;
+            }
+        }
+        if round_best_cost < best_cost {
+            best_cost = round_best_cost;
+            best_x = round_best_x;
+        }
+        // Shrink to the neighborhood of the round winner.
+        let step = (span / (arms as i64 - 1)).max(1);
+        cur_lo = (round_best_x - step).max(lo);
+        cur_hi = (round_best_x + step).min(hi);
+        if cur_hi - cur_lo <= 1 {
+            // Interval exhausted: test the boundary pair and stop.
+            for x in [cur_lo, cur_hi] {
+                let c = eval(x);
+                if c < best_cost {
+                    best_cost = c;
+                    best_x = x;
+                }
+            }
+            break;
+        }
+    }
+    best_x
+}
+
+/// Minimize `eval` over the float interval `[lo, hi]` (same scheme).
+///
+/// # Panics
+/// Panics if `lo > hi` or `arms < 2`.
+pub fn nary_search_f64(
+    lo: f64,
+    hi: f64,
+    arms: usize,
+    rounds: usize,
+    mut eval: impl FnMut(f64) -> f64,
+) -> f64 {
+    assert!(lo <= hi, "empty search range");
+    assert!(arms >= 2, "need at least two arms");
+    let mut cur_lo = lo;
+    let mut cur_hi = hi;
+    let mut best_x = lo;
+    let mut best_cost = f64::INFINITY;
+    for _ in 0..rounds.max(1) {
+        let span = cur_hi - cur_lo;
+        let mut round_best_x = cur_lo;
+        let mut round_best_cost = f64::INFINITY;
+        for k in 0..arms {
+            let x = cur_lo + span * (k as f64) / (arms as f64 - 1.0);
+            let c = eval(x);
+            if c < round_best_cost {
+                round_best_cost = c;
+                round_best_x = x;
+            }
+        }
+        if round_best_cost < best_cost {
+            best_cost = round_best_cost;
+            best_x = round_best_x;
+        }
+        let step = span / (arms as f64 - 1.0);
+        cur_lo = (round_best_x - step).max(lo);
+        cur_hi = (round_best_x + step).min(hi);
+        if span <= f64::EPSILON * lo.abs().max(hi.abs()).max(1.0) {
+            break;
+        }
+    }
+    best_x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_integer_minimum_exactly() {
+        let best = nary_search_int(0, 1000, 5, 8, |x| ((x - 371) as f64).abs());
+        assert_eq!(best, 371);
+    }
+
+    #[test]
+    fn finds_minimum_at_boundary() {
+        assert_eq!(nary_search_int(10, 99, 4, 6, |x| x as f64), 10);
+        assert_eq!(nary_search_int(10, 99, 4, 6, |x| -(x as f64)), 99);
+    }
+
+    #[test]
+    fn single_point_range() {
+        assert_eq!(nary_search_int(7, 7, 3, 3, |_| 0.0), 7);
+    }
+
+    #[test]
+    fn float_minimum_of_parabola() {
+        let best = nary_search_f64(0.0, 2.0, 7, 12, |x| (x - 1.234) * (x - 1.234));
+        assert!((best - 1.234).abs() < 1e-3, "best = {best}");
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        // Deterministic "noise" that does not move the basin.
+        let mut tick = 0u64;
+        let best = nary_search_int(0, 500, 6, 8, |x| {
+            tick = tick.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407 + x as u64);
+            let noise = ((tick >> 33) % 100) as f64 / 100.0; // [0, 1)
+            ((x - 250) as f64).powi(2) / 100.0 + noise
+        });
+        assert!((best - 250).abs() <= 25, "best = {best}");
+    }
+
+    #[test]
+    fn eval_call_count_is_bounded() {
+        let mut calls = 0usize;
+        nary_search_int(0, 1_000_000, 8, 10, |x| {
+            calls += 1;
+            (x as f64 - 123456.0).abs()
+        });
+        assert!(calls <= 8 * 10 + 2, "calls = {calls}");
+    }
+}

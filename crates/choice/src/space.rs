@@ -1,0 +1,551 @@
+//! Flat configuration spaces.
+//!
+//! "All choices are represented in a flat configuration space.
+//! Dependencies between these configurable parameters are exported to
+//! the autotuner so that the autotuner can choose a sensible order to
+//! tune different parameters." (§3.2.2)
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a parameter within its [`ConfigSpace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub usize);
+
+/// How numeric parameters are traversed/mutated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Additive steps.
+    Linear,
+    /// Multiplicative steps (cutoffs, block sizes).
+    Log,
+}
+
+/// The kind and domain of a parameter.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// An algorithmic choice among named alternatives.
+    Switch { choices: Vec<String> },
+    /// An integer tunable in `[lo, hi]`.
+    Int { lo: i64, hi: i64, scale: Scale },
+    /// A float tunable in `[lo, hi]`.
+    Float { lo: f64, hi: f64 },
+}
+
+/// A single parameter: name, domain, default.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// Unique name within the space (used in config files).
+    pub name: String,
+    /// Domain.
+    pub kind: ParamKind,
+    /// Default value (must lie in the domain).
+    pub default: ParamValue,
+}
+
+/// A concrete value for one parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ParamValue {
+    /// Index into a switch's choices.
+    Switch(usize),
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+}
+
+/// Errors raised by config validation and IO.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// Value does not match the parameter's kind or domain.
+    Invalid { param: String, reason: String },
+    /// A named parameter is missing / unknown.
+    UnknownParam(String),
+    /// Underlying serde/IO failure.
+    Io(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Invalid { param, reason } => {
+                write!(f, "invalid value for '{param}': {reason}")
+            }
+            ConfigError::UnknownParam(p) => write!(f, "unknown parameter '{p}'"),
+            ConfigError::Io(e) => write!(f, "config io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A flat space of parameters plus tuning-order dependencies.
+#[derive(Clone, Debug, Default)]
+pub struct ConfigSpace {
+    params: Vec<ParamSpec>,
+    /// Edge `(a, b)`: parameter `a` depends on `b` (tune `b` first).
+    deps: Vec<(usize, usize)>,
+}
+
+impl ConfigSpace {
+    /// Empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// The spec of `id`.
+    pub fn spec(&self, id: ParamId) -> &ParamSpec {
+        &self.params[id.0]
+    }
+
+    /// All specs in declaration order.
+    pub fn specs(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// Find a parameter by name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.params.iter().position(|p| p.name == name).map(ParamId)
+    }
+
+    fn add(&mut self, spec: ParamSpec) -> ParamId {
+        assert!(
+            self.find(&spec.name).is_none(),
+            "duplicate parameter name '{}'",
+            spec.name
+        );
+        self.params.push(spec);
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Add an algorithmic switch; `default` is an index into `choices`.
+    pub fn add_switch(&mut self, name: &str, choices: &[&str], default: usize) -> ParamId {
+        assert!(default < choices.len(), "switch default out of range");
+        self.add(ParamSpec {
+            name: name.to_string(),
+            kind: ParamKind::Switch {
+                choices: choices.iter().map(|s| s.to_string()).collect(),
+            },
+            default: ParamValue::Switch(default),
+        })
+    }
+
+    /// Add an integer tunable.
+    pub fn add_int(&mut self, name: &str, lo: i64, hi: i64, default: i64, scale: Scale) -> ParamId {
+        assert!(lo <= hi && (lo..=hi).contains(&default), "bad int domain");
+        self.add(ParamSpec {
+            name: name.to_string(),
+            kind: ParamKind::Int { lo, hi, scale },
+            default: ParamValue::Int(default),
+        })
+    }
+
+    /// Add a float tunable.
+    pub fn add_float(&mut self, name: &str, lo: f64, hi: f64, default: f64) -> ParamId {
+        assert!(lo <= hi && default >= lo && default <= hi, "bad float domain");
+        self.add(ParamSpec {
+            name: name.to_string(),
+            kind: ParamKind::Float { lo, hi },
+            default: ParamValue::Float(default),
+        })
+    }
+
+    /// Declare that `param` depends on `on` (tune `on` earlier).
+    pub fn add_dependency(&mut self, param: ParamId, on: ParamId) {
+        assert!(param.0 < self.params.len() && on.0 < self.params.len());
+        self.deps.push((param.0, on.0));
+    }
+
+    /// Dependency edges `(dependent, dependency)`.
+    pub fn dependencies(&self) -> &[(usize, usize)] {
+        &self.deps
+    }
+
+    /// The all-defaults configuration.
+    pub fn default_config(&self) -> Config {
+        Config {
+            values: self.params.iter().map(|p| p.default).collect(),
+        }
+    }
+
+    /// Validate a value against a parameter's domain.
+    pub fn validate(&self, id: ParamId, value: ParamValue) -> Result<(), ConfigError> {
+        let spec = &self.params[id.0];
+        let bad = |reason: &str| {
+            Err(ConfigError::Invalid {
+                param: spec.name.clone(),
+                reason: reason.to_string(),
+            })
+        };
+        match (&spec.kind, value) {
+            (ParamKind::Switch { choices }, ParamValue::Switch(i)) => {
+                if i < choices.len() {
+                    Ok(())
+                } else {
+                    bad("switch index out of range")
+                }
+            }
+            (ParamKind::Int { lo, hi, .. }, ParamValue::Int(v)) => {
+                if (*lo..=*hi).contains(&v) {
+                    Ok(())
+                } else {
+                    bad("integer out of range")
+                }
+            }
+            (ParamKind::Float { lo, hi }, ParamValue::Float(v)) => {
+                if v >= *lo && v <= *hi && v.is_finite() {
+                    Ok(())
+                } else {
+                    bad("float out of range")
+                }
+            }
+            _ => bad("kind mismatch"),
+        }
+    }
+}
+
+/// A concrete assignment of every parameter in a space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    values: Vec<ParamValue>,
+}
+
+impl Config {
+    /// Raw values (index-aligned with the space).
+    pub fn values(&self) -> &[ParamValue] {
+        &self.values
+    }
+
+    /// Read a switch value.
+    ///
+    /// # Panics
+    /// Panics if the parameter is not a switch.
+    pub fn switch(&self, id: ParamId) -> usize {
+        match self.values[id.0] {
+            ParamValue::Switch(i) => i,
+            other => panic!("parameter {id:?} is not a switch (got {other:?})"),
+        }
+    }
+
+    /// Read an integer value.
+    ///
+    /// # Panics
+    /// Panics if the parameter is not an int.
+    pub fn int(&self, id: ParamId) -> i64 {
+        match self.values[id.0] {
+            ParamValue::Int(v) => v,
+            other => panic!("parameter {id:?} is not an int (got {other:?})"),
+        }
+    }
+
+    /// Read a float value.
+    ///
+    /// # Panics
+    /// Panics if the parameter is not a float.
+    pub fn float(&self, id: ParamId) -> f64 {
+        match self.values[id.0] {
+            ParamValue::Float(v) => v,
+            other => panic!("parameter {id:?} is not a float (got {other:?})"),
+        }
+    }
+
+    /// Set a value after validating against `space`.
+    pub fn set(
+        &mut self,
+        space: &ConfigSpace,
+        id: ParamId,
+        value: ParamValue,
+    ) -> Result<(), ConfigError> {
+        space.validate(id, value)?;
+        self.values[id.0] = value;
+        Ok(())
+    }
+
+    /// Serialize to the PetaBricks-style name→value JSON object.
+    pub fn to_json(&self, space: &ConfigSpace) -> String {
+        let map: BTreeMap<&str, ParamValue> = space
+            .specs()
+            .iter()
+            .zip(&self.values)
+            .map(|(s, v)| (s.name.as_str(), *v))
+            .collect();
+        serde_json::to_string_pretty(&map).expect("config serialization cannot fail")
+    }
+
+    /// Parse from JSON, validating every entry against `space`. Missing
+    /// parameters take their defaults; unknown names are errors.
+    pub fn from_json(space: &ConfigSpace, json: &str) -> Result<Config, ConfigError> {
+        let map: BTreeMap<String, serde_json::Value> =
+            serde_json::from_str(json).map_err(|e| ConfigError::Io(e.to_string()))?;
+        let mut cfg = space.default_config();
+        for (name, raw) in map {
+            let id = space
+                .find(&name)
+                .ok_or_else(|| ConfigError::UnknownParam(name.clone()))?;
+            let value = match (&space.spec(id).kind, &raw) {
+                (ParamKind::Switch { .. }, serde_json::Value::Number(n)) => {
+                    ParamValue::Switch(n.as_u64().ok_or_else(|| ConfigError::Invalid {
+                        param: name.clone(),
+                        reason: "expected unsigned index".into(),
+                    })? as usize)
+                }
+                (ParamKind::Int { .. }, serde_json::Value::Number(n)) => {
+                    ParamValue::Int(n.as_i64().ok_or_else(|| ConfigError::Invalid {
+                        param: name.clone(),
+                        reason: "expected integer".into(),
+                    })?)
+                }
+                (ParamKind::Float { .. }, serde_json::Value::Number(n)) => {
+                    ParamValue::Float(n.as_f64().ok_or_else(|| ConfigError::Invalid {
+                        param: name.clone(),
+                        reason: "expected float".into(),
+                    })?)
+                }
+                _ => {
+                    return Err(ConfigError::Invalid {
+                        param: name.clone(),
+                        reason: "expected a number".into(),
+                    })
+                }
+            };
+            cfg.set(space, id, value)?;
+        }
+        Ok(cfg)
+    }
+
+    /// Write to a file (JSON).
+    pub fn save(&self, space: &ConfigSpace, path: &std::path::Path) -> Result<(), ConfigError> {
+        std::fs::write(path, self.to_json(space)).map_err(|e| ConfigError::Io(e.to_string()))
+    }
+
+    /// Load from a file (JSON).
+    pub fn load(space: &ConfigSpace, path: &std::path::Path) -> Result<Config, ConfigError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ConfigError::Io(e.to_string()))?;
+        Config::from_json(space, &text)
+    }
+}
+
+/// Compute the tuning order: strongly-connected components of the
+/// dependency graph in topological order (dependencies first). Parameters
+/// in the same component are tuned together — "if there are cycles in
+/// the dependency graph, it tunes all parameters in the cycle in
+/// parallel" (§3.2.2). Parameters with no edges come last, each alone.
+pub fn tuning_order(space: &ConfigSpace) -> Vec<Vec<ParamId>> {
+    let n = space.len();
+    // Tarjan SCC on edges dependent -> dependency.
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in space.dependencies() {
+        adj[a].push(b);
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut counter = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative Tarjan to avoid recursion depth issues.
+    #[derive(Clone)]
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call = vec![Frame::Enter(start)];
+        while let Some(frame) = call.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = counter;
+                    low[v] = counter;
+                    counter += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut ei) => {
+                    let mut descended = false;
+                    while ei < adj[v].len() {
+                        let w = adj[v][ei];
+                        ei += 1;
+                        if index[w] == usize::MAX {
+                            call.push(Frame::Resume(v, ei));
+                            call.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All children done: fold lowlinks of completed kids.
+                    for &w in &adj[v] {
+                        if on_stack[w] {
+                            low[v] = low[v].min(low[w]);
+                        }
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        comps.push(comp);
+                    }
+                }
+            }
+        }
+    }
+    // Tarjan emits components in reverse topological order of the
+    // condensation w.r.t. edges dependent -> dependency, i.e.
+    // dependencies (sinks) come FIRST — exactly the tuning order.
+    comps
+        .into_iter()
+        .map(|c| c.into_iter().map(ParamId).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_space() -> ConfigSpace {
+        let mut s = ConfigSpace::new();
+        s.add_switch("algo", &["direct", "iterative", "recursive"], 0);
+        s.add_int("cutoff", 1, 1024, 64, Scale::Log);
+        s.add_float("omega", 0.5, 1.95, 1.15);
+        s
+    }
+
+    #[test]
+    fn default_config_matches_specs() {
+        let s = sample_space();
+        let c = s.default_config();
+        assert_eq!(c.switch(s.find("algo").unwrap()), 0);
+        assert_eq!(c.int(s.find("cutoff").unwrap()), 64);
+        assert!((c.float(s.find("omega").unwrap()) - 1.15).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_domain() {
+        let s = sample_space();
+        let mut c = s.default_config();
+        let algo = s.find("algo").unwrap();
+        assert!(c.set(&s, algo, ParamValue::Switch(5)).is_err());
+        assert!(c.set(&s, algo, ParamValue::Int(1)).is_err()); // kind mismatch
+        let cutoff = s.find("cutoff").unwrap();
+        assert!(c.set(&s, cutoff, ParamValue::Int(4096)).is_err());
+        assert!(c.set(&s, cutoff, ParamValue::Int(512)).is_ok());
+        let omega = s.find("omega").unwrap();
+        assert!(c.set(&s, omega, ParamValue::Float(f64::NAN)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_names_rejected() {
+        let mut s = ConfigSpace::new();
+        s.add_int("x", 0, 1, 0, Scale::Linear);
+        s.add_int("x", 0, 1, 0, Scale::Linear);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = sample_space();
+        let mut c = s.default_config();
+        c.set(&s, s.find("algo").unwrap(), ParamValue::Switch(2)).unwrap();
+        c.set(&s, s.find("cutoff").unwrap(), ParamValue::Int(128)).unwrap();
+        let json = c.to_json(&s);
+        let c2 = Config::from_json(&s, &json).unwrap();
+        assert_eq!(c2.switch(s.find("algo").unwrap()), 2);
+        assert_eq!(c2.int(s.find("cutoff").unwrap()), 128);
+    }
+
+    #[test]
+    fn json_unknown_param_rejected() {
+        let s = sample_space();
+        assert!(matches!(
+            Config::from_json(&s, r#"{"bogus": 1}"#),
+            Err(ConfigError::UnknownParam(_))
+        ));
+    }
+
+    #[test]
+    fn json_missing_params_default() {
+        let s = sample_space();
+        let c = Config::from_json(&s, r#"{"cutoff": 32}"#).unwrap();
+        assert_eq!(c.int(s.find("cutoff").unwrap()), 32);
+        assert_eq!(c.switch(s.find("algo").unwrap()), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let s = sample_space();
+        let c = s.default_config();
+        let dir = std::env::temp_dir().join("petamg-choice-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cfg.json");
+        c.save(&s, &path).unwrap();
+        let c2 = Config::load(&s, &path).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn tuning_order_leaves_first() {
+        let mut s = ConfigSpace::new();
+        let a = s.add_int("a", 0, 9, 0, Scale::Linear);
+        let b = s.add_int("b", 0, 9, 0, Scale::Linear);
+        let c = s.add_int("c", 0, 9, 0, Scale::Linear);
+        // a depends on b; b depends on c => order: [c], [b], [a]
+        s.add_dependency(a, b);
+        s.add_dependency(b, c);
+        let order = tuning_order(&s);
+        assert_eq!(order, vec![vec![c], vec![b], vec![a]]);
+    }
+
+    #[test]
+    fn tuning_order_groups_cycles() {
+        let mut s = ConfigSpace::new();
+        let a = s.add_int("a", 0, 9, 0, Scale::Linear);
+        let b = s.add_int("b", 0, 9, 0, Scale::Linear);
+        let c = s.add_int("c", 0, 9, 0, Scale::Linear);
+        // a <-> b cycle; both depend on c.
+        s.add_dependency(a, b);
+        s.add_dependency(b, a);
+        s.add_dependency(a, c);
+        let order = tuning_order(&s);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0], vec![c]);
+        assert_eq!(order[1], vec![a, b]);
+    }
+
+    #[test]
+    fn tuning_order_independent_params() {
+        let s = sample_space();
+        let order = tuning_order(&s);
+        assert_eq!(order.len(), 3);
+        let flat: Vec<usize> = order.iter().flatten().map(|p| p.0).collect();
+        let mut sorted = flat.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+}

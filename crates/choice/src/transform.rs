@@ -1,0 +1,707 @@
+//! The PetaBricks compiler analysis (§3.2.1), as a library:
+//!
+//! > "In the first phase, applicable regions (regions where each rule can
+//! > legally be applied) are calculated for each possible choice using an
+//! > inference system. Next, the applicable regions are aggregated
+//! > together into choice grids. The choice grid divides each matrix into
+//! > rectilinear regions where uniform sets of rules may legally be
+//! > applied. Finally, a choice dependency graph is constructed and
+//! > analyzed. [Its] edges ... are annotated with the set of choices that
+//! > require that edge, a direction of the data dependency, and an offset
+//! > between rule centers."
+//!
+//! A [`Transform`] declares [`Rule`]s over a 2D output matrix; each rule
+//! has an applicable region and a set of read offsets. The analysis
+//! computes the rectilinear [`ChoiceGrid`], checks that every output
+//! cell is covered, builds the [`ChoiceDepGraph`], and derives a wave
+//! schedule that the executor runs (parallelizing independent cells via
+//! `petamg-runtime`).
+
+use petamg_runtime::ThreadPool;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A half-open rectilinear region `[x0, x1) × [y0, y1)` of a matrix
+/// (x = column, y = row).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Inclusive start column.
+    pub x0: i64,
+    /// Exclusive end column.
+    pub x1: i64,
+    /// Inclusive start row.
+    pub y0: i64,
+    /// Exclusive end row.
+    pub y1: i64,
+}
+
+impl Region {
+    /// Construct (empty regions are normalized to zero-size at origin).
+    pub fn new(x0: i64, x1: i64, y0: i64, y1: i64) -> Self {
+        if x1 <= x0 || y1 <= y0 {
+            Region {
+                x0: 0,
+                x1: 0,
+                y0: 0,
+                y1: 0,
+            }
+        } else {
+            Region { x0, x1, y0, y1 }
+        }
+    }
+
+    /// The whole `w × h` matrix.
+    pub fn full(w: usize, h: usize) -> Self {
+        Region::new(0, w as i64, 0, h as i64)
+    }
+
+    /// Number of cells.
+    pub fn area(&self) -> i64 {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+
+    /// Whether the region holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.area() == 0
+    }
+
+    /// Intersection (possibly empty).
+    pub fn intersect(&self, other: &Region) -> Region {
+        Region::new(
+            self.x0.max(other.x0),
+            self.x1.min(other.x1),
+            self.y0.max(other.y0),
+            self.y1.min(other.y1),
+        )
+    }
+
+    /// Whether `(x, y)` lies inside.
+    pub fn contains(&self, x: i64, y: i64) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Translate by `(dx, dy)`.
+    pub fn shifted(&self, dx: i64, dy: i64) -> Region {
+        if self.is_empty() {
+            *self
+        } else {
+            Region {
+                x0: self.x0 + dx,
+                x1: self.x1 + dx,
+                y0: self.y0 + dy,
+                y1: self.y1 + dy,
+            }
+        }
+    }
+
+    /// Whether two regions share any cell.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        !self.intersect(other).is_empty()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{})x[{},{})", self.x0, self.x1, self.y0, self.y1)
+    }
+}
+
+/// A data dependency of a rule: computing output cell `(x, y)` reads
+/// `(x + dx, y + dy)` of the *output* matrix (self-dependencies drive
+/// the schedule; pure-input reads need no edges).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DepOffset {
+    /// Column offset between rule centers.
+    pub dx: i64,
+    /// Row offset between rule centers.
+    pub dy: i64,
+}
+
+/// One rule of a transform: a name, where it can legally be applied, and
+/// which output offsets it reads.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Rule name (used in diagnostics and schedules).
+    pub name: String,
+    /// Region of output cells this rule can compute.
+    pub applicable: Region,
+    /// Output-relative read offsets (self-dependencies).
+    pub reads: Vec<DepOffset>,
+}
+
+impl Rule {
+    /// Construct a rule.
+    pub fn new(name: &str, applicable: Region, reads: &[(i64, i64)]) -> Self {
+        Rule {
+            name: name.to_string(),
+            applicable,
+            reads: reads.iter().map(|&(dx, dy)| DepOffset { dx, dy }).collect(),
+        }
+    }
+}
+
+/// A transform: an output shape plus its rules.
+#[derive(Clone, Debug)]
+pub struct Transform {
+    /// Transform name.
+    pub name: String,
+    /// Output width (columns).
+    pub width: usize,
+    /// Output height (rows).
+    pub height: usize,
+    /// The rules (choices).
+    pub rules: Vec<Rule>,
+}
+
+/// Errors from the analysis.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Some output cells are computable by no rule.
+    UncoveredCells {
+        /// An example uncovered cell.
+        example: (i64, i64),
+    },
+    /// The dependency graph has a cycle not resolvable by wavefronting
+    /// (a cell region transitively depends on itself with zero offset).
+    CyclicDependency {
+        /// Cells participating in the cycle.
+        cells: Vec<usize>,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UncoveredCells { example } => {
+                write!(f, "no rule covers output cell {example:?}")
+            }
+            AnalysisError::CyclicDependency { cells } => {
+                write!(f, "cyclic choice dependency among cells {cells:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// One cell of the choice grid: a rectilinear region with a uniform set
+/// of applicable rules.
+#[derive(Clone, Debug)]
+pub struct ChoiceCell {
+    /// The region of output this cell covers.
+    pub region: Region,
+    /// Indices into `Transform::rules` of the applicable rules.
+    pub rules: Vec<usize>,
+}
+
+/// The choice grid: a rectilinear partition of the output where each
+/// part has a uniform applicable-rule set.
+#[derive(Clone, Debug)]
+pub struct ChoiceGrid {
+    /// The cells (row-major over the breakpoint grid, empty sets
+    /// filtered out by validation).
+    pub cells: Vec<ChoiceCell>,
+}
+
+/// An edge of the choice dependency graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Cell doing the reading.
+    pub from: usize,
+    /// Cell being read.
+    pub to: usize,
+    /// Which rules (of the `from` cell) require this edge.
+    pub choices: Vec<usize>,
+    /// The offsets involved.
+    pub offsets: Vec<DepOffset>,
+}
+
+/// The choice dependency graph over choice-grid cells.
+#[derive(Clone, Debug)]
+pub struct ChoiceDepGraph {
+    /// The underlying grid.
+    pub grid: ChoiceGrid,
+    /// Dependency edges (from reads to).
+    pub edges: Vec<DepEdge>,
+}
+
+/// A schedule: waves of cells; all cells within a wave may execute in
+/// parallel, waves run in order. Cells whose dependencies point inside
+/// themselves (e.g. left-to-right scans) are marked sequential.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Waves of (cell index, intra-cell order) pairs.
+    pub waves: Vec<Vec<ScheduledCell>>,
+}
+
+/// A cell with its required intra-cell traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledCell {
+    /// Index into the choice grid.
+    pub cell: usize,
+    /// How cells inside the region must be traversed.
+    pub order: CellOrder,
+}
+
+/// Intra-cell traversal constraints derived from self-dependencies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellOrder {
+    /// No intra-cell dependency: any order (parallel rows allowed).
+    Any,
+    /// Must sweep with increasing x (reads dx < 0).
+    IncreasingX,
+    /// Must sweep with increasing y (reads dy < 0).
+    IncreasingY,
+    /// Must sweep x and y increasing (reads up-left).
+    IncreasingXY,
+}
+
+impl Transform {
+    /// Compute the choice grid: split the output at every applicable-
+    /// region boundary and collect the rule set of each part.
+    pub fn choice_grid(&self) -> ChoiceGrid {
+        let full = Region::full(self.width, self.height);
+        let mut xs: BTreeSet<i64> = BTreeSet::from([full.x0, full.x1]);
+        let mut ys: BTreeSet<i64> = BTreeSet::from([full.y0, full.y1]);
+        for r in &self.rules {
+            let a = r.applicable.intersect(&full);
+            if a.is_empty() {
+                continue;
+            }
+            xs.insert(a.x0);
+            xs.insert(a.x1);
+            ys.insert(a.y0);
+            ys.insert(a.y1);
+        }
+        let xs: Vec<i64> = xs.into_iter().collect();
+        let ys: Vec<i64> = ys.into_iter().collect();
+        let mut cells = Vec::new();
+        for wy in ys.windows(2) {
+            for wx in xs.windows(2) {
+                let region = Region::new(wx[0], wx[1], wy[0], wy[1]);
+                if region.is_empty() {
+                    continue;
+                }
+                let rules: Vec<usize> = self
+                    .rules
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| {
+                        // Uniform applicability over the cell: cells are
+                        // built from breakpoints, so containment of any
+                        // interior point decides for the whole cell.
+                        r.applicable.contains(region.x0, region.y0)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                cells.push(ChoiceCell { region, rules });
+            }
+        }
+        ChoiceGrid { cells }
+    }
+
+    /// Build and validate the choice dependency graph.
+    pub fn analyze(&self) -> Result<ChoiceDepGraph, AnalysisError> {
+        let grid = self.choice_grid();
+        // Coverage: every cell needs at least one rule.
+        for cell in &grid.cells {
+            if cell.rules.is_empty() {
+                return Err(AnalysisError::UncoveredCells {
+                    example: (cell.region.x0, cell.region.y0),
+                });
+            }
+        }
+        // Edges: cell A -> cell B if any applicable rule of A, shifted by
+        // one of its read offsets, overlaps B.
+        let mut edges: Vec<DepEdge> = Vec::new();
+        for (a, cell_a) in grid.cells.iter().enumerate() {
+            for (b, cell_b) in grid.cells.iter().enumerate() {
+                let mut choices = Vec::new();
+                let mut offsets = Vec::new();
+                for &ri in &cell_a.rules {
+                    for off in &self.rules[ri].reads {
+                        let read = cell_a.region.shifted(off.dx, off.dy);
+                        if read.overlaps(&cell_b.region) && !(a == b && off.dx == 0 && off.dy == 0)
+                        {
+                            if !choices.contains(&ri) {
+                                choices.push(ri);
+                            }
+                            if !offsets.contains(off) {
+                                offsets.push(*off);
+                            }
+                        }
+                    }
+                }
+                if !choices.is_empty() {
+                    edges.push(DepEdge {
+                        from: a,
+                        to: b,
+                        choices,
+                        offsets,
+                    });
+                }
+            }
+        }
+        Ok(ChoiceDepGraph { grid, edges })
+    }
+}
+
+impl ChoiceDepGraph {
+    /// Intra-cell order required by a cell's self-edges.
+    fn self_order(&self, cell: usize) -> Result<CellOrder, AnalysisError> {
+        let mut needs_x = false;
+        let mut needs_y = false;
+        for e in self.edges.iter().filter(|e| e.from == cell && e.to == cell) {
+            for off in &e.offsets {
+                if off.dx > 0 || off.dy > 0 {
+                    // Reading ahead of the sweep in both orientations:
+                    // only legal combined with a matching negative
+                    // offset is wavefronting, which we conservatively
+                    // reject as a cycle.
+                    return Err(AnalysisError::CyclicDependency { cells: vec![cell] });
+                }
+                if off.dx < 0 {
+                    needs_x = true;
+                }
+                if off.dy < 0 {
+                    needs_y = true;
+                }
+            }
+        }
+        Ok(match (needs_x, needs_y) {
+            (false, false) => CellOrder::Any,
+            (true, false) => CellOrder::IncreasingX,
+            (false, true) => CellOrder::IncreasingY,
+            (true, true) => CellOrder::IncreasingXY,
+        })
+    }
+
+    /// Derive the wave schedule: Kahn's algorithm over inter-cell edges
+    /// (reversed: dependencies first), with intra-cell orders attached.
+    pub fn schedule(&self) -> Result<Schedule, AnalysisError> {
+        let n = self.grid.cells.len();
+        // in-degree of a cell = number of distinct cells it reads.
+        let mut reads: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        let mut readers: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for e in &self.edges {
+            if e.from != e.to {
+                reads[e.from].insert(e.to);
+                readers[e.to].insert(e.from);
+            }
+        }
+        let mut remaining: Vec<usize> = (0..n).map(|i| reads[i].len()).collect();
+        let mut done = vec![false; n];
+        let mut waves = Vec::new();
+        let mut completed = 0usize;
+        while completed < n {
+            let ready: Vec<usize> = (0..n)
+                .filter(|&i| !done[i] && remaining[i] == 0)
+                .collect();
+            if ready.is_empty() {
+                let stuck: Vec<usize> = (0..n).filter(|&i| !done[i]).collect();
+                return Err(AnalysisError::CyclicDependency { cells: stuck });
+            }
+            let mut wave = Vec::new();
+            for &c in &ready {
+                wave.push(ScheduledCell {
+                    cell: c,
+                    order: self.self_order(c)?,
+                });
+                done[c] = true;
+                completed += 1;
+            }
+            for &c in &ready {
+                for &r in &readers[c] {
+                    remaining[r] = remaining[r].saturating_sub(1);
+                }
+            }
+            waves.push(wave);
+        }
+        Ok(Schedule { waves })
+    }
+}
+
+/// Execute a schedule over a row-major `f64` matrix: for each cell, the
+/// chooser picks a rule index (from the cell's applicable set) and
+/// `body(rule, x, y, data)` computes one output value. Cells within a
+/// wave run in parallel on `pool` when their order allows.
+pub fn execute_schedule<C, B>(
+    transform: &Transform,
+    graph: &ChoiceDepGraph,
+    schedule: &Schedule,
+    data: &mut [f64],
+    pool: &Arc<ThreadPool>,
+    chooser: C,
+    body: B,
+) where
+    C: Fn(&ChoiceCell) -> usize + Sync,
+    B: Fn(usize, i64, i64, &mut [f64]) + Sync,
+{
+    let w = transform.width;
+    assert_eq!(data.len(), w * transform.height, "matrix shape mismatch");
+    struct DataPtr(*mut f64);
+    // SAFETY: waves touch disjoint regions (cells partition the output
+    // and only same-wave cells run concurrently; same-wave cells are
+    // mutually independent by construction of the schedule).
+    unsafe impl Sync for DataPtr {}
+    let ptr = DataPtr(data.as_mut_ptr());
+    let len = data.len();
+
+    for wave in &schedule.waves {
+        pool.install(|| {
+            petamg_runtime::scope(|s| {
+                for sc in wave {
+                    let cell = &graph.grid.cells[sc.cell];
+                    let rule = chooser(cell);
+                    assert!(
+                        cell.rules.contains(&rule),
+                        "chooser picked inapplicable rule {rule} for cell {}",
+                        cell.region
+                    );
+                    let ptr = &ptr;
+                    let body = &body;
+                    let order = sc.order;
+                    let region = cell.region;
+                    s.spawn(move |_| {
+                        // SAFETY: see DataPtr note; slice reconstruction
+                        // is confined to this wave's disjoint writes.
+                        let slice =
+                            unsafe { std::slice::from_raw_parts_mut(ptr.0, len) };
+                        match order {
+                            CellOrder::Any
+                            | CellOrder::IncreasingX
+                            | CellOrder::IncreasingY
+                            | CellOrder::IncreasingXY => {
+                                // Row-major increasing traversal satisfies
+                                // every representable order.
+                                for y in region.y0..region.y1 {
+                                    for x in region.x0..region.x1 {
+                                        body(rule, x, y, slice);
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_algebra() {
+        let a = Region::new(0, 10, 0, 10);
+        let b = Region::new(5, 15, 5, 15);
+        assert_eq!(a.intersect(&b), Region::new(5, 10, 5, 10));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&Region::new(20, 30, 0, 10)));
+        assert_eq!(a.area(), 100);
+        assert!(Region::new(5, 5, 0, 10).is_empty());
+        assert_eq!(a.shifted(2, -1), Region::new(2, 12, -1, 9));
+        assert!(a.contains(0, 0));
+        assert!(!a.contains(10, 0));
+    }
+
+    /// An elementwise map: one rule covering everything, no reads.
+    fn map_transform() -> Transform {
+        Transform {
+            name: "map".into(),
+            width: 8,
+            height: 4,
+            rules: vec![Rule::new("double", Region::full(8, 4), &[])],
+        }
+    }
+
+    /// A 1D-style prefix scan over each row: interior rule reads the
+    /// left neighbor; a separate base rule covers column 0.
+    fn scan_transform() -> Transform {
+        Transform {
+            name: "scan".into(),
+            width: 8,
+            height: 3,
+            rules: vec![
+                Rule::new("base", Region::new(0, 1, 0, 3), &[]),
+                Rule::new("step", Region::new(1, 8, 0, 3), &[(-1, 0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn choice_grid_partitions_exactly() {
+        let t = scan_transform();
+        let grid = t.choice_grid();
+        let total: i64 = grid.cells.iter().map(|c| c.region.area()).sum();
+        assert_eq!(total, 8 * 3, "cells partition the output");
+        // Two cells: column 0 (base) and columns 1.. (step).
+        assert_eq!(grid.cells.len(), 2);
+        let col0 = grid
+            .cells
+            .iter()
+            .find(|c| c.region.x0 == 0 && c.region.x1 == 1)
+            .unwrap();
+        assert_eq!(col0.rules, vec![0]);
+    }
+
+    #[test]
+    fn uncovered_cells_detected() {
+        let t = Transform {
+            name: "holey".into(),
+            width: 4,
+            height: 4,
+            rules: vec![Rule::new("partial", Region::new(0, 2, 0, 4), &[])],
+        };
+        match t.analyze() {
+            Err(AnalysisError::UncoveredCells { example }) => {
+                assert_eq!(example, (2, 0));
+            }
+            other => panic!("expected coverage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_schedule_is_single_parallel_wave() {
+        let t = map_transform();
+        let graph = t.analyze().unwrap();
+        assert!(graph.edges.is_empty());
+        let sched = graph.schedule().unwrap();
+        assert_eq!(sched.waves.len(), 1);
+        assert!(sched.waves[0]
+            .iter()
+            .all(|sc| sc.order == CellOrder::Any));
+    }
+
+    #[test]
+    fn scan_schedule_orders_base_before_step() {
+        let t = scan_transform();
+        let graph = t.analyze().unwrap();
+        let sched = graph.schedule().unwrap();
+        assert_eq!(sched.waves.len(), 2, "base wave then step wave");
+        // The step cell needs an increasing-x sweep (self-dependency).
+        let step_cell = sched.waves[1][0];
+        assert_eq!(step_cell.order, CellOrder::IncreasingX);
+    }
+
+    #[test]
+    fn forward_self_dependency_rejected() {
+        let t = Transform {
+            name: "future-read".into(),
+            width: 4,
+            height: 1,
+            rules: vec![Rule::new("bad", Region::full(4, 1), &[(1, 0)])],
+        };
+        let graph = t.analyze().unwrap();
+        assert!(matches!(
+            graph.schedule(),
+            Err(AnalysisError::CyclicDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_cells_rejected() {
+        // Two cells reading each other.
+        let t = Transform {
+            name: "cycle".into(),
+            width: 2,
+            height: 1,
+            rules: vec![
+                Rule::new("left", Region::new(0, 1, 0, 1), &[(1, 0)]),
+                Rule::new("right", Region::new(1, 2, 0, 1), &[(-1, 0)]),
+            ],
+        };
+        let graph = t.analyze().unwrap();
+        assert!(matches!(
+            graph.schedule(),
+            Err(AnalysisError::CyclicDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn execute_scan_produces_prefix_sums() {
+        let t = scan_transform();
+        let graph = t.analyze().unwrap();
+        let sched = graph.schedule().unwrap();
+        let pool = Arc::new(ThreadPool::new(2));
+        // Start with ones; base rule keeps value, step accumulates left.
+        let mut data = vec![1.0f64; 8 * 3];
+        execute_schedule(
+            &t,
+            &graph,
+            &sched,
+            &mut data,
+            &pool,
+            |cell| cell.rules[0],
+            |rule, x, y, m| {
+                let idx = (y as usize) * 8 + x as usize;
+                if rule == 1 {
+                    m[idx] += m[idx - 1];
+                }
+            },
+        );
+        for y in 0..3 {
+            for x in 0..8 {
+                assert_eq!(data[y * 8 + x], (x + 1) as f64, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn execute_map_in_parallel() {
+        let t = map_transform();
+        let graph = t.analyze().unwrap();
+        let sched = graph.schedule().unwrap();
+        let pool = Arc::new(ThreadPool::new(2));
+        let mut data: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        execute_schedule(
+            &t,
+            &graph,
+            &sched,
+            &mut data,
+            &pool,
+            |cell| cell.rules[0],
+            |_, x, y, m| {
+                let idx = (y as usize) * 8 + x as usize;
+                m[idx] *= 2.0;
+            },
+        );
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i * 2) as f64);
+        }
+    }
+
+    #[test]
+    fn corner_case_rules_get_own_cells() {
+        // The paper: "automatic detection and handling of corner cases".
+        // A 5-point-stencil-like rule applies to the interior; border
+        // rules cover the edges. The grid must carve the border into
+        // separate cells with only the border rule applicable.
+        let t = Transform {
+            name: "stencil".into(),
+            width: 6,
+            height: 6,
+            rules: vec![
+                Rule::new("interior", Region::new(1, 5, 1, 5), &[]),
+                Rule::new("border", Region::full(6, 6), &[]),
+            ],
+        };
+        let grid = t.choice_grid();
+        let interior = grid
+            .cells
+            .iter()
+            .find(|c| c.region == Region::new(1, 5, 1, 5))
+            .expect("interior cell exists");
+        assert_eq!(interior.rules, vec![0, 1], "both rules in the interior");
+        let corner = grid
+            .cells
+            .iter()
+            .find(|c| c.region.contains(0, 0))
+            .unwrap();
+        assert_eq!(corner.rules, vec![1], "only the border rule at corners");
+        let total: i64 = grid.cells.iter().map(|c| c.region.area()).sum();
+        assert_eq!(total, 36);
+    }
+}

@@ -1,0 +1,808 @@
+//! Tuned-plan representation and executor.
+//!
+//! A tuned family is the output of the DP autotuner: for every level `k`
+//! and accuracy index `i`, the fastest [`Choice`] that achieves accuracy
+//! `p_i` at grid size `2^k + 1`. Executing a plan reproduces the paper's
+//! `MULTIGRID-V_i` / `RECURSE_i` pseudocode exactly:
+//!
+//! ```text
+//! MULTIGRID-V_i(x, b):  either
+//!   | Solve directly
+//!   | Iterate SOR(ω_opt) until accuracy p_i       (tuned iteration count)
+//!   | For some j, iterate RECURSE_j until p_i     (tuned j and count)
+//!
+//! RECURSE_j(x, b):
+//!   one SOR(1.15) sweep; restrict residual; MULTIGRID-V_j one level
+//!   down; interpolate-correct; one SOR(1.15) sweep
+//! ```
+//!
+//! The executor threads an [`ExecCtx`] through the recursion to count
+//! operations (for modeled costs), record cycle events (for the figure
+//! renderers), and share the direct-solver factor cache.
+
+use crate::accuracy::error_ratio;
+#[cfg(test)]
+use crate::accuracy::ACC_CAP;
+use crate::cost::OpCounts;
+use crate::trace::{CycleEvent, Tracer};
+use crate::training::ProblemInstance;
+use petamg_grid::{
+    coarse_size, interpolate_add, level_size, residual, restrict_full_weighting, Exec, Grid2d,
+};
+use petamg_solvers::relax::{omega_opt, sor_sweep, OMEGA_CYCLE};
+use petamg_solvers::DirectSolverCache;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The accuracy targets used throughout the paper:
+/// `(p_i) = (10, 10³, 10⁵, 10⁷, 10⁹)`.
+pub const PAPER_ACCURACIES: [f64; 5] = [1e1, 1e3, 1e5, 1e7, 1e9];
+
+/// One algorithmic choice of `MULTIGRID-V_i` at a given level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Choice {
+    /// Band-Cholesky direct solve (accuracy `ACC_CAP`).
+    Direct,
+    /// `iterations` sweeps of Red-Black SOR with ω_opt.
+    Sor {
+        /// Tuned sweep count.
+        iterations: u32,
+    },
+    /// `iterations` applications of `RECURSE_{sub_accuracy}` (which
+    /// recurses into `MULTIGRID-V_{sub_accuracy}` one level down).
+    Recurse {
+        /// Accuracy index `j` used for the recursive call.
+        sub_accuracy: u8,
+        /// Tuned cycle count.
+        iterations: u32,
+    },
+}
+
+impl Choice {
+    /// Short display form, e.g. `Direct`, `SOR×12`, `RECURSE_2×3`.
+    pub fn describe(&self) -> String {
+        match self {
+            Choice::Direct => "Direct".into(),
+            Choice::Sor { iterations } => format!("SOR×{iterations}"),
+            Choice::Recurse {
+                sub_accuracy,
+                iterations,
+            } => format!("RECURSE_{sub_accuracy}×{iterations}"),
+        }
+    }
+}
+
+/// Execution context threaded through plan execution.
+pub struct ExecCtx {
+    /// Execution policy for all grid sweeps.
+    pub exec: Exec,
+    /// Shared band-Cholesky factor cache.
+    pub cache: Arc<DirectSolverCache>,
+    /// Accumulated operation counts.
+    pub ops: OpCounts,
+    /// Optional cycle-event recorder.
+    pub tracer: Tracer,
+}
+
+impl ExecCtx {
+    /// Context with a fresh cache and disabled tracer.
+    pub fn new(exec: Exec) -> Self {
+        ExecCtx {
+            exec,
+            cache: Arc::new(DirectSolverCache::new()),
+            ops: OpCounts::default(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Context sharing an existing factor cache.
+    pub fn with_cache(exec: Exec, cache: Arc<DirectSolverCache>) -> Self {
+        ExecCtx {
+            exec,
+            cache,
+            ops: OpCounts::default(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Enable event tracing.
+    pub fn tracing(mut self) -> Self {
+        self.tracer = Tracer::enabled();
+        self
+    }
+
+    /// Reset counters and trace (keeps cache and policy).
+    pub fn reset_counters(&mut self) {
+        self.ops = OpCounts::default();
+        let enabled = self.tracer.is_enabled();
+        self.tracer = if enabled {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+    }
+
+    fn relax(&mut self, level: usize, x: &mut Grid2d, b: &Grid2d, omega: f64) {
+        sor_sweep(x, b, omega, &self.exec);
+        self.ops.level_mut(level).relax_sweeps += 1;
+        self.tracer.record(CycleEvent::Relax { level });
+    }
+
+    fn residual_into(&mut self, level: usize, x: &Grid2d, b: &Grid2d, r: &mut Grid2d) {
+        residual(x, b, r, &self.exec);
+        self.ops.level_mut(level).residuals += 1;
+        self.tracer.record(CycleEvent::Residual { level });
+    }
+
+    fn restrict(&mut self, from: usize, fine: &Grid2d, coarse: &mut Grid2d) {
+        restrict_full_weighting(fine, coarse, &self.exec);
+        self.ops.level_mut(from).restricts += 1;
+        self.tracer.record(CycleEvent::Restrict { from });
+    }
+
+    fn interpolate(&mut self, to: usize, coarse: &Grid2d, fine: &mut Grid2d) {
+        interpolate_add(coarse, fine, &self.exec);
+        self.ops.level_mut(to).interps += 1;
+        self.tracer.record(CycleEvent::Interpolate { to });
+    }
+
+    fn direct(&mut self, level: usize, x: &mut Grid2d, b: &Grid2d) {
+        self.cache.solve(x, b);
+        self.ops.level_mut(level).direct_solves += 1;
+        self.tracer.record(CycleEvent::Direct { level });
+    }
+
+    fn sor_solve(&mut self, level: usize, x: &mut Grid2d, b: &Grid2d, iterations: u32) {
+        let omega = omega_opt(x.n());
+        for _ in 0..iterations {
+            sor_sweep(x, b, omega, &self.exec);
+        }
+        self.ops.level_mut(level).relax_sweeps += iterations as u64;
+        self.tracer.record(CycleEvent::SorSolve { level, iterations });
+    }
+}
+
+/// A tuned `MULTIGRID-V_i` family: the DP table of fastest choices.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TunedFamily {
+    /// Accuracy targets `p_i`, ascending.
+    pub accuracies: Vec<f64>,
+    /// Largest tuned level.
+    pub max_level: usize,
+    /// `plans[k][i]` = choice for level `k`, accuracy index `i`
+    /// (`plans[0]` is unused padding; `plans[1]` is always `Direct`).
+    pub plans: Vec<Vec<Choice>>,
+    /// Human-readable provenance (distribution, cost model, seed).
+    pub provenance: String,
+}
+
+/// Outcome of [`TunedFamily::solve`].
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// Accuracy level achieved (error-ratio metric, capped).
+    pub achieved_accuracy: f64,
+    /// Which `p_i` was requested.
+    pub target_accuracy: f64,
+    /// Accuracy index executed.
+    pub acc_idx: usize,
+    /// Wall time of the solve.
+    pub seconds: f64,
+    /// Operation counts of the solve.
+    pub ops: OpCounts,
+}
+
+impl TunedFamily {
+    /// Number of accuracy levels `m`.
+    pub fn num_accuracies(&self) -> usize {
+        self.accuracies.len()
+    }
+
+    /// The choice at `(level, acc_idx)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn plan(&self, level: usize, acc_idx: usize) -> Choice {
+        self.plans[level][acc_idx]
+    }
+
+    /// Smallest accuracy index whose target `p_i >= target` (last index
+    /// if none).
+    pub fn acc_index_for(&self, target: f64) -> usize {
+        self.accuracies
+            .iter()
+            .position(|&p| p >= target)
+            .unwrap_or(self.accuracies.len() - 1)
+    }
+
+    /// Structural validation (shape, index ranges, base level direct).
+    pub fn validate(&self) -> Result<(), String> {
+        let m = self.accuracies.len();
+        if m == 0 {
+            return Err("no accuracy levels".into());
+        }
+        if !self.accuracies.windows(2).all(|w| w[0] < w[1]) {
+            return Err("accuracies must be ascending".into());
+        }
+        if self.plans.len() != self.max_level + 1 {
+            return Err(format!(
+                "plans length {} != max_level+1 {}",
+                self.plans.len(),
+                self.max_level + 1
+            ));
+        }
+        for (k, row) in self.plans.iter().enumerate().skip(1) {
+            if row.len() != m {
+                return Err(format!("level {k} has {} plans, want {m}", row.len()));
+            }
+            for (i, c) in row.iter().enumerate() {
+                match c {
+                    Choice::Recurse {
+                        sub_accuracy,
+                        iterations,
+                    } => {
+                        if k == 1 {
+                            return Err("level 1 cannot recurse".into());
+                        }
+                        if *sub_accuracy as usize >= m {
+                            return Err(format!(
+                                "level {k} acc {i}: sub accuracy {sub_accuracy} out of range"
+                            ));
+                        }
+                        if *iterations == 0 {
+                            return Err(format!("level {k} acc {i}: zero iterations"));
+                        }
+                    }
+                    Choice::Sor { iterations } => {
+                        if *iterations == 0 {
+                            return Err(format!("level {k} acc {i}: zero iterations"));
+                        }
+                    }
+                    Choice::Direct => {}
+                }
+                if k == 1 && !matches!(c, Choice::Direct) {
+                    return Err("level 1 must solve directly".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute `MULTIGRID-V_{acc_idx}` at `level` on `(x, b)`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not sized for `level` or indices are out of
+    /// range.
+    pub fn run(&self, level: usize, acc_idx: usize, x: &mut Grid2d, b: &Grid2d, ctx: &mut ExecCtx) {
+        assert_eq!(x.n(), level_size(level), "grid does not match level");
+        ctx.tracer.record(CycleEvent::EnterV { level, acc_idx });
+        match self.plans[level][acc_idx] {
+            Choice::Direct => ctx.direct(level, x, b),
+            Choice::Sor { iterations } => ctx.sor_solve(level, x, b, iterations),
+            Choice::Recurse {
+                sub_accuracy,
+                iterations,
+            } => {
+                for _ in 0..iterations {
+                    self.recurse_step(level, sub_accuracy as usize, x, b, ctx);
+                }
+            }
+        }
+    }
+
+    /// One `RECURSE_j` application at `level` (j = `sub_acc`): pre-relax,
+    /// coarse-grid correction through `MULTIGRID-V_j`, post-relax.
+    pub fn recurse_step(
+        &self,
+        level: usize,
+        sub_acc: usize,
+        x: &mut Grid2d,
+        b: &Grid2d,
+        ctx: &mut ExecCtx,
+    ) {
+        if level <= 1 {
+            ctx.direct(level, x, b);
+            return;
+        }
+        let n = level_size(level);
+        ctx.relax(level, x, b, OMEGA_CYCLE);
+        let mut r = Grid2d::zeros(n);
+        ctx.residual_into(level, x, b, &mut r);
+        let nc = coarse_size(n);
+        let mut bc = Grid2d::zeros(nc);
+        ctx.restrict(level, &r, &mut bc);
+        let mut ec = Grid2d::zeros(nc);
+        self.run(level - 1, sub_acc, &mut ec, &bc, ctx);
+        ctx.interpolate(level, &ec, x);
+        ctx.relax(level, x, b, OMEGA_CYCLE);
+    }
+
+    /// Solve `inst` to (at least) `target` accuracy using the family
+    /// member tuned for the smallest `p_i >= target`. Computes the
+    /// reference solution if needed (not included in the reported time).
+    pub fn solve(&self, inst: &mut ProblemInstance, target: f64) -> SolveReport {
+        let exec = Exec::seq();
+        self.solve_with(inst, target, &exec, &Arc::new(DirectSolverCache::new()))
+    }
+
+    /// [`TunedFamily::solve`] with explicit policy and cache.
+    pub fn solve_with(
+        &self,
+        inst: &mut ProblemInstance,
+        target: f64,
+        exec: &Exec,
+        cache: &Arc<DirectSolverCache>,
+    ) -> SolveReport {
+        assert!(
+            inst.level <= self.max_level,
+            "instance level {} exceeds tuned max level {}",
+            inst.level,
+            self.max_level
+        );
+        let acc_idx = self.acc_index_for(target);
+        inst.ensure_x_opt(exec, cache);
+        // Warm the factor cache outside the timed region (plans reuse
+        // factors across solves, as does the paper's tuned binary).
+        self.warm_factors(inst.level, acc_idx, cache);
+        let mut ctx = ExecCtx::with_cache(exec.clone(), Arc::clone(cache));
+        let mut x = inst.working_grid();
+        let start = std::time::Instant::now();
+        self.run(inst.level, acc_idx, &mut x, &inst.b, &mut ctx);
+        let seconds = start.elapsed().as_secs_f64();
+        let x_opt = inst.x_opt().expect("ensured above");
+        SolveReport {
+            achieved_accuracy: error_ratio(&inst.x0, &x, x_opt, exec),
+            target_accuracy: target,
+            acc_idx,
+            seconds,
+            ops: ctx.ops,
+        }
+    }
+
+    /// Pre-factor every grid size this plan's direct solves touch.
+    pub fn warm_factors(&self, level: usize, acc_idx: usize, cache: &Arc<DirectSolverCache>) {
+        match self.plans[level][acc_idx] {
+            Choice::Direct => {
+                let _ = cache.get(level_size(level));
+            }
+            Choice::Sor { .. } => {}
+            Choice::Recurse { sub_accuracy, .. } => {
+                if level <= 1 {
+                    let _ = cache.get(level_size(level));
+                } else {
+                    if level - 1 == 1 {
+                        let _ = cache.get(3);
+                    }
+                    self.warm_factors(level - 1, sub_accuracy as usize, cache);
+                }
+            }
+        }
+    }
+
+    /// Serialize to pretty JSON (the tuned "configuration file").
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plan serialization cannot fail")
+    }
+
+    /// Parse and validate from JSON.
+    pub fn from_json(json: &str) -> Result<TunedFamily, String> {
+        let fam: TunedFamily = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        fam.validate()?;
+        Ok(fam)
+    }
+}
+
+/// Follow-up phase of a tuned `FULL-MULTIGRID_i` after the estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FollowUp {
+    /// Iterate SOR(ω_opt).
+    Sor {
+        /// Tuned sweep count.
+        iterations: u32,
+    },
+    /// Iterate `RECURSE_{sub_accuracy}` cycles (V-family recursion).
+    Recurse {
+        /// V-family accuracy index for the recursive calls.
+        sub_accuracy: u8,
+        /// Tuned cycle count.
+        iterations: u32,
+    },
+}
+
+impl FollowUp {
+    /// Short display form.
+    pub fn describe(&self) -> String {
+        match self {
+            FollowUp::Sor { iterations } => format!("SOR×{iterations}"),
+            FollowUp::Recurse {
+                sub_accuracy,
+                iterations,
+            } => format!("RECURSE_{sub_accuracy}×{iterations}"),
+        }
+    }
+}
+
+/// One choice of `FULL-MULTIGRID_i` (paper §2.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FmgChoice {
+    /// Direct solve.
+    Direct,
+    /// `ESTIMATE_{estimate_accuracy}` (recursive FMG on the restricted
+    /// problem) followed by the follow-up iteration.
+    Estimate {
+        /// FMG accuracy index `j` for the estimation phase.
+        estimate_accuracy: u8,
+        /// What runs after the estimate.
+        follow: FollowUp,
+    },
+}
+
+impl FmgChoice {
+    /// Short display form.
+    pub fn describe(&self) -> String {
+        match self {
+            FmgChoice::Direct => "Direct".into(),
+            FmgChoice::Estimate {
+                estimate_accuracy,
+                follow,
+            } => format!("ESTIMATE_{estimate_accuracy} then {}", follow.describe()),
+        }
+    }
+}
+
+/// A tuned `FULL-MULTIGRID_i` family layered over a tuned V family.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TunedFmgFamily {
+    /// The underlying tuned `MULTIGRID-V` family (used by follow-up
+    /// recursion).
+    pub v: TunedFamily,
+    /// `plans[k][i]` = FMG choice for level `k`, accuracy `i`.
+    pub plans: Vec<Vec<FmgChoice>>,
+}
+
+impl TunedFmgFamily {
+    /// Execute `FULL-MULTIGRID_{acc_idx}` at `level` on `(x, b)`.
+    ///
+    /// # Panics
+    /// Panics on level/size mismatch.
+    pub fn run(&self, level: usize, acc_idx: usize, x: &mut Grid2d, b: &Grid2d, ctx: &mut ExecCtx) {
+        assert_eq!(x.n(), level_size(level), "grid does not match level");
+        ctx.tracer.record(CycleEvent::EnterFmg { level, acc_idx });
+        if level <= 1 {
+            ctx.direct(level, x, b);
+            return;
+        }
+        match self.plans[level][acc_idx] {
+            FmgChoice::Direct => ctx.direct(level, x, b),
+            FmgChoice::Estimate {
+                estimate_accuracy,
+                follow,
+            } => {
+                // ESTIMATE_j: compute residual, restrict, recurse FMG on
+                // the coarse problem, interpolate the correction back.
+                let n = level_size(level);
+                let mut r = Grid2d::zeros(n);
+                ctx.residual_into(level, x, b, &mut r);
+                let nc = coarse_size(n);
+                let mut bc = Grid2d::zeros(nc);
+                ctx.restrict(level, &r, &mut bc);
+                let mut ec = Grid2d::zeros(nc);
+                self.run(level - 1, estimate_accuracy as usize, &mut ec, &bc, ctx);
+                ctx.interpolate(level, &ec, x);
+                // Follow-up phase at this level.
+                match follow {
+                    FollowUp::Sor { iterations } => ctx.sor_solve(level, x, b, iterations),
+                    FollowUp::Recurse {
+                        sub_accuracy,
+                        iterations,
+                    } => {
+                        for _ in 0..iterations {
+                            self.v
+                                .recurse_step(level, sub_accuracy as usize, x, b, ctx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solve like [`TunedFamily::solve_with`], using FMG plans.
+    pub fn solve_with(
+        &self,
+        inst: &mut ProblemInstance,
+        target: f64,
+        exec: &Exec,
+        cache: &Arc<DirectSolverCache>,
+    ) -> SolveReport {
+        let acc_idx = self.v.acc_index_for(target);
+        inst.ensure_x_opt(exec, cache);
+        let _ = cache.get(3);
+        let mut ctx = ExecCtx::with_cache(exec.clone(), Arc::clone(cache));
+        let mut x = inst.working_grid();
+        let start = std::time::Instant::now();
+        self.run(inst.level, acc_idx, &mut x, &inst.b, &mut ctx);
+        let seconds = start.elapsed().as_secs_f64();
+        let x_opt = inst.x_opt().expect("ensured above");
+        SolveReport {
+            achieved_accuracy: error_ratio(&inst.x0, &x, x_opt, exec),
+            target_accuracy: target,
+            acc_idx,
+            seconds,
+            ops: ctx.ops,
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plan serialization cannot fail")
+    }
+
+    /// Parse from JSON (validates the embedded V family).
+    pub fn from_json(json: &str) -> Result<TunedFmgFamily, String> {
+        let fam: TunedFmgFamily = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        fam.v.validate()?;
+        Ok(fam)
+    }
+}
+
+/// Hand-build the family corresponding to `MULTIGRID-V-SIMPLE`: at every
+/// level and accuracy, one `RECURSE` into the same accuracy one level
+/// down (single iteration), direct at level 1. Useful as a baseline and
+/// in tests.
+pub fn simple_v_family(max_level: usize, accuracies: &[f64]) -> TunedFamily {
+    let m = accuracies.len();
+    let mut plans = vec![Vec::new(); max_level + 1];
+    if max_level >= 1 {
+        plans[1] = vec![Choice::Direct; m];
+    }
+    for k in 2..=max_level {
+        plans[k] = (0..m)
+            .map(|i| Choice::Recurse {
+                sub_accuracy: i as u8,
+                iterations: 1,
+            })
+            .collect();
+    }
+    TunedFamily {
+        accuracies: accuracies.to_vec(),
+        max_level,
+        plans,
+        provenance: "hand-built MULTIGRID-V-SIMPLE".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::Distribution;
+
+    #[test]
+    fn simple_family_validates() {
+        let fam = simple_v_family(6, &PAPER_ACCURACIES);
+        fam.validate().unwrap();
+        assert_eq!(fam.plan(1, 0), Choice::Direct);
+        assert_eq!(
+            fam.plan(4, 2),
+            Choice::Recurse {
+                sub_accuracy: 2,
+                iterations: 1
+            }
+        );
+    }
+
+    #[test]
+    fn acc_index_selection() {
+        let fam = simple_v_family(3, &PAPER_ACCURACIES);
+        assert_eq!(fam.acc_index_for(5.0), 0);
+        assert_eq!(fam.acc_index_for(10.0), 0);
+        assert_eq!(fam.acc_index_for(11.0), 1);
+        assert_eq!(fam.acc_index_for(1e5), 2);
+        assert_eq!(fam.acc_index_for(1e20), 4, "falls back to the last");
+    }
+
+    #[test]
+    fn validation_catches_bad_plans() {
+        let mut fam = simple_v_family(3, &PAPER_ACCURACIES);
+        fam.plans[1][0] = Choice::Sor { iterations: 3 };
+        assert!(fam.validate().is_err());
+
+        let mut fam = simple_v_family(3, &PAPER_ACCURACIES);
+        fam.plans[2][1] = Choice::Recurse {
+            sub_accuracy: 99,
+            iterations: 1,
+        };
+        assert!(fam.validate().is_err());
+
+        let mut fam = simple_v_family(3, &PAPER_ACCURACIES);
+        fam.plans[3][0] = Choice::Sor { iterations: 0 };
+        assert!(fam.validate().is_err());
+    }
+
+    #[test]
+    fn executor_matches_reference_vsimple() {
+        // The hand-built family with iterations=1 must behave exactly
+        // like the reference V cycle (same ops, same result).
+        let mut inst = ProblemInstance::random(5, Distribution::UnbiasedUniform, 3);
+        let fam = simple_v_family(5, &[1e5]);
+        let exec = Exec::seq();
+        let cache = Arc::new(DirectSolverCache::new());
+
+        let mut x_plan = inst.working_grid();
+        let mut ctx = ExecCtx::with_cache(exec.clone(), Arc::clone(&cache));
+        fam.run(5, 0, &mut x_plan, &inst.b, &mut ctx);
+
+        let reference = petamg_solvers::ReferenceSolver::with_cache(
+            petamg_solvers::MgConfig::default(),
+            Arc::clone(&cache),
+        );
+        let mut x_ref = inst.working_grid();
+        reference.vcycle(&mut x_ref, &inst.b);
+
+        assert_eq!(x_plan.as_slice(), x_ref.as_slice());
+        // Op counts: 2 relaxations per level 2..=5, 1 direct at level 1.
+        assert_eq!(ctx.ops.total_relax_sweeps(), 8);
+        assert_eq!(ctx.ops.total_direct_solves(), 1);
+        let _ = inst.ensure_x_opt(&exec, &cache);
+    }
+
+    #[test]
+    fn solve_meets_targets_with_enough_iterations() {
+        // A generously-iterated hand plan must hit 1e5.
+        let mut fam = simple_v_family(4, &[1e5]);
+        fam.plans[4][0] = Choice::Recurse {
+            sub_accuracy: 0,
+            iterations: 8,
+        };
+        fam.plans[3][0] = Choice::Recurse {
+            sub_accuracy: 0,
+            iterations: 2,
+        };
+        let mut inst = ProblemInstance::random(4, Distribution::UnbiasedUniform, 17);
+        let report = fam.solve(&mut inst, 1e5);
+        assert!(
+            report.achieved_accuracy >= 1e5,
+            "achieved {}",
+            report.achieved_accuracy
+        );
+        assert_eq!(report.acc_idx, 0);
+    }
+
+    #[test]
+    fn direct_choice_gives_capped_accuracy() {
+        let mut fam = simple_v_family(3, &[1e9]);
+        fam.plans[3][0] = Choice::Direct;
+        let mut inst = ProblemInstance::random(3, Distribution::BiasedUniform, 5);
+        let report = fam.solve(&mut inst, 1e9);
+        assert_eq!(report.achieved_accuracy, ACC_CAP);
+        assert_eq!(report.ops.total_direct_solves(), 1);
+        assert_eq!(report.ops.total_relax_sweeps(), 0);
+    }
+
+    #[test]
+    fn sor_choice_counts_sweeps() {
+        let mut fam = simple_v_family(3, &[1e1]);
+        fam.plans[3][0] = Choice::Sor { iterations: 7 };
+        let mut inst = ProblemInstance::random(3, Distribution::UnbiasedUniform, 5);
+        let report = fam.solve(&mut inst, 1e1);
+        assert_eq!(report.ops.per_level[3].relax_sweeps, 7);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_plans() {
+        let fam = simple_v_family(5, &PAPER_ACCURACIES);
+        let json = fam.to_json();
+        let fam2 = TunedFamily::from_json(&json).unwrap();
+        assert_eq!(fam.plans, fam2.plans);
+        assert_eq!(fam.accuracies, fam2.accuracies);
+    }
+
+    #[test]
+    fn from_json_rejects_corrupt_plans() {
+        let mut fam = simple_v_family(3, &PAPER_ACCURACIES);
+        fam.plans[1][0] = Choice::Sor { iterations: 1 };
+        let json = fam.to_json();
+        assert!(TunedFamily::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn tracer_records_cycle_structure() {
+        let fam = simple_v_family(3, &[1e5]);
+        let mut inst = ProblemInstance::random(3, Distribution::UnbiasedUniform, 9);
+        let mut ctx = ExecCtx::new(Exec::seq()).tracing();
+        let mut x = inst.working_grid();
+        fam.run(3, 0, &mut x, &inst.b, &mut ctx);
+        let t = &ctx.tracer;
+        // V shape on 3 levels: relax@3, restrict 3, [relax@2, restrict 2,
+        // direct@1, interp 2, relax@2], interp 3, relax@3.
+        assert_eq!(t.count(|e| matches!(e, CycleEvent::Relax { .. })), 4);
+        assert_eq!(t.count(|e| matches!(e, CycleEvent::Direct { .. })), 1);
+        assert_eq!(t.count(|e| matches!(e, CycleEvent::Restrict { .. })), 2);
+        assert_eq!(t.count(|e| matches!(e, CycleEvent::Interpolate { .. })), 2);
+        assert_eq!(t.min_level(), 1);
+        assert_eq!(t.max_level(), 3);
+        let _ = inst.ensure_x_opt(&ctx.exec, &ctx.cache);
+    }
+
+    #[test]
+    fn fmg_family_runs_and_solves() {
+        // Hand-built FMG: estimate with the same accuracy, then one
+        // recurse cycle at each level.
+        let v = simple_v_family(4, &[1e3]);
+        let mut plans = vec![Vec::new(); 5];
+        for k in 1..=4 {
+            plans[k] = vec![FmgChoice::Estimate {
+                estimate_accuracy: 0,
+                follow: FollowUp::Recurse {
+                    sub_accuracy: 0,
+                    iterations: 2,
+                },
+            }];
+        }
+        let fam = TunedFmgFamily { v, plans };
+        let mut inst = ProblemInstance::random(4, Distribution::UnbiasedUniform, 23);
+        let exec = Exec::seq();
+        let cache = Arc::new(DirectSolverCache::new());
+        let report = fam.solve_with(&mut inst, 1e3, &exec, &cache);
+        assert!(
+            report.achieved_accuracy >= 1e3,
+            "achieved {}",
+            report.achieved_accuracy
+        );
+        // Estimation phase recorded restricts at every level >= 2.
+        assert!(report.ops.per_level[4].restricts >= 1);
+        assert!(report.ops.per_level[3].restricts >= 1);
+    }
+
+    #[test]
+    fn fmg_json_roundtrip() {
+        let v = simple_v_family(3, &[1e3, 1e5]);
+        let plans = vec![
+            Vec::new(),
+            vec![FmgChoice::Direct; 2],
+            vec![
+                FmgChoice::Estimate {
+                    estimate_accuracy: 0,
+                    follow: FollowUp::Sor { iterations: 3 },
+                };
+                2
+            ],
+            vec![
+                FmgChoice::Estimate {
+                    estimate_accuracy: 1,
+                    follow: FollowUp::Recurse {
+                        sub_accuracy: 0,
+                        iterations: 2,
+                    },
+                };
+                2
+            ],
+        ];
+        let fam = TunedFmgFamily {
+            v,
+            plans: plans.clone(),
+        };
+        let fam2 = TunedFmgFamily::from_json(&fam.to_json()).unwrap();
+        assert_eq!(fam2.plans, plans);
+    }
+
+    #[test]
+    fn describe_strings() {
+        assert_eq!(Choice::Direct.describe(), "Direct");
+        assert_eq!(Choice::Sor { iterations: 12 }.describe(), "SOR×12");
+        assert_eq!(
+            Choice::Recurse {
+                sub_accuracy: 2,
+                iterations: 3
+            }
+            .describe(),
+            "RECURSE_2×3"
+        );
+        assert_eq!(
+            FmgChoice::Estimate {
+                estimate_accuracy: 1,
+                follow: FollowUp::Sor { iterations: 4 }
+            }
+            .describe(),
+            "ESTIMATE_1 then SOR×4"
+        );
+    }
+}

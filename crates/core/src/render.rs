@@ -1,0 +1,217 @@
+//! ASCII renderings of tuned cycles and call stacks.
+//!
+//! Reproduces the paper's visual artifacts:
+//!
+//! * Fig 5 / Fig 14 — cycle diagrams: "The path of the algorithm
+//!   progresses from left to right through time. As the path moves down,
+//!   it represents a restriction to a coarser resolution, while paths up
+//!   represent interpolations. Dots represent red-black SOR relaxations,
+//!   solid horizontal arrows represent calls to the direct solver, and
+//!   dashed horizontal arrows represent calls to the iterative solver."
+//! * Fig 4 — call-stack listings of which `MULTIGRID-V_i` family member
+//!   is invoked at each recursion level.
+
+use crate::plan::{Choice, FmgChoice, FollowUp, TunedFamily, TunedFmgFamily};
+use crate::trace::CycleEvent;
+use petamg_grid::level_size;
+
+/// Render a recorded event trace as an ASCII cycle diagram.
+///
+/// Legend: `●` relaxation, `\` restriction, `/` interpolation,
+/// `D` direct solve, `S` iterative (SOR) solve. One column per drawn
+/// event; rows are levels, finest on top.
+pub fn render_cycle(events: &[CycleEvent]) -> String {
+    let mut max_level = 0usize;
+    let mut min_level = usize::MAX;
+    let mut drawn: Vec<(usize, char)> = Vec::new(); // (level row, symbol)
+    for e in events {
+        match e {
+            CycleEvent::Relax { level } => drawn.push((*level, '●')),
+            CycleEvent::Direct { level } => drawn.push((*level, 'D')),
+            CycleEvent::SorSolve { level, .. } => drawn.push((*level, 'S')),
+            CycleEvent::Restrict { from } => drawn.push((from - 1, '\\')),
+            CycleEvent::Interpolate { to } => drawn.push((*to, '/')),
+            CycleEvent::Residual { .. }
+            | CycleEvent::EnterV { .. }
+            | CycleEvent::EnterFmg { .. } => continue,
+        }
+        let lvl = drawn.last().expect("just pushed").0;
+        max_level = max_level.max(lvl);
+        min_level = min_level.min(lvl);
+    }
+    if drawn.is_empty() {
+        return String::from("(empty trace)\n");
+    }
+    let rows = max_level - min_level + 1;
+    let cols = drawn.len();
+    let mut canvas = vec![vec![' '; cols]; rows];
+    for (col, (lvl, sym)) in drawn.iter().enumerate() {
+        let row = max_level - lvl;
+        canvas[row][col] = *sym;
+    }
+    let mut out = String::new();
+    for (row, line) in canvas.iter().enumerate() {
+        let level = max_level - row;
+        let n = level_size(level);
+        out.push_str(&format!("level {level:>2} (N={n:>5}) |"));
+        out.push_str(&line.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("legend: ● relax   \\ restrict   / interpolate   D direct   S SOR solve\n");
+    out
+}
+
+/// Fig 4-style call-stack listing for `MULTIGRID-V_{acc_idx}` at
+/// `level`: a static walk of the plan tree (the plan *is* the call
+/// structure).
+pub fn call_stack(family: &TunedFamily, level: usize, acc_idx: usize) -> String {
+    let mut out = String::new();
+    walk_v(family, level, acc_idx, 0, &mut out);
+    out
+}
+
+fn walk_v(family: &TunedFamily, level: usize, acc_idx: usize, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let n = level_size(level);
+    let choice = family.plan(level, acc_idx);
+    out.push_str(&format!(
+        "{indent}MULTIGRID-V_{acc} @ level {level} (N={n}): {desc}\n",
+        acc = acc_idx + 1,
+        desc = choice.describe()
+    ));
+    if let Choice::Recurse { sub_accuracy, .. } = choice {
+        if level > 1 {
+            walk_v(family, level - 1, sub_accuracy as usize, depth + 1, out);
+        }
+    }
+}
+
+/// Fig 4-style call-stack listing for a tuned `FULL-MULTIGRID_{acc_idx}`.
+pub fn fmg_call_stack(family: &TunedFmgFamily, level: usize, acc_idx: usize) -> String {
+    let mut out = String::new();
+    walk_fmg(family, level, acc_idx, 0, &mut out);
+    out
+}
+
+fn walk_fmg(family: &TunedFmgFamily, level: usize, acc_idx: usize, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let n = level_size(level);
+    if level <= 1 {
+        out.push_str(&format!(
+            "{indent}FULL-MULTIGRID_{acc} @ level {level} (N={n}): Direct\n",
+            acc = acc_idx + 1
+        ));
+        return;
+    }
+    let choice = family.plans[level][acc_idx];
+    out.push_str(&format!(
+        "{indent}FULL-MULTIGRID_{acc} @ level {level} (N={n}): {desc}\n",
+        acc = acc_idx + 1,
+        desc = choice.describe()
+    ));
+    if let FmgChoice::Estimate {
+        estimate_accuracy,
+        follow,
+    } = choice
+    {
+        walk_fmg(family, level - 1, estimate_accuracy as usize, depth + 1, out);
+        if let FollowUp::Recurse { sub_accuracy, .. } = follow {
+            if level > 1 {
+                walk_v(&family.v, level - 1, sub_accuracy as usize, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// One-line summary of a trace: counts per event class (handy in
+/// EXPERIMENTS.md tables).
+pub fn summarize_trace(events: &[CycleEvent]) -> String {
+    let mut relax = 0usize;
+    let mut restrict = 0usize;
+    let mut interp = 0usize;
+    let mut direct = 0usize;
+    let mut sor = 0usize;
+    for e in events {
+        match e {
+            CycleEvent::Relax { .. } => relax += 1,
+            CycleEvent::Restrict { .. } => restrict += 1,
+            CycleEvent::Interpolate { .. } => interp += 1,
+            CycleEvent::Direct { .. } => direct += 1,
+            CycleEvent::SorSolve { .. } => sor += 1,
+            _ => {}
+        }
+    }
+    format!(
+        "relax={relax} restrict={restrict} interp={interp} direct={direct} sor_solves={sor}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{simple_v_family, ExecCtx, PAPER_ACCURACIES};
+    use crate::training::{Distribution, ProblemInstance};
+    use petamg_grid::Exec;
+
+    fn trace_of(level: usize) -> Vec<CycleEvent> {
+        let fam = simple_v_family(level, &[1e5]);
+        let inst = ProblemInstance::random(level, Distribution::UnbiasedUniform, 7);
+        let mut ctx = ExecCtx::new(Exec::seq()).tracing();
+        let mut x = inst.working_grid();
+        fam.run(level, 0, &mut x, &inst.b, &mut ctx);
+        ctx.tracer.events
+    }
+
+    #[test]
+    fn render_v_cycle_shape() {
+        let art = render_cycle(&trace_of(3));
+        // 3 level rows + legend.
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains("level  3 (N=    9)"));
+        assert!(art.contains('●'));
+        assert!(art.contains('D'));
+        assert!(art.contains('\\'));
+        assert!(art.contains('/'));
+        // Finest level listed first.
+        let first = art.lines().next().unwrap();
+        assert!(first.starts_with("level  3"));
+    }
+
+    #[test]
+    fn render_empty_trace() {
+        assert_eq!(render_cycle(&[]), "(empty trace)\n");
+    }
+
+    #[test]
+    fn v_cycle_columns_are_chronological() {
+        // The first drawn symbol of a V cycle is the pre-relaxation at
+        // the top level; the last is the post-relaxation at the top.
+        let art = render_cycle(&trace_of(4));
+        let top_row = art.lines().next().unwrap();
+        let body = top_row.split('|').nth(1).unwrap();
+        assert!(body.trim_start().starts_with('●'));
+        assert!(body.trim_end().ends_with('●'));
+    }
+
+    #[test]
+    fn call_stack_descends_accuracies() {
+        let mut fam = simple_v_family(4, &PAPER_ACCURACIES);
+        fam.plans[4][3] = crate::plan::Choice::Recurse {
+            sub_accuracy: 1,
+            iterations: 2,
+        };
+        let s = call_stack(&fam, 4, 3);
+        assert!(s.contains("MULTIGRID-V_4 @ level 4"), "{s}");
+        assert!(s.contains("MULTIGRID-V_2 @ level 3"), "{s}");
+        assert!(s.contains("Direct"), "{s}");
+        // Indentation deepens.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("  "));
+    }
+
+    #[test]
+    fn summarize_counts() {
+        let s = summarize_trace(&trace_of(3));
+        assert_eq!(s, "relax=4 restrict=2 interp=2 direct=1 sor_solves=0");
+    }
+}

@@ -1,0 +1,173 @@
+//! Cycle-shape event traces.
+//!
+//! Executing a tuned plan optionally records the sequence of multigrid
+//! operations. The renderer (`crate::render`) turns these traces into
+//! the paper's cycle diagrams (Figs 4, 5, 14): dots for relaxations,
+//! descending/ascending path segments for restrictions/interpolations,
+//! solid arrows for direct solves and dashed arrows for iterative
+//! (SOR) solves.
+
+use serde::{Deserialize, Serialize};
+
+/// One multigrid operation, as recorded during plan execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CycleEvent {
+    /// A relaxation sweep at `level`.
+    Relax {
+        /// Grid level of the sweep.
+        level: usize,
+    },
+    /// A residual computation at `level` (not drawn, but counted).
+    Residual {
+        /// Grid level.
+        level: usize,
+    },
+    /// Restriction from `from` to `from - 1`.
+    Restrict {
+        /// Source (finer) level.
+        from: usize,
+    },
+    /// Interpolation from `to - 1` up to `to`.
+    Interpolate {
+        /// Destination (finer) level.
+        to: usize,
+    },
+    /// A direct band-Cholesky solve at `level`.
+    Direct {
+        /// Grid level.
+        level: usize,
+    },
+    /// An iterative SOR solve at `level` for `iterations` sweeps.
+    SorSolve {
+        /// Grid level.
+        level: usize,
+        /// Sweeps executed.
+        iterations: u32,
+    },
+    /// Entry into `MULTIGRID-V_{acc}` at `level` (Fig 4 call stacks).
+    EnterV {
+        /// Grid level.
+        level: usize,
+        /// Accuracy index `i` of the invoked family member.
+        acc_idx: usize,
+    },
+    /// Entry into `FULL-MULTIGRID_{acc}` at `level`.
+    EnterFmg {
+        /// Grid level.
+        level: usize,
+        /// Accuracy index.
+        acc_idx: usize,
+    },
+}
+
+/// An event recorder that can be disabled (zero-cost in tuning loops).
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    /// Recorded events in execution order.
+    pub events: Vec<CycleEvent>,
+}
+
+impl Tracer {
+    /// A recording tracer.
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// A no-op tracer.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Record an event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, e: CycleEvent) {
+        if self.enabled {
+            self.events.push(e);
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Deepest level mentioned by any event (0 if empty).
+    pub fn max_level(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                CycleEvent::Relax { level }
+                | CycleEvent::Residual { level }
+                | CycleEvent::Direct { level }
+                | CycleEvent::SorSolve { level, .. }
+                | CycleEvent::EnterV { level, .. }
+                | CycleEvent::EnterFmg { level, .. } => *level,
+                CycleEvent::Restrict { from } => *from,
+                CycleEvent::Interpolate { to } => *to,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Shallowest (coarsest) level reached (`usize::MAX` if empty).
+    pub fn min_level(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| match e {
+                CycleEvent::Relax { level }
+                | CycleEvent::Residual { level }
+                | CycleEvent::Direct { level }
+                | CycleEvent::SorSolve { level, .. }
+                | CycleEvent::EnterV { level, .. }
+                | CycleEvent::EnterFmg { level, .. } => *level,
+                CycleEvent::Restrict { from } => from - 1,
+                CycleEvent::Interpolate { to } => to - 1,
+            })
+            .min()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, f: impl Fn(&CycleEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| f(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(CycleEvent::Relax { level: 3 });
+        assert!(t.events.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_tracer_preserves_order() {
+        let mut t = Tracer::enabled();
+        t.record(CycleEvent::Relax { level: 4 });
+        t.record(CycleEvent::Restrict { from: 4 });
+        t.record(CycleEvent::Direct { level: 3 });
+        t.record(CycleEvent::Interpolate { to: 4 });
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.events[0], CycleEvent::Relax { level: 4 });
+        assert_eq!(t.max_level(), 4);
+        assert_eq!(t.min_level(), 3);
+        assert_eq!(t.count(|e| matches!(e, CycleEvent::Direct { .. })), 1);
+    }
+
+    #[test]
+    fn level_bounds_from_transfers() {
+        let mut t = Tracer::enabled();
+        t.record(CycleEvent::Restrict { from: 5 });
+        assert_eq!(t.min_level(), 4);
+        assert_eq!(t.max_level(), 5);
+    }
+}

@@ -1,0 +1,451 @@
+//! The full-multigrid extension of the DP tuner (§2.4).
+//!
+//! `FULL-MULTIGRID_i` chooses between a direct solve and an
+//! `ESTIMATE_j` phase (a recursive tuned-FMG call on the restricted
+//! problem) followed by either iterated SOR or iterated `RECURSE_m`
+//! cycles until `p_i` — with `j` and `m` tuned *independently*:
+//!
+//! > "In cases where the user does not require much accuracy in the
+//! > final output, it may make sense to invest more heavily in the
+//! > estimation phase, while in cases where very high precision is
+//! > needed, a high precision estimate may not be as helpful."
+
+use super::{Measured, TunerOptions, VTuner};
+use crate::accuracy::{ratio_of_errors, ACC_CAP};
+use crate::cost::CostModel;
+use crate::plan::{ExecCtx, FmgChoice, FollowUp, TunedFamily, TunedFmgFamily};
+use crate::training::ProblemInstance;
+use petamg_grid::{l2_diff, level_size, Grid2d};
+use petamg_solvers::relax::{omega_opt, sor_sweep};
+use std::time::Instant;
+
+/// The `FULL-MULTIGRID_i` dynamic-programming tuner. Wraps a [`VTuner`]
+/// (for shared options, caches, and measurement machinery) and layers
+/// FMG plans over an already-tuned V family.
+pub struct FmgTuner {
+    v_tuner: VTuner,
+}
+
+impl FmgTuner {
+    /// Build from tuner options (same fields as the V tuner).
+    pub fn new(opts: TunerOptions) -> Self {
+        FmgTuner {
+            v_tuner: VTuner::new(opts),
+        }
+    }
+
+    /// Access the wrapped V tuner.
+    pub fn v_tuner(&self) -> &VTuner {
+        &self.v_tuner
+    }
+
+    /// Tune a complete FMG family: first the V family (used by follow-up
+    /// phases), then the FMG plans bottom-up.
+    pub fn tune(&self) -> TunedFmgFamily {
+        let v = self.v_tuner.tune();
+        self.tune_over(v)
+    }
+
+    /// Tune FMG plans over an existing V family (must share accuracies
+    /// and cover `max_level`).
+    ///
+    /// # Panics
+    /// Panics if the V family's accuracies differ from the options'.
+    pub fn tune_over(&self, v: TunedFamily) -> TunedFmgFamily {
+        let opts = self.v_tuner.options();
+        assert_eq!(
+            v.accuracies, opts.accuracies,
+            "V family accuracies must match tuner options"
+        );
+        assert!(
+            v.max_level >= opts.max_level,
+            "V family must cover the tuned levels"
+        );
+        let m = opts.accuracies.len();
+        let mut plans: Vec<Vec<FmgChoice>> = vec![Vec::new(); opts.max_level + 1];
+        plans[1] = vec![FmgChoice::Direct; m];
+
+        for k in 2..=opts.max_level {
+            let mut instances = self.v_tuner.training_instances(k);
+            for inst in &mut instances {
+                inst.ensure_x_opt(&opts.exec, self.v_tuner.cache());
+            }
+            for i in 0..m {
+                let target = opts.accuracies[i];
+                let choice = self.tune_fmg_slot(&v, &plans, k, target, &instances);
+                plans[k].push(choice);
+            }
+        }
+        TunedFmgFamily { v, plans }
+    }
+
+    fn partial(&self, v: &TunedFamily, plans: &[Vec<FmgChoice>], below: usize) -> TunedFmgFamily {
+        TunedFmgFamily {
+            v: v.clone(),
+            plans: plans[..below].to_vec(),
+        }
+    }
+
+    fn tune_fmg_slot(
+        &self,
+        v: &TunedFamily,
+        plans: &[Vec<FmgChoice>],
+        level: usize,
+        target: f64,
+        instances: &[ProblemInstance],
+    ) -> FmgChoice {
+        let opts = self.v_tuner.options();
+        let m = opts.accuracies.len();
+        let mut best: Option<(f64, FmgChoice)> = None;
+
+        // 1. Direct.
+        if let Some(meas) = self.v_tuner.measure_direct(level, instances) {
+            if meas.feasible {
+                best = Some((meas.cost, FmgChoice::Direct));
+            }
+        }
+
+        // 2. ESTIMATE_j followed by SOR or RECURSE_m.
+        let partial = self.partial(v, plans, level);
+        for j in 0..m {
+            // Run the estimate once per instance, snapshotting states.
+            let (est_cost, est_states) = self.run_estimates(&partial, level, j, instances);
+
+            // Follow-up: SOR.
+            let budget = best.as_ref().map(|(c, _)| (*c - est_cost).max(0.0));
+            if let Some(meas) =
+                self.measure_follow_sor(level, target, instances, &est_states, budget)
+            {
+                if meas.feasible {
+                    let total = est_cost + meas.cost;
+                    let choice = FmgChoice::Estimate {
+                        estimate_accuracy: j as u8,
+                        follow: FollowUp::Sor {
+                            iterations: meas.iterations,
+                        },
+                    };
+                    if best.as_ref().is_none_or(|(c, _)| total < *c) {
+                        best = Some((total, choice));
+                    }
+                }
+            }
+
+            // Follow-up: RECURSE_m cycles.
+            for sub in 0..m {
+                let budget = best.as_ref().map(|(c, _)| (*c - est_cost).max(0.0));
+                if let Some(meas) = self.measure_follow_recurse(
+                    v, level, sub, target, instances, &est_states, budget,
+                ) {
+                    if meas.feasible {
+                        let total = est_cost + meas.cost;
+                        let choice = FmgChoice::Estimate {
+                            estimate_accuracy: j as u8,
+                            follow: FollowUp::Recurse {
+                                sub_accuracy: sub as u8,
+                                iterations: meas.iterations,
+                            },
+                        };
+                        if best.as_ref().is_none_or(|(c, _)| total < *c) {
+                            best = Some((total, choice));
+                        }
+                    }
+                }
+            }
+        }
+
+        best.map(|(_, c)| c).unwrap_or_else(|| {
+            panic!("no feasible FULL-MULTIGRID candidate at level {level} for target {target:e}")
+        })
+    }
+
+    /// Execute `ESTIMATE_j` on each instance; returns (cost of one
+    /// estimate, post-estimate states).
+    fn run_estimates(
+        &self,
+        partial: &TunedFmgFamily,
+        level: usize,
+        j: usize,
+        instances: &[ProblemInstance],
+    ) -> (f64, Vec<Grid2d>) {
+        let opts = self.v_tuner.options();
+        let mut states = Vec::with_capacity(instances.len());
+        let mut cost = 0.0;
+        for (idx, inst) in instances.iter().enumerate() {
+            let mut ctx = self.v_tuner.fresh_ctx();
+            let mut x = inst.working_grid();
+            let start = Instant::now();
+            estimate_step(partial, level, j, &mut x, &inst.b, &mut ctx);
+            let elapsed = start.elapsed().as_secs_f64();
+            if idx == 0 {
+                cost = match &opts.cost_model {
+                    CostModel::Modeled(p) => p.time(&ctx.ops),
+                    CostModel::Measured { .. } => elapsed,
+                };
+            }
+            states.push(x);
+        }
+        (cost, states)
+    }
+
+    /// Iterate SOR(ω_opt) from the estimate states until `target`.
+    fn measure_follow_sor(
+        &self,
+        level: usize,
+        target: f64,
+        instances: &[ProblemInstance],
+        est_states: &[Grid2d],
+        budget: Option<f64>,
+    ) -> Option<Measured> {
+        let opts = self.v_tuner.options();
+        let n = level_size(level);
+        let omega = omega_opt(n);
+        let cap = opts.sor_cap_mult.saturating_mul(n as u32).saturating_add(200);
+        let sweep_cost = opts.cost_model.profile().map(|p| {
+            let mut ops = crate::cost::OpCounts::new(level);
+            ops.level_mut(level).relax_sweeps = 1;
+            p.time(&ops)
+        });
+        let wall = Instant::now();
+        let mut iterations = 0u32;
+        let mut worst = f64::INFINITY;
+        for (inst, est) in instances.iter().zip(est_states) {
+            let x_opt = inst.x_opt().expect("x_opt ensured");
+            let e0 = l2_diff(&inst.x0, x_opt, &opts.exec);
+            let mut x = est.clone();
+            let mut it = 0u32;
+            let mut ratio = ratio_of_errors(e0, l2_diff(&x, x_opt, &opts.exec));
+            while ratio < target && it < cap {
+                sor_sweep(&mut x, &inst.b, omega, &opts.exec);
+                it += 1;
+                ratio = ratio_of_errors(e0, l2_diff(&x, x_opt, &opts.exec));
+                if let (Some(b), Some(sc)) = (budget, sweep_cost) {
+                    if it as f64 * sc > b.max(1e-12) * 1.5 {
+                        return None;
+                    }
+                }
+                if opts.cost_model.needs_timing()
+                    && budget.is_some()
+                    && wall.elapsed().as_secs_f64() > (3.0 * budget.unwrap()).max(0.25)
+                {
+                    return None;
+                }
+            }
+            if ratio < target {
+                return None;
+            }
+            iterations = iterations.max(it);
+            worst = worst.min(ratio.min(ACC_CAP));
+        }
+        let cost = match &opts.cost_model {
+            CostModel::Modeled(_) => sweep_cost.expect("modeled") * iterations as f64,
+            CostModel::Measured { .. } => {
+                let mut x = est_states[0].clone();
+                let start = Instant::now();
+                for _ in 0..iterations {
+                    sor_sweep(&mut x, &instances[0].b, omega, &opts.exec);
+                }
+                start.elapsed().as_secs_f64()
+            }
+        };
+        Some(Measured {
+            feasible: true,
+            accuracy: worst,
+            iterations,
+            cost,
+        })
+    }
+
+    /// Iterate `RECURSE_sub` cycles from the estimate states until
+    /// `target`.
+    #[allow(clippy::too_many_arguments)]
+    fn measure_follow_recurse(
+        &self,
+        v: &TunedFamily,
+        level: usize,
+        sub: usize,
+        target: f64,
+        instances: &[ProblemInstance],
+        est_states: &[Grid2d],
+        budget: Option<f64>,
+    ) -> Option<Measured> {
+        let opts = self.v_tuner.options();
+        let cap = opts.recurse_cap;
+        let wall = Instant::now();
+        let mut iterations = 0u32;
+        let mut worst = f64::INFINITY;
+        let mut per_iter: Option<f64> = None;
+        for (inst, est) in instances.iter().zip(est_states) {
+            let x_opt = inst.x_opt().expect("x_opt ensured");
+            let e0 = l2_diff(&inst.x0, x_opt, &opts.exec);
+            let mut x = est.clone();
+            let mut ctx = self.v_tuner.fresh_ctx();
+            let mut it = 0u32;
+            let mut ratio = ratio_of_errors(e0, l2_diff(&x, x_opt, &opts.exec));
+            while ratio < target && it < cap {
+                v.recurse_step(level, sub, &mut x, &inst.b, &mut ctx);
+                it += 1;
+                if it == 1 && per_iter.is_none() {
+                    per_iter = opts.cost_model.profile().map(|p| p.time(&ctx.ops));
+                }
+                ratio = ratio_of_errors(e0, l2_diff(&x, x_opt, &opts.exec));
+                if let (Some(b), Some(c)) = (budget, per_iter) {
+                    if it as f64 * c > b.max(1e-12) * 1.5 {
+                        return None;
+                    }
+                }
+                if opts.cost_model.needs_timing()
+                    && budget.is_some()
+                    && wall.elapsed().as_secs_f64() > (3.0 * budget.unwrap()).max(0.25)
+                {
+                    return None;
+                }
+            }
+            if ratio < target {
+                return None;
+            }
+            iterations = iterations.max(it);
+            worst = worst.min(ratio.min(ACC_CAP));
+        }
+        let cost = match &opts.cost_model {
+            CostModel::Modeled(p) => {
+                if iterations == 0 {
+                    0.0
+                } else {
+                    let mut ctx = self.v_tuner.fresh_ctx();
+                    let mut x = est_states[0].clone();
+                    v.recurse_step(level, sub, &mut x, &instances[0].b, &mut ctx);
+                    p.time(&ctx.ops) * iterations as f64
+                }
+            }
+            CostModel::Measured { .. } => {
+                let mut ctx = self.v_tuner.fresh_ctx();
+                let mut x = est_states[0].clone();
+                let start = Instant::now();
+                for _ in 0..iterations {
+                    v.recurse_step(level, sub, &mut x, &instances[0].b, &mut ctx);
+                }
+                start.elapsed().as_secs_f64()
+            }
+        };
+        Some(Measured {
+            feasible: true,
+            accuracy: worst,
+            iterations,
+            cost,
+        })
+    }
+}
+
+/// One `ESTIMATE_j` application (paper §2.4): residual, restrict,
+/// recursive tuned-FMG call on the coarse problem, interpolate the
+/// correction back up. Public for the figure binaries.
+pub fn estimate_step(
+    partial: &TunedFmgFamily,
+    level: usize,
+    j: usize,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    ctx: &mut ExecCtx,
+) {
+    use petamg_grid::{coarse_size, restrict_full_weighting};
+    if level <= 1 {
+        return;
+    }
+    let n = level_size(level);
+    let mut r = Grid2d::zeros(n);
+    petamg_grid::residual(x, b, &mut r, &ctx.exec);
+    ctx.ops.level_mut(level).residuals += 1;
+    let nc = coarse_size(n);
+    let mut bc = Grid2d::zeros(nc);
+    restrict_full_weighting(&r, &mut bc, &ctx.exec);
+    ctx.ops.level_mut(level).restricts += 1;
+    let mut ec = Grid2d::zeros(nc);
+    partial.run(level - 1, j, &mut ec, &bc, ctx);
+    petamg_grid::interpolate_add(&ec, x, &ctx.exec);
+    ctx.ops.level_mut(level).interps += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::Distribution;
+    use petamg_grid::Exec;
+
+    fn quick(max_level: usize) -> FmgTuner {
+        FmgTuner::new(TunerOptions::quick(max_level, Distribution::UnbiasedUniform))
+    }
+
+    #[test]
+    fn fmg_family_tunes_and_solves() {
+        let tuner = quick(5);
+        let fam = tuner.tune();
+        fam.v.validate().unwrap();
+        assert_eq!(fam.plans.len(), 6);
+        let exec = Exec::seq();
+        let cache = std::sync::Arc::new(petamg_solvers::DirectSolverCache::new());
+        for (i, &target) in fam.v.accuracies.clone().iter().enumerate() {
+            let mut inst =
+                ProblemInstance::random(5, Distribution::UnbiasedUniform, 555_000 + i as u64);
+            let report = fam.solve_with(&mut inst, target, &exec, &cache);
+            assert!(
+                report.achieved_accuracy >= target * 0.5,
+                "target {target:e}: achieved {:e}",
+                report.achieved_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn fmg_no_more_expensive_than_v_modeled() {
+        // The FMG search space strictly contains "estimate then recurse
+        // like V", so the modeled cost of the tuned FMG solve should not
+        // exceed the tuned V solve by more than measurement slack.
+        let tuner = quick(5);
+        let fam = tuner.tune();
+        let opts = tuner.v_tuner().options();
+        let profile = opts.cost_model.profile().unwrap().clone();
+        let exec = Exec::seq();
+        let cache = std::sync::Arc::new(petamg_solvers::DirectSolverCache::new());
+        let inst = ProblemInstance::random(5, Distribution::UnbiasedUniform, 42_424);
+
+        let (v_cost, _) = super::super::priced_run(&profile, &exec, &cache, |ctx| {
+            let mut x = inst.working_grid();
+            fam.v.run(5, 2, &mut x, &inst.b, ctx);
+        });
+        let (f_cost, _) = super::super::priced_run(&profile, &exec, &cache, |ctx| {
+            let mut x = inst.working_grid();
+            fam.run(5, 2, &mut x, &inst.b, ctx);
+        });
+        assert!(
+            f_cost <= v_cost * 1.35,
+            "tuned FMG ({f_cost}) should be competitive with tuned V ({v_cost})"
+        );
+    }
+
+    #[test]
+    fn fmg_deterministic() {
+        let a = quick(4).tune();
+        let b = quick(4).tune();
+        assert_eq!(a.plans, b.plans);
+        assert_eq!(a.v.plans, b.v.plans);
+    }
+
+    #[test]
+    fn estimate_step_reduces_error() {
+        let tuner = quick(4);
+        let fam = tuner.tune();
+        let mut inst = ProblemInstance::random(4, Distribution::UnbiasedUniform, 99);
+        let exec = Exec::seq();
+        let cache = std::sync::Arc::new(petamg_solvers::DirectSolverCache::new());
+        let x_opt = inst.ensure_x_opt(&exec, &cache).clone();
+        let mut ctx = ExecCtx::with_cache(exec.clone(), cache);
+        let mut x = inst.working_grid();
+        let e0 = l2_diff(&x, &x_opt, &exec);
+        estimate_step(&fam, 4, 2, &mut x, &inst.b, &mut ctx);
+        let e1 = l2_diff(&x, &x_opt, &exec);
+        // The coarse-grid estimate can only remove the *smooth* error
+        // component; on rough random data that is roughly half the
+        // energy, so expect a solid but not dramatic reduction.
+        assert!(e1 < 0.8 * e0, "estimate should reduce error: {e0} -> {e1}");
+    }
+}

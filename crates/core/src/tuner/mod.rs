@@ -1,0 +1,779 @@
+//! The accuracy-aware dynamic-programming autotuner (§2.2–2.3).
+//!
+//! For each level `k` (grid `N = 2^k + 1`), **after** all accuracies of
+//! level `k−1` are tuned, and for each target accuracy `p_i`, the tuner
+//! measures three candidate classes on training instances:
+//!
+//! * **Direct** — exact, cost known (or measured);
+//! * **SOR(ω_opt) × t** — `t` determined by iterating until the
+//!   error-ratio metric reaches `p_i`;
+//! * **RECURSE_j × t** for every `j` — each cycle recursing into the
+//!   already-tuned `MULTIGRID-V_j` of level `k−1`; `t` again measured.
+//!
+//! The fastest feasible candidate is stored in the DP table
+//! (`plans[k][i]`). Candidates are evaluated cheap-first with an
+//! early-abandon budget so that hopeless SOR runs at large sizes cannot
+//! dominate tuning time (the paper instead capped its search space; the
+//! effect is the same).
+
+mod fmg;
+mod pareto;
+
+pub use fmg::FmgTuner;
+pub use pareto::{pareto_front, CandidatePoint, ParetoTuner};
+
+use crate::accuracy::{ratio_of_errors, ACC_CAP};
+use crate::cost::{CostModel, MachineProfile, OpCounts};
+use crate::plan::{Choice, ExecCtx, TunedFamily, PAPER_ACCURACIES};
+use crate::training::{training_set, Distribution, ProblemInstance};
+use petamg_grid::{l2_diff, level_size, Exec};
+use petamg_solvers::relax::{omega_opt, sor_sweep};
+use petamg_solvers::DirectSolverCache;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Options controlling a tuning run.
+#[derive(Clone, Debug)]
+pub struct TunerOptions {
+    /// Ascending accuracy targets `p_i` (paper: `10, 10³, 10⁵, 10⁷, 10⁹`).
+    pub accuracies: Vec<f64>,
+    /// Largest level to tune (grid `2^max_level + 1`).
+    pub max_level: usize,
+    /// Training data distribution.
+    pub distribution: Distribution,
+    /// Training instances per level.
+    pub instances: usize,
+    /// RNG seed for training data.
+    pub seed: u64,
+    /// Cost source (measured wall-clock or modeled machine).
+    pub cost_model: CostModel,
+    /// Execution policy for training runs.
+    pub exec: Exec,
+    /// The Direct candidate is only *executed* for grids up to this size
+    /// (factor memory grows as N³; modeled costs need no execution).
+    pub direct_max_n: usize,
+    /// SOR iteration cap multiplier: cap = `sor_cap_mult`·N + 200.
+    pub sor_cap_mult: u32,
+    /// RECURSE iteration cap.
+    pub recurse_cap: u32,
+}
+
+impl TunerOptions {
+    /// Deterministic quick-tuning preset: modeled Intel-Harpertown cost,
+    /// two training instances — ideal for tests and examples.
+    pub fn quick(max_level: usize, distribution: Distribution) -> Self {
+        TunerOptions {
+            accuracies: PAPER_ACCURACIES.to_vec(),
+            max_level,
+            distribution,
+            instances: 2,
+            seed: 0x5EED,
+            cost_model: CostModel::Modeled(MachineProfile::intel_harpertown()),
+            exec: Exec::Seq,
+            direct_max_n: 257,
+            sor_cap_mult: 60,
+            recurse_cap: 120,
+        }
+    }
+
+    /// Preset with a specific modeled machine.
+    pub fn modeled(max_level: usize, distribution: Distribution, profile: MachineProfile) -> Self {
+        TunerOptions {
+            cost_model: CostModel::Modeled(profile),
+            ..Self::quick(max_level, distribution)
+        }
+    }
+
+    /// Wall-clock tuning on the host machine.
+    pub fn measured(max_level: usize, distribution: Distribution, exec: Exec) -> Self {
+        TunerOptions {
+            cost_model: CostModel::Measured { trials: 2 },
+            exec,
+            ..Self::quick(max_level, distribution)
+        }
+    }
+
+    fn sor_cap(&self, n: usize) -> u32 {
+        self.sor_cap_mult.saturating_mul(n as u32).saturating_add(200)
+    }
+}
+
+/// One evaluated candidate (diagnostics; the Fig 2(a) scatter data).
+#[derive(Clone, Debug)]
+pub struct CandidateEval {
+    /// Level at which the candidate was evaluated.
+    pub level: usize,
+    /// Accuracy index it was evaluated for.
+    pub acc_idx: usize,
+    /// The candidate.
+    pub choice: Choice,
+    /// Measured accuracy level (error ratio, capped).
+    pub accuracy: f64,
+    /// Cost in (modeled or measured) seconds.
+    pub cost: f64,
+    /// Whether this candidate won its `(level, acc)` slot.
+    pub selected: bool,
+    /// Whether the candidate reached the accuracy target at all.
+    pub feasible: bool,
+}
+
+/// A tuning run's full diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct TuneDiagnostics {
+    /// Every candidate evaluated, in evaluation order.
+    pub evaluations: Vec<CandidateEval>,
+}
+
+impl TuneDiagnostics {
+    /// Candidates evaluated for one `(level, acc)` slot.
+    pub fn for_slot(&self, level: usize, acc_idx: usize) -> Vec<&CandidateEval> {
+        self.evaluations
+            .iter()
+            .filter(|e| e.level == level && e.acc_idx == acc_idx)
+            .collect()
+    }
+}
+
+/// Outcome of one candidate measurement.
+pub(crate) struct Measured {
+    pub(crate) feasible: bool,
+    pub(crate) accuracy: f64,
+    pub(crate) iterations: u32,
+    pub(crate) cost: f64,
+}
+
+/// The `MULTIGRID-V_i` dynamic-programming tuner.
+pub struct VTuner {
+    opts: TunerOptions,
+    cache: Arc<DirectSolverCache>,
+}
+
+impl VTuner {
+    /// Build a tuner.
+    ///
+    /// # Panics
+    /// Panics on empty/unsorted accuracies, `max_level == 0`, or zero
+    /// training instances.
+    pub fn new(opts: TunerOptions) -> Self {
+        assert!(!opts.accuracies.is_empty(), "need at least one accuracy");
+        assert!(
+            opts.accuracies.windows(2).all(|w| w[0] < w[1]),
+            "accuracies must be ascending"
+        );
+        assert!(opts.max_level >= 1, "need at least level 1");
+        assert!(opts.instances >= 1, "need at least one training instance");
+        VTuner {
+            opts,
+            cache: Arc::new(DirectSolverCache::new()),
+        }
+    }
+
+    /// The shared factor cache (useful for benches re-using factors).
+    pub fn cache(&self) -> &Arc<DirectSolverCache> {
+        &self.cache
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &TunerOptions {
+        &self.opts
+    }
+
+    /// Run the DP and return the tuned family.
+    pub fn tune(&self) -> TunedFamily {
+        self.tune_with_diagnostics().0
+    }
+
+    /// Run the DP, also returning every candidate evaluation.
+    pub fn tune_with_diagnostics(&self) -> (TunedFamily, TuneDiagnostics) {
+        let m = self.opts.accuracies.len();
+        let mut diags = TuneDiagnostics::default();
+        let mut plans: Vec<Vec<Choice>> = vec![Vec::new(); self.opts.max_level + 1];
+        plans[1] = vec![Choice::Direct; m];
+
+        for k in 2..=self.opts.max_level {
+            let mut instances = self.training_instances(k);
+            for inst in &mut instances {
+                inst.ensure_x_opt(&self.opts.exec, &self.cache);
+            }
+            for i in 0..m {
+                let target = self.opts.accuracies[i];
+                let partial = self.family_view(&plans, k);
+                let (choice, evals) = self.tune_slot(&partial, k, i, target, &instances);
+                diags.evaluations.extend(evals);
+                plans[k].push(choice);
+            }
+        }
+
+        let family = TunedFamily {
+            accuracies: self.opts.accuracies.clone(),
+            max_level: self.opts.max_level,
+            plans,
+            provenance: format!(
+                "VTuner(dist={}, cost={}, seed={}, instances={})",
+                self.opts.distribution.name(),
+                match &self.opts.cost_model {
+                    CostModel::Measured { .. } => "measured".to_string(),
+                    CostModel::Modeled(p) => format!("modeled:{}", p.name),
+                },
+                self.opts.seed,
+                self.opts.instances,
+            ),
+        };
+        family
+            .validate()
+            .expect("tuner must produce a structurally valid family");
+        (family, diags)
+    }
+
+    /// Tune one `(level, acc)` slot: evaluate all candidates, pick the
+    /// fastest feasible one.
+    fn tune_slot(
+        &self,
+        partial: &TunedFamily,
+        level: usize,
+        acc_idx: usize,
+        target: f64,
+        instances: &[ProblemInstance],
+    ) -> (Choice, Vec<CandidateEval>) {
+        let m = self.opts.accuracies.len();
+        let mut evals: Vec<CandidateEval> = Vec::new();
+        let mut best: Option<(f64, u32, Choice)> = None; // (cost, iters, choice)
+
+        let consider = |meas: Measured,
+                            choice: Choice,
+                            evals: &mut Vec<CandidateEval>,
+                            best: &mut Option<(f64, u32, Choice)>| {
+            evals.push(CandidateEval {
+                level,
+                acc_idx,
+                choice,
+                accuracy: meas.accuracy,
+                cost: meas.cost,
+                selected: false,
+                feasible: meas.feasible,
+            });
+            if meas.feasible {
+                let better = match best {
+                    None => true,
+                    Some((c, it, _)) => {
+                        meas.cost < *c || (meas.cost == *c && meas.iterations < *it)
+                    }
+                };
+                if better {
+                    *best = Some((meas.cost, meas.iterations, choice));
+                }
+            }
+        };
+
+        // 1. Direct (cheap to price).
+        if let Some(meas) = self.measure_direct(level, instances) {
+            consider(meas, Choice::Direct, &mut evals, &mut best);
+        }
+
+        // 2. RECURSE_j for every sub-accuracy.
+        for j in 0..m {
+            let budget = best.as_ref().map(|(c, _, _)| *c);
+            if let Some(meas) = self.measure_recurse(partial, level, j, target, instances, budget)
+            {
+                let choice = Choice::Recurse {
+                    sub_accuracy: j as u8,
+                    iterations: meas.iterations,
+                };
+                consider(meas, choice, &mut evals, &mut best);
+            }
+        }
+
+        // 3. SOR, with the incumbent cost as an early-abandon budget.
+        let budget = best.as_ref().map(|(c, _, _)| *c);
+        if let Some(meas) = self.measure_sor(level, target, instances, budget) {
+            let choice = Choice::Sor {
+                iterations: meas.iterations,
+            };
+            consider(meas, choice, &mut evals, &mut best);
+        }
+
+        let (_, _, winner) = best.unwrap_or_else(|| {
+            panic!(
+                "no feasible candidate at level {level} for accuracy {target:e} \
+                 (all iteration caps hit — raise recurse_cap/sor_cap_mult)"
+            )
+        });
+        for e in &mut evals {
+            if e.choice == winner {
+                e.selected = true;
+            }
+        }
+        (winner, evals)
+    }
+
+    pub(crate) fn training_instances(&self, level: usize) -> Vec<ProblemInstance> {
+        training_set(
+            level,
+            self.opts.distribution,
+            self.opts.instances,
+            self.opts.seed ^ ((level as u64) << 20),
+        )
+    }
+
+    /// A read-only family over the levels tuned so far (plans at or
+    /// above `below_level` are absent and must not be executed).
+    pub(crate) fn family_view(&self, plans: &[Vec<Choice>], below_level: usize) -> TunedFamily {
+        TunedFamily {
+            accuracies: self.opts.accuracies.clone(),
+            max_level: below_level.saturating_sub(1).max(1),
+            plans: plans[..below_level].to_vec(),
+            provenance: "partial (tuning in progress)".into(),
+        }
+    }
+
+    pub(crate) fn fresh_ctx(&self) -> ExecCtx {
+        ExecCtx::with_cache(self.opts.exec.clone(), Arc::clone(&self.cache))
+    }
+
+    /// Price one set of op counts (modeled mode only).
+    pub(crate) fn modeled_cost(&self, ops: &OpCounts) -> Option<f64> {
+        self.opts.cost_model.profile().map(|p| p.time(ops))
+    }
+
+    // ----- candidate measurements ------------------------------------
+
+    pub(crate) fn measure_direct(&self, level: usize, instances: &[ProblemInstance]) -> Option<Measured> {
+        let n = level_size(level);
+        match &self.opts.cost_model {
+            CostModel::Modeled(p) => {
+                // Accuracy is exact by construction; cost is analytic —
+                // no execution needed even at huge sizes.
+                let mut ops = OpCounts::new(level);
+                ops.level_mut(level).direct_solves = 1;
+                Some(Measured {
+                    feasible: true,
+                    accuracy: ACC_CAP,
+                    iterations: 1,
+                    cost: p.time(&ops),
+                })
+            }
+            CostModel::Measured { trials } => {
+                if n > self.opts.direct_max_n {
+                    return None; // factoring would blow memory/time
+                }
+                let solver = self.cache.get(n); // factor outside timing
+                let inst = &instances[0];
+                let mut best = f64::INFINITY;
+                for _ in 0..(*trials).max(1) {
+                    let mut x = inst.working_grid();
+                    let start = Instant::now();
+                    solver.solve(&mut x, &inst.b);
+                    best = best.min(start.elapsed().as_secs_f64());
+                }
+                Some(Measured {
+                    feasible: true,
+                    accuracy: ACC_CAP,
+                    iterations: 1,
+                    cost: best,
+                })
+            }
+        }
+    }
+
+    /// Iterate SOR(ω_opt) on each instance until the error ratio reaches
+    /// `target`; iterations = max over instances.
+    pub(crate) fn measure_sor(
+        &self,
+        level: usize,
+        target: f64,
+        instances: &[ProblemInstance],
+        budget: Option<f64>,
+    ) -> Option<Measured> {
+        let n = level_size(level);
+        let omega = omega_opt(n);
+        let cap = self.opts.sor_cap(n);
+        // Per-sweep modeled cost for budget math.
+        let sweep_cost = self.modeled_cost(&{
+            let mut ops = OpCounts::new(level);
+            ops.level_mut(level).relax_sweeps = 1;
+            ops
+        });
+        let wall_start = Instant::now();
+
+        let mut iterations: u32 = 0;
+        let mut worst_ratio = f64::INFINITY;
+        for inst in instances {
+            let x_opt = inst.x_opt().expect("training instances carry x_opt");
+            let mut x = inst.working_grid();
+            let e0 = l2_diff(&inst.x0, x_opt, &self.opts.exec);
+            let mut it = 0u32;
+            let mut ratio = 1.0;
+            while it < cap {
+                sor_sweep(&mut x, &inst.b, omega, &self.opts.exec);
+                it += 1;
+                let e = l2_diff(&x, x_opt, &self.opts.exec);
+                ratio = ratio_of_errors(e0, e);
+                if ratio >= target {
+                    break;
+                }
+                if let (Some(b), Some(sc)) = (budget, sweep_cost) {
+                    if it as f64 * sc > b * 1.5 {
+                        return Some(Measured {
+                            feasible: false,
+                            accuracy: ratio,
+                            iterations: it,
+                            cost: f64::INFINITY,
+                        });
+                    }
+                }
+                if let Some(b) = budget {
+                    if self.opts.cost_model.needs_timing()
+                        && wall_start.elapsed().as_secs_f64() > (3.0 * b).max(0.25)
+                    {
+                        return Some(Measured {
+                            feasible: false,
+                            accuracy: ratio,
+                            iterations: it,
+                            cost: f64::INFINITY,
+                        });
+                    }
+                }
+            }
+            if ratio < target {
+                return Some(Measured {
+                    feasible: false,
+                    accuracy: ratio,
+                    iterations: it,
+                    cost: f64::INFINITY,
+                });
+            }
+            iterations = iterations.max(it);
+            worst_ratio = worst_ratio.min(ratio);
+        }
+
+        let cost = match &self.opts.cost_model {
+            CostModel::Modeled(_) => sweep_cost.expect("modeled") * iterations as f64,
+            CostModel::Measured { trials } => {
+                let inst = &instances[0];
+                let mut best = f64::INFINITY;
+                for _ in 0..(*trials).max(1) {
+                    let mut x = inst.working_grid();
+                    let start = Instant::now();
+                    for _ in 0..iterations {
+                        sor_sweep(&mut x, &inst.b, omega, &self.opts.exec);
+                    }
+                    best = best.min(start.elapsed().as_secs_f64());
+                }
+                best
+            }
+        };
+        Some(Measured {
+            feasible: true,
+            accuracy: worst_ratio,
+            iterations,
+            cost,
+        })
+    }
+
+    /// Iterate `RECURSE_j` cycles until the error ratio reaches `target`.
+    pub(crate) fn measure_recurse(
+        &self,
+        partial: &TunedFamily,
+        level: usize,
+        sub_acc: usize,
+        target: f64,
+        instances: &[ProblemInstance],
+        budget: Option<f64>,
+    ) -> Option<Measured> {
+        let cap = self.opts.recurse_cap;
+        let wall_start = Instant::now();
+        let mut iterations: u32 = 0;
+        let mut worst_ratio = f64::INFINITY;
+        let mut per_iter_cost: Option<f64> = None;
+
+        for inst in instances {
+            let x_opt = inst.x_opt().expect("training instances carry x_opt");
+            let mut x = inst.working_grid();
+            let e0 = l2_diff(&inst.x0, x_opt, &self.opts.exec);
+            let mut ctx = self.fresh_ctx();
+            let mut it = 0u32;
+            let mut ratio = 1.0;
+            while it < cap {
+                partial.recurse_step(level, sub_acc, &mut x, &inst.b, &mut ctx);
+                it += 1;
+                if it == 1 && per_iter_cost.is_none() {
+                    per_iter_cost = self.modeled_cost(&ctx.ops);
+                }
+                let e = l2_diff(&x, x_opt, &self.opts.exec);
+                ratio = ratio_of_errors(e0, e);
+                if ratio >= target {
+                    break;
+                }
+                if let (Some(b), Some(c)) = (budget, per_iter_cost) {
+                    if it as f64 * c > b * 1.5 {
+                        return Some(Measured {
+                            feasible: false,
+                            accuracy: ratio,
+                            iterations: it,
+                            cost: f64::INFINITY,
+                        });
+                    }
+                }
+                if let Some(b) = budget {
+                    if self.opts.cost_model.needs_timing()
+                        && wall_start.elapsed().as_secs_f64() > (3.0 * b).max(0.25)
+                    {
+                        return Some(Measured {
+                            feasible: false,
+                            accuracy: ratio,
+                            iterations: it,
+                            cost: f64::INFINITY,
+                        });
+                    }
+                }
+            }
+            if ratio < target {
+                return Some(Measured {
+                    feasible: false,
+                    accuracy: ratio,
+                    iterations: it,
+                    cost: f64::INFINITY,
+                });
+            }
+            iterations = iterations.max(it);
+            worst_ratio = worst_ratio.min(ratio);
+        }
+
+        let cost = match &self.opts.cost_model {
+            CostModel::Modeled(p) => {
+                // Count one representative iteration, scale by count.
+                let mut ctx = self.fresh_ctx();
+                let inst = &instances[0];
+                let mut x = inst.working_grid();
+                partial.recurse_step(level, sub_acc, &mut x, &inst.b, &mut ctx);
+                p.time(&ctx.ops) * iterations as f64
+            }
+            CostModel::Measured { trials } => {
+                let inst = &instances[0];
+                let mut best = f64::INFINITY;
+                for _ in 0..(*trials).max(1) {
+                    let mut ctx = self.fresh_ctx();
+                    let mut x = inst.working_grid();
+                    let start = Instant::now();
+                    for _ in 0..iterations {
+                        partial.recurse_step(level, sub_acc, &mut x, &inst.b, &mut ctx);
+                    }
+                    best = best.min(start.elapsed().as_secs_f64());
+                }
+                best
+            }
+        };
+        Some(Measured {
+            feasible: true,
+            accuracy: worst_ratio,
+            iterations,
+            cost,
+        })
+    }
+
+    /// Price a finished plan on a problem (modeled only): one
+    /// representative solve, op-counted and converted to seconds. Used by
+    /// the architecture-comparison figures and cross-tuning studies.
+    pub fn modeled_solve_cost(
+        &self,
+        family: &TunedFamily,
+        level: usize,
+        acc_idx: usize,
+        inst: &ProblemInstance,
+    ) -> Option<f64> {
+        let profile = self.opts.cost_model.profile()?;
+        let mut ctx = self.fresh_ctx();
+        let mut x = inst.working_grid();
+        family.run(level, acc_idx, &mut x, &inst.b, &mut ctx);
+        Some(profile.time(&ctx.ops))
+    }
+}
+
+/// Price an arbitrary execution's op counts on a machine profile.
+pub fn price_ops(profile: &MachineProfile, ops: &OpCounts) -> f64 {
+    profile.time(ops)
+}
+
+/// Helper for figures: execute `f` with a counting context and price it.
+pub fn priced_run(
+    profile: &MachineProfile,
+    exec: &Exec,
+    cache: &Arc<DirectSolverCache>,
+    f: impl FnOnce(&mut ExecCtx),
+) -> (f64, OpCounts) {
+    let mut ctx = ExecCtx::with_cache(exec.clone(), Arc::clone(cache));
+    f(&mut ctx);
+    (profile.time(&ctx.ops), ctx.ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Choice;
+
+    fn quick_tuner(max_level: usize) -> VTuner {
+        VTuner::new(TunerOptions::quick(max_level, Distribution::UnbiasedUniform))
+    }
+
+    #[test]
+    fn tuned_family_is_valid_and_deep() {
+        let fam = quick_tuner(5).tune();
+        fam.validate().unwrap();
+        assert_eq!(fam.max_level, 5);
+        assert_eq!(fam.num_accuracies(), 5);
+    }
+
+    #[test]
+    fn level1_is_always_direct() {
+        let fam = quick_tuner(3).tune();
+        for i in 0..fam.num_accuracies() {
+            assert_eq!(fam.plan(1, i), Choice::Direct);
+        }
+    }
+
+    #[test]
+    fn tuning_is_deterministic_with_modeled_cost() {
+        let a = quick_tuner(4).tune();
+        let b = quick_tuner(4).tune();
+        assert_eq!(a.plans, b.plans);
+    }
+
+    #[test]
+    fn tuned_plans_meet_their_accuracy_targets_on_fresh_data() {
+        let fam = quick_tuner(5).tune();
+        // Held-out instance (different seed from training).
+        for (i, &target) in fam.accuracies.clone().iter().enumerate() {
+            let mut inst =
+                ProblemInstance::random(5, Distribution::UnbiasedUniform, 987_654 + i as u64);
+            let report = fam.solve(&mut inst, target);
+            // Allow a modest shortfall: training data is representative,
+            // not identical (paper §2.2 makes the same assumption).
+            assert!(
+                report.achieved_accuracy >= target * 0.5,
+                "acc {i} target {target:e}: achieved {:e}",
+                report.achieved_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn direct_wins_small_grids_recursion_wins_large() {
+        let fam = quick_tuner(7).tune();
+        let m = fam.num_accuracies();
+        // Level 2 (5x5): direct is essentially free -> should be chosen
+        // at least for the highest accuracy.
+        assert_eq!(
+            fam.plan(2, m - 1),
+            Choice::Direct,
+            "tiny grid, max accuracy should solve directly"
+        );
+        // Level 7 (129x129): direct O(cells^1.5) is far more expensive
+        // than multigrid; recursion/iteration must win for low accuracy.
+        assert!(
+            matches!(fam.plan(7, 0), Choice::Recurse { .. } | Choice::Sor { .. }),
+            "large grid must not solve directly for p=10, got {:?}",
+            fam.plan(7, 0)
+        );
+    }
+
+    #[test]
+    fn higher_accuracy_never_cheaper() {
+        // Within a level, the modeled cost of the chosen plan must be
+        // non-decreasing in the accuracy target (a cheaper plan
+        // achieving more would have been picked for the lower target).
+        let tuner = quick_tuner(6);
+        let (fam, diags) = tuner.tune_with_diagnostics();
+        for k in 2..=6 {
+            let mut prev_cost = 0.0;
+            for i in 0..fam.num_accuracies() {
+                let slot = diags.for_slot(k, i);
+                let sel: Vec<_> = slot.iter().filter(|e| e.selected).collect();
+                assert!(!sel.is_empty(), "slot ({k},{i}) has a winner");
+                let cost = sel[0].cost;
+                assert!(
+                    cost >= prev_cost * 0.999,
+                    "level {k}: acc {i} cost {cost} < previous {prev_cost}"
+                );
+                prev_cost = cost;
+            }
+        }
+    }
+
+    #[test]
+    fn winner_is_cheapest_feasible_candidate() {
+        let tuner = quick_tuner(5);
+        let (_, diags) = tuner.tune_with_diagnostics();
+        for k in 2..=5 {
+            for i in 0..5 {
+                let slot = diags.for_slot(k, i);
+                let winner = slot.iter().find(|e| e.selected).expect("winner exists");
+                for e in &slot {
+                    if e.feasible && e.cost.is_finite() {
+                        assert!(
+                            winner.cost <= e.cost,
+                            "({k},{i}): winner {} beaten by {} ({})",
+                            winner.cost,
+                            e.cost,
+                            e.choice.describe()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_machine_profiles_can_disagree() {
+        // The Sun Niagara profile makes direct solves ~9x pricier per
+        // unit; the tuned families must differ somewhere (the §4.3
+        // architecture-dependence claim).
+        let intel = VTuner::new(TunerOptions::modeled(
+            6,
+            Distribution::UnbiasedUniform,
+            MachineProfile::intel_harpertown(),
+        ))
+        .tune();
+        let sun = VTuner::new(TunerOptions::modeled(
+            6,
+            Distribution::UnbiasedUniform,
+            MachineProfile::sun_niagara(),
+        ))
+        .tune();
+        assert_ne!(
+            intel.plans, sun.plans,
+            "architecturally distinct machines should tune differently"
+        );
+    }
+
+    #[test]
+    fn measured_mode_runs_and_validates() {
+        // Wall-clock tuning on tiny levels (keeps CI fast).
+        let fam = VTuner::new(TunerOptions::measured(
+            3,
+            Distribution::UnbiasedUniform,
+            Exec::Seq,
+        ))
+        .tune();
+        fam.validate().unwrap();
+        let mut inst = ProblemInstance::random(3, Distribution::UnbiasedUniform, 777);
+        let report = fam.solve(&mut inst, 1e5);
+        assert!(report.achieved_accuracy >= 1e4);
+    }
+
+    #[test]
+    fn biased_distribution_tunes_too() {
+        let fam = VTuner::new(TunerOptions::quick(4, Distribution::BiasedUniform)).tune();
+        fam.validate().unwrap();
+        let mut inst = ProblemInstance::random(4, Distribution::BiasedUniform, 31337);
+        let report = fam.solve(&mut inst, 1e5);
+        assert!(report.achieved_accuracy >= 5e4, "{}", report.achieved_accuracy);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unsorted_accuracies() {
+        let mut opts = TunerOptions::quick(3, Distribution::UnbiasedUniform);
+        opts.accuracies = vec![1e5, 1e3];
+        let _ = VTuner::new(opts);
+    }
+}

@@ -1,0 +1,272 @@
+//! Execution policies for grid sweeps.
+//!
+//! The PetaBricks compiler decides, per rule, whether to run data-parallel
+//! sweeps sequentially or across the runtime's work-stealing pool (with a
+//! tunable block size). [`Exec`] reifies that decision so every kernel in
+//! this workspace can be driven sequentially (deterministic, used in
+//! tests and modeled-cost tuning), on the in-house pool, or on rayon
+//! (ablation baseline).
+
+use petamg_runtime::ThreadPool;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Default number of rows each parallel task processes before splitting
+/// stops. Row sweeps on an `N×N` grid do `O(N)` work per row, so a small
+/// grain already amortizes scheduling overhead.
+pub const DEFAULT_ROW_GRAIN: usize = 8;
+
+/// How a grid sweep is executed.
+#[derive(Clone)]
+pub enum Exec {
+    /// Plain sequential loops. Bit-deterministic.
+    Seq,
+    /// The `petamg-runtime` work-stealing pool (the PetaBricks runtime
+    /// stand-in), splitting row ranges down to `grain` rows.
+    Pbrt { pool: Arc<ThreadPool>, grain: usize },
+    /// rayon, for ablation benchmarks.
+    Rayon { grain: usize },
+}
+
+impl std::fmt::Debug for Exec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exec::Seq => write!(f, "Exec::Seq"),
+            Exec::Pbrt { pool, grain } => write!(
+                f,
+                "Exec::Pbrt(threads={}, grain={})",
+                pool.num_threads(),
+                grain
+            ),
+            Exec::Rayon { grain } => write!(f, "Exec::Rayon(grain={})", grain),
+        }
+    }
+}
+
+impl Exec {
+    /// Sequential execution.
+    pub fn seq() -> Self {
+        Exec::Seq
+    }
+
+    /// A fresh work-stealing pool with `threads` workers and the default
+    /// row grain.
+    pub fn pbrt(threads: usize) -> Self {
+        Exec::Pbrt {
+            pool: Arc::new(ThreadPool::new(threads)),
+            grain: DEFAULT_ROW_GRAIN,
+        }
+    }
+
+    /// Wrap an existing pool.
+    pub fn with_pool(pool: Arc<ThreadPool>, grain: usize) -> Self {
+        Exec::Pbrt {
+            pool,
+            grain: grain.max(1),
+        }
+    }
+
+    /// rayon with the default grain.
+    pub fn rayon() -> Self {
+        Exec::Rayon {
+            grain: DEFAULT_ROW_GRAIN,
+        }
+    }
+
+    /// Number of threads this policy can use.
+    pub fn threads(&self) -> usize {
+        match self {
+            Exec::Seq => 1,
+            Exec::Pbrt { pool, .. } => pool.num_threads(),
+            Exec::Rayon { .. } => rayon::current_num_threads(),
+        }
+    }
+
+    /// Replace the grain size (no-op for `Seq`).
+    pub fn with_grain(self, grain: usize) -> Self {
+        match self {
+            Exec::Seq => Exec::Seq,
+            Exec::Pbrt { pool, .. } => Exec::Pbrt {
+                pool,
+                grain: grain.max(1),
+            },
+            Exec::Rayon { .. } => Exec::Rayon {
+                grain: grain.max(1),
+            },
+        }
+    }
+
+    /// Run `body(i)` for each `i` in `lo..hi` (typically a row index).
+    /// `body` must tolerate any execution order across indices.
+    #[inline]
+    pub fn for_rows<F>(&self, lo: usize, hi: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if hi <= lo {
+            return;
+        }
+        match self {
+            Exec::Seq => {
+                for i in lo..hi {
+                    body(i);
+                }
+            }
+            Exec::Pbrt { pool, grain } => {
+                let len = hi - lo;
+                // Skip pool dispatch entirely for sweeps smaller than one
+                // grain: coarse multigrid levels live here.
+                if len <= *grain {
+                    for i in lo..hi {
+                        body(i);
+                    }
+                } else {
+                    pool.parallel_for(len, *grain, |i| body(lo + i));
+                }
+            }
+            Exec::Rayon { grain } => {
+                (lo..hi)
+                    .into_par_iter()
+                    .with_min_len(*grain)
+                    .for_each(|i| body(i));
+            }
+        }
+    }
+
+    /// Fold `f(i)` over `lo..hi` and combine with `+`. The parallel
+    /// reduction tree is deterministic for a fixed policy and grain.
+    #[inline]
+    pub fn sum_rows<F>(&self, lo: usize, hi: usize, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        if hi <= lo {
+            return 0.0;
+        }
+        match self {
+            Exec::Seq => (lo..hi).map(f).sum(),
+            Exec::Pbrt { pool, grain } => {
+                let len = hi - lo;
+                if len <= *grain {
+                    (lo..hi).map(f).sum()
+                } else {
+                    pool.install(|| {
+                        petamg_runtime::parallel_for_reduce_sum(len, *grain, &|i| f(lo + i))
+                    })
+                }
+            }
+            Exec::Rayon { grain } => (lo..hi)
+                .into_par_iter()
+                .with_min_len(*grain)
+                .map(|i| f(i))
+                .sum(),
+        }
+    }
+
+    /// Fold `f(i)` over `lo..hi` and combine with `max`.
+    #[inline]
+    pub fn max_rows<F>(&self, lo: usize, hi: usize, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        if hi <= lo {
+            return f64::NEG_INFINITY;
+        }
+        match self {
+            Exec::Seq => (lo..hi).map(f).fold(f64::NEG_INFINITY, f64::max),
+            Exec::Pbrt { pool, grain } => {
+                let len = hi - lo;
+                if len <= *grain {
+                    (lo..hi).map(f).fold(f64::NEG_INFINITY, f64::max)
+                } else {
+                    pool.install(|| {
+                        petamg_runtime::parallel_for_reduce_max(len, *grain, &|i| f(lo + i))
+                    })
+                }
+            }
+            Exec::Rayon { grain } => (lo..hi)
+                .into_par_iter()
+                .with_min_len(*grain)
+                .map(|i| f(i))
+                .reduce(|| f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn policies() -> Vec<Exec> {
+        vec![Exec::seq(), Exec::pbrt(2), Exec::rayon()]
+    }
+
+    #[test]
+    fn for_rows_covers_range_once() {
+        for exec in policies() {
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            exec.for_rows(5, 95, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                let expected = usize::from((5..95).contains(&i));
+                assert_eq!(h.load(Ordering::Relaxed), expected, "index {i} ({exec:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        for exec in policies() {
+            exec.for_rows(5, 5, |_| panic!("must not run"));
+            exec.for_rows(7, 3, |_| panic!("must not run"));
+            assert_eq!(exec.sum_rows(5, 5, |_| 1.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn sum_rows_matches_sequential() {
+        let reference: f64 = (0..1000).map(|i| (i as f64).sqrt()).sum();
+        for exec in policies() {
+            let s = exec.sum_rows(0, 1000, |i| (i as f64).sqrt());
+            assert!(
+                (s - reference).abs() < 1e-9 * reference.abs(),
+                "{exec:?}: {s} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_rows_matches_sequential() {
+        let vals: Vec<f64> = (0..500).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let reference = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for exec in policies() {
+            let m = exec.max_rows(0, vals.len(), |i| vals[i]);
+            assert_eq!(m, reference, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn pbrt_sum_is_deterministic() {
+        let exec = Exec::pbrt(3);
+        let run = || exec.sum_rows(0, 4096, |i| 1.0 / (1.0 + i as f64));
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn with_grain_clamps_to_one() {
+        let exec = Exec::pbrt(2).with_grain(0);
+        match exec {
+            Exec::Pbrt { grain, .. } => assert_eq!(grain, 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn threads_reporting() {
+        assert_eq!(Exec::seq().threads(), 1);
+        assert_eq!(Exec::pbrt(3).threads(), 3);
+        assert!(Exec::rayon().threads() >= 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # petamg-grid
+//!
+//! The 2D grid substrate for the PetaBricks multigrid reproduction:
+//! square grids of `N = 2^k + 1` points per side holding `f64` values,
+//! plus every mesh operation the paper's algorithms need (§2 of the
+//! paper):
+//!
+//! * the 5-point discrete Laplacian `A_h u = (4u − u_N − u_S − u_E − u_W)/h²`
+//!   on the unit square with Dirichlet boundary stored in the outer ring,
+//! * residual computation `r = b − A_h x`,
+//! * **full-weighting restriction** (1/16 · [1 2 1; 2 4 2; 1 2 1]) of
+//!   residuals to the next coarser grid,
+//! * **bilinear interpolation** of coarse corrections back to the fine
+//!   grid,
+//! * L2 / max norms used by the accuracy metric.
+//!
+//! All sweeps run through an [`Exec`] policy: sequential, the in-house
+//! work-stealing pool from `petamg-runtime` (the PetaBricks runtime
+//! stand-in), or rayon (kept as an ablation baseline per the HPC guide).
+
+mod exec;
+mod grid;
+mod norms;
+mod ops;
+mod ptr;
+mod transfer;
+
+pub use exec::Exec;
+pub use grid::{coarse_size, fine_size, level_size, size_level, Grid2d};
+pub use norms::{dot_interior, l2_diff, l2_norm_interior, max_diff, max_norm_interior};
+pub use ops::{apply_operator, residual};
+pub use ptr::GridPtr;
+pub use transfer::{interpolate_add, interpolate_into, restrict_full_weighting, restrict_inject};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,173 @@
+//! Norms over grid interiors, used by the accuracy metric
+//! `‖x_in − x_opt‖₂ / ‖x_out − x_opt‖₂` (paper §2.2).
+//!
+//! All norms run over the **interior** only: solutions share Dirichlet
+//! boundary data, so boundary differences are identically zero and
+//! including them would only add noise at the `1e-16` level.
+
+use crate::{Exec, Grid2d, GridPtr};
+
+/// L2 norm of the interior: `sqrt(Σ g(i,j)²)`.
+pub fn l2_norm_interior(g: &Grid2d, exec: &Exec) -> f64 {
+    let n = g.n();
+    let gp = GridPtr::new_read(g);
+    let sum = exec.sum_rows(1, n - 1, |i| {
+        // SAFETY: read-only access.
+        let mut acc = 0.0;
+        unsafe {
+            for j in 1..n - 1 {
+                let v = gp.at(i, j);
+                acc += v * v;
+            }
+        }
+        acc
+    });
+    sum.sqrt()
+}
+
+/// Max (infinity) norm of the interior.
+pub fn max_norm_interior(g: &Grid2d, exec: &Exec) -> f64 {
+    let n = g.n();
+    let gp = GridPtr::new_read(g);
+    exec.max_rows(1, n - 1, |i| {
+        let mut acc: f64 = 0.0;
+        unsafe {
+            for j in 1..n - 1 {
+                acc = acc.max(gp.at(i, j).abs());
+            }
+        }
+        acc
+    })
+}
+
+/// L2 norm of the interior difference `‖a − b‖₂`.
+///
+/// # Panics
+/// Panics if sizes differ.
+pub fn l2_diff(a: &Grid2d, b: &Grid2d, exec: &Exec) -> f64 {
+    assert_eq!(a.n(), b.n(), "size mismatch in l2_diff");
+    let n = a.n();
+    let ap = GridPtr::new_read(a);
+    let bp = GridPtr::new_read(b);
+    let sum = exec.sum_rows(1, n - 1, |i| {
+        let mut acc = 0.0;
+        unsafe {
+            for j in 1..n - 1 {
+                let d = ap.at(i, j) - bp.at(i, j);
+                acc += d * d;
+            }
+        }
+        acc
+    });
+    sum.sqrt()
+}
+
+/// Max norm of the interior difference.
+///
+/// # Panics
+/// Panics if sizes differ.
+pub fn max_diff(a: &Grid2d, b: &Grid2d, exec: &Exec) -> f64 {
+    assert_eq!(a.n(), b.n(), "size mismatch in max_diff");
+    let n = a.n();
+    let ap = GridPtr::new_read(a);
+    let bp = GridPtr::new_read(b);
+    exec.max_rows(1, n - 1, |i| {
+        let mut acc: f64 = 0.0;
+        unsafe {
+            for j in 1..n - 1 {
+                acc = acc.max((ap.at(i, j) - bp.at(i, j)).abs());
+            }
+        }
+        acc
+    })
+}
+
+/// Interior dot product `Σ a(i,j)·b(i,j)` (used by the variational
+/// property tests relating restriction and interpolation).
+///
+/// # Panics
+/// Panics if sizes differ.
+pub fn dot_interior(a: &Grid2d, b: &Grid2d, exec: &Exec) -> f64 {
+    assert_eq!(a.n(), b.n(), "size mismatch in dot_interior");
+    let n = a.n();
+    let ap = GridPtr::new_read(a);
+    let bp = GridPtr::new_read(b);
+    exec.sum_rows(1, n - 1, |i| {
+        let mut acc = 0.0;
+        unsafe {
+            for j in 1..n - 1 {
+                acc += ap.at(i, j) * bp.at(i, j);
+            }
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_of_ones_is_sqrt_count() {
+        let g = Grid2d::from_fn(5, |_, _| 1.0);
+        let norm = l2_norm_interior(&g, &Exec::seq());
+        assert!((norm - 3.0).abs() < 1e-12); // 9 interior points
+    }
+
+    #[test]
+    fn boundary_is_excluded() {
+        let mut g = Grid2d::zeros(5);
+        g.set_boundary(|_, _| 1e9);
+        assert_eq!(l2_norm_interior(&g, &Exec::seq()), 0.0);
+        assert_eq!(max_norm_interior(&g, &Exec::seq()), 0.0);
+    }
+
+    #[test]
+    fn diff_norms_are_symmetric_and_zero_on_equal() {
+        let a = Grid2d::from_fn(9, |i, j| (i * j) as f64);
+        let b = Grid2d::from_fn(9, |i, j| (i + j) as f64);
+        let e = Exec::seq();
+        assert_eq!(l2_diff(&a, &a, &e), 0.0);
+        assert!((l2_diff(&a, &b, &e) - l2_diff(&b, &a, &e)).abs() < 1e-12);
+        assert_eq!(max_diff(&a, &b, &e), max_diff(&b, &a, &e));
+    }
+
+    #[test]
+    fn max_norm_finds_peak() {
+        let mut g = Grid2d::zeros(7);
+        g.set(3, 2, -42.0);
+        g.set(5, 5, 17.0);
+        assert_eq!(max_norm_interior(&g, &Exec::seq()), 42.0);
+    }
+
+    #[test]
+    fn parallel_norms_close_to_sequential() {
+        let g = Grid2d::from_fn(65, |i, j| ((i * 31 + j * 7) % 101) as f64 / 9.0 - 5.0);
+        let reference = l2_norm_interior(&g, &Exec::seq());
+        for exec in [Exec::pbrt(2).with_grain(3), Exec::rayon().with_grain(3)] {
+            let v = l2_norm_interior(&g, &exec);
+            assert!(
+                (v - reference).abs() <= 1e-12 * reference,
+                "{exec:?}: {v} vs {reference}"
+            );
+            assert_eq!(
+                max_norm_interior(&g, &exec),
+                max_norm_interior(&g, &Exec::seq())
+            );
+        }
+    }
+
+    #[test]
+    fn dot_interior_linear() {
+        let a = Grid2d::from_fn(9, |i, j| (i + j) as f64);
+        let b = Grid2d::from_fn(9, |i, j| (i * j) as f64 / 4.0);
+        let e = Exec::seq();
+        let d1 = dot_interior(&a, &b, &e);
+        let mut a2 = a.clone();
+        for (i, j) in a.interior() {
+            a2.set(i, j, 2.0 * a.at(i, j));
+        }
+        let d2 = dot_interior(&a2, &b, &e);
+        assert!((d2 - 2.0 * d1).abs() < 1e-9 * d1.abs().max(1.0));
+    }
+}

@@ -1,0 +1,182 @@
+//! Stencil operators: the 5-point discrete Laplacian and the residual.
+//!
+//! The operator is `A_h u = (4·u_{i,j} − u_{i±1,j} − u_{i,j±1}) / h²` on
+//! the interior; boundary values participate as Dirichlet data through
+//! the neighbor reads. All kernels write disjoint rows per task, so
+//! parallel execution is exact (bitwise equal to sequential).
+
+use crate::{Exec, Grid2d, GridPtr};
+
+/// `out = A_h x` on the interior; `out`'s boundary ring is zeroed.
+///
+/// # Panics
+/// Panics if sizes differ.
+pub fn apply_operator(x: &Grid2d, out: &mut Grid2d, exec: &Exec) {
+    assert_eq!(x.n(), out.n(), "size mismatch in apply_operator");
+    let n = x.n();
+    let inv_h2 = x.inv_h2();
+    let xp = GridPtr::new_read(x);
+    let op = GridPtr::new(out);
+    exec.for_rows(1, n - 1, |i| {
+        // SAFETY: row `i` of `out` is written by exactly one task; `x` is
+        // only read.
+        unsafe {
+            for j in 1..n - 1 {
+                let v = 4.0 * xp.at(i, j)
+                    - xp.at(i - 1, j)
+                    - xp.at(i + 1, j)
+                    - xp.at(i, j - 1)
+                    - xp.at(i, j + 1);
+                op.set(i, j, v * inv_h2);
+            }
+        }
+    });
+    zero_boundary(out);
+}
+
+/// `r = b − A_h x` on the interior; `r`'s boundary ring is zeroed
+/// (the Dirichlet condition is satisfied exactly, so the boundary
+/// residual is zero by construction).
+///
+/// # Panics
+/// Panics if sizes differ.
+pub fn residual(x: &Grid2d, b: &Grid2d, r: &mut Grid2d, exec: &Exec) {
+    assert_eq!(x.n(), b.n(), "size mismatch in residual (x vs b)");
+    assert_eq!(x.n(), r.n(), "size mismatch in residual (x vs r)");
+    let n = x.n();
+    let inv_h2 = x.inv_h2();
+    let xp = GridPtr::new_read(x);
+    let bp = GridPtr::new_read(b);
+    let rp = GridPtr::new(r);
+    exec.for_rows(1, n - 1, |i| {
+        // SAFETY: row `i` of `r` is written by exactly one task; `x`, `b`
+        // are only read.
+        unsafe {
+            for j in 1..n - 1 {
+                let ax = (4.0 * xp.at(i, j)
+                    - xp.at(i - 1, j)
+                    - xp.at(i + 1, j)
+                    - xp.at(i, j - 1)
+                    - xp.at(i, j + 1))
+                    * inv_h2;
+                rp.set(i, j, bp.at(i, j) - ax);
+            }
+        }
+    });
+    zero_boundary(r);
+}
+
+fn zero_boundary(g: &mut Grid2d) {
+    let n = g.n();
+    for j in 0..n {
+        g.set(0, j, 0.0);
+        g.set(n - 1, j, 0.0);
+    }
+    for i in 1..n - 1 {
+        g.set(i, 0, 0.0);
+        g.set(i, n - 1, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// u(x,y) = x² + y² has ∇²u = 4, so A_h u = -∇²u ... with our sign
+    /// convention A_h u = (4u - Σ neighbors)/h² = -(u_xx + u_yy) = -4
+    /// exactly (the 5-point stencil is exact on quadratics).
+    #[test]
+    fn laplacian_exact_on_quadratic() {
+        let n = 17;
+        let h = 1.0 / (n as f64 - 1.0);
+        let u = Grid2d::from_fn(n, |i, j| {
+            let (x, y) = (j as f64 * h, i as f64 * h);
+            x * x + y * y
+        });
+        let mut out = Grid2d::zeros(n);
+        apply_operator(&u, &mut out, &Exec::seq());
+        for (i, j) in u.interior() {
+            assert!(
+                (out.at(i, j) - (-4.0)).abs() < 1e-9,
+                "A_h u at ({i},{j}) = {}",
+                out.at(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn laplacian_of_constant_is_zero_interior_only() {
+        // A constant grid: stencil cancels exactly everywhere inside.
+        let u = Grid2d::from_fn(9, |_, _| 5.0);
+        let mut out = Grid2d::from_fn(9, |_, _| 7.0);
+        apply_operator(&u, &mut out, &Exec::seq());
+        for (i, j) in u.interior() {
+            assert_eq!(out.at(i, j), 0.0);
+        }
+        assert_eq!(out.at(0, 0), 0.0, "boundary must be zeroed");
+    }
+
+    #[test]
+    fn residual_zero_for_exact_solution() {
+        let n = 9;
+        let h = 1.0 / (n as f64 - 1.0);
+        // u = x²+y², f = A_h u = -4 (exact on quadratics).
+        let u = Grid2d::from_fn(n, |i, j| {
+            let (x, y) = (j as f64 * h, i as f64 * h);
+            x * x + y * y
+        });
+        let b = Grid2d::from_fn(n, |_, _| -4.0);
+        let mut r = Grid2d::from_fn(n, |_, _| 1.0);
+        residual(&u, &b, &mut r, &Exec::seq());
+        for (i, j) in u.interior() {
+            assert!(r.at(i, j).abs() < 1e-8, "r({i},{j}) = {}", r.at(i, j));
+        }
+    }
+
+    #[test]
+    fn residual_equals_b_minus_au() {
+        let u = Grid2d::from_fn(9, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let b = Grid2d::from_fn(9, |i, j| ((i * 7 + j * 3) % 11) as f64);
+        let mut au = Grid2d::zeros(9);
+        let mut r = Grid2d::zeros(9);
+        apply_operator(&u, &mut au, &Exec::seq());
+        residual(&u, &b, &mut r, &Exec::seq());
+        for (i, j) in u.interior() {
+            assert!(
+                (r.at(i, j) - (b.at(i, j) - au.at(i, j))).abs() < 1e-9,
+                "identity fails at ({i},{j})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let u = Grid2d::from_fn(65, |i, j| ((i * 131 + j * 37) % 101) as f64 / 7.0);
+        let b = Grid2d::from_fn(65, |i, j| ((i * 13 + j * 89) % 97) as f64 / 3.0);
+
+        let mut r_seq = Grid2d::zeros(65);
+        residual(&u, &b, &mut r_seq, &Exec::seq());
+
+        for exec in [Exec::pbrt(2).with_grain(3), Exec::rayon().with_grain(4)] {
+            let mut r_par = Grid2d::zeros(65);
+            residual(&u, &b, &mut r_par, &exec);
+            assert_eq!(r_seq.as_slice(), r_par.as_slice(), "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn operator_uses_boundary_values() {
+        // Interior all zero, boundary all one: A x at points adjacent to
+        // the boundary feels the boundary value.
+        let n = 5;
+        let mut x = Grid2d::zeros(n);
+        x.set_boundary(|_, _| 1.0);
+        let mut out = Grid2d::zeros(n);
+        apply_operator(&x, &mut out, &Exec::seq());
+        let inv_h2 = x.inv_h2();
+        // Corner-adjacent interior point (1,1): two boundary neighbors.
+        assert!((out.at(1, 1) - (-2.0 * inv_h2)).abs() < 1e-9);
+        // Center (2,2): no boundary neighbors.
+        assert_eq!(out.at(2, 2), 0.0);
+    }
+}

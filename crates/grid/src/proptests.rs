@@ -1,0 +1,208 @@
+//! Property-based tests for the grid substrate invariants that the
+//! multigrid theory relies on.
+
+use crate::*;
+use proptest::prelude::*;
+
+/// Strategy: a grid of side `n` with entries in [-scale, scale] and zero
+/// boundary (residual-like data).
+fn zero_boundary_grid(n: usize, scale: f64) -> impl Strategy<Value = Grid2d> {
+    prop::collection::vec(-scale..scale, (n - 2) * (n - 2)).prop_map(move |vals| {
+        let mut g = Grid2d::zeros(n);
+        let mut it = vals.into_iter();
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                g.set(i, j, it.next().unwrap());
+            }
+        }
+        g
+    })
+}
+
+/// Strategy: an arbitrary full grid (boundary included).
+fn any_grid(n: usize, scale: f64) -> impl Strategy<Value = Grid2d> {
+    prop::collection::vec(-scale..scale, n * n).prop_map(move |vals| Grid2d::from_vec(n, vals))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Restriction is linear: R(αa + βb) = αR(a) + βR(b).
+    #[test]
+    fn restriction_is_linear(
+        a in zero_boundary_grid(17, 100.0),
+        b in zero_boundary_grid(17, 100.0),
+        alpha in -3.0f64..3.0,
+        beta in -3.0f64..3.0,
+    ) {
+        let e = Exec::seq();
+        let mut combo = Grid2d::zeros(17);
+        for i in 0..17 { for j in 0..17 {
+            combo.set(i, j, alpha * a.at(i, j) + beta * b.at(i, j));
+        }}
+        let mut r_combo = Grid2d::zeros(9);
+        restrict_full_weighting(&combo, &mut r_combo, &e);
+
+        let mut ra = Grid2d::zeros(9);
+        let mut rb = Grid2d::zeros(9);
+        restrict_full_weighting(&a, &mut ra, &e);
+        restrict_full_weighting(&b, &mut rb, &e);
+        for (i, j) in r_combo.interior() {
+            let lin = alpha * ra.at(i, j) + beta * rb.at(i, j);
+            prop_assert!((r_combo.at(i, j) - lin).abs() < 1e-9,
+                "nonlinear at ({},{}): {} vs {}", i, j, r_combo.at(i, j), lin);
+        }
+    }
+
+    /// Variational property: full weighting is the scaled transpose of
+    /// bilinear interpolation, <R f, c> = ¼ <f, P c>.
+    #[test]
+    fn restriction_is_quarter_transpose_of_interpolation(
+        f in zero_boundary_grid(17, 100.0),
+        c in zero_boundary_grid(9, 100.0),
+    ) {
+        let e = Exec::seq();
+        let mut rf = Grid2d::zeros(9);
+        restrict_full_weighting(&f, &mut rf, &e);
+        let mut pc = Grid2d::zeros(17);
+        interpolate_into(&c, &mut pc, &e);
+        let lhs = dot_interior(&rf, &c, &e);
+        let rhs = dot_interior(&f, &pc, &e) / 4.0;
+        let scale = lhs.abs().max(rhs.abs()).max(1.0);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * scale, "{} vs {}", lhs, rhs);
+    }
+
+    /// R·P preserves constants in the deep interior (both operators are
+    /// partitions of unity), and its delta response has the known 9/16
+    /// center weight. (R·P is *not* the identity — it is a smoother.)
+    #[test]
+    fn restrict_after_interpolate_preserves_constants(v in -50.0f64..50.0) {
+        let e = Exec::seq();
+        let mut c = Grid2d::zeros(9);
+        for (i, j) in c.clone().interior() { c.set(i, j, v); }
+        let mut fine = Grid2d::zeros(17);
+        interpolate_into(&c, &mut fine, &e);
+        let mut back = Grid2d::zeros(9);
+        restrict_full_weighting(&fine, &mut back, &e);
+        // Deep interior: the 3x3 fine halo of these coarse points is
+        // produced entirely from constant-v coarse points.
+        for i in 2..7 { for j in 2..7 {
+            prop_assert!((back.at(i, j) - v).abs() < 1e-9 * v.abs().max(1.0),
+                "RP(const) != const at ({},{}): {} vs {}", i, j, back.at(i, j), v);
+        }}
+    }
+
+    /// R·P delta response: a unit coarse delta comes back with weight
+    /// 9/16 at its own location and 3/32 at edge neighbors.
+    #[test]
+    fn restrict_after_interpolate_delta_response(v in 0.5f64..50.0) {
+        let e = Exec::seq();
+        let mut c = Grid2d::zeros(9);
+        c.set(4, 4, v);
+        let mut fine = Grid2d::zeros(17);
+        interpolate_into(&c, &mut fine, &e);
+        let mut back = Grid2d::zeros(9);
+        restrict_full_weighting(&fine, &mut back, &e);
+        prop_assert!((back.at(4, 4) - 9.0 / 16.0 * v).abs() < 1e-12 * v);
+        prop_assert!((back.at(4, 3) - 3.0 / 32.0 * v).abs() < 1e-12 * v);
+        prop_assert!((back.at(3, 4) - 3.0 / 32.0 * v).abs() < 1e-12 * v);
+    }
+
+    /// The residual is affine in x: r(x) = b − A x, so
+    /// r(x1) − r(x2) = −A(x1 − x2).
+    #[test]
+    fn residual_affine_in_x(
+        x1 in any_grid(9, 10.0),
+        x2 in any_grid(9, 10.0),
+        b in any_grid(9, 10.0),
+    ) {
+        let e = Exec::seq();
+        let (mut r1, mut r2) = (Grid2d::zeros(9), Grid2d::zeros(9));
+        residual(&x1, &b, &mut r1, &e);
+        residual(&x2, &b, &mut r2, &e);
+        let mut dx = Grid2d::zeros(9);
+        for i in 0..9 { for j in 0..9 {
+            dx.set(i, j, x1.at(i, j) - x2.at(i, j));
+        }}
+        let mut adx = Grid2d::zeros(9);
+        apply_operator(&dx, &mut adx, &e);
+        for (i, j) in r1.interior() {
+            let lhs = r1.at(i, j) - r2.at(i, j);
+            let rhs = -adx.at(i, j);
+            let scale = lhs.abs().max(rhs.abs()).max(1.0);
+            prop_assert!((lhs - rhs).abs() < 1e-8 * scale);
+        }
+    }
+
+    /// The operator is symmetric on zero-boundary data:
+    /// <A u, v> = <u, A v>.
+    #[test]
+    fn operator_symmetric(
+        u in zero_boundary_grid(9, 10.0),
+        v in zero_boundary_grid(9, 10.0),
+    ) {
+        let e = Exec::seq();
+        let (mut au, mut av) = (Grid2d::zeros(9), Grid2d::zeros(9));
+        apply_operator(&u, &mut au, &e);
+        apply_operator(&v, &mut av, &e);
+        let lhs = dot_interior(&au, &v, &e);
+        let rhs = dot_interior(&u, &av, &e);
+        let scale = lhs.abs().max(rhs.abs()).max(1.0);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * scale, "{} vs {}", lhs, rhs);
+    }
+
+    /// The operator is positive definite on zero-boundary data:
+    /// <A u, u> > 0 for u != 0.
+    #[test]
+    fn operator_positive_definite(u in zero_boundary_grid(9, 10.0)) {
+        let e = Exec::seq();
+        prop_assume!(l2_norm_interior(&u, &e) > 1e-6);
+        let mut au = Grid2d::zeros(9);
+        apply_operator(&u, &mut au, &e);
+        prop_assert!(dot_interior(&au, &u, &e) > 0.0);
+    }
+
+    /// Parallel execution of every kernel is bitwise identical to
+    /// sequential execution (disjoint row writes, no reductions).
+    #[test]
+    fn kernels_parallel_bitwise_equal(x in any_grid(17, 100.0), b in any_grid(17, 100.0)) {
+        let seq = Exec::seq();
+        let par = Exec::pbrt(2).with_grain(2);
+
+        let (mut r_seq, mut r_par) = (Grid2d::zeros(17), Grid2d::zeros(17));
+        residual(&x, &b, &mut r_seq, &seq);
+        residual(&x, &b, &mut r_par, &par);
+        prop_assert_eq!(r_seq.as_slice(), r_par.as_slice());
+
+        let (mut c_seq, mut c_par) = (Grid2d::zeros(9), Grid2d::zeros(9));
+        restrict_full_weighting(&r_seq, &mut c_seq, &seq);
+        restrict_full_weighting(&r_par, &mut c_par, &par);
+        prop_assert_eq!(c_seq.as_slice(), c_par.as_slice());
+
+        let (mut f_seq, mut f_par) = (x.clone(), x.clone());
+        interpolate_add(&c_seq, &mut f_seq, &seq);
+        interpolate_add(&c_par, &mut f_par, &par);
+        prop_assert_eq!(f_seq.as_slice(), f_par.as_slice());
+    }
+
+    /// L2 norm obeys the triangle inequality and absolute homogeneity.
+    #[test]
+    fn l2_norm_is_a_norm(
+        a in zero_boundary_grid(9, 100.0),
+        b in zero_boundary_grid(9, 100.0),
+        alpha in -5.0f64..5.0,
+    ) {
+        let e = Exec::seq();
+        let na = l2_norm_interior(&a, &e);
+        let nb = l2_norm_interior(&b, &e);
+        let mut sum = a.clone();
+        sum.axpy(1.0, &b);
+        let ns = l2_norm_interior(&sum, &e);
+        prop_assert!(ns <= na + nb + 1e-9 * (na + nb).max(1.0));
+
+        let mut scaled = Grid2d::zeros(9);
+        for i in 0..9 { for j in 0..9 { scaled.set(i, j, alpha * a.at(i, j)); } }
+        let nsc = l2_norm_interior(&scaled, &e);
+        prop_assert!((nsc - alpha.abs() * na).abs() < 1e-9 * nsc.max(1.0));
+    }
+}

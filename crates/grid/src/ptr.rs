@@ -1,0 +1,113 @@
+//! A shared raw-pointer view of a grid for parallel stencil sweeps.
+//!
+//! Red-black relaxation updates all points of one color in a sweep; a
+//! point of color `c` only *reads* neighbors of the other color, so there
+//! are no read/write or write/write conflicts within a sweep. Rust's
+//! borrow checker cannot see that, so kernels use [`GridPtr`] — an
+//! explicitly unsafe, `Send + Sync` pointer wrapper — with the disjointness
+//! argument documented at each use site.
+
+use crate::Grid2d;
+
+/// An unchecked, shareable pointer into a grid's buffer.
+///
+/// # Safety contract for users
+/// Callers must guarantee that concurrent uses never write the same cell
+/// from two tasks and never read a cell that another task may be writing
+/// in the same parallel region (e.g. by partitioning writes by row and
+/// color).
+#[derive(Clone, Copy)]
+pub struct GridPtr {
+    ptr: *mut f64,
+    n: usize,
+}
+
+// SAFETY: the wrapper itself is just a pointer + size; all aliasing
+// discipline is delegated to the call sites per the contract above.
+unsafe impl Send for GridPtr {}
+unsafe impl Sync for GridPtr {}
+
+impl GridPtr {
+    /// Create a shared mutable view. The borrow is logically released when
+    /// the parallel region completes; callers must not use the `GridPtr`
+    /// beyond the lifetime of `grid`.
+    pub fn new(grid: &mut Grid2d) -> Self {
+        GridPtr {
+            n: grid.n(),
+            ptr: grid.as_mut_slice().as_mut_ptr(),
+        }
+    }
+
+    /// Read-only view of an immutable grid (for stencil *inputs* shared
+    /// across tasks; never write through a pointer created this way).
+    pub fn new_read(grid: &Grid2d) -> Self {
+        GridPtr {
+            n: grid.n(),
+            ptr: grid.as_slice().as_ptr() as *mut f64,
+        }
+    }
+
+    /// Side length.
+    #[inline(always)]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Read `(i, j)`.
+    ///
+    /// # Safety
+    /// `(i, j)` must be in-bounds and not concurrently written.
+    #[inline(always)]
+    pub unsafe fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        unsafe { *self.ptr.add(i * self.n + j) }
+    }
+
+    /// Write `(i, j)`.
+    ///
+    /// # Safety
+    /// `(i, j)` must be in-bounds, created via [`GridPtr::new`], and not
+    /// concurrently accessed by any other task.
+    #[inline(always)]
+    pub unsafe fn set(&self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.n && j < self.n);
+        unsafe { *self.ptr.add(i * self.n + j) = v }
+    }
+
+    /// Raw row pointer (read).
+    ///
+    /// # Safety
+    /// `i` must be a valid row index and the row not concurrently written.
+    #[inline(always)]
+    pub unsafe fn row(&self, i: usize) -> *const f64 {
+        debug_assert!(i < self.n);
+        unsafe { self.ptr.add(i * self.n) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut g = Grid2d::zeros(4);
+        let p = GridPtr::new(&mut g);
+        unsafe {
+            p.set(1, 2, 9.0);
+            assert_eq!(p.at(1, 2), 9.0);
+        }
+        assert_eq!(g.at(1, 2), 9.0);
+    }
+
+    #[test]
+    fn read_view_matches_grid() {
+        let g = Grid2d::from_fn(3, |i, j| (i + 10 * j) as f64);
+        let p = GridPtr::new_read(&g);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(unsafe { p.at(i, j) }, g.at(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Inter-grid transfer operators: full-weighting restriction and bilinear
+//! interpolation (the paper's lines "Compute the residual and restrict to
+//! half resolution" and "Interpolate result and add correction term").
+
+use crate::{coarse_size, Exec, Grid2d, GridPtr};
+
+/// Full-weighting restriction of `fine` into `coarse` (overwrite):
+///
+/// ```text
+///             1  [ 1 2 1 ]
+/// coarse =   --- [ 2 4 2 ]  applied at fine(2I, 2J)
+///            16  [ 1 2 1 ]
+/// ```
+///
+/// The coarse boundary ring is zeroed: restriction is applied to
+/// residuals, which vanish on the Dirichlet boundary.
+///
+/// # Panics
+/// Panics if `coarse.n() != (fine.n()-1)/2 + 1`.
+pub fn restrict_full_weighting(fine: &Grid2d, coarse: &mut Grid2d, exec: &Exec) {
+    let nc = coarse.n();
+    assert_eq!(
+        nc,
+        coarse_size(fine.n()),
+        "coarse grid size mismatch in restriction"
+    );
+    let fp = GridPtr::new_read(fine);
+    let cp = GridPtr::new(coarse);
+    exec.for_rows(1, nc - 1, |ic| {
+        let fi = 2 * ic;
+        // SAFETY: each task writes one distinct coarse row; `fine` is
+        // read-only.
+        unsafe {
+            for jc in 1..nc - 1 {
+                let fj = 2 * jc;
+                let center = fp.at(fi, fj);
+                let edges =
+                    fp.at(fi - 1, fj) + fp.at(fi + 1, fj) + fp.at(fi, fj - 1) + fp.at(fi, fj + 1);
+                let corners = fp.at(fi - 1, fj - 1)
+                    + fp.at(fi - 1, fj + 1)
+                    + fp.at(fi + 1, fj - 1)
+                    + fp.at(fi + 1, fj + 1);
+                cp.set(ic, jc, (4.0 * center + 2.0 * edges + corners) / 16.0);
+            }
+        }
+    });
+    // Zero coarse boundary.
+    for j in 0..nc {
+        coarse.set(0, j, 0.0);
+        coarse.set(nc - 1, j, 0.0);
+    }
+    for i in 1..nc - 1 {
+        coarse.set(i, 0, 0.0);
+        coarse.set(i, nc - 1, 0.0);
+    }
+}
+
+/// Injection restriction: `coarse(I,J) = fine(2I,2J)` including the
+/// boundary ring. Used when a full *problem* (not a residual) moves to a
+/// coarser grid, e.g. seeding reference full-multigrid.
+pub fn restrict_inject(fine: &Grid2d, coarse: &mut Grid2d) {
+    let nc = coarse.n();
+    assert_eq!(
+        nc,
+        coarse_size(fine.n()),
+        "coarse grid size mismatch in injection"
+    );
+    for ic in 0..nc {
+        for jc in 0..nc {
+            coarse.set(ic, jc, fine.at(2 * ic, 2 * jc));
+        }
+    }
+}
+
+/// Bilinear interpolation of `coarse`, **added** into `fine`'s interior:
+/// the multigrid correction step `x += P e`.
+///
+/// Coincident points take the coarse value; edge midpoints average two
+/// neighbors; cell centers average four. Only interior fine points are
+/// updated (corrections vanish on the boundary).
+///
+/// # Panics
+/// Panics if sizes are not a coarse/fine pair.
+pub fn interpolate_add(coarse: &Grid2d, fine: &mut Grid2d, exec: &Exec) {
+    interpolate_impl(coarse, fine, exec, true);
+}
+
+/// Bilinear interpolation of `coarse`, **overwriting** `fine`'s interior.
+/// Used by full multigrid to lift a coarse estimate to the fine grid.
+pub fn interpolate_into(coarse: &Grid2d, fine: &mut Grid2d, exec: &Exec) {
+    interpolate_impl(coarse, fine, exec, false);
+}
+
+fn interpolate_impl(coarse: &Grid2d, fine: &mut Grid2d, exec: &Exec, add: bool) {
+    let nf = fine.n();
+    let nc = coarse.n();
+    assert_eq!(nc, coarse_size(nf), "grid size mismatch in interpolation");
+    let cp = GridPtr::new_read(coarse);
+    let fp = GridPtr::new(fine);
+    exec.for_rows(1, nf - 1, |fi| {
+        let ic = fi / 2;
+        let i_even = fi % 2 == 0;
+        // SAFETY: each task writes one distinct fine row; `coarse` is
+        // read-only.
+        unsafe {
+            for fj in 1..nf - 1 {
+                let jc = fj / 2;
+                let j_even = fj % 2 == 0;
+                let v = match (i_even, j_even) {
+                    (true, true) => cp.at(ic, jc),
+                    (true, false) => 0.5 * (cp.at(ic, jc) + cp.at(ic, jc + 1)),
+                    (false, true) => 0.5 * (cp.at(ic, jc) + cp.at(ic + 1, jc)),
+                    (false, false) => {
+                        0.25 * (cp.at(ic, jc)
+                            + cp.at(ic, jc + 1)
+                            + cp.at(ic + 1, jc)
+                            + cp.at(ic + 1, jc + 1))
+                    }
+                };
+                if add {
+                    fp.set(fi, fj, fp.at(fi, fj) + v);
+                } else {
+                    fp.set(fi, fj, v);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restriction_of_constant_is_constant() {
+        let fine = Grid2d::from_fn(9, |_, _| 3.0);
+        let mut coarse = Grid2d::zeros(5);
+        restrict_full_weighting(&fine, &mut coarse, &Exec::seq());
+        for (i, j) in coarse.interior() {
+            assert!((coarse.at(i, j) - 3.0).abs() < 1e-12);
+        }
+        assert_eq!(coarse.at(0, 0), 0.0, "coarse boundary zeroed");
+    }
+
+    #[test]
+    fn restriction_weights_sum_to_one() {
+        // Delta at a coincident fine point -> coarse gets 4/16 there.
+        let mut fine = Grid2d::zeros(9);
+        fine.set(4, 4, 16.0);
+        let mut coarse = Grid2d::zeros(5);
+        restrict_full_weighting(&fine, &mut coarse, &Exec::seq());
+        assert!((coarse.at(2, 2) - 4.0).abs() < 1e-12);
+        // Delta at an edge-midpoint fine point -> weight 2/16 to the two
+        // adjacent coarse points.
+        let mut fine = Grid2d::zeros(9);
+        fine.set(4, 3, 16.0);
+        let mut coarse = Grid2d::zeros(5);
+        restrict_full_weighting(&fine, &mut coarse, &Exec::seq());
+        assert!((coarse.at(2, 1) - 2.0).abs() < 1e-12);
+        assert!((coarse.at(2, 2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injection_copies_coincident_points() {
+        let fine = Grid2d::from_fn(9, |i, j| (i * 100 + j) as f64);
+        let mut coarse = Grid2d::zeros(5);
+        restrict_inject(&fine, &mut coarse);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(coarse.at(i, j), fine.at(2 * i, 2 * j));
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_reproduces_bilinear_functions() {
+        // Interpolating u(x,y) = 1 + 2x + 3y + xy (bilinear) is exact.
+        let nc = 5;
+        let nf = 9;
+        let hc = 1.0 / (nc as f64 - 1.0);
+        let hf = 1.0 / (nf as f64 - 1.0);
+        let f = |x: f64, y: f64| 1.0 + 2.0 * x + 3.0 * y + x * y;
+        let coarse = Grid2d::from_fn(nc, |i, j| f(j as f64 * hc, i as f64 * hc));
+        let mut fine = Grid2d::zeros(nf);
+        interpolate_into(&coarse, &mut fine, &Exec::seq());
+        for (i, j) in fine.interior() {
+            // Bilinear interpolation between coarse cells is exact for
+            // functions bilinear *within each coarse cell*; x*y is.
+            let expected = f(j as f64 * hf, i as f64 * hf);
+            assert!(
+                (fine.at(i, j) - expected).abs() < 1e-12,
+                "({i},{j}): {} vs {expected}",
+                fine.at(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn interpolate_add_accumulates() {
+        let coarse = Grid2d::from_fn(5, |_, _| 1.0);
+        let mut fine = Grid2d::from_fn(9, |_, _| 10.0);
+        interpolate_add(&coarse, &mut fine, &Exec::seq());
+        for (i, j) in fine.interior() {
+            assert!((fine.at(i, j) - 11.0).abs() < 1e-12);
+        }
+        // Boundary untouched.
+        assert_eq!(fine.at(0, 0), 10.0);
+        assert_eq!(fine.at(8, 3), 10.0);
+    }
+
+    #[test]
+    fn parallel_transfer_matches_sequential_bitwise() {
+        let fine_in = Grid2d::from_fn(33, |i, j| ((i * 31 + j * 17) % 23) as f64 / 3.0);
+        let mut c_seq = Grid2d::zeros(17);
+        restrict_full_weighting(&fine_in, &mut c_seq, &Exec::seq());
+
+        for exec in [Exec::pbrt(2).with_grain(2), Exec::rayon().with_grain(2)] {
+            let mut c_par = Grid2d::zeros(17);
+            restrict_full_weighting(&fine_in, &mut c_par, &exec);
+            assert_eq!(c_seq.as_slice(), c_par.as_slice());
+
+            let mut f_seq = Grid2d::zeros(33);
+            let mut f_par = Grid2d::zeros(33);
+            interpolate_add(&c_seq, &mut f_seq, &Exec::seq());
+            interpolate_add(&c_par, &mut f_par, &exec);
+            assert_eq!(f_seq.as_slice(), f_par.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn restriction_size_mismatch_panics() {
+        let fine = Grid2d::zeros(9);
+        let mut coarse = Grid2d::zeros(7);
+        restrict_full_weighting(&fine, &mut coarse, &Exec::seq());
+    }
+}

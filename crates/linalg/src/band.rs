@@ -1,0 +1,354 @@
+//! Packed symmetric band storage and band Cholesky factorization —
+//! the from-scratch equivalent of LAPACK's `DPBTRF` + `DPBTRS`
+//! (together: `DPBSV`), which the paper uses as its direct solver.
+
+use std::fmt;
+
+/// Errors from direct factorizations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not positive definite (a non-positive pivot was
+    /// encountered at the given index).
+    NotPositiveDefinite(usize),
+    /// Right-hand side length does not match the system size.
+    DimensionMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite(i) => {
+                write!(f, "matrix not positive definite (pivot {i})")
+            }
+            LinalgError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A symmetric positive-definite band matrix in packed lower storage.
+///
+/// For an `n×n` matrix with `m` sub-diagonals, entry `A(i, i-d)` for
+/// `d ∈ 0..=m` is stored at `data[i*(m+1) + d]`; everything below the
+/// band is structurally zero and the upper triangle is implied by
+/// symmetry. Storage is `n·(m+1)` doubles — the same footprint as
+/// LAPACK's `AB` array.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BandMatrix {
+    n: usize,
+    m: usize,
+    data: Vec<f64>,
+}
+
+impl BandMatrix {
+    /// An all-zero band matrix of size `n` with bandwidth `m`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize, m: usize) -> Self {
+        assert!(n > 0, "empty matrix");
+        let m = m.min(n - 1);
+        BandMatrix {
+            n,
+            m,
+            data: vec![0.0; n * (m + 1)],
+        }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bandwidth (number of sub-diagonals).
+    #[inline]
+    pub fn bandwidth(&self) -> usize {
+        self.m
+    }
+
+    /// Read `A(i, j)` (zero outside the band; symmetric).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        let (hi, lo) = if i >= j { (i, j) } else { (j, i) };
+        let d = hi - lo;
+        if d > self.m {
+            0.0
+        } else {
+            self.data[hi * (self.m + 1) + d]
+        }
+    }
+
+    /// Write `A(i, j) = v` (and `A(j, i)` by symmetry).
+    ///
+    /// # Panics
+    /// Panics if `|i-j|` exceeds the bandwidth or indices are out of
+    /// range.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n, "index out of range");
+        let (hi, lo) = if i >= j { (i, j) } else { (j, i) };
+        let d = hi - lo;
+        assert!(d <= self.m, "entry ({i},{j}) outside bandwidth {}", self.m);
+        self.data[hi * (self.m + 1) + d] = v;
+    }
+
+    /// Dense `y = A·x` (test oracle; O(n·m)).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let lo = i.saturating_sub(self.m);
+            // Band row + symmetric column.
+            let mut acc = 0.0;
+            for j in lo..=i {
+                acc += self.get(i, j) * x[j];
+            }
+            for j in i + 1..(i + self.m + 1).min(self.n) {
+                acc += self.get(i, j) * x[j];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Band Cholesky factorization `A = L·Lᵀ` (≡ `DPBTRF`).
+    ///
+    /// O(n·m²) flops, O(n·m) storage. Fails with
+    /// [`LinalgError::NotPositiveDefinite`] on a non-positive pivot.
+    pub fn cholesky(&self) -> Result<BandCholesky, LinalgError> {
+        let n = self.n;
+        let m = self.m;
+        let w = m + 1;
+        let mut l = self.data.clone();
+        for j in 0..n {
+            // Pivot: L(j,j) = sqrt(A(j,j) - sum_k L(j,k)^2).
+            let mut diag = l[j * w];
+            let kmin = j.saturating_sub(m);
+            for k in kmin..j {
+                let v = l[j * w + (j - k)];
+                diag -= v * v;
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(j));
+            }
+            let pivot = diag.sqrt();
+            l[j * w] = pivot;
+            let inv_pivot = 1.0 / pivot;
+            // Column below the pivot: L(i,j) for i in j+1..=j+m.
+            let imax = (j + m).min(n - 1);
+            for i in j + 1..=imax {
+                let mut v = l[i * w + (i - j)];
+                // sum_k L(i,k)*L(j,k) for k in [max(i-m, 0), j)
+                let kmin = i.saturating_sub(m).max(kmin);
+                for k in kmin..j {
+                    v -= l[i * w + (i - k)] * l[j * w + (j - k)];
+                }
+                l[i * w + (i - j)] = v * inv_pivot;
+            }
+        }
+        Ok(BandCholesky { n, m, l })
+    }
+}
+
+/// The lower-triangular band Cholesky factor `L` with `A = L·Lᵀ`
+/// (packed like [`BandMatrix`]). Reusable across many right-hand sides —
+/// the autotuned solver exploits this by caching factors per grid size.
+#[derive(Clone, Debug)]
+pub struct BandCholesky {
+    n: usize,
+    m: usize,
+    l: Vec<f64>,
+}
+
+impl BandCholesky {
+    /// System size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bandwidth of the factor.
+    #[inline]
+    pub fn bandwidth(&self) -> usize {
+        self.m
+    }
+
+    /// Solve `A·x = b` in place (≡ `DPBTRS`): forward substitution
+    /// `L·y = b`, then backward substitution `Lᵀ·x = y`. O(n·m).
+    pub fn solve_in_place(&self, b: &mut [f64]) -> Result<(), LinalgError> {
+        if b.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.n,
+                got: b.len(),
+            });
+        }
+        let (n, m, w) = (self.n, self.m, self.m + 1);
+        // Forward: y_i = (b_i - sum_{k<i} L(i,k) y_k) / L(i,i)
+        for i in 0..n {
+            let kmin = i.saturating_sub(m);
+            let mut v = b[i];
+            for k in kmin..i {
+                v -= self.l[i * w + (i - k)] * b[k];
+            }
+            b[i] = v / self.l[i * w];
+        }
+        // Backward: x_i = (y_i - sum_{k>i} L(k,i) x_k) / L(i,i)
+        for i in (0..n).rev() {
+            let kmax = (i + m).min(n - 1);
+            let mut v = b[i];
+            for k in i + 1..=kmax {
+                v -= self.l[k * w + (k - i)] * b[k];
+            }
+            b[i] = v / self.l[i * w];
+        }
+        Ok(())
+    }
+
+    /// Solve into a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+}
+
+/// Factor-and-solve in one call, mirroring LAPACK `DPBSV`.
+pub fn dpbsv(a: &BandMatrix, b: &mut [f64]) -> Result<(), LinalgError> {
+    a.cholesky()?.solve_in_place(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 1D Poisson matrix: tridiagonal (2, -1).
+    fn poisson_1d(n: usize) -> BandMatrix {
+        let mut a = BandMatrix::zeros(n, 1);
+        for i in 0..n {
+            a.set(i, i, 2.0);
+            if i > 0 {
+                a.set(i, i - 1, -1.0);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn get_set_symmetry_and_band_zero() {
+        let mut a = BandMatrix::zeros(5, 2);
+        a.set(3, 1, 7.0);
+        assert_eq!(a.get(3, 1), 7.0);
+        assert_eq!(a.get(1, 3), 7.0);
+        assert_eq!(a.get(0, 4), 0.0); // outside band
+        assert_eq!(a.bandwidth(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bandwidth")]
+    fn set_outside_band_panics() {
+        let mut a = BandMatrix::zeros(5, 1);
+        a.set(0, 3, 1.0);
+    }
+
+    #[test]
+    fn bandwidth_clamped_to_n_minus_1() {
+        let a = BandMatrix::zeros(3, 100);
+        assert_eq!(a.bandwidth(), 2);
+    }
+
+    #[test]
+    fn cholesky_identity() {
+        let mut a = BandMatrix::zeros(4, 0);
+        for i in 0..4 {
+            a.set(i, i, 1.0);
+        }
+        let ch = a.cholesky().unwrap();
+        let x = ch.solve(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_poisson_1d_known_solution() {
+        // 2x_i - x_{i-1} - x_{i+1} = 0 with "boundary" folded in:
+        // solve A x = e_0; exact solution x_i = (n - i)/(n + 1).
+        let n = 10;
+        let a = poisson_1d(n);
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        dpbsv(&a, &mut b).unwrap();
+        for i in 0..n {
+            let exact = (n - i) as f64 / (n + 1) as f64;
+            assert!((b[i] - exact).abs() < 1e-12, "x[{i}] = {} vs {exact}", b[i]);
+        }
+    }
+
+    #[test]
+    fn residual_small_after_solve() {
+        // Diagonally dominant random-ish SPD band matrix.
+        let n = 40;
+        let m = 5;
+        let mut a = BandMatrix::zeros(n, m);
+        for i in 0..n {
+            a.set(i, i, 10.0 + (i % 3) as f64);
+            for d in 1..=m.min(i) {
+                a.set(i, i - d, -1.0 / (d as f64 + ((i * 7 + d) % 4) as f64));
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
+        let x = a.cholesky().unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x);
+        for i in 0..n {
+            assert!((ax[i] - b[i]).abs() < 1e-9, "residual at {i}");
+        }
+    }
+
+    #[test]
+    fn not_positive_definite_detected() {
+        let mut a = BandMatrix::zeros(3, 1);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, -2.0); // negative diagonal: not PD
+        a.set(2, 2, 1.0);
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite(_))
+        ));
+    }
+
+    #[test]
+    fn indefinite_from_off_diagonal_detected() {
+        // [[1, 2], [2, 1]] has eigenvalues 3, -1.
+        let mut a = BandMatrix::zeros(2, 1);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, 1.0);
+        a.set(1, 0, 2.0);
+        assert!(a.cholesky().is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = poisson_1d(4);
+        let ch = a.cholesky().unwrap();
+        let mut b = vec![0.0; 3];
+        assert!(matches!(
+            ch.solve_in_place(&mut b),
+            Err(LinalgError::DimensionMismatch { expected: 4, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn factor_reuse_multiple_rhs() {
+        let a = poisson_1d(8);
+        let ch = a.cholesky().unwrap();
+        for seed in 0..5u64 {
+            let b: Vec<f64> = (0..8).map(|i| ((i as u64 + seed) % 7) as f64).collect();
+            let x = ch.solve(&b).unwrap();
+            let ax = a.matvec(&x);
+            for i in 0..8 {
+                assert!((ax[i] - b[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

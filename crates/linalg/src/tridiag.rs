@@ -1,0 +1,110 @@
+//! The Thomas algorithm for tridiagonal systems — O(n), used as the 1D
+//! Poisson oracle and in tests of the band machinery.
+
+use crate::LinalgError;
+
+/// Solve a tridiagonal system with sub-diagonal `a` (length n-1),
+/// diagonal `b` (length n) and super-diagonal `c` (length n-1).
+///
+/// Returns the solution vector. No pivoting — intended for diagonally
+/// dominant systems such as discrete Laplacians.
+pub fn tridiagonal_solve(
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+    rhs: &[f64],
+) -> Result<Vec<f64>, LinalgError> {
+    let n = b.len();
+    if a.len() != n.saturating_sub(1) || c.len() != n.saturating_sub(1) || rhs.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            got: rhs.len(),
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut cp = vec![0.0; n];
+    let mut dp = vec![0.0; n];
+    if b[0] == 0.0 {
+        return Err(LinalgError::NotPositiveDefinite(0));
+    }
+    cp[0] = if n > 1 { c[0] / b[0] } else { 0.0 };
+    dp[0] = rhs[0] / b[0];
+    for i in 1..n {
+        let denom = b[i] - a[i - 1] * cp[i - 1];
+        if denom == 0.0 {
+            return Err(LinalgError::NotPositiveDefinite(i));
+        }
+        cp[i] = if i + 1 < n { c[i] / denom } else { 0.0 };
+        dp[i] = (rhs[i] - a[i - 1] * dp[i - 1]) / denom;
+    }
+    let mut x = vec![0.0; n];
+    x[n - 1] = dp[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = dp[i] - cp[i] * x[i + 1];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_1d_poisson() {
+        // -x_{i-1} + 2x_i - x_{i+1} = h^2 * f with f = 2, zero boundary:
+        // exact solution of -u'' = 2 is u = x(1-x).
+        let n = 63;
+        let h = 1.0 / (n as f64 + 1.0);
+        let sub = vec![-1.0; n - 1];
+        let diag = vec![2.0; n];
+        let sup = vec![-1.0; n - 1];
+        let rhs = vec![2.0 * h * h; n];
+        let x = tridiagonal_solve(&sub, &diag, &sup, &rhs).unwrap();
+        for i in 0..n {
+            let xi = (i + 1) as f64 * h;
+            let exact = xi * (1.0 - xi);
+            assert!((x[i] - exact).abs() < 1e-12, "at {i}: {} vs {exact}", x[i]);
+        }
+    }
+
+    #[test]
+    fn matches_band_cholesky() {
+        use crate::BandMatrix;
+        let n = 20;
+        let sub: Vec<f64> = (0..n - 1).map(|i| -0.5 - ((i % 3) as f64) * 0.1).collect();
+        let diag: Vec<f64> = (0..n).map(|i| 3.0 + (i % 5) as f64 * 0.2).collect();
+        let rhs: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+
+        let x1 = tridiagonal_solve(&sub, &diag, &sub, &rhs).unwrap();
+
+        let mut band = BandMatrix::zeros(n, 1);
+        for i in 0..n {
+            band.set(i, i, diag[i]);
+            if i > 0 {
+                band.set(i, i - 1, sub[i - 1]);
+            }
+        }
+        let x2 = band.cholesky().unwrap().solve(&rhs).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_unknown() {
+        let x = tridiagonal_solve(&[], &[4.0], &[], &[8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        assert!(tridiagonal_solve(&[1.0], &[1.0, 1.0], &[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_system() {
+        assert_eq!(tridiagonal_solve(&[], &[], &[], &[]).unwrap(), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,128 @@
+//! Latches: one-shot signalling primitives used to publish job completion.
+//!
+//! The memory-ordering discipline follows the patterns from *Rust Atomics
+//! and Locks*: the setter releases, the prober acquires, so everything the
+//! job wrote (its result slot in particular) is visible to the waiter.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A one-shot completion flag.
+pub(crate) trait Latch {
+    /// Signal completion. Implementations must use release semantics (or
+    /// stronger) so the waiter observes all prior writes.
+    fn set(&self);
+    /// Non-blocking check with acquire semantics.
+    fn probe(&self) -> bool;
+}
+
+/// Latch for waiters that help with other work while polling: a bare
+/// atomic flag, no parking. Used by `join`.
+pub(crate) struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch {
+            set: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Latch for SpinLatch {
+    #[inline]
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+
+    #[inline]
+    fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+/// Latch for external (non-worker) threads that block until completion.
+/// Used by `ThreadPool::install`.
+pub(crate) struct LockLatch {
+    state: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            state: Mutex::new(false),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Block the calling thread until `set` is called.
+    pub(crate) fn wait(&self) {
+        let mut done = self.state.lock();
+        while !*done {
+            self.condvar.wait(&mut done);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.state.lock();
+        *done = true;
+        // Notify while holding the lock: the waiter cannot miss the signal
+        // and the `LockLatch` cannot be freed between store and notify
+        // because the waiter owns it and is blocked inside `wait`.
+        self.condvar.notify_all();
+    }
+
+    fn probe(&self) -> bool {
+        *self.state.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_latch_set_probe() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_cross_thread() {
+        let l = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            l2.set();
+        });
+        l.wait();
+        assert!(l.probe());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn spin_latch_publishes_writes() {
+        // Release/acquire pairing: data written before set() must be
+        // visible after probe() returns true.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let data = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(SpinLatch::new());
+        let (d2, l2) = (Arc::clone(&data), Arc::clone(&latch));
+        let h = std::thread::spawn(move || {
+            d2.store(99, Ordering::Relaxed);
+            l2.set();
+        });
+        while !latch.probe() {
+            std::hint::spin_loop();
+        }
+        assert_eq!(data.load(Ordering::Relaxed), 99);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,429 @@
+//! The thread pool: worker registry, deques, stealing, and lifecycle.
+
+use crate::job::{JobRef, StackJob};
+use crate::latch::LockLatch;
+use crate::sleep::Sleep;
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// Environment variable consulted for the global pool's worker count.
+pub const NUM_THREADS_ENV: &str = "PETAMG_NUM_THREADS";
+
+/// Counters exposed for benchmarking and diagnostics. All counters are
+/// monotonically increasing over the pool's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs executed by workers (both local pops and steals).
+    pub jobs_executed: u64,
+    /// Jobs obtained by stealing from another worker or the injector.
+    pub jobs_stolen: u64,
+}
+
+#[derive(Default)]
+struct Stats {
+    executed: AtomicU64,
+    stolen: AtomicU64,
+}
+
+pub(crate) struct Registry {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    sleep: Sleep,
+    terminate: AtomicBool,
+    num_threads: usize,
+    stats: Stats,
+}
+
+impl Registry {
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.push(job);
+        self.sleep.tickle();
+    }
+
+    fn steal_from_injector(&self) -> Option<JobRef> {
+        loop {
+            match self.injector.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
+    }
+}
+
+thread_local! {
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Per-worker state. Lives on the worker thread's stack for the lifetime
+/// of the pool; other threads only interact with it through its
+/// [`Stealer`] (owned by the registry).
+pub(crate) struct WorkerThread {
+    deque: Worker<JobRef>,
+    index: usize,
+    registry: Arc<Registry>,
+    /// xorshift state used to randomize steal victims.
+    rng: Cell<u64>,
+}
+
+impl WorkerThread {
+    /// Returns the worker state of the current thread, if it is a pool
+    /// worker.
+    pub(crate) fn current() -> Option<&'static WorkerThread> {
+        let ptr = WORKER.with(|w| w.get());
+        if ptr.is_null() {
+            None
+        } else {
+            // SAFETY: the pointer is installed by `worker_main` on this
+            // very thread and cleared before the stack frame dies; the
+            // 'static is a lie contained to this module (the reference is
+            // only used within the dynamic extent of worker_main).
+            Some(unsafe { &*ptr })
+        }
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Push a job onto the local deque (hot path of `join`).
+    pub(crate) fn push(&self, job: JobRef) {
+        self.deque.push(job);
+        self.registry.sleep.tickle();
+    }
+
+    fn next_random(&self) -> u64 {
+        // xorshift64*: cheap, good enough to decorrelate steal victims.
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Pop local work or steal. Depth-first: local LIFO pop first, then
+    /// the injector, then random-victim stealing (FIFO end).
+    pub(crate) fn find_work(&self) -> Option<JobRef> {
+        if let Some(job) = self.deque.pop() {
+            self.registry.stats.executed.fetch_add(1, Ordering::Relaxed);
+            return Some(job);
+        }
+        self.steal_work()
+    }
+
+    fn steal_work(&self) -> Option<JobRef> {
+        let registry = &*self.registry;
+        if let Some(job) = registry.steal_from_injector() {
+            registry.stats.executed.fetch_add(1, Ordering::Relaxed);
+            registry.stats.stolen.fetch_add(1, Ordering::Relaxed);
+            return Some(job);
+        }
+        let n = registry.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        let start = (self.next_random() as usize) % n;
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == self.index {
+                continue;
+            }
+            loop {
+                match registry.stealers[victim].steal() {
+                    Steal::Success(job) => {
+                        registry.stats.executed.fetch_add(1, Ordering::Relaxed);
+                        registry.stats.stolen.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+fn worker_main(deque: Worker<JobRef>, index: usize, registry: Arc<Registry>) {
+    let worker = WorkerThread {
+        deque,
+        index,
+        registry,
+        rng: Cell::new(0x9E37_79B9_7F4A_7C15 ^ ((index as u64 + 1) << 32 | 0xDEAD)),
+    };
+    WORKER.with(|w| w.set(&worker as *const WorkerThread));
+
+    loop {
+        if let Some(job) = worker.find_work() {
+            // Jobs catch their own panics (StackJob) or are documented as
+            // fire-and-forget wrappers that catch internally (scope), so
+            // executing here cannot unwind through the worker loop in
+            // normal operation.
+            unsafe { job.execute() };
+            continue;
+        }
+        if worker.registry.terminate.load(Ordering::SeqCst) {
+            break;
+        }
+        // Sleep protocol (see sleep.rs): register, re-check, park.
+        let ticket = worker.registry.sleep.start_looking();
+        if let Some(job) = worker.find_work() {
+            worker.registry.sleep.cancel();
+            unsafe { job.execute() };
+            continue;
+        }
+        if worker.registry.terminate.load(Ordering::SeqCst) {
+            worker.registry.sleep.cancel();
+            break;
+        }
+        worker.registry.sleep.sleep(ticket);
+    }
+
+    WORKER.with(|w| w.set(std::ptr::null()));
+}
+
+/// A work-stealing thread pool in the style of the PetaBricks runtime
+/// (§3.2.3): thread-private LIFO deques, random-victim stealing, and
+/// depth-first local execution.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ThreadPool {
+    /// Create a pool with `num_threads` workers (at least 1).
+    ///
+    /// # Panics
+    /// Panics if `num_threads == 0` or if OS thread spawning fails.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads >= 1, "thread pool needs at least one worker");
+        let deques: Vec<Worker<JobRef>> =
+            (0..num_threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = deques.iter().map(Worker::stealer).collect();
+        let registry = Arc::new(Registry {
+            injector: Injector::new(),
+            stealers,
+            sleep: Sleep::new(),
+            terminate: AtomicBool::new(false),
+            num_threads,
+            stats: Stats::default(),
+        });
+        let mut handles = Vec::with_capacity(num_threads);
+        for (index, deque) in deques.into_iter().enumerate() {
+            let registry = Arc::clone(&registry);
+            let handle = std::thread::Builder::new()
+                .name(format!("petamg-worker-{index}"))
+                .spawn(move || worker_main(deque, index, registry))
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+        ThreadPool {
+            registry,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.registry.num_threads
+    }
+
+    /// Scheduler counters (approximate; relaxed atomics).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            jobs_executed: self.registry.stats.executed.load(Ordering::Relaxed),
+            jobs_stolen: self.registry.stats.stolen.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run `op` inside the pool, blocking the calling thread until it
+    /// completes. Nested `install` from a worker of this same pool runs
+    /// inline (no deadlock).
+    pub fn install<F, R>(&self, op: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some(worker) = WorkerThread::current() {
+            if Arc::ptr_eq(worker.registry(), &self.registry) {
+                return op();
+            }
+        }
+        let job = StackJob::<LockLatch, F, R>::new(op, LockLatch::new());
+        // SAFETY: we block on the latch below, so the stack frame holding
+        // `job` outlives its execution.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.registry.inject(job_ref);
+        job.latch().wait();
+        job.into_result()
+    }
+
+    /// `join` restricted to this pool (convenience: `install` + `join`).
+    pub fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        self.install(|| crate::join(oper_a, oper_b))
+    }
+
+    /// Parallel loop over `0..len` in grain-sized blocks; see
+    /// [`crate::parallel_for`].
+    pub fn parallel_for<F>(&self, len: usize, grain: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.install(|| crate::parallel_for(len, grain, &body));
+    }
+
+    /// Parallel loop over disjoint mutable chunks of a slice. The body
+    /// receives `(offset_of_chunk, chunk)`.
+    pub fn parallel_for_slice<T, F>(&self, data: &mut [T], grain: usize, body: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        self.install(|| crate::par::parallel_for_slice_core(data, 0, grain.max(1), &body));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate.store(true, Ordering::SeqCst);
+        // Wake everyone repeatedly until all workers observed termination
+        // and exited. The backstop timeout in `sleep` guarantees progress
+        // even if a tickle races a worker going to sleep.
+        let mut handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles.drain(..) {
+            self.registry.sleep.tickle();
+            let _ = h.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-global pool, sized by `PETAMG_NUM_THREADS` or the machine's
+/// available parallelism.
+pub(crate) fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let threads = std::env::var(NUM_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ThreadPool::new(threads)
+    })
+}
+
+/// Handle to the global pool for callers that want to reuse it explicitly.
+pub fn global_pool() -> &'static ThreadPool {
+    global()
+}
+
+/// Inject a job into the global pool (used by `Scope::spawn` from threads
+/// that are not pool workers).
+pub(crate) fn global_inject(job: JobRef) {
+    global().registry.inject(job);
+}
+
+/// Index of the current worker thread within its pool, if any. Useful for
+/// per-thread scratch buffers in kernels.
+pub fn current_worker_index() -> Option<usize> {
+    WorkerThread::current().map(|w| w.index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_spawns_and_drops_cleanly() {
+        for _ in 0..4 {
+            let pool = ThreadPool::new(3);
+            assert_eq!(pool.num_threads(), 3);
+            drop(pool);
+        }
+    }
+
+    #[test]
+    fn install_runs_on_worker() {
+        let pool = ThreadPool::new(2);
+        let on_worker = pool.install(|| WorkerThread::current().is_some());
+        assert!(on_worker);
+        assert!(WorkerThread::current().is_none());
+    }
+
+    #[test]
+    fn nested_install_same_pool_is_inline() {
+        let pool = ThreadPool::new(2);
+        let x = pool.install(|| pool.install(|| pool.install(|| 5)));
+        assert_eq!(x, 5);
+    }
+
+    #[test]
+    fn install_propagates_panic() {
+        let pool = ThreadPool::new(2);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("install panic"))
+        }));
+        assert!(res.is_err());
+        // Pool must still be usable afterwards.
+        assert_eq!(pool.install(|| 3), 3);
+    }
+
+    #[test]
+    fn stats_record_execution() {
+        let pool = ThreadPool::new(2);
+        let before = pool.stats();
+        pool.install(|| {
+            crate::join(|| (), || ());
+        });
+        let after = pool.stats();
+        assert!(after.jobs_executed >= before.jobs_executed + 1);
+    }
+
+    #[test]
+    fn worker_index_in_range() {
+        let pool = ThreadPool::new(4);
+        let idx = pool.install(|| current_worker_index());
+        assert!(idx.is_some());
+        assert!(idx.unwrap() < 4);
+        assert_eq!(current_worker_index(), None);
+    }
+
+    #[test]
+    fn heavy_concurrent_installs() {
+        let pool = std::sync::Arc::new(ThreadPool::new(2));
+        static SUM: AtomicUsize = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let pool = std::sync::Arc::clone(&pool);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        pool.install(|| {
+                            SUM.fetch_add(t * i % 7 + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert!(SUM.load(Ordering::Relaxed) > 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Structured fork-join scopes: spawn arbitrarily many tasks that may
+//! borrow from the enclosing stack frame; the scope blocks (helping with
+//! work) until all of them complete.
+
+use crate::job::{HeapJob, JobRef};
+use crate::registry::{global_pool, WorkerThread};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A scope in which tasks borrowing data with lifetime `'scope` can be
+/// spawned. Created by [`scope`].
+pub struct Scope<'scope> {
+    /// Tasks spawned but not yet completed.
+    pending: AtomicUsize,
+    /// First captured panic from any spawned task.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant over 'scope (we hand out &Scope<'scope> to tasks).
+    marker: PhantomData<std::cell::Cell<&'scope mut ()>>,
+}
+
+/// Create a scope: `body` may call [`Scope::spawn`] with closures that
+/// borrow locals of the caller. Returns `body`'s result once **all**
+/// spawned tasks (including transitively spawned ones) have finished.
+///
+/// Panics from the body or any task are propagated (first one wins)
+/// after every task has completed, so borrowed data is never observed
+/// by still-running tasks past this call.
+///
+/// ```
+/// let mut parts = [0u64; 4];
+/// petamg_runtime::scope(|s| {
+///     for (i, p) in parts.iter_mut().enumerate() {
+///         s.spawn(move |_| *p = (i as u64 + 1) * 10);
+///     }
+/// });
+/// assert_eq!(parts, [10, 20, 30, 40]);
+/// ```
+pub fn scope<'scope, F, R>(body: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    match WorkerThread::current() {
+        Some(worker) => scope_core(worker, body),
+        None => global_pool().install(|| scope(body)),
+    }
+}
+
+fn scope_core<'scope, F, R>(worker: &WorkerThread, body: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+
+    let body_result = panic::catch_unwind(AssertUnwindSafe(|| body(&scope)));
+
+    // Help until all spawned tasks have completed. Acquire so task writes
+    // (through their borrows) are visible after the loop.
+    while scope.pending.load(Ordering::Acquire) != 0 {
+        match worker.find_work() {
+            Some(job) => unsafe { job.execute() },
+            None => {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    if let Some(payload) = scope.panic.lock().take() {
+        panic::resume_unwind(payload);
+    }
+    match body_result {
+        Ok(r) => r,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task that may borrow data of lifetime `'scope`. The task
+    /// receives the scope again so it can spawn recursively.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+
+        // Erase the scope reference to a raw pointer so the heap job can
+        // be 'static. Sound because scope_core does not return until
+        // `pending` drains back to zero, keeping `self` alive.
+        let scope_ptr = SendPtr(self as *const Scope<'scope> as *const Scope<'static>);
+        let task = move || {
+            let scope_ptr = scope_ptr;
+            // SAFETY: see above — the Scope outlives every spawned task.
+            let scope: &Scope<'static> = unsafe { &*scope_ptr.0 };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                // Shrink 'static back to the caller-visible lifetime.
+                let scope: &Scope<'_> = scope;
+                f(unsafe { std::mem::transmute::<&Scope<'_>, &Scope<'scope>>(scope) });
+            }));
+            if let Err(payload) = result {
+                let mut slot = scope.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            // Release so the waiter's Acquire load sees our writes.
+            scope.pending.fetch_sub(1, Ordering::Release);
+        };
+
+        // Erase the closure's 'scope lifetime. Sound for the same reason.
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        let job: JobRef = HeapJob::into_job_ref(move || task());
+
+        match WorkerThread::current() {
+            Some(worker) => worker.push(job),
+            None => global_pool_inject(job),
+        }
+    }
+
+    /// Number of spawned-but-unfinished tasks (diagnostic; racy).
+    pub fn pending_tasks(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+}
+
+fn global_pool_inject(job: JobRef) {
+    // Routing a spawn from a foreign thread: hand it to the global pool.
+    crate::registry::global_inject(job);
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*const T);
+// SAFETY: the pointee is Sync (Scope's shared state is a Mutex + atomics)
+// and kept alive by the scope protocol.
+unsafe impl<T> Send for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let pool = ThreadPool::new(2);
+        let mut values = vec![0u32; 16];
+        pool.install(|| {
+            scope(|s| {
+                for (i, v) in values.iter_mut().enumerate() {
+                    s.spawn(move |_| *v = i as u32 * 2);
+                }
+            });
+        });
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(*v, i as u32 * 2);
+        }
+    }
+
+    #[test]
+    fn scope_recursive_spawn() {
+        let pool = ThreadPool::new(2);
+        static COUNT: AtomicU64 = AtomicU64::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|s| {
+                        COUNT.fetch_add(1, Ordering::SeqCst);
+                        for _ in 0..4 {
+                            s.spawn(|_| {
+                                COUNT.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                }
+            });
+        });
+        assert_eq!(COUNT.load(Ordering::SeqCst), 4 + 16);
+    }
+
+    #[test]
+    fn scope_propagates_task_panic_after_completion() {
+        let pool = ThreadPool::new(2);
+        let done = AtomicU64::new(0);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                scope(|s| {
+                    s.spawn(|_| panic!("task panic"));
+                    s.spawn(|_| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            })
+        }));
+        assert!(res.is_err());
+        assert_eq!(done.load(Ordering::SeqCst), 1, "sibling task must still run");
+    }
+
+    #[test]
+    fn scope_from_external_thread() {
+        let total = AtomicU64::new(0);
+        scope(|s| {
+            for i in 1..=10 {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 55);
+    }
+}

@@ -1,0 +1,119 @@
+//! Idle-worker parking.
+//!
+//! Workers that repeatedly find no work go to sleep on a condition
+//! variable. Producers `tickle` the sleep state whenever they make work
+//! available. The protocol must not lose wakeups; we use the standard
+//! event-counter scheme:
+//!
+//! 1. the worker registers itself as a sleeper (`sleepers += 1`),
+//! 2. reads the event counter (its *ticket*),
+//! 3. re-scans all queues one final time,
+//! 4. sleeps only if the counter is still equal to its ticket.
+//!
+//! A producer that publishes work afterwards bumps the counter under the
+//! lock and notifies, so either the worker's final scan sees the work or
+//! the ticket comparison fails. A 10ms wait timeout is kept as a backstop
+//! so that even a reasoning error here degrades to latency, not deadlock.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
+use std::time::Duration;
+
+const SLEEP_TIMEOUT: Duration = Duration::from_millis(10);
+
+pub(crate) struct Sleep {
+    sleepers: AtomicUsize,
+    counter: Mutex<u64>,
+    condvar: Condvar,
+}
+
+impl Sleep {
+    pub(crate) fn new() -> Self {
+        Sleep {
+            sleepers: AtomicUsize::new(0),
+            counter: Mutex::new(0),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Begin the sleep protocol: register as a sleeper and take a ticket.
+    /// Callers must re-check for work after this and then either call
+    /// [`Sleep::sleep`] or [`Sleep::cancel`].
+    pub(crate) fn start_looking(&self) -> u64 {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Pair with the SeqCst accesses in `tickle`: after this fence the
+        // final queue re-scan is ordered after the sleeper registration.
+        fence(Ordering::SeqCst);
+        *self.counter.lock()
+    }
+
+    /// Abort the protocol because work was found on the final scan.
+    pub(crate) fn cancel(&self) {
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Park until a producer tickles (or the backstop timeout elapses).
+    pub(crate) fn sleep(&self, ticket: u64) {
+        {
+            let mut counter = self.counter.lock();
+            if *counter == ticket {
+                self.condvar.wait_for(&mut counter, SLEEP_TIMEOUT);
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Announce that new work is available. Cheap when nobody sleeps
+    /// (a single atomic load), which keeps the `join` hot path fast.
+    pub(crate) fn tickle(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let mut counter = self.counter.lock();
+            *counter = counter.wrapping_add(1);
+            drop(counter);
+            self.condvar.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn tickle_wakes_sleeper_quickly() {
+        let sleep = Arc::new(Sleep::new());
+        let s2 = Arc::clone(&sleep);
+        let start = Instant::now();
+        let h = std::thread::spawn(move || {
+            let ticket = s2.start_looking();
+            s2.sleep(ticket);
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        sleep.tickle();
+        h.join().unwrap();
+        // Must be well under many timeout periods: the tickle (or at
+        // worst one backstop timeout) wakes the sleeper.
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn stale_ticket_does_not_sleep() {
+        let sleep = Sleep::new();
+        let ticket = sleep.start_looking();
+        // Producer runs before we commit to sleeping:
+        sleep.tickle();
+        let start = Instant::now();
+        sleep.sleep(ticket); // counter changed -> returns immediately
+        assert!(start.elapsed() < SLEEP_TIMEOUT);
+    }
+
+    #[test]
+    fn cancel_decrements_sleepers() {
+        let sleep = Sleep::new();
+        let _ticket = sleep.start_looking();
+        sleep.cancel();
+        assert_eq!(sleep.sleepers.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Stress and failure-injection tests for the work-stealing runtime.
+
+use petamg_runtime::{join, parallel_for, parallel_reduce, scope, ThreadPool};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn pool_survives_repeated_panics() {
+    let pool = ThreadPool::new(2);
+    for round in 0..20 {
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                if round % 2 == 0 {
+                    join(|| panic!("a{round}"), || 1)
+                } else {
+                    join(|| 1, || panic!("b{round}"))
+                }
+            })
+        }));
+        assert!(res.is_err());
+        // Pool still functional after each panic.
+        assert_eq!(pool.install(|| 7 * round), 7 * round);
+    }
+}
+
+#[test]
+fn deep_nesting_does_not_deadlock() {
+    let pool = ThreadPool::new(2);
+    fn nest(depth: usize) -> usize {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = join(|| nest(depth - 1), || nest(depth - 1));
+        // Also interleave a scope at every other level.
+        if depth % 2 == 0 {
+            let count = AtomicUsize::new(0);
+            scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 2);
+        }
+        a + b
+    }
+    let total = pool.install(|| nest(10));
+    assert_eq!(total, 1 << 10);
+}
+
+#[test]
+fn parallel_for_panic_propagates_and_pool_survives() {
+    let pool = ThreadPool::new(2);
+    let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        pool.install(|| {
+            parallel_for(1000, 8, &|i| {
+                if i == 613 {
+                    panic!("injected failure at {i}");
+                }
+            })
+        })
+    }));
+    assert!(res.is_err());
+    // Other indices may or may not have run; the pool must still work.
+    let hits = AtomicUsize::new(0);
+    pool.install(|| {
+        parallel_for(100, 4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 100);
+}
+
+#[test]
+fn many_pools_coexist() {
+    let pools: Vec<_> = (1..=4).map(ThreadPool::new).collect();
+    std::thread::scope(|s| {
+        for (i, pool) in pools.iter().enumerate() {
+            s.spawn(move || {
+                let sum = pool.install(|| {
+                    parallel_reduce(10_000, 64, 0u64, &|acc, j| acc + j as u64, &|a, b| a + b)
+                });
+                assert_eq!(sum, (0..10_000u64).sum::<u64>(), "pool {i}");
+            });
+        }
+    });
+}
+
+#[test]
+fn work_actually_distributes_across_threads() {
+    let pool = Arc::new(ThreadPool::new(4));
+    let seen: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+    pool.install(|| {
+        parallel_for(4_000, 1, &|_| {
+            if let Some(idx) = petamg_runtime::current_worker_index() {
+                seen[idx].fetch_add(1, Ordering::Relaxed);
+                // A little work so stealing has time to happen.
+                std::hint::black_box((0..100).sum::<usize>());
+            }
+        })
+    });
+    let active = seen
+        .iter()
+        .filter(|c| c.load(Ordering::Relaxed) > 0)
+        .count();
+    assert!(
+        active >= 2,
+        "expected at least 2 workers to participate, got {active}"
+    );
+    let total: usize = seen.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    assert_eq!(total, 4_000);
+}
+
+#[test]
+fn stats_steals_are_plausible() {
+    let pool = ThreadPool::new(4);
+    pool.install(|| {
+        parallel_for(10_000, 4, &|_| {
+            std::hint::black_box((0..50).sum::<usize>());
+        })
+    });
+    let stats = pool.stats();
+    assert!(stats.jobs_executed > 0);
+    assert!(stats.jobs_stolen <= stats.jobs_executed);
+}
+
+#[test]
+fn scope_with_heavy_fanout() {
+    let pool = ThreadPool::new(3);
+    let count = AtomicUsize::new(0);
+    pool.install(|| {
+        scope(|s| {
+            for _ in 0..2_000 {
+                s.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 2_000);
+}
+
+#[test]
+fn reduce_stays_deterministic_under_contention() {
+    let pool = ThreadPool::new(4);
+    let run = || {
+        pool.install(|| {
+            parallel_reduce(
+                100_000,
+                128,
+                0.0f64,
+                &|acc, i| acc + (i as f64).sqrt(),
+                &|a, b| a + b,
+            )
+        })
+    };
+    let first = run();
+    for _ in 0..5 {
+        assert_eq!(first.to_bits(), run().to_bits());
+    }
+}

@@ -1,0 +1,124 @@
+//! The "Solve directly" algorithmic choice, with factor caching.
+//!
+//! The paper's tuned algorithms call the direct solver at the multigrid
+//! base case and wherever the tuner decides a shortcut is cheaper. The
+//! Cholesky factor of the interior Poisson system depends only on the
+//! grid size, so we factor once per size and reuse it across calls
+//! (LAPACK's `DPBSV` refactors every call; both behaviours are exposed
+//! so the difference can be ablated).
+
+use parking_lot::Mutex;
+use petamg_grid::Grid2d;
+use petamg_linalg::PoissonDirect;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A thread-safe cache of band-Cholesky factors keyed by grid size.
+#[derive(Default)]
+pub struct DirectSolverCache {
+    factors: Mutex<HashMap<usize, Arc<PoissonDirect>>>,
+}
+
+impl DirectSolverCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get (or build) the factored solver for `n×n` grids.
+    ///
+    /// # Panics
+    /// Panics if the Poisson system fails to factor — impossible for the
+    /// SPD 5-point operator unless `n < 3`.
+    pub fn get(&self, n: usize) -> Arc<PoissonDirect> {
+        // Fast path under the lock; factorization happens outside it so
+        // concurrent first requests for *different* sizes don't serialize.
+        if let Some(f) = self.factors.lock().get(&n) {
+            return Arc::clone(f);
+        }
+        let fresh = Arc::new(
+            PoissonDirect::new(n).expect("5-point Poisson operator is SPD and must factor"),
+        );
+        let mut map = self.factors.lock();
+        Arc::clone(map.entry(n).or_insert(fresh))
+    }
+
+    /// Solve `A_h x = b` via the cached factor (boundary-aware; see
+    /// [`PoissonDirect::solve`]).
+    pub fn solve(&self, x: &mut Grid2d, b: &Grid2d) {
+        self.get(x.n()).solve(x, b);
+    }
+
+    /// Number of distinct sizes currently factored.
+    pub fn len(&self) -> usize {
+        self.factors.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached factors.
+    pub fn clear(&self) {
+        self.factors.lock().clear();
+    }
+}
+
+/// Factor-and-solve without caching — the literal `DPBSV` behaviour, kept
+/// for the cache ablation benchmark.
+pub fn direct_solve_uncached(x: &mut Grid2d, b: &Grid2d) {
+    PoissonDirect::new(x.n())
+        .expect("5-point Poisson operator is SPD and must factor")
+        .solve(x, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petamg_grid::{l2_diff, Exec};
+
+    #[test]
+    fn cache_reuses_factor() {
+        let cache = DirectSolverCache::new();
+        let f1 = cache.get(9);
+        let f2 = cache.get(9);
+        assert!(Arc::ptr_eq(&f1, &f2));
+        assert_eq!(cache.len(), 1);
+        let _ = cache.get(17);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_and_uncached_agree() {
+        let b = Grid2d::from_fn(9, |i, j| ((i * 5 + j * 3) % 11) as f64 - 5.0);
+        let mut x1 = Grid2d::zeros(9);
+        x1.set_boundary(|i, j| (i + j) as f64);
+        let mut x2 = x1.clone();
+        let cache = DirectSolverCache::new();
+        cache.solve(&mut x1, &b);
+        direct_solve_uncached(&mut x2, &b);
+        assert!(l2_diff(&x1, &x2, &Exec::seq()) < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(DirectSolverCache::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    let n = if t % 2 == 0 { 9 } else { 17 };
+                    for _ in 0..10 {
+                        let b = Grid2d::from_fn(n, |i, j| (i + j + t) as f64);
+                        let mut x = Grid2d::zeros(n);
+                        cache.solve(&mut x, &b);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 2);
+    }
+}

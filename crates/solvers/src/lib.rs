@@ -1,0 +1,25 @@
+//! # petamg-solvers
+//!
+//! The algorithmic building blocks of the paper's §2: one direct solver
+//! (band Cholesky, via `petamg-linalg`), iterative relaxations
+//! (Red-Black Successive Over-Relaxation and weighted Jacobi), and the
+//! recursive reference multigrid algorithms that the autotuned cycles
+//! are benchmarked against:
+//!
+//! * [`multigrid::ReferenceSolver::vcycle`] — `MULTIGRID-V-SIMPLE`
+//!   (fixed V cycle, one pre-/post-relaxation, direct solve at the base),
+//! * iterated V cycles ("Reference V" in Figs 10–13),
+//! * [`multigrid::ReferenceSolver::fmg`] — the standard full multigrid
+//!   cycle of Fig 3 ("Reference Full MG"),
+//! * W-cycles via the `gamma` parameter.
+//!
+//! Everything is `Exec`-parameterized (sequential / work-stealing pool /
+//! rayon) and deterministic for a fixed policy.
+
+pub mod direct;
+pub mod multigrid;
+pub mod relax;
+
+pub use direct::{direct_solve_uncached, DirectSolverCache};
+pub use multigrid::{MgConfig, ReferenceSolver};
+pub use relax::{gauss_seidel_sweep, jacobi_sweep, omega_opt, sor_sweep};

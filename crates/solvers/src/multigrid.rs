@@ -1,0 +1,367 @@
+//! Reference multigrid algorithms.
+//!
+//! These are the algorithmically *static* baselines of the paper:
+//!
+//! * `MULTIGRID-V-SIMPLE` (§2.1): a fixed V cycle — one pre-relaxation,
+//!   restrict the residual, recurse, interpolate-correct, one
+//!   post-relaxation, direct solve at the base case;
+//! * "Reference V" (§4.2.2): iterate V cycles until the accuracy target
+//!   is met;
+//! * "Reference Full MG" (§4.2.2, Fig 3): one standard full multigrid
+//!   pass (estimate phase) followed by V cycles until the target is met;
+//! * W cycles via `gamma = 2`.
+
+use crate::direct::DirectSolverCache;
+use crate::relax::{sor_sweep, OMEGA_CYCLE};
+use petamg_grid::{
+    coarse_size, interpolate_add, interpolate_into, residual, restrict_full_weighting,
+    restrict_inject, Exec, Grid2d,
+};
+use std::sync::Arc;
+
+/// Configuration for the reference cycles.
+#[derive(Clone, Debug)]
+pub struct MgConfig {
+    /// Pre-smoothing sweeps (paper: 1).
+    pub pre_sweeps: usize,
+    /// Post-smoothing sweeps (paper: 1).
+    pub post_sweeps: usize,
+    /// SOR weight inside cycles (paper: 1.15).
+    pub omega: f64,
+    /// Grid size at which recursion bottoms out into the direct solver
+    /// (paper's `MULTIGRID-V-SIMPLE`: 3).
+    pub base_n: usize,
+    /// Recursive calls per level: 1 = V cycle, 2 = W cycle.
+    pub gamma: usize,
+    /// Execution policy for all sweeps.
+    pub exec: Exec,
+}
+
+impl Default for MgConfig {
+    fn default() -> Self {
+        MgConfig {
+            pre_sweeps: 1,
+            post_sweeps: 1,
+            omega: OMEGA_CYCLE,
+            base_n: 3,
+            gamma: 1,
+            exec: Exec::Seq,
+        }
+    }
+}
+
+/// Reference (non-autotuned) multigrid solver with a shared direct-solve
+/// cache.
+pub struct ReferenceSolver {
+    cfg: MgConfig,
+    cache: Arc<DirectSolverCache>,
+}
+
+impl ReferenceSolver {
+    /// Build a solver from a configuration (fresh factor cache).
+    pub fn new(cfg: MgConfig) -> Self {
+        ReferenceSolver {
+            cfg,
+            cache: Arc::new(DirectSolverCache::new()),
+        }
+    }
+
+    /// Build with a shared factor cache.
+    pub fn with_cache(cfg: MgConfig, cache: Arc<DirectSolverCache>) -> Self {
+        ReferenceSolver { cfg, cache }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MgConfig {
+        &self.cfg
+    }
+
+    /// The factor cache (shared with tuned solvers in benches).
+    pub fn cache(&self) -> &Arc<DirectSolverCache> {
+        &self.cache
+    }
+
+    /// One multigrid cycle (`MULTIGRID-V-SIMPLE` for `gamma = 1`,
+    /// W cycle for `gamma = 2`): improves `x` in place for `A_h x = b`.
+    pub fn vcycle(&self, x: &mut Grid2d, b: &Grid2d) {
+        let n = x.n();
+        assert_eq!(n, b.n(), "size mismatch in vcycle");
+        if n <= self.cfg.base_n {
+            self.cache.solve(x, b);
+            return;
+        }
+        let exec = &self.cfg.exec;
+        for _ in 0..self.cfg.pre_sweeps {
+            sor_sweep(x, b, self.cfg.omega, exec);
+        }
+        // Coarse-grid correction: A e = r, zero boundary, zero initial
+        // guess.
+        let mut r = Grid2d::zeros(n);
+        residual(x, b, &mut r, exec);
+        let nc = coarse_size(n);
+        let mut bc = Grid2d::zeros(nc);
+        restrict_full_weighting(&r, &mut bc, exec);
+        let mut ec = Grid2d::zeros(nc);
+        for _ in 0..self.cfg.gamma.max(1) {
+            self.vcycle(&mut ec, &bc);
+        }
+        interpolate_add(&ec, x, exec);
+        for _ in 0..self.cfg.post_sweeps {
+            sor_sweep(x, b, self.cfg.omega, exec);
+        }
+    }
+
+    /// One standard full-multigrid pass (Fig 3): restrict the whole
+    /// problem to the base case, solve there, then interpolate up and
+    /// run one cycle per level. Overwrites `x`'s interior (uses `x`'s
+    /// boundary ring as Dirichlet data).
+    ///
+    /// The right-hand side moves to the coarse grid by **full
+    /// weighting** (boundary data by injection): on rough right-hand
+    /// sides, injection would alias all high-frequency energy onto the
+    /// coarse problem and destroy the estimate's value.
+    pub fn fmg(&self, x: &mut Grid2d, b: &Grid2d) {
+        let n = x.n();
+        assert_eq!(n, b.n(), "size mismatch in fmg");
+        if n <= self.cfg.base_n {
+            self.cache.solve(x, b);
+            return;
+        }
+        let nc = coarse_size(n);
+        let mut xc = Grid2d::zeros(nc);
+        let mut bc = Grid2d::zeros(nc);
+        restrict_inject(x, &mut xc); // boundary ring
+        restrict_full_weighting(b, &mut bc, &self.cfg.exec);
+        xc.zero_interior();
+        self.fmg(&mut xc, &bc);
+        // Lift the coarse solution (boundary stays fine-grid data).
+        interpolate_into(&xc, x, &self.cfg.exec);
+        self.vcycle(x, b);
+    }
+
+    /// Iterate cycles until `done(x)` or `max_iters`; returns cycles
+    /// used. `done` is checked after each cycle.
+    pub fn solve_v_until(
+        &self,
+        x: &mut Grid2d,
+        b: &Grid2d,
+        max_iters: usize,
+        mut done: impl FnMut(&Grid2d) -> bool,
+    ) -> usize {
+        for it in 1..=max_iters {
+            self.vcycle(x, b);
+            if done(x) {
+                return it;
+            }
+        }
+        max_iters
+    }
+
+    /// One FMG pass, then V cycles until `done(x)` or `max_iters`;
+    /// returns total passes (FMG counts as one).
+    pub fn solve_fmg_until(
+        &self,
+        x: &mut Grid2d,
+        b: &Grid2d,
+        max_iters: usize,
+        mut done: impl FnMut(&Grid2d) -> bool,
+    ) -> usize {
+        self.fmg(x, b);
+        if done(x) {
+            return 1;
+        }
+        for it in 2..=max_iters {
+            self.vcycle(x, b);
+            if done(x) {
+                return it;
+            }
+        }
+        max_iters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petamg_grid::{l2_diff, l2_norm_interior};
+    use petamg_linalg::PoissonDirect;
+
+    fn test_problem(n: usize) -> (Grid2d, Grid2d, Grid2d) {
+        let mut x = Grid2d::zeros(n);
+        x.set_boundary(|i, j| ((i * 37 + j * 61) % 19) as f64 * 100.0 - 900.0);
+        let b = Grid2d::from_fn(n, |i, j| ((i * 13 + j * 7) % 29) as f64 * 1e4 - 1.4e5);
+        let mut x_opt = x.clone();
+        PoissonDirect::new(n).unwrap().solve(&mut x_opt, &b);
+        (x, b, x_opt)
+    }
+
+    #[test]
+    fn vcycle_contracts_error_strongly() {
+        let (mut x, b, x_opt) = test_problem(33);
+        let e = Exec::seq();
+        let solver = ReferenceSolver::new(MgConfig::default());
+        let e0 = l2_diff(&x, &x_opt, &e);
+        solver.vcycle(&mut x, &b);
+        let e1 = l2_diff(&x, &x_opt, &e);
+        assert!(
+            e1 < 0.2 * e0,
+            "one V cycle should reduce error by >5x: {e0} -> {e1}"
+        );
+    }
+
+    #[test]
+    fn vcycle_converges_to_machine_precision() {
+        let (mut x, b, x_opt) = test_problem(17);
+        let e = Exec::seq();
+        let solver = ReferenceSolver::new(MgConfig::default());
+        for _ in 0..30 {
+            solver.vcycle(&mut x, &b);
+        }
+        let rel = l2_diff(&x, &x_opt, &e) / l2_norm_interior(&x_opt, &e).max(1.0);
+        assert!(rel < 1e-12, "rel err {rel}");
+    }
+
+    #[test]
+    fn exact_solution_is_fixed_point_of_vcycle() {
+        let (_, b, x_opt) = test_problem(17);
+        let e = Exec::seq();
+        let solver = ReferenceSolver::new(MgConfig::default());
+        let mut x = x_opt.clone();
+        solver.vcycle(&mut x, &b);
+        let scale = l2_norm_interior(&x_opt, &e).max(1.0);
+        assert!(l2_diff(&x, &x_opt, &e) < 1e-10 * scale);
+    }
+
+    #[test]
+    fn base_case_is_direct_solve() {
+        let (mut x, b, x_opt) = test_problem(3);
+        let solver = ReferenceSolver::new(MgConfig::default());
+        solver.vcycle(&mut x, &b);
+        assert!((x.at(1, 1) - x_opt.at(1, 1)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wcycle_contracts_at_least_as_well_as_v() {
+        let (x0, b, x_opt) = test_problem(33);
+        let e = Exec::seq();
+        let v = ReferenceSolver::new(MgConfig::default());
+        let w = ReferenceSolver::new(MgConfig {
+            gamma: 2,
+            ..MgConfig::default()
+        });
+        let mut xv = x0.clone();
+        let mut xw = x0.clone();
+        v.vcycle(&mut xv, &b);
+        w.vcycle(&mut xw, &b);
+        let ev = l2_diff(&xv, &x_opt, &e);
+        let ew = l2_diff(&xw, &x_opt, &e);
+        assert!(
+            ew <= ev * 1.05,
+            "W cycle ({ew}) should contract at least as well as V ({ev})"
+        );
+    }
+
+    #[test]
+    fn fmg_single_pass_hits_good_accuracy() {
+        let (mut x, b, x_opt) = test_problem(65);
+        let e = Exec::seq();
+        let solver = ReferenceSolver::new(MgConfig::default());
+        let zero_err = l2_diff(&Grid2d::zeros(65), &x_opt, &e);
+        solver.fmg(&mut x, &b);
+        let err = l2_diff(&x, &x_opt, &e);
+        // One FMG pass should already beat the zero guess substantially.
+        // (On *rough* random right-hand sides the coarse estimate carries
+        // less information than in the smooth-data theory, so expect
+        // tens-of-x, not the asymptotic O(truncation) of smooth problems.)
+        assert!(
+            err < 0.05 * zero_err,
+            "FMG error {err} vs initial {zero_err}"
+        );
+    }
+
+    #[test]
+    fn fmg_preserves_boundary() {
+        let (x0, b, _) = test_problem(17);
+        let mut x = x0.clone();
+        let solver = ReferenceSolver::new(MgConfig::default());
+        solver.fmg(&mut x, &b);
+        for i in 0..17 {
+            for j in [0usize, 16] {
+                assert_eq!(x.at(i, j), x0.at(i, j));
+                assert_eq!(x.at(j, i), x0.at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_until_counts_iterations() {
+        let (mut x, b, x_opt) = test_problem(33);
+        let e = Exec::seq();
+        let solver = ReferenceSolver::new(MgConfig::default());
+        let e0 = l2_diff(&x, &x_opt, &e);
+        let iters = solver.solve_v_until(&mut x, &b, 100, |x| {
+            l2_diff(x, &x_opt, &e) <= e0 / 1e5
+        });
+        assert!(iters > 1 && iters < 20, "iters = {iters}");
+        assert!(l2_diff(&x, &x_opt, &e) <= e0 / 1e5);
+    }
+
+    #[test]
+    fn solve_until_respects_cap() {
+        let (mut x, b, _) = test_problem(17);
+        let solver = ReferenceSolver::new(MgConfig::default());
+        let iters = solver.solve_v_until(&mut x, &b, 3, |_| false);
+        assert_eq!(iters, 3);
+    }
+
+    #[test]
+    fn fmg_then_v_reaches_target_faster_than_v_alone() {
+        let (x0, b, x_opt) = test_problem(65);
+        let e = Exec::seq();
+        let solver = ReferenceSolver::new(MgConfig::default());
+        let e0 = l2_diff(&x0, &x_opt, &e);
+        let target = e0 / 1e7;
+
+        let mut xv = x0.clone();
+        let v_iters =
+            solver.solve_v_until(&mut xv, &b, 100, |x| l2_diff(x, &x_opt, &e) <= target);
+        let mut xf = x0.clone();
+        let f_iters =
+            solver.solve_fmg_until(&mut xf, &b, 100, |x| l2_diff(x, &x_opt, &e) <= target);
+        assert!(
+            f_iters <= v_iters,
+            "FMG ({f_iters}) should need no more passes than V ({v_iters})"
+        );
+    }
+
+    #[test]
+    fn parallel_vcycle_bitwise_equals_sequential() {
+        let (x0, b, _) = test_problem(33);
+        let seq = ReferenceSolver::new(MgConfig::default());
+        let par = ReferenceSolver::new(MgConfig {
+            exec: Exec::pbrt(2).with_grain(2),
+            ..MgConfig::default()
+        });
+        let mut xs = x0.clone();
+        let mut xp = x0.clone();
+        seq.vcycle(&mut xs, &b);
+        par.vcycle(&mut xp, &b);
+        assert_eq!(xs.as_slice(), xp.as_slice());
+    }
+
+    #[test]
+    fn deeper_base_case_still_converges() {
+        let (mut x, b, x_opt) = test_problem(33);
+        let e = Exec::seq();
+        // Direct shortcut at 9x9 instead of 3x3.
+        let solver = ReferenceSolver::new(MgConfig {
+            base_n: 9,
+            ..MgConfig::default()
+        });
+        for _ in 0..12 {
+            solver.vcycle(&mut x, &b);
+        }
+        let rel = l2_diff(&x, &x_opt, &e) / l2_norm_interior(&x_opt, &e).max(1.0);
+        assert!(rel < 1e-10, "rel err {rel}");
+    }
+}

@@ -1,0 +1,276 @@
+//! Relaxation sweeps.
+//!
+//! The paper fixes Red-Black SOR as the iteration function (§2.3):
+//! ω = ω_opt for standalone iteration (`MULTIGRID-Vi` line 3) and
+//! ω = 1.15 inside cycles (`RECURSEi` lines 4/8), with weighted Jacobi
+//! implemented for the SOR-vs-Jacobi comparison the authors ran.
+//!
+//! Red-black ordering makes each half-sweep embarrassingly parallel: a
+//! red cell `(i+j even)` reads only black neighbors and vice versa, so
+//! the parallel result is bitwise identical to the sequential one.
+
+use petamg_grid::{Exec, Grid2d, GridPtr};
+
+/// The SOR weight inside tuned/reference cycles, fixed by the paper to
+/// 1.15 ("chosen by experimentation to be a good parameter when used in
+/// multigrid").
+pub const OMEGA_CYCLE: f64 = 1.15;
+
+/// Optimal SOR weight for the 2D discrete Poisson equation with fixed
+/// boundaries on an `n×n` grid: `ω_opt = 2 / (1 + sin(π h))`, `h = 1/(n-1)`
+/// (Demmel, *Applied Numerical Linear Algebra*).
+pub fn omega_opt(n: usize) -> f64 {
+    let h = 1.0 / (n as f64 - 1.0);
+    2.0 / (1.0 + (std::f64::consts::PI * h).sin())
+}
+
+/// One Red-Black SOR sweep (red half-sweep then black half-sweep) for
+/// `A_h x = b`: `x_ij ← (1-ω)·x_ij + ω·(Σ neighbors + h²·b_ij)/4`.
+///
+/// # Panics
+/// Panics if grid sizes differ.
+pub fn sor_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, exec: &Exec) {
+    assert_eq!(x.n(), b.n(), "size mismatch in sor_sweep");
+    sor_half_sweep(x, b, omega, 0, exec); // red: (i + j) % 2 == 0
+    sor_half_sweep(x, b, omega, 1, exec); // black
+}
+
+/// One half-sweep updating only cells of `color` (`(i+j) % 2 == color`).
+pub fn sor_half_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, color: usize, exec: &Exec) {
+    assert!(color < 2);
+    let n = x.n();
+    let h2 = {
+        let h = x.h();
+        h * h
+    };
+    let xp = GridPtr::new(x);
+    let bp = GridPtr::new_read(b);
+    exec.for_rows(1, n - 1, |i| {
+        // First interior column of this color in row i: cell (i, j) has
+        // color (i + j) % 2, so j starts at 1 when (i+1)%2 == color.
+        let j0 = if (i + 1) % 2 == color { 1 } else { 2 };
+        // SAFETY: this task writes only cells of `color` in row `i`; it
+        // reads neighbors of the opposite color (rows i±1 same columns,
+        // row i adjacent columns), none of which are written in this
+        // half-sweep by any task.
+        unsafe {
+            let mut j = j0;
+            while j < n - 1 {
+                let nb = xp.at(i - 1, j) + xp.at(i + 1, j) + xp.at(i, j - 1) + xp.at(i, j + 1);
+                let gs = 0.25 * (nb + h2 * bp.at(i, j));
+                let old = xp.at(i, j);
+                xp.set(i, j, old + omega * (gs - old));
+                j += 2;
+            }
+        }
+    });
+}
+
+/// One weighted-Jacobi sweep: `x ← (1-ω)·x + ω·D⁻¹(b + offdiag)` using
+/// `scratch` for the previous iterate (sizes must match; `scratch`
+/// contents are overwritten).
+///
+/// # Panics
+/// Panics if grid sizes differ.
+pub fn jacobi_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, scratch: &mut Grid2d, exec: &Exec) {
+    assert_eq!(x.n(), b.n(), "size mismatch in jacobi_sweep");
+    assert_eq!(x.n(), scratch.n(), "scratch size mismatch in jacobi_sweep");
+    let n = x.n();
+    let h2 = {
+        let h = x.h();
+        h * h
+    };
+    scratch.copy_from(x);
+    let old = GridPtr::new_read(scratch);
+    let bp = GridPtr::new_read(b);
+    let xp = GridPtr::new(x);
+    exec.for_rows(1, n - 1, |i| {
+        // SAFETY: writes go to distinct rows of `x`; all reads are from
+        // `scratch`/`b`, which are not written in this sweep.
+        unsafe {
+            for j in 1..n - 1 {
+                let nb =
+                    old.at(i - 1, j) + old.at(i + 1, j) + old.at(i, j - 1) + old.at(i, j + 1);
+                let jac = 0.25 * (nb + h2 * bp.at(i, j));
+                let prev = old.at(i, j);
+                xp.set(i, j, prev + omega * (jac - prev));
+            }
+        }
+    });
+}
+
+/// Gauss-Seidel (red-black order) — SOR with ω = 1.
+pub fn gauss_seidel_sweep(x: &mut Grid2d, b: &Grid2d, exec: &Exec) {
+    sor_sweep(x, b, 1.0, exec);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petamg_grid::{l2_diff, residual, l2_norm_interior};
+    use petamg_linalg::PoissonDirect;
+
+    fn test_problem(n: usize) -> (Grid2d, Grid2d, Grid2d) {
+        // (x0, b, x_opt): random-ish boundary + rhs, exact solution by
+        // direct solve.
+        let mut x = Grid2d::zeros(n);
+        x.set_boundary(|i, j| ((i * 37 + j * 61) % 19) as f64 - 9.0);
+        let b = Grid2d::from_fn(n, |i, j| ((i * 13 + j * 7) % 29) as f64 * 10.0 - 140.0);
+        let mut x_opt = x.clone();
+        PoissonDirect::new(n).unwrap().solve(&mut x_opt, &b);
+        (x, b, x_opt)
+    }
+
+    #[test]
+    fn omega_opt_known_values() {
+        // h = 1/4 -> omega = 2/(1+sin(pi/4)) ≈ 1.17157...
+        let w = omega_opt(5);
+        assert!((w - 2.0 / (1.0 + (std::f64::consts::PI / 4.0).sin())).abs() < 1e-14);
+        // Larger grids push omega toward 2.
+        assert!(omega_opt(1025) > 1.99);
+        assert!(omega_opt(5) < omega_opt(9));
+        // n = 3: h = 1/2, sin(π/2) = 1 -> ω_opt = 1 exactly (plain GS).
+        assert!((omega_opt(3) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sor_monotonically_reduces_error() {
+        let (mut x, b, x_opt) = test_problem(17);
+        let e = Exec::seq();
+        let mut prev = l2_diff(&x, &x_opt, &e);
+        for _ in 0..30 {
+            sor_sweep(&mut x, &b, omega_opt(17), &e);
+            let now = l2_diff(&x, &x_opt, &e);
+            assert!(now <= prev * 1.0001, "error grew: {prev} -> {now}");
+            prev = now;
+        }
+        assert!(prev < 1e-2 * l2_diff(&Grid2d::zeros(17), &x_opt, &e));
+    }
+
+    #[test]
+    fn sor_converges_to_exact_solution() {
+        let (mut x, b, x_opt) = test_problem(9);
+        let e = Exec::seq();
+        for _ in 0..500 {
+            sor_sweep(&mut x, &b, omega_opt(9), &e);
+        }
+        assert!(l2_diff(&x, &x_opt, &e) < 1e-10 * l2_norm_interior(&x_opt, &e).max(1.0));
+    }
+
+    #[test]
+    fn exact_solution_is_fixed_point() {
+        let (_, b, x_opt) = test_problem(17);
+        let e = Exec::seq();
+        let mut x = x_opt.clone();
+        sor_sweep(&mut x, &b, 1.3, &e);
+        assert!(l2_diff(&x, &x_opt, &e) < 1e-9);
+        let mut scratch = Grid2d::zeros(17);
+        jacobi_sweep(&mut x, &b, 0.8, &mut scratch, &e);
+        assert!(l2_diff(&x, &x_opt, &e) < 1e-9);
+    }
+
+    #[test]
+    fn parallel_sor_bitwise_equals_sequential() {
+        let (x0, b, _) = test_problem(33);
+        let mut x_seq = x0.clone();
+        for _ in 0..3 {
+            sor_sweep(&mut x_seq, &b, 1.15, &Exec::seq());
+        }
+        for exec in [Exec::pbrt(2).with_grain(2), Exec::rayon().with_grain(2)] {
+            let mut x_par = x0.clone();
+            for _ in 0..3 {
+                sor_sweep(&mut x_par, &b, 1.15, &exec);
+            }
+            assert_eq!(x_seq.as_slice(), x_par.as_slice(), "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn red_pass_only_touches_red_cells() {
+        let (x0, b, _) = test_problem(9);
+        let mut x = x0.clone();
+        sor_half_sweep(&mut x, &b, 1.15, 0, &Exec::seq());
+        for (i, j) in x0.interior() {
+            if (i + j) % 2 == 1 {
+                assert_eq!(x.at(i, j), x0.at(i, j), "black cell ({i},{j}) changed");
+            }
+        }
+        let mut x2 = x0.clone();
+        sor_half_sweep(&mut x2, &b, 1.15, 1, &Exec::seq());
+        for (i, j) in x0.interior() {
+            if (i + j) % 2 == 0 {
+                assert_eq!(x2.at(i, j), x0.at(i, j), "red cell ({i},{j}) changed");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_converges_with_two_thirds_weight() {
+        let (mut x, b, x_opt) = test_problem(9);
+        let e = Exec::seq();
+        let mut scratch = Grid2d::zeros(9);
+        let initial = l2_diff(&x, &x_opt, &e);
+        for _ in 0..800 {
+            jacobi_sweep(&mut x, &b, 2.0 / 3.0, &mut scratch, &e);
+        }
+        assert!(l2_diff(&x, &x_opt, &e) < 1e-8 * initial.max(1.0));
+    }
+
+    #[test]
+    fn sor_beats_jacobi_per_sweep() {
+        // The paper's §2.3 justification for fixing SOR: better error
+        // reduction for similar per-iteration cost.
+        let (x0, b, x_opt) = test_problem(17);
+        let e = Exec::seq();
+        let sweeps = 40;
+
+        let mut xs = x0.clone();
+        for _ in 0..sweeps {
+            sor_sweep(&mut xs, &b, omega_opt(17), &e);
+        }
+        let mut xj = x0.clone();
+        let mut scratch = Grid2d::zeros(17);
+        for _ in 0..sweeps {
+            jacobi_sweep(&mut xj, &b, 2.0 / 3.0, &mut scratch, &e);
+        }
+        let err_sor = l2_diff(&xs, &x_opt, &e);
+        let err_jac = l2_diff(&xj, &x_opt, &e);
+        assert!(
+            err_sor < err_jac,
+            "SOR ({err_sor}) should beat Jacobi ({err_jac}) after {sweeps} sweeps"
+        );
+    }
+
+    #[test]
+    fn boundary_never_modified() {
+        let (x0, b, _) = test_problem(9);
+        let mut x = x0.clone();
+        let e = Exec::seq();
+        let mut scratch = Grid2d::zeros(9);
+        for _ in 0..5 {
+            sor_sweep(&mut x, &b, 1.5, &e);
+            jacobi_sweep(&mut x, &b, 0.9, &mut scratch, &e);
+        }
+        for i in 0..9 {
+            for j in [0, 8] {
+                assert_eq!(x.at(i, j), x0.at(i, j));
+                assert_eq!(x.at(j, i), x0.at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn gs_residual_decreases() {
+        let (mut x, b, _) = test_problem(17);
+        let e = Exec::seq();
+        let mut r = Grid2d::zeros(17);
+        residual(&x, &b, &mut r, &e);
+        let r0 = l2_norm_interior(&r, &e);
+        for _ in 0..20 {
+            gauss_seidel_sweep(&mut x, &b, &e);
+        }
+        residual(&x, &b, &mut r, &e);
+        let r1 = l2_norm_interior(&r, &e);
+        assert!(r1 < 0.5 * r0, "residual {r0} -> {r1}");
+    }
+}

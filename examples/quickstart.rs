@@ -1,0 +1,51 @@
+//! Quickstart: tune a `MULTIGRID-V_i` family and solve a Poisson problem.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use petamg::prelude::*;
+
+fn main() {
+    // 1. Tune. `quick` uses the deterministic modeled cost of an
+    //    Intel-Harpertown-like machine, the paper's five accuracy
+    //    targets {10, 10^3, 10^5, 10^7, 10^9}, and training data from
+    //    the unbiased uniform distribution over [-2^32, 2^32].
+    let max_level = 7; // grids up to 129x129
+    let opts = TunerOptions::quick(max_level, Distribution::UnbiasedUniform);
+    println!("tuning MULTIGRID-V up to N = {} ...", (1 << max_level) + 1);
+    let tuned = VTuner::new(opts).tune();
+
+    // 2. Inspect the DP table: the fastest choice per (level, accuracy).
+    println!("\ntuned plans (rows: level, columns: accuracy targets):");
+    print!("{:>10} |", "level\\acc");
+    for p in &tuned.accuracies {
+        print!(" {:>12}", format!("{p:.0e}"));
+    }
+    println!();
+    for level in (1..=tuned.max_level).rev() {
+        print!("{:>10} |", format!("{} (N={})", level, (1 << level) + 1));
+        for i in 0..tuned.num_accuracies() {
+            print!(" {:>12}", tuned.plan(level, i).describe());
+        }
+        println!();
+    }
+
+    // 3. Solve a fresh instance to accuracy 1e5.
+    let mut inst = ProblemInstance::random(max_level, Distribution::UnbiasedUniform, 42);
+    let report = tuned.solve(&mut inst, 1e5);
+    println!(
+        "\nsolved N={} to target 1e5: achieved accuracy {:.3e} in {:.3} ms \
+         ({} relaxation sweeps, {} direct solves)",
+        inst.n(),
+        report.achieved_accuracy,
+        report.seconds * 1e3,
+        report.ops.total_relax_sweeps(),
+        report.ops.total_direct_solves(),
+    );
+
+    // 4. Persist the tuned configuration (PetaBricks-style config file).
+    let path = std::env::temp_dir().join("petamg_tuned_v.json");
+    std::fs::write(&path, tuned.to_json()).expect("write config");
+    println!("tuned configuration saved to {}", path.display());
+}

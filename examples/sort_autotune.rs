@@ -1,0 +1,65 @@
+//! The PetaBricks choice framework on the paper's introductory example:
+//! autotuning a sort routine's algorithm choice and divide-and-conquer
+//! cutoff (§1: "the algorithm switches from ... merge sort to ...
+//! insertion sort once the working array size falls below a set
+//! cutoff").
+//!
+//! ```bash
+//! cargo run --release --example sort_autotune
+//! ```
+
+use petamg::choice::demo::SortTransform;
+use petamg::choice::{GeneticTuner, GeneticTunerOptions, Tunable};
+
+fn main() {
+    let mut transform = SortTransform::new(0xFEED);
+    let space = transform.space();
+
+    println!("configuration space:");
+    for spec in space.specs() {
+        println!("  {} :: {:?}", spec.name, spec.kind);
+    }
+
+    let mut tuner = GeneticTuner::new(GeneticTunerOptions {
+        initial_size: 64,
+        max_size: 1 << 17,
+        population_max: 8,
+        mutants_per_generation: 6,
+        passes: 2,
+        seed: 7,
+    });
+    println!("\nrunning the bottom-up genetic tuner (sizes double from 64 to 131072) ...");
+    let result = tuner.tune(&mut transform);
+
+    println!("\ngeneration history:");
+    println!("{:>8} {:>14} {:>12}", "size", "best cost (s)", "population");
+    for g in &result.history {
+        println!("{:>8} {:>14.6} {:>12}", g.size, g.best_cost, g.population);
+    }
+
+    println!("\nmulti-level algorithm (best config per size range):");
+    let algo = space.find("algorithm").expect("param exists");
+    let cutoff = space.find("cutoff").expect("param exists");
+    for (max_size, cfg) in &result.multi_level.levels {
+        let names = ["insertion", "merge", "quick"];
+        println!(
+            "  up to n = {:>7}: algorithm = {:<10} cutoff = {}",
+            max_size,
+            names[cfg.switch(algo)],
+            cfg.int(cutoff)
+        );
+    }
+
+    // Use the tuned configuration.
+    let best = &result.best;
+    let mut data: Vec<u64> = (0..100_000u64).rev().collect();
+    transform.sort(best, &mut data);
+    assert!(data.windows(2).all(|w| w[0] <= w[1]));
+    println!(
+        "\ntuned sort verified on 100k reversed elements (algorithm = {}, cutoff = {})",
+        ["insertion", "merge", "quick"][best.switch(algo)],
+        best.int(cutoff)
+    );
+    println!("\ntuned config as a PetaBricks-style configuration file:");
+    println!("{}", best.to_json(&space));
+}

@@ -1,0 +1,64 @@
+//! # petamg — Autotuning Multigrid with PetaBricks, in Rust
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! *Chan, Ansel, Wong, Amarasinghe, Edelman — "Autotuning Multigrid with
+//! PetaBricks" (SC 2009)*.
+//!
+//! The headline system is an **accuracy-aware dynamic-programming
+//! autotuner** that builds tuned multigrid cycle shapes for the 2D
+//! Poisson equation: at every recursion level it chooses between a
+//! direct band-Cholesky solve, iterated Red-Black SOR, and recursive
+//! multigrid calls into sub-algorithms tuned for *other* accuracy
+//! levels, using the accuracy metric ‖x_in − x_opt‖/‖x_out − x_opt‖ as
+//! the common yardstick (paper §2).
+//!
+//! Module map:
+//! * [`grid`] — 2D grid substrate: 5-point Laplacian, residual,
+//!   full-weighting restriction, bilinear interpolation, norms.
+//! * [`linalg`] — packed band Cholesky (the paper's LAPACK `DPBSV`).
+//! * [`runtime`] — Cilk-style work-stealing pool (PetaBricks runtime).
+//! * [`choice`] — PetaBricks-style choice framework: config spaces,
+//!   bottom-up genetic autotuner, n-ary parameter search.
+//! * [`solvers`] — Red-Black SOR, weighted Jacobi, reference V-cycle /
+//!   W-cycle / full-multigrid solvers.
+//! * [`core`] — the paper's contribution: accuracy metric, DP tuner for
+//!   `MULTIGRID-V_i` and `FULL-MULTIGRID_i`, tuned-plan executor, cycle
+//!   tracing/rendering, machine cost models, training distributions.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use petamg::prelude::*;
+//!
+//! // Tune a MULTIGRID-V family up to grids of 129x129 for the paper's
+//! // five accuracy targets, on training data from the unbiased
+//! // distribution, using the deterministic modeled cost of an
+//! // Intel-Harpertown-like machine.
+//! let opts = TunerOptions::quick(7, Distribution::UnbiasedUniform);
+//! let tuned = VTuner::new(opts).tune();
+//!
+//! // Solve a fresh instance to accuracy 1e5.
+//! let mut inst = ProblemInstance::random(7, Distribution::UnbiasedUniform, 42);
+//! let report = tuned.solve(&mut inst, 1e5);
+//! assert!(report.achieved_accuracy >= 1e5);
+//! ```
+
+pub use petamg_choice as choice;
+pub use petamg_core as core;
+pub use petamg_grid as grid;
+pub use petamg_linalg as linalg;
+pub use petamg_runtime as runtime;
+pub use petamg_solvers as solvers;
+
+/// Convenience prelude with the most common types.
+pub mod prelude {
+    pub use petamg_core::accuracy::{error_ratio, AccuracyReport};
+    pub use petamg_core::cost::{CostModel, MachineProfile};
+    pub use petamg_core::plan::{Choice, TunedFamily};
+    pub use petamg_core::training::{Distribution, ProblemInstance};
+    pub use petamg_core::tuner::{FmgTuner, TunerOptions, VTuner};
+    pub use petamg_grid::{Exec, Grid2d};
+    pub use petamg_runtime::ThreadPool;
+    pub use petamg_solvers::multigrid::{MgConfig, ReferenceSolver};
+    pub use petamg_solvers::relax::omega_opt;
+}

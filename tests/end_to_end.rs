@@ -1,0 +1,120 @@
+//! Cross-crate integration: tuning → persistence → execution → accuracy,
+//! across execution backends.
+
+use petamg::core::plan::{ExecCtx, TunedFamily};
+use petamg::prelude::*;
+use petamg::solvers::DirectSolverCache;
+use std::sync::Arc;
+
+#[test]
+fn tune_save_load_solve_roundtrip() {
+    let opts = TunerOptions::quick(5, Distribution::UnbiasedUniform);
+    let tuned = VTuner::new(opts).tune();
+
+    // Persist like a PetaBricks configuration file and reload.
+    let dir = std::env::temp_dir().join("petamg-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("family.json");
+    std::fs::write(&path, tuned.to_json()).unwrap();
+    let loaded = TunedFamily::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(loaded.plans, tuned.plans);
+
+    // The reloaded plan solves to target.
+    let mut inst = ProblemInstance::random(5, Distribution::UnbiasedUniform, 2_222);
+    let report = loaded.solve(&mut inst, 1e7);
+    assert!(
+        report.achieved_accuracy >= 1e6,
+        "achieved {:e}",
+        report.achieved_accuracy
+    );
+}
+
+#[test]
+fn tuned_execution_identical_across_backends() {
+    // Sequential, in-house work-stealing, and rayon all produce bitwise
+    // identical grids for the same tuned plan (red-black independence).
+    let tuned = VTuner::new(TunerOptions::quick(6, Distribution::UnbiasedUniform)).tune();
+    let inst = ProblemInstance::random(6, Distribution::UnbiasedUniform, 77);
+    let cache = Arc::new(DirectSolverCache::new());
+    let acc = tuned.acc_index_for(1e5);
+
+    let run_with = |exec: Exec| {
+        let mut ctx = ExecCtx::with_cache(exec, Arc::clone(&cache));
+        let mut x = inst.working_grid();
+        tuned.run(6, acc, &mut x, &inst.b, &mut ctx);
+        x
+    };
+    let seq = run_with(Exec::seq());
+    let pbrt = run_with(Exec::pbrt(2));
+    let ray = run_with(Exec::rayon());
+    assert_eq!(seq.as_slice(), pbrt.as_slice());
+    assert_eq!(seq.as_slice(), ray.as_slice());
+}
+
+#[test]
+fn op_counts_are_backend_independent() {
+    let tuned = VTuner::new(TunerOptions::quick(5, Distribution::BiasedUniform)).tune();
+    let inst = ProblemInstance::random(5, Distribution::BiasedUniform, 3_141);
+    let cache = Arc::new(DirectSolverCache::new());
+    let acc = tuned.acc_index_for(1e9);
+    let ops_with = |exec: Exec| {
+        let mut ctx = ExecCtx::with_cache(exec, Arc::clone(&cache));
+        let mut x = inst.working_grid();
+        tuned.run(5, acc, &mut x, &inst.b, &mut ctx);
+        ctx.ops
+    };
+    assert_eq!(ops_with(Exec::seq()), ops_with(Exec::pbrt(2)));
+}
+
+#[test]
+fn fmg_and_v_families_share_accuracies_and_solve() {
+    let fmg = FmgTuner::new(TunerOptions::quick(5, Distribution::UnbiasedUniform)).tune();
+    let exec = Exec::seq();
+    let cache = Arc::new(DirectSolverCache::new());
+    let mut inst = ProblemInstance::random(5, Distribution::UnbiasedUniform, 888);
+    let rv = fmg
+        .v
+        .solve_with(&mut inst.clone(), 1e5, &exec, &cache);
+    let rf = fmg.solve_with(&mut inst, 1e5, &exec, &cache);
+    assert!(rv.achieved_accuracy >= 5e4);
+    assert!(rf.achieved_accuracy >= 5e4);
+}
+
+#[test]
+fn facade_prelude_is_usable() {
+    // Compile-level check that the prelude exposes the advertised API.
+    let opts = TunerOptions::quick(3, Distribution::UnbiasedUniform);
+    let tuned = VTuner::new(opts).tune();
+    let mut inst = ProblemInstance::random(3, Distribution::UnbiasedUniform, 1);
+    let report = tuned.solve(&mut inst, 1e1);
+    assert!(report.achieved_accuracy >= 1e1 * 0.5);
+    let _ = omega_opt(17);
+    let _: ThreadPool = ThreadPool::new(1);
+}
+
+#[test]
+fn solve_respects_requested_accuracy_tiers() {
+    let tuned = VTuner::new(TunerOptions::quick(6, Distribution::UnbiasedUniform)).tune();
+    let exec = Exec::seq();
+    let cache = Arc::new(DirectSolverCache::new());
+    // The monotone quantity across accuracy tiers is the *modeled cost*
+    // on the machine the family was tuned for (a cheaper plan achieving
+    // more would have won the lower tier too).
+    let profile = MachineProfile::intel_harpertown();
+    let mut prev_cost = 0.0f64;
+    for target in [1e1, 1e5, 1e9] {
+        let mut inst = ProblemInstance::random(6, Distribution::UnbiasedUniform, 4_242);
+        let report = tuned.solve_with(&mut inst, target, &exec, &cache);
+        assert!(
+            report.achieved_accuracy >= target * 0.5,
+            "target {target:e} achieved {:e}",
+            report.achieved_accuracy
+        );
+        let cost = profile.time(&report.ops);
+        assert!(
+            cost >= prev_cost * 0.999,
+            "modeled cost should grow with accuracy: {cost} < {prev_cost}"
+        );
+        prev_cost = cost;
+    }
+}
