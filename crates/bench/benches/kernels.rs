@@ -2,9 +2,7 @@
 //! the grain-size ablation (the PetaBricks "block size" tunable).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use petamg_grid::{
-    interpolate_add, residual, restrict_full_weighting, Exec, Grid2d,
-};
+use petamg_grid::{interpolate_add, residual, restrict_full_weighting, Exec, Grid2d};
 use petamg_solvers::sor_sweep;
 use std::hint::black_box;
 use std::time::Duration;

@@ -84,8 +84,8 @@ fn bench_parallel_for(c: &mut Criterion) {
     });
     group.bench_function("sequential", |bench| {
         bench.iter(|| {
-            for i in 0..100_000usize {
-                sums[i].fetch_add(1, Ordering::Relaxed);
+            for s in sums.iter() {
+                s.fetch_add(1, Ordering::Relaxed);
             }
         });
     });

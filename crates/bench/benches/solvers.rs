@@ -86,21 +86,22 @@ fn bench_omega_ablation(c: &mut Criterion) {
             },
             Arc::clone(&cache),
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(omega),
-            &omega,
-            |bench, _| {
-                bench.iter(|| {
-                    let mut x = inst.working_grid();
-                    solver.solve_v_until(&mut x, &inst.b, 100, |x| {
-                        ratio_of_errors(e0, l2_diff(x, &x_opt, &exec)) >= 1e3
-                    })
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(omega), &omega, |bench, _| {
+            bench.iter(|| {
+                let mut x = inst.working_grid();
+                solver.solve_v_until(&mut x, &inst.b, 100, |x| {
+                    ratio_of_errors(e0, l2_diff(x, &x_opt, &exec)) >= 1e3
+                })
+            });
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_cycles, bench_sor_vs_jacobi, bench_omega_ablation);
+criterion_group!(
+    benches,
+    bench_cycles,
+    bench_sor_vs_jacobi,
+    bench_omega_ablation
+);
 criterion_main!(benches);

@@ -43,8 +43,7 @@ fn bench_discrete_vs_pareto(c: &mut Criterion) {
     });
     group.bench_function("pareto", |bench| {
         bench.iter(|| {
-            let mut tuner =
-                ParetoTuner::new(TunerOptions::quick(4, Distribution::UnbiasedUniform));
+            let mut tuner = ParetoTuner::new(TunerOptions::quick(4, Distribution::UnbiasedUniform));
             tuner.max_sor_probe = 64;
             tuner.max_recurse_probe = 6;
             black_box(tuner.tune())

@@ -25,24 +25,27 @@ fn main() {
     println!();
     for level in (1..=max_level).rev() {
         let pad = "  ".repeat(max_level - level);
-        println!(
-            "{pad}level {level} (N={}) --(a|b)--> done",
-            n_of(level)
-        );
+        println!("{pad}level {level} (N={}) --(a|b)--> done", n_of(level));
         if level > 1 {
             println!("{pad}  \\--(c)--v");
         }
     }
     println!();
 
-    let fam = VTuner::new(TunerOptions::quick(max_level, Distribution::UnbiasedUniform)).tune();
+    let fam = VTuner::new(TunerOptions::quick(
+        max_level,
+        Distribution::UnbiasedUniform,
+    ))
+    .tune();
     println!("tuned decisions (modeled Intel-Harpertown, unbiased data):");
-    println!("level,N,{}", fam
-        .accuracies
-        .iter()
-        .map(|p| format!("p={p:.0e}"))
-        .collect::<Vec<_>>()
-        .join(","));
+    println!(
+        "level,N,{}",
+        fam.accuracies
+            .iter()
+            .map(|p| format!("p={p:.0e}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     for level in (1..=max_level).rev() {
         let row: Vec<String> = (0..fam.num_accuracies())
             .map(|i| fam.plan(level, i).describe())

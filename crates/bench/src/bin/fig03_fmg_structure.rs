@@ -22,8 +22,8 @@ fn main() {
     let v = simple_v_family(level, &[1e30]);
     let mut plans = vec![Vec::new(); level + 1];
     plans[1] = vec![FmgChoice::Direct];
-    for k in 2..=level {
-        plans[k] = vec![FmgChoice::Estimate {
+    for row in plans.iter_mut().skip(2) {
+        *row = vec![FmgChoice::Estimate {
             estimate_accuracy: 0,
             follow: FollowUp::Recurse {
                 sub_accuracy: 0,

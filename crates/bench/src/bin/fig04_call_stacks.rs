@@ -18,10 +18,16 @@ fn main() {
     );
 
     for dist in [Distribution::UnbiasedUniform, Distribution::BiasedUniform] {
-        println!("## ({}) {} random inputs, N = {}",
-            if dist == Distribution::UnbiasedUniform { "a" } else { "b" },
+        println!(
+            "## ({}) {} random inputs, N = {}",
+            if dist == Distribution::UnbiasedUniform {
+                "a"
+            } else {
+                "b"
+            },
             dist.name(),
-            n_of(level));
+            n_of(level)
+        );
         let fam = VTuner::new(TunerOptions::quick(level, dist)).tune();
         let acc_idx = fam.acc_index_for(1e7);
         print!("{}", render::call_stack(&fam, level, acc_idx));

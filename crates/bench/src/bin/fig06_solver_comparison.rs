@@ -45,10 +45,12 @@ fn main() {
     for level in 2..=max_level {
         let n = n_of(level);
         let cache = Arc::new(DirectSolverCache::new());
-        let mut inst = ProblemInstance::random(level, Distribution::UnbiasedUniform, 600 + level as u64);
+        let mut inst =
+            ProblemInstance::random(level, Distribution::UnbiasedUniform, 600 + level as u64);
         let x_opt = inst.ensure_x_opt(&exec, &cache).clone();
         let e0 = l2_diff(&inst.x0, &x_opt, &exec);
-        let done = |x: &petamg_grid::Grid2d| ratio_of_errors(e0, l2_diff(x, &x_opt, &exec)) >= target;
+        let done =
+            |x: &petamg_grid::Grid2d| ratio_of_errors(e0, l2_diff(x, &x_opt, &exec)) >= target;
 
         // Direct (factor + solve, like DPBSV).
         let direct = if n <= DIRECT_MAX_N {

@@ -31,7 +31,10 @@ fn main() {
 
     let exec = Exec::seq();
     let names: Vec<&str> = strategies.iter().map(|(n, _)| n.as_str()).collect();
-    println!("N,{},autotuned_s", names.join("_s,").replace(' ', "_") + "_s");
+    println!(
+        "N,{},autotuned_s",
+        names.join("_s,").replace(' ', "_") + "_s"
+    );
 
     let mut all_rows: Vec<(usize, Vec<f64>, f64)> = Vec::new();
     for level in 6..=max_level {

@@ -18,7 +18,9 @@ use std::sync::Arc;
 
 fn main() {
     let level = env_max_level(9);
-    let host = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(2);
+    let host = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(2);
     banner(
         "Figure 9",
         "parallel speedup of the multigrid Poisson solver",

@@ -4,9 +4,5 @@
 use petamg_core::training::Distribution;
 
 fn main() {
-    petamg_bench::relative_performance_figure(
-        "Figure 10",
-        Distribution::UnbiasedUniform,
-        1e5,
-    );
+    petamg_bench::relative_performance_figure("Figure 10", Distribution::UnbiasedUniform, 1e5);
 }

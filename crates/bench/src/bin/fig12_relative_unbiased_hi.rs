@@ -6,9 +6,5 @@
 use petamg_core::training::Distribution;
 
 fn main() {
-    petamg_bench::relative_performance_figure(
-        "Figure 12",
-        Distribution::UnbiasedUniform,
-        1e9,
-    );
+    petamg_bench::relative_performance_figure("Figure 12", Distribution::UnbiasedUniform, 1e9);
 }

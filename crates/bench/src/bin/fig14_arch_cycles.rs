@@ -36,9 +36,11 @@ fn main() {
         let mut x = inst.working_grid();
         fmg.run(level, acc, &mut x, &inst.b, &mut ctx);
         println!("{}", render::render_cycle(&ctx.tracer.events));
-        println!("coarsest level reached: {} (N = {})",
+        println!(
+            "coarsest level reached: {} (N = {})",
             ctx.tracer.min_level(),
-            n_of(ctx.tracer.min_level()));
+            n_of(ctx.tracer.min_level())
+        );
         println!("{}\n", render::summarize_trace(&ctx.tracer.events));
     }
 }

@@ -1,0 +1,247 @@
+//! Kernel-fusion benchmark: fused single-pass kernels + workspace arena
+//! versus the unfused reference path, across grid sizes and execution
+//! backends. Emits `BENCH_kernels.json`.
+//!
+//! Three comparisons per size and backend:
+//!
+//! * **transfer step** (the hot-path replacement this measures end to
+//!   end): the seed-style unfused step — allocate a fresh residual grid,
+//!   `residual`, allocate a fresh coarse grid, `restrict_full_weighting`,
+//!   `interpolate_add` — against the fused step — `residual_restrict`
+//!   into a pooled coarse grid plus `interpolate_correct`, zero
+//!   allocations;
+//! * **residual→restrict kernels only** (both sides preallocated, so the
+//!   number isolates fusion from pooling);
+//! * **interpolation kernels only** (`interpolate_add` vs
+//!   `interpolate_correct`).
+//!
+//! Flags / env:
+//! * `--quick` (or `PETAMG_BENCH_QUICK=1`) — CI smoke mode: fewer
+//!   samples, smaller size sweep;
+//! * `PETAMG_BENCH_OUT` — output path (default `BENCH_kernels.json`).
+//!
+//! Fused and unfused results are verified bitwise equal for every size
+//! and backend before anything is timed.
+
+use petamg_bench::time_best;
+use petamg_grid::{
+    coarse_size, interpolate_add, interpolate_correct, residual, residual_restrict,
+    restrict_full_weighting, Exec, Grid2d, Workspace,
+};
+use serde::Serialize;
+use std::hint::black_box;
+
+#[derive(Serialize)]
+struct BackendRecord {
+    /// Backend name: `seq` or `pbrt<threads>`.
+    backend: String,
+    /// Seed-style unfused transfer step (fresh allocations), seconds.
+    step_unfused_alloc_s: f64,
+    /// Fused transfer step (workspace-pooled), seconds.
+    step_fused_pooled_s: f64,
+    /// Headline speedup: unfused+alloc vs fused+pooled.
+    step_speedup: f64,
+    /// Unfused residual + restrict, both preallocated, seconds.
+    rr_unfused_s: f64,
+    /// Fused residual_restrict (pooled row buffers), seconds.
+    rr_fused_s: f64,
+    /// Fusion-only speedup of the residual→restrict chain.
+    rr_speedup: f64,
+    /// Reference interpolate_add, seconds.
+    interp_reference_s: f64,
+    /// Row-parity specialized interpolate_correct, seconds.
+    interp_fused_s: f64,
+    /// Interpolation kernel speedup.
+    interp_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct SizeRecord {
+    n: usize,
+    backends: Vec<BackendRecord>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    quick: bool,
+    trials: usize,
+    reps_scale: String,
+    sizes: Vec<SizeRecord>,
+}
+
+fn test_grids(n: usize) -> (Grid2d, Grid2d) {
+    let x = Grid2d::from_fn(n, |i, j| ((i * 31 + j * 17) % 103) as f64 / 7.0 - 5.0);
+    let b = Grid2d::from_fn(n, |i, j| ((i * 13 + j * 71) % 97) as f64 / 3.0);
+    (x, b)
+}
+
+/// Repetitions per timed trial, scaled so each trial does comparable
+/// work across sizes (~16M points touched), floored for timer
+/// resolution.
+fn reps_for(n: usize, quick: bool) -> usize {
+    let base = (16_000_000 / (n * n)).max(2);
+    if quick {
+        (base / 8).max(1)
+    } else {
+        base
+    }
+}
+
+fn verify_equivalence(n: usize, exec: &Exec, ws: &Workspace) {
+    let (x, b) = test_grids(n);
+    let nc = coarse_size(n);
+    let seq = Exec::seq();
+
+    let mut r = Grid2d::zeros(n);
+    residual(&x, &b, &mut r, &seq);
+    let mut want = Grid2d::zeros(nc);
+    restrict_full_weighting(&r, &mut want, &seq);
+    let mut got = Grid2d::zeros(nc);
+    residual_restrict(&x, &b, &mut got, ws, exec);
+    assert_eq!(
+        got.as_slice(),
+        want.as_slice(),
+        "fused residual_restrict diverged at n={n} ({exec:?})"
+    );
+
+    let mut fine_want = x.clone();
+    interpolate_add(&want, &mut fine_want, &seq);
+    let mut fine_got = x.clone();
+    interpolate_correct(&want, &mut fine_got, exec);
+    assert_eq!(
+        fine_got.as_slice(),
+        fine_want.as_slice(),
+        "fused interpolate_correct diverged at n={n} ({exec:?})"
+    );
+}
+
+fn bench_backend(name: &str, exec: &Exec, n: usize, trials: usize, quick: bool) -> BackendRecord {
+    let (x, b) = test_grids(n);
+    let nc = coarse_size(n);
+    let reps = reps_for(n, quick);
+    let ws = Workspace::new();
+    verify_equivalence(n, exec, &ws);
+
+    // Transfer step, seed style: fresh allocations every pass.
+    let mut xm = x.clone();
+    let coarse_correction = Grid2d::from_fn(nc, |i, j| ((i + j) % 5) as f64 / 10.0);
+    let step_unfused_alloc_s = time_best(trials, || {
+        for _ in 0..reps {
+            let mut r = Grid2d::zeros(n);
+            residual(&xm, &b, &mut r, exec);
+            let mut bc = Grid2d::zeros(nc);
+            restrict_full_weighting(&r, &mut bc, exec);
+            interpolate_add(&coarse_correction, black_box(&mut xm), exec);
+        }
+    }) / reps as f64;
+
+    // Transfer step, this PR's hot path: fused kernels + pooled scratch.
+    let mut xm = x.clone();
+    let step_fused_pooled_s = time_best(trials, || {
+        for _ in 0..reps {
+            let mut bc = ws.acquire(nc);
+            residual_restrict(&xm, &b, &mut bc, &ws, exec);
+            interpolate_correct(&coarse_correction, black_box(&mut xm), exec);
+        }
+    }) / reps as f64;
+
+    // Kernels only: residual + restrict with everything preallocated.
+    let mut r = Grid2d::zeros(n);
+    let mut bc = Grid2d::zeros(nc);
+    let rr_unfused_s = time_best(trials, || {
+        for _ in 0..reps {
+            residual(&x, &b, black_box(&mut r), exec);
+            restrict_full_weighting(&r, black_box(&mut bc), exec);
+        }
+    }) / reps as f64;
+    let rr_fused_s = time_best(trials, || {
+        for _ in 0..reps {
+            residual_restrict(&x, &b, black_box(&mut bc), &ws, exec);
+        }
+    }) / reps as f64;
+
+    // Interpolation kernels only.
+    let mut fine = x.clone();
+    let interp_reference_s = time_best(trials, || {
+        for _ in 0..reps {
+            interpolate_add(&bc, black_box(&mut fine), exec);
+        }
+    }) / reps as f64;
+    let mut fine = x.clone();
+    let interp_fused_s = time_best(trials, || {
+        for _ in 0..reps {
+            interpolate_correct(&bc, black_box(&mut fine), exec);
+        }
+    }) / reps as f64;
+
+    BackendRecord {
+        backend: name.to_string(),
+        step_unfused_alloc_s,
+        step_fused_pooled_s,
+        step_speedup: step_unfused_alloc_s / step_fused_pooled_s,
+        rr_unfused_s,
+        rr_fused_s,
+        rr_speedup: rr_unfused_s / rr_fused_s,
+        interp_reference_s,
+        interp_fused_s,
+        interp_speedup: interp_reference_s / interp_fused_s,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("PETAMG_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let out_path =
+        std::env::var("PETAMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    let trials = if quick { 2 } else { 5 };
+    let sizes: &[usize] = if quick {
+        &[65, 513]
+    } else {
+        &[65, 129, 257, 513, 1025]
+    };
+
+    petamg_bench::banner(
+        "kernel_fusion",
+        "fused residual_restrict / interpolate_correct vs unfused reference path",
+        "step = residual -> restrict -> interpolate-correct; unfused allocates\n\
+         fresh grids per pass (seed behaviour), fused leases from the workspace.\n\
+         Fused/unfused verified bitwise equal before timing.",
+    );
+    println!("n,backend,step_unfused_us,step_fused_us,step_speedup,rr_speedup,interp_speedup");
+
+    let pool_threads = 2;
+    let mut size_records = Vec::new();
+    for &n in sizes {
+        let mut backends = Vec::new();
+        for (name, exec) in [
+            ("seq".to_string(), Exec::seq()),
+            (format!("pbrt{pool_threads}"), Exec::pbrt(pool_threads)),
+        ] {
+            let rec = bench_backend(&name, &exec, n, trials, quick);
+            println!(
+                "{},{},{:.2},{:.2},{:.3},{:.3},{:.3}",
+                n,
+                rec.backend,
+                rec.step_unfused_alloc_s * 1e6,
+                rec.step_fused_pooled_s * 1e6,
+                rec.step_speedup,
+                rec.rr_speedup,
+                rec.interp_speedup
+            );
+            backends.push(rec);
+        }
+        size_records.push(SizeRecord { n, backends });
+    }
+
+    let report = Report {
+        bench: "kernel_fusion".to_string(),
+        quick,
+        trials,
+        reps_scale: "~16M points touched per trial".to_string(),
+        sizes: size_records,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    println!("# wrote {out_path}");
+}

@@ -91,9 +91,7 @@ fn main() {
     }
 
     println!("#");
-    println!(
-        "# fitted exponents in N (paper: direct 4, SOR 3, multigrid 2):"
-    );
+    println!("# fitted exponents in N (paper: direct 4, SOR 3, multigrid 2):");
     println!(
         "# direct N^{:.2}, SOR N^{:.2}, multigrid N^{:.2}",
         fit_slope(&logn, &ld),

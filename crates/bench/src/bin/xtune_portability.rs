@@ -26,9 +26,7 @@ fn main() {
     eprintln!("tuning FMG families on all three machines ...");
     let families: Vec<_> = profiles
         .iter()
-        .map(|p| {
-            FmgTuner::new(TunerOptions::modeled(level, dist, p.clone())).tune()
-        })
+        .map(|p| FmgTuner::new(TunerOptions::modeled(level, dist, p.clone())).tune())
         .collect();
 
     let cache = Arc::new(DirectSolverCache::new());

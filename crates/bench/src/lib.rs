@@ -186,7 +186,13 @@ pub fn tuned_v_cost(
     let exec = Exec::seq();
     let mut ctx = ExecCtx::with_cache(exec, Arc::clone(cache));
     let mut x = inst.working_grid();
-    family.run(inst.level, family.acc_index_for(target), &mut x, &inst.b, &mut ctx);
+    family.run(
+        inst.level,
+        family.acc_index_for(target),
+        &mut x,
+        &inst.b,
+        &mut ctx,
+    );
     profile.time(&ctx.ops)
 }
 

@@ -20,7 +20,7 @@ pub mod nary;
 pub mod space;
 pub mod transform;
 
-pub use genetic::{GeneticTuner, GeneticTunerOptions, MultiLevelConfig, TuneResult, Tunable};
+pub use genetic::{GeneticTuner, GeneticTunerOptions, MultiLevelConfig, Tunable, TuneResult};
 pub use nary::{nary_search_f64, nary_search_int};
 pub use space::{
     tuning_order, Config, ConfigError, ConfigSpace, ParamId, ParamKind, ParamSpec, ParamValue,

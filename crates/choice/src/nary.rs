@@ -143,7 +143,9 @@ mod tests {
         // Deterministic "noise" that does not move the basin.
         let mut tick = 0u64;
         let best = nary_search_int(0, 500, 6, 8, |x| {
-            tick = tick.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407 + x as u64);
+            tick = tick
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407 + x as u64);
             let noise = ((tick >> 33) % 100) as f64 / 100.0; // [0, 1)
             ((x - 250) as f64).powi(2) / 100.0 + noise
         });

@@ -154,7 +154,10 @@ impl ConfigSpace {
 
     /// Add a float tunable.
     pub fn add_float(&mut self, name: &str, lo: f64, hi: f64, default: f64) -> ParamId {
-        assert!(lo <= hi && default >= lo && default <= hi, "bad float domain");
+        assert!(
+            lo <= hi && default >= lo && default <= hi,
+            "bad float domain"
+        );
         self.add(ParamSpec {
             name: name.to_string(),
             kind: ParamKind::Float { lo, hi },
@@ -472,8 +475,10 @@ mod tests {
     fn json_roundtrip() {
         let s = sample_space();
         let mut c = s.default_config();
-        c.set(&s, s.find("algo").unwrap(), ParamValue::Switch(2)).unwrap();
-        c.set(&s, s.find("cutoff").unwrap(), ParamValue::Int(128)).unwrap();
+        c.set(&s, s.find("algo").unwrap(), ParamValue::Switch(2))
+            .unwrap();
+        c.set(&s, s.find("cutoff").unwrap(), ParamValue::Int(128))
+            .unwrap();
         let json = c.to_json(&s);
         let c2 = Config::from_json(&s, &json).unwrap();
         assert_eq!(c2.switch(s.find("algo").unwrap()), 2);

@@ -395,9 +395,7 @@ impl ChoiceDepGraph {
         let mut waves = Vec::new();
         let mut completed = 0usize;
         while completed < n {
-            let ready: Vec<usize> = (0..n)
-                .filter(|&i| !done[i] && remaining[i] == 0)
-                .collect();
+            let ready: Vec<usize> = (0..n).filter(|&i| !done[i] && remaining[i] == 0).collect();
             if ready.is_empty() {
                 let stuck: Vec<usize> = (0..n).filter(|&i| !done[i]).collect();
                 return Err(AnalysisError::CyclicDependency { cells: stuck });
@@ -466,8 +464,7 @@ pub fn execute_schedule<C, B>(
                     s.spawn(move |_| {
                         // SAFETY: see DataPtr note; slice reconstruction
                         // is confined to this wave's disjoint writes.
-                        let slice =
-                            unsafe { std::slice::from_raw_parts_mut(ptr.0, len) };
+                        let slice = unsafe { std::slice::from_raw_parts_mut(ptr.0, len) };
                         match order {
                             CellOrder::Any
                             | CellOrder::IncreasingX
@@ -570,9 +567,7 @@ mod tests {
         assert!(graph.edges.is_empty());
         let sched = graph.schedule().unwrap();
         assert_eq!(sched.waves.len(), 1);
-        assert!(sched.waves[0]
-            .iter()
-            .all(|sc| sc.order == CellOrder::Any));
+        assert!(sched.waves[0].iter().all(|sc| sc.order == CellOrder::Any));
     }
 
     #[test]
@@ -695,11 +690,7 @@ mod tests {
             .find(|c| c.region == Region::new(1, 5, 1, 5))
             .expect("interior cell exists");
         assert_eq!(interior.rules, vec![0, 1], "both rules in the interior");
-        let corner = grid
-            .cells
-            .iter()
-            .find(|c| c.region.contains(0, 0))
-            .unwrap();
+        let corner = grid.cells.iter().find(|c| c.region.contains(0, 0)).unwrap();
         assert_eq!(corner.rules, vec![1], "only the border rule at corners");
         let total: i64 = grid.cells.iter().map(|c| c.region.area()).sum();
         assert_eq!(total, 36);

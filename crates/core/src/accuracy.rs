@@ -154,7 +154,10 @@ mod tests {
         let poor = error_ratio(&x0, &x_poor, &x_opt, &exec);
         let good = error_ratio(&x0, &x_good, &x_opt, &exec);
         assert!(poor > 1.0, "any SOR sweep improves: {poor}");
-        assert!(good > 1e4 * poor, "five V cycles crush one sweep: {good} vs {poor}");
+        assert!(
+            good > 1e4 * poor,
+            "five V cycles crush one sweep: {good} vs {poor}"
+        );
     }
 
     #[test]
@@ -192,10 +195,7 @@ mod tests {
         let cache = Arc::new(DirectSolverCache::new());
         let direct = reference_solution(&x0, &b, &exec, &cache);
 
-        let solver = ReferenceSolver::with_cache(
-            MgConfig::default(),
-            Arc::clone(&cache),
-        );
+        let solver = ReferenceSolver::with_cache(MgConfig::default(), Arc::clone(&cache));
         let mut mg = x0.clone();
         for _ in 0..40 {
             solver.vcycle(&mut mg, &b);

@@ -148,12 +148,7 @@ mod tests {
         ] {
             for seed in 0..5u64 {
                 let inst = ProblemInstance::random(5, dist, 1000 + seed);
-                assert_eq!(
-                    classify(&inst.b),
-                    expect,
-                    "{} seed {seed}",
-                    dist.name()
-                );
+                assert_eq!(classify(&inst.b), expect, "{} seed {seed}", dist.name());
             }
         }
     }

@@ -232,8 +232,7 @@ impl MachineProfile {
     /// Modeled seconds for a direct solve at a level with `cells`
     /// interior cells (sequential back-substitution; O(cells^1.5)).
     fn direct_time(&self, cells: f64) -> f64 {
-        (self.direct_ns * cells.powf(1.5) * self.mem_factor(cells) + self.call_overhead_ns)
-            * 1e-9
+        (self.direct_ns * cells.powf(1.5) * self.mem_factor(cells) + self.call_overhead_ns) * 1e-9
     }
 
     /// Total modeled time in seconds for a set of operation counts.

@@ -38,10 +38,10 @@
 pub mod accuracy;
 pub mod adaptive;
 pub mod cost;
-#[cfg(test)]
-mod proptests;
 pub mod heuristics;
 pub mod plan;
+#[cfg(test)]
+mod proptests;
 pub mod render;
 pub mod trace;
 pub mod training;

@@ -27,7 +27,7 @@ use crate::cost::OpCounts;
 use crate::trace::{CycleEvent, Tracer};
 use crate::training::ProblemInstance;
 use petamg_grid::{
-    coarse_size, interpolate_add, level_size, residual, restrict_full_weighting, Exec, Grid2d,
+    coarse_size, interpolate_correct, level_size, residual_restrict, Exec, Grid2d, Workspace,
 };
 use petamg_solvers::relax::{omega_opt, sor_sweep, OMEGA_CYCLE};
 use petamg_solvers::DirectSolverCache;
@@ -78,6 +78,10 @@ pub struct ExecCtx {
     pub exec: Exec,
     /// Shared band-Cholesky factor cache.
     pub cache: Arc<DirectSolverCache>,
+    /// Shared per-level scratch arena. Recursion leases coarse grids
+    /// (and the fused kernels their row buffers) from here, so repeated
+    /// plan executions allocate nothing once warm.
+    pub workspace: Arc<Workspace>,
     /// Accumulated operation counts.
     pub ops: OpCounts,
     /// Optional cycle-event recorder.
@@ -87,12 +91,7 @@ pub struct ExecCtx {
 impl ExecCtx {
     /// Context with a fresh cache and disabled tracer.
     pub fn new(exec: Exec) -> Self {
-        ExecCtx {
-            exec,
-            cache: Arc::new(DirectSolverCache::new()),
-            ops: OpCounts::default(),
-            tracer: Tracer::disabled(),
-        }
+        Self::with_cache(exec, Arc::new(DirectSolverCache::new()))
     }
 
     /// Context sharing an existing factor cache.
@@ -100,9 +99,17 @@ impl ExecCtx {
         ExecCtx {
             exec,
             cache,
+            workspace: Arc::new(Workspace::new()),
             ops: OpCounts::default(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Replace the scratch arena with a shared one (tuners reuse one
+    /// workspace across every candidate evaluation).
+    pub fn with_workspace(mut self, workspace: Arc<Workspace>) -> Self {
+        self.workspace = workspace;
+        self
     }
 
     /// Enable event tracing.
@@ -128,20 +135,19 @@ impl ExecCtx {
         self.tracer.record(CycleEvent::Relax { level });
     }
 
-    fn residual_into(&mut self, level: usize, x: &Grid2d, b: &Grid2d, r: &mut Grid2d) {
-        residual(x, b, r, &self.exec);
+    /// Fused residual + restriction at `level` (counted and traced as
+    /// one residual plus one restrict, matching the unfused composition
+    /// it replaces bitwise).
+    fn residual_restrict_into(&mut self, level: usize, x: &Grid2d, b: &Grid2d, bc: &mut Grid2d) {
+        residual_restrict(x, b, bc, &self.workspace, &self.exec);
         self.ops.level_mut(level).residuals += 1;
+        self.ops.level_mut(level).restricts += 1;
         self.tracer.record(CycleEvent::Residual { level });
-    }
-
-    fn restrict(&mut self, from: usize, fine: &Grid2d, coarse: &mut Grid2d) {
-        restrict_full_weighting(fine, coarse, &self.exec);
-        self.ops.level_mut(from).restricts += 1;
-        self.tracer.record(CycleEvent::Restrict { from });
+        self.tracer.record(CycleEvent::Restrict { from: level });
     }
 
     fn interpolate(&mut self, to: usize, coarse: &Grid2d, fine: &mut Grid2d) {
-        interpolate_add(coarse, fine, &self.exec);
+        interpolate_correct(coarse, fine, &self.exec);
         self.ops.level_mut(to).interps += 1;
         self.tracer.record(CycleEvent::Interpolate { to });
     }
@@ -158,7 +164,8 @@ impl ExecCtx {
             sor_sweep(x, b, omega, &self.exec);
         }
         self.ops.level_mut(level).relax_sweeps += iterations as u64;
-        self.tracer.record(CycleEvent::SorSolve { level, iterations });
+        self.tracer
+            .record(CycleEvent::SorSolve { level, iterations });
     }
 }
 
@@ -305,12 +312,14 @@ impl TunedFamily {
         }
         let n = level_size(level);
         ctx.relax(level, x, b, OMEGA_CYCLE);
-        let mut r = Grid2d::zeros(n);
-        ctx.residual_into(level, x, b, &mut r);
         let nc = coarse_size(n);
-        let mut bc = Grid2d::zeros(nc);
-        ctx.restrict(level, &r, &mut bc);
-        let mut ec = Grid2d::zeros(nc);
+        // Lease coarse scratch from the shared arena (the local Arc
+        // clone keeps the leases from borrowing `ctx`, which the
+        // recursion needs mutably).
+        let ws = Arc::clone(&ctx.workspace);
+        let mut bc = ws.acquire(nc);
+        ctx.residual_restrict_into(level, x, b, &mut bc);
+        let mut ec = ws.acquire(nc);
         self.run(level - 1, sub_acc, &mut ec, &bc, ctx);
         ctx.interpolate(level, &ec, x);
         ctx.relax(level, x, b, OMEGA_CYCLE);
@@ -477,15 +486,14 @@ impl TunedFmgFamily {
                 estimate_accuracy,
                 follow,
             } => {
-                // ESTIMATE_j: compute residual, restrict, recurse FMG on
+                // ESTIMATE_j: fused residual+restrict, recurse FMG on
                 // the coarse problem, interpolate the correction back.
                 let n = level_size(level);
-                let mut r = Grid2d::zeros(n);
-                ctx.residual_into(level, x, b, &mut r);
                 let nc = coarse_size(n);
-                let mut bc = Grid2d::zeros(nc);
-                ctx.restrict(level, &r, &mut bc);
-                let mut ec = Grid2d::zeros(nc);
+                let ws = Arc::clone(&ctx.workspace);
+                let mut bc = ws.acquire(nc);
+                ctx.residual_restrict_into(level, x, b, &mut bc);
+                let mut ec = ws.acquire(nc);
                 self.run(level - 1, estimate_accuracy as usize, &mut ec, &bc, ctx);
                 ctx.interpolate(level, &ec, x);
                 // Follow-up phase at this level.
@@ -496,8 +504,7 @@ impl TunedFmgFamily {
                         iterations,
                     } => {
                         for _ in 0..iterations {
-                            self.v
-                                .recurse_step(level, sub_accuracy as usize, x, b, ctx);
+                            self.v.recurse_step(level, sub_accuracy as usize, x, b, ctx);
                         }
                     }
                 }
@@ -554,8 +561,8 @@ pub fn simple_v_family(max_level: usize, accuracies: &[f64]) -> TunedFamily {
     if max_level >= 1 {
         plans[1] = vec![Choice::Direct; m];
     }
-    for k in 2..=max_level {
-        plans[k] = (0..m)
+    for row in plans.iter_mut().skip(2) {
+        *row = (0..m)
             .map(|i| Choice::Recurse {
                 sub_accuracy: i as u8,
                 iterations: 1,
@@ -687,6 +694,56 @@ mod tests {
     }
 
     #[test]
+    fn repeated_plan_execution_allocates_nothing() {
+        // The executor leases all per-level scratch from the context's
+        // workspace: after a warm-up run, repeated executions (as in
+        // tuner training loops) must be allocation-free.
+        let fam = simple_v_family(5, &[1e5]);
+        let inst = ProblemInstance::random(5, Distribution::UnbiasedUniform, 11);
+        let mut ctx = ExecCtx::new(Exec::seq());
+
+        let mut x = inst.working_grid();
+        fam.run(5, 0, &mut x, &inst.b, &mut ctx);
+        let warm = ctx.workspace.stats().allocations;
+        assert!(warm > 0, "warm-up must have populated the pools");
+
+        for _ in 0..8 {
+            let mut x = inst.working_grid();
+            fam.run(5, 0, &mut x, &inst.b, &mut ctx);
+        }
+        let after = ctx.workspace.stats();
+        assert_eq!(
+            after.allocations, warm,
+            "steady-state plan execution must not allocate grid scratch"
+        );
+        assert!(after.reuses >= 8, "pools must be reused across runs");
+    }
+
+    #[test]
+    fn shared_workspace_survives_context_rebuilds() {
+        // Tuners build a fresh counting context per candidate but share
+        // one workspace; pooling must carry across contexts.
+        let fam = simple_v_family(4, &[1e3]);
+        let inst = ProblemInstance::random(4, Distribution::UnbiasedUniform, 3);
+        let ws = Arc::new(Workspace::new());
+        let cache = Arc::new(DirectSolverCache::new());
+
+        let mut ctx =
+            ExecCtx::with_cache(Exec::seq(), Arc::clone(&cache)).with_workspace(Arc::clone(&ws));
+        let mut x = inst.working_grid();
+        fam.run(4, 0, &mut x, &inst.b, &mut ctx);
+        let warm = ws.stats().allocations;
+
+        for _ in 0..5 {
+            let mut ctx = ExecCtx::with_cache(Exec::seq(), Arc::clone(&cache))
+                .with_workspace(Arc::clone(&ws));
+            let mut x = inst.working_grid();
+            fam.run(4, 0, &mut x, &inst.b, &mut ctx);
+        }
+        assert_eq!(ws.stats().allocations, warm);
+    }
+
+    #[test]
     fn json_roundtrip_preserves_plans() {
         let fam = simple_v_family(5, &PAPER_ACCURACIES);
         let json = fam.to_json();
@@ -728,8 +785,8 @@ mod tests {
         // recurse cycle at each level.
         let v = simple_v_family(4, &[1e3]);
         let mut plans = vec![Vec::new(); 5];
-        for k in 1..=4 {
-            plans[k] = vec![FmgChoice::Estimate {
+        for row in plans.iter_mut().skip(1) {
+            *row = vec![FmgChoice::Estimate {
                 estimate_accuracy: 0,
                 follow: FollowUp::Recurse {
                     sub_accuracy: 0,

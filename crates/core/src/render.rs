@@ -114,7 +114,13 @@ fn walk_fmg(family: &TunedFmgFamily, level: usize, acc_idx: usize, depth: usize,
         follow,
     } = choice
     {
-        walk_fmg(family, level - 1, estimate_accuracy as usize, depth + 1, out);
+        walk_fmg(
+            family,
+            level - 1,
+            estimate_accuracy as usize,
+            depth + 1,
+            out,
+        );
         if let FollowUp::Recurse { sub_accuracy, .. } = follow {
             if level > 1 {
                 walk_v(&family.v, level - 1, sub_accuracy as usize, depth + 1, out);
@@ -141,9 +147,7 @@ pub fn summarize_trace(events: &[CycleEvent]) -> String {
             _ => {}
         }
     }
-    format!(
-        "relax={relax} restrict={restrict} interp={interp} direct={direct} sor_solves={sor}"
-    )
+    format!("relax={relax} restrict={restrict} interp={interp} direct={direct} sor_solves={sor}")
 }
 
 #[cfg(test)]

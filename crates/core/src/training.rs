@@ -198,13 +198,8 @@ mod tests {
     #[test]
     fn point_sources_are_sparse() {
         let inst = ProblemInstance::random(5, Distribution::PointSources(4), 13);
-        let nonzero = inst
-            .b
-            .as_slice()
-            .iter()
-            .filter(|v| **v != 0.0)
-            .count();
-        assert!(nonzero <= 4 && nonzero >= 1, "nonzero = {nonzero}");
+        let nonzero = inst.b.as_slice().iter().filter(|v| **v != 0.0).count();
+        assert!((1..=4).contains(&nonzero), "nonzero = {nonzero}");
     }
 
     #[test]

@@ -134,7 +134,13 @@ impl FmgTuner {
             for sub in 0..m {
                 let budget = best.as_ref().map(|(c, _)| (*c - est_cost).max(0.0));
                 if let Some(meas) = self.measure_follow_recurse(
-                    v, level, sub, target, instances, &est_states, budget,
+                    v,
+                    level,
+                    sub,
+                    target,
+                    instances,
+                    &est_states,
+                    budget,
                 ) {
                     if meas.feasible {
                         let total = est_cost + meas.cost;
@@ -199,7 +205,10 @@ impl FmgTuner {
         let opts = self.v_tuner.options();
         let n = level_size(level);
         let omega = omega_opt(n);
-        let cap = opts.sor_cap_mult.saturating_mul(n as u32).saturating_add(200);
+        let cap = opts
+            .sor_cap_mult
+            .saturating_mul(n as u32)
+            .saturating_add(200);
         let sweep_cost = opts.cost_model.profile().map(|p| {
             let mut ops = crate::cost::OpCounts::new(level);
             ops.level_mut(level).relax_sweeps = 1;
@@ -347,21 +356,20 @@ pub fn estimate_step(
     b: &Grid2d,
     ctx: &mut ExecCtx,
 ) {
-    use petamg_grid::{coarse_size, restrict_full_weighting};
+    use petamg_grid::coarse_size;
     if level <= 1 {
         return;
     }
     let n = level_size(level);
-    let mut r = Grid2d::zeros(n);
-    petamg_grid::residual(x, b, &mut r, &ctx.exec);
-    ctx.ops.level_mut(level).residuals += 1;
     let nc = coarse_size(n);
-    let mut bc = Grid2d::zeros(nc);
-    restrict_full_weighting(&r, &mut bc, &ctx.exec);
+    let ws = std::sync::Arc::clone(&ctx.workspace);
+    let mut bc = ws.acquire(nc);
+    petamg_grid::residual_restrict(x, b, &mut bc, &ws, &ctx.exec);
+    ctx.ops.level_mut(level).residuals += 1;
     ctx.ops.level_mut(level).restricts += 1;
-    let mut ec = Grid2d::zeros(nc);
+    let mut ec = ws.acquire(nc);
     partial.run(level - 1, j, &mut ec, &bc, ctx);
-    petamg_grid::interpolate_add(&ec, x, &ctx.exec);
+    petamg_grid::interpolate_correct(&ec, x, &ctx.exec);
     ctx.ops.level_mut(level).interps += 1;
 }
 
@@ -372,7 +380,10 @@ mod tests {
     use petamg_grid::Exec;
 
     fn quick(max_level: usize) -> FmgTuner {
-        FmgTuner::new(TunerOptions::quick(max_level, Distribution::UnbiasedUniform))
+        FmgTuner::new(TunerOptions::quick(
+            max_level,
+            Distribution::UnbiasedUniform,
+        ))
     }
 
     #[test]

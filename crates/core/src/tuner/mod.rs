@@ -26,7 +26,7 @@ use crate::accuracy::{ratio_of_errors, ACC_CAP};
 use crate::cost::{CostModel, MachineProfile, OpCounts};
 use crate::plan::{Choice, ExecCtx, TunedFamily, PAPER_ACCURACIES};
 use crate::training::{training_set, Distribution, ProblemInstance};
-use petamg_grid::{l2_diff, level_size, Exec};
+use petamg_grid::{l2_diff, level_size, Exec, Workspace};
 use petamg_solvers::relax::{omega_opt, sor_sweep};
 use petamg_solvers::DirectSolverCache;
 use std::sync::Arc;
@@ -94,7 +94,9 @@ impl TunerOptions {
     }
 
     fn sor_cap(&self, n: usize) -> u32 {
-        self.sor_cap_mult.saturating_mul(n as u32).saturating_add(200)
+        self.sor_cap_mult
+            .saturating_mul(n as u32)
+            .saturating_add(200)
     }
 }
 
@@ -146,6 +148,7 @@ pub(crate) struct Measured {
 pub struct VTuner {
     opts: TunerOptions,
     cache: Arc<DirectSolverCache>,
+    workspace: Arc<Workspace>,
 }
 
 impl VTuner {
@@ -165,6 +168,7 @@ impl VTuner {
         VTuner {
             opts,
             cache: Arc::new(DirectSolverCache::new()),
+            workspace: Arc::new(Workspace::new()),
         }
     }
 
@@ -240,9 +244,9 @@ impl VTuner {
         let mut best: Option<(f64, u32, Choice)> = None; // (cost, iters, choice)
 
         let consider = |meas: Measured,
-                            choice: Choice,
-                            evals: &mut Vec<CandidateEval>,
-                            best: &mut Option<(f64, u32, Choice)>| {
+                        choice: Choice,
+                        evals: &mut Vec<CandidateEval>,
+                        best: &mut Option<(f64, u32, Choice)>| {
             evals.push(CandidateEval {
                 level,
                 acc_idx,
@@ -273,8 +277,7 @@ impl VTuner {
         // 2. RECURSE_j for every sub-accuracy.
         for j in 0..m {
             let budget = best.as_ref().map(|(c, _, _)| *c);
-            if let Some(meas) = self.measure_recurse(partial, level, j, target, instances, budget)
-            {
+            if let Some(meas) = self.measure_recurse(partial, level, j, target, instances, budget) {
                 let choice = Choice::Recurse {
                     sub_accuracy: j as u8,
                     iterations: meas.iterations,
@@ -326,8 +329,12 @@ impl VTuner {
         }
     }
 
+    /// A counting context sharing the tuner's factor cache and scratch
+    /// arena (so back-to-back candidate evaluations never re-allocate
+    /// coarse-grid scratch).
     pub(crate) fn fresh_ctx(&self) -> ExecCtx {
         ExecCtx::with_cache(self.opts.exec.clone(), Arc::clone(&self.cache))
+            .with_workspace(Arc::clone(&self.workspace))
     }
 
     /// Price one set of op counts (modeled mode only).
@@ -337,7 +344,11 @@ impl VTuner {
 
     // ----- candidate measurements ------------------------------------
 
-    pub(crate) fn measure_direct(&self, level: usize, instances: &[ProblemInstance]) -> Option<Measured> {
+    pub(crate) fn measure_direct(
+        &self,
+        level: usize,
+        instances: &[ProblemInstance],
+    ) -> Option<Measured> {
         let n = level_size(level);
         match &self.opts.cost_model {
             CostModel::Modeled(p) => {
@@ -612,7 +623,10 @@ mod tests {
     use crate::plan::Choice;
 
     fn quick_tuner(max_level: usize) -> VTuner {
-        VTuner::new(TunerOptions::quick(max_level, Distribution::UnbiasedUniform))
+        VTuner::new(TunerOptions::quick(
+            max_level,
+            Distribution::UnbiasedUniform,
+        ))
     }
 
     #[test]
@@ -766,7 +780,11 @@ mod tests {
         fam.validate().unwrap();
         let mut inst = ProblemInstance::random(4, Distribution::BiasedUniform, 31337);
         let report = fam.solve(&mut inst, 1e5);
-        assert!(report.achieved_accuracy >= 5e4, "{}", report.achieved_accuracy);
+        assert!(
+            report.achieved_accuracy >= 5e4,
+            "{}",
+            report.achieved_accuracy
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::cost::CostModel;
 use crate::plan::ExecCtx;
 use crate::training::ProblemInstance;
 use petamg_grid::{
-    coarse_size, interpolate_add, l2_diff, level_size, residual, restrict_full_weighting, Grid2d,
+    coarse_size, interpolate_correct, l2_diff, level_size, residual_restrict, Grid2d,
 };
 use petamg_solvers::relax::{omega_opt, sor_sweep, OMEGA_CYCLE};
 use petamg_solvers::DirectSolverCache;
@@ -250,16 +250,15 @@ impl ParetoTuner {
         let n = level_size(k);
         sor_sweep(x, b, OMEGA_CYCLE, &self.opts.exec);
         ctx.ops.level_mut(k).relax_sweeps += 1;
-        let mut r = Grid2d::zeros(n);
-        residual(x, b, &mut r, &self.opts.exec);
-        ctx.ops.level_mut(k).residuals += 1;
         let nc = coarse_size(n);
-        let mut bc = Grid2d::zeros(nc);
-        restrict_full_weighting(&r, &mut bc, &self.opts.exec);
+        let ws = Arc::clone(&ctx.workspace);
+        let mut bc = ws.acquire(nc);
+        residual_restrict(x, b, &mut bc, &ws, &self.opts.exec);
+        ctx.ops.level_mut(k).residuals += 1;
         ctx.ops.level_mut(k).restricts += 1;
-        let mut ec = Grid2d::zeros(nc);
+        let mut ec = ws.acquire(nc);
         self.run_algo(sets, k - 1, sub_index, &mut ec, &bc, ctx);
-        interpolate_add(&ec, x, &self.opts.exec);
+        interpolate_correct(&ec, x, &self.opts.exec);
         ctx.ops.level_mut(k).interps += 1;
         sor_sweep(x, b, OMEGA_CYCLE, &self.opts.exec);
         ctx.ops.level_mut(k).relax_sweeps += 1;
@@ -419,8 +418,7 @@ mod tests {
     fn sets_are_mutually_nondominated() {
         let tuner = quick_tuner(4);
         let sets = tuner.tune();
-        for k in 1..=4 {
-            let set = &sets[k];
+        for (k, set) in sets.iter().enumerate().skip(1) {
             assert!(!set.is_empty(), "level {k} set empty");
             for a in 0..set.len() {
                 for b in 0..set.len() {
@@ -430,10 +428,7 @@ mod tests {
                     let dominated = set[b].cost <= set[a].cost
                         && set[b].accuracy >= set[a].accuracy
                         && (set[b].cost < set[a].cost || set[b].accuracy > set[a].accuracy);
-                    assert!(
-                        !dominated,
-                        "level {k}: member {a} dominated by {b}"
-                    );
+                    assert!(!dominated, "level {k}: member {a} dominated by {b}");
                 }
             }
         }
@@ -444,8 +439,8 @@ mod tests {
         let mut tuner = quick_tuner(4);
         tuner.set_cap = 5;
         let sets = tuner.tune();
-        for k in 1..=4 {
-            assert!(sets[k].len() <= 5, "level {k}: {}", sets[k].len());
+        for (k, set) in sets.iter().enumerate().skip(1) {
+            assert!(set.len() <= 5, "level {k}: {}", set.len());
         }
     }
 
@@ -476,11 +471,8 @@ mod tests {
         // sampling noise from differing iteration probes).
         let tuner = quick_tuner(3);
         let pts = tuner.figure2_points(3);
-        let discrete = crate::tuner::VTuner::new(TunerOptions::quick(
-            3,
-            Distribution::UnbiasedUniform,
-        ))
-        .tune();
+        let discrete =
+            crate::tuner::VTuner::new(TunerOptions::quick(3, Distribution::UnbiasedUniform)).tune();
         for (i, &p) in discrete.accuracies.clone().iter().enumerate() {
             // Best Pareto cost achieving >= p:
             let pareto_best = pts

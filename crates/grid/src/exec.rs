@@ -125,10 +125,7 @@ impl Exec {
                 }
             }
             Exec::Rayon { grain } => {
-                (lo..hi)
-                    .into_par_iter()
-                    .with_min_len(*grain)
-                    .for_each(|i| body(i));
+                (lo..hi).into_par_iter().with_min_len(*grain).for_each(body);
             }
         }
     }
@@ -155,11 +152,7 @@ impl Exec {
                     })
                 }
             }
-            Exec::Rayon { grain } => (lo..hi)
-                .into_par_iter()
-                .with_min_len(*grain)
-                .map(|i| f(i))
-                .sum(),
+            Exec::Rayon { grain } => (lo..hi).into_par_iter().with_min_len(*grain).map(f).sum(),
         }
     }
 
@@ -187,7 +180,7 @@ impl Exec {
             Exec::Rayon { grain } => (lo..hi)
                 .into_par_iter()
                 .with_min_len(*grain)
-                .map(|i| f(i))
+                .map(f)
                 .reduce(|| f64::NEG_INFINITY, f64::max),
         }
     }

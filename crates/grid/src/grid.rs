@@ -56,7 +56,10 @@ impl Grid2d {
     /// # Panics
     /// Panics if `n < 3` (a grid needs at least one interior point).
     pub fn zeros(n: usize) -> Self {
-        assert!(n >= 3, "grid must have at least one interior point (n >= 3)");
+        assert!(
+            n >= 3,
+            "grid must have at least one interior point (n >= 3)"
+        );
         Grid2d {
             n,
             data: vec![0.0; n * n],

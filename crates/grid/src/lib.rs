@@ -17,6 +17,33 @@
 //! All sweeps run through an [`Exec`] policy: sequential, the in-house
 //! work-stealing pool from `petamg-runtime` (the PetaBricks runtime
 //! stand-in), or rayon (kept as an ablation baseline per the HPC guide).
+//!
+//! ## The hot path: fused kernels + workspace arena
+//!
+//! Multigrid cycles spend their time in residual → restrict →
+//! interpolate-correct chains. Two **fused single-pass kernels** cover
+//! those chains without materializing intermediates:
+//!
+//! * [`residual_restrict`] — computes `r = b − A_h x` and full-weighting
+//!   restricts it to the coarse grid in one traversal; the fine-grid
+//!   residual never exists in memory. Sequentially it streams three
+//!   rotating residual rows (each fine row computed exactly once).
+//! * [`interpolate_correct`] — bilinear interpolation **added** directly
+//!   into the fine solution with row-parity specialized loops.
+//!
+//! Both are **bitwise identical** to their unfused reference
+//! compositions ([`residual`] + [`restrict_full_weighting`];
+//! [`interpolate_add`]) under every [`Exec`] policy — property-tested in
+//! this crate — so solvers and tuners can switch freely between the
+//! paths.
+//!
+//! Scratch storage comes from a [`Workspace`] arena: pools of per-level
+//! grids and row buffers, reused across cycles, sweeps, and tuner
+//! evaluations. Steady-state V/W/FMG cycles perform **zero** heap
+//! allocations ([`Workspace::stats`] exposes counters that tests assert
+//! on). All stencil inner loops — including the unfused reference
+//! kernels and the norms — iterate row slices (three-row stencil
+//! windows) so LLVM auto-vectorizes them.
 
 mod exec;
 mod grid;
@@ -24,13 +51,18 @@ mod norms;
 mod ops;
 mod ptr;
 mod transfer;
+mod workspace;
 
 pub use exec::Exec;
 pub use grid::{coarse_size, fine_size, level_size, size_level, Grid2d};
 pub use norms::{dot_interior, l2_diff, l2_norm_interior, max_diff, max_norm_interior};
-pub use ops::{apply_operator, residual};
+pub use ops::{apply_operator, residual, residual_restrict};
 pub use ptr::GridPtr;
-pub use transfer::{interpolate_add, interpolate_into, restrict_full_weighting, restrict_inject};
+pub use transfer::{
+    interpolate_add, interpolate_correct, interpolate_into, restrict_full_weighting,
+    restrict_inject,
+};
+pub use workspace::{BufferLease, GridLease, Workspace, WorkspaceStats};
 
 #[cfg(test)]
 mod proptests;

@@ -185,6 +185,87 @@ proptest! {
         prop_assert_eq!(f_seq.as_slice(), f_par.as_slice());
     }
 
+    /// Fused residual+restriction is bitwise equal to the unfused
+    /// composition under sequential execution.
+    #[test]
+    fn fused_residual_restrict_matches_unfused_seq(
+        x in any_grid(17, 100.0),
+        b in any_grid(17, 100.0),
+    ) {
+        let e = Exec::seq();
+        let ws = Workspace::new();
+        let mut r = Grid2d::zeros(17);
+        residual(&x, &b, &mut r, &e);
+        let mut want = Grid2d::zeros(9);
+        restrict_full_weighting(&r, &mut want, &e);
+
+        let mut got = Grid2d::zeros(9);
+        residual_restrict(&x, &b, &mut got, &ws, &e);
+        prop_assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    /// Fused residual+restriction under the pool / rayon stays within
+    /// 1e-13 relative of the sequential unfused composition. (The
+    /// kernels are in fact bitwise equal — disjoint row writes, no
+    /// reductions — so this documents the guaranteed tolerance.)
+    #[test]
+    fn fused_residual_restrict_parallel_within_tolerance(
+        x in any_grid(33, 100.0),
+        b in any_grid(33, 100.0),
+    ) {
+        let e = Exec::seq();
+        let ws = Workspace::new();
+        let mut r = Grid2d::zeros(33);
+        residual(&x, &b, &mut r, &e);
+        let mut want = Grid2d::zeros(17);
+        restrict_full_weighting(&r, &mut want, &e);
+        let scale = max_norm_interior(&want, &e).max(1.0);
+
+        for exec in [Exec::pbrt(2).with_grain(2), Exec::rayon().with_grain(2)] {
+            let mut got = Grid2d::zeros(17);
+            residual_restrict(&x, &b, &mut got, &ws, &exec);
+            let err = max_diff(&got, &want, &e);
+            prop_assert!(err <= 1e-13 * scale, "{:?}: err {} scale {}", exec, err, scale);
+            prop_assert_eq!(got.as_slice(), want.as_slice());
+        }
+    }
+
+    /// Fused interpolate-correct is bitwise equal to the reference
+    /// interpolate-add under sequential execution.
+    #[test]
+    fn fused_interpolate_correct_matches_add_seq(
+        c in zero_boundary_grid(9, 100.0),
+        base in any_grid(17, 100.0),
+    ) {
+        let e = Exec::seq();
+        let mut want = base.clone();
+        interpolate_add(&c, &mut want, &e);
+        let mut got = base.clone();
+        interpolate_correct(&c, &mut got, &e);
+        prop_assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    /// Fused interpolate-correct under the pool / rayon stays within
+    /// 1e-13 relative of the sequential reference (bitwise, in fact).
+    #[test]
+    fn fused_interpolate_correct_parallel_within_tolerance(
+        c in zero_boundary_grid(17, 100.0),
+        base in any_grid(33, 100.0),
+    ) {
+        let e = Exec::seq();
+        let mut want = base.clone();
+        interpolate_add(&c, &mut want, &e);
+        let scale = max_norm_interior(&want, &e).max(1.0);
+
+        for exec in [Exec::pbrt(2).with_grain(3), Exec::rayon().with_grain(2)] {
+            let mut got = base.clone();
+            interpolate_correct(&c, &mut got, &exec);
+            let err = max_diff(&got, &want, &e);
+            prop_assert!(err <= 1e-13 * scale, "{:?}: err {} scale {}", exec, err, scale);
+            prop_assert_eq!(got.as_slice(), want.as_slice());
+        }
+    }
+
     /// L2 norm obeys the triangle inequality and absolute homogeneity.
     #[test]
     fn l2_norm_is_a_norm(

@@ -83,6 +83,18 @@ impl GridPtr {
         debug_assert!(i < self.n);
         unsafe { self.ptr.add(i * self.n) }
     }
+
+    /// Raw mutable row pointer, for carving per-task row slices.
+    ///
+    /// # Safety
+    /// `i` must be a valid row index; the pointer must come from
+    /// [`GridPtr::new`]; and no other task may access row `i` while the
+    /// returned pointer (or a slice built from it) is live.
+    #[inline(always)]
+    pub unsafe fn row_mut(&self, i: usize) -> *mut f64 {
+        debug_assert!(i < self.n);
+        unsafe { self.ptr.add(i * self.n) }
+    }
 }
 
 #[cfg(test)]

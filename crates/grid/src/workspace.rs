@@ -1,0 +1,321 @@
+//! The level-workspace arena: reusable per-level scratch grids and row
+//! buffers.
+//!
+//! Every multigrid cycle needs coarse-grid scratch (`b_c`, `e_c`) at
+//! every recursion level, and the fused kernels need three-row residual
+//! buffers. Allocating those fresh per cycle puts the allocator in the
+//! hot path and dominates measured cost on small grids — exactly the
+//! noise an empirical autotuner must not measure. A [`Workspace`] owns
+//! pools of grids (keyed by side length) and row buffers (keyed by
+//! length); steady-state V/W/FMG cycles and tuner training runs acquire
+//! from the pools and perform **zero** heap allocations once warm.
+//!
+//! [`Workspace::stats`] exposes allocation/reuse counters so tests can
+//! assert the zero-allocation property directly.
+
+use crate::Grid2d;
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Monotonic counters describing pool behaviour since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Fresh heap allocations performed (pool misses).
+    pub allocations: u64,
+    /// Acquisitions served from the pool (pool hits).
+    pub reuses: u64,
+}
+
+#[derive(Default)]
+struct Pools {
+    /// Scratch grids keyed by side length `n`.
+    grids: HashMap<usize, Vec<Grid2d>>,
+    /// Scratch row buffers keyed by length.
+    buffers: HashMap<usize, Vec<Vec<f64>>>,
+}
+
+/// A pool of reusable scratch grids and row buffers.
+///
+/// Thread-safe: acquisitions lock briefly to pop from the pool; the
+/// leased storage itself is exclusively owned until dropped, when it
+/// returns to the pool.
+#[derive(Default)]
+pub struct Workspace {
+    pools: Mutex<Pools>,
+    allocations: AtomicU64,
+    reuses: AtomicU64,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lease an all-zero `n`×`n` grid, reusing pooled storage when
+    /// available. The lease returns the grid to the pool on drop.
+    pub fn acquire(&self, n: usize) -> GridLease<'_> {
+        let pooled = lock(&self.pools).grids.get_mut(&n).and_then(Vec::pop);
+        let grid = match pooled {
+            Some(mut g) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                g.fill_zero();
+                g
+            }
+            None => {
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                Grid2d::zeros(n)
+            }
+        };
+        GridLease {
+            ws: self,
+            grid: Some(grid),
+        }
+    }
+
+    /// Lease a zeroed row buffer of `len` values.
+    pub fn acquire_buffer(&self, len: usize) -> BufferLease<'_> {
+        let mut lease = self.acquire_buffer_unzeroed(len);
+        lease.fill(0.0);
+        lease
+    }
+
+    /// Lease a row buffer of `len` values **without** clearing pooled
+    /// contents (fresh allocations are still zeroed). For kernels that
+    /// overwrite every position they later read — e.g. the fused
+    /// residual rows — zeroing would be a dead memset on the hot path.
+    pub fn acquire_buffer_unzeroed(&self, len: usize) -> BufferLease<'_> {
+        let pooled = lock(&self.pools).buffers.get_mut(&len).and_then(Vec::pop);
+        let buf = match pooled {
+            Some(b) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                b
+            }
+            None => {
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                vec![0.0; len]
+            }
+        };
+        BufferLease {
+            ws: self,
+            buf: Some(buf),
+        }
+    }
+
+    /// Allocation/reuse counters so far.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            allocations: self.allocations.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all pooled storage (counters are kept).
+    pub fn clear(&self) {
+        let mut pools = lock(&self.pools);
+        pools.grids.clear();
+        pools.buffers.clear();
+    }
+
+    fn release_grid(&self, grid: Grid2d) {
+        lock(&self.pools)
+            .grids
+            .entry(grid.n())
+            .or_default()
+            .push(grid);
+    }
+
+    fn release_buffer(&self, buf: Vec<f64>) {
+        lock(&self.pools)
+            .buffers
+            .entry(buf.len())
+            .or_default()
+            .push(buf);
+    }
+}
+
+fn lock(m: &Mutex<Pools>) -> std::sync::MutexGuard<'_, Pools> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An exclusively-owned scratch grid; returns to its [`Workspace`] on
+/// drop.
+pub struct GridLease<'a> {
+    ws: &'a Workspace,
+    grid: Option<Grid2d>,
+}
+
+impl Deref for GridLease<'_> {
+    type Target = Grid2d;
+    fn deref(&self) -> &Grid2d {
+        self.grid.as_ref().expect("grid present until drop")
+    }
+}
+
+impl DerefMut for GridLease<'_> {
+    fn deref_mut(&mut self) -> &mut Grid2d {
+        self.grid.as_mut().expect("grid present until drop")
+    }
+}
+
+impl Drop for GridLease<'_> {
+    fn drop(&mut self) {
+        if let Some(g) = self.grid.take() {
+            self.ws.release_grid(g);
+        }
+    }
+}
+
+/// An exclusively-owned scratch row buffer; returns to its
+/// [`Workspace`] on drop.
+pub struct BufferLease<'a> {
+    ws: &'a Workspace,
+    buf: Option<Vec<f64>>,
+}
+
+impl Deref for BufferLease<'_> {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.buf.as_ref().expect("buffer present until drop")
+    }
+}
+
+impl DerefMut for BufferLease<'_> {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.buf.as_mut().expect("buffer present until drop")
+    }
+}
+
+impl Drop for BufferLease<'_> {
+    fn drop(&mut self) {
+        if let Some(b) = self.buf.take() {
+            self.ws.release_buffer(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_reuses_released_grids() {
+        let ws = Workspace::new();
+        {
+            let _a = ws.acquire(9);
+            let _b = ws.acquire(9);
+        }
+        assert_eq!(
+            ws.stats(),
+            WorkspaceStats {
+                allocations: 2,
+                reuses: 0
+            }
+        );
+        {
+            let _a = ws.acquire(9);
+            let _b = ws.acquire(9);
+            let _c = ws.acquire(9); // pool only has two
+        }
+        assert_eq!(
+            ws.stats(),
+            WorkspaceStats {
+                allocations: 3,
+                reuses: 2
+            }
+        );
+    }
+
+    #[test]
+    fn leased_grids_are_zeroed() {
+        let ws = Workspace::new();
+        {
+            let mut g = ws.acquire(5);
+            g.set(2, 2, 7.0);
+            g.set(0, 0, -3.0);
+        }
+        let g = ws.acquire(5);
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn distinct_sizes_pool_separately() {
+        let ws = Workspace::new();
+        {
+            let _a = ws.acquire(5);
+        }
+        {
+            let _b = ws.acquire(9);
+        }
+        assert_eq!(ws.stats().allocations, 2);
+        {
+            let _a = ws.acquire(5);
+            let _b = ws.acquire(9);
+        }
+        assert_eq!(ws.stats().allocations, 2);
+        assert_eq!(ws.stats().reuses, 2);
+    }
+
+    #[test]
+    fn buffers_pool_and_zero() {
+        let ws = Workspace::new();
+        {
+            let mut b = ws.acquire_buffer(12);
+            b[3] = 9.0;
+        }
+        let b = ws.acquire_buffer(12);
+        assert_eq!(b.len(), 12);
+        assert!(b.iter().all(|&v| v == 0.0));
+        assert_eq!(ws.stats().reuses, 1);
+    }
+
+    #[test]
+    fn unzeroed_buffers_skip_the_clear_but_still_pool() {
+        let ws = Workspace::new();
+        {
+            let mut b = ws.acquire_buffer(8);
+            b[2] = 5.0;
+        }
+        {
+            let b = ws.acquire_buffer_unzeroed(8);
+            assert_eq!(b.len(), 8);
+            assert_eq!(b[2], 5.0, "stale pool contents are kept");
+        }
+        assert_eq!(ws.stats().reuses, 1);
+        // A fresh unzeroed allocation still starts zeroed.
+        let b = ws.acquire_buffer_unzeroed(16);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn clear_drops_pools_but_keeps_counters() {
+        let ws = Workspace::new();
+        {
+            let _g = ws.acquire(5);
+        }
+        ws.clear();
+        {
+            let _g = ws.acquire(5);
+        }
+        assert_eq!(ws.stats().allocations, 2);
+    }
+
+    #[test]
+    fn concurrent_acquire_is_safe() {
+        let ws = Workspace::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let g = ws.acquire(9);
+                        assert_eq!(g.n(), 9);
+                    }
+                });
+            }
+        });
+        let st = ws.stats();
+        assert_eq!(st.allocations + st.reuses, 200);
+    }
+}

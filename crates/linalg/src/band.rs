@@ -96,6 +96,7 @@ impl BandMatrix {
     }
 
     /// Dense `y = A·x` (test oracle; O(n·m)).
+    #[allow(clippy::needless_range_loop)] // band index arithmetic reads clearest indexed
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "matvec dimension mismatch");
         let mut y = vec![0.0; self.n];
@@ -178,6 +179,7 @@ impl BandCholesky {
 
     /// Solve `A·x = b` in place (≡ `DPBTRS`): forward substitution
     /// `L·y = b`, then backward substitution `Lᵀ·x = y`. O(n·m).
+    #[allow(clippy::needless_range_loop)] // triangular-solve recurrences are index-coupled
     pub fn solve_in_place(&self, b: &mut [f64]) -> Result<(), LinalgError> {
         if b.len() != self.n {
             return Err(LinalgError::DimensionMismatch {
@@ -279,6 +281,7 @@ mod tests {
         let mut b = vec![0.0; n];
         b[0] = 1.0;
         dpbsv(&a, &mut b).unwrap();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let exact = (n - i) as f64 / (n + 1) as f64;
             assert!((b[i] - exact).abs() < 1e-12, "x[{i}] = {} vs {exact}", b[i]);
@@ -334,7 +337,10 @@ mod tests {
         let mut b = vec![0.0; 3];
         assert!(matches!(
             ch.solve_in_place(&mut b),
-            Err(LinalgError::DimensionMismatch { expected: 4, got: 3 })
+            Err(LinalgError::DimensionMismatch {
+                expected: 4,
+                got: 3
+            })
         ));
     }
 

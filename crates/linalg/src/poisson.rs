@@ -126,8 +126,8 @@ mod tests {
         assert_eq!(a.get(0, 1), -inv_h2);
         assert_eq!(a.get(0, 3), -inv_h2);
         assert_eq!(a.get(0, 2), 0.0); // same row, two apart
-        // Row wrap: unknown 2 (end of row 0) and 3 (start of row 1) are
-        // NOT neighbors in the grid.
+                                      // Row wrap: unknown 2 (end of row 0) and 3 (start of row 1) are
+                                      // NOT neighbors in the grid.
         assert_eq!(a.get(2, 3), 0.0);
     }
 

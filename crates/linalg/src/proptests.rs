@@ -8,30 +8,26 @@ use proptest::prelude::*;
 /// off-diagonals in [-1, 1], diagonal = band row-sum + margin.
 fn spd_band(n: usize, m: usize) -> impl Strategy<Value = BandMatrix> {
     let offs = n * m; // generous upper bound on off-diagonal count
-    (
-        prop::collection::vec(-1.0f64..1.0, offs),
-        0.5f64..5.0,
-    )
-        .prop_map(move |(vals, margin)| {
-            let mut a = BandMatrix::zeros(n, m);
-            let mut it = vals.into_iter();
-            for i in 0..n {
-                for d in 1..=m.min(i) {
-                    a.set(i, i - d, it.next().unwrap());
+    (prop::collection::vec(-1.0f64..1.0, offs), 0.5f64..5.0).prop_map(move |(vals, margin)| {
+        let mut a = BandMatrix::zeros(n, m);
+        let mut it = vals.into_iter();
+        for i in 0..n {
+            for d in 1..=m.min(i) {
+                a.set(i, i - d, it.next().unwrap());
+            }
+        }
+        // Diagonal dominance => SPD.
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in i.saturating_sub(m)..(i + m + 1).min(n) {
+                if j != i {
+                    row_sum += a.get(i, j).abs();
                 }
             }
-            // Diagonal dominance => SPD.
-            for i in 0..n {
-                let mut row_sum = 0.0;
-                for j in i.saturating_sub(m)..(i + m + 1).min(n) {
-                    if j != i {
-                        row_sum += a.get(i, j).abs();
-                    }
-                }
-                a.set(i, i, row_sum + margin);
-            }
-            a
-        })
+            a.set(i, i, row_sum + margin);
+        }
+        a
+    })
 }
 
 proptest! {
@@ -101,6 +97,7 @@ proptest! {
             e[j] = 1.0;
             let col = a.matvec(&e);          // A e_j
             let back = ch.solve(&col).unwrap(); // A⁻¹ A e_j = e_j
+            #[allow(clippy::needless_range_loop)]
             for i in 0..10 {
                 let expect = if i == j { 1.0 } else { 0.0 };
                 prop_assert!((back[i] - expect).abs() < 1e-8);

@@ -62,6 +62,7 @@ mod tests {
         let sup = vec![-1.0; n - 1];
         let rhs = vec![2.0 * h * h; n];
         let x = tridiagonal_solve(&sub, &diag, &sup, &rhs).unwrap();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let xi = (i + 1) as f64 * h;
             let exact = xi * (1.0 - xi);
@@ -105,6 +106,9 @@ mod tests {
 
     #[test]
     fn empty_system() {
-        assert_eq!(tridiagonal_solve(&[], &[], &[], &[]).unwrap(), Vec::<f64>::new());
+        assert_eq!(
+            tridiagonal_solve(&[], &[], &[], &[]).unwrap(),
+            Vec::<f64>::new()
+        );
     }
 }

@@ -129,8 +129,7 @@ where
         let this = unsafe { &*this };
         // SAFETY: execute-at-most-once means we are the only accessor of
         // `func` and `result` until the latch is set.
-        let func = unsafe { (*this.func.get()).take() }
-            .expect("StackJob executed twice");
+        let func = unsafe { (*this.func.get()).take() }.expect("StackJob executed twice");
         let outcome = match panic::catch_unwind(AssertUnwindSafe(func)) {
             Ok(r) => JobResult::Ok(r),
             Err(payload) => JobResult::Panic(payload),
@@ -194,8 +193,7 @@ mod tests {
 
     #[test]
     fn stack_job_captures_panic() {
-        let job: StackJob<SpinLatch, _, ()> =
-            StackJob::new(|| panic!("inner"), SpinLatch::new());
+        let job: StackJob<SpinLatch, _, ()> = StackJob::new(|| panic!("inner"), SpinLatch::new());
         let job_ref = unsafe { job.as_job_ref() };
         unsafe { job_ref.execute() };
         assert!(job.latch().probe());

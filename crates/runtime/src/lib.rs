@@ -50,8 +50,7 @@ mod scope;
 mod sleep;
 
 pub use par::{
-    parallel_for, parallel_for_reduce_max, parallel_for_reduce_sum, parallel_reduce,
-    ParallelForExt,
+    parallel_for, parallel_for_reduce_max, parallel_for_reduce_sum, parallel_reduce, ParallelForExt,
 };
 pub use registry::{current_worker_index, PoolStats, ThreadPool};
 pub use scope::{scope, Scope};
@@ -171,7 +170,10 @@ mod tests {
     fn single_thread_pool_still_completes() {
         let pool = ThreadPool::new(1);
         let sum: u64 = pool.install(|| {
-            let (a, b) = join(|| (0..1000u64).sum::<u64>(), || (1000..2000u64).sum::<u64>());
+            let (a, b) = join(
+                || (0..1000u64).sum::<u64>(),
+                || (1000..2000u64).sum::<u64>(),
+            );
             a + b
         });
         assert_eq!(sum, (0..2000u64).sum::<u64>());

@@ -184,9 +184,8 @@ mod tests {
     #[test]
     fn parallel_reduce_sums_correctly() {
         let pool = ThreadPool::new(2);
-        let total = pool.install(|| {
-            parallel_reduce(10_001, 64, 0u64, &|acc, i| acc + i as u64, &|a, b| a + b)
-        });
+        let total = pool
+            .install(|| parallel_reduce(10_001, 64, 0u64, &|acc, i| acc + i as u64, &|a, b| a + b));
         assert_eq!(total, (0..10_001u64).sum::<u64>());
     }
 
@@ -212,7 +211,7 @@ mod tests {
 
     #[test]
     fn par_chunks_apply_uses_global_pool() {
-        let mut data = vec![1u8; 100];
+        let mut data = [1u8; 100];
         data.par_chunks_apply(7, |_, chunk| {
             for x in chunk {
                 *x += 1;

@@ -206,8 +206,7 @@ impl ThreadPool {
     /// Panics if `num_threads == 0` or if OS thread spawning fails.
     pub fn new(num_threads: usize) -> Self {
         assert!(num_threads >= 1, "thread pool needs at least one worker");
-        let deques: Vec<Worker<JobRef>> =
-            (0..num_threads).map(|_| Worker::new_lifo()).collect();
+        let deques: Vec<Worker<JobRef>> = (0..num_threads).map(|_| Worker::new_lifo()).collect();
         let stealers = deques.iter().map(Worker::stealer).collect();
         let registry = Arc::new(Registry {
             injector: Injector::new(),
@@ -396,13 +395,13 @@ mod tests {
             crate::join(|| (), || ());
         });
         let after = pool.stats();
-        assert!(after.jobs_executed >= before.jobs_executed + 1);
+        assert!(after.jobs_executed > before.jobs_executed);
     }
 
     #[test]
     fn worker_index_in_range() {
         let pool = ThreadPool::new(4);
-        let idx = pool.install(|| current_worker_index());
+        let idx = pool.install(current_worker_index);
         assert!(idx.is_some());
         assert!(idx.unwrap() < 4);
         assert_eq!(current_worker_index(), None);

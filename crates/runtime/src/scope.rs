@@ -95,7 +95,7 @@ impl<'scope> Scope<'scope> {
         // Erase the scope reference to a raw pointer so the heap job can
         // be 'static. Sound because scope_core does not return until
         // `pending` drains back to zero, keeping `self` alive.
-        let scope_ptr = SendPtr(self as *const Scope<'scope> as *const Scope<'static>);
+        let scope_ptr = SendPtr((self as *const Scope<'scope>).cast::<Scope<'static>>());
         let task = move || {
             let scope_ptr = scope_ptr;
             // SAFETY: see above — the Scope outlives every spawned task.
@@ -118,7 +118,7 @@ impl<'scope> Scope<'scope> {
         // Erase the closure's 'scope lifetime. Sound for the same reason.
         let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
-        let job: JobRef = HeapJob::into_job_ref(move || task());
+        let job: JobRef = HeapJob::into_job_ref(task);
 
         match WorkerThread::current() {
             Some(worker) => worker.push(job),
@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn scope_borrows_stack_data() {
         let pool = ThreadPool::new(2);
-        let mut values = vec![0u32; 16];
+        let mut values = [0u32; 16];
         pool.install(|| {
             scope(|s| {
                 for (i, v) in values.iter_mut().enumerate() {
@@ -201,7 +201,11 @@ mod tests {
             })
         }));
         assert!(res.is_err());
-        assert_eq!(done.load(Ordering::SeqCst), 1, "sibling task must still run");
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            1,
+            "sibling task must still run"
+        );
     }
 
     #[test]

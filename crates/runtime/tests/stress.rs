@@ -33,7 +33,7 @@ fn deep_nesting_does_not_deadlock() {
         }
         let (a, b) = join(|| nest(depth - 1), || nest(depth - 1));
         // Also interleave a scope at every other level.
-        if depth % 2 == 0 {
+        if depth.is_multiple_of(2) {
             let count = AtomicUsize::new(0);
             scope(|s| {
                 for _ in 0..2 {

@@ -1,0 +1,289 @@
+//! API-compatible shim for the subset of `criterion` the benches use:
+//! `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `warm_up_time` / `measurement_time` / `throughput`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], and
+//! [`Bencher::iter`].
+//!
+//! Measurement model: a short warm-up, then `sample_size` samples, each
+//! sized so one sample stays within `measurement_time / sample_size`.
+//! Median ns/iter (and derived throughput) print per benchmark — enough
+//! for quick relative comparisons; no statistics machinery, no HTML
+//! reports. `CRITERION_QUICK=1` cuts warm-up and samples for CI smoke
+//! runs.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion 0.5 re-exports it
+/// too; the benches in this workspace import it from `std` directly).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Top-level driver handed to the `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Throughput annotation for a group (reported as elements/sec).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the function part).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total sampling budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let (warm_up, samples, budget) = if quick_mode() {
+            (Duration::from_millis(5), 3, Duration::from_millis(30))
+        } else {
+            (self.warm_up_time, self.sample_size, self.measurement_time)
+        };
+
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate {
+                deadline: Instant::now() + warm_up,
+            },
+            iters_per_sample: 1,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.median_ns.max(1.0);
+        let sample_budget = budget.as_nanos() as f64 / samples as f64;
+        let iters = ((sample_budget / per_iter) as u64).clamp(1, 1_000_000);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            bencher.mode = Mode::Sample { iters };
+            f(&mut bencher);
+            sample_ns.push(bencher.median_ns);
+        }
+        sample_ns.sort_by(f64::total_cmp);
+        let median = sample_ns[sample_ns.len() / 2];
+
+        let mut line = format!("{}/{}: {:>12.1} ns/iter", self.name, id.id, median);
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let rate = count as f64 / (median * 1e-9);
+            line.push_str(&format!(" ({rate:.3e} {unit}/s)"));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Run one benchmark that receives an input by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (prints nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+enum Mode {
+    /// Warm-up: run until the deadline, recording mean cost per iter.
+    Calibrate { deadline: Instant },
+    /// Timed sample of a fixed iteration count.
+    Sample { iters: u64 },
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        match self.mode {
+            Mode::Calibrate { deadline } => {
+                let mut iters: u64 = 0;
+                let start = Instant::now();
+                loop {
+                    std_black_box(routine());
+                    iters += 1;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                self.iters_per_sample = iters;
+                self.median_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            }
+            Mode::Sample { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std_black_box(routine());
+                }
+                self.median_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a runner function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running one or more groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0, "routine must have run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("relax", 513).id, "relax/513");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+}

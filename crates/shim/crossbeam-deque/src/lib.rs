@@ -1,0 +1,188 @@
+//! API-compatible shim for the subset of `crossbeam-deque` the runtime
+//! uses: a LIFO [`Worker`] deque with FIFO [`Stealer`]s and a FIFO
+//! [`Injector`].
+//!
+//! Implemented with `Mutex<VecDeque>` — lock-based rather than the real
+//! crate's lock-free Chase-Lev deque. The scheduling *policy* (LIFO
+//! local pops, FIFO steals) is identical, so the work-stealing pool
+//! behaves the same; only per-operation cost differs, which is invisible
+//! to the row-granular kernels this workspace schedules.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried. (Never produced by
+    /// this lock-based shim; kept for API compatibility.)
+    Retry,
+}
+
+#[derive(Debug)]
+struct Queue<T>(Mutex<VecDeque<T>>);
+
+impl<T> Queue<T> {
+    fn new() -> Self {
+        Queue(Mutex::new(VecDeque::new()))
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut VecDeque<T>) -> R) -> R {
+        f(&mut self.0.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// Owner side of a worker deque: LIFO push/pop from the hot end.
+pub struct Worker<T> {
+    queue: Arc<Queue<T>>,
+}
+
+impl<T> Worker<T> {
+    /// A new LIFO worker deque.
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Queue::new()),
+        }
+    }
+
+    /// A stealer handle taking from the cold (FIFO) end.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Push onto the hot end.
+    pub fn push(&self, task: T) {
+        self.queue.with(|q| q.push_back(task));
+    }
+
+    /// Pop from the hot end (depth-first order).
+    pub fn pop(&self) -> Option<T> {
+        self.queue.with(|q| q.pop_back())
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.with(|q| q.is_empty())
+    }
+}
+
+/// Thief side of a worker deque: steals from the cold end.
+pub struct Stealer<T> {
+    queue: Arc<Queue<T>>,
+}
+
+impl<T> Stealer<T> {
+    /// Attempt to steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.with(|q| q.pop_front()) {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// Global FIFO injector queue shared by all workers.
+pub struct Injector<T> {
+    queue: Queue<T>,
+}
+
+impl<T> Injector<T> {
+    /// A new empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Queue::new(),
+        }
+    }
+
+    /// Push onto the tail.
+    pub fn push(&self, task: T) {
+        self.queue.with(|q| q.push_back(task));
+    }
+
+    /// Attempt to take from the head.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.with(|q| q.pop_front()) {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the injector is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.with(|q| q.is_empty())
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner pops hot end");
+        match s.steal() {
+            Steal::Success(v) => assert_eq!(v, 1, "thief takes cold end"),
+            _ => panic!("steal failed"),
+        }
+        assert_eq!(w.pop(), Some(2));
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push('a');
+        inj.push('b');
+        assert!(matches!(inj.steal(), Steal::Success('a')));
+        assert!(matches!(inj.steal(), Steal::Success('b')));
+        assert!(matches!(inj.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn cross_thread_stealing() {
+        let w = Worker::new_lifo();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let stolen: usize = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = w.stealer();
+                    sc.spawn(move || {
+                        let mut count = 0;
+                        while let Steal::Success(_) = s.steal() {
+                            count += 1;
+                        }
+                        count
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(stolen, 100);
+    }
+}

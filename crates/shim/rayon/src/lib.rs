@@ -1,0 +1,241 @@
+//! API-compatible shim for the subset of `rayon` this workspace uses:
+//! `(lo..hi).into_par_iter().with_min_len(g)` followed by `for_each`,
+//! `map(..).sum()`, or `map(..).reduce(id, op)`, plus
+//! [`current_num_threads`].
+//!
+//! Implemented as plain fork-join over `std::thread::scope`: the range
+//! splits into contiguous chunks of at least `min_len` indices (at most
+//! one chunk per available core), each chunk runs on its own scoped
+//! thread, and reductions combine the in-order chunk results on the
+//! calling thread. For a fixed `min_len` and thread count the reduction
+//! tree — hence every floating-point sum — is deterministic.
+//!
+//! This keeps `Exec::Rayon` a meaningful *independent* baseline against
+//! the in-house work-stealing pool (`petamg-runtime`): it shares no
+//! scheduler code with it.
+
+use std::ops::Range;
+
+/// Number of threads parallel calls may use (mirrors
+/// `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Run both closures and return both results. `rayon::join` promises
+/// only *potential* parallelism; this shim always runs sequentially —
+/// spawning an OS thread per join would be pathological for the
+/// fine-grained recursive workloads the benches throw at it. Treat
+/// "rayon join" bench numbers as a sequential baseline under the shim.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// Conversion into a parallel iterator (mirrors rayon's trait of the
+/// same name).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            range: self,
+            min_len: 1,
+        }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeParIter {
+    range: Range<usize>,
+    min_len: usize,
+}
+
+/// Split `lo..hi` into contiguous chunks of at least `min_len` indices,
+/// at most one per core.
+fn chunks_of(range: &Range<usize>, min_len: usize) -> Vec<Range<usize>> {
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return Vec::new();
+    }
+    let min_len = min_len.max(1);
+    let max_chunks = current_num_threads().max(1);
+    let chunks = (len / min_len).clamp(1, max_chunks);
+    let per = len.div_ceil(chunks);
+    (0..chunks)
+        .map(|c| {
+            let lo = range.start + c * per;
+            let hi = (lo + per).min(range.end);
+            lo..hi
+        })
+        .filter(|r| r.start < r.end)
+        .collect()
+}
+
+/// Run one closure per chunk on scoped threads; first chunk runs inline.
+/// Results come back in chunk order.
+fn run_chunks<R: Send>(
+    chunks: Vec<Range<usize>>,
+    body: impl Fn(Range<usize>) -> R + Sync,
+) -> Vec<R> {
+    if chunks.len() <= 1 {
+        return chunks.into_iter().map(body).collect();
+    }
+    let body = &body;
+    std::thread::scope(|s| {
+        let mut iter = chunks.into_iter();
+        let first = iter.next().expect("checked non-empty");
+        let handles: Vec<_> = iter.map(|c| s.spawn(move || body(c))).collect();
+        let mut out = vec![body(first)];
+        out.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("chunk panicked")),
+        );
+        out
+    })
+}
+
+impl RangeParIter {
+    /// Lower bound on indices per split (mirrors rayon's `with_min_len`).
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Run `f` for every index.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let chunks = chunks_of(&self.range, self.min_len);
+        run_chunks(chunks, |c| c.for_each(&f));
+    }
+
+    /// Map each index through `f`, yielding a reducible iterator.
+    pub fn map<F, R>(self, f: F) -> MapParIter<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        MapParIter { base: self, f }
+    }
+}
+
+/// Result of [`RangeParIter::map`]: supports `sum` and `reduce`.
+pub struct MapParIter<F> {
+    base: RangeParIter,
+    f: F,
+}
+
+impl<F> MapParIter<F> {
+    /// Sum all mapped values. Chunk partials combine in chunk order, so
+    /// the result is deterministic for a fixed `min_len` / thread count.
+    pub fn sum<S>(self) -> S
+    where
+        F: Fn(usize) -> S + Sync,
+        S: Send + std::iter::Sum<S>,
+    {
+        let f = &self.f;
+        let chunks = chunks_of(&self.base.range, self.base.min_len);
+        run_chunks(chunks, |c| c.map(f).sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Reduce all mapped values with `op`, seeding each chunk with
+    /// `identity()`.
+    pub fn reduce<S, I, O>(self, identity: I, op: O) -> S
+    where
+        F: Fn(usize) -> S + Sync,
+        S: Send,
+        I: Fn() -> S + Sync,
+        O: Fn(S, S) -> S + Sync,
+    {
+        let f = &self.f;
+        let op_ref = &op;
+        let chunks = chunks_of(&self.base.range, self.base.min_len);
+        run_chunks(chunks, |c| c.map(f).fold(identity(), op_ref))
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_covers_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        (10..90).into_par_iter().with_min_len(7).for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            let expected = usize::from((10..90).contains(&i));
+            assert_eq!(h.load(Ordering::Relaxed), expected, "index {i}");
+        }
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let expected: f64 = (0..1000).map(|i| (i as f64).sqrt()).sum();
+        let got: f64 = (0..1000)
+            .into_par_iter()
+            .with_min_len(16)
+            .map(|i| (i as f64).sqrt())
+            .sum();
+        assert!((got - expected).abs() < 1e-9 * expected);
+    }
+
+    #[test]
+    fn sum_is_deterministic() {
+        let run = || -> f64 {
+            (0..4096)
+                .into_par_iter()
+                .with_min_len(8)
+                .map(|i| 1.0 / (1.0 + i as f64))
+                .sum()
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn reduce_max() {
+        let m = (0..500)
+            .into_par_iter()
+            .with_min_len(3)
+            .map(|i| ((i * 7919) % 1000) as f64)
+            .reduce(|| f64::NEG_INFINITY, f64::max);
+        let expected = (0..500)
+            .map(|i| ((i * 7919) % 1000) as f64)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(m, expected);
+    }
+
+    #[test]
+    fn empty_range() {
+        (5..5).into_par_iter().for_each(|_| panic!("must not run"));
+        let s: f64 = (5..5).into_par_iter().map(|_| 1.0).sum();
+        assert_eq!(s, 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The owned JSON value model shared by the `serde` and `serde_json`
+//! shims.
+
+/// Object representation. `BTreeMap` keeps key order deterministic,
+/// which makes serialized output stable across runs.
+pub type Map = std::collections::BTreeMap<String, Value>;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON number: stored as the narrowest of `i64` / `u64` / `f64` that
+/// represents the token, mirroring `serde_json::Number`.
+#[derive(Clone, Copy, Debug)]
+pub struct Number(N);
+
+#[derive(Clone, Copy, Debug)]
+enum N {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl Number {
+    /// From a signed integer.
+    pub fn from_i64(v: i64) -> Self {
+        Number(N::I(v))
+    }
+
+    /// From an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        Number(N::U(v))
+    }
+
+    /// From a float. Non-finite values have no JSON representation and
+    /// render as `null` (matching `serde_json`'s arbitrary-precision-off
+    /// behaviour of refusing them); callers in this workspace only
+    /// serialize finite values.
+    pub fn from_f64(v: f64) -> Self {
+        Number(N::F(v))
+    }
+
+    /// As `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::I(v) => Some(v),
+            N::U(v) => i64::try_from(v).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    /// As `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::I(v) => u64::try_from(v).ok(),
+            N::U(v) => Some(v),
+            N::F(_) => None,
+        }
+    }
+
+    /// As `f64` (integers convert; `None` only for non-finite floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::I(v) => Some(v as f64),
+            N::U(v) => Some(v as f64),
+            N::F(v) => v.is_finite().then_some(v),
+        }
+    }
+
+    /// Render the number as its JSON token.
+    pub fn render(&self) -> String {
+        match self.0 {
+            N::I(v) => v.to_string(),
+            N::U(v) => v.to_string(),
+            N::F(v) => {
+                if !v.is_finite() {
+                    "null".to_string()
+                } else if v == v.trunc() && v.abs() < 1e16 {
+                    // Keep a fractional part so the token reads back as a
+                    // float, exactly as serde_json prints 1.0 as "1.0".
+                    format!("{v:.1}")
+                } else {
+                    // Rust's shortest-roundtrip formatting.
+                    format!("{v}")
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_float_keeps_fraction() {
+        assert_eq!(Number::from_f64(1.0).render(), "1.0");
+        assert_eq!(Number::from_f64(-0.0).render(), "-0.0");
+        assert_eq!(Number::from_i64(1).render(), "1");
+    }
+
+    #[test]
+    fn float_roundtrips_through_render() {
+        for v in [1.15, 1e-300, 4294967296.0, std::f64::consts::PI, -1e16] {
+            let token = Number::from_f64(v).render();
+            let back: f64 = token.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "token {token}");
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Number::from_u64(7).as_i64(), Some(7));
+        assert_eq!(Number::from_i64(-1).as_u64(), None);
+        assert_eq!(Number::from_i64(3).as_f64(), Some(3.0));
+        assert_eq!(Number::from_f64(2.5).as_i64(), None);
+    }
+}

@@ -1,0 +1,483 @@
+//! Derive macros for the `serde` shim, written against the bare
+//! `proc_macro` API (no `syn`/`quote` — the build environment has no
+//! registry access).
+//!
+//! Supported input shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit, named-field, or single-element
+//!   tuple,
+//! * the `#[serde(untagged)]` container attribute on enums.
+//!
+//! Generated representations match serde's defaults: structs serialize
+//! as objects, unit variants as strings, struct/tuple variants as
+//! single-key objects, untagged variants as their bare payload (unit
+//! variants as `null`). Anything unsupported fails the build with a
+//! clear message rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// Named fields, or `None` for a tuple variant (with arity), or
+    /// neither for a unit variant.
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        untagged: bool,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip attributes (`#[...]` / `#![...]`), reporting whether any was
+/// `#[serde(untagged)]`.
+fn skip_attributes(tokens: &[TokenTree], mut pos: usize) -> (usize, bool) {
+    let mut untagged = false;
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                pos += 1;
+                // Optional `!` of inner attributes.
+                if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+                    if p.as_char() == '!' {
+                        pos += 1;
+                    }
+                }
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        untagged |= attr_is_serde_untagged(&g.stream());
+                        pos += 1;
+                        continue;
+                    }
+                }
+                panic!("serde shim derive: malformed attribute");
+            }
+            _ => break,
+        }
+    }
+    (pos, untagged)
+}
+
+fn attr_is_serde_untagged(stream: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "untagged"))
+        }
+        _ => false,
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(i)) = tokens.get(pos) {
+        if i.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+/// Split a token slice on top-level commas, tracking `<...>` depth so
+/// generic arguments don't split (JSON types here never nest brackets
+/// with commas otherwise).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse `name: Type` chunks into field names, skipping attributes and
+/// visibility.
+fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    split_top_level_commas(&tokens)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let (pos, _) = skip_attributes(&chunk, 0);
+            let pos = skip_visibility(&chunk, pos);
+            match chunk.get(pos) {
+                Some(TokenTree::Ident(name)) => name.to_string(),
+                other => panic!("serde shim derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    split_top_level_commas(&tokens)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let (pos, _) = skip_attributes(&chunk, 0);
+            let name = match chunk.get(pos) {
+                Some(TokenTree::Ident(name)) => name.to_string(),
+                other => panic!("serde shim derive: expected variant name, got {other:?}"),
+            };
+            let fields = match chunk.get(pos + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(&g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let arity = split_top_level_commas(&inner)
+                        .into_iter()
+                        .filter(|c| !c.is_empty())
+                        .count();
+                    VariantFields::Tuple(arity)
+                }
+                None => VariantFields::Unit,
+                other => panic!("serde shim derive: unsupported variant shape {other:?}"),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (pos, untagged) = skip_attributes(&tokens, 0);
+    let pos = skip_visibility(&tokens, pos);
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match &tokens[pos + 1] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if matches!(tokens.get(pos + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (derive on `{name}`)");
+    }
+    let body = match &tokens[pos + 2] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde shim derive: expected braced body, got {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            untagged,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn tuple_binders(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("f{i}")).collect()
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in &fields {
+                inserts.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::value::Value {{\n\
+                     let mut m = ::serde::value::Map::new();\n\
+                     {inserts}\
+                     ::serde::value::Value::Object(m)\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum {
+            name,
+            untagged,
+            variants,
+        } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let body = if untagged {
+                            "::serde::value::Value::Null".to_string()
+                        } else {
+                            format!("::serde::value::Value::String(\"{vn}\".to_string())")
+                        };
+                        arms.push_str(&format!("{name}::{vn} => {body},\n"));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "inner.insert(\"{f}\".to_string(), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        let payload = format!(
+                            "{{ let mut inner = ::serde::value::Map::new();\n\
+                               {inserts}\
+                               ::serde::value::Value::Object(inner) }}"
+                        );
+                        let body = if untagged {
+                            payload
+                        } else {
+                            format!(
+                                "{{ let mut m = ::serde::value::Map::new();\n\
+                                   m.insert(\"{vn}\".to_string(), {payload});\n\
+                                   ::serde::value::Value::Object(m) }}"
+                            )
+                        };
+                        arms.push_str(&format!("{name}::{vn} {{ {binders} }} => {body},\n"));
+                    }
+                    VariantFields::Tuple(arity) => {
+                        let binders = tuple_binders(*arity);
+                        let payload = if *arity == 1 {
+                            format!("::serde::Serialize::to_value({})", binders[0])
+                        } else {
+                            let items = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::value::Value::Array(vec![{items}])")
+                        };
+                        let body = if untagged {
+                            payload
+                        } else {
+                            format!(
+                                "{{ let mut m = ::serde::value::Map::new();\n\
+                                   m.insert(\"{vn}\".to_string(), {payload});\n\
+                                   ::serde::value::Value::Object(m) }}"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {body},\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::value::Value {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde shim derive: generated code must parse")
+}
+
+fn named_fields_constructor(type_path: &str, fields: &[String], source: &str) -> String {
+    let mut parts = String::new();
+    for f in fields {
+        parts.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value({source}.get(\"{f}\")\
+             .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,\n"
+        ));
+    }
+    format!("{type_path} {{ {parts} }}")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let ctor = named_fields_constructor(&name, &fields, "obj");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::Error> {{\n\
+                     let obj = v.as_object().ok_or_else(|| \
+                       ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                     Ok({ctor})\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum {
+            name,
+            untagged,
+            variants,
+        } => {
+            if untagged {
+                // Try each variant in declaration order; first success wins.
+                let mut attempts = String::new();
+                for v in &variants {
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            attempts.push_str(&format!(
+                                "if matches!(v, ::serde::value::Value::Null) \
+                                 {{ return Ok({name}::{vn}); }}\n",
+                                vn = v.name
+                            ));
+                        }
+                        VariantFields::Named(fields) => {
+                            let ctor = named_fields_constructor(
+                                &format!("{name}::{}", v.name),
+                                fields,
+                                "obj",
+                            );
+                            attempts.push_str(&format!(
+                                "if let Some(obj) = v.as_object() {{\n\
+                                   let attempt = (|| -> Result<Self, ::serde::Error> \
+                                     {{ Ok({ctor}) }})();\n\
+                                   if let Ok(x) = attempt {{ return Ok(x); }}\n\
+                                 }}\n"
+                            ));
+                        }
+                        VariantFields::Tuple(arity) => {
+                            assert_eq!(
+                                *arity, 1,
+                                "serde shim derive: untagged tuple variants must have one field"
+                            );
+                            attempts.push_str(&format!(
+                                "if let Ok(x) = ::serde::Deserialize::from_value(v) \
+                                 {{ return Ok({name}::{vn}(x)); }}\n",
+                                vn = v.name
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                       fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::Error> {{\n\
+                         {attempts}\
+                         Err(::serde::Error::custom(\
+                           \"no untagged variant of {name} matched\"))\n\
+                       }}\n\
+                     }}\n"
+                )
+            } else {
+                let mut unit_arms = String::new();
+                let mut keyed_arms = String::new();
+                for v in &variants {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                        }
+                        VariantFields::Named(fields) => {
+                            let ctor =
+                                named_fields_constructor(&format!("{name}::{vn}"), fields, "obj");
+                            keyed_arms.push_str(&format!(
+                                "\"{vn}\" => {{\n\
+                                   let obj = inner.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(\
+                                       \"expected object payload for {name}::{vn}\"))?;\n\
+                                   return Ok({ctor});\n\
+                                 }}\n"
+                            ));
+                        }
+                        VariantFields::Tuple(arity) => {
+                            if *arity == 1 {
+                                keyed_arms.push_str(&format!(
+                                    "\"{vn}\" => return Ok({name}::{vn}(\
+                                     ::serde::Deserialize::from_value(inner)?)),\n"
+                                ));
+                            } else {
+                                let gets = (0..*arity)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Deserialize::from_value(\
+                                             items.get({i}).ok_or_else(|| \
+                                             ::serde::Error::custom(\"short tuple\"))?)?"
+                                        )
+                                    })
+                                    .collect::<Vec<_>>()
+                                    .join(", ");
+                                keyed_arms.push_str(&format!(
+                                    "\"{vn}\" => {{\n\
+                                       let items = inner.as_array().ok_or_else(|| \
+                                         ::serde::Error::custom(\
+                                           \"expected array payload for {name}::{vn}\"))?;\n\
+                                       return Ok({name}::{vn}({gets}));\n\
+                                     }}\n"
+                                ));
+                            }
+                        }
+                    }
+                }
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                       fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                           ::serde::value::Value::String(s) => {{\n\
+                             match s.as_str() {{\n\
+                               {unit_arms}\
+                               other => return Err(::serde::Error::custom(format!(\
+                                 \"unknown unit variant `{{other}}` of {name}\"))),\n\
+                             }}\n\
+                           }}\n\
+                           ::serde::value::Value::Object(m) if m.len() == 1 => {{\n\
+                             let (tag, inner) = m.iter().next().expect(\"len checked\");\n\
+                             match tag.as_str() {{\n\
+                               {keyed_arms}\
+                               other => return Err(::serde::Error::custom(format!(\
+                                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                             }}\n\
+                           }}\n\
+                           other => Err(::serde::Error::custom(format!(\
+                             \"expected variant of {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                       }}\n\
+                     }}\n"
+                )
+            }
+        }
+    };
+    out.parse()
+        .expect("serde shim derive: generated code must parse")
+}

@@ -1,0 +1,385 @@
+//! API-compatible shim for the subset of `serde_json` this workspace
+//! uses: [`to_string`], [`to_string_pretty`], [`from_str`], and the
+//! [`Value`]/[`Number`] types (re-exported from the `serde` shim's
+//! value model).
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+use serde::{Deserialize, Serialize};
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to pretty JSON (two-space indent, like `serde_json`).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse a JSON document into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_complete(s)?;
+    T::from_value(&value)
+}
+
+// ---- writer ---------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.render()),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value_complete(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid keyword at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::custom(format!("bad array at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::custom(format!("bad object at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::custom("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u codepoint"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::custom(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("bad number"))?;
+        if !is_float {
+            if let Ok(i) = token.parse::<i64>() {
+                return Ok(Value::Number(Number::from_i64(i)));
+            }
+            if let Ok(u) = token.parse::<u64>() {
+                return Ok(Value::Number(Number::from_u64(u)));
+            }
+        }
+        token
+            .parse::<f64>()
+            .map(|f| Value::Number(Number::from_f64(f)))
+            .map_err(|_| Error::custom(format!("invalid number `{token}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn object_roundtrip() {
+        let text = r#"{"alpha": 1, "beta": [true, null, "x"], "gamma": {"d": 2.5}}"#;
+        let v: Value = from_str(text).unwrap();
+        let compact = to_string(&v).unwrap();
+        let v2: Value = from_str(&compact).unwrap();
+        assert_eq!(v, v2);
+        let pretty = to_string_pretty(&v).unwrap();
+        let v3: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, v3);
+    }
+
+    #[test]
+    fn pretty_format_shape() {
+        let v: Value = from_str(r#"{"a":1}"#).unwrap();
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn float_precision_roundtrip() {
+        for x in [1.15, std::f64::consts::PI, 4294967296.0, 1e-300] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "via {s}");
+        }
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<f64>("\"not a number\"").is_err());
+    }
+
+    #[test]
+    fn scientific_notation_parses() {
+        assert_eq!(from_str::<f64>("1e3").unwrap(), 1000.0);
+        assert_eq!(from_str::<f64>("-2.5E-2").unwrap(), -0.025);
+    }
+}

@@ -14,8 +14,8 @@
 use crate::direct::DirectSolverCache;
 use crate::relax::{sor_sweep, OMEGA_CYCLE};
 use petamg_grid::{
-    coarse_size, interpolate_add, interpolate_into, residual, restrict_full_weighting,
-    restrict_inject, Exec, Grid2d,
+    coarse_size, interpolate_correct, interpolate_into, residual_restrict, restrict_full_weighting,
+    restrict_inject, Exec, Grid2d, Workspace,
 };
 use std::sync::Arc;
 
@@ -51,24 +51,31 @@ impl Default for MgConfig {
 }
 
 /// Reference (non-autotuned) multigrid solver with a shared direct-solve
-/// cache.
+/// cache and a per-level scratch workspace.
+///
+/// Cycles run through the fused kernels
+/// ([`residual_restrict`] / [`interpolate_correct`]) and lease all
+/// coarse-grid scratch from the [`Workspace`], so steady-state cycling
+/// performs zero heap allocations.
 pub struct ReferenceSolver {
     cfg: MgConfig,
     cache: Arc<DirectSolverCache>,
+    workspace: Arc<Workspace>,
 }
 
 impl ReferenceSolver {
     /// Build a solver from a configuration (fresh factor cache).
     pub fn new(cfg: MgConfig) -> Self {
-        ReferenceSolver {
-            cfg,
-            cache: Arc::new(DirectSolverCache::new()),
-        }
+        Self::with_cache(cfg, Arc::new(DirectSolverCache::new()))
     }
 
     /// Build with a shared factor cache.
     pub fn with_cache(cfg: MgConfig, cache: Arc<DirectSolverCache>) -> Self {
-        ReferenceSolver { cfg, cache }
+        ReferenceSolver {
+            cfg,
+            cache,
+            workspace: Arc::new(Workspace::new()),
+        }
     }
 
     /// The configuration in use.
@@ -79,6 +86,12 @@ impl ReferenceSolver {
     /// The factor cache (shared with tuned solvers in benches).
     pub fn cache(&self) -> &Arc<DirectSolverCache> {
         &self.cache
+    }
+
+    /// The scratch workspace (exposed so tests and benches can assert
+    /// its allocation behaviour).
+    pub fn workspace(&self) -> &Arc<Workspace> {
+        &self.workspace
     }
 
     /// One multigrid cycle (`MULTIGRID-V-SIMPLE` for `gamma = 1`,
@@ -95,17 +108,17 @@ impl ReferenceSolver {
             sor_sweep(x, b, self.cfg.omega, exec);
         }
         // Coarse-grid correction: A e = r, zero boundary, zero initial
-        // guess.
-        let mut r = Grid2d::zeros(n);
-        residual(x, b, &mut r, exec);
+        // guess. The residual is restricted in one fused pass (never
+        // materialized) and all coarse scratch is leased from the
+        // workspace.
         let nc = coarse_size(n);
-        let mut bc = Grid2d::zeros(nc);
-        restrict_full_weighting(&r, &mut bc, exec);
-        let mut ec = Grid2d::zeros(nc);
+        let mut bc = self.workspace.acquire(nc);
+        residual_restrict(x, b, &mut bc, &self.workspace, exec);
+        let mut ec = self.workspace.acquire(nc);
         for _ in 0..self.cfg.gamma.max(1) {
             self.vcycle(&mut ec, &bc);
         }
-        interpolate_add(&ec, x, exec);
+        interpolate_correct(&ec, x, exec);
         for _ in 0..self.cfg.post_sweeps {
             sor_sweep(x, b, self.cfg.omega, exec);
         }
@@ -128,8 +141,8 @@ impl ReferenceSolver {
             return;
         }
         let nc = coarse_size(n);
-        let mut xc = Grid2d::zeros(nc);
-        let mut bc = Grid2d::zeros(nc);
+        let mut xc = self.workspace.acquire(nc);
+        let mut bc = self.workspace.acquire(nc);
         restrict_inject(x, &mut xc); // boundary ring
         restrict_full_weighting(b, &mut bc, &self.cfg.exec);
         xc.zero_interior();
@@ -299,9 +312,7 @@ mod tests {
         let e = Exec::seq();
         let solver = ReferenceSolver::new(MgConfig::default());
         let e0 = l2_diff(&x, &x_opt, &e);
-        let iters = solver.solve_v_until(&mut x, &b, 100, |x| {
-            l2_diff(x, &x_opt, &e) <= e0 / 1e5
-        });
+        let iters = solver.solve_v_until(&mut x, &b, 100, |x| l2_diff(x, &x_opt, &e) <= e0 / 1e5);
         assert!(iters > 1 && iters < 20, "iters = {iters}");
         assert!(l2_diff(&x, &x_opt, &e) <= e0 / 1e5);
     }
@@ -323,8 +334,7 @@ mod tests {
         let target = e0 / 1e7;
 
         let mut xv = x0.clone();
-        let v_iters =
-            solver.solve_v_until(&mut xv, &b, 100, |x| l2_diff(x, &x_opt, &e) <= target);
+        let v_iters = solver.solve_v_until(&mut xv, &b, 100, |x| l2_diff(x, &x_opt, &e) <= target);
         let mut xf = x0.clone();
         let f_iters =
             solver.solve_fmg_until(&mut xf, &b, 100, |x| l2_diff(x, &x_opt, &e) <= target);
@@ -347,6 +357,46 @@ mod tests {
         seq.vcycle(&mut xs, &b);
         par.vcycle(&mut xp, &b);
         assert_eq!(xs.as_slice(), xp.as_slice());
+    }
+
+    #[test]
+    fn steady_state_cycles_allocate_nothing() {
+        // After one warm-up cycle the workspace pools hold every scratch
+        // grid and row buffer a cycle needs; V, W and FMG cycling must
+        // then be allocation-free.
+        let (x0, b, _) = test_problem(65);
+        for gamma in [1usize, 2] {
+            let solver = ReferenceSolver::new(MgConfig {
+                gamma,
+                ..MgConfig::default()
+            });
+            let mut x = x0.clone();
+            solver.vcycle(&mut x, &b);
+            let warm = solver.workspace().stats().allocations;
+            assert!(warm > 0, "warm-up must have populated the pools");
+            for _ in 0..5 {
+                solver.vcycle(&mut x, &b);
+            }
+            let after = solver.workspace().stats();
+            assert_eq!(
+                after.allocations, warm,
+                "steady-state cycles (gamma={gamma}) must not allocate"
+            );
+            assert!(after.reuses > 0, "pools must actually be reused");
+        }
+
+        let solver = ReferenceSolver::new(MgConfig::default());
+        let mut x = x0.clone();
+        solver.fmg(&mut x, &b);
+        let warm = solver.workspace().stats().allocations;
+        for _ in 0..3 {
+            solver.fmg(&mut x, &b);
+        }
+        assert_eq!(
+            solver.workspace().stats().allocations,
+            warm,
+            "steady-state FMG passes must not allocate"
+        );
     }
 
     #[test]

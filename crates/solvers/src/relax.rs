@@ -36,6 +36,13 @@ pub fn sor_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, exec: &Exec) {
 }
 
 /// One half-sweep updating only cells of `color` (`(i+j) % 2 == color`).
+///
+/// The inner loop runs a three-row stencil cursor: row base pointers are
+/// hoisted out of the column loop so the stride-2 walk does no index
+/// multiplies. (Row `i±1` cannot be exposed as safe slices here: other
+/// tasks concurrently write the *same-color* cells of those rows, so
+/// element reads must stay raw pointer loads of the opposite-color
+/// cells only.)
 pub fn sor_half_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, color: usize, exec: &Exec) {
     assert!(color < 2);
     let n = x.n();
@@ -54,12 +61,16 @@ pub fn sor_half_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, color: usize, exec
         // row i adjacent columns), none of which are written in this
         // half-sweep by any task.
         unsafe {
+            let up = xp.row(i - 1);
+            let dn = xp.row(i + 1);
+            let mid = xp.row_mut(i);
+            let brow = bp.row(i);
             let mut j = j0;
             while j < n - 1 {
-                let nb = xp.at(i - 1, j) + xp.at(i + 1, j) + xp.at(i, j - 1) + xp.at(i, j + 1);
-                let gs = 0.25 * (nb + h2 * bp.at(i, j));
-                let old = xp.at(i, j);
-                xp.set(i, j, old + omega * (gs - old));
+                let nb = *up.add(j) + *dn.add(j) + *mid.add(j - 1) + *mid.add(j + 1);
+                let gs = 0.25 * (nb + h2 * *brow.add(j));
+                let old = *mid.add(j);
+                *mid.add(j) = old + omega * (gs - old);
                 j += 2;
             }
         }
@@ -81,20 +92,25 @@ pub fn jacobi_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, scratch: &mut Grid2d
         h * h
     };
     scratch.copy_from(x);
-    let old = GridPtr::new_read(scratch);
-    let bp = GridPtr::new_read(b);
     let xp = GridPtr::new(x);
+    let olds = scratch.as_slice();
+    let bs = b.as_slice();
     exec.for_rows(1, n - 1, |i| {
         // SAFETY: writes go to distinct rows of `x`; all reads are from
-        // `scratch`/`b`, which are not written in this sweep.
-        unsafe {
-            for j in 1..n - 1 {
-                let nb =
-                    old.at(i - 1, j) + old.at(i + 1, j) + old.at(i, j - 1) + old.at(i, j + 1);
-                let jac = 0.25 * (nb + h2 * bp.at(i, j));
-                let prev = old.at(i, j);
-                xp.set(i, j, prev + omega * (jac - prev));
-            }
+        // `scratch`/`b` (safe shared slices), which are not written in
+        // this sweep.
+        let out = unsafe { std::slice::from_raw_parts_mut(xp.row_mut(i), n) };
+        let up = &olds[(i - 1) * n + 1..i * n - 1];
+        let dn = &olds[(i + 1) * n + 1..(i + 2) * n - 1];
+        let mid = &olds[i * n..(i + 1) * n];
+        let (left, center, right) = (&mid[..n - 2], &mid[1..n - 1], &mid[2..]);
+        let brow = &bs[i * n + 1..(i + 1) * n - 1];
+        let out = &mut out[1..n - 1];
+        for j in 0..out.len() {
+            let nb = up[j] + dn[j] + left[j] + right[j];
+            let jac = 0.25 * (nb + h2 * brow[j]);
+            let prev = center[j];
+            out[j] = prev + omega * (jac - prev);
         }
     });
 }
@@ -107,7 +123,7 @@ pub fn gauss_seidel_sweep(x: &mut Grid2d, b: &Grid2d, exec: &Exec) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use petamg_grid::{l2_diff, residual, l2_norm_interior};
+    use petamg_grid::{l2_diff, l2_norm_interior, residual};
     use petamg_linalg::PoissonDirect;
 
     fn test_problem(n: usize) -> (Grid2d, Grid2d, Grid2d) {

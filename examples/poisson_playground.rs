@@ -82,7 +82,9 @@ fn main() {
 
     // Parallel execution through the work-stealing runtime.
     {
-        let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(2);
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(2);
         let par = Exec::pbrt(threads);
         let par_solver = ReferenceSolver::with_cache(
             MgConfig {

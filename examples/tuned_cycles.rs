@@ -33,7 +33,10 @@ fn main() {
             println!("{}", render::render_cycle(&ctx.tracer.events));
             println!("({})\n", render::summarize_trace(&ctx.tracer.events));
 
-            println!("--- FULL-MULTIGRID cycle, accuracy {:>6} ---", format!("{p:.0e}"));
+            println!(
+                "--- FULL-MULTIGRID cycle, accuracy {:>6} ---",
+                format!("{p:.0e}")
+            );
             let mut ctx = ExecCtx::with_cache(Exec::seq(), Arc::new(Default::default())).tracing();
             let mut x = inst.working_grid();
             fmg.run(max_level, i, &mut x, &inst.b, &mut ctx);

@@ -14,7 +14,11 @@
 //!
 //! Module map:
 //! * [`grid`] — 2D grid substrate: 5-point Laplacian, residual,
-//!   full-weighting restriction, bilinear interpolation, norms.
+//!   full-weighting restriction, bilinear interpolation, norms; the
+//!   **fused hot-path kernels** (`residual_restrict`,
+//!   `interpolate_correct` — bitwise equal to their unfused
+//!   compositions) and the **`Workspace` arena** of pooled per-level
+//!   scratch that makes steady-state cycles allocation-free.
 //! * [`linalg`] — packed band Cholesky (the paper's LAPACK `DPBSV`).
 //! * [`runtime`] — Cilk-style work-stealing pool (PetaBricks runtime).
 //! * [`choice`] — PetaBricks-style choice framework: config spaces,
@@ -57,7 +61,7 @@ pub mod prelude {
     pub use petamg_core::plan::{Choice, TunedFamily};
     pub use petamg_core::training::{Distribution, ProblemInstance};
     pub use petamg_core::tuner::{FmgTuner, TunerOptions, VTuner};
-    pub use petamg_grid::{Exec, Grid2d};
+    pub use petamg_grid::{Exec, Grid2d, Workspace};
     pub use petamg_runtime::ThreadPool;
     pub use petamg_solvers::multigrid::{MgConfig, ReferenceSolver};
     pub use petamg_solvers::relax::omega_opt;

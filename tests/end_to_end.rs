@@ -72,9 +72,7 @@ fn fmg_and_v_families_share_accuracies_and_solve() {
     let exec = Exec::seq();
     let cache = Arc::new(DirectSolverCache::new());
     let mut inst = ProblemInstance::random(5, Distribution::UnbiasedUniform, 888);
-    let rv = fmg
-        .v
-        .solve_with(&mut inst.clone(), 1e5, &exec, &cache);
+    let rv = fmg.v.solve_with(&mut inst.clone(), 1e5, &exec, &cache);
     let rf = fmg.solve_with(&mut inst, 1e5, &exec, &cache);
     assert!(rv.achieved_accuracy >= 5e4);
     assert!(rf.achieved_accuracy >= 5e4);

@@ -117,8 +117,7 @@ fn cross_tuning_never_beats_native_tuning() {
     let dist = Distribution::UnbiasedUniform;
     let intel = MachineProfile::intel_harpertown();
     let sun = MachineProfile::sun_niagara();
-    let fam_intel =
-        VTuner::new(TunerOptions::modeled(level, dist, intel.clone())).tune();
+    let fam_intel = VTuner::new(TunerOptions::modeled(level, dist, intel.clone())).tune();
     let fam_sun = VTuner::new(TunerOptions::modeled(level, dist, sun.clone())).tune();
     let cache = Arc::new(DirectSolverCache::new());
     let exec = Exec::seq();
@@ -187,8 +186,7 @@ fn cycle_shapes_vary_with_accuracy_target() {
     let plans: Vec<_> = (0..tuned.num_accuracies())
         .map(|i| tuned.plan(7, i))
         .collect();
-    let distinct: std::collections::HashSet<String> =
-        plans.iter().map(|c| c.describe()).collect();
+    let distinct: std::collections::HashSet<String> = plans.iter().map(|c| c.describe()).collect();
     assert!(
         distinct.len() >= 2,
         "expected accuracy-dependent plans, got {plans:?}"
