@@ -1,6 +1,7 @@
 //! Kernel-fusion benchmark: fused single-pass kernels + workspace arena
-//! versus the unfused reference path, across grid sizes and execution
-//! backends. Emits `BENCH_kernels.json`.
+//! versus the unfused reference path, across grid sizes, execution
+//! backends, block-cursor band heights, and temporal-block depths.
+//! Emits `BENCH_kernels.json`.
 //!
 //! Three comparisons per size and backend:
 //!
@@ -15,19 +16,32 @@
 //! * **interpolation kernels only** (`interpolate_add` vs
 //!   `interpolate_correct`).
 //!
+//! Two sweeps over the new tuning axes:
+//!
+//! * **band sweep** — the fused `residual_restrict` on the pooled
+//!   backend across block-cursor band heights. `band_rows = 1` is the
+//!   PR 1 pooled path (each coarse-row task re-derives its three
+//!   residual rows); taller bands share the rolling window, and the
+//!   record carries both the speedup over that baseline and the
+//!   parallel-vs-sequential-fused ratio;
+//! * **temporal-block sweep** — `sor_sweeps_blocked` against the staged
+//!   reference for a fixed sweep count, across fused depths.
+//!
 //! Flags / env:
 //! * `--quick` (or `PETAMG_BENCH_QUICK=1`) — CI smoke mode: fewer
 //!   samples, smaller size sweep;
 //! * `PETAMG_BENCH_OUT` — output path (default `BENCH_kernels.json`).
 //!
-//! Fused and unfused results are verified bitwise equal for every size
-//! and backend before anything is timed.
+//! Fused and unfused results are verified bitwise equal for every size,
+//! backend, band, and depth before anything is timed.
 
 use petamg_bench::time_best;
 use petamg_grid::{
     coarse_size, interpolate_add, interpolate_correct, residual, residual_restrict,
     restrict_full_weighting, Exec, Grid2d, Workspace,
 };
+use petamg_solvers::fused::sor_sweeps_blocked;
+use petamg_solvers::relax::sor_sweeps;
 use serde::Serialize;
 use std::hint::black_box;
 
@@ -62,12 +76,49 @@ struct SizeRecord {
 }
 
 #[derive(Serialize)]
+struct BandRecord {
+    n: usize,
+    /// Backend name (pooled).
+    backend: String,
+    /// Block-cursor band height; 1 == the PR 1 pooled path.
+    band_rows: usize,
+    /// Fused residual_restrict at this band, seconds.
+    rr_fused_s: f64,
+    /// Speedup over the band = 1 baseline (the PR 1 pooled path).
+    speedup_vs_band1: f64,
+    /// Sequential fused time / this parallel fused time (>1 means the
+    /// parallel fused path wins outright).
+    fused_par_vs_seq: f64,
+}
+
+#[derive(Serialize)]
+struct TblockRecord {
+    n: usize,
+    backend: String,
+    /// Total SOR sweeps executed (fixed per record set).
+    sweeps: usize,
+    /// Sweeps fused per wavefront traversal.
+    tblock: usize,
+    /// Temporally blocked time, seconds.
+    blocked_s: f64,
+    /// Staged reference (one traversal pair per sweep), seconds.
+    staged_s: f64,
+    /// staged / blocked.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     bench: String,
     quick: bool,
     trials: usize,
     reps_scale: String,
     sizes: Vec<SizeRecord>,
+    /// Fused residual_restrict across block-cursor band heights
+    /// (band_rows = 1 reproduces the PR 1 pooled path).
+    band_sweep: Vec<BandRecord>,
+    /// Temporally blocked SOR across fused depths.
+    tblock_sweep: Vec<TblockRecord>,
 }
 
 fn test_grids(n: usize) -> (Grid2d, Grid2d) {
@@ -189,6 +240,145 @@ fn bench_backend(name: &str, exec: &Exec, n: usize, trials: usize, quick: bool) 
     }
 }
 
+/// Sweep block-cursor band heights for the fused `residual_restrict` on
+/// the pooled backend. `band = 1` is exactly the PR 1 pooled path (one
+/// coarse row per task, three residual rows re-derived each).
+fn bench_band_sweep(
+    pool_exec: &Exec,
+    backend: &str,
+    n: usize,
+    bands: &[usize],
+    trials: usize,
+    quick: bool,
+) -> Vec<BandRecord> {
+    let (x, b) = test_grids(n);
+    let nc = coarse_size(n);
+    let reps = reps_for(n, quick);
+    let ws = Workspace::new();
+    let mut bc = Grid2d::zeros(nc);
+
+    let time_rr = |exec: &Exec| {
+        verify_equivalence(n, exec, &ws);
+        let mut bc_local = Grid2d::zeros(nc);
+        time_best(trials, || {
+            for _ in 0..reps {
+                residual_restrict(&x, &b, black_box(&mut bc_local), &ws, exec);
+            }
+        }) / reps as f64
+    };
+
+    let seq_fused_s = time_rr(&Exec::seq());
+    // Warm once so lease pools exist before the band=1 baseline timing.
+    residual_restrict(&x, &b, &mut bc, &ws, pool_exec);
+
+    // Time the band=1 (PR 1 pooled path) baseline first so every
+    // record gets a real ratio regardless of the sweep order.
+    let band1_s = time_rr(&pool_exec.clone().with_band(1));
+
+    let mut records = Vec::new();
+    for &band in bands {
+        let rr_fused_s = if band == 1 {
+            band1_s
+        } else {
+            time_rr(&pool_exec.clone().with_band(band))
+        };
+        records.push(BandRecord {
+            n,
+            backend: backend.to_string(),
+            band_rows: band,
+            rr_fused_s,
+            speedup_vs_band1: band1_s / rr_fused_s,
+            fused_par_vs_seq: seq_fused_s / rr_fused_s,
+        });
+        println!(
+            "band,{},{},{},{:.2},{:.3},{:.3}",
+            n,
+            backend,
+            band,
+            rr_fused_s * 1e6,
+            band1_s / rr_fused_s,
+            seq_fused_s / rr_fused_s
+        );
+    }
+    records
+}
+
+/// Sweep temporal-block depths for `sweeps` SOR sweeps against the
+/// staged reference.
+fn bench_tblock_sweep(
+    name: &str,
+    exec: &Exec,
+    n: usize,
+    sweeps: usize,
+    depths: &[usize],
+    trials: usize,
+    quick: bool,
+) -> Vec<TblockRecord> {
+    let (x0, b) = test_grids(n);
+    // Temporal blocking multiplies work per traversal; scale reps down.
+    let reps = (reps_for(n, quick) / sweeps).max(1);
+    let ws = Workspace::new();
+
+    // Verify bitwise equality of every depth before timing.
+    let mut want = x0.clone();
+    sor_sweeps(&mut want, &b, 1.15, sweeps, &Exec::seq());
+    for &depth in depths {
+        let mut got = x0.clone();
+        let mut left = sweeps;
+        while left > 0 {
+            let chunk = left.min(depth);
+            sor_sweeps_blocked(&mut got, &b, 1.15, chunk, &ws, exec);
+            left -= chunk;
+        }
+        assert_eq!(
+            got.as_slice(),
+            want.as_slice(),
+            "blocked SOR diverged at n={n} depth={depth} ({exec:?})"
+        );
+    }
+
+    let mut x = x0.clone();
+    let staged_s = time_best(trials, || {
+        for _ in 0..reps {
+            sor_sweeps(black_box(&mut x), &b, 1.15, sweeps, exec);
+        }
+    }) / reps as f64;
+
+    let mut records = Vec::new();
+    for &depth in depths {
+        let mut x = x0.clone();
+        let blocked_s = time_best(trials, || {
+            for _ in 0..reps {
+                let mut left = sweeps;
+                while left > 0 {
+                    let chunk = left.min(depth);
+                    sor_sweeps_blocked(black_box(&mut x), &b, 1.15, chunk, &ws, exec);
+                    left -= chunk;
+                }
+            }
+        }) / reps as f64;
+        records.push(TblockRecord {
+            n,
+            backend: name.to_string(),
+            sweeps,
+            tblock: depth,
+            blocked_s,
+            staged_s,
+            speedup: staged_s / blocked_s,
+        });
+        println!(
+            "tblock,{},{},{},{:.2},{:.2},{:.3}",
+            n,
+            name,
+            depth,
+            blocked_s * 1e6,
+            staged_s * 1e6,
+            staged_s / blocked_s
+        );
+    }
+    records
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("PETAMG_BENCH_QUICK").is_ok_and(|v| v != "0");
@@ -203,20 +393,25 @@ fn main() {
 
     petamg_bench::banner(
         "kernel_fusion",
-        "fused residual_restrict / interpolate_correct vs unfused reference path",
+        "fused residual_restrict / interpolate_correct vs unfused reference path,\n\
+         plus block-cursor band and temporal-block sweeps",
         "step = residual -> restrict -> interpolate-correct; unfused allocates\n\
          fresh grids per pass (seed behaviour), fused leases from the workspace.\n\
-         Fused/unfused verified bitwise equal before timing.",
+         band rows: band_rows=1 is the PR 1 pooled path (3 residual rows per\n\
+         coarse-row task); taller bands share the rolling window.\n\
+         Fused/unfused/blocked verified bitwise equal before timing.",
     );
     println!("n,backend,step_unfused_us,step_fused_us,step_speedup,rr_speedup,interp_speedup");
 
     let pool_threads = 2;
+    let pool_exec = Exec::pbrt(pool_threads);
+    let pool_name = format!("pbrt{pool_threads}");
     let mut size_records = Vec::new();
     for &n in sizes {
         let mut backends = Vec::new();
         for (name, exec) in [
             ("seq".to_string(), Exec::seq()),
-            (format!("pbrt{pool_threads}"), Exec::pbrt(pool_threads)),
+            (pool_name.clone(), pool_exec.clone()),
         ] {
             let rec = bench_backend(&name, &exec, n, trials, quick);
             println!(
@@ -234,12 +429,52 @@ fn main() {
         size_records.push(SizeRecord { n, backends });
     }
 
+    // Block-cursor band sweep (pooled fused residual_restrict).
+    println!("#\nkind,n,backend,band_rows,rr_fused_us,speedup_vs_band1,fused_par_vs_seq");
+    let bands: &[usize] = if quick {
+        &[1, 8, 32]
+    } else {
+        &[1, 4, 8, 16, 32, 64, 128]
+    };
+    let band_sizes: &[usize] = if quick { &[513] } else { &[129, 513, 1025] };
+    let mut band_sweep = Vec::new();
+    for &n in band_sizes {
+        band_sweep.extend(bench_band_sweep(
+            &pool_exec, &pool_name, n, bands, trials, quick,
+        ));
+    }
+
+    // Temporal-block depth sweep.
+    println!("#\nkind,n,backend,tblock,blocked_us,staged_us,speedup");
+    let depths: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
+    let tblock_sizes: &[usize] = if quick { &[513] } else { &[129, 513, 1025] };
+    let tblock_sweeps = 4;
+    let mut tblock_sweep = Vec::new();
+    for &n in tblock_sizes {
+        for (name, exec) in [
+            ("seq", Exec::seq()),
+            (pool_name.as_str(), pool_exec.clone()),
+        ] {
+            tblock_sweep.extend(bench_tblock_sweep(
+                name,
+                &exec,
+                n,
+                tblock_sweeps,
+                depths,
+                trials,
+                quick,
+            ));
+        }
+    }
+
     let report = Report {
         bench: "kernel_fusion".to_string(),
         quick,
         trials,
         reps_scale: "~16M points touched per trial".to_string(),
         sizes: size_records,
+        band_sweep,
+        tblock_sweep,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");

@@ -23,6 +23,6 @@ pub mod transform;
 pub use genetic::{GeneticTuner, GeneticTunerOptions, MultiLevelConfig, Tunable, TuneResult};
 pub use nary::{nary_search_f64, nary_search_int};
 pub use space::{
-    tuning_order, Config, ConfigError, ConfigSpace, ParamId, ParamKind, ParamSpec, ParamValue,
-    Scale,
+    kernel_exec_space, tuning_order, Config, ConfigError, ConfigSpace, KernelKnobs, ParamId,
+    ParamKind, ParamSpec, ParamValue, Scale, PARAM_BAND_ROWS, PARAM_TBLOCK,
 };

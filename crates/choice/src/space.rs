@@ -340,6 +340,71 @@ impl Config {
     }
 }
 
+/// Name of the band-height axis in [`kernel_exec_space`].
+pub const PARAM_BAND_ROWS: &str = "band_rows";
+/// Name of the temporal-block-depth axis in [`kernel_exec_space`].
+pub const PARAM_TBLOCK: &str = "tblock";
+
+/// Typed view of a [`kernel_exec_space`] configuration.
+///
+/// Both knobs are pure performance axes: the grid kernels guarantee
+/// bitwise identical results for every setting, so the tuner can search
+/// them freely without re-validating accuracy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelKnobs {
+    /// Rows per block-cursor band (`Exec::with_band` in `petamg-grid`).
+    pub band_rows: usize,
+    /// SOR sweeps fused per wavefront traversal
+    /// (`petamg_solvers::fused`).
+    pub tblock: usize,
+}
+
+impl KernelKnobs {
+    /// Extract the knobs from a configuration of [`kernel_exec_space`]
+    /// (or any space containing the two named axes).
+    ///
+    /// # Panics
+    /// Panics if either axis is missing from `space`.
+    pub fn from_config(space: &ConfigSpace, config: &Config) -> Self {
+        let band = space
+            .find(PARAM_BAND_ROWS)
+            .expect("space lacks the band_rows axis");
+        let tblock = space
+            .find(PARAM_TBLOCK)
+            .expect("space lacks the tblock axis");
+        KernelKnobs {
+            band_rows: config.int(band).max(1) as usize,
+            tblock: config.int(tblock).max(1) as usize,
+        }
+    }
+}
+
+impl Default for KernelKnobs {
+    fn default() -> Self {
+        KernelKnobs {
+            band_rows: 32,
+            tblock: 1,
+        }
+    }
+}
+
+/// The kernel-execution tuning space: the block-cursor **band height**
+/// and the **temporal-block depth** of the fused multigrid kernels —
+/// "block sizes" in PetaBricks terms (§3.2.2), which the Kernel Tuning
+/// Toolkit and empirical QR autotuning literature likewise treat as
+/// first-class tuning dimensions.
+///
+/// `tblock` depends on `band_rows` (the band must be chosen before the
+/// temporal depth can be judged: deeper blocking enlarges each band's
+/// recomputed halo), so [`tuning_order`] yields `band_rows` first.
+pub fn kernel_exec_space() -> ConfigSpace {
+    let mut s = ConfigSpace::new();
+    let band = s.add_int(PARAM_BAND_ROWS, 1, 512, 32, Scale::Log);
+    let tblock = s.add_int(PARAM_TBLOCK, 1, 8, 1, Scale::Log);
+    s.add_dependency(tblock, band);
+    s
+}
+
 /// Compute the tuning order: strongly-connected components of the
 /// dependency graph in topological order (dependencies first). Parameters
 /// in the same component are tuned together — "if there are cycles in
@@ -541,6 +606,49 @@ mod tests {
         assert_eq!(order.len(), 2);
         assert_eq!(order[0], vec![c]);
         assert_eq!(order[1], vec![a, b]);
+    }
+
+    #[test]
+    fn kernel_exec_space_axes_and_order() {
+        let s = kernel_exec_space();
+        let knobs = KernelKnobs::from_config(&s, &s.default_config());
+        assert_eq!(knobs, KernelKnobs::default());
+        // band_rows is tuned before tblock (tblock depends on it).
+        let order = tuning_order(&s);
+        let band = s.find(PARAM_BAND_ROWS).unwrap();
+        let tblock = s.find(PARAM_TBLOCK).unwrap();
+        let pos = |p: ParamId| order.iter().position(|g| g.contains(&p)).unwrap();
+        assert!(pos(band) < pos(tblock), "band must be tuned first");
+        // Both axes are Log-scaled ints with sane domains.
+        for name in [PARAM_BAND_ROWS, PARAM_TBLOCK] {
+            let id = s.find(name).unwrap();
+            match &s.spec(id).kind {
+                ParamKind::Int { lo, scale, .. } => {
+                    assert_eq!(*lo, 1, "{name} must allow the degenerate baseline");
+                    assert_eq!(*scale, Scale::Log);
+                }
+                other => panic!("{name} has wrong kind {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_knobs_roundtrip_through_json() {
+        let s = kernel_exec_space();
+        let mut c = s.default_config();
+        c.set(&s, s.find(PARAM_BAND_ROWS).unwrap(), ParamValue::Int(64))
+            .unwrap();
+        c.set(&s, s.find(PARAM_TBLOCK).unwrap(), ParamValue::Int(4))
+            .unwrap();
+        let c2 = Config::from_json(&s, &c.to_json(&s)).unwrap();
+        let knobs = KernelKnobs::from_config(&s, &c2);
+        assert_eq!(
+            knobs,
+            KernelKnobs {
+                band_rows: 64,
+                tblock: 4
+            }
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! > together into choice grids. The choice grid divides each matrix into
 //! > rectilinear regions where uniform sets of rules may legally be
 //! > applied. Finally, a choice dependency graph is constructed and
-//! > analyzed. [Its] edges ... are annotated with the set of choices that
+//! > analyzed. \[Its\] edges ... are annotated with the set of choices that
 //! > require that edge, a direction of the data dependency, and an offset
 //! > between rule centers."
 //!

@@ -26,10 +26,11 @@ use crate::accuracy::ACC_CAP;
 use crate::cost::OpCounts;
 use crate::trace::{CycleEvent, Tracer};
 use crate::training::ProblemInstance;
-use petamg_grid::{
-    coarse_size, interpolate_correct, level_size, residual_restrict, Exec, Grid2d, Workspace,
+use petamg_grid::{coarse_size, level_size, Exec, Grid2d, Workspace};
+use petamg_solvers::fused::{
+    interpolate_correct_relax, relax_residual_restrict, sor_sweeps_blocked,
 };
-use petamg_solvers::relax::{omega_opt, sor_sweep, OMEGA_CYCLE};
+use petamg_solvers::relax::{omega_opt, OMEGA_CYCLE};
 use petamg_solvers::DirectSolverCache;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -74,8 +75,14 @@ impl Choice {
 
 /// Execution context threaded through plan execution.
 pub struct ExecCtx {
-    /// Execution policy for all grid sweeps.
+    /// Execution policy for all grid sweeps (its band height is one of
+    /// the kernel-execution tuner axes).
     pub exec: Exec,
+    /// Temporal-block depth: SOR sweeps fused per wavefront traversal
+    /// (the other kernel-execution tuner axis; see
+    /// `petamg_solvers::fused`). Pure performance knob — results are
+    /// bitwise identical for every value.
+    pub tblock: usize,
     /// Shared band-Cholesky factor cache.
     pub cache: Arc<DirectSolverCache>,
     /// Shared per-level scratch arena. Recursion leases coarse grids
@@ -98,6 +105,7 @@ impl ExecCtx {
     pub fn with_cache(exec: Exec, cache: Arc<DirectSolverCache>) -> Self {
         ExecCtx {
             exec,
+            tblock: 1,
             cache,
             workspace: Arc::new(Workspace::new()),
             ops: OpCounts::default(),
@@ -109,6 +117,12 @@ impl ExecCtx {
     /// workspace across every candidate evaluation).
     pub fn with_workspace(mut self, workspace: Arc<Workspace>) -> Self {
         self.workspace = workspace;
+        self
+    }
+
+    /// Replace the temporal-block depth (clamped to at least 1).
+    pub fn with_tblock(mut self, tblock: usize) -> Self {
+        self.tblock = tblock.max(1);
         self
     }
 
@@ -129,27 +143,67 @@ impl ExecCtx {
         };
     }
 
-    fn relax(&mut self, level: usize, x: &mut Grid2d, b: &Grid2d, omega: f64) {
-        sor_sweep(x, b, omega, &self.exec);
-        self.ops.level_mut(level).relax_sweeps += 1;
-        self.tracer.record(CycleEvent::Relax { level });
-    }
-
-    /// Fused residual + restriction at `level` (counted and traced as
-    /// one residual plus one restrict, matching the unfused composition
-    /// it replaces bitwise).
-    fn residual_restrict_into(&mut self, level: usize, x: &Grid2d, b: &Grid2d, bc: &mut Grid2d) {
-        residual_restrict(x, b, bc, &self.workspace, &self.exec);
+    /// Fused residual + restriction at `level` without relaxation (the
+    /// FMG estimate edge). Counted and traced as one residual plus one
+    /// restrict, matching the unfused composition it replaces bitwise.
+    fn residual_restrict_into(
+        &mut self,
+        level: usize,
+        x: &mut Grid2d,
+        b: &Grid2d,
+        bc: &mut Grid2d,
+    ) {
+        relax_residual_restrict(x, b, bc, OMEGA_CYCLE, 0, &self.workspace, &self.exec);
         self.ops.level_mut(level).residuals += 1;
         self.ops.level_mut(level).restricts += 1;
         self.tracer.record(CycleEvent::Residual { level });
         self.tracer.record(CycleEvent::Restrict { from: level });
     }
 
-    fn interpolate(&mut self, to: usize, coarse: &Grid2d, fine: &mut Grid2d) {
-        interpolate_correct(coarse, fine, &self.exec);
+    /// Interpolation correction at `to` without relaxation (the FMG
+    /// estimate edge; the follow-up phase relaxes separately).
+    fn interpolate(&mut self, to: usize, coarse: &Grid2d, fine: &mut Grid2d, b: &Grid2d) {
+        interpolate_correct_relax(coarse, fine, b, OMEGA_CYCLE, 0, &self.workspace, &self.exec);
         self.ops.level_mut(to).interps += 1;
         self.tracer.record(CycleEvent::Interpolate { to });
+    }
+
+    /// One temporally blocked relax + fused residual + restriction at
+    /// `level`: the pre-relaxation cycle edge in a single traversal.
+    /// Counted and traced exactly like the staged composition it
+    /// replaces bitwise (one relax, one residual, one restrict).
+    fn relax_residual_restrict_into(
+        &mut self,
+        level: usize,
+        x: &mut Grid2d,
+        b: &Grid2d,
+        bc: &mut Grid2d,
+        omega: f64,
+    ) {
+        relax_residual_restrict(x, b, bc, omega, 1, &self.workspace, &self.exec);
+        self.ops.level_mut(level).relax_sweeps += 1;
+        self.ops.level_mut(level).residuals += 1;
+        self.ops.level_mut(level).restricts += 1;
+        self.tracer.record(CycleEvent::Relax { level });
+        self.tracer.record(CycleEvent::Residual { level });
+        self.tracer.record(CycleEvent::Restrict { from: level });
+    }
+
+    /// The fused interpolation + post-relaxation cycle edge at `to`
+    /// (one traversal; counted as one interpolation and one relax).
+    fn interpolate_relax(
+        &mut self,
+        to: usize,
+        coarse: &Grid2d,
+        fine: &mut Grid2d,
+        b: &Grid2d,
+        omega: f64,
+    ) {
+        interpolate_correct_relax(coarse, fine, b, omega, 1, &self.workspace, &self.exec);
+        self.ops.level_mut(to).interps += 1;
+        self.ops.level_mut(to).relax_sweeps += 1;
+        self.tracer.record(CycleEvent::Interpolate { to });
+        self.tracer.record(CycleEvent::Relax { level: to });
     }
 
     fn direct(&mut self, level: usize, x: &mut Grid2d, b: &Grid2d) {
@@ -160,8 +214,14 @@ impl ExecCtx {
 
     fn sor_solve(&mut self, level: usize, x: &mut Grid2d, b: &Grid2d, iterations: u32) {
         let omega = omega_opt(x.n());
-        for _ in 0..iterations {
-            sor_sweep(x, b, omega, &self.exec);
+        // Temporal blocking: fuse up to `tblock` sweeps per wavefront
+        // traversal (bitwise identical to iterated single sweeps).
+        let depth = self.tblock.max(1);
+        let mut left = iterations as usize;
+        while left > 0 {
+            let chunk = left.min(depth);
+            sor_sweeps_blocked(x, b, omega, chunk, &self.workspace, &self.exec);
+            left -= chunk;
         }
         self.ops.level_mut(level).relax_sweeps += iterations as u64;
         self.tracer
@@ -311,18 +371,18 @@ impl TunedFamily {
             return;
         }
         let n = level_size(level);
-        ctx.relax(level, x, b, OMEGA_CYCLE);
         let nc = coarse_size(n);
         // Lease coarse scratch from the shared arena (the local Arc
         // clone keeps the leases from borrowing `ctx`, which the
         // recursion needs mutably).
         let ws = Arc::clone(&ctx.workspace);
         let mut bc = ws.acquire(nc);
-        ctx.residual_restrict_into(level, x, b, &mut bc);
+        // Both cycle edges run fused: pre-relax + residual + restrict
+        // in one traversal, interpolate + post-relax in another.
+        ctx.relax_residual_restrict_into(level, x, b, &mut bc, OMEGA_CYCLE);
         let mut ec = ws.acquire(nc);
         self.run(level - 1, sub_acc, &mut ec, &bc, ctx);
-        ctx.interpolate(level, &ec, x);
-        ctx.relax(level, x, b, OMEGA_CYCLE);
+        ctx.interpolate_relax(level, &ec, x, b, OMEGA_CYCLE);
     }
 
     /// Solve `inst` to (at least) `target` accuracy using the family
@@ -495,7 +555,7 @@ impl TunedFmgFamily {
                 ctx.residual_restrict_into(level, x, b, &mut bc);
                 let mut ec = ws.acquire(nc);
                 self.run(level - 1, estimate_accuracy as usize, &mut ec, &bc, ctx);
-                ctx.interpolate(level, &ec, x);
+                ctx.interpolate(level, &ec, x, b);
                 // Follow-up phase at this level.
                 match follow {
                     FollowUp::Sor { iterations } => ctx.sor_solve(level, x, b, iterations),

@@ -1,0 +1,187 @@
+//! Tuning the kernel-execution knobs: block-cursor **band height** and
+//! **temporal-block depth**.
+//!
+//! PetaBricks treats block sizes as ordinary scalar tunables searched
+//! with n-ary search (§3.2.2); this module does the same for the two
+//! axes the fused multigrid kernels expose via
+//! [`petamg_choice::kernel_exec_space`]. Both axes are *pure
+//! performance* knobs — every setting is bitwise identical (see
+//! `petamg_solvers::fused`) — so the search needs only timing, never
+//! accuracy re-validation. The axes are searched in dependency order
+//! ([`petamg_choice::tuning_order`]): the band height first, then the
+//! temporal depth given that band.
+
+use crate::plan::{simple_v_family, ExecCtx, PAPER_ACCURACIES};
+use crate::training::{Distribution, ProblemInstance};
+use petamg_choice::{
+    kernel_exec_space, nary_search_int, tuning_order, ConfigSpace, KernelKnobs, ParamValue,
+};
+use petamg_grid::{Exec, Workspace};
+use petamg_solvers::DirectSolverCache;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Apply tuned [`KernelKnobs`] to an execution policy (the band height;
+/// the temporal depth travels separately into [`ExecCtx::tblock`] /
+/// `MgConfig::tblock`).
+pub fn apply_knobs(exec: Exec, knobs: &KernelKnobs) -> Exec {
+    exec.with_band(knobs.band_rows)
+}
+
+/// Options for [`tune_kernel_knobs`].
+#[derive(Clone, Debug)]
+pub struct KnobTunerOptions {
+    /// Level whose grid size the knobs are tuned for.
+    pub level: usize,
+    /// N-ary search arms per round.
+    pub arms: usize,
+    /// N-ary search rounds per axis.
+    pub rounds: usize,
+    /// Timed cycle repetitions per candidate (median-free best-of).
+    pub reps: usize,
+    /// Training-instance seed.
+    pub seed: u64,
+}
+
+impl KnobTunerOptions {
+    /// A quick search suitable for tests and warm-up tuning.
+    pub fn quick(level: usize) -> Self {
+        KnobTunerOptions {
+            level,
+            arms: 3,
+            rounds: 2,
+            reps: 2,
+            seed: 0xBADC0DE,
+        }
+    }
+}
+
+/// Result of a kernel-knob tuning run.
+#[derive(Clone, Debug)]
+pub struct KnobTuneResult {
+    /// The winning knob settings.
+    pub knobs: KernelKnobs,
+    /// The space the knobs were drawn from (for serialization).
+    pub space: ConfigSpace,
+    /// Best measured cycle time, seconds.
+    pub best_seconds: f64,
+    /// Candidate evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Search the kernel-execution space for the fastest `(band_rows,
+/// tblock)` on `exec`, timing tuned-plan cycles at `opts.level` on a
+/// training instance. Axes are searched via n-ary search in the space's
+/// dependency order; the incumbent value of the not-yet-tuned axis is
+/// its default.
+///
+/// The returned knobs plug into an executor as
+/// `ExecCtx::with_cache(apply_knobs(exec, &knobs), cache)
+///     .with_tblock(knobs.tblock)`.
+pub fn tune_kernel_knobs(exec: &Exec, opts: &KnobTunerOptions) -> KnobTuneResult {
+    let space = kernel_exec_space();
+    let mut config = space.default_config();
+    let fam = simple_v_family(opts.level, &PAPER_ACCURACIES);
+    let inst = ProblemInstance::random(opts.level, Distribution::UnbiasedUniform, opts.seed);
+    let cache = Arc::new(DirectSolverCache::new());
+    let workspace = Arc::new(Workspace::new());
+    let mut evaluations = 0usize;
+    let mut best_seconds = f64::INFINITY;
+
+    {
+        let mut time_candidate = |cfg_knobs: KernelKnobs| -> f64 {
+            evaluations += 1;
+            let tuned_exec = apply_knobs(exec.clone(), &cfg_knobs);
+            let mut ctx = ExecCtx::with_cache(tuned_exec, Arc::clone(&cache))
+                .with_workspace(Arc::clone(&workspace))
+                .with_tblock(cfg_knobs.tblock);
+            // Warm the workspace pools and factor cache outside timing.
+            let mut x = inst.working_grid();
+            fam.run(opts.level, 0, &mut x, &inst.b, &mut ctx);
+            let mut best = f64::INFINITY;
+            for _ in 0..opts.reps.max(1) {
+                let mut x = inst.working_grid();
+                let start = Instant::now();
+                fam.run(opts.level, 0, &mut x, &inst.b, &mut ctx);
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            best_seconds = best_seconds.min(best);
+            best
+        };
+
+        for group in tuning_order(&space) {
+            for id in group {
+                let spec = space.spec(id);
+                // Sequential execution has no band (one band spans the
+                // whole sweep), so searching that axis would time
+                // identical configurations arms × rounds times.
+                if spec.name == petamg_choice::PARAM_BAND_ROWS && exec.band().is_none() {
+                    continue;
+                }
+                let (lo, hi) = match spec.kind {
+                    petamg_choice::ParamKind::Int { lo, hi, .. } => (lo, hi),
+                    _ => continue,
+                };
+                let best = nary_search_int(lo, hi, opts.arms, opts.rounds, |v| {
+                    let mut trial = config.clone();
+                    trial
+                        .set(&space, id, ParamValue::Int(v))
+                        .expect("candidate in domain");
+                    time_candidate(KernelKnobs::from_config(&space, &trial))
+                });
+                config
+                    .set(&space, id, ParamValue::Int(best))
+                    .expect("winner in domain");
+            }
+        }
+    }
+
+    KnobTuneResult {
+        knobs: KernelKnobs::from_config(&space, &config),
+        space,
+        best_seconds,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petamg_grid::l2_diff;
+
+    #[test]
+    fn apply_knobs_sets_band() {
+        let knobs = KernelKnobs {
+            band_rows: 17,
+            tblock: 2,
+        };
+        assert_eq!(apply_knobs(Exec::pbrt(2), &knobs).band(), Some(17));
+        // Seq has no band; applying knobs is a no-op.
+        assert!(apply_knobs(Exec::seq(), &knobs).band().is_none());
+    }
+
+    #[test]
+    fn tuned_knobs_are_in_domain_and_change_nothing() {
+        let opts = KnobTunerOptions::quick(4);
+        let result = tune_kernel_knobs(&Exec::seq(), &opts);
+        assert!((1..=512).contains(&result.knobs.band_rows));
+        assert!((1..=8).contains(&result.knobs.tblock));
+        assert!(result.evaluations > 0);
+        assert!(result.best_seconds.is_finite());
+
+        // Executing with the tuned knobs is bitwise identical to the
+        // default knobs — they are pure performance axes.
+        let fam = simple_v_family(4, &PAPER_ACCURACIES);
+        let inst = ProblemInstance::random(4, Distribution::UnbiasedUniform, 7);
+        let run = |knobs: &KernelKnobs| {
+            let mut ctx = ExecCtx::new(apply_knobs(Exec::pbrt(2), knobs)).with_tblock(knobs.tblock);
+            let mut x = inst.working_grid();
+            fam.run(4, 0, &mut x, &inst.b, &mut ctx);
+            x
+        };
+        let x_default = run(&KernelKnobs::default());
+        let x_tuned = run(&result.knobs);
+        assert_eq!(x_default.as_slice(), x_tuned.as_slice());
+        assert_eq!(l2_diff(&x_default, &x_tuned, &Exec::seq()), 0.0);
+    }
+}

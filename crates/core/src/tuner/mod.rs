@@ -17,9 +17,11 @@
 //! effect is the same).
 
 mod fmg;
+mod knobs;
 mod pareto;
 
 pub use fmg::FmgTuner;
+pub use knobs::{apply_knobs, tune_kernel_knobs, KnobTuneResult, KnobTunerOptions};
 pub use pareto::{pareto_front, CandidatePoint, ParetoTuner};
 
 use crate::accuracy::{ratio_of_errors, ACC_CAP};

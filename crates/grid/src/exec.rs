@@ -16,29 +16,47 @@ use std::sync::Arc;
 /// grain already amortizes scheduling overhead.
 pub const DEFAULT_ROW_GRAIN: usize = 8;
 
+/// Default number of rows per block-cursor band (see
+/// [`Exec::for_row_bands`]). Sized so a band of `f64` rows plus its
+/// three-row stencil window stays cache-resident on typical L2 sizes
+/// while still exposing enough bands to balance load.
+pub const DEFAULT_BAND_ROWS: usize = 32;
+
 /// How a grid sweep is executed.
 #[derive(Clone)]
 pub enum Exec {
     /// Plain sequential loops. Bit-deterministic.
     Seq,
     /// The `petamg-runtime` work-stealing pool (the PetaBricks runtime
-    /// stand-in), splitting row ranges down to `grain` rows.
-    Pbrt { pool: Arc<ThreadPool>, grain: usize },
+    /// stand-in), splitting row ranges down to `grain` rows and
+    /// block-cursor sweeps into `band`-row bands.
+    Pbrt {
+        /// The shared work-stealing pool.
+        pool: Arc<ThreadPool>,
+        /// Rows per task in [`Exec::for_rows`] sweeps.
+        grain: usize,
+        /// Rows per band in [`Exec::for_row_bands`] sweeps.
+        band: usize,
+    },
     /// rayon, for ablation benchmarks.
-    Rayon { grain: usize },
+    Rayon {
+        /// Rows per task in [`Exec::for_rows`] sweeps.
+        grain: usize,
+        /// Rows per band in [`Exec::for_row_bands`] sweeps.
+        band: usize,
+    },
 }
 
 impl std::fmt::Debug for Exec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Exec::Seq => write!(f, "Exec::Seq"),
-            Exec::Pbrt { pool, grain } => write!(
+            Exec::Pbrt { pool, grain, band } => write!(
                 f,
-                "Exec::Pbrt(threads={}, grain={})",
+                "Exec::Pbrt(threads={}, grain={grain}, band={band})",
                 pool.num_threads(),
-                grain
             ),
-            Exec::Rayon { grain } => write!(f, "Exec::Rayon(grain={})", grain),
+            Exec::Rayon { grain, band } => write!(f, "Exec::Rayon(grain={grain}, band={band})"),
         }
     }
 }
@@ -50,11 +68,12 @@ impl Exec {
     }
 
     /// A fresh work-stealing pool with `threads` workers and the default
-    /// row grain.
+    /// row grain and band height.
     pub fn pbrt(threads: usize) -> Self {
         Exec::Pbrt {
             pool: Arc::new(ThreadPool::new(threads)),
             grain: DEFAULT_ROW_GRAIN,
+            band: DEFAULT_BAND_ROWS,
         }
     }
 
@@ -63,13 +82,15 @@ impl Exec {
         Exec::Pbrt {
             pool,
             grain: grain.max(1),
+            band: DEFAULT_BAND_ROWS,
         }
     }
 
-    /// rayon with the default grain.
+    /// rayon with the default grain and band height.
     pub fn rayon() -> Self {
         Exec::Rayon {
             grain: DEFAULT_ROW_GRAIN,
+            band: DEFAULT_BAND_ROWS,
         }
     }
 
@@ -86,13 +107,90 @@ impl Exec {
     pub fn with_grain(self, grain: usize) -> Self {
         match self {
             Exec::Seq => Exec::Seq,
-            Exec::Pbrt { pool, .. } => Exec::Pbrt {
+            Exec::Pbrt { pool, band, .. } => Exec::Pbrt {
                 pool,
                 grain: grain.max(1),
+                band,
             },
-            Exec::Rayon { .. } => Exec::Rayon {
+            Exec::Rayon { band, .. } => Exec::Rayon {
                 grain: grain.max(1),
+                band,
             },
+        }
+    }
+
+    /// Replace the block-cursor band height (no-op for `Seq`, which
+    /// always runs one band spanning the whole range). A band height of
+    /// 1 degenerates to one task per row — the pre-block-cursor
+    /// behaviour, kept reachable as the tuner's baseline.
+    pub fn with_band(self, band: usize) -> Self {
+        match self {
+            Exec::Seq => Exec::Seq,
+            Exec::Pbrt { pool, grain, .. } => Exec::Pbrt {
+                pool,
+                grain,
+                band: band.max(1),
+            },
+            Exec::Rayon { grain, .. } => Exec::Rayon {
+                grain,
+                band: band.max(1),
+            },
+        }
+    }
+
+    /// The band height [`Exec::for_row_bands`] splits at, or `None` for
+    /// `Seq` (one band spanning the whole range).
+    pub fn band(&self) -> Option<usize> {
+        match self {
+            Exec::Seq => None,
+            Exec::Pbrt { band, .. } | Exec::Rayon { band, .. } => Some(*band),
+        }
+    }
+
+    /// Block-cursor sweep: partition `lo..hi` into contiguous bands of
+    /// at most [`Exec::band`] rows and run `body(band_lo, band_hi)` once
+    /// per band — in parallel across bands, strictly ascending within a
+    /// band.
+    ///
+    /// This is the execution shape for kernels that carry a **rolling
+    /// window** (e.g. three residual rows shared by adjacent coarse
+    /// rows): the window lives for a whole band, so the sequential
+    /// reuse pattern survives parallel execution and only the band
+    /// boundaries pay a window re-prime. `Seq` runs one band covering
+    /// the entire range; bands partition `lo..hi` exactly, each
+    /// non-empty, and `body` must tolerate any execution order *across*
+    /// bands.
+    #[inline]
+    pub fn for_row_bands<F>(&self, lo: usize, hi: usize, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if hi <= lo {
+            return;
+        }
+        let len = hi - lo;
+        match self {
+            Exec::Seq => body(lo, hi),
+            Exec::Pbrt { pool, band, .. } => {
+                let band = (*band).max(1);
+                let nbands = len.div_ceil(band);
+                if nbands <= 1 {
+                    body(lo, hi);
+                } else {
+                    pool.parallel_for(nbands, 1, |k| {
+                        let b_lo = lo + k * band;
+                        body(b_lo, (b_lo + band).min(hi));
+                    });
+                }
+            }
+            Exec::Rayon { band, .. } => {
+                let band = (*band).max(1);
+                let nbands = len.div_ceil(band);
+                (0..nbands).into_par_iter().with_min_len(1).for_each(|k| {
+                    let b_lo = lo + k * band;
+                    body(b_lo, (b_lo + band).min(hi));
+                });
+            }
         }
     }
 
@@ -112,7 +210,7 @@ impl Exec {
                     body(i);
                 }
             }
-            Exec::Pbrt { pool, grain } => {
+            Exec::Pbrt { pool, grain, .. } => {
                 let len = hi - lo;
                 // Skip pool dispatch entirely for sweeps smaller than one
                 // grain: coarse multigrid levels live here.
@@ -124,7 +222,7 @@ impl Exec {
                     pool.parallel_for(len, *grain, |i| body(lo + i));
                 }
             }
-            Exec::Rayon { grain } => {
+            Exec::Rayon { grain, .. } => {
                 (lo..hi).into_par_iter().with_min_len(*grain).for_each(body);
             }
         }
@@ -142,7 +240,7 @@ impl Exec {
         }
         match self {
             Exec::Seq => (lo..hi).map(f).sum(),
-            Exec::Pbrt { pool, grain } => {
+            Exec::Pbrt { pool, grain, .. } => {
                 let len = hi - lo;
                 if len <= *grain {
                     (lo..hi).map(f).sum()
@@ -152,7 +250,7 @@ impl Exec {
                     })
                 }
             }
-            Exec::Rayon { grain } => (lo..hi).into_par_iter().with_min_len(*grain).map(f).sum(),
+            Exec::Rayon { grain, .. } => (lo..hi).into_par_iter().with_min_len(*grain).map(f).sum(),
         }
     }
 
@@ -167,7 +265,7 @@ impl Exec {
         }
         match self {
             Exec::Seq => (lo..hi).map(f).fold(f64::NEG_INFINITY, f64::max),
-            Exec::Pbrt { pool, grain } => {
+            Exec::Pbrt { pool, grain, .. } => {
                 let len = hi - lo;
                 if len <= *grain {
                     (lo..hi).map(f).fold(f64::NEG_INFINITY, f64::max)
@@ -177,7 +275,7 @@ impl Exec {
                     })
                 }
             }
-            Exec::Rayon { grain } => (lo..hi)
+            Exec::Rayon { grain, .. } => (lo..hi)
                 .into_par_iter()
                 .with_min_len(*grain)
                 .map(f)
@@ -261,5 +359,66 @@ mod tests {
         assert_eq!(Exec::seq().threads(), 1);
         assert_eq!(Exec::pbrt(3).threads(), 3);
         assert!(Exec::rayon().threads() >= 1);
+    }
+
+    #[test]
+    fn bands_partition_range_exactly() {
+        for exec in [
+            Exec::seq(),
+            Exec::pbrt(2).with_band(1),
+            Exec::pbrt(2).with_band(7),
+            Exec::pbrt(3).with_band(64),
+            Exec::rayon().with_band(5),
+        ] {
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            exec.for_row_bands(3, 97, |b_lo, b_hi| {
+                assert!(b_lo < b_hi, "bands must be non-empty ({exec:?})");
+                if let Some(band) = exec.band() {
+                    assert!(b_hi - b_lo <= band, "band too tall ({exec:?})");
+                }
+                for h in &hits[b_lo..b_hi] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for (i, h) in hits.iter().enumerate() {
+                let expected = usize::from((3..97).contains(&i));
+                assert_eq!(h.load(Ordering::Relaxed), expected, "index {i} ({exec:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn seq_runs_a_single_band() {
+        let bands = AtomicUsize::new(0);
+        Exec::seq().for_row_bands(1, 50, |lo, hi| {
+            assert_eq!((lo, hi), (1, 50));
+            bands.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(bands.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_band_range_is_noop() {
+        for exec in [Exec::seq(), Exec::pbrt(2), Exec::rayon()] {
+            exec.for_row_bands(5, 5, |_, _| panic!("must not run"));
+            exec.for_row_bands(9, 2, |_, _| panic!("must not run"));
+        }
+    }
+
+    #[test]
+    fn with_band_clamps_to_one_and_reports() {
+        let exec = Exec::pbrt(2).with_band(0);
+        assert_eq!(exec.band(), Some(1));
+        assert_eq!(Exec::seq().band(), None);
+        assert_eq!(Exec::rayon().with_band(9).band(), Some(9));
+        // Grain and band are independent knobs.
+        let exec = Exec::pbrt(2).with_grain(3).with_band(17);
+        match exec {
+            Exec::Pbrt { grain, band, .. } => {
+                assert_eq!(grain, 3);
+                assert_eq!(band, 17);
+            }
+            _ => unreachable!(),
+        }
     }
 }

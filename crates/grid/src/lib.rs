@@ -44,6 +44,37 @@
 //! on). All stencil inner loops — including the unfused reference
 //! kernels and the norms — iterate row slices (three-row stencil
 //! windows) so LLVM auto-vectorizes them.
+//!
+//! Both fused kernels together form one coarse-grid-correction step of
+//! a V cycle (minus the relaxations, which live in `petamg-solvers`):
+//!
+//! ```
+//! use petamg_grid::{
+//!     coarse_size, interpolate_correct, residual_restrict, Exec, Grid2d, Workspace,
+//! };
+//!
+//! let n = 17;
+//! let x0 = Grid2d::from_fn(n, |i, j| (i + j) as f64);
+//! let b = Grid2d::from_fn(n, |i, j| (i * j) as f64);
+//! let ws = Workspace::new();
+//! // Parallel pool with a tuned block-cursor band height.
+//! let exec = Exec::pbrt(2).with_band(16);
+//!
+//! let mut x = x0.clone();
+//! let mut coarse_residual = ws.acquire(coarse_size(n));
+//! residual_restrict(&x, &b, &mut coarse_residual, &ws, &exec);
+//! // (a real cycle would solve A e = r on the coarse grid here)
+//! interpolate_correct(&coarse_residual, &mut x, &exec);
+//!
+//! // Every execution policy produces the same bits.
+//! let mut x_seq = x0.clone();
+//! let mut cr_seq = ws.acquire(coarse_size(n));
+//! residual_restrict(&x_seq, &b, &mut cr_seq, &ws, &Exec::seq());
+//! interpolate_correct(&cr_seq, &mut x_seq, &Exec::seq());
+//! assert_eq!(x.as_slice(), x_seq.as_slice());
+//! ```
+
+#![deny(missing_docs)]
 
 mod exec;
 mod grid;
@@ -53,14 +84,17 @@ mod ptr;
 mod transfer;
 mod workspace;
 
-pub use exec::Exec;
+pub use exec::{Exec, DEFAULT_BAND_ROWS, DEFAULT_ROW_GRAIN};
 pub use grid::{coarse_size, fine_size, level_size, size_level, Grid2d};
 pub use norms::{dot_interior, l2_diff, l2_norm_interior, max_diff, max_norm_interior};
-pub use ops::{apply_operator, residual, residual_restrict};
+pub use ops::{
+    apply_operator, residual, residual_restrict, residual_row_into, restrict_rows_into,
+    zero_boundary_ring,
+};
 pub use ptr::GridPtr;
 pub use transfer::{
-    interpolate_add, interpolate_correct, interpolate_into, restrict_full_weighting,
-    restrict_inject,
+    interpolate_add, interpolate_correct, interpolate_correct_row, interpolate_into,
+    restrict_full_weighting, restrict_inject,
 };
 pub use workspace::{BufferLease, GridLease, Workspace, WorkspaceStats};
 

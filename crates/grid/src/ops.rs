@@ -36,11 +36,17 @@ fn operator_row_into(up: &[f64], mid: &[f64], dn: &[f64], inv_h2: f64, out: &mut
 }
 
 /// Compute one interior row of the residual `r = b − A_h x` into
-/// `out[1..n-1]`. This is **the** residual expression: every caller
-/// (unfused [`residual`], fused [`residual_restrict`]) goes through it,
-/// which is what makes fused and unfused results bitwise equal.
+/// `out[1..n-1]` (`out[0]` and `out[n-1]` are left untouched).
+///
+/// `up`/`mid`/`dn` are rows `i-1`, `i`, `i+1` of the solution, `brow`
+/// is row `i` of the right-hand side, and `inv_h2` is the stencil
+/// scaling `1/h²`. This is **the** residual expression: every caller —
+/// unfused [`residual`], fused [`residual_restrict`], and the
+/// temporally blocked cycle-edge kernels in `petamg-solvers` — goes
+/// through it, which is what makes fused and unfused results bitwise
+/// equal.
 #[inline]
-pub(crate) fn residual_row_into(
+pub fn residual_row_into(
     up: &[f64],
     mid: &[f64],
     dn: &[f64],
@@ -81,7 +87,7 @@ pub fn apply_operator(x: &Grid2d, out: &mut Grid2d, exec: &Exec) {
         let out_row = unsafe { std::slice::from_raw_parts_mut(op.row_mut(i), n) };
         operator_row_into(row(x, i - 1), row(x, i), row(x, i + 1), inv_h2, out_row);
     });
-    zero_boundary(out);
+    zero_boundary_ring(out);
 }
 
 /// `r = b − A_h x` on the interior; `r`'s boundary ring is zeroed
@@ -109,14 +115,16 @@ pub fn residual(x: &Grid2d, b: &Grid2d, r: &mut Grid2d, exec: &Exec) {
             out_row,
         );
     });
-    zero_boundary(r);
+    zero_boundary_ring(r);
 }
 
-/// Combine three residual rows (fine rows `2ic-1`, `2ic`, `2ic+1`) into
-/// one coarse row by full weighting. Weight order matches
-/// [`crate::restrict_full_weighting`] exactly.
+/// Combine three fine rows (`2ic-1`, `2ic`, `2ic+1` for coarse row
+/// `ic`) into one coarse row by full weighting, writing
+/// `coarse_row[1..nc-1]`. Weight order matches
+/// [`crate::restrict_full_weighting`] exactly, so compositions built
+/// from this primitive stay bitwise equal to the unfused reference.
 #[inline]
-fn restrict_rows_into(r_up: &[f64], r_mid: &[f64], r_dn: &[f64], coarse_row: &mut [f64]) {
+pub fn restrict_rows_into(r_up: &[f64], r_mid: &[f64], r_dn: &[f64], coarse_row: &mut [f64]) {
     let nc = coarse_row.len();
     for (jc, out) in coarse_row.iter_mut().enumerate().take(nc - 1).skip(1) {
         let fj = 2 * jc;
@@ -132,11 +140,31 @@ fn restrict_rows_into(r_up: &[f64], r_mid: &[f64], r_dn: &[f64], coarse_row: &mu
 /// the fine-grid residual. `coarse`'s boundary ring is zeroed.
 ///
 /// Bitwise identical to `residual` + `restrict_full_weighting` under
-/// every [`Exec`] policy (each residual value and each weighted sum is
-/// produced by the same expression). Sequential execution streams rows
-/// through three rotating buffers leased from `ws`, computing every
-/// residual row exactly once; parallel execution recomputes the shared
-/// boundary rows of each task's block instead of sharing state.
+/// every [`Exec`] policy: each residual value comes from
+/// [`residual_row_into`] and each weighted sum from
+/// [`restrict_rows_into`], regardless of how rows land on tasks.
+///
+/// Execution runs over the **block cursor**
+/// ([`Exec::for_row_bands`]): each band of coarse rows streams its fine
+/// residual rows through three rotating thirds of one buffer leased
+/// from `ws`, so advancing to the next coarse row computes exactly two
+/// new fine rows. `Seq` is one band (every fine row computed once, as
+/// before); parallel backends pay one extra window prime per band
+/// instead of re-deriving all three rows per coarse row, which is what
+/// lets the sequential rolling-window saving survive parallel
+/// execution. The band height is the [`Exec::with_band`] tuning knob.
+///
+/// ```
+/// use petamg_grid::{residual_restrict, coarse_size, Exec, Grid2d, Workspace};
+///
+/// let n = 9;
+/// let x = Grid2d::from_fn(n, |i, j| (i * j) as f64);
+/// let b = Grid2d::from_fn(n, |_, _| 1.0);
+/// let ws = Workspace::new();
+/// let mut coarse = Grid2d::zeros(coarse_size(n));
+/// residual_restrict(&x, &b, &mut coarse, &ws, &Exec::seq());
+/// assert_eq!(coarse.at(0, 0), 0.0); // boundary ring is zeroed
+/// ```
 ///
 /// # Panics
 /// Panics if sizes differ or are not a coarse/fine pair.
@@ -151,92 +179,62 @@ pub fn residual_restrict(x: &Grid2d, b: &Grid2d, coarse: &mut Grid2d, ws: &Works
     );
     let inv_h2 = x.inv_h2();
 
-    match exec {
-        Exec::Seq => {
-            // Rolling window: residual rows 2ic-1, 2ic, 2ic+1 live in
-            // three rotating thirds of one leased buffer; advancing to
-            // the next coarse row computes exactly two new fine rows, so
-            // every fine residual row is computed once.
-            //
-            // Unzeroed lease: residual_row_into writes indices 1..n-1 of
-            // each third and restrict_rows_into reads only 1..n-1, so
-            // stale pool contents are never observed.
-            let mut buf = ws.acquire_buffer_unzeroed(3 * n);
-            let (a, rest) = buf.split_at_mut(n);
-            let (bb, c) = rest.split_at_mut(n);
-            let mut rows = [a, bb, c];
-            let res_row = |fi: usize, out: &mut [f64]| {
-                residual_row_into(
-                    row(x, fi - 1),
-                    row(x, fi),
-                    row(x, fi + 1),
-                    row(b, fi),
-                    inv_h2,
-                    out,
-                );
-            };
-            // Prime the window for ic = 1 (fine rows 1, 2, 3).
-            res_row(1, rows[0]);
-            res_row(2, rows[1]);
-            res_row(3, rows[2]);
-            for ic in 1..nc - 1 {
-                {
-                    let crow = &mut coarse.as_mut_slice()[ic * nc..(ic + 1) * nc];
-                    restrict_rows_into(rows[0], rows[1], rows[2], crow);
-                }
-                if ic + 1 < nc - 1 {
-                    // Slide to fine rows 2ic+1, 2ic+2, 2ic+3.
-                    rows.rotate_left(2);
-                    res_row(2 * ic + 2, rows[1]);
-                    res_row(2 * ic + 3, rows[2]);
-                }
+    let cp = GridPtr::new(coarse);
+    exec.for_row_bands(1, nc - 1, |c_lo, c_hi| {
+        // Rolling window: residual rows 2ic-1, 2ic, 2ic+1 live in three
+        // rotating thirds of one leased buffer for the whole band.
+        //
+        // Unzeroed lease: residual_row_into writes indices 1..n-1 of
+        // each third and restrict_rows_into reads only 1..n-1, so stale
+        // pool contents are never observed.
+        let mut buf = ws.acquire_buffer_unzeroed(3 * n);
+        let (a, rest) = buf.split_at_mut(n);
+        let (bb, c) = rest.split_at_mut(n);
+        let mut rows = [a, bb, c];
+        let res_row = |fi: usize, out: &mut [f64]| {
+            residual_row_into(
+                row(x, fi - 1),
+                row(x, fi),
+                row(x, fi + 1),
+                row(b, fi),
+                inv_h2,
+                out,
+            );
+        };
+        // Prime the window for the band's first coarse row (fine rows
+        // 2c_lo-1, 2c_lo, 2c_lo+1).
+        res_row(2 * c_lo - 1, rows[0]);
+        res_row(2 * c_lo, rows[1]);
+        res_row(2 * c_lo + 1, rows[2]);
+        for ic in c_lo..c_hi {
+            // SAFETY: bands partition the coarse interior, so each
+            // coarse row is written by exactly one task; `x` and `b`
+            // are only read.
+            let crow = unsafe { std::slice::from_raw_parts_mut(cp.row_mut(ic), nc) };
+            restrict_rows_into(rows[0], rows[1], rows[2], crow);
+            if ic + 1 < c_hi {
+                // Slide to fine rows 2ic+1, 2ic+2, 2ic+3.
+                rows.rotate_left(2);
+                res_row(2 * ic + 2, rows[1]);
+                res_row(2 * ic + 3, rows[2]);
             }
         }
-        _ => {
-            let cp = GridPtr::new(coarse);
-            exec.for_rows(1, nc - 1, |ic| {
-                // SAFETY: each task writes one distinct coarse row; `x`
-                // and `b` are only read. The three residual rows live on
-                // this task's stack-independent lease.
-                let crow = unsafe { std::slice::from_raw_parts_mut(cp.row_mut(ic), nc) };
-                // Unzeroed for the same overwrite-before-read reason as
-                // the sequential path.
-                let mut buf = ws.acquire_buffer_unzeroed(3 * n);
-                let (r_up, rest) = buf.split_at_mut(n);
-                let (r_mid, r_dn) = rest.split_at_mut(n);
-                let fi = 2 * ic;
-                for (out, fine_row) in [
-                    (&mut *r_up, fi - 1),
-                    (&mut *r_mid, fi),
-                    (&mut *r_dn, fi + 1),
-                ] {
-                    residual_row_into(
-                        row(x, fine_row - 1),
-                        row(x, fine_row),
-                        row(x, fine_row + 1),
-                        row(b, fine_row),
-                        inv_h2,
-                        out,
-                    );
-                }
-                restrict_rows_into(r_up, r_mid, r_dn, crow);
-            });
-        }
-    }
+    });
 
     // Zero the coarse boundary ring (residuals vanish on the Dirichlet
     // boundary, exactly as in `restrict_full_weighting`).
-    for j in 0..nc {
-        coarse.set(0, j, 0.0);
-        coarse.set(nc - 1, j, 0.0);
-    }
-    for i in 1..nc - 1 {
-        coarse.set(i, 0, 0.0);
-        coarse.set(i, nc - 1, 0.0);
-    }
+    zero_boundary_ring(coarse);
 }
 
-fn zero_boundary(g: &mut Grid2d) {
+/// Zero a grid's boundary ring, leaving the interior untouched.
+///
+/// This is **the** Dirichlet ring-zero every residual/restriction path
+/// shares ([`residual`], [`residual_restrict`],
+/// [`crate::restrict_full_weighting`], and the fused cycle-edge kernels
+/// in `petamg-solvers`): residuals and restricted residuals vanish on
+/// the Dirichlet boundary by construction, so a single helper keeps the
+/// fused and unfused paths from ever diverging on boundary semantics.
+pub fn zero_boundary_ring(g: &mut Grid2d) {
     let n = g.n();
     for j in 0..n {
         g.set(0, j, 0.0);

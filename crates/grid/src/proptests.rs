@@ -245,6 +245,36 @@ proptest! {
         prop_assert_eq!(got.as_slice(), want.as_slice());
     }
 
+    /// The block-cursor kernels are bitwise identical to the unfused
+    /// references for every band height, on the pool and on rayon —
+    /// including band = 1 (the pre-block-cursor one-task-per-row shape)
+    /// and bands taller than the whole sweep.
+    #[test]
+    fn band_cursor_bitwise_equal_for_every_band(
+        x in any_grid(33, 100.0),
+        b in any_grid(33, 100.0),
+        band in 1usize..40,
+    ) {
+        let e = Exec::seq();
+        let ws = Workspace::new();
+        let mut r = Grid2d::zeros(33);
+        residual(&x, &b, &mut r, &e);
+        let mut want_c = Grid2d::zeros(17);
+        restrict_full_weighting(&r, &mut want_c, &e);
+        let mut want_f = x.clone();
+        interpolate_add(&want_c, &mut want_f, &e);
+
+        for exec in [Exec::pbrt(2).with_band(band), Exec::rayon().with_band(band)] {
+            let mut got_c = Grid2d::zeros(17);
+            residual_restrict(&x, &b, &mut got_c, &ws, &exec);
+            prop_assert_eq!(got_c.as_slice(), want_c.as_slice());
+
+            let mut got_f = x.clone();
+            interpolate_correct(&want_c, &mut got_f, &exec);
+            prop_assert_eq!(got_f.as_slice(), want_f.as_slice());
+        }
+    }
+
     /// Fused interpolate-correct under the pool / rayon stays within
     /// 1e-13 relative of the sequential reference (bitwise, in fact).
     #[test]

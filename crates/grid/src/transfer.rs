@@ -15,7 +15,7 @@
 //!   [`Exec`] policy because each output value is combined with the same
 //!   expression.
 
-use crate::{coarse_size, Exec, Grid2d, GridPtr};
+use crate::{coarse_size, zero_boundary_ring, Exec, Grid2d, GridPtr};
 
 /// Full-weighting restriction of `fine` into `coarse` (overwrite):
 ///
@@ -57,14 +57,7 @@ pub fn restrict_full_weighting(fine: &Grid2d, coarse: &mut Grid2d, exec: &Exec) 
         }
     });
     // Zero coarse boundary.
-    for j in 0..nc {
-        coarse.set(0, j, 0.0);
-        coarse.set(nc - 1, j, 0.0);
-    }
-    for i in 1..nc - 1 {
-        coarse.set(i, 0, 0.0);
-        coarse.set(i, nc - 1, 0.0);
-    }
+    zero_boundary_ring(coarse);
 }
 
 /// Injection restriction: `coarse(I,J) = fine(2I,2J)` including the
@@ -139,12 +132,52 @@ fn interpolate_impl(coarse: &Grid2d, fine: &mut Grid2d, exec: &Exec, add: bool) 
     });
 }
 
+/// Add the bilinear interpolation of `coarse` into one interior fine
+/// row, with row-parity specialized loops over row slices.
+///
+/// `fi` is the fine row index (`1..nf-1`), `frow` the full fine row of
+/// `nf = 2*(nc-1)+1` values (`frow[0]` and `frow[nf-1]` are left
+/// untouched), `cs` the coarse grid's row-major buffer with side `nc`.
+/// Every output value is combined with the same expression as
+/// [`interpolate_correct`], which builds the fused kernel from this
+/// primitive; the temporally blocked cycle-edge kernels in
+/// `petamg-solvers` reuse it on scratch rows, keeping all paths bitwise
+/// identical to [`interpolate_add`].
+#[inline]
+pub fn interpolate_correct_row(fi: usize, cs: &[f64], nc: usize, frow: &mut [f64]) {
+    let ic = fi / 2;
+    let c0 = &cs[ic * nc..(ic + 1) * nc];
+    if fi.is_multiple_of(2) {
+        // Coincident row: even columns take the coarse value, odd
+        // columns average horizontal neighbors.
+        frow[1] += 0.5 * (c0[0] + c0[1]);
+        for jc in 1..nc - 1 {
+            frow[2 * jc] += c0[jc];
+            frow[2 * jc + 1] += 0.5 * (c0[jc] + c0[jc + 1]);
+        }
+    } else {
+        // Midpoint row: even columns average vertical neighbors, odd
+        // columns average the four surrounding coarse values.
+        let c1 = &cs[(ic + 1) * nc..(ic + 2) * nc];
+        frow[1] += 0.25 * (c0[0] + c0[1] + c1[0] + c1[1]);
+        for jc in 1..nc - 1 {
+            frow[2 * jc] += 0.5 * (c0[jc] + c1[jc]);
+            frow[2 * jc + 1] += 0.25 * (c0[jc] + c0[jc + 1] + c1[jc] + c1[jc + 1]);
+        }
+    }
+}
+
 /// Fused correction kernel: bilinear interpolation of `coarse` added
 /// directly into `fine`'s interior (`x += P e`), with row-parity
 /// specialized row-slice loops. Bitwise identical to
 /// [`interpolate_add`]; measurably faster because the per-element parity
 /// `match` and index arithmetic are gone and the even/odd column updates
 /// auto-vectorize.
+///
+/// Rows are dispatched over the block cursor ([`Exec::for_row_bands`]):
+/// adjacent fine rows share a coarse row, so banding keeps each coarse
+/// row's reads within one task instead of splitting them across tasks
+/// at arbitrary grain boundaries.
 ///
 /// # Panics
 /// Panics if sizes are not a coarse/fine pair.
@@ -154,29 +187,12 @@ pub fn interpolate_correct(coarse: &Grid2d, fine: &mut Grid2d, exec: &Exec) {
     assert_eq!(nc, coarse_size(nf), "grid size mismatch in interpolation");
     let fp = GridPtr::new(fine);
     let cs = coarse.as_slice();
-    exec.for_rows(1, nf - 1, |fi| {
-        let ic = fi / 2;
-        // SAFETY: each task writes one distinct fine row; `coarse` is
-        // read-only.
-        let frow = unsafe { std::slice::from_raw_parts_mut(fp.row_mut(fi), nf) };
-        let c0 = &cs[ic * nc..(ic + 1) * nc];
-        if fi % 2 == 0 {
-            // Coincident row: even columns take the coarse value, odd
-            // columns average horizontal neighbors.
-            frow[1] += 0.5 * (c0[0] + c0[1]);
-            for jc in 1..nc - 1 {
-                frow[2 * jc] += c0[jc];
-                frow[2 * jc + 1] += 0.5 * (c0[jc] + c0[jc + 1]);
-            }
-        } else {
-            // Midpoint row: even columns average vertical neighbors, odd
-            // columns average the four surrounding coarse values.
-            let c1 = &cs[(ic + 1) * nc..(ic + 2) * nc];
-            frow[1] += 0.25 * (c0[0] + c0[1] + c1[0] + c1[1]);
-            for jc in 1..nc - 1 {
-                frow[2 * jc] += 0.5 * (c0[jc] + c1[jc]);
-                frow[2 * jc + 1] += 0.25 * (c0[jc] + c0[jc + 1] + c1[jc] + c1[jc + 1]);
-            }
+    exec.for_row_bands(1, nf - 1, |b_lo, b_hi| {
+        for fi in b_lo..b_hi {
+            // SAFETY: bands partition the fine interior, so each fine
+            // row is written by exactly one task; `coarse` is read-only.
+            let frow = unsafe { std::slice::from_raw_parts_mut(fp.row_mut(fi), nf) };
+            interpolate_correct_row(fi, cs, nc, frow);
         }
     });
 }

@@ -41,6 +41,25 @@ struct Pools {
 /// Thread-safe: acquisitions lock briefly to pop from the pool; the
 /// leased storage itself is exclusively owned until dropped, when it
 /// returns to the pool.
+///
+/// The leasing model: [`Workspace::acquire`] hands out an exclusively
+/// owned [`GridLease`] (deref to [`Grid2d`]); dropping the lease
+/// returns the storage to the pool, so the second acquisition of any
+/// size is allocation-free:
+///
+/// ```
+/// use petamg_grid::Workspace;
+///
+/// let ws = Workspace::new();
+/// {
+///     let mut g = ws.acquire(9); // zeroed 9×9 scratch grid
+///     g.set(4, 4, 1.0);
+/// } // lease drops here → the grid returns to the pool
+/// let g2 = ws.acquire(9); // pool hit: reused, re-zeroed, no allocation
+/// assert_eq!(g2.at(4, 4), 0.0);
+/// assert_eq!(ws.stats().allocations, 1);
+/// assert_eq!(ws.stats().reuses, 1);
+/// ```
 #[derive(Default)]
 pub struct Workspace {
     pools: Mutex<Pools>,
@@ -62,6 +81,29 @@ impl Workspace {
             Some(mut g) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
                 g.fill_zero();
+                g
+            }
+            None => {
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                Grid2d::zeros(n)
+            }
+        };
+        GridLease {
+            ws: self,
+            grid: Some(grid),
+        }
+    }
+
+    /// Lease an `n`×`n` grid **without** clearing pooled contents (fresh
+    /// allocations are still zeroed). For scratch that is fully
+    /// overwritten before any read — e.g. the snapshot grids of the
+    /// temporally blocked sweeps, which `copy_from` immediately — the
+    /// zeroing of [`Workspace::acquire`] would be a dead memset.
+    pub fn acquire_unzeroed(&self, n: usize) -> GridLease<'_> {
+        let pooled = lock(&self.pools).grids.get_mut(&n).and_then(Vec::pop);
+        let grid = match pooled {
+            Some(g) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
                 g
             }
             None => {
@@ -287,6 +329,23 @@ mod tests {
         // A fresh unzeroed allocation still starts zeroed.
         let b = ws.acquire_buffer_unzeroed(16);
         assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn unzeroed_grids_skip_the_clear_but_still_pool() {
+        let ws = Workspace::new();
+        {
+            let mut g = ws.acquire(5);
+            g.set(2, 2, 7.0);
+        }
+        {
+            let g = ws.acquire_unzeroed(5);
+            assert_eq!(g.at(2, 2), 7.0, "stale pool contents are kept");
+        }
+        assert_eq!(ws.stats().reuses, 1);
+        // A fresh unzeroed allocation still starts zeroed.
+        let g = ws.acquire_unzeroed(7);
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]

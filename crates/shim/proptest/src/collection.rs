@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Accepted size arguments for [`vec`]: a fixed size or a range.
+/// Accepted size arguments for [`vec()`]: a fixed size or a range.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -49,7 +49,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -16,10 +16,17 @@
 //! Everything is `Exec`-parameterized (sequential / work-stealing pool /
 //! rayon) and deterministic for a fixed policy.
 
+#![deny(missing_docs)]
+
 pub mod direct;
+pub mod fused;
 pub mod multigrid;
 pub mod relax;
 
+#[cfg(test)]
+mod proptests;
+
 pub use direct::{direct_solve_uncached, DirectSolverCache};
+pub use fused::{interpolate_correct_relax, relax_residual_restrict, sor_sweeps_blocked};
 pub use multigrid::{MgConfig, ReferenceSolver};
-pub use relax::{gauss_seidel_sweep, jacobi_sweep, omega_opt, sor_sweep};
+pub use relax::{gauss_seidel_sweep, jacobi_sweep, omega_opt, sor_sweep, sor_sweeps};

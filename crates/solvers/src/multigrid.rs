@@ -12,10 +12,11 @@
 //! * W cycles via `gamma = 2`.
 
 use crate::direct::DirectSolverCache;
-use crate::relax::{sor_sweep, OMEGA_CYCLE};
+use crate::fused::{interpolate_correct_relax, relax_residual_restrict, sor_sweeps_blocked};
+use crate::relax::OMEGA_CYCLE;
 use petamg_grid::{
-    coarse_size, interpolate_correct, interpolate_into, residual_restrict, restrict_full_weighting,
-    restrict_inject, Exec, Grid2d, Workspace,
+    coarse_size, interpolate_into, restrict_full_weighting, restrict_inject, Exec, Grid2d,
+    Workspace,
 };
 use std::sync::Arc;
 
@@ -33,7 +34,13 @@ pub struct MgConfig {
     pub base_n: usize,
     /// Recursive calls per level: 1 = V cycle, 2 = W cycle.
     pub gamma: usize,
-    /// Execution policy for all sweeps.
+    /// Temporal-block depth: how many SOR sweeps fuse into one
+    /// wavefront traversal (see [`crate::fused`]). Every value yields
+    /// bitwise identical results; it only moves the memory-traffic /
+    /// redundant-halo-work trade-off, which is why it is a tuner axis.
+    pub tblock: usize,
+    /// Execution policy for all sweeps (its band height is the second
+    /// kernel-execution tuner axis).
     pub exec: Exec,
 }
 
@@ -45,6 +52,7 @@ impl Default for MgConfig {
             omega: OMEGA_CYCLE,
             base_n: 3,
             gamma: 1,
+            tblock: 1,
             exec: Exec::Seq,
         }
     }
@@ -53,10 +61,10 @@ impl Default for MgConfig {
 /// Reference (non-autotuned) multigrid solver with a shared direct-solve
 /// cache and a per-level scratch workspace.
 ///
-/// Cycles run through the fused kernels
-/// ([`residual_restrict`] / [`interpolate_correct`]) and lease all
-/// coarse-grid scratch from the [`Workspace`], so steady-state cycling
-/// performs zero heap allocations.
+/// Cycles run through the temporally blocked cycle-edge kernels
+/// ([`relax_residual_restrict`] / [`interpolate_correct_relax`]) and
+/// lease all coarse-grid scratch from the [`Workspace`], so
+/// steady-state cycling performs zero heap allocations.
 pub struct ReferenceSolver {
     cfg: MgConfig,
     cache: Arc<DirectSolverCache>,
@@ -96,6 +104,13 @@ impl ReferenceSolver {
 
     /// One multigrid cycle (`MULTIGRID-V-SIMPLE` for `gamma = 1`,
     /// W cycle for `gamma = 2`): improves `x` in place for `A_h x = b`.
+    ///
+    /// The cycle edges run through the temporally blocked kernels of
+    /// [`crate::fused`]: up to `tblock` pre-relaxation sweeps fuse with
+    /// the residual + restriction into one traversal, and the
+    /// interpolation correction fuses with up to `tblock` post-sweeps.
+    /// Results are bitwise identical for every `tblock` and every
+    /// [`Exec`] policy.
     pub fn vcycle(&self, x: &mut Grid2d, b: &Grid2d) {
         let n = x.n();
         assert_eq!(n, b.n(), "size mismatch in vcycle");
@@ -104,8 +119,17 @@ impl ReferenceSolver {
             return;
         }
         let exec = &self.cfg.exec;
-        for _ in 0..self.cfg.pre_sweeps {
-            sor_sweep(x, b, self.cfg.omega, exec);
+        let ws = &*self.workspace;
+        let omega = self.cfg.omega;
+        let depth = self.cfg.tblock.max(1);
+        // Pre-relaxation: the last `edge` sweeps fuse with the residual
+        // + restriction pass; any earlier sweeps run in blocked chunks.
+        let edge = self.cfg.pre_sweeps.min(depth);
+        let mut left = self.cfg.pre_sweeps - edge;
+        while left > 0 {
+            let chunk = left.min(depth);
+            sor_sweeps_blocked(x, b, omega, chunk, ws, exec);
+            left -= chunk;
         }
         // Coarse-grid correction: A e = r, zero boundary, zero initial
         // guess. The residual is restricted in one fused pass (never
@@ -113,14 +137,20 @@ impl ReferenceSolver {
         // workspace.
         let nc = coarse_size(n);
         let mut bc = self.workspace.acquire(nc);
-        residual_restrict(x, b, &mut bc, &self.workspace, exec);
+        relax_residual_restrict(x, b, &mut bc, omega, edge, ws, exec);
         let mut ec = self.workspace.acquire(nc);
         for _ in 0..self.cfg.gamma.max(1) {
             self.vcycle(&mut ec, &bc);
         }
-        interpolate_correct(&ec, x, exec);
-        for _ in 0..self.cfg.post_sweeps {
-            sor_sweep(x, b, self.cfg.omega, exec);
+        // Post-relaxation: the first `edge2` sweeps fuse with the
+        // interpolation correction.
+        let edge2 = self.cfg.post_sweeps.min(depth);
+        interpolate_correct_relax(&ec, x, b, omega, edge2, ws, exec);
+        let mut left = self.cfg.post_sweeps - edge2;
+        while left > 0 {
+            let chunk = left.min(depth);
+            sor_sweeps_blocked(x, b, omega, chunk, ws, exec);
+            left -= chunk;
         }
     }
 
@@ -357,6 +387,39 @@ mod tests {
         seq.vcycle(&mut xs, &b);
         par.vcycle(&mut xp, &b);
         assert_eq!(xs.as_slice(), xp.as_slice());
+    }
+
+    #[test]
+    fn tblock_and_band_knobs_do_not_change_results() {
+        // The kernel-execution knobs are pure performance axes: every
+        // (tblock, band, backend, sweep-count) combination must produce
+        // the same bits.
+        let (x0, b, _) = test_problem(33);
+        let reference = ReferenceSolver::new(MgConfig {
+            pre_sweeps: 3,
+            post_sweeps: 2,
+            ..MgConfig::default()
+        });
+        let mut x_ref = x0.clone();
+        reference.vcycle(&mut x_ref, &b);
+        for tblock in [1usize, 2, 3, 5] {
+            for exec in [
+                Exec::seq(),
+                Exec::pbrt(2).with_band(1),
+                Exec::pbrt(2).with_band(4),
+            ] {
+                let solver = ReferenceSolver::new(MgConfig {
+                    pre_sweeps: 3,
+                    post_sweeps: 2,
+                    tblock,
+                    exec: exec.clone(),
+                    ..MgConfig::default()
+                });
+                let mut x = x0.clone();
+                solver.vcycle(&mut x, &b);
+                assert_eq!(x.as_slice(), x_ref.as_slice(), "tblock={tblock} {exec:?}");
+            }
+        }
     }
 
     #[test]

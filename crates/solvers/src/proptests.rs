@@ -1,0 +1,101 @@
+//! Property tests for the temporally blocked kernels: on random grids,
+//! random temporal depths, and random band heights, every fused path
+//! must be **bitwise identical** to its staged reference composition on
+//! the sequential, pooled, and rayon backends.
+
+use crate::fused::{interpolate_correct_relax, relax_residual_restrict, sor_sweeps_blocked};
+use crate::relax::sor_sweeps;
+use petamg_grid::{coarse_size, interpolate_correct, residual_restrict, Exec, Grid2d, Workspace};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary full grid (boundary included).
+fn any_grid(n: usize, scale: f64) -> impl Strategy<Value = Grid2d> {
+    prop::collection::vec(-scale..scale, n * n).prop_map(move |vals| Grid2d::from_vec(n, vals))
+}
+
+/// Strategy: a coarse correction grid with zero boundary.
+fn correction_grid(nc: usize, scale: f64) -> impl Strategy<Value = Grid2d> {
+    prop::collection::vec(-scale..scale, nc * nc).prop_map(move |vals| {
+        let mut g = Grid2d::from_vec(nc, vals);
+        g.set_boundary(|_, _| 0.0);
+        g
+    })
+}
+
+fn backends(band: usize) -> Vec<Exec> {
+    vec![
+        Exec::seq(),
+        Exec::pbrt(2).with_band(band),
+        Exec::rayon().with_band(band),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Temporally blocked SOR equals the staged reference bitwise for
+    /// every backend, depth, and band height.
+    #[test]
+    fn blocked_sor_bitwise_equal(
+        x in any_grid(17, 100.0),
+        b in any_grid(17, 100.0),
+        sweeps in 1usize..4,
+        band in 1usize..10,
+    ) {
+        let ws = Workspace::new();
+        let mut want = x.clone();
+        sor_sweeps(&mut want, &b, 1.15, sweeps, &Exec::seq());
+        for exec in backends(band) {
+            let mut got = x.clone();
+            sor_sweeps_blocked(&mut got, &b, 1.15, sweeps, &ws, &exec);
+            prop_assert_eq!(got.as_slice(), want.as_slice());
+        }
+    }
+
+    /// The fused pre-relaxation edge (relax + residual + restrict in one
+    /// traversal) equals the staged composition bitwise.
+    #[test]
+    fn fused_pre_edge_bitwise_equal(
+        x in any_grid(17, 100.0),
+        b in any_grid(17, 100.0),
+        sweeps in 0usize..3,
+        band in 1usize..8,
+    ) {
+        let ws = Workspace::new();
+        let nc = coarse_size(17);
+        let mut x_want = x.clone();
+        sor_sweeps(&mut x_want, &b, 1.15, sweeps, &Exec::seq());
+        let mut c_want = Grid2d::zeros(nc);
+        residual_restrict(&x_want, &b, &mut c_want, &ws, &Exec::seq());
+
+        for exec in backends(band) {
+            let mut x_got = x.clone();
+            let mut c_got = Grid2d::zeros(nc);
+            relax_residual_restrict(&mut x_got, &b, &mut c_got, 1.15, sweeps, &ws, &exec);
+            prop_assert_eq!(x_got.as_slice(), x_want.as_slice());
+            prop_assert_eq!(c_got.as_slice(), c_want.as_slice());
+        }
+    }
+
+    /// The fused post-relaxation edge (interpolate-correct + relax in
+    /// one traversal) equals the staged composition bitwise.
+    #[test]
+    fn fused_post_edge_bitwise_equal(
+        x in any_grid(17, 100.0),
+        b in any_grid(17, 100.0),
+        e in correction_grid(9, 50.0),
+        sweeps in 0usize..3,
+        band in 1usize..8,
+    ) {
+        let ws = Workspace::new();
+        let mut want = x.clone();
+        interpolate_correct(&e, &mut want, &Exec::seq());
+        sor_sweeps(&mut want, &b, 1.15, sweeps, &Exec::seq());
+
+        for exec in backends(band) {
+            let mut got = x.clone();
+            interpolate_correct_relax(&e, &mut got, &b, 1.15, sweeps, &ws, &exec);
+            prop_assert_eq!(got.as_slice(), want.as_slice());
+        }
+    }
+}

@@ -35,6 +35,45 @@ pub fn sor_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, exec: &Exec) {
     sor_half_sweep(x, b, omega, 1, exec); // black
 }
 
+/// Update the `color` cells of one interior row in place: the
+/// Gauss-Seidel/SOR row body shared by [`sor_half_sweep`] and the
+/// temporally blocked wavefront kernels in [`crate::fused`]. Sharing
+/// this single expression is what makes the blocked sweeps bitwise
+/// identical to the staged reference.
+///
+/// `i` is the **global** row index (it fixes the red/black column
+/// phase); `up`/`mid`/`dn`/`brow` point at full rows of `n` values.
+///
+/// # Safety
+/// All four pointers must be valid for `n` reads (`mid` for writes),
+/// and no other task may concurrently write the cells read here (the
+/// `color` cells of `mid` and the opposite-color cells of `up`/`dn`).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) unsafe fn sor_row_update(
+    up: *const f64,
+    mid: *mut f64,
+    dn: *const f64,
+    brow: *const f64,
+    n: usize,
+    h2: f64,
+    omega: f64,
+    i: usize,
+    color: usize,
+) {
+    // First interior column of this color in row i: cell (i, j) has
+    // color (i + j) % 2, so j starts at 1 when (i+1)%2 == color.
+    let j0 = if (i + 1) % 2 == color { 1 } else { 2 };
+    let mut j = j0;
+    while j < n - 1 {
+        let nb = *up.add(j) + *dn.add(j) + *mid.add(j - 1) + *mid.add(j + 1);
+        let gs = 0.25 * (nb + h2 * *brow.add(j));
+        let old = *mid.add(j);
+        *mid.add(j) = old + omega * (gs - old);
+        j += 2;
+    }
+}
+
 /// One half-sweep updating only cells of `color` (`(i+j) % 2 == color`).
 ///
 /// The inner loop runs a three-row stencil cursor: row base pointers are
@@ -53,28 +92,33 @@ pub fn sor_half_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, color: usize, exec
     let xp = GridPtr::new(x);
     let bp = GridPtr::new_read(b);
     exec.for_rows(1, n - 1, |i| {
-        // First interior column of this color in row i: cell (i, j) has
-        // color (i + j) % 2, so j starts at 1 when (i+1)%2 == color.
-        let j0 = if (i + 1) % 2 == color { 1 } else { 2 };
         // SAFETY: this task writes only cells of `color` in row `i`; it
         // reads neighbors of the opposite color (rows i±1 same columns,
         // row i adjacent columns), none of which are written in this
         // half-sweep by any task.
         unsafe {
-            let up = xp.row(i - 1);
-            let dn = xp.row(i + 1);
-            let mid = xp.row_mut(i);
-            let brow = bp.row(i);
-            let mut j = j0;
-            while j < n - 1 {
-                let nb = *up.add(j) + *dn.add(j) + *mid.add(j - 1) + *mid.add(j + 1);
-                let gs = 0.25 * (nb + h2 * *brow.add(j));
-                let old = *mid.add(j);
-                *mid.add(j) = old + omega * (gs - old);
-                j += 2;
-            }
+            sor_row_update(
+                xp.row(i - 1),
+                xp.row_mut(i),
+                xp.row(i + 1),
+                bp.row(i),
+                n,
+                h2,
+                omega,
+                i,
+                color,
+            );
         }
     });
+}
+
+/// `sweeps` Red-Black SOR sweeps in the staged reference order: the
+/// behavioural baseline the temporally blocked
+/// [`crate::fused::sor_sweeps_blocked`] is property-tested against.
+pub fn sor_sweeps(x: &mut Grid2d, b: &Grid2d, omega: f64, sweeps: usize, exec: &Exec) {
+    for _ in 0..sweeps {
+        sor_sweep(x, b, omega, exec);
+    }
 }
 
 /// One weighted-Jacobi sweep: `x ← (1-ω)·x + ω·D⁻¹(b + offdiag)` using
