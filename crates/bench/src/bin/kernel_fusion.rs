@@ -36,14 +36,20 @@
 //! backend, band, and depth before anything is timed.
 
 use petamg_bench::time_best;
+use petamg_choice::KnobTable;
+use petamg_core::plan::{simple_v_family, ExecCtx};
+use petamg_core::training::{Distribution, ProblemInstance};
+use petamg_core::tuner::{tune_kernel_knobs_for_level, KnobTunerOptions};
 use petamg_grid::{
     coarse_size, interpolate_add, interpolate_correct, residual, residual_restrict,
-    restrict_full_weighting, Exec, Grid2d, Workspace,
+    restrict_full_weighting, size_level, Exec, Grid2d, Workspace,
 };
 use petamg_solvers::fused::sor_sweeps_blocked;
 use petamg_solvers::relax::sor_sweeps;
+use petamg_solvers::DirectSolverCache;
 use serde::Serialize;
 use std::hint::black_box;
+use std::sync::Arc;
 
 #[derive(Serialize)]
 struct BackendRecord {
@@ -108,6 +114,34 @@ struct TblockRecord {
 }
 
 #[derive(Serialize)]
+struct KnobTableEntry {
+    /// Multigrid level (grid `2^level + 1`).
+    level: usize,
+    /// Tuned block-cursor band height at this level.
+    band_rows: usize,
+    /// Tuned temporal-block depth at this level.
+    tblock: usize,
+}
+
+#[derive(Serialize)]
+struct PerLevelKnobRecord {
+    n: usize,
+    /// Backend name (pooled).
+    backend: String,
+    /// Tuned V-cycle time with the uniform global default knobs at
+    /// every level, seconds.
+    global_cycle_s: f64,
+    /// Tuned V-cycle time with the per-level knob table, seconds.
+    per_level_cycle_s: f64,
+    /// global / per-level (>1 means the table wins).
+    speedup: f64,
+    /// Knob-tuning evaluations spent building the table.
+    tune_evaluations: usize,
+    /// The tuned table entries, coarse to fine.
+    table: Vec<KnobTableEntry>,
+}
+
+#[derive(Serialize)]
 struct Report {
     bench: String,
     quick: bool,
@@ -119,6 +153,10 @@ struct Report {
     band_sweep: Vec<BandRecord>,
     /// Temporally blocked SOR across fused depths.
     tblock_sweep: Vec<TblockRecord>,
+    /// Tuned-plan cycle times: one global knob setting at every level
+    /// versus a per-level table tuned coarse-to-fine with the seeded
+    /// n-ary search (the DP tuner's mechanism).
+    per_level_knobs: Vec<PerLevelKnobRecord>,
 }
 
 fn test_grids(n: usize) -> (Grid2d, Grid2d) {
@@ -379,6 +417,101 @@ fn bench_tblock_sweep(
     records
 }
 
+/// Compare tuned-plan V-cycle times under the global default knobs
+/// versus a per-level table built exactly the way the DP tuner builds
+/// one: seeded n-ary search per level, coarse to fine.
+fn bench_per_level_knobs(
+    pool_exec: &Exec,
+    backend: &str,
+    n: usize,
+    trials: usize,
+    quick: bool,
+) -> PerLevelKnobRecord {
+    let level = size_level(n).expect("bench sizes are 2^k + 1");
+    let fam = simple_v_family(level, &[1e5]);
+    let inst = ProblemInstance::random(level, Distribution::UnbiasedUniform, 0x5EED_BE9C);
+    let cache = Arc::new(DirectSolverCache::new());
+
+    // Build the per-level table coarse-to-fine the way the DP tuner
+    // does: each level's candidates timed in-table (coarser levels keep
+    // their tuned knobs), seeded from the next-coarser entry.
+    let mut table = KnobTable::defaults(level);
+    let mut tune_evaluations = 0usize;
+    let (arms, rounds, reps) = if quick { (2, 1, 1) } else { (3, 2, 3) };
+    for k in 2..=level {
+        let opts = KnobTunerOptions {
+            level: k,
+            arms,
+            rounds,
+            reps,
+            seed: 0xBE9C ^ k as u64,
+        };
+        let result = tune_kernel_knobs_for_level(pool_exec, &opts, &table);
+        tune_evaluations += result.evaluations;
+        table.set(k, result.knobs);
+    }
+
+    let run = |table: &KnobTable, x: &mut Grid2d| {
+        let mut ctx = ExecCtx::with_cache(pool_exec.clone(), Arc::clone(&cache))
+            .with_knob_table(table.clone());
+        fam.run(level, 0, x, &inst.b, &mut ctx);
+    };
+    // Bitwise equivalence before timing, like every other section.
+    let global_table = KnobTable::defaults(level);
+    let mut x_global = inst.working_grid();
+    run(&global_table, &mut x_global);
+    let mut x_table = inst.working_grid();
+    run(&table, &mut x_table);
+    assert_eq!(
+        x_global.as_slice(),
+        x_table.as_slice(),
+        "per-level knobs diverged at n={n}"
+    );
+
+    let reps_timed = (reps_for(n, quick) / 16).max(1);
+    let time_cycles = |table: &KnobTable| {
+        let mut x = inst.working_grid();
+        run(table, &mut x); // warm pools + factors outside timing
+        time_best(trials, || {
+            for _ in 0..reps_timed {
+                let mut x = inst.working_grid();
+                run(table, black_box(&mut x));
+            }
+        }) / reps_timed as f64
+    };
+    let global_cycle_s = time_cycles(&global_table);
+    let per_level_cycle_s = time_cycles(&table);
+
+    let record = PerLevelKnobRecord {
+        n,
+        backend: backend.to_string(),
+        global_cycle_s,
+        per_level_cycle_s,
+        speedup: global_cycle_s / per_level_cycle_s,
+        tune_evaluations,
+        table: (2..=level)
+            .map(|k| {
+                let knobs = table.get(k);
+                KnobTableEntry {
+                    level: k,
+                    band_rows: knobs.band_rows,
+                    tblock: knobs.tblock,
+                }
+            })
+            .collect(),
+    };
+    println!(
+        "per_level,{},{},{:.2},{:.2},{:.3},{}",
+        n,
+        backend,
+        global_cycle_s * 1e6,
+        per_level_cycle_s * 1e6,
+        record.speedup,
+        tune_evaluations
+    );
+    record
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("PETAMG_BENCH_QUICK").is_ok_and(|v| v != "0");
@@ -467,6 +600,16 @@ fn main() {
         }
     }
 
+    // Per-level knob tables vs one global setting, on tuned-plan cycles.
+    println!("#\nkind,n,backend,global_cycle_us,per_level_cycle_us,speedup,tune_evals");
+    let knob_sizes: &[usize] = if quick { &[129] } else { &[129, 513, 1025] };
+    let mut per_level_knobs = Vec::new();
+    for &n in knob_sizes {
+        per_level_knobs.push(bench_per_level_knobs(
+            &pool_exec, &pool_name, n, trials, quick,
+        ));
+    }
+
     let report = Report {
         bench: "kernel_fusion".to_string(),
         quick,
@@ -475,6 +618,7 @@ fn main() {
         sizes: size_records,
         band_sweep,
         tblock_sweep,
+        per_level_knobs,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");

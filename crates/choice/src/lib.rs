@@ -23,6 +23,7 @@ pub mod transform;
 pub use genetic::{GeneticTuner, GeneticTunerOptions, MultiLevelConfig, Tunable, TuneResult};
 pub use nary::{nary_search_f64, nary_search_int};
 pub use space::{
-    kernel_exec_space, tuning_order, Config, ConfigError, ConfigSpace, KernelKnobs, ParamId,
-    ParamKind, ParamSpec, ParamValue, Scale, PARAM_BAND_ROWS, PARAM_TBLOCK,
+    kernel_exec_space, tuning_order, Config, ConfigError, ConfigSpace, KernelKnobs, KnobTable,
+    ParamId, ParamKind, ParamSpec, ParamValue, Scale, KNOB_TABLE_VERSION, PARAM_BAND_ROWS,
+    PARAM_TBLOCK,
 };

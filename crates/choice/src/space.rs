@@ -120,6 +120,15 @@ impl ConfigSpace {
         self.params.iter().position(|p| p.name == name).map(ParamId)
     }
 
+    /// The `[lo, hi]` domain of an integer parameter, by name. `None`
+    /// if the parameter is missing or not an integer.
+    pub fn int_domain(&self, name: &str) -> Option<(i64, i64)> {
+        match self.spec(self.find(name)?).kind {
+            ParamKind::Int { lo, hi, .. } => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
     fn add(&mut self, spec: ParamSpec) -> ParamId {
         assert!(
             self.find(&spec.name).is_none(),
@@ -350,7 +359,7 @@ pub const PARAM_TBLOCK: &str = "tblock";
 /// Both knobs are pure performance axes: the grid kernels guarantee
 /// bitwise identical results for every setting, so the tuner can search
 /// them freely without re-validating accuracy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelKnobs {
     /// Rows per block-cursor band (`Exec::with_band` in `petamg-grid`).
     pub band_rows: usize,
@@ -385,6 +394,110 @@ impl Default for KernelKnobs {
             band_rows: 32,
             tblock: 1,
         }
+    }
+}
+
+/// Current schema version of serialized [`KnobTable`]s. Version 1 is
+/// the first versioned format; plan files written before knob tables
+/// existed carry no table at all and are upgraded on load to a uniform
+/// table of the global defaults.
+pub const KNOB_TABLE_VERSION: u32 = 1;
+
+/// A per-level table of tuned [`KernelKnobs`]: entry `k` holds the
+/// knobs for multigrid level `k` (grid `2^k + 1`). Index 0 is unused
+/// padding, mirroring the DP tuner's `plans` table.
+///
+/// The paper's central mechanism is a *per level and per problem size*
+/// choice; this table extends that from algorithms to the
+/// kernel-execution knobs, so a tuned plan can run coarse levels with
+/// short bands (cache-resident rows) and fine levels with tall bands
+/// and deeper temporal blocking. Every entry is a pure performance
+/// setting — execution is bitwise identical for any table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnobTable {
+    /// Serialized-schema version (see [`KNOB_TABLE_VERSION`]).
+    pub version: u32,
+    /// `per_level[k]` = knobs for level `k`; `per_level[0]` is padding.
+    pub per_level: Vec<KernelKnobs>,
+}
+
+impl KnobTable {
+    /// A table holding `knobs` at every level `0..=max_level`.
+    pub fn uniform(max_level: usize, knobs: KernelKnobs) -> Self {
+        KnobTable {
+            version: KNOB_TABLE_VERSION,
+            per_level: vec![knobs; max_level + 1],
+        }
+    }
+
+    /// The all-defaults table (the pre-table global behaviour).
+    pub fn defaults(max_level: usize) -> Self {
+        Self::uniform(max_level, KernelKnobs::default())
+    }
+
+    /// Largest level the table covers.
+    pub fn max_level(&self) -> usize {
+        self.per_level.len().saturating_sub(1)
+    }
+
+    /// The knobs for `level`, clamping out-of-range levels to the
+    /// finest tabulated entry (or the defaults for an empty table), so
+    /// executors never panic on plans deeper than the table.
+    pub fn get(&self, level: usize) -> KernelKnobs {
+        match self.per_level.get(level) {
+            Some(k) => *k,
+            None => self.per_level.last().copied().unwrap_or_default(),
+        }
+    }
+
+    /// Set the knobs for `level`, growing the table with defaults if
+    /// needed.
+    pub fn set(&mut self, level: usize, knobs: KernelKnobs) {
+        if level >= self.per_level.len() {
+            self.per_level.resize(level + 1, KernelKnobs::default());
+        }
+        self.per_level[level] = knobs;
+    }
+
+    /// Whether every entry equals every other (the table degenerates to
+    /// a single global setting).
+    pub fn is_uniform(&self) -> bool {
+        self.per_level.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Whether every entry is the global default — i.e. the table
+    /// carries no tuning at all. Executors use this to avoid overriding
+    /// a caller's hand-configured policy with an untuned table.
+    pub fn is_all_default(&self) -> bool {
+        self.per_level.iter().all(|k| *k == KernelKnobs::default())
+    }
+
+    /// Structural validation: known version, non-empty, and every entry
+    /// inside the [`kernel_exec_space`] domains (read from the space
+    /// itself, so widening an axis there widens what tables accept).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.version == 0 || self.version > KNOB_TABLE_VERSION {
+            return Err(format!(
+                "unsupported knob-table version {} (max {KNOB_TABLE_VERSION})",
+                self.version
+            ));
+        }
+        if self.per_level.is_empty() {
+            return Err("knob table has no levels".into());
+        }
+        let space = kernel_exec_space();
+        let (band_lo, band_hi) = space.int_domain(PARAM_BAND_ROWS).expect("band axis");
+        let (tblock_lo, tblock_hi) = space.int_domain(PARAM_TBLOCK).expect("tblock axis");
+        for (k, knobs) in self.per_level.iter().enumerate() {
+            let band_ok = (band_lo..=band_hi).contains(&(knobs.band_rows as i64));
+            let tblock_ok = (tblock_lo..=tblock_hi).contains(&(knobs.tblock as i64));
+            if !band_ok || !tblock_ok {
+                return Err(format!(
+                    "level {k}: knobs {knobs:?} outside the kernel_exec_space domain"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -649,6 +762,95 @@ mod tests {
                 tblock: 4
             }
         );
+    }
+
+    #[test]
+    fn knob_table_get_set_and_clamp() {
+        let mut t = KnobTable::defaults(4);
+        assert_eq!(t.max_level(), 4);
+        assert!(t.is_uniform());
+        let coarse = KernelKnobs {
+            band_rows: 4,
+            tblock: 2,
+        };
+        t.set(2, coarse);
+        assert!(!t.is_uniform());
+        assert_eq!(t.get(2), coarse);
+        assert_eq!(t.get(4), KernelKnobs::default());
+        // Out-of-range levels clamp to the finest tabulated entry.
+        t.set(4, coarse);
+        assert_eq!(t.get(99), coarse);
+        // set() grows the table as needed.
+        t.set(6, KernelKnobs::default());
+        assert_eq!(t.max_level(), 6);
+        assert_eq!(t.get(5), KernelKnobs::default());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn knob_table_default_detection() {
+        let mut t = KnobTable::defaults(3);
+        assert!(t.is_all_default(), "fresh table carries no tuning");
+        t.set(
+            2,
+            KernelKnobs {
+                band_rows: 8,
+                tblock: 1,
+            },
+        );
+        assert!(!t.is_all_default());
+        // Uniform but non-default: still real tuning.
+        let u = KnobTable::uniform(
+            3,
+            KernelKnobs {
+                band_rows: 64,
+                tblock: 2,
+            },
+        );
+        assert!(u.is_uniform() && !u.is_all_default());
+    }
+
+    #[test]
+    fn knob_table_validation_rejects_bad_entries() {
+        let mut t = KnobTable::defaults(3);
+        t.version = KNOB_TABLE_VERSION + 1;
+        assert!(t.validate().is_err(), "future versions rejected");
+
+        let mut t = KnobTable::defaults(3);
+        t.per_level[1] = KernelKnobs {
+            band_rows: 0,
+            tblock: 1,
+        };
+        assert!(t.validate().is_err(), "zero band rejected");
+
+        let mut t = KnobTable::defaults(3);
+        t.per_level[2] = KernelKnobs {
+            band_rows: 1024,
+            tblock: 1,
+        };
+        assert!(t.validate().is_err(), "out-of-domain band rejected");
+
+        let t = KnobTable {
+            version: KNOB_TABLE_VERSION,
+            per_level: Vec::new(),
+        };
+        assert!(t.validate().is_err(), "empty table rejected");
+    }
+
+    #[test]
+    fn knob_table_serde_roundtrip() {
+        let mut t = KnobTable::defaults(3);
+        t.set(
+            3,
+            KernelKnobs {
+                band_rows: 64,
+                tblock: 4,
+            },
+        );
+        let json = serde_json::to_string_pretty(&t).unwrap();
+        assert!(json.contains("\"version\""), "schema is versioned: {json}");
+        let back: KnobTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

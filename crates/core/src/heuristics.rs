@@ -87,6 +87,7 @@ pub fn fixed_strategy_family(sub_acc: f64, final_acc: f64, base: &TunerOptions) 
         accuracies,
         max_level: base.max_level,
         plans,
+        knobs: tuner.knob_table(),
         provenance: format!("heuristic {:.0e}/{:.0e}", sub_acc, final_acc),
     };
     family

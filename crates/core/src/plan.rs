@@ -26,6 +26,7 @@ use crate::accuracy::ACC_CAP;
 use crate::cost::OpCounts;
 use crate::trace::{CycleEvent, Tracer};
 use crate::training::ProblemInstance;
+use petamg_choice::{KernelKnobs, KnobTable};
 use petamg_grid::{coarse_size, level_size, Exec, Grid2d, Workspace};
 use petamg_solvers::fused::{
     interpolate_correct_relax, relax_residual_restrict, sor_sweeps_blocked,
@@ -73,16 +74,59 @@ impl Choice {
     }
 }
 
+/// Per-level record of the kernel knobs the executor actually applied
+/// while walking a plan — the "exec stats" that let tests (and the
+/// bench harness) assert that a tuned knob table really switches as the
+/// cycle descends and ascends levels.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KnobStats {
+    /// `applied[k]` = knobs applied at level `k`; `None` means the
+    /// level was never visited or no knob table was attached.
+    pub applied: Vec<Option<KernelKnobs>>,
+}
+
+impl KnobStats {
+    fn record(&mut self, level: usize, knobs: KernelKnobs) {
+        if level >= self.applied.len() {
+            self.applied.resize(level + 1, None);
+        }
+        self.applied[level] = Some(knobs);
+    }
+
+    /// The knobs applied at `level`, if the level executed with a table.
+    pub fn applied_at(&self, level: usize) -> Option<KernelKnobs> {
+        self.applied.get(level).copied().flatten()
+    }
+
+    /// Levels that executed with table-driven knobs.
+    pub fn levels_touched(&self) -> Vec<usize> {
+        self.applied
+            .iter()
+            .enumerate()
+            .filter_map(|(k, a)| a.map(|_| k))
+            .collect()
+    }
+}
+
 /// Execution context threaded through plan execution.
 pub struct ExecCtx {
     /// Execution policy for all grid sweeps (its band height is one of
-    /// the kernel-execution tuner axes).
+    /// the kernel-execution tuner axes). When a [`KnobTable`] is
+    /// attached, each level's band height comes from the table instead.
     pub exec: Exec,
     /// Temporal-block depth: SOR sweeps fused per wavefront traversal
     /// (the other kernel-execution tuner axis; see
     /// `petamg_solvers::fused`). Pure performance knob — results are
-    /// bitwise identical for every value.
+    /// bitwise identical for every value. When a [`KnobTable`] is
+    /// attached, each level's depth comes from the table instead.
     pub tblock: usize,
+    /// Optional per-level knob table. `None` keeps the legacy global
+    /// behaviour (`exec` band + `tblock` at every level); `Some` makes
+    /// the executor re-derive both knobs from the table at every level
+    /// it enters.
+    pub knobs: Option<KnobTable>,
+    /// Which knobs the table actually applied, per level.
+    pub knob_stats: KnobStats,
     /// Shared band-Cholesky factor cache.
     pub cache: Arc<DirectSolverCache>,
     /// Shared per-level scratch arena. Recursion leases coarse grids
@@ -106,10 +150,45 @@ impl ExecCtx {
         ExecCtx {
             exec,
             tblock: 1,
+            knobs: None,
+            knob_stats: KnobStats::default(),
             cache,
             workspace: Arc::new(Workspace::new()),
             ops: OpCounts::default(),
             tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attach a per-level knob table: every level the executor enters
+    /// re-derives its band height and temporal-block depth from the
+    /// table (instead of the global `exec` band / `tblock`).
+    pub fn with_knob_table(mut self, table: KnobTable) -> Self {
+        self.knobs = Some(table);
+        self
+    }
+
+    /// The execution policy for sweeps at `level`: the base policy with
+    /// the level's tabulated band height when a table is attached.
+    fn level_exec(&mut self, level: usize) -> Exec {
+        match &self.knobs {
+            None => self.exec.clone(),
+            Some(table) => {
+                let knobs = table.get(level);
+                self.knob_stats.record(level, knobs);
+                self.exec.clone().with_band(knobs.band_rows)
+            }
+        }
+    }
+
+    /// The temporal-block depth for SOR solves at `level`.
+    fn level_tblock(&mut self, level: usize) -> usize {
+        match &self.knobs {
+            None => self.tblock.max(1),
+            Some(table) => {
+                let knobs = table.get(level);
+                self.knob_stats.record(level, knobs);
+                knobs.tblock.max(1)
+            }
         }
     }
 
@@ -132,9 +211,10 @@ impl ExecCtx {
         self
     }
 
-    /// Reset counters and trace (keeps cache and policy).
+    /// Reset counters, knob stats, and trace (keeps cache and policy).
     pub fn reset_counters(&mut self) {
         self.ops = OpCounts::default();
+        self.knob_stats = KnobStats::default();
         let enabled = self.tracer.is_enabled();
         self.tracer = if enabled {
             Tracer::enabled()
@@ -153,7 +233,8 @@ impl ExecCtx {
         b: &Grid2d,
         bc: &mut Grid2d,
     ) {
-        relax_residual_restrict(x, b, bc, OMEGA_CYCLE, 0, &self.workspace, &self.exec);
+        let exec = self.level_exec(level);
+        relax_residual_restrict(x, b, bc, OMEGA_CYCLE, 0, &self.workspace, &exec);
         self.ops.level_mut(level).residuals += 1;
         self.ops.level_mut(level).restricts += 1;
         self.tracer.record(CycleEvent::Residual { level });
@@ -163,7 +244,8 @@ impl ExecCtx {
     /// Interpolation correction at `to` without relaxation (the FMG
     /// estimate edge; the follow-up phase relaxes separately).
     fn interpolate(&mut self, to: usize, coarse: &Grid2d, fine: &mut Grid2d, b: &Grid2d) {
-        interpolate_correct_relax(coarse, fine, b, OMEGA_CYCLE, 0, &self.workspace, &self.exec);
+        let exec = self.level_exec(to);
+        interpolate_correct_relax(coarse, fine, b, OMEGA_CYCLE, 0, &self.workspace, &exec);
         self.ops.level_mut(to).interps += 1;
         self.tracer.record(CycleEvent::Interpolate { to });
     }
@@ -180,7 +262,8 @@ impl ExecCtx {
         bc: &mut Grid2d,
         omega: f64,
     ) {
-        relax_residual_restrict(x, b, bc, omega, 1, &self.workspace, &self.exec);
+        let exec = self.level_exec(level);
+        relax_residual_restrict(x, b, bc, omega, 1, &self.workspace, &exec);
         self.ops.level_mut(level).relax_sweeps += 1;
         self.ops.level_mut(level).residuals += 1;
         self.ops.level_mut(level).restricts += 1;
@@ -199,7 +282,8 @@ impl ExecCtx {
         b: &Grid2d,
         omega: f64,
     ) {
-        interpolate_correct_relax(coarse, fine, b, omega, 1, &self.workspace, &self.exec);
+        let exec = self.level_exec(to);
+        interpolate_correct_relax(coarse, fine, b, omega, 1, &self.workspace, &exec);
         self.ops.level_mut(to).interps += 1;
         self.ops.level_mut(to).relax_sweeps += 1;
         self.tracer.record(CycleEvent::Interpolate { to });
@@ -216,11 +300,12 @@ impl ExecCtx {
         let omega = omega_opt(x.n());
         // Temporal blocking: fuse up to `tblock` sweeps per wavefront
         // traversal (bitwise identical to iterated single sweeps).
-        let depth = self.tblock.max(1);
+        let depth = self.level_tblock(level);
+        let exec = self.level_exec(level);
         let mut left = iterations as usize;
         while left > 0 {
             let chunk = left.min(depth);
-            sor_sweeps_blocked(x, b, omega, chunk, &self.workspace, &self.exec);
+            sor_sweeps_blocked(x, b, omega, chunk, &self.workspace, &exec);
             left -= chunk;
         }
         self.ops.level_mut(level).relax_sweeps += iterations as u64;
@@ -239,6 +324,11 @@ pub struct TunedFamily {
     /// `plans[k][i]` = choice for level `k`, accuracy index `i`
     /// (`plans[0]` is unused padding; `plans[1]` is always `Direct`).
     pub plans: Vec<Vec<Choice>>,
+    /// Per-level kernel-execution knobs (band height, temporal-block
+    /// depth), index-aligned with `plans`. Legacy plan files (written
+    /// before knob tables existed) carry no table; loading them falls
+    /// back to a uniform table of the global defaults.
+    pub knobs: KnobTable,
     /// Human-readable provenance (distribution, cost model, seed).
     pub provenance: String,
 }
@@ -295,6 +385,14 @@ impl TunedFamily {
                 "plans length {} != max_level+1 {}",
                 self.plans.len(),
                 self.max_level + 1
+            ));
+        }
+        self.knobs.validate()?;
+        if self.knobs.per_level.len() != self.plans.len() {
+            return Err(format!(
+                "knob table covers {} levels, plans cover {}",
+                self.knobs.per_level.len(),
+                self.plans.len()
             ));
         }
         for (k, row) in self.plans.iter().enumerate().skip(1) {
@@ -412,7 +510,13 @@ impl TunedFamily {
         // Warm the factor cache outside the timed region (plans reuse
         // factors across solves, as does the paper's tuned binary).
         self.warm_factors(inst.level, acc_idx, cache);
+        // Attach the family's knob table only when it actually carries
+        // tuning: an all-default table (untuned or legacy plans) must
+        // not override a caller's hand-configured band/tblock on `exec`.
         let mut ctx = ExecCtx::with_cache(exec.clone(), Arc::clone(cache));
+        if !self.knobs.is_all_default() {
+            ctx = ctx.with_knob_table(self.knobs.clone());
+        }
         let mut x = inst.working_grid();
         let start = std::time::Instant::now();
         self.run(inst.level, acc_idx, &mut x, &inst.b, &mut ctx);
@@ -447,17 +551,49 @@ impl TunedFamily {
         }
     }
 
-    /// Serialize to pretty JSON (the tuned "configuration file").
+    /// Serialize to pretty JSON (the tuned "configuration file"). The
+    /// emitted schema carries the per-level knob table with its own
+    /// `version` field; see [`TunedFamily::from_json`] for the legacy
+    /// fallback on the read side.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("plan serialization cannot fail")
     }
 
     /// Parse and validate from JSON.
+    ///
+    /// Accepts both the current versioned schema (with a `knobs` table)
+    /// and legacy plan files written before knob tables existed; legacy
+    /// plans load with a uniform table of the global default knobs, so
+    /// they execute exactly as they always did.
     pub fn from_json(json: &str) -> Result<TunedFamily, String> {
-        let fam: TunedFamily = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let mut value: serde_json::Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        upgrade_legacy_family(&mut value)?;
+        let fam =
+            <TunedFamily as serde::Deserialize>::from_value(&value).map_err(|e| e.to_string())?;
         fam.validate()?;
         Ok(fam)
     }
+}
+
+/// Upgrade a pre-knob-table plan object in place: if the `knobs` field
+/// is absent (legacy schema), insert a uniform default table sized from
+/// `max_level`. Current-schema objects pass through untouched.
+fn upgrade_legacy_family(value: &mut serde_json::Value) -> Result<(), String> {
+    let serde_json::Value::Object(obj) = value else {
+        return Err("expected a JSON object for a tuned plan".into());
+    };
+    if obj.contains_key("knobs") {
+        return Ok(());
+    }
+    let max_level = obj
+        .get("max_level")
+        .ok_or("plan object lacks max_level")
+        .and_then(|v| <usize as serde::Deserialize>::from_value(v).map_err(|_| "bad max_level"))?;
+    obj.insert(
+        "knobs".to_string(),
+        serde::Serialize::to_value(&KnobTable::defaults(max_level)),
+    );
+    Ok(())
 }
 
 /// Follow-up phase of a tuned `FULL-MULTIGRID_i` after the estimate.
@@ -529,6 +665,13 @@ pub struct TunedFmgFamily {
 }
 
 impl TunedFmgFamily {
+    /// The per-level kernel knob table (carried by the embedded V
+    /// family; the FMG layer shares it, so one table drives both the
+    /// estimation and follow-up phases).
+    pub fn knobs(&self) -> &KnobTable {
+        &self.v.knobs
+    }
+
     /// Execute `FULL-MULTIGRID_{acc_idx}` at `level` on `(x, b)`.
     ///
     /// # Panics
@@ -583,7 +726,12 @@ impl TunedFmgFamily {
         let acc_idx = self.v.acc_index_for(target);
         inst.ensure_x_opt(exec, cache);
         let _ = cache.get(3);
+        // Like TunedFamily::solve_with: only a table with real tuning
+        // overrides the caller's execution policy.
         let mut ctx = ExecCtx::with_cache(exec.clone(), Arc::clone(cache));
+        if !self.v.knobs.is_all_default() {
+            ctx = ctx.with_knob_table(self.v.knobs.clone());
+        }
         let mut x = inst.working_grid();
         let start = std::time::Instant::now();
         self.run(inst.level, acc_idx, &mut x, &inst.b, &mut ctx);
@@ -603,9 +751,18 @@ impl TunedFmgFamily {
         serde_json::to_string_pretty(self).expect("plan serialization cannot fail")
     }
 
-    /// Parse from JSON (validates the embedded V family).
+    /// Parse from JSON (validates the embedded V family). Legacy files
+    /// whose embedded V family predates knob tables load with a uniform
+    /// default table, like [`TunedFamily::from_json`].
     pub fn from_json(json: &str) -> Result<TunedFmgFamily, String> {
-        let fam: TunedFmgFamily = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let mut value: serde_json::Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if let serde_json::Value::Object(obj) = &mut value {
+            if let Some(v) = obj.get_mut("v") {
+                upgrade_legacy_family(v)?;
+            }
+        }
+        let fam = <TunedFmgFamily as serde::Deserialize>::from_value(&value)
+            .map_err(|e| e.to_string())?;
         fam.v.validate()?;
         Ok(fam)
     }
@@ -633,6 +790,7 @@ pub fn simple_v_family(max_level: usize, accuracies: &[f64]) -> TunedFamily {
         accuracies: accuracies.to_vec(),
         max_level,
         plans,
+        knobs: KnobTable::defaults(max_level),
         provenance: "hand-built MULTIGRID-V-SIMPLE".into(),
     }
 }
@@ -810,6 +968,157 @@ mod tests {
         let fam2 = TunedFamily::from_json(&json).unwrap();
         assert_eq!(fam.plans, fam2.plans);
         assert_eq!(fam.accuracies, fam2.accuracies);
+        assert_eq!(fam.knobs, fam2.knobs);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_nonuniform_knob_table() {
+        let mut fam = simple_v_family(4, &PAPER_ACCURACIES);
+        fam.knobs.set(
+            2,
+            KernelKnobs {
+                band_rows: 4,
+                tblock: 2,
+            },
+        );
+        fam.knobs.set(
+            4,
+            KernelKnobs {
+                band_rows: 128,
+                tblock: 3,
+            },
+        );
+        let json = fam.to_json();
+        assert!(json.contains("\"knobs\""), "schema carries the table");
+        assert!(json.contains("\"version\""), "table is versioned");
+        let fam2 = TunedFamily::from_json(&json).unwrap();
+        assert_eq!(fam2.knobs, fam.knobs);
+        assert!(!fam2.knobs.is_uniform());
+    }
+
+    #[test]
+    fn legacy_json_without_knobs_loads_with_default_table() {
+        // Strip the knobs field to simulate a pre-table plan file.
+        let fam = simple_v_family(4, &PAPER_ACCURACIES);
+        let mut value: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
+        if let serde_json::Value::Object(obj) = &mut value {
+            obj.remove("knobs").expect("current schema has knobs");
+        }
+        let legacy_json = serde_json::to_string_pretty(&value).unwrap();
+        let loaded = TunedFamily::from_json(&legacy_json).unwrap();
+        assert_eq!(loaded.plans, fam.plans);
+        assert_eq!(loaded.knobs, KnobTable::defaults(4), "legacy fallback");
+    }
+
+    #[test]
+    fn from_json_rejects_bad_knob_tables() {
+        let mut fam = simple_v_family(3, &PAPER_ACCURACIES);
+        fam.knobs.version = 99;
+        assert!(TunedFamily::from_json(&fam.to_json()).is_err());
+
+        let mut fam = simple_v_family(3, &PAPER_ACCURACIES);
+        fam.knobs.per_level.pop();
+        assert!(
+            TunedFamily::from_json(&fam.to_json()).is_err(),
+            "table/plans level mismatch rejected"
+        );
+    }
+
+    #[test]
+    fn fmg_legacy_json_upgrades_embedded_v_family() {
+        let v = simple_v_family(3, &[1e3]);
+        let plans = vec![
+            Vec::new(),
+            vec![FmgChoice::Direct],
+            vec![FmgChoice::Estimate {
+                estimate_accuracy: 0,
+                follow: FollowUp::Sor { iterations: 2 },
+            }],
+            vec![FmgChoice::Direct],
+        ];
+        let fam = TunedFmgFamily { v, plans };
+        let mut value: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
+        if let serde_json::Value::Object(obj) = &mut value {
+            if let Some(serde_json::Value::Object(v_obj)) = obj.get_mut("v") {
+                v_obj.remove("knobs").expect("embedded v has knobs");
+            }
+        }
+        let legacy = serde_json::to_string(&value).unwrap();
+        let loaded = TunedFmgFamily::from_json(&legacy).unwrap();
+        assert_eq!(loaded.knobs(), &KnobTable::defaults(3));
+        assert_eq!(loaded.plans, fam.plans);
+    }
+
+    #[test]
+    fn executor_switches_knobs_per_level() {
+        // A non-uniform table must be re-derived at every level the
+        // cycle enters — asserted through the context's knob stats —
+        // while staying bitwise identical to the global-knob run.
+        let fam = simple_v_family(5, &[1e5]);
+        let mut table = KnobTable::defaults(5);
+        table.set(
+            5,
+            KernelKnobs {
+                band_rows: 64,
+                tblock: 2,
+            },
+        );
+        table.set(
+            4,
+            KernelKnobs {
+                band_rows: 16,
+                tblock: 1,
+            },
+        );
+        table.set(
+            3,
+            KernelKnobs {
+                band_rows: 2,
+                tblock: 4,
+            },
+        );
+        let inst = ProblemInstance::random(5, Distribution::UnbiasedUniform, 41);
+
+        let run = |table: Option<KnobTable>| {
+            let mut ctx = ExecCtx::new(Exec::pbrt(2));
+            if let Some(t) = table {
+                ctx = ctx.with_knob_table(t);
+            }
+            let mut x = inst.working_grid();
+            fam.run(5, 0, &mut x, &inst.b, &mut ctx);
+            (x, ctx)
+        };
+        let (x_global, ctx_global) = run(None);
+        let (x_table, ctx_table) = run(Some(table.clone()));
+
+        assert_eq!(
+            x_global.as_slice(),
+            x_table.as_slice(),
+            "knob tables are pure performance settings"
+        );
+        assert_eq!(ctx_global.ops, ctx_table.ops, "op counts knob-independent");
+        assert!(ctx_global.knob_stats.levels_touched().is_empty());
+        // The V cycle reaches every level 2..=5 with fused edges; each
+        // must have applied exactly its table entry.
+        for level in 2..=5 {
+            assert_eq!(
+                ctx_table.knob_stats.applied_at(level),
+                Some(table.get(level)),
+                "level {level} ran with its own knobs"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_counters_clears_knob_stats() {
+        let fam = simple_v_family(3, &[1e3]);
+        let inst = ProblemInstance::random(3, Distribution::UnbiasedUniform, 2);
+        let mut ctx = ExecCtx::new(Exec::seq()).with_knob_table(KnobTable::defaults(3));
+        let mut x = inst.working_grid();
+        fam.run(3, 0, &mut x, &inst.b, &mut ctx);
+        assert!(!ctx.knob_stats.levels_touched().is_empty());
+        ctx.reset_counters();
+        assert!(ctx.knob_stats.levels_touched().is_empty());
     }
 
     #[test]

@@ -14,12 +14,19 @@
 use crate::plan::{simple_v_family, ExecCtx, PAPER_ACCURACIES};
 use crate::training::{Distribution, ProblemInstance};
 use petamg_choice::{
-    kernel_exec_space, nary_search_int, tuning_order, ConfigSpace, KernelKnobs, ParamValue,
+    kernel_exec_space, nary_search_int, tuning_order, ConfigSpace, KernelKnobs, KnobTable,
+    ParamValue, PARAM_BAND_ROWS, PARAM_TBLOCK,
 };
 use petamg_grid::{Exec, Workspace};
 use petamg_solvers::DirectSolverCache;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Largest level [`KnobTunerOptions::quick`] will tune at: grids above
+/// `2^10 + 1 = 1025` make a "quick" timing run anything but quick, and
+/// far larger levels would panic in `level_size` (shift overflow) or
+/// abort allocating the training grid.
+pub const MAX_QUICK_KNOB_LEVEL: usize = 10;
 
 /// Apply tuned [`KernelKnobs`] to an execution policy (the band height;
 /// the temporal depth travels separately into [`ExecCtx::tblock`] /
@@ -45,9 +52,14 @@ pub struct KnobTunerOptions {
 
 impl KnobTunerOptions {
     /// A quick search suitable for tests and warm-up tuning.
+    ///
+    /// `level` is clamped into `1..=`[`MAX_QUICK_KNOB_LEVEL`] rather
+    /// than trusted: level 0 has no executable plan, and out-of-range
+    /// levels used to panic deep inside `level_size` (or abort
+    /// allocating a training grid) instead of failing gracefully.
     pub fn quick(level: usize) -> Self {
         KnobTunerOptions {
-            level,
+            level: level.clamp(1, MAX_QUICK_KNOB_LEVEL),
             arms: 3,
             rounds: 2,
             reps: 2,
@@ -77,10 +89,82 @@ pub struct KnobTuneResult {
 ///
 /// The returned knobs plug into an executor as
 /// `ExecCtx::with_cache(apply_knobs(exec, &knobs), cache)
-///     .with_tblock(knobs.tblock)`.
+///     .with_tblock(knobs.tblock)` — or, table-wise, as one entry of a
+/// `KnobTable` attached via `ExecCtx::with_knob_table`.
 pub fn tune_kernel_knobs(exec: &Exec, opts: &KnobTunerOptions) -> KnobTuneResult {
+    tune_kernel_knobs_seeded(exec, opts, None)
+}
+
+/// [`tune_kernel_knobs`] with an explicit starting incumbent, used by
+/// the DP tuner to seed each level's search from the next-coarser
+/// level's winner: the incumbent configuration starts at the seed, and
+/// each axis searches only the log-neighborhood `[seed/4, seed·4]` of
+/// its seeded value (grid sizes double level to level, so good knobs
+/// drift slowly) — keeping the whole per-level table near `O(levels)`
+/// timings instead of restarting from the full domain at each level.
+pub fn tune_kernel_knobs_seeded(
+    exec: &Exec,
+    opts: &KnobTunerOptions,
+    seed: Option<KernelKnobs>,
+) -> KnobTuneResult {
+    tune_kernel_knobs_impl(exec, opts, seed, None)
+}
+
+/// Tune the knobs for one level of a per-level [`KnobTable`]: candidate
+/// timings run V cycles at `opts.level` with `base`'s entries applied
+/// at every *other* level and only `opts.level`'s entry varying. This
+/// isolates the level's own contribution: the coarser levels keep
+/// their already-tuned knobs while the candidate is judged.
+///
+/// The timed workload is a representative `MULTIGRID-V-SIMPLE` cycle
+/// (one recursion per level), not the DP's actual partially tuned
+/// plans — a proxy that exercises the same fused kernels at the same
+/// grid sizes and keeps the knob search independent of plan shape.
+///
+/// The search is seeded from `base`'s entry at `opts.level - 1`.
+pub fn tune_kernel_knobs_for_level(
+    exec: &Exec,
+    opts: &KnobTunerOptions,
+    base: &KnobTable,
+) -> KnobTuneResult {
+    let seed = base.get(opts.level.saturating_sub(1));
+    tune_kernel_knobs_impl(exec, opts, Some(seed), Some(base))
+}
+
+fn tune_kernel_knobs_impl(
+    exec: &Exec,
+    opts: &KnobTunerOptions,
+    seed: Option<KernelKnobs>,
+    base: Option<&KnobTable>,
+) -> KnobTuneResult {
     let space = kernel_exec_space();
     let mut config = space.default_config();
+    let band_id = space.find(PARAM_BAND_ROWS).expect("band axis");
+    let tblock_id = space.find(PARAM_TBLOCK).expect("tblock axis");
+    if let Some(seed) = seed {
+        // Clamp seeds into the axes' own domains (read from the space,
+        // the single source of truth for the bounds).
+        let (band_lo, band_hi) = space.int_domain(PARAM_BAND_ROWS).expect("band axis");
+        let (tblock_lo, tblock_hi) = space.int_domain(PARAM_TBLOCK).expect("tblock axis");
+        config
+            .set(
+                &space,
+                band_id,
+                ParamValue::Int(
+                    (seed.band_rows.min(i64::MAX as usize) as i64).clamp(band_lo, band_hi),
+                ),
+            )
+            .expect("clamped seed in domain");
+        config
+            .set(
+                &space,
+                tblock_id,
+                ParamValue::Int(
+                    (seed.tblock.min(i64::MAX as usize) as i64).clamp(tblock_lo, tblock_hi),
+                ),
+            )
+            .expect("clamped seed in domain");
+    }
     let fam = simple_v_family(opts.level, &PAPER_ACCURACIES);
     let inst = ProblemInstance::random(opts.level, Distribution::UnbiasedUniform, opts.seed);
     let cache = Arc::new(DirectSolverCache::new());
@@ -91,10 +175,22 @@ pub fn tune_kernel_knobs(exec: &Exec, opts: &KnobTunerOptions) -> KnobTuneResult
     {
         let mut time_candidate = |cfg_knobs: KernelKnobs| -> f64 {
             evaluations += 1;
-            let tuned_exec = apply_knobs(exec.clone(), &cfg_knobs);
-            let mut ctx = ExecCtx::with_cache(tuned_exec, Arc::clone(&cache))
-                .with_workspace(Arc::clone(&workspace))
-                .with_tblock(cfg_knobs.tblock);
+            // In-table mode the candidate occupies only `opts.level`;
+            // global mode applies it everywhere (the pre-table search).
+            let mut ctx = match base {
+                Some(table) => {
+                    let mut trial = table.clone();
+                    trial.set(opts.level, cfg_knobs);
+                    ExecCtx::with_cache(exec.clone(), Arc::clone(&cache))
+                        .with_workspace(Arc::clone(&workspace))
+                        .with_knob_table(trial)
+                }
+                None => {
+                    ExecCtx::with_cache(apply_knobs(exec.clone(), &cfg_knobs), Arc::clone(&cache))
+                        .with_workspace(Arc::clone(&workspace))
+                        .with_tblock(cfg_knobs.tblock)
+                }
+            };
             // Warm the workspace pools and factor cache outside timing.
             let mut x = inst.working_grid();
             fam.run(opts.level, 0, &mut x, &inst.b, &mut ctx);
@@ -122,13 +218,58 @@ pub fn tune_kernel_knobs(exec: &Exec, opts: &KnobTunerOptions) -> KnobTuneResult
                     petamg_choice::ParamKind::Int { lo, hi, .. } => (lo, hi),
                     _ => continue,
                 };
-                let best = nary_search_int(lo, hi, opts.arms, opts.rounds, |v| {
+                // A seeded search stays in the log-neighborhood of the
+                // seeded value instead of re-scanning the full domain.
+                let (nlo, nhi) = if seed.is_some() {
+                    let v = config.int(id);
+                    ((v / 4).max(lo), (v * 4).min(hi))
+                } else {
+                    (lo, hi)
+                };
+                // Remember every timing from the search so the run-off
+                // below can reuse them instead of re-timing.
+                let mut sampled: std::collections::BTreeMap<i64, f64> =
+                    std::collections::BTreeMap::new();
+                let searched = nary_search_int(nlo, nhi, opts.arms, opts.rounds, |v| {
                     let mut trial = config.clone();
                     trial
                         .set(&space, id, ParamValue::Int(v))
                         .expect("candidate in domain");
-                    time_candidate(KernelKnobs::from_config(&space, &trial))
+                    let cost = time_candidate(KernelKnobs::from_config(&space, &trial));
+                    sampled
+                        .entry(v)
+                        .and_modify(|c| *c = c.min(cost))
+                        .or_insert(cost);
+                    cost
                 });
+                // Damp noise drift: the axis winner must beat both the
+                // seeded incumbent and the global default in a direct
+                // run-off, otherwise a level whose timing is
+                // insensitive to this axis (coarse grids) would lock a
+                // random value into the seed chain for finer levels.
+                // Values the search already timed are not re-timed.
+                let spec_default = match spec.default {
+                    ParamValue::Int(d) => d,
+                    _ => unreachable!("kernel axes are ints"),
+                };
+                let mut contenders = vec![searched, config.int(id), spec_default];
+                contenders.sort_unstable();
+                contenders.dedup();
+                let best = contenders
+                    .into_iter()
+                    .map(|v| {
+                        let cost = sampled.get(&v).copied().unwrap_or_else(|| {
+                            let mut trial = config.clone();
+                            trial
+                                .set(&space, id, ParamValue::Int(v))
+                                .expect("contender in domain");
+                            time_candidate(KernelKnobs::from_config(&space, &trial))
+                        });
+                        (cost, v)
+                    })
+                    .min_by(|a, b| a.0.total_cmp(&b.0))
+                    .map(|(_, v)| v)
+                    .expect("non-empty contenders");
                 config
                     .set(&space, id, ParamValue::Int(best))
                     .expect("winner in domain");
@@ -148,6 +289,87 @@ pub fn tune_kernel_knobs(exec: &Exec, opts: &KnobTunerOptions) -> KnobTuneResult
 mod tests {
     use super::*;
     use petamg_grid::l2_diff;
+
+    #[test]
+    fn quick_clamps_out_of_range_levels() {
+        // Level 0 has no executable plan; absurd levels used to panic
+        // via level_size / grid allocation. Both now clamp.
+        assert_eq!(KnobTunerOptions::quick(0).level, 1);
+        assert_eq!(KnobTunerOptions::quick(3).level, 3);
+        assert_eq!(
+            KnobTunerOptions::quick(usize::MAX).level,
+            MAX_QUICK_KNOB_LEVEL
+        );
+        // The clamped options actually tune without panicking.
+        let result = tune_kernel_knobs(&Exec::seq(), &KnobTunerOptions::quick(0));
+        assert!(result.evaluations > 0);
+    }
+
+    #[test]
+    fn seeded_search_stays_in_the_seed_neighborhood() {
+        // Every candidate a seeded search evaluates lives in the
+        // log-neighborhood [seed/4, seed*4] of the seeded value, so the
+        // winner must too — that locality is what keeps the DP's
+        // per-level table near O(levels) timings.
+        let seed = KernelKnobs {
+            band_rows: 8,
+            tblock: 2,
+        };
+        let opts = KnobTunerOptions::quick(3);
+        let result = tune_kernel_knobs_seeded(&Exec::pbrt(2), &opts, Some(seed));
+        assert!(
+            (2..=32).contains(&result.knobs.band_rows),
+            "band {} outside seed neighborhood",
+            result.knobs.band_rows
+        );
+        assert!(
+            (1..=8).contains(&result.knobs.tblock),
+            "tblock {} outside seed neighborhood",
+            result.knobs.tblock
+        );
+        assert!(result.evaluations > 0);
+
+        // On a sequential policy the band axis is skipped entirely, so
+        // the seeded band comes back unchanged (this is how a level
+        // inherits its coarser neighbour's knobs).
+        let result = tune_kernel_knobs_seeded(&Exec::seq(), &opts, Some(seed));
+        assert_eq!(result.knobs.band_rows, seed.band_rows);
+
+        // Out-of-domain seeds are clamped into the space, not
+        // rejected. The winner lives in the clamped neighborhood — or
+        // is the global default, which always gets a run-off hearing.
+        let wild = KernelKnobs {
+            band_rows: 100_000,
+            tblock: 99,
+        };
+        let result = tune_kernel_knobs_seeded(&Exec::pbrt(2), &opts, Some(wild));
+        assert!(
+            (128..=512).contains(&result.knobs.band_rows)
+                || result.knobs.band_rows == KernelKnobs::default().band_rows
+        );
+        assert!(
+            (2..=8).contains(&result.knobs.tblock)
+                || result.knobs.tblock == KernelKnobs::default().tblock
+        );
+    }
+
+    #[test]
+    fn for_level_tuning_returns_in_domain_knobs() {
+        let mut base = KnobTable::defaults(4);
+        base.set(
+            3,
+            KernelKnobs {
+                band_rows: 8,
+                tblock: 2,
+            },
+        );
+        let result =
+            tune_kernel_knobs_for_level(&Exec::pbrt(2), &KnobTunerOptions::quick(4), &base);
+        assert!((1..=512).contains(&result.knobs.band_rows));
+        assert!((1..=8).contains(&result.knobs.tblock));
+        assert!(result.evaluations > 0);
+        assert!(result.best_seconds.is_finite());
+    }
 
     #[test]
     fn apply_knobs_sets_band() {

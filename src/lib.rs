@@ -56,13 +56,65 @@ pub use petamg_solvers as solvers;
 
 /// Convenience prelude with the most common types.
 pub mod prelude {
+    pub use petamg_choice::{KernelKnobs, KnobTable};
     pub use petamg_core::accuracy::{error_ratio, AccuracyReport};
     pub use petamg_core::cost::{CostModel, MachineProfile};
-    pub use petamg_core::plan::{Choice, TunedFamily};
+    pub use petamg_core::plan::{Choice, ExecCtx, TunedFamily, TunedFmgFamily};
     pub use petamg_core::training::{Distribution, ProblemInstance};
-    pub use petamg_core::tuner::{FmgTuner, TunerOptions, VTuner};
+    pub use petamg_core::tuner::{FmgTuner, KnobSearchOptions, TunerOptions, VTuner};
     pub use petamg_grid::{Exec, Grid2d, Workspace};
     pub use petamg_runtime::ThreadPool;
     pub use petamg_solvers::multigrid::{MgConfig, ReferenceSolver};
     pub use petamg_solvers::relax::omega_opt;
+}
+
+/// Plan persistence: tuned families — including their per-level kernel
+/// knob tables — as PetaBricks-style JSON configuration files.
+///
+/// Loading accepts both the current versioned schema and legacy files
+/// written before knob tables existed (those fall back to a uniform
+/// table of the global default knobs). Saving always writes the
+/// current schema, so a load→save pass upgrades a legacy file.
+///
+/// ```no_run
+/// use petamg::persist;
+/// use petamg::prelude::*;
+///
+/// let tuned = VTuner::new(TunerOptions::quick(5, Distribution::UnbiasedUniform)).tune();
+/// persist::save_plan(&tuned, "family.json".as_ref()).unwrap();
+/// let loaded = persist::load_plan("family.json".as_ref()).unwrap();
+/// assert_eq!(loaded.knobs, tuned.knobs);
+/// let mut inst = ProblemInstance::random(5, Distribution::UnbiasedUniform, 42);
+/// // solve() executes with the plan's own per-level knob table.
+/// let report = loaded.solve(&mut inst, 1e5);
+/// assert!(report.achieved_accuracy >= 1e5 * 0.5);
+/// ```
+pub mod persist {
+    use petamg_core::plan::{TunedFamily, TunedFmgFamily};
+    use std::path::Path;
+
+    /// Save a tuned `MULTIGRID-V` family (with its knob table).
+    pub fn save_plan(family: &TunedFamily, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, family.to_json())
+    }
+
+    /// Load a tuned `MULTIGRID-V` family; legacy files without a knob
+    /// table load with the uniform default table.
+    pub fn load_plan(path: &Path) -> Result<TunedFamily, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        TunedFamily::from_json(&text)
+    }
+
+    /// Save a tuned `FULL-MULTIGRID` family (the knob table travels
+    /// inside the embedded V family).
+    pub fn save_fmg_plan(family: &TunedFmgFamily, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, family.to_json())
+    }
+
+    /// Load a tuned `FULL-MULTIGRID` family, upgrading legacy files
+    /// like [`load_plan`].
+    pub fn load_fmg_plan(path: &Path) -> Result<TunedFmgFamily, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        TunedFmgFamily::from_json(&text)
+    }
 }

@@ -1,0 +1,365 @@
+//! Cross-backend, cross-kernel-path conformance suite.
+//!
+//! One table-driven harness runs every solver path — the staged
+//! (unfused) reference composition, the fused plan executor, and the
+//! temporally blocked variants — across every execution backend
+//! (Seq, the in-house work-stealing pool at two widths, rayon) and
+//! every knob mode (global knobs, a uniform default table, and a
+//! deliberately non-uniform per-level table), on shared fixtures, and
+//! asserts:
+//!
+//! * **bitwise-identical solutions** — every combination must produce
+//!   exactly the grid the staged sequential reference produces;
+//! * **identical [`OpCounts`]** — operation counting is a semantic
+//!   property of the plan, never of the backend or the knobs.
+//!
+//! This replaces the ad-hoc per-backend assertions that used to live in
+//! `end_to_end.rs`. CI runs it per backend via the
+//! `PETAMG_CONFORMANCE_BACKEND` env var (`seq` / `pbrt` / `rayon` /
+//! unset = all) so a parity regression names the offending backend.
+
+use petamg::core::cost::OpCounts;
+use petamg::core::plan::{simple_v_family, Choice, ExecCtx, TunedFamily, PAPER_ACCURACIES};
+use petamg::grid::{
+    coarse_size, interpolate_add, level_size, residual, restrict_full_weighting, Grid2d,
+};
+use petamg::prelude::*;
+use petamg::solvers::relax::{sor_sweep, OMEGA_CYCLE};
+use petamg::solvers::DirectSolverCache;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------
+
+const LEVEL: usize = 5;
+
+/// The plan fixtures: every `Choice` variant is exercised somewhere.
+fn fixture_families() -> Vec<(&'static str, TunedFamily)> {
+    // Recursion-heavy: extra cycles at the top two levels.
+    let mut recursive = simple_v_family(LEVEL, &PAPER_ACCURACIES);
+    recursive.plans[LEVEL][1] = Choice::Recurse {
+        sub_accuracy: 1,
+        iterations: 3,
+    };
+    recursive.plans[LEVEL - 1][1] = Choice::Recurse {
+        sub_accuracy: 0,
+        iterations: 2,
+    };
+
+    // SOR at the top (drives the temporally blocked kernel path) over a
+    // recursive interior, plus a direct solve at a mid level.
+    let mut mixed = simple_v_family(LEVEL, &PAPER_ACCURACIES);
+    mixed.plans[LEVEL][0] = Choice::Sor { iterations: 7 };
+    mixed.plans[LEVEL][1] = Choice::Recurse {
+        sub_accuracy: 1,
+        iterations: 2,
+    };
+    mixed.plans[LEVEL - 1][1] = Choice::Sor { iterations: 5 };
+    mixed.plans[3][1] = Choice::Direct;
+
+    vec![("recursive", recursive), ("mixed", mixed)]
+}
+
+fn fixture_instances() -> Vec<(&'static str, ProblemInstance)> {
+    vec![
+        (
+            "unbiased",
+            ProblemInstance::random(LEVEL, Distribution::UnbiasedUniform, 0xC0FFEE),
+        ),
+        (
+            "biased",
+            ProblemInstance::random(LEVEL, Distribution::BiasedUniform, 0xF00D),
+        ),
+    ]
+}
+
+/// Execution backends under test, filtered by
+/// `PETAMG_CONFORMANCE_BACKEND` for CI's per-backend matrix entries.
+fn backends() -> Vec<(&'static str, Exec)> {
+    let all = vec![
+        ("seq", Exec::seq()),
+        ("pbrt2", Exec::pbrt(2)),
+        ("pbrt3", Exec::pbrt(3)),
+        ("rayon", Exec::rayon()),
+    ];
+    match std::env::var("PETAMG_CONFORMANCE_BACKEND") {
+        Ok(filter) if !filter.is_empty() && filter != "all" => all
+            .into_iter()
+            .filter(|(name, _)| name.starts_with(filter.as_str()))
+            .collect(),
+        _ => all,
+    }
+}
+
+/// Knob modes: the legacy global path, with and without temporal
+/// blocking, and both uniform and non-uniform per-level tables.
+enum KnobMode {
+    /// No table attached; global band from the backend, global tblock.
+    Global { tblock: usize },
+    /// A table attached to the context.
+    Table(KnobTable),
+}
+
+fn knob_modes() -> Vec<(&'static str, KnobMode)> {
+    let mut per_level = KnobTable::defaults(LEVEL);
+    per_level.set(
+        LEVEL,
+        KernelKnobs {
+            band_rows: 64,
+            tblock: 3,
+        },
+    );
+    per_level.set(
+        LEVEL - 1,
+        KernelKnobs {
+            band_rows: 8,
+            tblock: 1,
+        },
+    );
+    per_level.set(
+        3,
+        KernelKnobs {
+            band_rows: 1,
+            tblock: 4,
+        },
+    );
+    per_level.set(
+        2,
+        KernelKnobs {
+            band_rows: 2,
+            tblock: 2,
+        },
+    );
+    vec![
+        ("global", KnobMode::Global { tblock: 1 }),
+        ("global_blocked", KnobMode::Global { tblock: 3 }),
+        ("table_default", KnobMode::Table(KnobTable::defaults(LEVEL))),
+        ("table_per_level", KnobMode::Table(per_level)),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Staged (unfused) reference executor
+// ---------------------------------------------------------------------
+
+/// Execute a plan with the seed-era staged kernels: separate relax,
+/// residual, restrict, and interpolate passes, sequential, no fusion,
+/// no temporal blocking, no workspace pooling. This is the semantic
+/// ground truth every fused/blocked/parallel combination must match
+/// bitwise.
+fn staged_run(
+    fam: &TunedFamily,
+    level: usize,
+    acc: usize,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    cache: &Arc<DirectSolverCache>,
+) {
+    let seq = Exec::seq();
+    match fam.plan(level, acc) {
+        Choice::Direct => cache.solve(x, b),
+        Choice::Sor { iterations } => {
+            let omega = petamg::solvers::relax::omega_opt(x.n());
+            for _ in 0..iterations {
+                sor_sweep(x, b, omega, &seq);
+            }
+        }
+        Choice::Recurse {
+            sub_accuracy,
+            iterations,
+        } => {
+            for _ in 0..iterations {
+                staged_recurse(fam, level, sub_accuracy as usize, x, b, cache);
+            }
+        }
+    }
+}
+
+fn staged_recurse(
+    fam: &TunedFamily,
+    level: usize,
+    sub: usize,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    cache: &Arc<DirectSolverCache>,
+) {
+    let seq = Exec::seq();
+    if level <= 1 {
+        cache.solve(x, b);
+        return;
+    }
+    let n = level_size(level);
+    let nc = coarse_size(n);
+    sor_sweep(x, b, OMEGA_CYCLE, &seq);
+    let mut r = Grid2d::zeros(n);
+    residual(x, b, &mut r, &seq);
+    let mut bc = Grid2d::zeros(nc);
+    restrict_full_weighting(&r, &mut bc, &seq);
+    let mut ec = Grid2d::zeros(nc);
+    staged_run(fam, level - 1, sub, &mut ec, &bc, cache);
+    interpolate_add(&ec, x, &seq);
+    sor_sweep(x, b, OMEGA_CYCLE, &seq);
+}
+
+// ---------------------------------------------------------------------
+// The harness
+// ---------------------------------------------------------------------
+
+struct CaseResult {
+    grid: Grid2d,
+    ops: OpCounts,
+}
+
+fn run_case(
+    fam: &TunedFamily,
+    inst: &ProblemInstance,
+    acc: usize,
+    exec: &Exec,
+    mode: &KnobMode,
+    cache: &Arc<DirectSolverCache>,
+) -> CaseResult {
+    let mut ctx = ExecCtx::with_cache(exec.clone(), Arc::clone(cache));
+    match mode {
+        KnobMode::Global { tblock } => ctx = ctx.with_tblock(*tblock),
+        KnobMode::Table(table) => ctx = ctx.with_knob_table(table.clone()),
+    }
+    let mut x = inst.working_grid();
+    fam.run(LEVEL, acc, &mut x, &inst.b, &mut ctx);
+
+    // Exec-stats contract: a table-driven run must have applied exactly
+    // its table entry at every level it touched; a global run must have
+    // recorded nothing.
+    match mode {
+        KnobMode::Global { .. } => assert!(
+            ctx.knob_stats.levels_touched().is_empty(),
+            "global mode recorded table knobs"
+        ),
+        KnobMode::Table(table) => {
+            // A direct-only plan never enters the fused/SOR kernels, so
+            // it legitimately records nothing; any relaxation work must
+            // have recorded its level's knobs.
+            assert!(
+                ctx.ops.total_relax_sweeps() == 0 || !ctx.knob_stats.levels_touched().is_empty(),
+                "table mode ran relaxations without recording applied knobs"
+            );
+            for level in ctx.knob_stats.levels_touched() {
+                assert_eq!(
+                    ctx.knob_stats.applied_at(level),
+                    Some(table.get(level)),
+                    "level {level} applied foreign knobs"
+                );
+            }
+        }
+    }
+
+    CaseResult {
+        grid: x,
+        ops: ctx.ops,
+    }
+}
+
+/// The conformance matrix: {family × instance × accuracy} fixtures,
+/// each run through {kernel path × backend × knob mode}, everything
+/// asserted bitwise-equal (grids) and exactly equal (op counts) to the
+/// staged sequential reference.
+#[test]
+fn all_backend_knob_combinations_match_staged_reference() {
+    let cache = Arc::new(DirectSolverCache::new());
+    let mut cases = 0usize;
+    // Built once: each pbrt backend owns an OS thread pool.
+    let backends = backends();
+    let modes = knob_modes();
+
+    for (fam_name, fam) in fixture_families() {
+        for (inst_name, inst) in fixture_instances() {
+            for acc in [0usize, 1] {
+                // Ground truth: the staged, unfused, sequential path.
+                let mut x_ref = inst.working_grid();
+                staged_run(&fam, LEVEL, acc, &mut x_ref, &inst.b, &cache);
+
+                // Reference op counts from the fused seq executor.
+                let baseline = run_case(
+                    &fam,
+                    &inst,
+                    acc,
+                    &Exec::seq(),
+                    &KnobMode::Global { tblock: 1 },
+                    &cache,
+                );
+                assert_eq!(
+                    baseline.grid.as_slice(),
+                    x_ref.as_slice(),
+                    "[{fam_name}/{inst_name}/acc{acc}] fused executor diverged from staged kernels"
+                );
+
+                for (backend_name, exec) in &backends {
+                    for (mode_name, mode) in &modes {
+                        let got = run_case(&fam, &inst, acc, exec, mode, &cache);
+                        let tag =
+                            format!("[{fam_name}/{inst_name}/acc{acc}/{backend_name}/{mode_name}]");
+                        assert_eq!(
+                            got.grid.as_slice(),
+                            x_ref.as_slice(),
+                            "{tag} solution not bitwise identical to staged reference"
+                        );
+                        assert_eq!(
+                            got.ops, baseline.ops,
+                            "{tag} op counts differ across backend/knob mode"
+                        );
+                        cases += 1;
+                    }
+                }
+            }
+        }
+    }
+    // 2 families × 2 instances × 2 accuracies × |backends| × 4 modes.
+    assert!(
+        cases >= 2 * 2 * 2 * 4,
+        "matrix unexpectedly small: {cases} cases"
+    );
+    println!("conformance: {cases} combinations matched the staged reference");
+}
+
+/// A freshly DP-tuned plan (not a hand-built fixture) must also agree
+/// across backends and knob modes, including through its own
+/// `solve_with` path (which attaches the family's knob table).
+#[test]
+fn tuned_family_conforms_and_solve_applies_its_table() {
+    let mut tuned = VTuner::new(TunerOptions::quick(LEVEL, Distribution::UnbiasedUniform)).tune();
+    // Give the tuned family a non-uniform table to make table
+    // application observable.
+    tuned.knobs.set(
+        LEVEL,
+        KernelKnobs {
+            band_rows: 16,
+            tblock: 2,
+        },
+    );
+    tuned.validate().unwrap();
+    let cache = Arc::new(DirectSolverCache::new());
+    let inst = ProblemInstance::random(LEVEL, Distribution::UnbiasedUniform, 9_001);
+    let acc = tuned.acc_index_for(1e5);
+
+    let mut x_ref = inst.working_grid();
+    staged_run(&tuned, LEVEL, acc, &mut x_ref, &inst.b, &cache);
+
+    let modes = knob_modes();
+    for (backend_name, exec) in &backends() {
+        for (mode_name, mode) in &modes {
+            let got = run_case(&tuned, &inst, acc, exec, mode, &cache);
+            assert_eq!(
+                got.grid.as_slice(),
+                x_ref.as_slice(),
+                "[tuned/{backend_name}/{mode_name}] diverged"
+            );
+        }
+        // solve_with attaches the family's own (non-default) table.
+        let report = tuned.solve_with(&mut inst.clone(), 1e5, exec, &cache);
+        assert!(
+            report.achieved_accuracy >= 1e5 * 0.5,
+            "[tuned/{backend_name}] solve_with achieved {:e}",
+            report.achieved_accuracy
+        );
+    }
+}

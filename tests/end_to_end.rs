@@ -1,7 +1,7 @@
 //! Cross-crate integration: tuning → persistence → execution → accuracy,
 //! across execution backends.
 
-use petamg::core::plan::{ExecCtx, TunedFamily};
+use petamg::persist;
 use petamg::prelude::*;
 use petamg::solvers::DirectSolverCache;
 use std::sync::Arc;
@@ -9,17 +9,27 @@ use std::sync::Arc;
 #[test]
 fn tune_save_load_solve_roundtrip() {
     let opts = TunerOptions::quick(5, Distribution::UnbiasedUniform);
-    let tuned = VTuner::new(opts).tune();
+    let mut tuned = VTuner::new(opts).tune();
+    // A non-uniform knob table must survive persistence too.
+    tuned.knobs.set(
+        5,
+        KernelKnobs {
+            band_rows: 16,
+            tblock: 2,
+        },
+    );
 
-    // Persist like a PetaBricks configuration file and reload.
+    // Persist like a PetaBricks configuration file and reload, through
+    // the facade's save/load path.
     let dir = std::env::temp_dir().join("petamg-it");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("family.json");
-    std::fs::write(&path, tuned.to_json()).unwrap();
-    let loaded = TunedFamily::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    persist::save_plan(&tuned, &path).unwrap();
+    let loaded = persist::load_plan(&path).unwrap();
     assert_eq!(loaded.plans, tuned.plans);
+    assert_eq!(loaded.knobs, tuned.knobs);
 
-    // The reloaded plan solves to target.
+    // The reloaded plan solves to target (with its knob table applied).
     let mut inst = ProblemInstance::random(5, Distribution::UnbiasedUniform, 2_222);
     let report = loaded.solve(&mut inst, 1e7);
     assert!(
@@ -29,42 +39,9 @@ fn tune_save_load_solve_roundtrip() {
     );
 }
 
-#[test]
-fn tuned_execution_identical_across_backends() {
-    // Sequential, in-house work-stealing, and rayon all produce bitwise
-    // identical grids for the same tuned plan (red-black independence).
-    let tuned = VTuner::new(TunerOptions::quick(6, Distribution::UnbiasedUniform)).tune();
-    let inst = ProblemInstance::random(6, Distribution::UnbiasedUniform, 77);
-    let cache = Arc::new(DirectSolverCache::new());
-    let acc = tuned.acc_index_for(1e5);
-
-    let run_with = |exec: Exec| {
-        let mut ctx = ExecCtx::with_cache(exec, Arc::clone(&cache));
-        let mut x = inst.working_grid();
-        tuned.run(6, acc, &mut x, &inst.b, &mut ctx);
-        x
-    };
-    let seq = run_with(Exec::seq());
-    let pbrt = run_with(Exec::pbrt(2));
-    let ray = run_with(Exec::rayon());
-    assert_eq!(seq.as_slice(), pbrt.as_slice());
-    assert_eq!(seq.as_slice(), ray.as_slice());
-}
-
-#[test]
-fn op_counts_are_backend_independent() {
-    let tuned = VTuner::new(TunerOptions::quick(5, Distribution::BiasedUniform)).tune();
-    let inst = ProblemInstance::random(5, Distribution::BiasedUniform, 3_141);
-    let cache = Arc::new(DirectSolverCache::new());
-    let acc = tuned.acc_index_for(1e9);
-    let ops_with = |exec: Exec| {
-        let mut ctx = ExecCtx::with_cache(exec, Arc::clone(&cache));
-        let mut x = inst.working_grid();
-        tuned.run(5, acc, &mut x, &inst.b, &mut ctx);
-        ctx.ops
-    };
-    assert_eq!(ops_with(Exec::seq()), ops_with(Exec::pbrt(2)));
-}
+// Backend-parity assertions (bitwise-identical grids and identical op
+// counts across Seq / pbrt / rayon, with and without knob tables) live
+// in the table-driven suite in `tests/conformance.rs`.
 
 #[test]
 fn fmg_and_v_families_share_accuracies_and_solve() {

@@ -1,0 +1,132 @@
+//! Golden-plan snapshot tests: committed plan-file fixtures pin the
+//! serialization schema.
+//!
+//! * `tests/fixtures/tuned_plan_legacy_v1.json` — a plan written before
+//!   per-level knob tables existed (no `knobs` field). It must keep
+//!   loading forever, falling back to the uniform default table.
+//! * `tests/fixtures/tuned_plan_v2.json` — a plan in the current
+//!   versioned schema (knob table with a `version` field). Loading and
+//!   re-serializing it must reproduce the file byte for byte, so any
+//!   accidental schema drift fails here first.
+//!
+//! Regenerate the fixtures (after an *intentional* schema change) with:
+//! `PETAMG_REGEN_GOLDEN=1 cargo test --test golden_plan`.
+
+use petamg::core::plan::TunedFamily;
+use petamg::prelude::*;
+use std::path::PathBuf;
+
+const LEGACY_V1: &str = include_str!("fixtures/tuned_plan_legacy_v1.json");
+const CURRENT_V2: &str = include_str!("fixtures/tuned_plan_v2.json");
+
+/// The deterministic family behind both fixtures: a modeled-cost quick
+/// tune (bit-reproducible) plus a hand-pinned non-uniform knob entry so
+/// the table's serialization is actually exercised.
+fn golden_family() -> TunedFamily {
+    let mut fam = VTuner::new(TunerOptions::quick(3, Distribution::UnbiasedUniform)).tune();
+    fam.knobs.set(
+        3,
+        KernelKnobs {
+            band_rows: 8,
+            tblock: 2,
+        },
+    );
+    fam.provenance = "golden fixture (deterministic quick tune, level 3)".into();
+    fam
+}
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn regenerate_golden_fixtures_when_asked() {
+    if std::env::var("PETAMG_REGEN_GOLDEN").is_err() {
+        return;
+    }
+    let fam = golden_family();
+    let dir = fixtures_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("tuned_plan_v2.json"), fam.to_json()).unwrap();
+
+    // The legacy fixture is the same plan with the knobs field stripped
+    // — exactly what a pre-knob-table build would have written.
+    let mut tree: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
+    if let serde_json::Value::Object(obj) = &mut tree {
+        obj.remove("knobs").expect("current schema carries knobs");
+        obj.insert(
+            "provenance".to_string(),
+            serde_json::Value::String("golden fixture (legacy v1 schema, no knob table)".into()),
+        );
+    }
+    std::fs::write(
+        dir.join("tuned_plan_legacy_v1.json"),
+        serde_json::to_string_pretty(&tree).unwrap(),
+    )
+    .unwrap();
+    panic!("fixtures regenerated — rerun without PETAMG_REGEN_GOLDEN");
+}
+
+#[test]
+fn legacy_v1_fixture_still_loads_with_default_table() {
+    let fam = TunedFamily::from_json(LEGACY_V1).expect("legacy plan files must keep loading");
+    fam.validate().unwrap();
+    assert_eq!(fam.max_level, 3);
+    assert_eq!(
+        fam.knobs,
+        KnobTable::defaults(3),
+        "legacy files fall back to the uniform default table"
+    );
+    // The upgraded plan is executable.
+    let mut inst = ProblemInstance::random(3, Distribution::UnbiasedUniform, 77);
+    let report = fam.solve(&mut inst, 1e5);
+    assert!(
+        report.achieved_accuracy >= 5e4,
+        "achieved {:e}",
+        report.achieved_accuracy
+    );
+}
+
+#[test]
+fn current_v2_fixture_roundtrips_byte_for_byte() {
+    let fam = TunedFamily::from_json(CURRENT_V2).expect("current fixture parses");
+    fam.validate().unwrap();
+    assert!(!fam.knobs.is_uniform(), "fixture carries a real table");
+    assert_eq!(
+        fam.knobs.get(3),
+        KernelKnobs {
+            band_rows: 8,
+            tblock: 2
+        }
+    );
+    // Schema stability: re-serializing reproduces the committed bytes.
+    assert_eq!(
+        fam.to_json(),
+        CURRENT_V2.trim_end(),
+        "serialization schema drifted from the committed golden fixture"
+    );
+}
+
+#[test]
+fn freshly_tuned_plan_parses_under_versioned_schema() {
+    let fam = golden_family();
+    let json = fam.to_json();
+    assert!(json.contains("\"knobs\""), "schema carries the table");
+    assert!(json.contains("\"version\""), "table is versioned");
+    let back = TunedFamily::from_json(&json).unwrap();
+    assert_eq!(back.plans, fam.plans);
+    assert_eq!(back.knobs, fam.knobs);
+    // And it matches the committed fixture (the quick tune is
+    // deterministic by construction).
+    assert_eq!(json, CURRENT_V2.trim_end());
+}
+
+#[test]
+fn legacy_and_current_fixtures_describe_the_same_plan() {
+    let legacy = TunedFamily::from_json(LEGACY_V1).unwrap();
+    let current = TunedFamily::from_json(CURRENT_V2).unwrap();
+    assert_eq!(legacy.plans, current.plans);
+    assert_eq!(legacy.accuracies, current.accuracies);
+    // Only the knob table (and provenance note) differ.
+    assert_ne!(legacy.knobs, current.knobs);
+}
