@@ -35,7 +35,7 @@ fn main() {
     let tuner = VTuner::new(TunerOptions::measured(
         max_level,
         Distribution::UnbiasedUniform,
-        Exec::Seq,
+        Exec::seq(),
     ));
     let tuned = tuner.tune();
     eprintln!("tuning done: {}", tuned.provenance);

@@ -23,7 +23,7 @@ fn main() {
          strategies call the direct method there, as in the paper).",
     );
 
-    let opts = TunerOptions::measured(max_level, Distribution::BiasedUniform, Exec::Seq);
+    let opts = TunerOptions::measured(max_level, Distribution::BiasedUniform, Exec::seq());
     eprintln!("tuning autotuned family ...");
     let tuned = VTuner::new(opts.clone()).tune();
     eprintln!("building heuristic strategies ...");

@@ -41,11 +41,12 @@ use petamg_core::plan::{simple_v_family, ExecCtx};
 use petamg_core::training::{Distribution, ProblemInstance};
 use petamg_core::tuner::{tune_kernel_knobs_for_level, KnobTunerOptions};
 use petamg_grid::{
-    coarse_size, interpolate_add, interpolate_correct, residual, residual_restrict,
-    restrict_full_weighting, size_level, Exec, Grid2d, Workspace,
+    coarse_size, interpolate_add, interpolate_correct, l2_norm_interior, residual,
+    residual_restrict, restrict_full_weighting, size_level, vector_backend, Exec, Grid2d,
+    SimdPolicy, Workspace,
 };
 use petamg_solvers::fused::sor_sweeps_blocked;
-use petamg_solvers::relax::sor_sweeps;
+use petamg_solvers::relax::{jacobi_sweep, sor_sweeps};
 use petamg_solvers::DirectSolverCache;
 use serde::Serialize;
 use std::hint::black_box;
@@ -114,6 +115,24 @@ struct TblockRecord {
 }
 
 #[derive(Serialize)]
+struct SimdRecord {
+    n: usize,
+    /// Kernel name: `residual`, `restrict`, `interpolate_correct`,
+    /// `sor_sweep`, `jacobi`, `l2_norm`.
+    kernel: String,
+    /// The ISA backend the vector path dispatched to on this machine:
+    /// `avx2`, `neon`, or `portable` (no `simd` feature / unsupported
+    /// CPU — the portable lane fallback).
+    vector_backend: String,
+    /// Forced-scalar time, seconds.
+    scalar_s: f64,
+    /// Forced-vector time, seconds.
+    vector_s: f64,
+    /// scalar / vector (>1 means the vector path wins).
+    speedup: f64,
+}
+
+#[derive(Serialize)]
 struct KnobTableEntry {
     /// Multigrid level (grid `2^level + 1`).
     level: usize,
@@ -157,6 +176,9 @@ struct Report {
     /// versus a per-level table tuned coarse-to-fine with the seeded
     /// n-ary search (the DP tuner's mechanism).
     per_level_knobs: Vec<PerLevelKnobRecord>,
+    /// Per-kernel scalar-vs-vector row-path timings (sequential
+    /// backend, forced SimdPolicy), verified bitwise equal first.
+    simd_sweep: Vec<SimdRecord>,
 }
 
 fn test_grids(n: usize) -> (Grid2d, Grid2d) {
@@ -512,6 +534,142 @@ fn bench_per_level_knobs(
     record
 }
 
+/// Time each row kernel under forced-scalar and forced-vector policies
+/// (sequential backend, so the numbers isolate the row path from
+/// scheduling). Every kernel's two modes are verified bitwise equal
+/// before timing — the SIMD layer's core guarantee.
+fn bench_simd_sweep(n: usize, trials: usize, quick: bool) -> Vec<SimdRecord> {
+    let (x, b) = test_grids(n);
+    let nc = coarse_size(n);
+    let reps = reps_for(n, quick);
+    let e_s = Exec::seq().with_simd(SimdPolicy::Scalar);
+    let e_v = Exec::seq().with_simd(SimdPolicy::Vector);
+    let backend = vector_backend().to_string();
+    let mut records = Vec::new();
+    let mut push = |kernel: &str, scalar_s: f64, vector_s: f64| {
+        println!(
+            "simd,{},{},{},{:.2},{:.2},{:.3}",
+            n,
+            kernel,
+            backend,
+            scalar_s * 1e6,
+            vector_s * 1e6,
+            scalar_s / vector_s
+        );
+        records.push(SimdRecord {
+            n,
+            kernel: kernel.to_string(),
+            vector_backend: backend.clone(),
+            scalar_s,
+            vector_s,
+            speedup: scalar_s / vector_s,
+        });
+    };
+
+    // residual
+    let mut r_s = Grid2d::zeros(n);
+    let mut r_v = Grid2d::zeros(n);
+    residual(&x, &b, &mut r_s, &e_s);
+    residual(&x, &b, &mut r_v, &e_v);
+    assert_eq!(r_s.as_slice(), r_v.as_slice(), "residual diverged at n={n}");
+    let time_k = |e: &Exec, out: &mut Grid2d| {
+        time_best(trials, || {
+            for _ in 0..reps {
+                residual(&x, &b, black_box(out), e);
+            }
+        }) / reps as f64
+    };
+    push("residual", time_k(&e_s, &mut r_s), time_k(&e_v, &mut r_v));
+
+    // restrict (full weighting of the residual)
+    let mut c_s = Grid2d::zeros(nc);
+    let mut c_v = Grid2d::zeros(nc);
+    restrict_full_weighting(&r_s, &mut c_s, &e_s);
+    restrict_full_weighting(&r_s, &mut c_v, &e_v);
+    assert_eq!(c_s.as_slice(), c_v.as_slice(), "restrict diverged at n={n}");
+    let time_k = |e: &Exec, out: &mut Grid2d| {
+        time_best(trials, || {
+            for _ in 0..reps {
+                restrict_full_weighting(&r_s, black_box(out), e);
+            }
+        }) / reps as f64
+    };
+    push("restrict", time_k(&e_s, &mut c_s), time_k(&e_v, &mut c_v));
+
+    // interpolate_correct
+    let mut f_s = x.clone();
+    let mut f_v = x.clone();
+    interpolate_correct(&c_s, &mut f_s, &e_s);
+    interpolate_correct(&c_s, &mut f_v, &e_v);
+    assert_eq!(
+        f_s.as_slice(),
+        f_v.as_slice(),
+        "interpolate diverged at n={n}"
+    );
+    let time_k = |e: &Exec, out: &mut Grid2d| {
+        time_best(trials, || {
+            for _ in 0..reps {
+                interpolate_correct(&c_s, black_box(out), e);
+            }
+        }) / reps as f64
+    };
+    push(
+        "interpolate_correct",
+        time_k(&e_s, &mut f_s),
+        time_k(&e_v, &mut f_v),
+    );
+
+    // sor_sweep (one staged red-black sweep; the stride-2 vector path)
+    let mut xs = x.clone();
+    let mut xv = x.clone();
+    sor_sweeps(&mut xs, &b, 1.15, 2, &e_s);
+    sor_sweeps(&mut xv, &b, 1.15, 2, &e_v);
+    assert_eq!(xs.as_slice(), xv.as_slice(), "SOR diverged at n={n}");
+    let time_k = |e: &Exec, out: &mut Grid2d| {
+        time_best(trials, || {
+            for _ in 0..reps {
+                sor_sweeps(black_box(out), &b, 1.15, 1, e);
+            }
+        }) / reps as f64
+    };
+    push("sor_sweep", time_k(&e_s, &mut xs), time_k(&e_v, &mut xv));
+
+    // jacobi
+    let mut scratch = Grid2d::zeros(n);
+    let mut xs = x.clone();
+    let mut xv = x.clone();
+    jacobi_sweep(&mut xs, &b, 0.8, &mut scratch, &e_s);
+    jacobi_sweep(&mut xv, &b, 0.8, &mut scratch, &e_v);
+    assert_eq!(xs.as_slice(), xv.as_slice(), "Jacobi diverged at n={n}");
+    let time_k = |e: &Exec, out: &mut Grid2d| {
+        let mut scratch = Grid2d::zeros(n);
+        time_best(trials, || {
+            for _ in 0..reps {
+                jacobi_sweep(black_box(out), &b, 0.8, &mut scratch, e);
+            }
+        }) / reps as f64
+    };
+    push("jacobi", time_k(&e_s, &mut xs), time_k(&e_v, &mut xv));
+
+    // l2 norm (fixed-lane reduction: scalar mode = portable lane
+    // codegen, vector mode = dispatched backend; identical bits)
+    assert_eq!(
+        l2_norm_interior(&x, &e_s).to_bits(),
+        l2_norm_interior(&x, &e_v).to_bits(),
+        "norms diverged at n={n}"
+    );
+    let time_k = |e: &Exec| {
+        time_best(trials, || {
+            for _ in 0..reps {
+                black_box(l2_norm_interior(black_box(&x), e));
+            }
+        }) / reps as f64
+    };
+    push("l2_norm", time_k(&e_s), time_k(&e_v));
+
+    records
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("PETAMG_BENCH_QUICK").is_ok_and(|v| v != "0");
@@ -610,6 +768,18 @@ fn main() {
         ));
     }
 
+    // Scalar-vs-vector row-path sweep (per kernel).
+    println!("#\nkind,n,kernel,vector_backend,scalar_us,vector_us,speedup");
+    let simd_sizes: &[usize] = if quick {
+        &[129, 513]
+    } else {
+        &[129, 513, 1025]
+    };
+    let mut simd_sweep = Vec::new();
+    for &n in simd_sizes {
+        simd_sweep.extend(bench_simd_sweep(n, trials, quick));
+    }
+
     let report = Report {
         bench: "kernel_fusion".to_string(),
         quick,
@@ -619,6 +789,7 @@ fn main() {
         band_sweep,
         tblock_sweep,
         per_level_knobs,
+        simd_sweep,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");

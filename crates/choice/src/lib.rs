@@ -25,5 +25,10 @@ pub use nary::{nary_search_f64, nary_search_int};
 pub use space::{
     kernel_exec_space, tuning_order, Config, ConfigError, ConfigSpace, KernelKnobs, KnobTable,
     ParamId, ParamKind, ParamSpec, ParamValue, Scale, KNOB_TABLE_VERSION, PARAM_BAND_ROWS,
-    PARAM_TBLOCK,
+    PARAM_SIMD, PARAM_TBLOCK,
 };
+
+// The vectorization policy type itself lives with the kernels in
+// `petamg-grid`; re-export it so knob-table consumers need only this
+// crate.
+pub use petamg_grid::SimdPolicy;

@@ -5,6 +5,7 @@
 //! the autotuner so that the autotuner can choose a sensible order to
 //! tune different parameters." (§3.2.2)
 
+use petamg_grid::SimdPolicy;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -353,12 +354,15 @@ impl Config {
 pub const PARAM_BAND_ROWS: &str = "band_rows";
 /// Name of the temporal-block-depth axis in [`kernel_exec_space`].
 pub const PARAM_TBLOCK: &str = "tblock";
+/// Name of the vectorization axis in [`kernel_exec_space`].
+pub const PARAM_SIMD: &str = "simd";
 
 /// Typed view of a [`kernel_exec_space`] configuration.
 ///
-/// Both knobs are pure performance axes: the grid kernels guarantee
-/// bitwise identical results for every setting, so the tuner can search
-/// them freely without re-validating accuracy.
+/// All three knobs are pure performance axes: the grid kernels
+/// guarantee bitwise identical results for every setting (including
+/// scalar vs vector — see `petamg_grid::simd`), so the tuner can
+/// search them freely without re-validating accuracy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelKnobs {
     /// Rows per block-cursor band (`Exec::with_band` in `petamg-grid`).
@@ -366,14 +370,18 @@ pub struct KernelKnobs {
     /// SOR sweeps fused per wavefront traversal
     /// (`petamg_solvers::fused`).
     pub tblock: usize,
+    /// Scalar-vs-vector row-kernel path (`Exec::with_simd`). Added in
+    /// knob-table schema version 2; version-1 tables upgrade to
+    /// `Auto` on load.
+    pub simd: SimdPolicy,
 }
 
 impl KernelKnobs {
     /// Extract the knobs from a configuration of [`kernel_exec_space`]
-    /// (or any space containing the two named axes).
+    /// (or any space containing the three named axes).
     ///
     /// # Panics
-    /// Panics if either axis is missing from `space`.
+    /// Panics if any axis is missing from `space`.
     pub fn from_config(space: &ConfigSpace, config: &Config) -> Self {
         let band = space
             .find(PARAM_BAND_ROWS)
@@ -381,9 +389,11 @@ impl KernelKnobs {
         let tblock = space
             .find(PARAM_TBLOCK)
             .expect("space lacks the tblock axis");
+        let simd = space.find(PARAM_SIMD).expect("space lacks the simd axis");
         KernelKnobs {
             band_rows: config.int(band).max(1) as usize,
             tblock: config.int(tblock).max(1) as usize,
+            simd: SimdPolicy::from_index(config.switch(simd)),
         }
     }
 }
@@ -393,15 +403,20 @@ impl Default for KernelKnobs {
         KernelKnobs {
             band_rows: 32,
             tblock: 1,
+            simd: SimdPolicy::Auto,
         }
     }
 }
 
-/// Current schema version of serialized [`KnobTable`]s. Version 1 is
-/// the first versioned format; plan files written before knob tables
-/// existed carry no table at all and are upgraded on load to a uniform
-/// table of the global defaults.
-pub const KNOB_TABLE_VERSION: u32 = 1;
+/// Current schema version of serialized [`KnobTable`]s.
+///
+/// * **Version 2** (current) added the per-level `simd` policy to
+///   every entry.
+/// * **Version 1** tables (band + tblock only) upgrade on load via
+///   [`KnobTable::upgrade_value`]: each entry gains `simd: Auto`.
+/// * Plan files written before knob tables existed carry no table at
+///   all and upgrade to a uniform table of the global defaults.
+pub const KNOB_TABLE_VERSION: u32 = 2;
 
 /// A per-level table of tuned [`KernelKnobs`]: entry `k` holds the
 /// knobs for multigrid level `k` (grid `2^k + 1`). Index 0 is unused
@@ -472,6 +487,41 @@ impl KnobTable {
         self.per_level.iter().all(|k| *k == KernelKnobs::default())
     }
 
+    /// Upgrade a serialized knob-table JSON value **in place** to the
+    /// current schema: version-1 tables (entries without a `simd`
+    /// field) gain `simd: "Auto"` per entry and move to version 2.
+    /// Current-version values pass through untouched. Returns an error
+    /// for structurally alien values (the caller surfaces it as a
+    /// parse failure).
+    pub fn upgrade_value(value: &mut serde_json::Value) -> Result<(), String> {
+        let serde_json::Value::Object(obj) = value else {
+            return Err("expected a JSON object for a knob table".into());
+        };
+        let version = obj
+            .get("version")
+            .and_then(|v| match v {
+                serde_json::Value::Number(n) => n.as_u64(),
+                _ => None,
+            })
+            .ok_or("knob table lacks a numeric version")?;
+        if version != 1 {
+            return Ok(()); // current (or future — validate rejects later)
+        }
+        if let Some(serde_json::Value::Array(entries)) = obj.get_mut("per_level") {
+            for entry in entries.iter_mut() {
+                if let serde_json::Value::Object(e) = entry {
+                    e.entry("simd".to_string())
+                        .or_insert_with(|| serde_json::Value::String("Auto".into()));
+                }
+            }
+        }
+        obj.insert(
+            "version".to_string(),
+            serde_json::Value::Number(serde_json::Number::from_u64(2)),
+        );
+        Ok(())
+    }
+
     /// Structural validation: known version, non-empty, and every entry
     /// inside the [`kernel_exec_space`] domains (read from the space
     /// itself, so widening an axis there widens what tables accept).
@@ -515,6 +565,12 @@ pub fn kernel_exec_space() -> ConfigSpace {
     let band = s.add_int(PARAM_BAND_ROWS, 1, 512, 32, Scale::Log);
     let tblock = s.add_int(PARAM_TBLOCK, 1, 8, 1, Scale::Log);
     s.add_dependency(tblock, band);
+    // The vectorization axis: auto / scalar / forced-vector, labels
+    // index-aligned with `SimdPolicy::ALL`. Band and tblock depend on
+    // it (a vectorized kernel moves more data per row, shifting the
+    // band/tblock sweet spots), so it is tuned first.
+    let simd = s.add_switch(PARAM_SIMD, &["auto", "scalar", "vector"], 0);
+    s.add_dependency(band, simd);
     s
 }
 
@@ -753,13 +809,16 @@ mod tests {
             .unwrap();
         c.set(&s, s.find(PARAM_TBLOCK).unwrap(), ParamValue::Int(4))
             .unwrap();
+        c.set(&s, s.find(PARAM_SIMD).unwrap(), ParamValue::Switch(2))
+            .unwrap();
         let c2 = Config::from_json(&s, &c.to_json(&s)).unwrap();
         let knobs = KernelKnobs::from_config(&s, &c2);
         assert_eq!(
             knobs,
             KernelKnobs {
                 band_rows: 64,
-                tblock: 4
+                tblock: 4,
+                simd: SimdPolicy::Vector,
             }
         );
     }
@@ -772,6 +831,7 @@ mod tests {
         let coarse = KernelKnobs {
             band_rows: 4,
             tblock: 2,
+            simd: SimdPolicy::Auto,
         };
         t.set(2, coarse);
         assert!(!t.is_uniform());
@@ -796,6 +856,7 @@ mod tests {
             KernelKnobs {
                 band_rows: 8,
                 tblock: 1,
+                simd: SimdPolicy::Auto,
             },
         );
         assert!(!t.is_all_default());
@@ -805,6 +866,7 @@ mod tests {
             KernelKnobs {
                 band_rows: 64,
                 tblock: 2,
+                simd: SimdPolicy::Auto,
             },
         );
         assert!(u.is_uniform() && !u.is_all_default());
@@ -820,6 +882,7 @@ mod tests {
         t.per_level[1] = KernelKnobs {
             band_rows: 0,
             tblock: 1,
+            simd: SimdPolicy::Auto,
         };
         assert!(t.validate().is_err(), "zero band rejected");
 
@@ -827,6 +890,7 @@ mod tests {
         t.per_level[2] = KernelKnobs {
             band_rows: 1024,
             tblock: 1,
+            simd: SimdPolicy::Auto,
         };
         assert!(t.validate().is_err(), "out-of-domain band rejected");
 
@@ -845,12 +909,91 @@ mod tests {
             KernelKnobs {
                 band_rows: 64,
                 tblock: 4,
+                simd: SimdPolicy::Auto,
             },
         );
         let json = serde_json::to_string_pretty(&t).unwrap();
         assert!(json.contains("\"version\""), "schema is versioned: {json}");
         let back: KnobTable = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn knob_table_v1_upgrades_to_current_schema() {
+        // Build a v1-shaped value: serialize the current table, strip
+        // the per-entry simd fields, and set version 1 — exactly what a
+        // pre-SIMD build wrote.
+        let mut t = KnobTable::defaults(3);
+        t.set(
+            2,
+            KernelKnobs {
+                band_rows: 8,
+                tblock: 4,
+                simd: SimdPolicy::Auto,
+            },
+        );
+        let mut value: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        if let serde_json::Value::Object(obj) = &mut value {
+            obj.insert(
+                "version".into(),
+                serde_json::Value::Number(serde_json::Number::from_u64(1)),
+            );
+            if let Some(serde_json::Value::Array(entries)) = obj.get_mut("per_level") {
+                for e in entries.iter_mut() {
+                    if let serde_json::Value::Object(m) = e {
+                        m.remove("simd").expect("current schema has simd");
+                    }
+                }
+            }
+        }
+        // Without the upgrade the v1 value no longer deserializes.
+        assert!(
+            serde_json::from_str::<KnobTable>(&serde_json::to_string(&value).unwrap()).is_err()
+        );
+        KnobTable::upgrade_value(&mut value).unwrap();
+        let back: KnobTable =
+            serde_json::from_str(&serde_json::to_string(&value).unwrap()).unwrap();
+        assert_eq!(back.version, KNOB_TABLE_VERSION);
+        assert_eq!(back, t, "v1 entries upgrade with simd = Auto");
+        back.validate().unwrap();
+
+        // Current-version values pass through untouched.
+        let mut current: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        let before = serde_json::to_string(&current).unwrap();
+        KnobTable::upgrade_value(&mut current).unwrap();
+        assert_eq!(serde_json::to_string(&current).unwrap(), before);
+
+        // Alien values are rejected, not mangled.
+        let mut bogus = serde_json::Value::Array(Vec::new());
+        assert!(KnobTable::upgrade_value(&mut bogus).is_err());
+    }
+
+    #[test]
+    fn kernel_exec_space_simd_axis() {
+        let s = kernel_exec_space();
+        let simd = s.find(PARAM_SIMD).expect("simd axis exists");
+        match &s.spec(simd).kind {
+            ParamKind::Switch { choices } => {
+                let want: Vec<&str> = SimdPolicy::ALL.iter().map(|p| p.name()).collect();
+                assert_eq!(choices, &want, "labels index-aligned with SimdPolicy::ALL");
+            }
+            other => panic!("simd axis has wrong kind {other:?}"),
+        }
+        // simd is tuned before band (band depends on it), which is
+        // tuned before tblock.
+        let order = tuning_order(&s);
+        let pos = |name: &str| {
+            let id = s.find(name).unwrap();
+            order.iter().position(|g| g.contains(&id)).unwrap()
+        };
+        assert!(pos(PARAM_SIMD) < pos(PARAM_BAND_ROWS));
+        assert!(pos(PARAM_BAND_ROWS) < pos(PARAM_TBLOCK));
+        // Default config resolves to the default knobs (simd = Auto).
+        let knobs = KernelKnobs::from_config(&s, &s.default_config());
+        assert_eq!(knobs, KernelKnobs::default());
+        assert_eq!(knobs.simd, SimdPolicy::Auto);
     }
 
     #[test]

@@ -168,14 +168,18 @@ impl ExecCtx {
     }
 
     /// The execution policy for sweeps at `level`: the base policy with
-    /// the level's tabulated band height when a table is attached.
+    /// the level's tabulated band height and SIMD policy when a table
+    /// is attached.
     fn level_exec(&mut self, level: usize) -> Exec {
         match &self.knobs {
             None => self.exec.clone(),
             Some(table) => {
                 let knobs = table.get(level);
                 self.knob_stats.record(level, knobs);
-                self.exec.clone().with_band(knobs.band_rows)
+                self.exec
+                    .clone()
+                    .with_band(knobs.band_rows)
+                    .with_simd(knobs.simd)
             }
         }
     }
@@ -211,15 +215,16 @@ impl ExecCtx {
         self
     }
 
-    /// Reset counters, knob stats, and trace (keeps cache and policy).
+    /// Reset counters, knob stats, and trace (keeps cache, policy, and
+    /// the tracer's configuration — event recording and armed kernel
+    /// clock level survive with zeroed accumulators).
     pub fn reset_counters(&mut self) {
         self.ops = OpCounts::default();
         self.knob_stats = KnobStats::default();
-        let enabled = self.tracer.is_enabled();
-        self.tracer = if enabled {
-            Tracer::enabled()
-        } else {
-            Tracer::disabled()
+        self.tracer = match (self.tracer.is_enabled(), self.tracer.timed_level()) {
+            (true, _) => Tracer::enabled(),
+            (false, Some(level)) => Tracer::timing_level(level),
+            (false, None) => Tracer::disabled(),
         };
     }
 
@@ -234,7 +239,9 @@ impl ExecCtx {
         bc: &mut Grid2d,
     ) {
         let exec = self.level_exec(level);
+        let clock = self.tracer.start_kernel_clock(level);
         relax_residual_restrict(x, b, bc, OMEGA_CYCLE, 0, &self.workspace, &exec);
+        self.tracer.stop_kernel_clock(clock);
         self.ops.level_mut(level).residuals += 1;
         self.ops.level_mut(level).restricts += 1;
         self.tracer.record(CycleEvent::Residual { level });
@@ -245,7 +252,9 @@ impl ExecCtx {
     /// estimate edge; the follow-up phase relaxes separately).
     fn interpolate(&mut self, to: usize, coarse: &Grid2d, fine: &mut Grid2d, b: &Grid2d) {
         let exec = self.level_exec(to);
+        let clock = self.tracer.start_kernel_clock(to);
         interpolate_correct_relax(coarse, fine, b, OMEGA_CYCLE, 0, &self.workspace, &exec);
+        self.tracer.stop_kernel_clock(clock);
         self.ops.level_mut(to).interps += 1;
         self.tracer.record(CycleEvent::Interpolate { to });
     }
@@ -263,7 +272,9 @@ impl ExecCtx {
         omega: f64,
     ) {
         let exec = self.level_exec(level);
+        let clock = self.tracer.start_kernel_clock(level);
         relax_residual_restrict(x, b, bc, omega, 1, &self.workspace, &exec);
+        self.tracer.stop_kernel_clock(clock);
         self.ops.level_mut(level).relax_sweeps += 1;
         self.ops.level_mut(level).residuals += 1;
         self.ops.level_mut(level).restricts += 1;
@@ -283,7 +294,9 @@ impl ExecCtx {
         omega: f64,
     ) {
         let exec = self.level_exec(to);
+        let clock = self.tracer.start_kernel_clock(to);
         interpolate_correct_relax(coarse, fine, b, omega, 1, &self.workspace, &exec);
+        self.tracer.stop_kernel_clock(clock);
         self.ops.level_mut(to).interps += 1;
         self.ops.level_mut(to).relax_sweeps += 1;
         self.tracer.record(CycleEvent::Interpolate { to });
@@ -291,7 +304,9 @@ impl ExecCtx {
     }
 
     fn direct(&mut self, level: usize, x: &mut Grid2d, b: &Grid2d) {
+        let clock = self.tracer.start_kernel_clock(level);
         self.cache.solve(x, b);
+        self.tracer.stop_kernel_clock(clock);
         self.ops.level_mut(level).direct_solves += 1;
         self.tracer.record(CycleEvent::Direct { level });
     }
@@ -302,12 +317,14 @@ impl ExecCtx {
         // traversal (bitwise identical to iterated single sweeps).
         let depth = self.level_tblock(level);
         let exec = self.level_exec(level);
+        let clock = self.tracer.start_kernel_clock(level);
         let mut left = iterations as usize;
         while left > 0 {
             let chunk = left.min(depth);
             sor_sweeps_blocked(x, b, omega, chunk, &self.workspace, &exec);
             left -= chunk;
         }
+        self.tracer.stop_kernel_clock(clock);
         self.ops.level_mut(level).relax_sweeps += iterations as u64;
         self.tracer
             .record(CycleEvent::SorSolve { level, iterations });
@@ -575,15 +592,20 @@ impl TunedFamily {
     }
 }
 
-/// Upgrade a pre-knob-table plan object in place: if the `knobs` field
-/// is absent (legacy schema), insert a uniform default table sized from
-/// `max_level`. Current-schema objects pass through untouched.
+/// Upgrade a legacy plan object in place:
+///
+/// * if the `knobs` field is absent (pre-knob-table schema), insert a
+///   uniform default table sized from `max_level`;
+/// * if the table is present but version 1 (pre-SIMD schema), upgrade
+///   each entry with `simd: Auto` via [`KnobTable::upgrade_value`].
+///
+/// Current-schema objects pass through untouched.
 fn upgrade_legacy_family(value: &mut serde_json::Value) -> Result<(), String> {
     let serde_json::Value::Object(obj) = value else {
         return Err("expected a JSON object for a tuned plan".into());
     };
-    if obj.contains_key("knobs") {
-        return Ok(());
+    if let Some(knobs) = obj.get_mut("knobs") {
+        return KnobTable::upgrade_value(knobs);
     }
     let max_level = obj
         .get("max_level")
@@ -799,6 +821,7 @@ pub fn simple_v_family(max_level: usize, accuracies: &[f64]) -> TunedFamily {
 mod tests {
     use super::*;
     use crate::training::Distribution;
+    use petamg_choice::SimdPolicy;
 
     #[test]
     fn simple_family_validates() {
@@ -979,6 +1002,7 @@ mod tests {
             KernelKnobs {
                 band_rows: 4,
                 tblock: 2,
+                simd: SimdPolicy::Auto,
             },
         );
         fam.knobs.set(
@@ -986,6 +1010,7 @@ mod tests {
             KernelKnobs {
                 band_rows: 128,
                 tblock: 3,
+                simd: SimdPolicy::Auto,
             },
         );
         let json = fam.to_json();
@@ -1061,6 +1086,7 @@ mod tests {
             KernelKnobs {
                 band_rows: 64,
                 tblock: 2,
+                simd: SimdPolicy::Auto,
             },
         );
         table.set(
@@ -1068,6 +1094,7 @@ mod tests {
             KernelKnobs {
                 band_rows: 16,
                 tblock: 1,
+                simd: SimdPolicy::Auto,
             },
         );
         table.set(
@@ -1075,6 +1102,7 @@ mod tests {
             KernelKnobs {
                 band_rows: 2,
                 tblock: 4,
+                simd: SimdPolicy::Auto,
             },
         );
         let inst = ProblemInstance::random(5, Distribution::UnbiasedUniform, 41);
@@ -1107,6 +1135,43 @@ mod tests {
                 "level {level} ran with its own knobs"
             );
         }
+    }
+
+    #[test]
+    fn kernel_clock_times_only_the_armed_level() {
+        // The per-level kernel clock (used by the knob tuner to cut
+        // coarse-level timing noise) accumulates only at its armed
+        // level, survives counter resets armed-but-zeroed, and stays
+        // silent on unarmed contexts.
+        let fam = simple_v_family(4, &[1e3]);
+        let inst = ProblemInstance::random(4, Distribution::UnbiasedUniform, 13);
+
+        let mut ctx = ExecCtx::new(Exec::seq());
+        ctx.tracer = crate::trace::Tracer::timing_level(4);
+        let mut x = inst.working_grid();
+        fam.run(4, 0, &mut x, &inst.b, &mut ctx);
+        assert!(
+            ctx.tracer.kernel_seconds() > 0.0,
+            "armed level must accumulate kernel time"
+        );
+
+        ctx.reset_counters();
+        assert_eq!(ctx.tracer.kernel_seconds(), 0.0, "reset zeroes the clock");
+        assert_eq!(ctx.tracer.timed_level(), Some(4), "arming survives reset");
+        let mut x = inst.working_grid();
+        fam.run(4, 0, &mut x, &inst.b, &mut ctx);
+        assert!(ctx.tracer.kernel_seconds() > 0.0, "clock re-accumulates");
+
+        // A level the plan never reaches below its floor: arm level 0.
+        let mut ctx = ExecCtx::new(Exec::seq());
+        ctx.tracer = crate::trace::Tracer::timing_level(0);
+        let mut x = inst.working_grid();
+        fam.run(4, 0, &mut x, &inst.b, &mut ctx);
+        assert_eq!(
+            ctx.tracer.kernel_seconds(),
+            0.0,
+            "levels never entered accumulate nothing"
+        );
     }
 
     #[test]

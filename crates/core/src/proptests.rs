@@ -5,12 +5,16 @@ use crate::cost::{LevelOps, MachineProfile, OpCounts};
 use crate::plan::{simple_v_family, Choice, ExecCtx, TunedFamily, PAPER_ACCURACIES};
 use crate::training::{Distribution, ProblemInstance};
 use crate::tuner::apply_knobs;
-use petamg_choice::{KernelKnobs, KnobTable, KNOB_TABLE_VERSION};
+use petamg_choice::{KernelKnobs, KnobTable, SimdPolicy, KNOB_TABLE_VERSION};
 use petamg_grid::Exec;
 use proptest::prelude::*;
 
 fn arb_knobs() -> impl Strategy<Value = KernelKnobs> {
-    (1usize..=512, 1usize..=8).prop_map(|(band_rows, tblock)| KernelKnobs { band_rows, tblock })
+    (1usize..=512, 1usize..=8, 0usize..=2).prop_map(|(band_rows, tblock, simd)| KernelKnobs {
+        band_rows,
+        tblock,
+        simd: SimdPolicy::from_index(simd),
+    })
 }
 
 fn arb_knob_table(max_level: usize) -> impl Strategy<Value = KnobTable> {

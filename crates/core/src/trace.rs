@@ -61,11 +61,23 @@ pub enum CycleEvent {
 }
 
 /// An event recorder that can be disabled (zero-cost in tuning loops).
+///
+/// Besides cycle events, a tracer can **clock one level's kernels**:
+/// armed with [`Tracer::timing_level`], the plan executor brackets
+/// every kernel invocation at that level with a timestamp pair and
+/// accumulates the elapsed time into [`Tracer::kernel_seconds`]. The
+/// kernel-knob tuner uses this to judge a level's knob candidates by
+/// the level's *own* kernel time instead of whole-cycle wall time —
+/// cutting the coarse-level noise that full-cycle timing mixes in.
 #[derive(Clone, Debug, Default)]
 pub struct Tracer {
     enabled: bool,
     /// Recorded events in execution order.
     pub events: Vec<CycleEvent>,
+    /// Level whose kernel invocations are being clocked, if any.
+    timed_level: Option<usize>,
+    /// Accumulated kernel seconds at the clocked level.
+    kernel_seconds: f64,
 }
 
 impl Tracer {
@@ -73,13 +85,21 @@ impl Tracer {
     pub fn enabled() -> Self {
         Tracer {
             enabled: true,
-            events: Vec::new(),
+            ..Tracer::default()
         }
     }
 
     /// A no-op tracer.
     pub fn disabled() -> Self {
         Tracer::default()
+    }
+
+    /// A tracer that clocks the kernels of `level` (events stay off).
+    pub fn timing_level(level: usize) -> Self {
+        Tracer {
+            timed_level: Some(level),
+            ..Tracer::default()
+        }
     }
 
     /// Record an event (no-op when disabled).
@@ -93,6 +113,35 @@ impl Tracer {
     /// Whether events are being recorded.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Start clocking one kernel invocation at `level`: returns a
+    /// timestamp when `level` is the armed timed level, `None`
+    /// otherwise. Pass the result to [`Tracer::stop_kernel_clock`].
+    #[inline]
+    pub fn start_kernel_clock(&self, level: usize) -> Option<std::time::Instant> {
+        match self.timed_level {
+            Some(t) if t == level => Some(std::time::Instant::now()),
+            _ => None,
+        }
+    }
+
+    /// Accumulate a clock started by [`Tracer::start_kernel_clock`].
+    #[inline]
+    pub fn stop_kernel_clock(&mut self, start: Option<std::time::Instant>) {
+        if let Some(t0) = start {
+            self.kernel_seconds += t0.elapsed().as_secs_f64();
+        }
+    }
+
+    /// The level being clocked, if any (survives counter resets).
+    pub fn timed_level(&self) -> Option<usize> {
+        self.timed_level
+    }
+
+    /// Total kernel seconds accumulated at the clocked level.
+    pub fn kernel_seconds(&self) -> f64 {
+        self.kernel_seconds
     }
 
     /// Deepest level mentioned by any event (0 if empty).

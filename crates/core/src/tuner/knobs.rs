@@ -12,10 +12,11 @@
 //! temporal depth given that band.
 
 use crate::plan::{simple_v_family, ExecCtx, PAPER_ACCURACIES};
+use crate::trace::Tracer;
 use crate::training::{Distribution, ProblemInstance};
 use petamg_choice::{
     kernel_exec_space, nary_search_int, tuning_order, ConfigSpace, KernelKnobs, KnobTable,
-    ParamValue, PARAM_BAND_ROWS, PARAM_TBLOCK,
+    ParamValue, SimdPolicy, PARAM_BAND_ROWS, PARAM_SIMD, PARAM_TBLOCK,
 };
 use petamg_grid::{Exec, Workspace};
 use petamg_solvers::DirectSolverCache;
@@ -28,11 +29,11 @@ use std::time::Instant;
 /// abort allocating the training grid.
 pub const MAX_QUICK_KNOB_LEVEL: usize = 10;
 
-/// Apply tuned [`KernelKnobs`] to an execution policy (the band height;
-/// the temporal depth travels separately into [`ExecCtx::tblock`] /
-/// `MgConfig::tblock`).
+/// Apply tuned [`KernelKnobs`] to an execution policy (the band height
+/// and SIMD policy; the temporal depth travels separately into
+/// [`ExecCtx::tblock`] / `MgConfig::tblock`).
 pub fn apply_knobs(exec: Exec, knobs: &KernelKnobs) -> Exec {
-    exec.with_band(knobs.band_rows)
+    exec.with_band(knobs.band_rows).with_simd(knobs.simd)
 }
 
 /// Options for [`tune_kernel_knobs`].
@@ -75,7 +76,12 @@ pub struct KnobTuneResult {
     pub knobs: KernelKnobs,
     /// The space the knobs were drawn from (for serialization).
     pub space: ConfigSpace,
-    /// Best measured cycle time, seconds.
+    /// Best measured candidate cost, seconds. Global-mode searches
+    /// ([`tune_kernel_knobs`]) report whole-cycle wall time; per-level
+    /// searches ([`tune_kernel_knobs_for_level`]) report the target
+    /// level's **own kernel time** (the tracer's kernel clock), which
+    /// excludes all coarser-level work by design — the two are not
+    /// comparable units.
     pub best_seconds: f64,
     /// Candidate evaluations performed.
     pub evaluations: usize,
@@ -141,6 +147,7 @@ fn tune_kernel_knobs_impl(
     let mut config = space.default_config();
     let band_id = space.find(PARAM_BAND_ROWS).expect("band axis");
     let tblock_id = space.find(PARAM_TBLOCK).expect("tblock axis");
+    let simd_id = space.find(PARAM_SIMD).expect("simd axis");
     if let Some(seed) = seed {
         // Clamp seeds into the axes' own domains (read from the space,
         // the single source of truth for the bounds).
@@ -164,6 +171,9 @@ fn tune_kernel_knobs_impl(
                 ),
             )
             .expect("clamped seed in domain");
+        config
+            .set(&space, simd_id, ParamValue::Switch(seed.simd.index()))
+            .expect("policy index in domain");
     }
     let fam = simple_v_family(opts.level, &PAPER_ACCURACIES);
     let inst = ProblemInstance::random(opts.level, Distribution::UnbiasedUniform, opts.seed);
@@ -191,15 +201,28 @@ fn tune_kernel_knobs_impl(
                         .with_tblock(cfg_knobs.tblock)
                 }
             };
+            // In-table (per-level) mode, clock only the target level's
+            // own kernels via the executor's trace hooks: the coarser
+            // levels' noise — which full-cycle wall time mixes in —
+            // never enters the candidate's cost.
+            if base.is_some() {
+                ctx.tracer = Tracer::timing_level(opts.level);
+            }
             // Warm the workspace pools and factor cache outside timing.
             let mut x = inst.working_grid();
             fam.run(opts.level, 0, &mut x, &inst.b, &mut ctx);
             let mut best = f64::INFINITY;
             for _ in 0..opts.reps.max(1) {
+                ctx.reset_counters();
                 let mut x = inst.working_grid();
                 let start = Instant::now();
                 fam.run(opts.level, 0, &mut x, &inst.b, &mut ctx);
-                best = best.min(start.elapsed().as_secs_f64());
+                let cost = if base.is_some() {
+                    ctx.tracer.kernel_seconds()
+                } else {
+                    start.elapsed().as_secs_f64()
+                };
+                best = best.min(cost);
             }
             best_seconds = best_seconds.min(best);
             best
@@ -212,6 +235,41 @@ fn tune_kernel_knobs_impl(
                 // whole sweep), so searching that axis would time
                 // identical configurations arms × rounds times.
                 if spec.name == petamg_choice::PARAM_BAND_ROWS && exec.band().is_none() {
+                    continue;
+                }
+                // Switch axes (the simd policy) have tiny domains:
+                // time every *distinct* choice and keep the fastest —
+                // the run-off against the incumbent is implicit because
+                // the incumbent's choice is among those timed. Choices
+                // are deduplicated by their resolved execution mode
+                // (`auto` always resolves to one of the forced modes on
+                // a given machine), keeping the earliest — i.e. `auto`
+                // wins ties, so tuned tables stay portable by default.
+                if let petamg_choice::ParamKind::Switch { choices } = &spec.kind {
+                    let mut seen_modes = Vec::new();
+                    let mut distinct = Vec::new();
+                    for i in 0..choices.len() {
+                        let mode = SimdPolicy::from_index(i).resolve();
+                        if !seen_modes.contains(&mode) {
+                            seen_modes.push(mode);
+                            distinct.push(i);
+                        }
+                    }
+                    let best = distinct
+                        .into_iter()
+                        .map(|i| {
+                            let mut trial = config.clone();
+                            trial
+                                .set(&space, id, ParamValue::Switch(i))
+                                .expect("choice in domain");
+                            (time_candidate(KernelKnobs::from_config(&space, &trial)), i)
+                        })
+                        .min_by(|a, b| a.0.total_cmp(&b.0))
+                        .map(|(_, i)| i)
+                        .expect("non-empty switch");
+                    config
+                        .set(&space, id, ParamValue::Switch(best))
+                        .expect("winner in domain");
                     continue;
                 }
                 let (lo, hi) = match spec.kind {
@@ -288,6 +346,7 @@ fn tune_kernel_knobs_impl(
 #[cfg(test)]
 mod tests {
     use super::*;
+
     use petamg_grid::l2_diff;
 
     #[test]
@@ -314,6 +373,7 @@ mod tests {
         let seed = KernelKnobs {
             band_rows: 8,
             tblock: 2,
+            simd: SimdPolicy::Auto,
         };
         let opts = KnobTunerOptions::quick(3);
         let result = tune_kernel_knobs_seeded(&Exec::pbrt(2), &opts, Some(seed));
@@ -341,6 +401,7 @@ mod tests {
         let wild = KernelKnobs {
             band_rows: 100_000,
             tblock: 99,
+            simd: SimdPolicy::Auto,
         };
         let result = tune_kernel_knobs_seeded(&Exec::pbrt(2), &opts, Some(wild));
         assert!(
@@ -361,6 +422,7 @@ mod tests {
             KernelKnobs {
                 band_rows: 8,
                 tblock: 2,
+                simd: SimdPolicy::Auto,
             },
         );
         let result =
@@ -376,6 +438,7 @@ mod tests {
         let knobs = KernelKnobs {
             band_rows: 17,
             tblock: 2,
+            simd: SimdPolicy::Auto,
         };
         assert_eq!(apply_knobs(Exec::pbrt(2), &knobs).band(), Some(17));
         // Seq has no band; applying knobs is a no-op.

@@ -113,7 +113,7 @@ impl TunerOptions {
             instances: 2,
             seed: 0x5EED,
             cost_model: CostModel::Modeled(MachineProfile::intel_harpertown()),
-            exec: Exec::Seq,
+            exec: Exec::seq(),
             direct_max_n: 257,
             sor_cap_mult: 60,
             recurse_cap: 120,
@@ -739,6 +739,7 @@ pub fn priced_run(
 mod tests {
     use super::*;
     use crate::plan::Choice;
+    use petamg_choice::SimdPolicy;
 
     fn quick_tuner(max_level: usize) -> VTuner {
         VTuner::new(TunerOptions::quick(
@@ -883,7 +884,7 @@ mod tests {
         let fam = VTuner::new(TunerOptions::measured(
             3,
             Distribution::UnbiasedUniform,
-            Exec::Seq,
+            Exec::seq(),
         ))
         .tune();
         fam.validate().unwrap();
@@ -940,6 +941,7 @@ mod tests {
             KernelKnobs {
                 band_rows: 4,
                 tblock: 4,
+                simd: SimdPolicy::Auto,
             },
         );
         tuner.adopt_knob_table(stale);

@@ -6,7 +6,14 @@
 //! this workspace can be driven sequentially (deterministic, used in
 //! tests and modeled-cost tuning), on the in-house pool, or on rayon
 //! (ablation baseline).
+//!
+//! Alongside the scheduling backend, every policy carries the resolved
+//! [`SimdMode`] for the row kernels — the scalar-vs-vector execution
+//! path (see [`crate::simd`]). Stencil results are bitwise identical in
+//! either mode, so the mode (like the grain, band, and thread count) is
+//! a pure performance knob.
 
+use crate::simd::{SimdMode, SimdPolicy};
 use petamg_runtime::ThreadPool;
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -22,100 +29,119 @@ pub const DEFAULT_ROW_GRAIN: usize = 8;
 /// while still exposing enough bands to balance load.
 pub const DEFAULT_BAND_ROWS: usize = 32;
 
-/// How a grid sweep is executed.
+/// The scheduling backend of an [`Exec`] policy.
 #[derive(Clone)]
-pub enum Exec {
+enum Backend {
     /// Plain sequential loops. Bit-deterministic.
     Seq,
     /// The `petamg-runtime` work-stealing pool (the PetaBricks runtime
     /// stand-in), splitting row ranges down to `grain` rows and
     /// block-cursor sweeps into `band`-row bands.
     Pbrt {
-        /// The shared work-stealing pool.
         pool: Arc<ThreadPool>,
-        /// Rows per task in [`Exec::for_rows`] sweeps.
         grain: usize,
-        /// Rows per band in [`Exec::for_row_bands`] sweeps.
         band: usize,
     },
     /// rayon, for ablation benchmarks.
-    Rayon {
-        /// Rows per task in [`Exec::for_rows`] sweeps.
-        grain: usize,
-        /// Rows per band in [`Exec::for_row_bands`] sweeps.
-        band: usize,
-    },
+    Rayon { grain: usize, band: usize },
+}
+
+/// How a grid sweep is executed: a scheduling backend (sequential, the
+/// in-house pool, or rayon) plus the resolved SIMD mode for the row
+/// kernels.
+#[derive(Clone)]
+pub struct Exec {
+    backend: Backend,
+    simd: SimdMode,
 }
 
 impl std::fmt::Debug for Exec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Exec::Seq => write!(f, "Exec::Seq"),
-            Exec::Pbrt { pool, grain, band } => write!(
+        let simd = self.simd.name();
+        match &self.backend {
+            Backend::Seq => write!(f, "Exec::Seq(simd={simd})"),
+            Backend::Pbrt { pool, grain, band } => write!(
                 f,
-                "Exec::Pbrt(threads={}, grain={grain}, band={band})",
+                "Exec::Pbrt(threads={}, grain={grain}, band={band}, simd={simd})",
                 pool.num_threads(),
             ),
-            Exec::Rayon { grain, band } => write!(f, "Exec::Rayon(grain={grain}, band={band})"),
+            Backend::Rayon { grain, band } => {
+                write!(f, "Exec::Rayon(grain={grain}, band={band}, simd={simd})")
+            }
         }
     }
 }
 
 impl Exec {
+    fn with_backend(backend: Backend) -> Self {
+        Exec {
+            backend,
+            simd: SimdPolicy::Auto.resolve(),
+        }
+    }
+
     /// Sequential execution.
     pub fn seq() -> Self {
-        Exec::Seq
+        Exec::with_backend(Backend::Seq)
     }
 
     /// A fresh work-stealing pool with `threads` workers and the default
     /// row grain and band height.
     pub fn pbrt(threads: usize) -> Self {
-        Exec::Pbrt {
+        Exec::with_backend(Backend::Pbrt {
             pool: Arc::new(ThreadPool::new(threads)),
             grain: DEFAULT_ROW_GRAIN,
             band: DEFAULT_BAND_ROWS,
-        }
+        })
     }
 
     /// Wrap an existing pool.
     pub fn with_pool(pool: Arc<ThreadPool>, grain: usize) -> Self {
-        Exec::Pbrt {
+        Exec::with_backend(Backend::Pbrt {
             pool,
             grain: grain.max(1),
             band: DEFAULT_BAND_ROWS,
-        }
+        })
     }
 
     /// rayon with the default grain and band height.
     pub fn rayon() -> Self {
-        Exec::Rayon {
+        Exec::with_backend(Backend::Rayon {
             grain: DEFAULT_ROW_GRAIN,
             band: DEFAULT_BAND_ROWS,
-        }
+        })
+    }
+
+    /// Whether this policy runs sequentially.
+    pub fn is_seq(&self) -> bool {
+        matches!(self.backend, Backend::Seq)
     }
 
     /// Number of threads this policy can use.
     pub fn threads(&self) -> usize {
-        match self {
-            Exec::Seq => 1,
-            Exec::Pbrt { pool, .. } => pool.num_threads(),
-            Exec::Rayon { .. } => rayon::current_num_threads(),
+        match &self.backend {
+            Backend::Seq => 1,
+            Backend::Pbrt { pool, .. } => pool.num_threads(),
+            Backend::Rayon { .. } => rayon::current_num_threads(),
         }
     }
 
     /// Replace the grain size (no-op for `Seq`).
-    pub fn with_grain(self, grain: usize) -> Self {
-        match self {
-            Exec::Seq => Exec::Seq,
-            Exec::Pbrt { pool, band, .. } => Exec::Pbrt {
-                pool,
-                grain: grain.max(1),
-                band,
-            },
-            Exec::Rayon { band, .. } => Exec::Rayon {
-                grain: grain.max(1),
-                band,
-            },
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        match &mut self.backend {
+            Backend::Seq => {}
+            Backend::Pbrt { grain: g, .. } | Backend::Rayon { grain: g, .. } => {
+                *g = grain.max(1);
+            }
+        }
+        self
+    }
+
+    /// The row grain of [`Exec::for_rows`] sweeps, or `None` for `Seq`.
+    pub fn grain(&self) -> Option<usize> {
+        match &self.backend {
+            Backend::Seq => None,
+            Backend::Pbrt { grain, .. } | Backend::Rayon { grain, .. } => Some(*grain),
         }
     }
 
@@ -123,28 +149,37 @@ impl Exec {
     /// always runs one band spanning the whole range). A band height of
     /// 1 degenerates to one task per row — the pre-block-cursor
     /// behaviour, kept reachable as the tuner's baseline.
-    pub fn with_band(self, band: usize) -> Self {
-        match self {
-            Exec::Seq => Exec::Seq,
-            Exec::Pbrt { pool, grain, .. } => Exec::Pbrt {
-                pool,
-                grain,
-                band: band.max(1),
-            },
-            Exec::Rayon { grain, .. } => Exec::Rayon {
-                grain,
-                band: band.max(1),
-            },
+    pub fn with_band(mut self, band: usize) -> Self {
+        match &mut self.backend {
+            Backend::Seq => {}
+            Backend::Pbrt { band: b, .. } | Backend::Rayon { band: b, .. } => {
+                *b = band.max(1);
+            }
         }
+        self
     }
 
     /// The band height [`Exec::for_row_bands`] splits at, or `None` for
     /// `Seq` (one band spanning the whole range).
     pub fn band(&self) -> Option<usize> {
-        match self {
-            Exec::Seq => None,
-            Exec::Pbrt { band, .. } | Exec::Rayon { band, .. } => Some(*band),
+        match &self.backend {
+            Backend::Seq => None,
+            Backend::Pbrt { band, .. } | Backend::Rayon { band, .. } => Some(*band),
         }
+    }
+
+    /// Resolve `policy` against the running machine and carry the
+    /// result: every row kernel driven by this policy takes the scalar
+    /// or vector path accordingly. Works on every backend, including
+    /// `Seq`.
+    pub fn with_simd(mut self, policy: SimdPolicy) -> Self {
+        self.simd = policy.resolve();
+        self
+    }
+
+    /// The resolved SIMD mode row kernels run under.
+    pub fn simd(&self) -> SimdMode {
+        self.simd
     }
 
     /// Block-cursor sweep: partition `lo..hi` into contiguous bands of
@@ -169,9 +204,9 @@ impl Exec {
             return;
         }
         let len = hi - lo;
-        match self {
-            Exec::Seq => body(lo, hi),
-            Exec::Pbrt { pool, band, .. } => {
+        match &self.backend {
+            Backend::Seq => body(lo, hi),
+            Backend::Pbrt { pool, band, .. } => {
                 let band = (*band).max(1);
                 let nbands = len.div_ceil(band);
                 if nbands <= 1 {
@@ -183,7 +218,7 @@ impl Exec {
                     });
                 }
             }
-            Exec::Rayon { band, .. } => {
+            Backend::Rayon { band, .. } => {
                 let band = (*band).max(1);
                 let nbands = len.div_ceil(band);
                 (0..nbands).into_par_iter().with_min_len(1).for_each(|k| {
@@ -204,13 +239,13 @@ impl Exec {
         if hi <= lo {
             return;
         }
-        match self {
-            Exec::Seq => {
+        match &self.backend {
+            Backend::Seq => {
                 for i in lo..hi {
                     body(i);
                 }
             }
-            Exec::Pbrt { pool, grain, .. } => {
+            Backend::Pbrt { pool, grain, .. } => {
                 let len = hi - lo;
                 // Skip pool dispatch entirely for sweeps smaller than one
                 // grain: coarse multigrid levels live here.
@@ -222,7 +257,7 @@ impl Exec {
                     pool.parallel_for(len, *grain, |i| body(lo + i));
                 }
             }
-            Exec::Rayon { grain, .. } => {
+            Backend::Rayon { grain, .. } => {
                 (lo..hi).into_par_iter().with_min_len(*grain).for_each(body);
             }
         }
@@ -238,9 +273,9 @@ impl Exec {
         if hi <= lo {
             return 0.0;
         }
-        match self {
-            Exec::Seq => (lo..hi).map(f).sum(),
-            Exec::Pbrt { pool, grain, .. } => {
+        match &self.backend {
+            Backend::Seq => (lo..hi).map(f).sum(),
+            Backend::Pbrt { pool, grain, .. } => {
                 let len = hi - lo;
                 if len <= *grain {
                     (lo..hi).map(f).sum()
@@ -250,7 +285,9 @@ impl Exec {
                     })
                 }
             }
-            Exec::Rayon { grain, .. } => (lo..hi).into_par_iter().with_min_len(*grain).map(f).sum(),
+            Backend::Rayon { grain, .. } => {
+                (lo..hi).into_par_iter().with_min_len(*grain).map(f).sum()
+            }
         }
     }
 
@@ -263,9 +300,9 @@ impl Exec {
         if hi <= lo {
             return f64::NEG_INFINITY;
         }
-        match self {
-            Exec::Seq => (lo..hi).map(f).fold(f64::NEG_INFINITY, f64::max),
-            Exec::Pbrt { pool, grain, .. } => {
+        match &self.backend {
+            Backend::Seq => (lo..hi).map(f).fold(f64::NEG_INFINITY, f64::max),
+            Backend::Pbrt { pool, grain, .. } => {
                 let len = hi - lo;
                 if len <= *grain {
                     (lo..hi).map(f).fold(f64::NEG_INFINITY, f64::max)
@@ -275,7 +312,7 @@ impl Exec {
                     })
                 }
             }
-            Exec::Rayon { grain, .. } => (lo..hi)
+            Backend::Rayon { grain, .. } => (lo..hi)
                 .into_par_iter()
                 .with_min_len(*grain)
                 .map(f)
@@ -348,10 +385,8 @@ mod tests {
     #[test]
     fn with_grain_clamps_to_one() {
         let exec = Exec::pbrt(2).with_grain(0);
-        match exec {
-            Exec::Pbrt { grain, .. } => assert_eq!(grain, 1),
-            _ => unreachable!(),
-        }
+        assert_eq!(exec.grain(), Some(1));
+        assert_eq!(Exec::seq().grain(), None);
     }
 
     #[test]
@@ -359,6 +394,29 @@ mod tests {
         assert_eq!(Exec::seq().threads(), 1);
         assert_eq!(Exec::pbrt(3).threads(), 3);
         assert!(Exec::rayon().threads() >= 1);
+    }
+
+    #[test]
+    fn simd_mode_is_carried_and_defaults_to_auto() {
+        for exec in policies() {
+            assert_eq!(exec.simd(), SimdPolicy::Auto.resolve(), "{exec:?}");
+            assert_eq!(
+                exec.clone().with_simd(SimdPolicy::Scalar).simd(),
+                SimdMode::Scalar
+            );
+            assert_eq!(
+                exec.clone().with_simd(SimdPolicy::Vector).simd(),
+                SimdMode::Vector
+            );
+            // Scheduling knobs leave the mode alone.
+            assert_eq!(
+                exec.with_simd(SimdPolicy::Vector)
+                    .with_grain(3)
+                    .with_band(9)
+                    .simd(),
+                SimdMode::Vector
+            );
+        }
     }
 
     #[test]
@@ -413,12 +471,7 @@ mod tests {
         assert_eq!(Exec::rayon().with_band(9).band(), Some(9));
         // Grain and band are independent knobs.
         let exec = Exec::pbrt(2).with_grain(3).with_band(17);
-        match exec {
-            Exec::Pbrt { grain, band, .. } => {
-                assert_eq!(grain, 3);
-                assert_eq!(band, 17);
-            }
-            _ => unreachable!(),
-        }
+        assert_eq!(exec.grain(), Some(3));
+        assert_eq!(exec.band(), Some(17));
     }
 }

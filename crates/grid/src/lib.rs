@@ -81,6 +81,7 @@ mod grid;
 mod norms;
 mod ops;
 mod ptr;
+pub mod simd;
 mod transfer;
 mod workspace;
 
@@ -92,11 +93,12 @@ pub use ops::{
     zero_boundary_ring,
 };
 pub use ptr::GridPtr;
+pub use simd::{vector_available, vector_backend, SimdMode, SimdPolicy};
 pub use transfer::{
     interpolate_add, interpolate_correct, interpolate_correct_row, interpolate_into,
     restrict_full_weighting, restrict_inject,
 };
-pub use workspace::{BufferLease, GridLease, Workspace, WorkspaceStats};
+pub use workspace::{BufferLease, GridLease, Workspace, WorkspaceStats, BUFFER_ALIGN};
 
 #[cfg(test)]
 mod proptests;

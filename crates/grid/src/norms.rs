@@ -5,12 +5,15 @@
 //! boundary data, so boundary differences are identically zero and
 //! including them would only add noise at the `1e-16` level.
 //!
-//! Inputs are immutable, so every kernel iterates safe row slices —
-//! no `unsafe`, and the slice zips auto-vectorize. Per-row accumulation
-//! order matches the original element loops (left to right, fold with
-//! `+` / `max`), keeping results bit-identical to the previous
-//! implementation for a fixed [`Exec`] policy.
+//! Per-row accumulation runs through the SIMD layer's **fixed-lane
+//! deterministic tree reduction** (see [`crate::simd`]): four lane
+//! accumulators combined as `(a0 + a1) + (a2 + a3)`, tails folded
+//! sequentially. Both [`crate::SimdMode`]s execute this same algorithm,
+//! so norm results are bitwise identical across scalar/vector modes and
+//! across runs for a fixed [`Exec`] policy — the row-to-row reduction
+//! tree is the `Exec` policy's, as before.
 
+use crate::simd;
 use crate::{Exec, Grid2d};
 
 #[inline]
@@ -22,20 +25,16 @@ fn interior_row(g: &Grid2d, i: usize) -> &[f64] {
 /// L2 norm of the interior: `sqrt(Σ g(i,j)²)`.
 pub fn l2_norm_interior(g: &Grid2d, exec: &Exec) -> f64 {
     let n = g.n();
-    let sum = exec.sum_rows(1, n - 1, |i| {
-        interior_row(g, i).iter().fold(0.0, |acc, &v| acc + v * v)
-    });
+    let mode = exec.simd();
+    let sum = exec.sum_rows(1, n - 1, |i| simd::sum_sq(interior_row(g, i), mode));
     sum.sqrt()
 }
 
 /// Max (infinity) norm of the interior.
 pub fn max_norm_interior(g: &Grid2d, exec: &Exec) -> f64 {
     let n = g.n();
-    exec.max_rows(1, n - 1, |i| {
-        interior_row(g, i)
-            .iter()
-            .fold(0.0f64, |acc, &v| acc.max(v.abs()))
-    })
+    let mode = exec.simd();
+    exec.max_rows(1, n - 1, |i| simd::max_abs(interior_row(g, i), mode))
 }
 
 /// L2 norm of the interior difference `‖a − b‖₂`.
@@ -45,14 +44,9 @@ pub fn max_norm_interior(g: &Grid2d, exec: &Exec) -> f64 {
 pub fn l2_diff(a: &Grid2d, b: &Grid2d, exec: &Exec) -> f64 {
     assert_eq!(a.n(), b.n(), "size mismatch in l2_diff");
     let n = a.n();
+    let mode = exec.simd();
     let sum = exec.sum_rows(1, n - 1, |i| {
-        interior_row(a, i)
-            .iter()
-            .zip(interior_row(b, i))
-            .fold(0.0, |acc, (&x, &y)| {
-                let d = x - y;
-                acc + d * d
-            })
+        simd::sum_sq_diff(interior_row(a, i), interior_row(b, i), mode)
     });
     sum.sqrt()
 }
@@ -64,11 +58,9 @@ pub fn l2_diff(a: &Grid2d, b: &Grid2d, exec: &Exec) -> f64 {
 pub fn max_diff(a: &Grid2d, b: &Grid2d, exec: &Exec) -> f64 {
     assert_eq!(a.n(), b.n(), "size mismatch in max_diff");
     let n = a.n();
+    let mode = exec.simd();
     exec.max_rows(1, n - 1, |i| {
-        interior_row(a, i)
-            .iter()
-            .zip(interior_row(b, i))
-            .fold(0.0f64, |acc, (&x, &y)| acc.max((x - y).abs()))
+        simd::max_abs_diff(interior_row(a, i), interior_row(b, i), mode)
     })
 }
 
@@ -80,17 +72,16 @@ pub fn max_diff(a: &Grid2d, b: &Grid2d, exec: &Exec) -> f64 {
 pub fn dot_interior(a: &Grid2d, b: &Grid2d, exec: &Exec) -> f64 {
     assert_eq!(a.n(), b.n(), "size mismatch in dot_interior");
     let n = a.n();
+    let mode = exec.simd();
     exec.sum_rows(1, n - 1, |i| {
-        interior_row(a, i)
-            .iter()
-            .zip(interior_row(b, i))
-            .fold(0.0, |acc, (&x, &y)| acc + x * y)
+        simd::dot_rows(interior_row(a, i), interior_row(b, i), mode)
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimdPolicy;
 
     #[test]
     fn l2_of_ones_is_sqrt_count() {
@@ -139,6 +130,35 @@ mod tests {
                 max_norm_interior(&g, &exec),
                 max_norm_interior(&g, &Exec::seq())
             );
+        }
+    }
+
+    #[test]
+    fn scalar_and_vector_norms_are_bitwise_identical() {
+        // Both modes run the fixed-lane deterministic tree reduction —
+        // results must agree bit for bit at every size (tails 0..=3).
+        let e_s = Exec::seq().with_simd(SimdPolicy::Scalar);
+        let e_v = Exec::seq().with_simd(SimdPolicy::Vector);
+        for n in [3usize, 4, 5, 6, 7, 9, 17, 33] {
+            let a = Grid2d::from_fn(n, |i, j| ((i * 31 + j * 7) % 101) as f64 / 9.0 - 5.0);
+            let b = Grid2d::from_fn(n, |i, j| ((i * 13 + j * 89) % 97) as f64 / 3.0 - 16.0);
+            assert_eq!(
+                l2_norm_interior(&a, &e_s).to_bits(),
+                l2_norm_interior(&a, &e_v).to_bits(),
+                "l2 n={n}"
+            );
+            assert_eq!(
+                l2_diff(&a, &b, &e_s).to_bits(),
+                l2_diff(&a, &b, &e_v).to_bits(),
+                "l2_diff n={n}"
+            );
+            assert_eq!(
+                dot_interior(&a, &b, &e_s).to_bits(),
+                dot_interior(&a, &b, &e_v).to_bits(),
+                "dot n={n}"
+            );
+            assert_eq!(max_norm_interior(&a, &e_s), max_norm_interior(&a, &e_v));
+            assert_eq!(max_diff(&a, &b, &e_s), max_diff(&a, &b, &e_v));
         }
     }
 

@@ -19,6 +19,7 @@
 //! unfused results are **bitwise identical** under every execution
 //! policy.
 
+use crate::simd::{self, SimdMode};
 use crate::{coarse_size, Exec, Grid2d, GridPtr, Workspace};
 
 /// Compute one interior row of `A_h x` into `out[1..n-1]`, scaled by
@@ -44,7 +45,8 @@ fn operator_row_into(up: &[f64], mid: &[f64], dn: &[f64], inv_h2: f64, out: &mut
 /// unfused [`residual`], fused [`residual_restrict`], and the
 /// temporally blocked cycle-edge kernels in `petamg-solvers` — goes
 /// through it, which is what makes fused and unfused results bitwise
-/// equal.
+/// equal. The scalar and vector paths ([`SimdMode`]) are bitwise
+/// identical too, so `mode` is a pure performance choice.
 #[inline]
 pub fn residual_row_into(
     up: &[f64],
@@ -53,15 +55,39 @@ pub fn residual_row_into(
     brow: &[f64],
     inv_h2: f64,
     out: &mut [f64],
+    mode: SimdMode,
 ) {
     let n = mid.len();
-    let (left, center, right) = (&mid[..n - 2], &mid[1..n - 1], &mid[2..]);
-    let (up, dn) = (&up[1..n - 1], &dn[1..n - 1]);
-    let brow = &brow[1..n - 1];
-    let out = &mut out[1..n - 1];
-    for j in 0..out.len() {
-        let ax = (4.0 * center[j] - up[j] - dn[j] - left[j] - right[j]) * inv_h2;
-        out[j] = brow[j] - ax;
+    match mode {
+        SimdMode::Vector => {
+            let m = n - 2;
+            // SAFETY: all slices hold `n` values, the trimmed windows
+            // are `m = n-2` long, and `out` (a distinct `&mut`) cannot
+            // alias the inputs.
+            unsafe {
+                simd::residual_row(
+                    up.as_ptr().add(1),
+                    mid.as_ptr(),
+                    mid.as_ptr().add(1),
+                    mid.as_ptr().add(2),
+                    dn.as_ptr().add(1),
+                    brow.as_ptr().add(1),
+                    inv_h2,
+                    out.as_mut_ptr().add(1),
+                    m,
+                );
+            }
+        }
+        SimdMode::Scalar => {
+            let (left, center, right) = (&mid[..n - 2], &mid[1..n - 1], &mid[2..]);
+            let (up, dn) = (&up[1..n - 1], &dn[1..n - 1]);
+            let brow = &brow[1..n - 1];
+            let out = &mut out[1..n - 1];
+            for j in 0..out.len() {
+                let ax = (4.0 * center[j] - up[j] - dn[j] - left[j] - right[j]) * inv_h2;
+                out[j] = brow[j] - ax;
+            }
+        }
     }
 }
 
@@ -101,6 +127,7 @@ pub fn residual(x: &Grid2d, b: &Grid2d, r: &mut Grid2d, exec: &Exec) {
     assert_eq!(x.n(), r.n(), "size mismatch in residual (x vs r)");
     let n = x.n();
     let inv_h2 = x.inv_h2();
+    let mode = exec.simd();
     let rp = GridPtr::new(r);
     exec.for_rows(1, n - 1, |i| {
         // SAFETY: row `i` of `r` is written by exactly one task; `x`, `b`
@@ -113,6 +140,7 @@ pub fn residual(x: &Grid2d, b: &Grid2d, r: &mut Grid2d, exec: &Exec) {
             row(b, i),
             inv_h2,
             out_row,
+            mode,
         );
     });
     zero_boundary_ring(r);
@@ -121,17 +149,42 @@ pub fn residual(x: &Grid2d, b: &Grid2d, r: &mut Grid2d, exec: &Exec) {
 /// Combine three fine rows (`2ic-1`, `2ic`, `2ic+1` for coarse row
 /// `ic`) into one coarse row by full weighting, writing
 /// `coarse_row[1..nc-1]`. Weight order matches
-/// [`crate::restrict_full_weighting`] exactly, so compositions built
-/// from this primitive stay bitwise equal to the unfused reference.
+/// [`crate::restrict_full_weighting`] exactly (which itself runs
+/// through this primitive), so compositions built from it stay bitwise
+/// equal to the unfused reference — in both [`SimdMode`]s.
 #[inline]
-pub fn restrict_rows_into(r_up: &[f64], r_mid: &[f64], r_dn: &[f64], coarse_row: &mut [f64]) {
+pub fn restrict_rows_into(
+    r_up: &[f64],
+    r_mid: &[f64],
+    r_dn: &[f64],
+    coarse_row: &mut [f64],
+    mode: SimdMode,
+) {
     let nc = coarse_row.len();
-    for (jc, out) in coarse_row.iter_mut().enumerate().take(nc - 1).skip(1) {
-        let fj = 2 * jc;
-        let center = r_mid[fj];
-        let edges = r_up[fj] + r_dn[fj] + r_mid[fj - 1] + r_mid[fj + 1];
-        let corners = r_up[fj - 1] + r_up[fj + 1] + r_dn[fj - 1] + r_dn[fj + 1];
-        *out = (4.0 * center + 2.0 * edges + corners) / 16.0;
+    match mode {
+        SimdMode::Vector => {
+            debug_assert!(r_mid.len() > 2 * (nc - 1));
+            // SAFETY: the fine rows hold at least `2(nc-1)+1` values
+            // and `coarse_row` (a distinct `&mut`) holds `nc`.
+            unsafe {
+                simd::restrict_row(
+                    r_up.as_ptr(),
+                    r_mid.as_ptr(),
+                    r_dn.as_ptr(),
+                    coarse_row.as_mut_ptr(),
+                    nc,
+                );
+            }
+        }
+        SimdMode::Scalar => {
+            for (jc, out) in coarse_row.iter_mut().enumerate().take(nc - 1).skip(1) {
+                let fj = 2 * jc;
+                let center = r_mid[fj];
+                let edges = r_up[fj] + r_dn[fj] + r_mid[fj - 1] + r_mid[fj + 1];
+                let corners = r_up[fj - 1] + r_up[fj + 1] + r_dn[fj - 1] + r_dn[fj + 1];
+                *out = (4.0 * center + 2.0 * edges + corners) / 16.0;
+            }
+        }
     }
 }
 
@@ -178,6 +231,7 @@ pub fn residual_restrict(x: &Grid2d, b: &Grid2d, coarse: &mut Grid2d, ws: &Works
         "coarse grid size mismatch in residual_restrict"
     );
     let inv_h2 = x.inv_h2();
+    let mode = exec.simd();
 
     let cp = GridPtr::new(coarse);
     exec.for_row_bands(1, nc - 1, |c_lo, c_hi| {
@@ -199,6 +253,7 @@ pub fn residual_restrict(x: &Grid2d, b: &Grid2d, coarse: &mut Grid2d, ws: &Works
                 row(b, fi),
                 inv_h2,
                 out,
+                mode,
             );
         };
         // Prime the window for the band's first coarse row (fine rows
@@ -211,7 +266,7 @@ pub fn residual_restrict(x: &Grid2d, b: &Grid2d, coarse: &mut Grid2d, ws: &Works
             // coarse row is written by exactly one task; `x` and `b`
             // are only read.
             let crow = unsafe { std::slice::from_raw_parts_mut(cp.row_mut(ic), nc) };
-            restrict_rows_into(rows[0], rows[1], rows[2], crow);
+            restrict_rows_into(rows[0], rows[1], rows[2], crow, mode);
             if ic + 1 < c_hi {
                 // Slide to fine rows 2ic+1, 2ic+2, 2ic+3.
                 rows.rotate_left(2);

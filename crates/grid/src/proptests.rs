@@ -317,3 +317,110 @@ proptest! {
         prop_assert!((nsc - alpha.abs() * na).abs() < 1e-9 * nsc.max(1.0));
     }
 }
+
+/// Strategy: a flat pool of values the SIMD twins tests slice
+/// arbitrary-length rows out of (the shim proptest has no flat_map, so
+/// lengths are sampled separately and the pool is truncated).
+fn value_pool() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 1024)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The vector residual row is bitwise equal to its scalar twin on
+    /// arbitrary row lengths (tails of 0–3 elements included).
+    #[test]
+    fn residual_row_vector_bitwise_equals_scalar(
+        pool in value_pool(),
+        n in 3usize..48,
+        inv_h2 in 1.0f64..1e6,
+    ) {
+        let row = |k: usize| pool[k * n..(k + 1) * n].to_vec();
+        let (up, mid, dn, brow) = (row(0), row(1), row(2), row(3));
+        let mut out_s = vec![7.0; n];
+        let mut out_v = vec![7.0; n];
+        residual_row_into(&up, &mid, &dn, &brow, inv_h2, &mut out_s, SimdMode::Scalar);
+        residual_row_into(&up, &mid, &dn, &brow, inv_h2, &mut out_v, SimdMode::Vector);
+        prop_assert_eq!(out_s, out_v);
+    }
+
+    /// The vector full-weighting restriction row is bitwise equal to
+    /// its scalar twin for every coarse width.
+    #[test]
+    fn restrict_row_vector_bitwise_equals_scalar(
+        pool in value_pool(),
+        nc in 3usize..32,
+    ) {
+        let nf = 2 * (nc - 1) + 1;
+        let row = |k: usize| pool[k * nf..(k + 1) * nf].to_vec();
+        let (r_up, r_mid, r_dn) = (row(0), row(1), row(2));
+        let mut out_s = vec![3.0; nc];
+        let mut out_v = vec![3.0; nc];
+        restrict_rows_into(&r_up, &r_mid, &r_dn, &mut out_s, SimdMode::Scalar);
+        restrict_rows_into(&r_up, &r_mid, &r_dn, &mut out_v, SimdMode::Vector);
+        prop_assert_eq!(out_s, out_v);
+    }
+
+    /// The vector interpolation-correction row is bitwise equal to its
+    /// scalar twin, on both coincident and midpoint rows.
+    #[test]
+    fn interpolate_row_vector_bitwise_equals_scalar(
+        pool in value_pool(),
+        nc in 3usize..24,
+        fi_half in 1usize..8,
+    ) {
+        let nf = 2 * (nc - 1) + 1;
+        let cs: Vec<f64> = pool[..nc * nc].to_vec();
+        let base: Vec<f64> = pool[nc * nc..nc * nc + nf].to_vec();
+        // One coincident and one midpoint row inside the fine interior.
+        for fi in [2 * (fi_half % (nc - 1)).max(1), (2 * (fi_half % (nc - 1)) + 1).min(nf - 2)] {
+            let mut f_s = base.clone();
+            let mut f_v = base.clone();
+            interpolate_correct_row(fi, &cs, nc, &mut f_s, SimdMode::Scalar);
+            interpolate_correct_row(fi, &cs, nc, &mut f_v, SimdMode::Vector);
+            prop_assert_eq!(&f_s, &f_v);
+        }
+    }
+
+    /// Whole-kernel parity: every public grid kernel produces identical
+    /// bits under forced-scalar and forced-vector policies, across
+    /// grid sizes that exercise every remainder-tail class.
+    #[test]
+    fn grid_kernels_mode_invariant(
+        x in any_grid(17, 50.0),
+        b in any_grid(17, 50.0),
+    ) {
+        let ws = Workspace::new();
+        let e_s = Exec::seq().with_simd(SimdPolicy::Scalar);
+        let e_v = Exec::seq().with_simd(SimdPolicy::Vector);
+
+        let (mut r_s, mut r_v) = (Grid2d::zeros(17), Grid2d::zeros(17));
+        residual(&x, &b, &mut r_s, &e_s);
+        residual(&x, &b, &mut r_v, &e_v);
+        prop_assert_eq!(r_s.as_slice(), r_v.as_slice());
+
+        let (mut c_s, mut c_v) = (Grid2d::zeros(9), Grid2d::zeros(9));
+        restrict_full_weighting(&r_s, &mut c_s, &e_s);
+        restrict_full_weighting(&r_v, &mut c_v, &e_v);
+        prop_assert_eq!(c_s.as_slice(), c_v.as_slice());
+
+        let (mut f_s, mut f_v) = (x.clone(), x.clone());
+        interpolate_correct(&c_s, &mut f_s, &e_s);
+        interpolate_correct(&c_v, &mut f_v, &e_v);
+        prop_assert_eq!(f_s.as_slice(), f_v.as_slice());
+
+        let (mut rr_s, mut rr_v) = (Grid2d::zeros(9), Grid2d::zeros(9));
+        residual_restrict(&x, &b, &mut rr_s, &ws, &e_s);
+        residual_restrict(&x, &b, &mut rr_v, &ws, &e_v);
+        prop_assert_eq!(rr_s.as_slice(), rr_v.as_slice());
+
+        // Norms: both modes run the fixed-lane tree — identical bits.
+        prop_assert_eq!(l2_diff(&x, &b, &e_s).to_bits(), l2_diff(&x, &b, &e_v).to_bits());
+        prop_assert_eq!(
+            dot_interior(&x, &b, &e_s).to_bits(),
+            dot_interior(&x, &b, &e_v).to_bits()
+        );
+        prop_assert_eq!(max_diff(&x, &b, &e_s), max_diff(&x, &b, &e_v));
+    }
+}

@@ -1,0 +1,1236 @@
+//! Explicit SIMD layer for the stencil hot path.
+//!
+//! Every shared row primitive — the residual row, full-weighting
+//! restriction row, interpolation-correction row, red/black SOR row,
+//! Jacobi row, and the norm/dot reductions — is written **once** over a
+//! portable four-lane `f64` abstraction (the private `Lanes` trait)
+//! and instantiated
+//! three ways:
+//!
+//! * a **portable** `[f64; 4]` backend (always compiled — the scalar
+//!   fallback for [`SimdMode::Vector`] when no ISA backend applies),
+//! * a **`core::arch` AVX2+FMA** backend on `x86_64` behind the `simd`
+//!   cargo feature, selected by runtime CPU detection,
+//! * a **`core::arch` NEON** backend on `aarch64` behind the same
+//!   feature (NEON is baseline on aarch64, so no runtime probe).
+//!
+//! ## Determinism rules
+//!
+//! * **Stencil kernels are bitwise identical to their scalar twins.**
+//!   Each output element is computed by the same IEEE-754 expression in
+//!   the same association order, whether it runs in a scalar loop, a
+//!   portable lane, or an AVX2/NEON lane; remainder tails use the
+//!   scalar expression verbatim. Rust never contracts `a * b + c` into
+//!   a fused multiply-add implicitly, so enabling FMA at the ISA level
+//!   does not change results. This is property-tested in this crate.
+//! * **Reductions use a fixed-lane deterministic tree.** The norms and
+//!   dot products accumulate into four lanes (`acc[k] += row[4i + k]`)
+//!   and combine as `(acc0 + acc1) + (acc2 + acc3)`, then fold the
+//!   0–3 element tail sequentially. *Both* [`SimdMode::Scalar`] and
+//!   [`SimdMode::Vector`] run this same algorithm, so norm results are
+//!   bitwise identical across modes, backends, and runs — they differ
+//!   (by ulps) only from the pre-SIMD sequential fold.
+//!
+//! Because every mode produces identical bits, [`SimdPolicy`] is a
+//! *pure performance* knob, exactly like the band height and temporal
+//! depth: the autotuner can search it per level without re-validating
+//! accuracy, and coarse grids where vector setup overhead loses tune
+//! back to scalar automatically.
+
+/// Which lane path a kernel invocation actually runs: the resolved form
+/// of a [`SimdPolicy`]. Carried by `Exec` and threaded to every row
+/// primitive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SimdMode {
+    /// Classic scalar loops (the reference semantics).
+    Scalar,
+    /// Four-lane kernels: AVX2+FMA or NEON when compiled in and
+    /// available, otherwise the portable lane fallback. Bitwise
+    /// identical to [`SimdMode::Scalar`] for stencils by construction.
+    #[default]
+    Vector,
+}
+
+impl SimdMode {
+    /// Short lower-case name (`scalar` / `vector`) for logs and bench
+    /// records.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdMode::Scalar => "scalar",
+            SimdMode::Vector => "vector",
+        }
+    }
+}
+
+/// The tuner-visible vectorization knob: how a level's kernels choose
+/// between the scalar and vector row paths.
+///
+/// All three settings produce bitwise identical results (see the
+/// module docs), so this is a pure performance axis in
+/// `kernel_exec_space()`.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum SimdPolicy {
+    /// Use the vector path whenever a real ISA backend is compiled in
+    /// and the CPU supports it; scalar otherwise. The default.
+    #[default]
+    Auto,
+    /// Force the scalar loops.
+    Scalar,
+    /// Force the vector path (falls back to the portable lane
+    /// implementation when no ISA backend applies, so it is always
+    /// safe to request).
+    Vector,
+}
+
+impl SimdPolicy {
+    /// Resolve the policy against the running machine.
+    pub fn resolve(self) -> SimdMode {
+        match self {
+            SimdPolicy::Auto => {
+                if vector_available() {
+                    SimdMode::Vector
+                } else {
+                    SimdMode::Scalar
+                }
+            }
+            SimdPolicy::Scalar => SimdMode::Scalar,
+            SimdPolicy::Vector => SimdMode::Vector,
+        }
+    }
+
+    /// Short lower-case name (`auto` / `scalar` / `vector`) — also the
+    /// choice labels of the `simd` axis in `kernel_exec_space()`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdPolicy::Auto => "auto",
+            SimdPolicy::Scalar => "scalar",
+            SimdPolicy::Vector => "vector",
+        }
+    }
+
+    /// All policies, index-aligned with [`SimdPolicy::index`] and the
+    /// `simd` switch axis of `kernel_exec_space()`.
+    pub const ALL: [SimdPolicy; 3] = [SimdPolicy::Auto, SimdPolicy::Scalar, SimdPolicy::Vector];
+
+    /// The policy's index into [`SimdPolicy::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            SimdPolicy::Auto => 0,
+            SimdPolicy::Scalar => 1,
+            SimdPolicy::Vector => 2,
+        }
+    }
+
+    /// Inverse of [`SimdPolicy::index`] (out-of-range clamps to
+    /// `Auto`, so config round-trips can never panic).
+    pub fn from_index(i: usize) -> SimdPolicy {
+        SimdPolicy::ALL.get(i).copied().unwrap_or(SimdPolicy::Auto)
+    }
+}
+
+/// Whether a real ISA vector backend is compiled in **and** supported
+/// by the running CPU. `false` means [`SimdMode::Vector`] runs the
+/// portable lane fallback (still bitwise correct, rarely faster).
+pub fn vector_available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        avx2_available()
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    {
+        true
+    }
+    #[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    {
+        false
+    }
+}
+
+/// Name of the backend [`SimdMode::Vector`] dispatches to on this
+/// build + machine: `"avx2"`, `"neon"`, or `"portable"`. Recorded in
+/// the `simd_sweep` bench section.
+pub fn vector_backend() -> &'static str {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if avx2_available() {
+            return "avx2";
+        }
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    {
+        return "neon";
+    }
+    #[allow(unreachable_code)]
+    "portable"
+}
+
+/// Cached runtime probe for AVX2 + FMA (both must be present: the
+/// vector kernels are compiled with `target_feature(enable =
+/// "avx2,fma")`).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let ok = std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma");
+            STATE.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
+            ok
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The four-lane abstraction
+// ---------------------------------------------------------------------
+
+/// Four `f64` lanes. Implementations must be bit-transparent: lane `k`
+/// of every arithmetic op is exactly the scalar IEEE-754 op on lane `k`
+/// of the inputs (no reassociation, no implicit FMA contraction).
+trait Lanes: Copy {
+    /// Broadcast.
+    fn splat(v: f64) -> Self;
+    /// Load 4 consecutive values (unaligned).
+    ///
+    /// # Safety
+    /// `p` must be valid for 4 reads.
+    unsafe fn load(p: *const f64) -> Self;
+    /// Store 4 consecutive values (unaligned).
+    ///
+    /// # Safety
+    /// `p` must be valid for 4 writes.
+    unsafe fn store(self, p: *mut f64);
+    /// Load 8 consecutive values, split into (evens, odds):
+    /// `p[0],p[2],p[4],p[6]` and `p[1],p[3],p[5],p[7]`.
+    ///
+    /// # Safety
+    /// `p` must be valid for 8 reads.
+    unsafe fn load2(p: *const f64) -> (Self, Self)
+    where
+        Self: Sized;
+    /// Store (evens, odds) interleaved into 8 consecutive values.
+    ///
+    /// # Safety
+    /// `p` must be valid for 8 writes.
+    unsafe fn store2(even: Self, odd: Self, p: *mut f64);
+    /// Store lane `k` to `p[2k]`, leaving the odd slots untouched (the
+    /// red/black stride-2 write).
+    ///
+    /// # Safety
+    /// `p[0], p[2], p[4], p[6]` must be valid for writes, and no other
+    /// thread may concurrently access those slots.
+    unsafe fn store_spaced(self, p: *mut f64);
+    /// Like [`Lanes::load2`], but the lane order within each returned
+    /// vector is implementation-defined (a fixed permutation). All
+    /// `load2_perm` results share the same permutation, so lane-wise
+    /// arithmetic between them stays element-aligned;
+    /// [`Lanes::store_spaced_perm`] inverts the permutation on the way
+    /// out. Lets backends skip cross-lane shuffles (e.g. AVX2 drops
+    /// two `vpermpd` per load next to [`Lanes::load2`]).
+    ///
+    /// # Safety
+    /// `p` must be valid for 8 reads.
+    unsafe fn load2_perm(p: *const f64) -> (Self, Self)
+    where
+        Self: Sized,
+    {
+        // SAFETY: forwarded contract.
+        unsafe { Self::load2(p) }
+    }
+    /// Scatter lanes to `p[0], p[2], p[4], p[6]`, inverting the
+    /// [`Lanes::load2_perm`] lane order.
+    ///
+    /// # Safety
+    /// Same contract as [`Lanes::store_spaced`].
+    unsafe fn store_spaced_perm(self, p: *mut f64)
+    where
+        Self: Sized,
+    {
+        // SAFETY: forwarded contract.
+        unsafe { self.store_spaced(p) }
+    }
+    /// Lane-wise `+`.
+    fn add(self, o: Self) -> Self;
+    /// Lane-wise `-`.
+    fn sub(self, o: Self) -> Self;
+    /// Lane-wise `*`.
+    fn mul(self, o: Self) -> Self;
+    /// Lane-wise `/`.
+    fn div(self, o: Self) -> Self;
+    /// Lane-wise IEEE max (inputs are never NaN here).
+    fn max(self, o: Self) -> Self;
+    /// Lane-wise absolute value.
+    fn abs(self) -> Self;
+    /// Extract the lanes.
+    fn to_array(self) -> [f64; 4];
+}
+
+/// The portable backend: plain `[f64; 4]` lane arithmetic. Always
+/// compiled; serves [`SimdMode::Vector`] when no ISA backend applies
+/// and defines the reference semantics the ISA backends must match
+/// bit for bit.
+#[derive(Clone, Copy)]
+struct Portable([f64; 4]);
+
+impl Lanes for Portable {
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        Portable([v; 4])
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        unsafe { Portable([*p, *p.add(1), *p.add(2), *p.add(3)]) }
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        unsafe {
+            *p = self.0[0];
+            *p.add(1) = self.0[1];
+            *p.add(2) = self.0[2];
+            *p.add(3) = self.0[3];
+        }
+    }
+    #[inline(always)]
+    unsafe fn load2(p: *const f64) -> (Self, Self) {
+        unsafe {
+            (
+                Portable([*p, *p.add(2), *p.add(4), *p.add(6)]),
+                Portable([*p.add(1), *p.add(3), *p.add(5), *p.add(7)]),
+            )
+        }
+    }
+    #[inline(always)]
+    unsafe fn store2(even: Self, odd: Self, p: *mut f64) {
+        unsafe {
+            for k in 0..4 {
+                *p.add(2 * k) = even.0[k];
+                *p.add(2 * k + 1) = odd.0[k];
+            }
+        }
+    }
+    #[inline(always)]
+    unsafe fn store_spaced(self, p: *mut f64) {
+        unsafe {
+            for k in 0..4 {
+                *p.add(2 * k) = self.0[k];
+            }
+        }
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        Portable(std::array::from_fn(|k| self.0[k] + o.0[k]))
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        Portable(std::array::from_fn(|k| self.0[k] - o.0[k]))
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        Portable(std::array::from_fn(|k| self.0[k] * o.0[k]))
+    }
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        Portable(std::array::from_fn(|k| self.0[k] / o.0[k]))
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        Portable(std::array::from_fn(|k| self.0[k].max(o.0[k])))
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        Portable(std::array::from_fn(|k| self.0[k].abs()))
+    }
+    #[inline(always)]
+    fn to_array(self) -> [f64; 4] {
+        self.0
+    }
+}
+
+/// The `core::arch` AVX2+FMA backend. Methods wrap raw intrinsics;
+/// they must only *execute* inside the `target_feature(enable =
+/// "avx2,fma")` trampolines below, after the runtime probe passed.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[derive(Clone, Copy)]
+struct Avx(core::arch::x86_64::__m256d);
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+impl Lanes for Avx {
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_set1_pd(v)) }
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_loadu_pd(p)) }
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        use core::arch::x86_64::*;
+        unsafe { _mm256_storeu_pd(p, self.0) }
+    }
+    #[inline(always)]
+    unsafe fn load2(p: *const f64) -> (Self, Self) {
+        use core::arch::x86_64::*;
+        unsafe {
+            let a = _mm256_loadu_pd(p); // s0 s1 s2 s3
+            let b = _mm256_loadu_pd(p.add(4)); // s4 s5 s6 s7
+            let lo = _mm256_unpacklo_pd(a, b); // s0 s4 s2 s6
+            let hi = _mm256_unpackhi_pd(a, b); // s1 s5 s3 s7
+            (
+                Avx(_mm256_permute4x64_pd::<0b1101_1000>(lo)), // s0 s2 s4 s6
+                Avx(_mm256_permute4x64_pd::<0b1101_1000>(hi)), // s1 s3 s5 s7
+            )
+        }
+    }
+    #[inline(always)]
+    unsafe fn store2(even: Self, odd: Self, p: *mut f64) {
+        use core::arch::x86_64::*;
+        unsafe {
+            let lo = _mm256_unpacklo_pd(even.0, odd.0); // e0 o0 e2 o2
+            let hi = _mm256_unpackhi_pd(even.0, odd.0); // e1 o1 e3 o3
+            _mm256_storeu_pd(p, _mm256_permute2f128_pd::<0x20>(lo, hi)); // e0 o0 e1 o1
+            _mm256_storeu_pd(p.add(4), _mm256_permute2f128_pd::<0x31>(lo, hi)); // e2 o2 e3 o3
+        }
+    }
+    #[inline(always)]
+    unsafe fn store_spaced(self, p: *mut f64) {
+        use core::arch::x86_64::*;
+        unsafe {
+            // Four 64-bit lane stores (low/high halves of each 128-bit
+            // half). Scalar-width stores never touch the odd-color
+            // slots, so concurrent readers of the opposite color never
+            // race — and they are far cheaper than the
+            // permute + maskstore sequence on every current core.
+            let lo = _mm256_castpd256_pd128(self.0); // v0 v1
+            let hi = _mm256_extractf128_pd::<1>(self.0); // v2 v3
+            _mm_storel_pd(p, lo); // p[0] = v0
+            _mm_storeh_pd(p.add(2), lo); // p[2] = v1
+            _mm_storel_pd(p.add(4), hi); // p[4] = v2
+            _mm_storeh_pd(p.add(6), hi); // p[6] = v3
+        }
+    }
+    #[inline(always)]
+    unsafe fn load2_perm(p: *const f64) -> (Self, Self) {
+        use core::arch::x86_64::*;
+        unsafe {
+            let a = _mm256_loadu_pd(p); // s0 s1 s2 s3
+            let b = _mm256_loadu_pd(p.add(4)); // s4 s5 s6 s7
+                                               // Unpack only — evens come out as [e0, e2, e1, e3], odds as
+                                               // [o0, o2, o1, o3]; store_spaced_perm undoes the order.
+            (Avx(_mm256_unpacklo_pd(a, b)), Avx(_mm256_unpackhi_pd(a, b)))
+        }
+    }
+    #[inline(always)]
+    unsafe fn store_spaced_perm(self, p: *mut f64) {
+        use core::arch::x86_64::*;
+        unsafe {
+            // Lane order [v0, v2, v1, v3] (the load2_perm permutation).
+            let lo = _mm256_castpd256_pd128(self.0); // v0 v2
+            let hi = _mm256_extractf128_pd::<1>(self.0); // v1 v3
+            _mm_storel_pd(p, lo); // p[0] = v0
+            _mm_storeh_pd(p.add(4), lo); // p[4] = v2
+            _mm_storel_pd(p.add(2), hi); // p[2] = v1
+            _mm_storeh_pd(p.add(6), hi); // p[6] = v3
+        }
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_add_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_sub_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_mul_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_div_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_max_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_andnot_pd(_mm256_set1_pd(-0.0), self.0)) }
+    }
+    #[inline(always)]
+    fn to_array(self) -> [f64; 4] {
+        use core::arch::x86_64::*;
+        let mut out = [0.0; 4];
+        unsafe { _mm256_storeu_pd(out.as_mut_ptr(), self.0) };
+        out
+    }
+}
+
+/// The `core::arch` NEON backend: a pair of 128-bit registers. NEON is
+/// baseline on aarch64, so no runtime probe or trampoline is needed.
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+#[derive(Clone, Copy)]
+struct Neon(
+    core::arch::aarch64::float64x2_t,
+    core::arch::aarch64::float64x2_t,
+);
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+impl Lanes for Neon {
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        use core::arch::aarch64::*;
+        unsafe { Neon(vdupq_n_f64(v), vdupq_n_f64(v)) }
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        use core::arch::aarch64::*;
+        unsafe { Neon(vld1q_f64(p), vld1q_f64(p.add(2))) }
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        use core::arch::aarch64::*;
+        unsafe {
+            vst1q_f64(p, self.0);
+            vst1q_f64(p.add(2), self.1);
+        }
+    }
+    #[inline(always)]
+    unsafe fn load2(p: *const f64) -> (Self, Self) {
+        use core::arch::aarch64::*;
+        unsafe {
+            let a = vld2q_f64(p); // deinterleaves p[0..4]
+            let b = vld2q_f64(p.add(4)); // deinterleaves p[4..8]
+            (Neon(a.0, b.0), Neon(a.1, b.1))
+        }
+    }
+    #[inline(always)]
+    unsafe fn store2(even: Self, odd: Self, p: *mut f64) {
+        use core::arch::aarch64::*;
+        unsafe {
+            vst2q_f64(p, float64x2x2_t(even.0, odd.0));
+            vst2q_f64(p.add(4), float64x2x2_t(even.1, odd.1));
+        }
+    }
+    #[inline(always)]
+    unsafe fn store_spaced(self, p: *mut f64) {
+        use core::arch::aarch64::*;
+        unsafe {
+            *p = vgetq_lane_f64::<0>(self.0);
+            *p.add(2) = vgetq_lane_f64::<1>(self.0);
+            *p.add(4) = vgetq_lane_f64::<0>(self.1);
+            *p.add(6) = vgetq_lane_f64::<1>(self.1);
+        }
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        use core::arch::aarch64::*;
+        unsafe { Neon(vaddq_f64(self.0, o.0), vaddq_f64(self.1, o.1)) }
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        use core::arch::aarch64::*;
+        unsafe { Neon(vsubq_f64(self.0, o.0), vsubq_f64(self.1, o.1)) }
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        use core::arch::aarch64::*;
+        unsafe { Neon(vmulq_f64(self.0, o.0), vmulq_f64(self.1, o.1)) }
+    }
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        use core::arch::aarch64::*;
+        unsafe { Neon(vdivq_f64(self.0, o.0), vdivq_f64(self.1, o.1)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        use core::arch::aarch64::*;
+        unsafe { Neon(vmaxq_f64(self.0, o.0), vmaxq_f64(self.1, o.1)) }
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        use core::arch::aarch64::*;
+        unsafe { Neon(vabsq_f64(self.0), vabsq_f64(self.1)) }
+    }
+    #[inline(always)]
+    fn to_array(self) -> [f64; 4] {
+        use core::arch::aarch64::*;
+        let mut out = [0.0; 4];
+        unsafe {
+            vst1q_f64(out.as_mut_ptr(), self.0);
+            vst1q_f64(out.as_mut_ptr().add(2), self.1);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generic kernel bodies (one definition per kernel, over any backend)
+// ---------------------------------------------------------------------
+
+mod body {
+    use super::Lanes;
+
+    /// Residual row over trimmed interior slices, all of length `m`:
+    /// `out[j] = brow[j] - (4·center[j] − up[j] − dn[j] − left[j] −
+    /// right[j]) · inv_h2`.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn residual_row<L: Lanes>(
+        up: *const f64,
+        left: *const f64,
+        center: *const f64,
+        right: *const f64,
+        dn: *const f64,
+        brow: *const f64,
+        inv_h2: f64,
+        out: *mut f64,
+        m: usize,
+    ) {
+        let four = L::splat(4.0);
+        let vinv = L::splat(inv_h2);
+        let mut j = 0usize;
+        unsafe {
+            while j + 4 <= m {
+                let c = L::load(center.add(j));
+                let u = L::load(up.add(j));
+                let d = L::load(dn.add(j));
+                let l = L::load(left.add(j));
+                let r = L::load(right.add(j));
+                // Same association as the scalar loop:
+                // (((4c − u) − d) − l) − r, then · inv_h2.
+                let ax = four.mul(c).sub(u).sub(d).sub(l).sub(r).mul(vinv);
+                L::load(brow.add(j)).sub(ax).store(out.add(j));
+                j += 4;
+            }
+            while j < m {
+                let ax =
+                    (4.0 * *center.add(j) - *up.add(j) - *dn.add(j) - *left.add(j) - *right.add(j))
+                        * inv_h2;
+                *out.add(j) = *brow.add(j) - ax;
+                j += 1;
+            }
+        }
+    }
+
+    /// Full-weighting restriction row: coarse columns `1..nc-1` from
+    /// three fine residual rows.
+    #[inline(always)]
+    pub(super) unsafe fn restrict_row<L: Lanes>(
+        r_up: *const f64,
+        r_mid: *const f64,
+        r_dn: *const f64,
+        coarse_row: *mut f64,
+        nc: usize,
+    ) {
+        let four = L::splat(4.0);
+        let two = L::splat(2.0);
+        let sixteen = L::splat(16.0);
+        let mut jc = 1usize;
+        unsafe {
+            // Vector chunk covers coarse columns jc..jc+4, fine columns
+            // 2jc-1 ..= 2jc+7; the load2 at 2jc+1 reads up to 2jc+8,
+            // which must stay <= n-1 = 2(nc-1)-... the guard below keeps
+            // every read in the fine row.
+            while jc + 5 <= nc && 2 * jc + 8 <= 2 * (nc - 1) {
+                let fj = 2 * jc;
+                // evens of load2(fj-1) = corners-left, odds = centers.
+                let (ul, uc) = L::load2(r_up.add(fj - 1));
+                let (ml, mc) = L::load2(r_mid.add(fj - 1));
+                let (dl, dc) = L::load2(r_dn.add(fj - 1));
+                // evens of load2(fj+1) = corners-right.
+                let (ur, _) = L::load2(r_up.add(fj + 1));
+                let (mr, _) = L::load2(r_mid.add(fj + 1));
+                let (dr, _) = L::load2(r_dn.add(fj + 1));
+                // edges = up[fj] + dn[fj] + mid[fj-1] + mid[fj+1]
+                let edges = uc.add(dc).add(ml).add(mr);
+                // corners = up[fj-1] + up[fj+1] + dn[fj-1] + dn[fj+1]
+                let corners = ul.add(ur).add(dl).add(dr);
+                // (4·center + 2·edges + corners) / 16
+                four.mul(mc)
+                    .add(two.mul(edges))
+                    .add(corners)
+                    .div(sixteen)
+                    .store(coarse_row.add(jc));
+                jc += 4;
+            }
+            while jc < nc - 1 {
+                let fj = 2 * jc;
+                let center = *r_mid.add(fj);
+                let edges = *r_up.add(fj) + *r_dn.add(fj) + *r_mid.add(fj - 1) + *r_mid.add(fj + 1);
+                let corners =
+                    *r_up.add(fj - 1) + *r_up.add(fj + 1) + *r_dn.add(fj - 1) + *r_dn.add(fj + 1);
+                *coarse_row.add(jc) = (4.0 * center + 2.0 * edges + corners) / 16.0;
+                jc += 1;
+            }
+        }
+    }
+
+    /// Coincident-row interpolation correction: `frow[2jc] += c0[jc]`,
+    /// `frow[2jc+1] += ½(c0[jc] + c0[jc+1])` for `jc in 1..nc-1` (the
+    /// `jc = 0` prologue is handled by the caller).
+    #[inline(always)]
+    pub(super) unsafe fn interp_row_even<L: Lanes>(c0: *const f64, frow: *mut f64, nc: usize) {
+        let half = L::splat(0.5);
+        let mut jc = 1usize;
+        unsafe {
+            while jc + 5 <= nc {
+                let a = L::load(c0.add(jc));
+                let b = L::load(c0.add(jc + 1));
+                let (fe, fo) = L::load2(frow.add(2 * jc));
+                let even = fe.add(a);
+                let odd = fo.add(half.mul(a.add(b)));
+                L::store2(even, odd, frow.add(2 * jc));
+                jc += 4;
+            }
+            while jc < nc - 1 {
+                *frow.add(2 * jc) += *c0.add(jc);
+                *frow.add(2 * jc + 1) += 0.5 * (*c0.add(jc) + *c0.add(jc + 1));
+                jc += 1;
+            }
+        }
+    }
+
+    /// Midpoint-row interpolation correction: `frow[2jc] += ½(c0[jc] +
+    /// c1[jc])`, `frow[2jc+1] += ¼(c0[jc] + c0[jc+1] + c1[jc] +
+    /// c1[jc+1])` for `jc in 1..nc-1`.
+    #[inline(always)]
+    pub(super) unsafe fn interp_row_odd<L: Lanes>(
+        c0: *const f64,
+        c1: *const f64,
+        frow: *mut f64,
+        nc: usize,
+    ) {
+        let half = L::splat(0.5);
+        let quarter = L::splat(0.25);
+        let mut jc = 1usize;
+        unsafe {
+            while jc + 5 <= nc {
+                let a0 = L::load(c0.add(jc));
+                let b0 = L::load(c0.add(jc + 1));
+                let a1 = L::load(c1.add(jc));
+                let b1 = L::load(c1.add(jc + 1));
+                let (fe, fo) = L::load2(frow.add(2 * jc));
+                let even = fe.add(half.mul(a0.add(a1)));
+                // ((c0[jc] + c0[jc+1]) + c1[jc]) + c1[jc+1], scalar order.
+                let odd = fo.add(quarter.mul(a0.add(b0).add(a1).add(b1)));
+                L::store2(even, odd, frow.add(2 * jc));
+                jc += 4;
+            }
+            while jc < nc - 1 {
+                *frow.add(2 * jc) += 0.5 * (*c0.add(jc) + *c1.add(jc));
+                *frow.add(2 * jc + 1) +=
+                    0.25 * (*c0.add(jc) + *c0.add(jc + 1) + *c1.add(jc) + *c1.add(jc + 1));
+                jc += 1;
+            }
+        }
+    }
+
+    /// Red/black SOR row update: color cells `j0, j0+2, ...` of `mid`,
+    /// stride-2 handled by deinterleaved loads and color-masked stores.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn sor_row<L: Lanes>(
+        up: *const f64,
+        mid: *mut f64,
+        dn: *const f64,
+        brow: *const f64,
+        n: usize,
+        h2: f64,
+        omega: f64,
+        j0: usize,
+    ) {
+        let vh2 = L::splat(h2);
+        let vomega = L::splat(omega);
+        let quarter = L::splat(0.25);
+        let mut j = j0;
+        unsafe {
+            // Four color cells at j, j+2, j+4, j+6; the widest read is
+            // the deinterleaved load at j+1 (touching j+8). Permuted
+            // deinterleave: every input shares one lane permutation,
+            // so the arithmetic stays element-aligned and the spaced
+            // store inverts the order.
+            while j + 9 <= n {
+                let (u, _) = L::load2_perm(up.add(j));
+                let (d, _) = L::load2_perm(dn.add(j));
+                let (l, old) = L::load2_perm(mid.add(j - 1)); // evens j-1+2k, odds j+2k
+                let (r, _) = L::load2_perm(mid.add(j + 1));
+                let (b, _) = L::load2_perm(brow.add(j));
+                // nb = up[j] + dn[j] + mid[j-1] + mid[j+1]
+                let nb = u.add(d).add(l).add(r);
+                let gs = quarter.mul(nb.add(vh2.mul(b)));
+                let new = old.add(vomega.mul(gs.sub(old)));
+                new.store_spaced_perm(mid.add(j));
+                j += 8;
+            }
+            while j < n - 1 {
+                let nb = *up.add(j) + *dn.add(j) + *mid.add(j - 1) + *mid.add(j + 1);
+                let gs = 0.25 * (nb + h2 * *brow.add(j));
+                let old = *mid.add(j);
+                *mid.add(j) = old + omega * (gs - old);
+                j += 2;
+            }
+        }
+    }
+
+    /// Weighted-Jacobi row over trimmed interior slices of length `m`:
+    /// `out[j] = prev[j] + ω·(¼(up+dn+left+right + h²·b) − prev[j])`.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn jacobi_row<L: Lanes>(
+        up: *const f64,
+        dn: *const f64,
+        left: *const f64,
+        center: *const f64,
+        right: *const f64,
+        brow: *const f64,
+        h2: f64,
+        omega: f64,
+        out: *mut f64,
+        m: usize,
+    ) {
+        let vh2 = L::splat(h2);
+        let vomega = L::splat(omega);
+        let quarter = L::splat(0.25);
+        let mut j = 0usize;
+        unsafe {
+            while j + 4 <= m {
+                let nb = L::load(up.add(j))
+                    .add(L::load(dn.add(j)))
+                    .add(L::load(left.add(j)))
+                    .add(L::load(right.add(j)));
+                let jac = quarter.mul(nb.add(vh2.mul(L::load(brow.add(j)))));
+                let prev = L::load(center.add(j));
+                prev.add(vomega.mul(jac.sub(prev))).store(out.add(j));
+                j += 4;
+            }
+            while j < m {
+                let nb = *up.add(j) + *dn.add(j) + *left.add(j) + *right.add(j);
+                let jac = 0.25 * (nb + h2 * *brow.add(j));
+                let prev = *center.add(j);
+                *out.add(j) = prev + omega * (jac - prev);
+                j += 1;
+            }
+        }
+    }
+
+    /// Fixed-lane tree combine: `(a0 + a1) + (a2 + a3)`.
+    #[inline(always)]
+    fn tree(a: [f64; 4]) -> f64 {
+        (a[0] + a[1]) + (a[2] + a[3])
+    }
+
+    /// Σ v² with the fixed-lane deterministic reduction.
+    #[inline(always)]
+    pub(super) fn sum_sq<L: Lanes>(row: &[f64]) -> f64 {
+        let m = row.len();
+        let p = row.as_ptr();
+        let mut acc = L::splat(0.0);
+        let mut j = 0usize;
+        while j + 4 <= m {
+            let v = unsafe { L::load(p.add(j)) };
+            acc = acc.add(v.mul(v));
+            j += 4;
+        }
+        let mut total = tree(acc.to_array());
+        for &v in &row[j..] {
+            total += v * v;
+        }
+        total
+    }
+
+    /// Σ (a − b)² with the fixed-lane deterministic reduction.
+    #[inline(always)]
+    pub(super) fn sum_sq_diff<L: Lanes>(a: &[f64], b: &[f64]) -> f64 {
+        let m = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = L::splat(0.0);
+        let mut j = 0usize;
+        while j + 4 <= m {
+            let d = unsafe { L::load(pa.add(j)).sub(L::load(pb.add(j))) };
+            acc = acc.add(d.mul(d));
+            j += 4;
+        }
+        let mut total = tree(acc.to_array());
+        for (&x, &y) in a[j..m].iter().zip(&b[j..m]) {
+            let d = x - y;
+            total += d * d;
+        }
+        total
+    }
+
+    /// Σ a·b with the fixed-lane deterministic reduction.
+    #[inline(always)]
+    pub(super) fn dot_rows<L: Lanes>(a: &[f64], b: &[f64]) -> f64 {
+        let m = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = L::splat(0.0);
+        let mut j = 0usize;
+        while j + 4 <= m {
+            acc = acc.add(unsafe { L::load(pa.add(j)).mul(L::load(pb.add(j))) });
+            j += 4;
+        }
+        let mut total = tree(acc.to_array());
+        for (&x, &y) in a[j..m].iter().zip(&b[j..m]) {
+            total += x * y;
+        }
+        total
+    }
+
+    /// max |v| (order-insensitive, so it equals the sequential fold).
+    #[inline(always)]
+    pub(super) fn max_abs<L: Lanes>(row: &[f64]) -> f64 {
+        let m = row.len();
+        let p = row.as_ptr();
+        let mut acc = L::splat(0.0);
+        let mut j = 0usize;
+        while j + 4 <= m {
+            acc = acc.max(unsafe { L::load(p.add(j)) }.abs());
+            j += 4;
+        }
+        let a = acc.to_array();
+        let mut total = ((a[0].max(a[1])).max(a[2])).max(a[3]);
+        for &v in &row[j..] {
+            total = total.max(v.abs());
+        }
+        total
+    }
+
+    /// max |a − b|.
+    #[inline(always)]
+    pub(super) fn max_abs_diff<L: Lanes>(a: &[f64], b: &[f64]) -> f64 {
+        let m = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = L::splat(0.0);
+        let mut j = 0usize;
+        while j + 4 <= m {
+            acc = acc.max(unsafe { L::load(pa.add(j)).sub(L::load(pb.add(j))) }.abs());
+            j += 4;
+        }
+        let arr = acc.to_array();
+        let mut total = ((arr[0].max(arr[1])).max(arr[2])).max(arr[3]);
+        for (&x, &y) in a[j..m].iter().zip(&b[j..m]) {
+            total = total.max((x - y).abs());
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch: one entry point per kernel
+// ---------------------------------------------------------------------
+//
+// `dispatch!` expands to: an AVX2+FMA trampoline (x86_64 + `simd`
+// feature), a NEON instantiation (aarch64 + `simd` feature), and the
+// portable-lane fallback — picked at runtime per call. The trampoline
+// carries `#[target_feature]` so LLVM may schedule 256-bit code; the
+// runtime probe guards every entry.
+
+macro_rules! dispatch {
+    ($(#[$doc:meta])* $vis:vis unsafe fn $name:ident / $avx:ident ( $($arg:ident : $ty:ty),* $(,)? ) $(-> $ret:ty)?) => {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        #[target_feature(enable = "avx2,fma")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx($($arg: $ty),*) $(-> $ret)? {
+            unsafe { body::$name::<Avx>($($arg),*) }
+        }
+
+        $(#[$doc])*
+        #[allow(clippy::too_many_arguments)]
+        $vis unsafe fn $name($($arg: $ty),*) $(-> $ret)? {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            if avx2_available() {
+                return unsafe { $avx($($arg),*) };
+            }
+            #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+            return unsafe { body::$name::<Neon>($($arg),*) };
+            #[allow(unreachable_code)]
+            unsafe { body::$name::<Portable>($($arg),*) }
+        }
+    };
+    ($(#[$doc:meta])* $vis:vis fn $name:ident / $avx:ident = $body:ident ( $($arg:ident : $ty:ty),* $(,)? ) -> $ret:ty) => {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn $avx($($arg: $ty),*) -> $ret {
+            body::$body::<Avx>($($arg),*)
+        }
+
+        $(#[$doc])*
+        $vis fn $name($($arg: $ty),*) -> $ret {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            if avx2_available() {
+                // SAFETY: the probe confirmed AVX2+FMA.
+                return unsafe { $avx($($arg),*) };
+            }
+            #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+            return body::$body::<Neon>($($arg),*);
+            #[allow(unreachable_code)]
+            body::$body::<Portable>($($arg),*)
+        }
+    };
+}
+
+dispatch! {
+    /// Vector residual row over trimmed interior pointers (length `m`).
+    ///
+    /// # Safety
+    /// All pointers must be valid for `m` reads (`out` for `m` writes)
+    /// and `out` must not alias the inputs.
+    pub(crate) unsafe fn residual_row / residual_row_avx2(
+        up: *const f64, left: *const f64, center: *const f64, right: *const f64,
+        dn: *const f64, brow: *const f64, inv_h2: f64, out: *mut f64, m: usize,
+    )
+}
+
+dispatch! {
+    /// Vector full-weighting restriction row (coarse columns `1..nc-1`).
+    ///
+    /// # Safety
+    /// The three fine rows must be valid for `2(nc-1)+1` reads and
+    /// `coarse_row` for `nc` writes, with no aliasing.
+    pub(crate) unsafe fn restrict_row / restrict_row_avx2(
+        r_up: *const f64, r_mid: *const f64, r_dn: *const f64,
+        coarse_row: *mut f64, nc: usize,
+    )
+}
+
+dispatch! {
+    /// Vector coincident-row interpolation correction (columns
+    /// `2..2(nc-1)`; the caller handles `frow[1]`).
+    ///
+    /// # Safety
+    /// `c0` must be valid for `nc` reads and `frow` for `2(nc-1)+1`
+    /// reads and writes, with no aliasing.
+    pub(crate) unsafe fn interp_row_even / interp_row_even_avx2(
+        c0: *const f64, frow: *mut f64, nc: usize,
+    )
+}
+
+dispatch! {
+    /// Vector midpoint-row interpolation correction.
+    ///
+    /// # Safety
+    /// `c0`/`c1` must be valid for `nc` reads and `frow` for
+    /// `2(nc-1)+1` reads and writes, with no aliasing.
+    pub(crate) unsafe fn interp_row_odd / interp_row_odd_avx2(
+        c0: *const f64, c1: *const f64, frow: *mut f64, nc: usize,
+    )
+}
+
+dispatch! {
+    /// Vector red/black SOR row update starting at column `j0`
+    /// (stride 2).
+    ///
+    /// # Safety
+    /// Same contract as `petamg_solvers`' scalar row body: all rows
+    /// valid for `n` reads (`mid` for writes), no concurrent access to
+    /// the color cells of `mid`, and `j0 >= 1`.
+    pub unsafe fn sor_row / sor_row_avx2(
+        up: *const f64, mid: *mut f64, dn: *const f64, brow: *const f64,
+        n: usize, h2: f64, omega: f64, j0: usize,
+    )
+}
+
+dispatch! {
+    /// Vector weighted-Jacobi row over trimmed interior pointers.
+    ///
+    /// # Safety
+    /// All pointers valid for `m` reads (`out` for `m` writes); `out`
+    /// must not alias the inputs.
+    pub unsafe fn jacobi_row / jacobi_row_avx2(
+        up: *const f64, dn: *const f64, left: *const f64, center: *const f64,
+        right: *const f64, brow: *const f64, h2: f64, omega: f64,
+        out: *mut f64, m: usize,
+    )
+}
+
+dispatch! {
+    /// Σ v² over a row, fixed-lane deterministic tree reduction.
+    fn vec_sum_sq / sum_sq_avx2 = sum_sq(row: &[f64]) -> f64
+}
+
+dispatch! {
+    /// Σ (a−b)² over two rows, fixed-lane deterministic tree reduction.
+    fn vec_sum_sq_diff / sum_sq_diff_avx2 = sum_sq_diff(a: &[f64], b: &[f64]) -> f64
+}
+
+dispatch! {
+    /// Σ a·b over two rows, fixed-lane deterministic tree reduction.
+    fn vec_dot_rows / dot_rows_avx2 = dot_rows(a: &[f64], b: &[f64]) -> f64
+}
+
+dispatch! {
+    /// max |v| over a row.
+    fn vec_max_abs / max_abs_avx2 = max_abs(row: &[f64]) -> f64
+}
+
+dispatch! {
+    /// max |a−b| over two rows.
+    fn vec_max_abs_diff / max_abs_diff_avx2 = max_abs_diff(a: &[f64], b: &[f64]) -> f64
+}
+
+// Mode-aware reduction entry points. Both arms run the *same*
+// fixed-lane algorithm — `Scalar` pins the portable lane codegen,
+// `Vector` dispatches to the best compiled backend — so the result
+// bits are identical either way; only the instructions differ.
+
+/// Σ v² over a row (fixed-lane deterministic tree reduction).
+pub(crate) fn sum_sq(row: &[f64], mode: SimdMode) -> f64 {
+    match mode {
+        SimdMode::Scalar => body::sum_sq::<Portable>(row),
+        SimdMode::Vector => vec_sum_sq(row),
+    }
+}
+
+/// Σ (a−b)² over two rows (fixed-lane deterministic tree reduction).
+pub(crate) fn sum_sq_diff(a: &[f64], b: &[f64], mode: SimdMode) -> f64 {
+    match mode {
+        SimdMode::Scalar => body::sum_sq_diff::<Portable>(a, b),
+        SimdMode::Vector => vec_sum_sq_diff(a, b),
+    }
+}
+
+/// Σ a·b over two rows (fixed-lane deterministic tree reduction).
+pub(crate) fn dot_rows(a: &[f64], b: &[f64], mode: SimdMode) -> f64 {
+    match mode {
+        SimdMode::Scalar => body::dot_rows::<Portable>(a, b),
+        SimdMode::Vector => vec_dot_rows(a, b),
+    }
+}
+
+/// max |v| over a row.
+pub(crate) fn max_abs(row: &[f64], mode: SimdMode) -> f64 {
+    match mode {
+        SimdMode::Scalar => body::max_abs::<Portable>(row),
+        SimdMode::Vector => vec_max_abs(row),
+    }
+}
+
+/// max |a−b| over two rows.
+pub(crate) fn max_abs_diff(a: &[f64], b: &[f64], mode: SimdMode) -> f64 {
+    match mode {
+        SimdMode::Scalar => body::max_abs_diff::<Portable>(a, b),
+        SimdMode::Vector => vec_max_abs_diff(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_resolution() {
+        assert_eq!(SimdPolicy::Scalar.resolve(), SimdMode::Scalar);
+        assert_eq!(SimdPolicy::Vector.resolve(), SimdMode::Vector);
+        let auto = SimdPolicy::Auto.resolve();
+        if vector_available() {
+            assert_eq!(auto, SimdMode::Vector);
+        } else {
+            assert_eq!(auto, SimdMode::Scalar);
+        }
+    }
+
+    #[test]
+    fn policy_index_roundtrip() {
+        for p in SimdPolicy::ALL {
+            assert_eq!(SimdPolicy::from_index(p.index()), p);
+        }
+        assert_eq!(SimdPolicy::from_index(99), SimdPolicy::Auto);
+    }
+
+    #[test]
+    fn backend_name_is_consistent() {
+        let name = vector_backend();
+        assert!(["avx2", "neon", "portable"].contains(&name));
+        if name != "portable" {
+            assert!(vector_available());
+        }
+    }
+
+    #[test]
+    fn reductions_match_fixed_lane_reference() {
+        // The dispatched reduction must equal the portable fixed-lane
+        // algorithm bit for bit, for every tail length 0..=3.
+        for m in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 30, 33] {
+            let a: Vec<f64> = (0..m)
+                .map(|i| ((i * 37 + 11) % 17) as f64 / 3.0 - 2.0)
+                .collect();
+            let b: Vec<f64> = (0..m)
+                .map(|i| ((i * 13 + 5) % 23) as f64 / 7.0 - 1.0)
+                .collect();
+            for mode in [SimdMode::Scalar, SimdMode::Vector] {
+                assert_eq!(
+                    sum_sq(&a, mode).to_bits(),
+                    body::sum_sq::<Portable>(&a).to_bits(),
+                    "sum_sq m={m} {mode:?}"
+                );
+                assert_eq!(
+                    sum_sq_diff(&a, &b, mode).to_bits(),
+                    body::sum_sq_diff::<Portable>(&a, &b).to_bits(),
+                    "sum_sq_diff m={m} {mode:?}"
+                );
+                assert_eq!(
+                    dot_rows(&a, &b, mode).to_bits(),
+                    body::dot_rows::<Portable>(&a, &b).to_bits(),
+                    "dot m={m} {mode:?}"
+                );
+                assert_eq!(
+                    max_abs(&a, mode),
+                    body::max_abs::<Portable>(&a),
+                    "max m={m}"
+                );
+                assert_eq!(
+                    max_abs_diff(&a, &b, mode),
+                    body::max_abs_diff::<Portable>(&a, &b),
+                    "max_diff m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_row_vector_equals_scalar() {
+        for m in [1usize, 2, 3, 4, 5, 6, 7, 8, 11, 29] {
+            let mk = |s: usize| -> Vec<f64> {
+                (0..m + 2)
+                    .map(|i| ((i * 31 + s * 7) % 101) as f64 / 9.0 - 5.0)
+                    .collect()
+            };
+            let (up, mid, dn, brow) = (mk(1), mk(2), mk(3), mk(4));
+            let inv_h2 = (m as f64 + 1.0).powi(2);
+            let mut want = vec![0.0; m];
+            for j in 0..m {
+                let ax = (4.0 * mid[j + 1] - up[j + 1] - dn[j + 1] - mid[j] - mid[j + 2]) * inv_h2;
+                want[j] = brow[j + 1] - ax;
+            }
+            let mut got = vec![0.0; m];
+            unsafe {
+                residual_row(
+                    up.as_ptr().add(1),
+                    mid.as_ptr(),
+                    mid.as_ptr().add(1),
+                    mid.as_ptr().add(2),
+                    dn.as_ptr().add(1),
+                    brow.as_ptr().add(1),
+                    inv_h2,
+                    got.as_mut_ptr(),
+                    m,
+                );
+            }
+            assert_eq!(got, want, "m={m}");
+        }
+    }
+}

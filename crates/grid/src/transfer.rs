@@ -15,7 +15,8 @@
 //!   [`Exec`] policy because each output value is combined with the same
 //!   expression.
 
-use crate::{coarse_size, zero_boundary_ring, Exec, Grid2d, GridPtr};
+use crate::simd::{self, SimdMode};
+use crate::{coarse_size, restrict_rows_into, zero_boundary_ring, Exec, Grid2d, GridPtr};
 
 /// Full-weighting restriction of `fine` into `coarse` (overwrite):
 ///
@@ -40,6 +41,7 @@ pub fn restrict_full_weighting(fine: &Grid2d, coarse: &mut Grid2d, exec: &Exec) 
     );
     let cp = GridPtr::new(coarse);
     let fs = fine.as_slice();
+    let mode = exec.simd();
     exec.for_rows(1, nc - 1, |ic| {
         let fi = 2 * ic;
         let f_up = &fs[(fi - 1) * nf..fi * nf];
@@ -48,13 +50,9 @@ pub fn restrict_full_weighting(fine: &Grid2d, coarse: &mut Grid2d, exec: &Exec) 
         // SAFETY: each task writes one distinct coarse row; `fine` is
         // read-only.
         let crow = unsafe { std::slice::from_raw_parts_mut(cp.row_mut(ic), nc) };
-        for (jc, out) in crow.iter_mut().enumerate().take(nc - 1).skip(1) {
-            let fj = 2 * jc;
-            let center = f_mid[fj];
-            let edges = f_up[fj] + f_dn[fj] + f_mid[fj - 1] + f_mid[fj + 1];
-            let corners = f_up[fj - 1] + f_up[fj + 1] + f_dn[fj - 1] + f_dn[fj + 1];
-            *out = (4.0 * center + 2.0 * edges + corners) / 16.0;
-        }
+        // The shared full-weighting row primitive defines the weight
+        // order for every restriction path, fused or not.
+        restrict_rows_into(f_up, f_mid, f_dn, crow, mode);
     });
     // Zero coarse boundary.
     zero_boundary_ring(coarse);
@@ -144,25 +142,44 @@ fn interpolate_impl(coarse: &Grid2d, fine: &mut Grid2d, exec: &Exec, add: bool) 
 /// `petamg-solvers` reuse it on scratch rows, keeping all paths bitwise
 /// identical to [`interpolate_add`].
 #[inline]
-pub fn interpolate_correct_row(fi: usize, cs: &[f64], nc: usize, frow: &mut [f64]) {
+pub fn interpolate_correct_row(fi: usize, cs: &[f64], nc: usize, frow: &mut [f64], mode: SimdMode) {
     let ic = fi / 2;
     let c0 = &cs[ic * nc..(ic + 1) * nc];
     if fi.is_multiple_of(2) {
         // Coincident row: even columns take the coarse value, odd
         // columns average horizontal neighbors.
         frow[1] += 0.5 * (c0[0] + c0[1]);
-        for jc in 1..nc - 1 {
-            frow[2 * jc] += c0[jc];
-            frow[2 * jc + 1] += 0.5 * (c0[jc] + c0[jc + 1]);
+        match mode {
+            SimdMode::Vector => {
+                debug_assert!(frow.len() > 2 * (nc - 1));
+                // SAFETY: `c0` holds `nc` values, `frow` (a distinct
+                // `&mut`) holds the full fine row of `2(nc-1)+1`.
+                unsafe { simd::interp_row_even(c0.as_ptr(), frow.as_mut_ptr(), nc) }
+            }
+            SimdMode::Scalar => {
+                for jc in 1..nc - 1 {
+                    frow[2 * jc] += c0[jc];
+                    frow[2 * jc + 1] += 0.5 * (c0[jc] + c0[jc + 1]);
+                }
+            }
         }
     } else {
         // Midpoint row: even columns average vertical neighbors, odd
         // columns average the four surrounding coarse values.
         let c1 = &cs[(ic + 1) * nc..(ic + 2) * nc];
         frow[1] += 0.25 * (c0[0] + c0[1] + c1[0] + c1[1]);
-        for jc in 1..nc - 1 {
-            frow[2 * jc] += 0.5 * (c0[jc] + c1[jc]);
-            frow[2 * jc + 1] += 0.25 * (c0[jc] + c0[jc + 1] + c1[jc] + c1[jc + 1]);
+        match mode {
+            SimdMode::Vector => {
+                debug_assert!(frow.len() > 2 * (nc - 1));
+                // SAFETY: as above, with both coarse rows in bounds.
+                unsafe { simd::interp_row_odd(c0.as_ptr(), c1.as_ptr(), frow.as_mut_ptr(), nc) }
+            }
+            SimdMode::Scalar => {
+                for jc in 1..nc - 1 {
+                    frow[2 * jc] += 0.5 * (c0[jc] + c1[jc]);
+                    frow[2 * jc + 1] += 0.25 * (c0[jc] + c0[jc + 1] + c1[jc] + c1[jc + 1]);
+                }
+            }
         }
     }
 }
@@ -187,12 +204,13 @@ pub fn interpolate_correct(coarse: &Grid2d, fine: &mut Grid2d, exec: &Exec) {
     assert_eq!(nc, coarse_size(nf), "grid size mismatch in interpolation");
     let fp = GridPtr::new(fine);
     let cs = coarse.as_slice();
+    let mode = exec.simd();
     exec.for_row_bands(1, nf - 1, |b_lo, b_hi| {
         for fi in b_lo..b_hi {
             // SAFETY: bands partition the fine interior, so each fine
             // row is written by exactly one task; `coarse` is read-only.
             let frow = unsafe { std::slice::from_raw_parts_mut(fp.row_mut(fi), nf) };
-            interpolate_correct_row(fi, cs, nc, frow);
+            interpolate_correct_row(fi, cs, nc, frow, mode);
         }
     });
 }

@@ -16,8 +16,77 @@
 use crate::Grid2d;
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Cache-line alignment of every pooled row buffer: vector loads on
+/// leased scratch start on a 64-byte boundary, so a four-lane `f64`
+/// load at the buffer base never straddles cache lines. (Grid leases
+/// keep `Vec`-backed storage: stencil rows have odd lengths, so their
+/// row bases are unaligned regardless of the allocation base, and the
+/// vector kernels use unaligned loads throughout.)
+pub const BUFFER_ALIGN: usize = 64;
+
+/// A heap allocation of `f64`s aligned to [`BUFFER_ALIGN`] bytes — the
+/// storage behind pooled row buffers. `Vec<f64>` only guarantees
+/// 8-byte alignment, so the arena owns its allocations directly.
+struct AlignedBuf {
+    ptr: NonNull<f64>,
+    len: usize,
+}
+
+// SAFETY: AlignedBuf exclusively owns its allocation; moving it across
+// threads moves ownership exactly like Vec<f64>.
+unsafe impl Send for AlignedBuf {}
+
+impl AlignedBuf {
+    fn layout(len: usize) -> std::alloc::Layout {
+        std::alloc::Layout::from_size_align(len * std::mem::size_of::<f64>(), BUFFER_ALIGN)
+            .expect("buffer layout fits isize")
+    }
+
+    /// A zero-filled aligned allocation of `len` values.
+    fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedBuf {
+                ptr: NonNull::<f64>::dangling(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: len > 0, so the layout has non-zero size.
+        let raw = unsafe { std::alloc::alloc_zeroed(layout) } as *mut f64;
+        let ptr = NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout));
+        AlignedBuf { ptr, len }
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        // SAFETY: ptr/len describe this allocation (or a dangling,
+        // well-aligned pointer with len 0, which is a valid empty
+        // slice).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl DerefMut for AlignedBuf {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        // SAFETY: exclusively owned; see Deref.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: allocated in `zeroed` with exactly this layout.
+            unsafe { std::alloc::dealloc(self.ptr.as_ptr() as *mut u8, Self::layout(self.len)) };
+        }
+    }
+}
 
 /// Monotonic counters describing pool behaviour since construction.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -32,8 +101,8 @@ pub struct WorkspaceStats {
 struct Pools {
     /// Scratch grids keyed by side length `n`.
     grids: HashMap<usize, Vec<Grid2d>>,
-    /// Scratch row buffers keyed by length.
-    buffers: HashMap<usize, Vec<Vec<f64>>>,
+    /// Scratch row buffers keyed by length (64-byte-aligned storage).
+    buffers: HashMap<usize, Vec<AlignedBuf>>,
 }
 
 /// A pool of reusable scratch grids and row buffers.
@@ -137,7 +206,7 @@ impl Workspace {
             }
             None => {
                 self.allocations.fetch_add(1, Ordering::Relaxed);
-                vec![0.0; len]
+                AlignedBuf::zeroed(len)
             }
         };
         BufferLease {
@@ -169,7 +238,7 @@ impl Workspace {
             .push(grid);
     }
 
-    fn release_buffer(&self, buf: Vec<f64>) {
+    fn release_buffer(&self, buf: AlignedBuf) {
         lock(&self.pools)
             .buffers
             .entry(buf.len())
@@ -214,7 +283,7 @@ impl Drop for GridLease<'_> {
 /// [`Workspace`] on drop.
 pub struct BufferLease<'a> {
     ws: &'a Workspace,
-    buf: Option<Vec<f64>>,
+    buf: Option<AlignedBuf>,
 }
 
 impl Deref for BufferLease<'_> {
@@ -346,6 +415,23 @@ mod tests {
         // A fresh unzeroed allocation still starts zeroed.
         let g = ws.acquire_unzeroed(7);
         assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn leased_buffers_are_cache_line_aligned() {
+        // Vector loads on leased scratch must never straddle a cache
+        // line at the buffer base: every allocation — fresh or pooled,
+        // zeroed or not — starts on a 64-byte boundary.
+        let ws = Workspace::new();
+        for len in [1usize, 3, 8, 33, 99, 3 * 129] {
+            {
+                let b = ws.acquire_buffer(len);
+                assert_eq!(b.as_ptr() as usize % BUFFER_ALIGN, 0, "fresh len={len}");
+            }
+            // Pool round trip: the reused storage keeps its alignment.
+            let b = ws.acquire_buffer_unzeroed(len);
+            assert_eq!(b.as_ptr() as usize % BUFFER_ALIGN, 0, "pooled len={len}");
+        }
     }
 
     #[test]

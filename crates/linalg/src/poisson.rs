@@ -106,8 +106,8 @@ impl PoissonDirect {
     /// Convenience: residual L2 norm after a solve (diagnostic).
     pub fn residual_norm(&self, x: &Grid2d, b: &Grid2d) -> f64 {
         let mut r = Grid2d::zeros(self.n);
-        petamg_grid::residual(x, b, &mut r, &Exec::Seq);
-        petamg_grid::l2_norm_interior(&r, &Exec::Seq)
+        petamg_grid::residual(x, b, &mut r, &Exec::seq());
+        petamg_grid::l2_norm_interior(&r, &Exec::seq())
     }
 }
 
@@ -159,7 +159,7 @@ mod tests {
             solver.solve(&mut x, &b);
             let mut diff = x.clone();
             diff.axpy(-1.0, &exact);
-            let err = l2_norm_interior(&diff, &Exec::Seq);
+            let err = l2_norm_interior(&diff, &Exec::seq());
             assert!(err < 1e-9, "n={n}: err={err}");
         }
     }
@@ -173,7 +173,7 @@ mod tests {
         let solver = PoissonDirect::new(n).unwrap();
         solver.solve(&mut x, &b);
         let rnorm = solver.residual_norm(&x, &b);
-        let bnorm = l2_norm_interior(&b, &Exec::Seq);
+        let bnorm = l2_norm_interior(&b, &Exec::seq());
         assert!(
             rnorm <= 1e-9 * bnorm.max(1.0),
             "rel residual {}",

@@ -57,7 +57,8 @@
 use crate::relax::sor_row_update;
 use petamg_grid::{
     coarse_size, interpolate_correct, interpolate_correct_row, residual_restrict,
-    residual_row_into, restrict_rows_into, zero_boundary_ring, Exec, Grid2d, GridPtr, Workspace,
+    residual_row_into, restrict_rows_into, zero_boundary_ring, Exec, Grid2d, GridPtr, SimdMode,
+    Workspace,
 };
 
 /// One cursor step of the red/black wavefront over a row-major buffer.
@@ -84,6 +85,7 @@ unsafe fn wavefront_step(
     omega: f64,
     half_sweeps: usize,
     t: usize,
+    mode: SimdMode,
 ) {
     for s in 0..half_sweeps {
         if t < lo + s {
@@ -107,6 +109,7 @@ unsafe fn wavefront_step(
                 omega,
                 i,
                 s % 2,
+                mode,
             );
         }
     }
@@ -128,13 +131,14 @@ unsafe fn wavefront_sor(
     h2: f64,
     omega: f64,
     half_sweeps: usize,
+    mode: SimdMode,
 ) {
     if hi <= lo || half_sweeps == 0 {
         return;
     }
     for t in lo..hi + half_sweeps - 1 {
         // SAFETY: forwarded contract.
-        unsafe { wavefront_step(buf, bs, n, row0, lo, hi, h2, omega, half_sweeps, t) };
+        unsafe { wavefront_step(buf, bs, n, row0, lo, hi, h2, omega, half_sweeps, t, mode) };
     }
 }
 
@@ -207,52 +211,51 @@ pub fn sor_sweeps_blocked(
     };
     let half = 2 * sweeps;
     let bs = b.as_slice().as_ptr();
+    let mode = exec.simd();
 
-    match exec {
-        Exec::Seq => {
-            // In place: the wavefront is a single pass over the grid.
-            let buf = x.as_mut_slice().as_mut_ptr();
-            // SAFETY: sequential — no concurrent access; rows 1..n-1
-            // are interior, so the stencil stays in bounds.
-            unsafe { wavefront_sor(buf, bs, n, 0, 1, n - 1, h2, omega, half) };
-        }
-        _ => {
-            // Overlapped bands: tasks read the snapshot, write disjoint
-            // row ranges of `x`, and never read `x` itself.
-            let mut snap = ws.acquire_unzeroed(n);
-            snap.copy_from(x);
-            let snap: &Grid2d = &snap;
-            let xp = GridPtr::new(x);
-            exec.for_row_bands(1, n - 1, |r_lo, r_hi| {
-                let bs = b.as_slice().as_ptr();
-                let g = BandScratch::new(r_lo, r_hi, half, n);
-                let rows = g.rows();
-                let mut scratch = ws.acquire_buffer_unzeroed(rows * n);
-                scratch.copy_from_slice(&snap.as_slice()[g.g0 * n..g.g1 * n]);
-                // SAFETY: scratch is private to this task; after the
-                // wavefront, rows r_lo..r_hi carry exact final values
-                // (the halo absorbs all contamination), and bands
-                // partition the interior so each row of `x` is written
-                // by exactly one task.
-                unsafe {
-                    wavefront_sor(
-                        scratch.as_mut_ptr(),
-                        bs,
-                        n,
-                        g.g0,
-                        1,
-                        rows - 1,
-                        h2,
-                        omega,
-                        half,
-                    );
-                    for r in r_lo..r_hi {
-                        let src = &scratch[(r - g.g0) * n..(r - g.g0 + 1) * n];
-                        std::slice::from_raw_parts_mut(xp.row_mut(r), n).copy_from_slice(src);
-                    }
+    if exec.is_seq() {
+        // In place: the wavefront is a single pass over the grid.
+        let buf = x.as_mut_slice().as_mut_ptr();
+        // SAFETY: sequential — no concurrent access; rows 1..n-1
+        // are interior, so the stencil stays in bounds.
+        unsafe { wavefront_sor(buf, bs, n, 0, 1, n - 1, h2, omega, half, mode) };
+    } else {
+        // Overlapped bands: tasks read the snapshot, write disjoint
+        // row ranges of `x`, and never read `x` itself.
+        let mut snap = ws.acquire_unzeroed(n);
+        snap.copy_from(x);
+        let snap: &Grid2d = &snap;
+        let xp = GridPtr::new(x);
+        exec.for_row_bands(1, n - 1, |r_lo, r_hi| {
+            let bs = b.as_slice().as_ptr();
+            let g = BandScratch::new(r_lo, r_hi, half, n);
+            let rows = g.rows();
+            let mut scratch = ws.acquire_buffer_unzeroed(rows * n);
+            scratch.copy_from_slice(&snap.as_slice()[g.g0 * n..g.g1 * n]);
+            // SAFETY: scratch is private to this task; after the
+            // wavefront, rows r_lo..r_hi carry exact final values
+            // (the halo absorbs all contamination), and bands
+            // partition the interior so each row of `x` is written
+            // by exactly one task.
+            unsafe {
+                wavefront_sor(
+                    scratch.as_mut_ptr(),
+                    bs,
+                    n,
+                    g.g0,
+                    1,
+                    rows - 1,
+                    h2,
+                    omega,
+                    half,
+                    mode,
+                );
+                for r in r_lo..r_hi {
+                    let src = &scratch[(r - g.g0) * n..(r - g.g0 + 1) * n];
+                    std::slice::from_raw_parts_mut(xp.row_mut(r), n).copy_from_slice(src);
                 }
-            });
-        }
+            }
+        });
     }
 }
 
@@ -299,105 +302,111 @@ pub fn relax_residual_restrict(
     let inv_h2 = x.inv_h2();
     let half = 2 * sweeps;
     let bs = b.as_slice().as_ptr();
+    let mode = exec.simd();
 
-    match exec {
-        Exec::Seq => {
+    if exec.is_seq() {
+        let mut wbuf = ws.acquire_buffer_unzeroed(3 * n);
+        let (wa, rest) = wbuf.split_at_mut(n);
+        let (wb, wc) = rest.split_at_mut(n);
+        let win = [wa, wb, wc];
+        let buf = x.as_mut_slice().as_mut_ptr();
+        for t in 1..n - 1 + half {
+            // SAFETY: sequential; interior rows only.
+            unsafe { wavefront_step(buf, bs, n, 0, 1, n - 1, h2, omega, half, t, mode) };
+            // Residual row r = t - 2d: rows r-1..=r+1 finished their
+            // last half-sweep at cursors <= t, so they are final.
+            if t > half {
+                let r = t - half;
+                // SAFETY: rows r-1..r+1 are no longer written by any
+                // remaining stage (the wavefront has passed them).
+                let (up, mid, dn) = unsafe {
+                    (
+                        std::slice::from_raw_parts(buf.add((r - 1) * n), n),
+                        std::slice::from_raw_parts(buf.add(r * n), n),
+                        std::slice::from_raw_parts(buf.add((r + 1) * n), n),
+                    )
+                };
+                residual_row_into(up, mid, dn, b.row(r), inv_h2, win[r % 3], mode);
+                if r % 2 == 1 && r >= 3 {
+                    let ic = (r - 1) / 2;
+                    let crow = &mut coarse.as_mut_slice()[ic * nc..(ic + 1) * nc];
+                    restrict_rows_into(win[(r - 2) % 3], win[(r - 1) % 3], win[r % 3], crow, mode);
+                }
+            }
+        }
+    } else {
+        let mut snap = ws.acquire_unzeroed(n);
+        snap.copy_from(x);
+        let snap: &Grid2d = &snap;
+        let xp = GridPtr::new(x);
+        let cp = GridPtr::new(coarse);
+        exec.for_row_bands(1, nc - 1, |c_lo, c_hi| {
+            let bs = b.as_slice().as_ptr();
+            // Fine rows owned by this band of coarse rows; the last
+            // band also owns the final interior fine row, so bands
+            // partition 1..n-1 exactly.
+            let f_lo = 2 * c_lo - 1;
+            let f_hi = if c_hi == nc - 1 { n - 1 } else { 2 * c_hi - 1 };
+            // Rows that must come out exactly final: the owned fine
+            // rows plus the residual stencils of the owned coarse
+            // rows (fine rows 2c_lo-2 ..= 2c_hi).
+            let g = BandScratch::new(2 * c_lo - 2, 2 * c_hi + 1, half, n);
+            let rows = g.rows();
+            let mut scratch = ws.acquire_buffer_unzeroed(rows * n);
+            scratch.copy_from_slice(&snap.as_slice()[g.g0 * n..g.g1 * n]);
+            // SAFETY: private scratch; owned fine rows and the
+            // residual stencil rows sit `half` rows inside the halo,
+            // so their final values are exact; bands write disjoint
+            // fine and coarse rows.
+            unsafe {
+                wavefront_sor(
+                    scratch.as_mut_ptr(),
+                    bs,
+                    n,
+                    g.g0,
+                    1,
+                    rows - 1,
+                    h2,
+                    omega,
+                    half,
+                    mode,
+                );
+                for r in f_lo..f_hi {
+                    let src = &scratch[(r - g.g0) * n..(r - g.g0 + 1) * n];
+                    std::slice::from_raw_parts_mut(xp.row_mut(r), n).copy_from_slice(src);
+                }
+            }
+            // Fused residual + restriction over the relaxed scratch,
+            // rolling window keyed by fine row mod 3.
             let mut wbuf = ws.acquire_buffer_unzeroed(3 * n);
             let (wa, rest) = wbuf.split_at_mut(n);
             let (wb, wc) = rest.split_at_mut(n);
             let win = [wa, wb, wc];
-            let buf = x.as_mut_slice().as_mut_ptr();
-            for t in 1..n - 1 + half {
-                // SAFETY: sequential; interior rows only.
-                unsafe { wavefront_step(buf, bs, n, 0, 1, n - 1, h2, omega, half, t) };
-                // Residual row r = t - 2d: rows r-1..=r+1 finished their
-                // last half-sweep at cursors <= t, so they are final.
-                if t > half {
-                    let r = t - half;
-                    // SAFETY: rows r-1..r+1 are no longer written by any
-                    // remaining stage (the wavefront has passed them).
-                    let (up, mid, dn) = unsafe {
-                        (
-                            std::slice::from_raw_parts(buf.add((r - 1) * n), n),
-                            std::slice::from_raw_parts(buf.add(r * n), n),
-                            std::slice::from_raw_parts(buf.add((r + 1) * n), n),
-                        )
-                    };
-                    residual_row_into(up, mid, dn, b.row(r), inv_h2, win[r % 3]);
-                    if r % 2 == 1 && r >= 3 {
-                        let ic = (r - 1) / 2;
-                        let crow = &mut coarse.as_mut_slice()[ic * nc..(ic + 1) * nc];
-                        restrict_rows_into(win[(r - 2) % 3], win[(r - 1) % 3], win[r % 3], crow);
-                    }
+            let srow = |fi: usize| &scratch[(fi - g.g0) * n..(fi - g.g0 + 1) * n];
+            for fi in 2 * c_lo - 1..2 * c_hi {
+                residual_row_into(
+                    srow(fi - 1),
+                    srow(fi),
+                    srow(fi + 1),
+                    b.row(fi),
+                    inv_h2,
+                    win[fi % 3],
+                    mode,
+                );
+                if fi % 2 == 1 && fi > 2 * c_lo {
+                    let ic = (fi - 1) / 2;
+                    // SAFETY: each coarse row belongs to one band.
+                    let crow = unsafe { std::slice::from_raw_parts_mut(cp.row_mut(ic), nc) };
+                    restrict_rows_into(
+                        win[(fi - 2) % 3],
+                        win[(fi - 1) % 3],
+                        win[fi % 3],
+                        crow,
+                        mode,
+                    );
                 }
             }
-        }
-        _ => {
-            let mut snap = ws.acquire_unzeroed(n);
-            snap.copy_from(x);
-            let snap: &Grid2d = &snap;
-            let xp = GridPtr::new(x);
-            let cp = GridPtr::new(coarse);
-            exec.for_row_bands(1, nc - 1, |c_lo, c_hi| {
-                let bs = b.as_slice().as_ptr();
-                // Fine rows owned by this band of coarse rows; the last
-                // band also owns the final interior fine row, so bands
-                // partition 1..n-1 exactly.
-                let f_lo = 2 * c_lo - 1;
-                let f_hi = if c_hi == nc - 1 { n - 1 } else { 2 * c_hi - 1 };
-                // Rows that must come out exactly final: the owned fine
-                // rows plus the residual stencils of the owned coarse
-                // rows (fine rows 2c_lo-2 ..= 2c_hi).
-                let g = BandScratch::new(2 * c_lo - 2, 2 * c_hi + 1, half, n);
-                let rows = g.rows();
-                let mut scratch = ws.acquire_buffer_unzeroed(rows * n);
-                scratch.copy_from_slice(&snap.as_slice()[g.g0 * n..g.g1 * n]);
-                // SAFETY: private scratch; owned fine rows and the
-                // residual stencil rows sit `half` rows inside the halo,
-                // so their final values are exact; bands write disjoint
-                // fine and coarse rows.
-                unsafe {
-                    wavefront_sor(
-                        scratch.as_mut_ptr(),
-                        bs,
-                        n,
-                        g.g0,
-                        1,
-                        rows - 1,
-                        h2,
-                        omega,
-                        half,
-                    );
-                    for r in f_lo..f_hi {
-                        let src = &scratch[(r - g.g0) * n..(r - g.g0 + 1) * n];
-                        std::slice::from_raw_parts_mut(xp.row_mut(r), n).copy_from_slice(src);
-                    }
-                }
-                // Fused residual + restriction over the relaxed scratch,
-                // rolling window keyed by fine row mod 3.
-                let mut wbuf = ws.acquire_buffer_unzeroed(3 * n);
-                let (wa, rest) = wbuf.split_at_mut(n);
-                let (wb, wc) = rest.split_at_mut(n);
-                let win = [wa, wb, wc];
-                let srow = |fi: usize| &scratch[(fi - g.g0) * n..(fi - g.g0 + 1) * n];
-                for fi in 2 * c_lo - 1..2 * c_hi {
-                    residual_row_into(
-                        srow(fi - 1),
-                        srow(fi),
-                        srow(fi + 1),
-                        b.row(fi),
-                        inv_h2,
-                        win[fi % 3],
-                    );
-                    if fi % 2 == 1 && fi > 2 * c_lo {
-                        let ic = (fi - 1) / 2;
-                        // SAFETY: each coarse row belongs to one band.
-                        let crow = unsafe { std::slice::from_raw_parts_mut(cp.row_mut(ic), nc) };
-                        restrict_rows_into(win[(fi - 2) % 3], win[(fi - 1) % 3], win[fi % 3], crow);
-                    }
-                }
-            });
-        }
+        });
     }
     zero_boundary_ring(coarse);
 }
@@ -441,85 +450,85 @@ pub fn interpolate_correct_relax(
     let half = 2 * sweeps;
     let bs = b.as_slice().as_ptr();
     let cs = coarse.as_slice();
+    let mode = exec.simd();
 
-    match exec {
-        Exec::Seq => {
-            let buf = x.as_mut_slice().as_mut_ptr();
-            // Cursor: correction at lag 0, half-sweep s at lag s.
-            for t in 1..n - 1 + half {
-                if t < n - 1 {
-                    // SAFETY: sequential; the correction only touches
-                    // row t, which no trailing stage has reached yet.
-                    let frow = unsafe { std::slice::from_raw_parts_mut(buf.add(t * n), n) };
-                    interpolate_correct_row(t, cs, nc, frow);
+    if exec.is_seq() {
+        let buf = x.as_mut_slice().as_mut_ptr();
+        // Cursor: correction at lag 0, half-sweep s at lag s.
+        for t in 1..n - 1 + half {
+            if t < n - 1 {
+                // SAFETY: sequential; the correction only touches
+                // row t, which no trailing stage has reached yet.
+                let frow = unsafe { std::slice::from_raw_parts_mut(buf.add(t * n), n) };
+                interpolate_correct_row(t, cs, nc, frow, mode);
+            }
+            for s in 1..=half {
+                if t < 1 + s {
+                    break;
                 }
-                for s in 1..=half {
-                    if t < 1 + s {
-                        break;
-                    }
-                    let r = t - s;
-                    if r >= n - 1 {
-                        continue;
-                    }
-                    // SAFETY: sequential; rows r-1..=r+1 are corrected
-                    // (lag 0 passed them) and at half-sweep depth s-1.
-                    unsafe {
-                        sor_row_update(
-                            buf.add((r - 1) * n),
-                            buf.add(r * n),
-                            buf.add((r + 1) * n),
-                            bs.add(r * n),
-                            n,
-                            h2,
-                            omega,
-                            r,
-                            (s - 1) % 2,
-                        );
-                    }
+                let r = t - s;
+                if r >= n - 1 {
+                    continue;
+                }
+                // SAFETY: sequential; rows r-1..=r+1 are corrected
+                // (lag 0 passed them) and at half-sweep depth s-1.
+                unsafe {
+                    sor_row_update(
+                        buf.add((r - 1) * n),
+                        buf.add(r * n),
+                        buf.add((r + 1) * n),
+                        bs.add(r * n),
+                        n,
+                        h2,
+                        omega,
+                        r,
+                        (s - 1) % 2,
+                        mode,
+                    );
                 }
             }
         }
-        _ => {
-            let mut snap = ws.acquire_unzeroed(n);
-            snap.copy_from(x);
-            let snap: &Grid2d = &snap;
-            let xp = GridPtr::new(x);
-            exec.for_row_bands(1, n - 1, |r_lo, r_hi| {
-                let bs = b.as_slice().as_ptr();
-                let g = BandScratch::new(r_lo, r_hi, half, n);
-                let rows = g.rows();
-                let mut scratch = ws.acquire_buffer_unzeroed(rows * n);
-                scratch.copy_from_slice(&snap.as_slice()[g.g0 * n..g.g1 * n]);
-                // The correction is pointwise in `coarse`, so it is
-                // exact on every scratch row — including the halo edges,
-                // which the relaxation cone then consumes.
-                for r in 0..rows {
-                    let i = g.g0 + r;
-                    if i >= 1 && i < n - 1 {
-                        interpolate_correct_row(i, cs, nc, &mut scratch[r * n..(r + 1) * n]);
-                    }
+    } else {
+        let mut snap = ws.acquire_unzeroed(n);
+        snap.copy_from(x);
+        let snap: &Grid2d = &snap;
+        let xp = GridPtr::new(x);
+        exec.for_row_bands(1, n - 1, |r_lo, r_hi| {
+            let bs = b.as_slice().as_ptr();
+            let g = BandScratch::new(r_lo, r_hi, half, n);
+            let rows = g.rows();
+            let mut scratch = ws.acquire_buffer_unzeroed(rows * n);
+            scratch.copy_from_slice(&snap.as_slice()[g.g0 * n..g.g1 * n]);
+            // The correction is pointwise in `coarse`, so it is
+            // exact on every scratch row — including the halo edges,
+            // which the relaxation cone then consumes.
+            for r in 0..rows {
+                let i = g.g0 + r;
+                if i >= 1 && i < n - 1 {
+                    interpolate_correct_row(i, cs, nc, &mut scratch[r * n..(r + 1) * n], mode);
                 }
-                // SAFETY: private scratch; owned rows sit `half` rows
-                // inside the halo; bands write disjoint rows of `x`.
-                unsafe {
-                    wavefront_sor(
-                        scratch.as_mut_ptr(),
-                        bs,
-                        n,
-                        g.g0,
-                        1,
-                        rows - 1,
-                        h2,
-                        omega,
-                        half,
-                    );
-                    for r in r_lo..r_hi {
-                        let src = &scratch[(r - g.g0) * n..(r - g.g0 + 1) * n];
-                        std::slice::from_raw_parts_mut(xp.row_mut(r), n).copy_from_slice(src);
-                    }
+            }
+            // SAFETY: private scratch; owned rows sit `half` rows
+            // inside the halo; bands write disjoint rows of `x`.
+            unsafe {
+                wavefront_sor(
+                    scratch.as_mut_ptr(),
+                    bs,
+                    n,
+                    g.g0,
+                    1,
+                    rows - 1,
+                    h2,
+                    omega,
+                    half,
+                    mode,
+                );
+                for r in r_lo..r_hi {
+                    let src = &scratch[(r - g.g0) * n..(r - g.g0 + 1) * n];
+                    std::slice::from_raw_parts_mut(xp.row_mut(r), n).copy_from_slice(src);
                 }
-            });
-        }
+            }
+        });
     }
 }
 
@@ -695,7 +704,7 @@ mod tests {
             for _ in 0..5 {
                 sor_sweeps_blocked(&mut x, &b, 1.15, 2, &ws, &exec);
             }
-            if matches!(exec, Exec::Seq) {
+            if exec.is_seq() {
                 assert_eq!(
                     ws.stats().allocations,
                     warm,

@@ -53,7 +53,7 @@ impl Default for MgConfig {
             base_n: 3,
             gamma: 1,
             tblock: 1,
-            exec: Exec::Seq,
+            exec: Exec::seq(),
         }
     }
 }

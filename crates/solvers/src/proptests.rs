@@ -5,7 +5,9 @@
 
 use crate::fused::{interpolate_correct_relax, relax_residual_restrict, sor_sweeps_blocked};
 use crate::relax::sor_sweeps;
-use petamg_grid::{coarse_size, interpolate_correct, residual_restrict, Exec, Grid2d, Workspace};
+use petamg_grid::{
+    coarse_size, interpolate_correct, residual_restrict, Exec, Grid2d, SimdPolicy, Workspace,
+};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary full grid (boundary included).
@@ -96,6 +98,97 @@ proptest! {
             let mut got = x.clone();
             interpolate_correct_relax(&e, &mut got, &b, 1.15, sweeps, &ws, &exec);
             prop_assert_eq!(got.as_slice(), want.as_slice());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The vector SOR row (stride-2 deinterleave/masked-store path) is
+    /// bitwise equal to the scalar color walk: whole red-black sweeps
+    /// under forced-vector and forced-scalar policies produce identical
+    /// bits, across sizes covering every remainder-tail class.
+    #[test]
+    fn sor_sweep_vector_bitwise_equals_scalar(
+        vals in prop::collection::vec(-100.0f64..100.0, 2 * 19 * 19),
+        n_idx in 0usize..6,
+        sweeps in 1usize..4,
+        omega in 0.8f64..1.9,
+    ) {
+        let n = [5usize, 7, 9, 11, 17, 19][n_idx];
+        let x0 = Grid2d::from_vec(n, vals[..n * n].to_vec());
+        let b = Grid2d::from_vec(n, vals[n * n..2 * n * n].to_vec());
+        let e_s = Exec::seq().with_simd(SimdPolicy::Scalar);
+        let e_v = Exec::seq().with_simd(SimdPolicy::Vector);
+        let mut x_s = x0.clone();
+        let mut x_v = x0.clone();
+        sor_sweeps(&mut x_s, &b, omega, sweeps, &e_s);
+        sor_sweeps(&mut x_v, &b, omega, sweeps, &e_v);
+        prop_assert_eq!(x_s.as_slice(), x_v.as_slice());
+
+        // The wavefront-blocked kernel shares the same row body; the
+        // mode must not break its bitwise equality either.
+        let ws = Workspace::new();
+        let mut x_bv = x0.clone();
+        sor_sweeps_blocked(&mut x_bv, &b, omega, sweeps, &ws, &e_v);
+        prop_assert_eq!(x_s.as_slice(), x_bv.as_slice());
+    }
+
+    /// The vector Jacobi row is bitwise equal to its scalar twin.
+    #[test]
+    fn jacobi_sweep_vector_bitwise_equals_scalar(
+        vals in prop::collection::vec(-100.0f64..100.0, 2 * 19 * 19),
+        n_idx in 0usize..6,
+        omega in 0.5f64..1.0,
+    ) {
+        let n = [5usize, 6, 7, 8, 17, 19][n_idx];
+        // Jacobi accepts any square grid; include non-2^k+1 sizes so
+        // the trimmed row length hits every tail class.
+        let x0 = Grid2d::from_vec(n, vals[..n * n].to_vec());
+        let b = Grid2d::from_vec(n, vals[n * n..2 * n * n].to_vec());
+        let mut scratch = Grid2d::zeros(n);
+        let mut x_s = x0.clone();
+        let mut x_v = x0.clone();
+        crate::relax::jacobi_sweep(&mut x_s, &b, omega, &mut scratch,
+            &Exec::seq().with_simd(SimdPolicy::Scalar));
+        crate::relax::jacobi_sweep(&mut x_v, &b, omega, &mut scratch,
+            &Exec::seq().with_simd(SimdPolicy::Vector));
+        prop_assert_eq!(x_s.as_slice(), x_v.as_slice());
+    }
+
+    /// Full fused cycle edges are mode-invariant: forced-vector runs
+    /// (including parallel banded execution) match the forced-scalar
+    /// sequential reference bitwise.
+    #[test]
+    fn fused_edges_mode_invariant(
+        x in any_grid(17, 100.0),
+        b in any_grid(17, 100.0),
+        c in correction_grid(9, 50.0),
+        sweeps in 0usize..3,
+        band in 1usize..8,
+    ) {
+        let ws = Workspace::new();
+        let nc = coarse_size(17);
+        let e_s = Exec::seq().with_simd(SimdPolicy::Scalar);
+
+        let mut x_want = x.clone();
+        let mut c_want = Grid2d::zeros(nc);
+        relax_residual_restrict(&mut x_want, &b, &mut c_want, 1.15, sweeps, &ws, &e_s);
+        let mut x2_want = x.clone();
+        interpolate_correct_relax(&c, &mut x2_want, &b, 1.15, sweeps, &ws, &e_s);
+
+        for exec in backends(band) {
+            let e_v = exec.with_simd(SimdPolicy::Vector);
+            let mut x_got = x.clone();
+            let mut c_got = Grid2d::zeros(nc);
+            relax_residual_restrict(&mut x_got, &b, &mut c_got, 1.15, sweeps, &ws, &e_v);
+            prop_assert_eq!(x_got.as_slice(), x_want.as_slice());
+            prop_assert_eq!(c_got.as_slice(), c_want.as_slice());
+
+            let mut x2_got = x.clone();
+            interpolate_correct_relax(&c, &mut x2_got, &b, 1.15, sweeps, &ws, &e_v);
+            prop_assert_eq!(x2_got.as_slice(), x2_want.as_slice());
         }
     }
 }

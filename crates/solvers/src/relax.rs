@@ -9,7 +9,7 @@
 //! red cell `(i+j even)` reads only black neighbors and vice versa, so
 //! the parallel result is bitwise identical to the sequential one.
 
-use petamg_grid::{Exec, Grid2d, GridPtr};
+use petamg_grid::{simd, Exec, Grid2d, GridPtr, SimdMode};
 
 /// The SOR weight inside tuned/reference cycles, fixed by the paper to
 /// 1.15 ("chosen by experimentation to be a good parameter when used in
@@ -39,7 +39,10 @@ pub fn sor_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, exec: &Exec) {
 /// Gauss-Seidel/SOR row body shared by [`sor_half_sweep`] and the
 /// temporally blocked wavefront kernels in [`crate::fused`]. Sharing
 /// this single expression is what makes the blocked sweeps bitwise
-/// identical to the staged reference.
+/// identical to the staged reference. The vector path
+/// ([`SimdMode::Vector`], via `petamg_grid::simd`) handles the
+/// stride-2 color walk with deinterleaved loads and color-masked
+/// stores and is bitwise identical to the scalar walk.
 ///
 /// `i` is the **global** row index (it fixes the red/black column
 /// phase); `up`/`mid`/`dn`/`brow` point at full rows of `n` values.
@@ -60,17 +63,29 @@ pub(crate) unsafe fn sor_row_update(
     omega: f64,
     i: usize,
     color: usize,
+    mode: SimdMode,
 ) {
     // First interior column of this color in row i: cell (i, j) has
     // color (i + j) % 2, so j starts at 1 when (i+1)%2 == color.
     let j0 = if (i + 1) % 2 == color { 1 } else { 2 };
-    let mut j = j0;
-    while j < n - 1 {
-        let nb = *up.add(j) + *dn.add(j) + *mid.add(j - 1) + *mid.add(j + 1);
-        let gs = 0.25 * (nb + h2 * *brow.add(j));
-        let old = *mid.add(j);
-        *mid.add(j) = old + omega * (gs - old);
-        j += 2;
+    match mode {
+        SimdMode::Vector => {
+            // SAFETY: forwarded contract.
+            unsafe { simd::sor_row(up, mid, dn, brow, n, h2, omega, j0) };
+        }
+        SimdMode::Scalar => {
+            let mut j = j0;
+            while j < n - 1 {
+                // SAFETY: forwarded contract; j stays in 1..n-1.
+                unsafe {
+                    let nb = *up.add(j) + *dn.add(j) + *mid.add(j - 1) + *mid.add(j + 1);
+                    let gs = 0.25 * (nb + h2 * *brow.add(j));
+                    let old = *mid.add(j);
+                    *mid.add(j) = old + omega * (gs - old);
+                }
+                j += 2;
+            }
+        }
     }
 }
 
@@ -91,11 +106,13 @@ pub fn sor_half_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, color: usize, exec
     };
     let xp = GridPtr::new(x);
     let bp = GridPtr::new_read(b);
+    let mode = exec.simd();
     exec.for_rows(1, n - 1, |i| {
         // SAFETY: this task writes only cells of `color` in row `i`; it
         // reads neighbors of the opposite color (rows i±1 same columns,
         // row i adjacent columns), none of which are written in this
-        // half-sweep by any task.
+        // half-sweep by any task. The vector path's color-masked store
+        // never touches opposite-color cells.
         unsafe {
             sor_row_update(
                 xp.row(i - 1),
@@ -107,6 +124,7 @@ pub fn sor_half_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, color: usize, exec
                 omega,
                 i,
                 color,
+                mode,
             );
         }
     });
@@ -139,6 +157,7 @@ pub fn jacobi_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, scratch: &mut Grid2d
     let xp = GridPtr::new(x);
     let olds = scratch.as_slice();
     let bs = b.as_slice();
+    let mode = exec.simd();
     exec.for_rows(1, n - 1, |i| {
         // SAFETY: writes go to distinct rows of `x`; all reads are from
         // `scratch`/`b` (safe shared slices), which are not written in
@@ -150,11 +169,35 @@ pub fn jacobi_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, scratch: &mut Grid2d
         let (left, center, right) = (&mid[..n - 2], &mid[1..n - 1], &mid[2..]);
         let brow = &bs[i * n + 1..(i + 1) * n - 1];
         let out = &mut out[1..n - 1];
-        for j in 0..out.len() {
-            let nb = up[j] + dn[j] + left[j] + right[j];
-            let jac = 0.25 * (nb + h2 * brow[j]);
-            let prev = center[j];
-            out[j] = prev + omega * (jac - prev);
+        let m = out.len();
+        match mode {
+            SimdMode::Vector => {
+                // SAFETY: all trimmed windows are `m` long; `out` is
+                // the only mutable row and aliases none of the reads
+                // (they come from `scratch`/`b`).
+                unsafe {
+                    simd::jacobi_row(
+                        up.as_ptr(),
+                        dn.as_ptr(),
+                        left.as_ptr(),
+                        center.as_ptr(),
+                        right.as_ptr(),
+                        brow.as_ptr(),
+                        h2,
+                        omega,
+                        out.as_mut_ptr(),
+                        m,
+                    );
+                }
+            }
+            SimdMode::Scalar => {
+                for j in 0..m {
+                    let nb = up[j] + dn[j] + left[j] + right[j];
+                    let jac = 0.25 * (nb + h2 * brow[j]);
+                    let prev = center[j];
+                    out[j] = prev + omega * (jac - prev);
+                }
+            }
         }
     });
 }

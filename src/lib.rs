@@ -63,6 +63,7 @@ pub mod prelude {
     pub use petamg_core::training::{Distribution, ProblemInstance};
     pub use petamg_core::tuner::{FmgTuner, KnobSearchOptions, TunerOptions, VTuner};
     pub use petamg_grid::{Exec, Grid2d, Workspace};
+    pub use petamg_grid::{SimdMode, SimdPolicy};
     pub use petamg_runtime::ThreadPool;
     pub use petamg_solvers::multigrid::{MgConfig, ReferenceSolver};
     pub use petamg_solvers::relax::omega_opt;

@@ -3,10 +3,11 @@
 //! One table-driven harness runs every solver path — the staged
 //! (unfused) reference composition, the fused plan executor, and the
 //! temporally blocked variants — across every execution backend
-//! (Seq, the in-house work-stealing pool at two widths, rayon) and
+//! (Seq, the in-house work-stealing pool at two widths, rayon), both
+//! SIMD modes (forced scalar and forced vector row kernels), and
 //! every knob mode (global knobs, a uniform default table, and a
-//! deliberately non-uniform per-level table), on shared fixtures, and
-//! asserts:
+//! deliberately non-uniform per-level table — including mixed per-level
+//! SIMD policies), on shared fixtures, and asserts:
 //!
 //! * **bitwise-identical solutions** — every combination must produce
 //!   exactly the grid the staged sequential reference produces;
@@ -74,15 +75,29 @@ fn fixture_instances() -> Vec<(&'static str, ProblemInstance)> {
     ]
 }
 
-/// Execution backends under test, filtered by
+/// Execution backends under test — each scheduling backend crossed
+/// with both SIMD modes (the `{scalar, vector} × backend` dimension;
+/// stencils are bitwise identical across modes by construction, which
+/// is exactly what this matrix enforces end to end). Filtered by
 /// `PETAMG_CONFORMANCE_BACKEND` for CI's per-backend matrix entries.
-fn backends() -> Vec<(&'static str, Exec)> {
-    let all = vec![
+fn backends() -> Vec<(String, Exec)> {
+    let scheduling = vec![
         ("seq", Exec::seq()),
         ("pbrt2", Exec::pbrt(2)),
         ("pbrt3", Exec::pbrt(3)),
         ("rayon", Exec::rayon()),
     ];
+    let all: Vec<(String, Exec)> = scheduling
+        .into_iter()
+        .flat_map(|(name, exec)| {
+            [SimdPolicy::Scalar, SimdPolicy::Vector].map(|policy| {
+                (
+                    format!("{name}+{}", policy.name()),
+                    exec.clone().with_simd(policy),
+                )
+            })
+        })
+        .collect();
     match std::env::var("PETAMG_CONFORMANCE_BACKEND") {
         Ok(filter) if !filter.is_empty() && filter != "all" => all
             .into_iter()
@@ -102,12 +117,16 @@ enum KnobMode {
 }
 
 fn knob_modes() -> Vec<(&'static str, KnobMode)> {
+    // Mixed per-level SIMD policies: the executor must re-derive the
+    // row-kernel path at every level it enters, and the result must
+    // stay bitwise identical regardless.
     let mut per_level = KnobTable::defaults(LEVEL);
     per_level.set(
         LEVEL,
         KernelKnobs {
             band_rows: 64,
             tblock: 3,
+            simd: SimdPolicy::Vector,
         },
     );
     per_level.set(
@@ -115,6 +134,7 @@ fn knob_modes() -> Vec<(&'static str, KnobMode)> {
         KernelKnobs {
             band_rows: 8,
             tblock: 1,
+            simd: SimdPolicy::Scalar,
         },
     );
     per_level.set(
@@ -122,6 +142,7 @@ fn knob_modes() -> Vec<(&'static str, KnobMode)> {
         KernelKnobs {
             band_rows: 1,
             tblock: 4,
+            simd: SimdPolicy::Auto,
         },
     );
     per_level.set(
@@ -129,6 +150,7 @@ fn knob_modes() -> Vec<(&'static str, KnobMode)> {
         KernelKnobs {
             band_rows: 2,
             tblock: 2,
+            simd: SimdPolicy::Vector,
         },
     );
     vec![
@@ -313,9 +335,11 @@ fn all_backend_knob_combinations_match_staged_reference() {
             }
         }
     }
-    // 2 families × 2 instances × 2 accuracies × |backends| × 4 modes.
+    // 2 families × 2 instances × 2 accuracies × |backends × simd| × 4
+    // knob modes; even a single-backend CI filter keeps both simd
+    // modes, so the floor is the seq-only matrix.
     assert!(
-        cases >= 2 * 2 * 2 * 4,
+        cases >= 2 * 2 * 2 * 2 * 4,
         "matrix unexpectedly small: {cases} cases"
     );
     println!("conformance: {cases} combinations matched the staged reference");
@@ -334,6 +358,7 @@ fn tuned_family_conforms_and_solve_applies_its_table() {
         KernelKnobs {
             band_rows: 16,
             tblock: 2,
+            simd: SimdPolicy::Auto,
         },
     );
     tuned.validate().unwrap();

@@ -16,6 +16,7 @@ fn tune_save_load_solve_roundtrip() {
         KernelKnobs {
             band_rows: 16,
             tblock: 2,
+            simd: SimdPolicy::Auto,
         },
     );
 

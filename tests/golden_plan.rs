@@ -4,10 +4,14 @@
 //! * `tests/fixtures/tuned_plan_legacy_v1.json` — a plan written before
 //!   per-level knob tables existed (no `knobs` field). It must keep
 //!   loading forever, falling back to the uniform default table.
-//! * `tests/fixtures/tuned_plan_v2.json` — a plan in the current
-//!   versioned schema (knob table with a `version` field). Loading and
-//!   re-serializing it must reproduce the file byte for byte, so any
-//!   accidental schema drift fails here first.
+//! * `tests/fixtures/tuned_plan_v2.json` — a plan with a **version 1**
+//!   knob table (band + tblock, no `simd` field — the pre-SIMD
+//!   schema). It must keep loading forever; each entry upgrades with
+//!   `simd: Auto`.
+//! * `tests/fixtures/tuned_plan_v3.json` — a plan in the current
+//!   schema (knob-table version 2 with per-entry `simd` policies).
+//!   Loading and re-serializing it must reproduce the file byte for
+//!   byte, so any accidental schema drift fails here first.
 //!
 //! Regenerate the fixtures (after an *intentional* schema change) with:
 //! `PETAMG_REGEN_GOLDEN=1 cargo test --test golden_plan`.
@@ -17,11 +21,13 @@ use petamg::prelude::*;
 use std::path::PathBuf;
 
 const LEGACY_V1: &str = include_str!("fixtures/tuned_plan_legacy_v1.json");
-const CURRENT_V2: &str = include_str!("fixtures/tuned_plan_v2.json");
+const LEGACY_V2: &str = include_str!("fixtures/tuned_plan_v2.json");
+const CURRENT_V3: &str = include_str!("fixtures/tuned_plan_v3.json");
 
-/// The deterministic family behind both fixtures: a modeled-cost quick
-/// tune (bit-reproducible) plus a hand-pinned non-uniform knob entry so
-/// the table's serialization is actually exercised.
+/// The deterministic family behind all three fixtures: a modeled-cost
+/// quick tune (bit-reproducible) plus hand-pinned non-uniform knob
+/// entries so the table's serialization — including a non-default simd
+/// policy — is actually exercised.
 fn golden_family() -> TunedFamily {
     let mut fam = VTuner::new(TunerOptions::quick(3, Distribution::UnbiasedUniform)).tune();
     fam.knobs.set(
@@ -29,9 +35,20 @@ fn golden_family() -> TunedFamily {
         KernelKnobs {
             band_rows: 8,
             tblock: 2,
+            simd: SimdPolicy::Vector,
         },
     );
     fam.provenance = "golden fixture (deterministic quick tune, level 3)".into();
+    fam
+}
+
+/// The same family as a v2-era file would describe it: every simd
+/// entry is `Auto` (the upgrade default), everything else identical.
+fn golden_family_v2_view() -> TunedFamily {
+    let mut fam = golden_family();
+    for entry in &mut fam.knobs.per_level {
+        entry.simd = SimdPolicy::Auto;
+    }
     fam
 }
 
@@ -47,13 +64,42 @@ fn regenerate_golden_fixtures_when_asked() {
     let fam = golden_family();
     let dir = fixtures_dir();
     std::fs::create_dir_all(&dir).unwrap();
-    std::fs::write(dir.join("tuned_plan_v2.json"), fam.to_json()).unwrap();
+    std::fs::write(dir.join("tuned_plan_v3.json"), fam.to_json()).unwrap();
 
-    // The legacy fixture is the same plan with the knobs field stripped
-    // — exactly what a pre-knob-table build would have written.
+    // The v2 fixture is the same plan with a version-1 knob table:
+    // per-entry simd fields stripped, table version set to 1 — exactly
+    // what a pre-SIMD build would have written.
     let mut tree: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
     if let serde_json::Value::Object(obj) = &mut tree {
-        obj.remove("knobs").expect("current schema carries knobs");
+        obj.insert(
+            "provenance".to_string(),
+            serde_json::Value::String("golden fixture (legacy v2 schema, knob table v1)".into()),
+        );
+        if let Some(serde_json::Value::Object(knobs)) = obj.get_mut("knobs") {
+            knobs.insert(
+                "version".to_string(),
+                serde_json::Value::Number(serde_json::Number::from_u64(1)),
+            );
+            if let Some(serde_json::Value::Array(entries)) = knobs.get_mut("per_level") {
+                for e in entries.iter_mut() {
+                    if let serde_json::Value::Object(m) = e {
+                        m.remove("simd").expect("current schema carries simd");
+                    }
+                }
+            }
+        }
+    }
+    std::fs::write(
+        dir.join("tuned_plan_v2.json"),
+        serde_json::to_string_pretty(&tree).unwrap(),
+    )
+    .unwrap();
+
+    // The legacy v1 fixture is the same plan with the knobs field
+    // stripped entirely — what a pre-knob-table build wrote.
+    let mut tree: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
+    if let serde_json::Value::Object(obj) = &mut tree {
+        obj.remove("knobs").expect("current schema has knobs");
         obj.insert(
             "provenance".to_string(),
             serde_json::Value::String("golden fixture (legacy v1 schema, no knob table)".into()),
@@ -88,21 +134,46 @@ fn legacy_v1_fixture_still_loads_with_default_table() {
 }
 
 #[test]
-fn current_v2_fixture_roundtrips_byte_for_byte() {
-    let fam = TunedFamily::from_json(CURRENT_V2).expect("current fixture parses");
+fn legacy_v2_fixture_loads_with_auto_simd_entries() {
+    let fam = TunedFamily::from_json(LEGACY_V2).expect("v2 plan files must keep loading");
+    fam.validate().unwrap();
+    let want = golden_family_v2_view();
+    assert_eq!(fam.plans, want.plans);
+    assert_eq!(
+        fam.knobs, want.knobs,
+        "v1 knob tables upgrade entry-wise with simd = Auto"
+    );
+    assert_eq!(fam.knobs.version, petamg::choice::KNOB_TABLE_VERSION);
+    assert_eq!(
+        fam.knobs.get(3),
+        KernelKnobs {
+            band_rows: 8,
+            tblock: 2,
+            simd: SimdPolicy::Auto,
+        }
+    );
+    // A load→save pass writes the current schema (round-trips cleanly).
+    let resaved = TunedFamily::from_json(&fam.to_json()).unwrap();
+    assert_eq!(resaved.knobs, fam.knobs);
+}
+
+#[test]
+fn current_v3_fixture_roundtrips_byte_for_byte() {
+    let fam = TunedFamily::from_json(CURRENT_V3).expect("current fixture parses");
     fam.validate().unwrap();
     assert!(!fam.knobs.is_uniform(), "fixture carries a real table");
     assert_eq!(
         fam.knobs.get(3),
         KernelKnobs {
             band_rows: 8,
-            tblock: 2
+            tblock: 2,
+            simd: SimdPolicy::Vector,
         }
     );
     // Schema stability: re-serializing reproduces the committed bytes.
     assert_eq!(
         fam.to_json(),
-        CURRENT_V2.trim_end(),
+        CURRENT_V3.trim_end(),
         "serialization schema drifted from the committed golden fixture"
     );
 }
@@ -113,20 +184,26 @@ fn freshly_tuned_plan_parses_under_versioned_schema() {
     let json = fam.to_json();
     assert!(json.contains("\"knobs\""), "schema carries the table");
     assert!(json.contains("\"version\""), "table is versioned");
+    assert!(json.contains("\"simd\""), "entries carry the simd policy");
     let back = TunedFamily::from_json(&json).unwrap();
     assert_eq!(back.plans, fam.plans);
     assert_eq!(back.knobs, fam.knobs);
     // And it matches the committed fixture (the quick tune is
     // deterministic by construction).
-    assert_eq!(json, CURRENT_V2.trim_end());
+    assert_eq!(json, CURRENT_V3.trim_end());
 }
 
 #[test]
-fn legacy_and_current_fixtures_describe_the_same_plan() {
-    let legacy = TunedFamily::from_json(LEGACY_V1).unwrap();
-    let current = TunedFamily::from_json(CURRENT_V2).unwrap();
-    assert_eq!(legacy.plans, current.plans);
-    assert_eq!(legacy.accuracies, current.accuracies);
-    // Only the knob table (and provenance note) differ.
-    assert_ne!(legacy.knobs, current.knobs);
+fn all_fixture_generations_describe_the_same_plan() {
+    let v1 = TunedFamily::from_json(LEGACY_V1).unwrap();
+    let v2 = TunedFamily::from_json(LEGACY_V2).unwrap();
+    let v3 = TunedFamily::from_json(CURRENT_V3).unwrap();
+    assert_eq!(v1.plans, v2.plans);
+    assert_eq!(v2.plans, v3.plans);
+    assert_eq!(v1.accuracies, v3.accuracies);
+    // Only the knob tables (and provenance notes) differ across
+    // generations: v1 has defaults, v2 upgraded with Auto, v3 carries
+    // the pinned non-default policies.
+    assert_ne!(v1.knobs, v2.knobs);
+    assert_ne!(v2.knobs, v3.knobs);
 }
