@@ -23,9 +23,9 @@ pub mod transform;
 pub use genetic::{GeneticTuner, GeneticTunerOptions, MultiLevelConfig, Tunable, TuneResult};
 pub use nary::{nary_search_f64, nary_search_int};
 pub use space::{
-    kernel_exec_space, tuning_order, Config, ConfigError, ConfigSpace, KernelKnobs, KnobTable,
-    ParamId, ParamKind, ParamSpec, ParamValue, Scale, KNOB_TABLE_VERSION, PARAM_BAND_ROWS,
-    PARAM_SIMD, PARAM_TBLOCK,
+    kernel_exec_space, problem_space, tuning_order, Config, ConfigError, ConfigSpace, KernelKnobs,
+    KnobTable, ParamId, ParamKind, ParamSpec, ParamValue, Scale, KNOB_TABLE_VERSION,
+    PARAM_BAND_ROWS, PARAM_PROBLEM, PARAM_SIMD, PARAM_TBLOCK, PROBLEM_FAMILY_LABELS,
 };
 
 // The vectorization policy type itself lives with the kernels in

@@ -574,6 +574,41 @@ pub fn kernel_exec_space() -> ConfigSpace {
     s
 }
 
+/// Name of the operator-family axis in [`problem_space`].
+pub const PARAM_PROBLEM: &str = "problem";
+
+/// Labels of the canonical operator profiles, index-aligned with the
+/// `problem` switch axis of [`problem_space`] and with the named
+/// `Problem` constructors in `petamg-problems` (`poisson`,
+/// `smooth_sinusoidal`, `jump_inclusion`, `anisotropic_canonical`).
+pub const PROBLEM_FAMILY_LABELS: [&str; 4] = ["poisson", "smooth", "jump1000", "aniso0.01"];
+
+/// The **operator axis** of the search space: which PDE is posed.
+///
+/// Unlike the kernel-execution knobs this is not a free tuning variable
+/// — the *user* poses the problem — but it is a first-class dimension
+/// of the plan library: tuned plans are stored and looked up per
+/// `(problem, machine, accuracy)`, and benches sweep this axis to
+/// demonstrate per-problem plan divergence (the `problem_sweep` section
+/// of `BENCH_kernels.json`). Every kernel knob depends on it: changing
+/// the operator changes the per-row flop/byte mix, so band, tblock, and
+/// simd sweet spots must be re-searched per problem, exactly as the
+/// per-workload re-tuning literature (KTT, sustainable autotuning)
+/// prescribes.
+pub fn problem_space() -> ConfigSpace {
+    // Built *on* kernel_exec_space so the knob axes (names, domains,
+    // defaults, and the band→simd / tblock→band dependencies) can never
+    // drift from the per-level knob tuner's space; this only adds the
+    // operator switch and makes the knobs depend on it.
+    let mut s = kernel_exec_space();
+    let problem = s.add_switch(PARAM_PROBLEM, &PROBLEM_FAMILY_LABELS, 0);
+    let band = s.find(PARAM_BAND_ROWS).expect("kernel space has band");
+    let simd = s.find(PARAM_SIMD).expect("kernel space has simd");
+    s.add_dependency(simd, problem);
+    s.add_dependency(band, problem);
+    s
+}
+
 /// Compute the tuning order: strongly-connected components of the
 /// dependency graph in topological order (dependencies first). Parameters
 /// in the same component are tuned together — "if there are cycles in
@@ -746,6 +781,31 @@ mod tests {
         c.save(&s, &path).unwrap();
         let c2 = Config::load(&s, &path).unwrap();
         assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn problem_space_orders_operator_axis_first() {
+        // The operator axis is the outermost dimension: every kernel
+        // knob depends on it, so the tuning order resolves the posed
+        // problem before any knob is searched.
+        let s = problem_space();
+        let order = tuning_order(&s);
+        let problem = s.find(PARAM_PROBLEM).unwrap();
+        assert_eq!(order[0], vec![problem], "problem axis tunes first");
+        let spec = s.spec(problem);
+        match &spec.kind {
+            ParamKind::Switch { choices } => {
+                assert_eq!(choices.len(), PROBLEM_FAMILY_LABELS.len());
+                assert!(choices.iter().any(|c| c == "jump1000"));
+            }
+            other => panic!("problem axis must be a switch, got {other:?}"),
+        }
+        // The knob axes are all present and downstream of the operator.
+        for name in [PARAM_SIMD, PARAM_BAND_ROWS, PARAM_TBLOCK] {
+            let id = s.find(name).unwrap();
+            let pos = order.iter().position(|g| g.contains(&id)).unwrap();
+            assert!(pos > 0, "{name} must tune after the problem axis");
+        }
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub fn fixed_strategy_family(sub_acc: f64, final_acc: f64, base: &TunerOptions) 
         max_level: base.max_level,
         plans,
         knobs: tuner.knob_table(),
+        problem: tuner.options().problem.fingerprint().clone(),
         provenance: format!("heuristic {:.0e}/{:.0e}", sub_acc, final_acc),
     };
     family

@@ -28,8 +28,9 @@ use crate::trace::{CycleEvent, Tracer};
 use crate::training::ProblemInstance;
 use petamg_choice::{KernelKnobs, KnobTable};
 use petamg_grid::{coarse_size, level_size, Exec, Grid2d, Workspace};
+use petamg_problems::{Problem, ProblemFingerprint, ProblemMismatch};
 use petamg_solvers::fused::{
-    interpolate_correct_relax, relax_residual_restrict, sor_sweeps_blocked,
+    interpolate_correct_relax_op, relax_residual_restrict_op, sor_sweeps_blocked_op,
 };
 use petamg_solvers::relax::{omega_opt, OMEGA_CYCLE};
 use petamg_solvers::DirectSolverCache;
@@ -127,6 +128,11 @@ pub struct ExecCtx {
     pub knobs: Option<KnobTable>,
     /// Which knobs the table actually applied, per level.
     pub knob_stats: KnobStats,
+    /// The posed problem: every kernel the executor runs applies the
+    /// operator [`Problem::op_for`] returns for its level's size.
+    /// Defaults to constant-coefficient Poisson (the legacy behaviour,
+    /// bit for bit).
+    pub problem: Problem,
     /// Shared band-Cholesky factor cache.
     pub cache: Arc<DirectSolverCache>,
     /// Shared per-level scratch arena. Recursion leases coarse grids
@@ -152,6 +158,7 @@ impl ExecCtx {
             tblock: 1,
             knobs: None,
             knob_stats: KnobStats::default(),
+            problem: Problem::poisson(),
             cache,
             workspace: Arc::new(Workspace::new()),
             ops: OpCounts::default(),
@@ -164,6 +171,13 @@ impl ExecCtx {
     /// table (instead of the global `exec` band / `tblock`).
     pub fn with_knob_table(mut self, table: KnobTable) -> Self {
         self.knobs = Some(table);
+        self
+    }
+
+    /// Pose a problem: every kernel this context drives runs the
+    /// problem's operator at its level.
+    pub fn with_problem(mut self, problem: Problem) -> Self {
+        self.problem = problem;
         self
     }
 
@@ -238,9 +252,10 @@ impl ExecCtx {
         b: &Grid2d,
         bc: &mut Grid2d,
     ) {
+        let op = self.problem.op_for(x.n());
         let exec = self.level_exec(level);
         let clock = self.tracer.start_kernel_clock(level);
-        relax_residual_restrict(x, b, bc, OMEGA_CYCLE, 0, &self.workspace, &exec);
+        relax_residual_restrict_op(&op, x, b, bc, OMEGA_CYCLE, 0, &self.workspace, &exec);
         self.tracer.stop_kernel_clock(clock);
         self.ops.level_mut(level).residuals += 1;
         self.ops.level_mut(level).restricts += 1;
@@ -251,9 +266,10 @@ impl ExecCtx {
     /// Interpolation correction at `to` without relaxation (the FMG
     /// estimate edge; the follow-up phase relaxes separately).
     fn interpolate(&mut self, to: usize, coarse: &Grid2d, fine: &mut Grid2d, b: &Grid2d) {
+        let op = self.problem.op_for(fine.n());
         let exec = self.level_exec(to);
         let clock = self.tracer.start_kernel_clock(to);
-        interpolate_correct_relax(coarse, fine, b, OMEGA_CYCLE, 0, &self.workspace, &exec);
+        interpolate_correct_relax_op(&op, coarse, fine, b, OMEGA_CYCLE, 0, &self.workspace, &exec);
         self.tracer.stop_kernel_clock(clock);
         self.ops.level_mut(to).interps += 1;
         self.tracer.record(CycleEvent::Interpolate { to });
@@ -271,9 +287,10 @@ impl ExecCtx {
         bc: &mut Grid2d,
         omega: f64,
     ) {
+        let op = self.problem.op_for(x.n());
         let exec = self.level_exec(level);
         let clock = self.tracer.start_kernel_clock(level);
-        relax_residual_restrict(x, b, bc, omega, 1, &self.workspace, &exec);
+        relax_residual_restrict_op(&op, x, b, bc, omega, 1, &self.workspace, &exec);
         self.tracer.stop_kernel_clock(clock);
         self.ops.level_mut(level).relax_sweeps += 1;
         self.ops.level_mut(level).residuals += 1;
@@ -293,9 +310,10 @@ impl ExecCtx {
         b: &Grid2d,
         omega: f64,
     ) {
+        let op = self.problem.op_for(fine.n());
         let exec = self.level_exec(to);
         let clock = self.tracer.start_kernel_clock(to);
-        interpolate_correct_relax(coarse, fine, b, omega, 1, &self.workspace, &exec);
+        interpolate_correct_relax_op(&op, coarse, fine, b, omega, 1, &self.workspace, &exec);
         self.tracer.stop_kernel_clock(clock);
         self.ops.level_mut(to).interps += 1;
         self.ops.level_mut(to).relax_sweeps += 1;
@@ -304,8 +322,9 @@ impl ExecCtx {
     }
 
     fn direct(&mut self, level: usize, x: &mut Grid2d, b: &Grid2d) {
+        let op = self.problem.op_for(x.n());
         let clock = self.tracer.start_kernel_clock(level);
-        self.cache.solve(x, b);
+        self.cache.solve_op(x, b, &op);
         self.tracer.stop_kernel_clock(clock);
         self.ops.level_mut(level).direct_solves += 1;
         self.tracer.record(CycleEvent::Direct { level });
@@ -313,6 +332,7 @@ impl ExecCtx {
 
     fn sor_solve(&mut self, level: usize, x: &mut Grid2d, b: &Grid2d, iterations: u32) {
         let omega = omega_opt(x.n());
+        let op = self.problem.op_for(x.n());
         // Temporal blocking: fuse up to `tblock` sweeps per wavefront
         // traversal (bitwise identical to iterated single sweeps).
         let depth = self.level_tblock(level);
@@ -321,7 +341,7 @@ impl ExecCtx {
         let mut left = iterations as usize;
         while left > 0 {
             let chunk = left.min(depth);
-            sor_sweeps_blocked(x, b, omega, chunk, &self.workspace, &exec);
+            sor_sweeps_blocked_op(&op, x, b, omega, chunk, &self.workspace, &exec);
             left -= chunk;
         }
         self.tracer.stop_kernel_clock(clock);
@@ -346,6 +366,11 @@ pub struct TunedFamily {
     /// before knob tables existed) carry no table; loading them falls
     /// back to a uniform table of the global defaults.
     pub knobs: KnobTable,
+    /// Fingerprint of the problem this family was tuned for (plan
+    /// schema v4). Legacy files (v1–v3, written before operator
+    /// families existed) upgrade to the constant-coefficient Poisson
+    /// fingerprint — exactly what they were tuned for.
+    pub problem: ProblemFingerprint,
     /// Human-readable provenance (distribution, cost model, seed).
     pub provenance: String,
 }
@@ -377,6 +402,22 @@ impl TunedFamily {
     /// Panics if out of range.
     pub fn plan(&self, level: usize, acc_idx: usize) -> Choice {
         self.plans[level][acc_idx]
+    }
+
+    /// Check that this plan was tuned for `posed`'s problem; the typed
+    /// [`ProblemMismatch`] error carries both fingerprints. Every
+    /// `solve`/`solve_with` call enforces this, and
+    /// `petamg::persist::load_plan_for` rejects mismatched files at
+    /// load time.
+    pub fn ensure_problem(&self, posed: &ProblemFingerprint) -> Result<(), ProblemMismatch> {
+        if &self.problem == posed {
+            Ok(())
+        } else {
+            Err(ProblemMismatch {
+                plan: Box::new(self.problem.clone()),
+                posed: Box::new(posed.clone()),
+            })
+        }
     }
 
     /// Smallest accuracy index whose target `p_i >= target` (last index
@@ -522,15 +563,20 @@ impl TunedFamily {
             inst.level,
             self.max_level
         );
+        // A plan tuned for one operator must never silently run
+        // another: the typed mismatch is a hard error here.
+        self.ensure_problem(inst.problem.fingerprint())
+            .unwrap_or_else(|e| panic!("{e}"));
         let acc_idx = self.acc_index_for(target);
         inst.ensure_x_opt(exec, cache);
         // Warm the factor cache outside the timed region (plans reuse
         // factors across solves, as does the paper's tuned binary).
-        self.warm_factors(inst.level, acc_idx, cache);
+        self.warm_factors_for(&inst.problem, inst.level, acc_idx, cache);
         // Attach the family's knob table only when it actually carries
         // tuning: an all-default table (untuned or legacy plans) must
         // not override a caller's hand-configured band/tblock on `exec`.
-        let mut ctx = ExecCtx::with_cache(exec.clone(), Arc::clone(cache));
+        let mut ctx =
+            ExecCtx::with_cache(exec.clone(), Arc::clone(cache)).with_problem(inst.problem.clone());
         if !self.knobs.is_all_default() {
             ctx = ctx.with_knob_table(self.knobs.clone());
         }
@@ -548,21 +594,36 @@ impl TunedFamily {
         }
     }
 
-    /// Pre-factor every grid size this plan's direct solves touch.
+    /// Pre-factor every grid size this plan's direct solves touch
+    /// (constant-coefficient Poisson).
     pub fn warm_factors(&self, level: usize, acc_idx: usize, cache: &Arc<DirectSolverCache>) {
+        self.warm_factors_for(&Problem::poisson(), level, acc_idx, cache);
+    }
+
+    /// Pre-factor every `(grid size, operator)` this plan's direct
+    /// solves touch for the posed problem.
+    pub fn warm_factors_for(
+        &self,
+        problem: &Problem,
+        level: usize,
+        acc_idx: usize,
+        cache: &Arc<DirectSolverCache>,
+    ) {
+        let warm = |lvl: usize| {
+            let n = level_size(lvl);
+            cache.warm_op(n, &problem.op_for(n));
+        };
         match self.plans[level][acc_idx] {
-            Choice::Direct => {
-                let _ = cache.get(level_size(level));
-            }
+            Choice::Direct => warm(level),
             Choice::Sor { .. } => {}
             Choice::Recurse { sub_accuracy, .. } => {
                 if level <= 1 {
-                    let _ = cache.get(level_size(level));
+                    warm(level);
                 } else {
                     if level - 1 == 1 {
-                        let _ = cache.get(3);
+                        warm(1);
                     }
-                    self.warm_factors(level - 1, sub_accuracy as usize, cache);
+                    self.warm_factors_for(problem, level - 1, sub_accuracy as usize, cache);
                 }
             }
         }
@@ -594,16 +655,26 @@ impl TunedFamily {
 
 /// Upgrade a legacy plan object in place:
 ///
+/// * if the `problem` fingerprint is absent (schema v1–v3, written
+///   before operator families existed), insert the
+///   constant-coefficient Poisson fingerprint — exactly the problem
+///   those plans were tuned for;
 /// * if the `knobs` field is absent (pre-knob-table schema), insert a
 ///   uniform default table sized from `max_level`;
 /// * if the table is present but version 1 (pre-SIMD schema), upgrade
 ///   each entry with `simd: Auto` via [`KnobTable::upgrade_value`].
 ///
-/// Current-schema objects pass through untouched.
+/// Current-schema (v4) objects pass through untouched.
 fn upgrade_legacy_family(value: &mut serde_json::Value) -> Result<(), String> {
     let serde_json::Value::Object(obj) = value else {
         return Err("expected a JSON object for a tuned plan".into());
     };
+    if obj.get("problem").is_none() {
+        obj.insert(
+            "problem".to_string(),
+            serde::Serialize::to_value(&ProblemFingerprint::poisson()),
+        );
+    }
     if let Some(knobs) = obj.get_mut("knobs") {
         return KnobTable::upgrade_value(knobs);
     }
@@ -746,11 +817,15 @@ impl TunedFmgFamily {
         cache: &Arc<DirectSolverCache>,
     ) -> SolveReport {
         let acc_idx = self.v.acc_index_for(target);
+        self.v
+            .ensure_problem(inst.problem.fingerprint())
+            .unwrap_or_else(|e| panic!("{e}"));
         inst.ensure_x_opt(exec, cache);
-        let _ = cache.get(3);
+        cache.warm_op(3, &inst.problem.op_for(3));
         // Like TunedFamily::solve_with: only a table with real tuning
         // overrides the caller's execution policy.
-        let mut ctx = ExecCtx::with_cache(exec.clone(), Arc::clone(cache));
+        let mut ctx =
+            ExecCtx::with_cache(exec.clone(), Arc::clone(cache)).with_problem(inst.problem.clone());
         if !self.v.knobs.is_all_default() {
             ctx = ctx.with_knob_table(self.v.knobs.clone());
         }
@@ -813,6 +888,7 @@ pub fn simple_v_family(max_level: usize, accuracies: &[f64]) -> TunedFamily {
         max_level,
         plans,
         knobs: KnobTable::defaults(max_level),
+        problem: ProblemFingerprint::poisson(),
         provenance: "hand-built MULTIGRID-V-SIMPLE".into(),
     }
 }

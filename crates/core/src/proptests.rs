@@ -76,6 +76,7 @@ fn arb_family(max_level: usize) -> impl Strategy<Value = TunedFamily> {
         max_level,
         plans,
         knobs,
+        problem: petamg_problems::ProblemFingerprint::poisson(),
         provenance: "proptest".into(),
     })
 }

@@ -8,8 +8,9 @@
 //! > for the problem. We also experimented with specifying a finite
 //! > number of random point sources/sinks in the right-hand side."
 
-use crate::accuracy::reference_solution;
+use crate::accuracy::reference_solution_for;
 use petamg_grid::{level_size, size_level, Exec, Grid2d};
+use petamg_problems::Problem;
 use petamg_solvers::DirectSolverCache;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -55,13 +56,16 @@ impl Distribution {
     }
 }
 
-/// One Poisson problem instance: initial guess (zero interior + random
-/// Dirichlet boundary), right-hand side, and (lazily computed) optimal
-/// solution.
+/// One problem instance: the posed operator ([`Problem`]), initial
+/// guess (zero interior + random Dirichlet boundary), right-hand side,
+/// and (lazily computed) optimal solution of the posed operator's
+/// system.
 #[derive(Clone, Debug)]
 pub struct ProblemInstance {
     /// Multigrid level; grid size is `2^level + 1`.
     pub level: usize,
+    /// The posed operator (constant-coefficient Poisson by default).
+    pub problem: Problem,
     /// Initial state: random boundary ring, zero interior.
     pub x0: Grid2d,
     /// Right-hand side.
@@ -70,9 +74,18 @@ pub struct ProblemInstance {
 }
 
 impl ProblemInstance {
-    /// Generate an instance at `level` from `dist`, deterministically
-    /// from `seed`.
+    /// Generate a constant-coefficient Poisson instance at `level` from
+    /// `dist`, deterministically from `seed`.
     pub fn random(level: usize, dist: Distribution, seed: u64) -> Self {
+        Self::random_for(&Problem::poisson(), level, dist, seed)
+    }
+
+    /// Generate an instance of an arbitrary posed problem. The random
+    /// data (boundary + right-hand side) depends only on
+    /// `(level, dist, seed)` — the same seed poses the same data to
+    /// every operator, which is what lets benches compare tuned plans
+    /// across problem families on identical inputs.
+    pub fn random_for(problem: &Problem, level: usize, dist: Distribution, seed: u64) -> Self {
         let n = level_size(level);
         let mut rng = StdRng::seed_from_u64(seed ^ (level as u64) << 32 ^ 0xA5A5_5A5A);
         let mut x0 = Grid2d::zeros(n);
@@ -100,13 +113,14 @@ impl ProblemInstance {
         };
         ProblemInstance {
             level,
+            problem: problem.clone(),
             x0,
             b,
             x_opt: None,
         }
     }
 
-    /// Wrap externally constructed data.
+    /// Wrap externally constructed data (constant-coefficient Poisson).
     ///
     /// # Panics
     /// Panics if sizes mismatch or are not `2^k + 1`.
@@ -115,6 +129,7 @@ impl ProblemInstance {
         let level = size_level(x0.n()).expect("grid size must be 2^k + 1");
         ProblemInstance {
             level,
+            problem: Problem::poisson(),
             x0,
             b,
             x_opt: None,
@@ -126,10 +141,17 @@ impl ProblemInstance {
         level_size(self.level)
     }
 
-    /// Compute (and cache) the optimal solution.
+    /// Compute (and cache) the optimal solution of the posed operator's
+    /// system.
     pub fn ensure_x_opt(&mut self, exec: &Exec, cache: &Arc<DirectSolverCache>) -> &Grid2d {
         if self.x_opt.is_none() {
-            self.x_opt = Some(reference_solution(&self.x0, &self.b, exec, cache));
+            self.x_opt = Some(reference_solution_for(
+                &self.problem,
+                &self.x0,
+                &self.b,
+                exec,
+                cache,
+            ));
         }
         self.x_opt.as_ref().expect("just computed")
     }
@@ -152,8 +174,23 @@ pub fn training_set(
     count: usize,
     seed: u64,
 ) -> Vec<ProblemInstance> {
+    training_set_for(&Problem::poisson(), level, dist, count, seed)
+}
+
+/// Generate a deterministic training set for an arbitrary posed
+/// problem: same data as [`training_set`] for the same
+/// `(level, dist, count, seed)`, with the operator attached.
+pub fn training_set_for(
+    problem: &Problem,
+    level: usize,
+    dist: Distribution,
+    count: usize,
+    seed: u64,
+) -> Vec<ProblemInstance> {
     (0..count)
-        .map(|i| ProblemInstance::random(level, dist, seed.wrapping_add(i as u64 * 0x9E37)))
+        .map(|i| {
+            ProblemInstance::random_for(problem, level, dist, seed.wrapping_add(i as u64 * 0x9E37))
+        })
         .collect()
 }
 

@@ -16,7 +16,7 @@ use crate::cost::CostModel;
 use crate::plan::{ExecCtx, FmgChoice, FollowUp, TunedFamily, TunedFmgFamily};
 use crate::training::ProblemInstance;
 use petamg_grid::{l2_diff, level_size, Grid2d};
-use petamg_solvers::relax::{omega_opt, sor_sweep};
+use petamg_solvers::relax::{omega_opt, sor_sweep_op};
 use std::time::Instant;
 
 /// The `FULL-MULTIGRID_i` dynamic-programming tuner. Wraps a [`VTuner`]
@@ -208,6 +208,7 @@ impl FmgTuner {
         let opts = self.v_tuner.options();
         let n = level_size(level);
         let omega = omega_opt(n);
+        let op = opts.problem.op_for(n);
         let cap = opts
             .sor_cap_mult
             .saturating_mul(n as u32)
@@ -227,7 +228,7 @@ impl FmgTuner {
             let mut it = 0u32;
             let mut ratio = ratio_of_errors(e0, l2_diff(&x, x_opt, &opts.exec));
             while ratio < target && it < cap {
-                sor_sweep(&mut x, &inst.b, omega, &opts.exec);
+                sor_sweep_op(&op, &mut x, &inst.b, omega, &opts.exec);
                 it += 1;
                 ratio = ratio_of_errors(e0, l2_diff(&x, x_opt, &opts.exec));
                 if let (Some(b), Some(sc)) = (budget, sweep_cost) {
@@ -254,7 +255,7 @@ impl FmgTuner {
                 let mut x = est_states[0].clone();
                 let start = Instant::now();
                 for _ in 0..iterations {
-                    sor_sweep(&mut x, &instances[0].b, omega, &opts.exec);
+                    sor_sweep_op(&op, &mut x, &instances[0].b, omega, &opts.exec);
                 }
                 start.elapsed().as_secs_f64()
             }
@@ -367,7 +368,8 @@ pub fn estimate_step(
     let nc = coarse_size(n);
     let ws = std::sync::Arc::clone(&ctx.workspace);
     let mut bc = ws.acquire(nc);
-    petamg_grid::residual_restrict(x, b, &mut bc, &ws, &ctx.exec);
+    let op = ctx.problem.op_for(n);
+    petamg_problems::residual_restrict_op(&op, x, b, &mut bc, &ws, &ctx.exec);
     ctx.ops.level_mut(level).residuals += 1;
     ctx.ops.level_mut(level).restricts += 1;
     let mut ec = ws.acquire(nc);

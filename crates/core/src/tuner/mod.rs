@@ -30,10 +30,11 @@ pub use pareto::{pareto_front, CandidatePoint, ParetoTuner};
 use crate::accuracy::{ratio_of_errors, ACC_CAP};
 use crate::cost::{CostModel, MachineProfile, OpCounts};
 use crate::plan::{Choice, ExecCtx, TunedFamily, PAPER_ACCURACIES};
-use crate::training::{training_set, Distribution, ProblemInstance};
+use crate::training::{Distribution, ProblemInstance};
 use petamg_choice::{KernelKnobs, KnobTable};
 use petamg_grid::{l2_diff, level_size, Exec, Workspace};
-use petamg_solvers::relax::{omega_opt, sor_sweep};
+use petamg_problems::Problem;
+use petamg_solvers::relax::{omega_opt, sor_sweep_op};
 use petamg_solvers::DirectSolverCache;
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -68,6 +69,11 @@ pub struct TunerOptions {
     /// timing is wall-clock, so it only pays off when the tuned plan
     /// will actually run on this machine.
     pub knob_search: Option<KnobSearchOptions>,
+    /// The posed problem this tuner trains for. The tuned family is
+    /// keyed by its fingerprint; every candidate measurement runs the
+    /// problem's operator (convergence differs per operator, so plans
+    /// genuinely diverge across problems — the paper's central claim).
+    pub problem: Problem,
 }
 
 /// Budgeted per-level kernel-knob search inside the DP tuner: before a
@@ -118,7 +124,26 @@ impl TunerOptions {
             sor_cap_mult: 60,
             recurse_cap: 120,
             knob_search: None,
+            problem: Problem::poisson(),
         }
+    }
+
+    /// Pose a different problem (see [`TunerOptions::problem`]).
+    ///
+    /// # Panics
+    /// Panics if a size-bound problem does not cover `max_level`.
+    pub fn with_problem(mut self, problem: Problem) -> Self {
+        if !problem.level_sizes().is_empty() {
+            let n = level_size(self.max_level);
+            assert!(
+                problem.level_sizes().contains(&n),
+                "problem {} does not cover max_level {} (n={n})",
+                problem.describe(),
+                self.max_level
+            );
+        }
+        self.problem = problem;
+        self
     }
 
     /// Preset with a specific modeled machine.
@@ -277,6 +302,7 @@ impl VTuner {
             max_level: self.opts.max_level,
             plans,
             knobs: self.knobs.borrow().clone(),
+            problem: self.opts.problem.fingerprint().clone(),
             provenance: format!(
                 "VTuner(dist={}, cost={}, seed={}, instances={})",
                 self.opts.distribution.name(),
@@ -415,7 +441,8 @@ impl VTuner {
     }
 
     pub(crate) fn training_instances(&self, level: usize) -> Vec<ProblemInstance> {
-        training_set(
+        crate::training::training_set_for(
+            &self.opts.problem,
             level,
             self.opts.distribution,
             self.opts.instances,
@@ -435,6 +462,7 @@ impl VTuner {
             max_level: below_level.saturating_sub(1).max(1),
             plans: plans[..below_level].to_vec(),
             knobs,
+            problem: self.opts.problem.fingerprint().clone(),
             provenance: "partial (tuning in progress)".into(),
         }
     }
@@ -447,7 +475,8 @@ impl VTuner {
     /// `opts.exec` in the untuned case.
     pub(crate) fn fresh_ctx(&self) -> ExecCtx {
         let mut ctx = ExecCtx::with_cache(self.opts.exec.clone(), Arc::clone(&self.cache))
-            .with_workspace(Arc::clone(&self.workspace));
+            .with_workspace(Arc::clone(&self.workspace))
+            .with_problem(self.opts.problem.clone());
         let table = self.knobs.borrow();
         if !table.is_all_default() {
             ctx = ctx.with_knob_table(table.clone());
@@ -485,13 +514,14 @@ impl VTuner {
                 if n > self.opts.direct_max_n {
                     return None; // factoring would blow memory/time
                 }
-                let solver = self.cache.get(n); // factor outside timing
+                let op = self.opts.problem.op_for(n);
+                self.cache.warm_op(n, &op); // factor outside timing
                 let inst = &instances[0];
                 let mut best = f64::INFINITY;
                 for _ in 0..(*trials).max(1) {
                     let mut x = inst.working_grid();
                     let start = Instant::now();
-                    solver.solve(&mut x, &inst.b);
+                    self.cache.solve_op(&mut x, &inst.b, &op);
                     best = best.min(start.elapsed().as_secs_f64());
                 }
                 Some(Measured {
@@ -515,6 +545,7 @@ impl VTuner {
     ) -> Option<Measured> {
         let n = level_size(level);
         let omega = omega_opt(n);
+        let op = self.opts.problem.op_for(n);
         let cap = self.opts.sor_cap(n);
         // Per-sweep modeled cost for budget math.
         let sweep_cost = self.modeled_cost(&{
@@ -533,7 +564,7 @@ impl VTuner {
             let mut it = 0u32;
             let mut ratio = 1.0;
             while it < cap {
-                sor_sweep(&mut x, &inst.b, omega, &self.opts.exec);
+                sor_sweep_op(&op, &mut x, &inst.b, omega, &self.opts.exec);
                 it += 1;
                 let e = l2_diff(&x, x_opt, &self.opts.exec);
                 ratio = ratio_of_errors(e0, e);
@@ -584,7 +615,7 @@ impl VTuner {
                     let mut x = inst.working_grid();
                     let start = Instant::now();
                     for _ in 0..iterations {
-                        sor_sweep(&mut x, &inst.b, omega, &self.opts.exec);
+                        sor_sweep_op(&op, &mut x, &inst.b, omega, &self.opts.exec);
                     }
                     best = best.min(start.elapsed().as_secs_f64());
                 }

@@ -16,10 +16,8 @@ use crate::cost::CostModel;
 use crate::plan::ExecCtx;
 use crate::training::ProblemInstance;
 use petamg_choice::{KernelKnobs, KnobTable};
-use petamg_grid::{
-    coarse_size, interpolate_correct, l2_diff, level_size, residual_restrict, Exec, Grid2d,
-};
-use petamg_solvers::relax::{omega_opt, sor_sweep, OMEGA_CYCLE};
+use petamg_grid::{coarse_size, interpolate_correct, l2_diff, level_size, Exec, Grid2d};
+use petamg_solvers::relax::{omega_opt, sor_sweep_op, OMEGA_CYCLE};
 use petamg_solvers::DirectSolverCache;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -188,6 +186,7 @@ impl ParetoTuner {
         // two).
         let n = level_size(k);
         let omega = omega_opt(n);
+        let op_k = self.opts.problem.op_for(n);
         let sweep_cost = {
             let mut ops = crate::cost::OpCounts::new(k);
             ops.level_mut(k).relax_sweeps = 1;
@@ -208,7 +207,7 @@ impl ParetoTuner {
             let mut done = 0u32;
             for (pi, &p) in probes.iter().enumerate() {
                 while done < p {
-                    sor_sweep(&mut x, &inst.b, omega, &exec_k);
+                    sor_sweep_op(&op_k, &mut x, &inst.b, omega, &exec_k);
                     done += 1;
                 }
                 let ratio = ratio_of_errors(e0, l2_diff(&x, x_opt, &self.opts.exec));
@@ -234,7 +233,8 @@ impl ParetoTuner {
                 let x_opt = inst.x_opt().expect("ensured");
                 let e0 = l2_diff(&inst.x0, x_opt, &self.opts.exec);
                 let mut x = inst.working_grid();
-                let mut ctx = ExecCtx::with_cache(self.opts.exec.clone(), Arc::clone(&self.cache));
+                let mut ctx = ExecCtx::with_cache(self.opts.exec.clone(), Arc::clone(&self.cache))
+                    .with_problem(self.opts.problem.clone());
                 for t in 0..self.max_recurse_probe {
                     self.recurse_step(sets, k, sub_index, &mut x, &inst.b, &mut ctx);
                     if ii == 0 && t == 0 {
@@ -272,25 +272,26 @@ impl ParetoTuner {
         ctx: &mut ExecCtx,
     ) {
         if k <= 1 {
-            self.cache.solve(x, b);
+            self.cache.solve_op(x, b, &self.opts.problem.op_for(x.n()));
             ctx.ops.level_mut(1).direct_solves += 1;
             return;
         }
         let n = level_size(k);
+        let op = self.opts.problem.op_for(n);
         let exec_k = self.level_exec(k);
-        sor_sweep(x, b, OMEGA_CYCLE, &exec_k);
+        sor_sweep_op(&op, x, b, OMEGA_CYCLE, &exec_k);
         ctx.ops.level_mut(k).relax_sweeps += 1;
         let nc = coarse_size(n);
         let ws = Arc::clone(&ctx.workspace);
         let mut bc = ws.acquire(nc);
-        residual_restrict(x, b, &mut bc, &ws, &exec_k);
+        petamg_problems::residual_restrict_op(&op, x, b, &mut bc, &ws, &exec_k);
         ctx.ops.level_mut(k).residuals += 1;
         ctx.ops.level_mut(k).restricts += 1;
         let mut ec = ws.acquire(nc);
         self.run_algo(sets, k - 1, sub_index, &mut ec, &bc, ctx);
         interpolate_correct(&ec, x, &exec_k);
         ctx.ops.level_mut(k).interps += 1;
-        sor_sweep(x, b, OMEGA_CYCLE, &exec_k);
+        sor_sweep_op(&op, x, b, OMEGA_CYCLE, &exec_k);
         ctx.ops.level_mut(k).relax_sweeps += 1;
     }
 
@@ -305,14 +306,15 @@ impl ParetoTuner {
     ) {
         match sets[k][index].kind {
             ParetoKind::Direct => {
-                self.cache.solve(x, b);
+                self.cache.solve_op(x, b, &self.opts.problem.op_for(x.n()));
                 ctx.ops.level_mut(k).direct_solves += 1;
             }
             ParetoKind::Sor { iterations } => {
                 let omega = omega_opt(x.n());
+                let op = self.opts.problem.op_for(x.n());
                 let exec_k = self.level_exec(k);
                 for _ in 0..iterations {
-                    sor_sweep(x, b, omega, &exec_k);
+                    sor_sweep_op(&op, x, b, omega, &exec_k);
                 }
                 ctx.ops.level_mut(k).relax_sweeps += iterations as u64;
             }
@@ -349,7 +351,8 @@ impl ParetoTuner {
     }
 
     fn instances(&self, k: usize) -> Vec<ProblemInstance> {
-        crate::training::training_set(
+        crate::training::training_set_for(
+            &self.opts.problem,
             k,
             self.opts.distribution,
             self.opts.instances,

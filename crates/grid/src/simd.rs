@@ -213,11 +213,6 @@ trait Lanes: Copy {
     unsafe fn load2(p: *const f64) -> (Self, Self)
     where
         Self: Sized;
-    /// Store (evens, odds) interleaved into 8 consecutive values.
-    ///
-    /// # Safety
-    /// `p` must be valid for 8 writes.
-    unsafe fn store2(even: Self, odd: Self, p: *mut f64);
     /// Store lane `k` to `p[2k]`, leaving the odd slots untouched (the
     /// red/black stride-2 write).
     ///
@@ -254,6 +249,28 @@ trait Lanes: Copy {
         // SAFETY: forwarded contract.
         unsafe { self.store_spaced(p) }
     }
+    /// Interleave two vectors element-wise:
+    /// `(e, o) -> ([e0 o0 e1 o1], [e2 o2 e3 o3])`.
+    ///
+    /// The in-register inverse of [`Lanes::load2`]: lets kernels that
+    /// *accumulate into* interleaved memory (the interpolation rows)
+    /// use two plain loads + two plain stores instead of a
+    /// deinterleave/reinterleave round trip, halving the shuffle count
+    /// per 8 output values.
+    fn interleave(even: Self, odd: Self) -> (Self, Self)
+    where
+        Self: Sized,
+    {
+        let e = even.to_array();
+        let o = odd.to_array();
+        (
+            Self::from_array([e[0], o[0], e[1], o[1]]),
+            Self::from_array([e[2], o[2], e[3], o[3]]),
+        )
+    }
+    /// Build a vector from four lane values (used by the default
+    /// [`Lanes::interleave`]; backends override both).
+    fn from_array(a: [f64; 4]) -> Self;
     /// Lane-wise `+`.
     fn add(self, o: Self) -> Self;
     /// Lane-wise `-`.
@@ -305,15 +322,6 @@ impl Lanes for Portable {
         }
     }
     #[inline(always)]
-    unsafe fn store2(even: Self, odd: Self, p: *mut f64) {
-        unsafe {
-            for k in 0..4 {
-                *p.add(2 * k) = even.0[k];
-                *p.add(2 * k + 1) = odd.0[k];
-            }
-        }
-    }
-    #[inline(always)]
     unsafe fn store_spaced(self, p: *mut f64) {
         unsafe {
             for k in 0..4 {
@@ -348,6 +356,10 @@ impl Lanes for Portable {
     #[inline(always)]
     fn to_array(self) -> [f64; 4] {
         self.0
+    }
+    #[inline(always)]
+    fn from_array(a: [f64; 4]) -> Self {
+        Portable(a)
     }
 }
 
@@ -387,16 +399,6 @@ impl Lanes for Avx {
                 Avx(_mm256_permute4x64_pd::<0b1101_1000>(lo)), // s0 s2 s4 s6
                 Avx(_mm256_permute4x64_pd::<0b1101_1000>(hi)), // s1 s3 s5 s7
             )
-        }
-    }
-    #[inline(always)]
-    unsafe fn store2(even: Self, odd: Self, p: *mut f64) {
-        use core::arch::x86_64::*;
-        unsafe {
-            let lo = _mm256_unpacklo_pd(even.0, odd.0); // e0 o0 e2 o2
-            let hi = _mm256_unpackhi_pd(even.0, odd.0); // e1 o1 e3 o3
-            _mm256_storeu_pd(p, _mm256_permute2f128_pd::<0x20>(lo, hi)); // e0 o0 e1 o1
-            _mm256_storeu_pd(p.add(4), _mm256_permute2f128_pd::<0x31>(lo, hi)); // e2 o2 e3 o3
         }
     }
     #[inline(always)]
@@ -477,6 +479,23 @@ impl Lanes for Avx {
         unsafe { _mm256_storeu_pd(out.as_mut_ptr(), self.0) };
         out
     }
+    #[inline(always)]
+    fn from_array(a: [f64; 4]) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_loadu_pd(a.as_ptr())) }
+    }
+    #[inline(always)]
+    fn interleave(even: Self, odd: Self) -> (Self, Self) {
+        use core::arch::x86_64::*;
+        unsafe {
+            let lo = _mm256_unpacklo_pd(even.0, odd.0); // e0 o0 e2 o2
+            let hi = _mm256_unpackhi_pd(even.0, odd.0); // e1 o1 e3 o3
+            (
+                Avx(_mm256_permute2f128_pd::<0x20>(lo, hi)), // e0 o0 e1 o1
+                Avx(_mm256_permute2f128_pd::<0x31>(lo, hi)), // e2 o2 e3 o3
+            )
+        }
+    }
 }
 
 /// The `core::arch` NEON backend: a pair of 128-bit registers. NEON is
@@ -515,14 +534,6 @@ impl Lanes for Neon {
             let a = vld2q_f64(p); // deinterleaves p[0..4]
             let b = vld2q_f64(p.add(4)); // deinterleaves p[4..8]
             (Neon(a.0, b.0), Neon(a.1, b.1))
-        }
-    }
-    #[inline(always)]
-    unsafe fn store2(even: Self, odd: Self, p: *mut f64) {
-        use core::arch::aarch64::*;
-        unsafe {
-            vst2q_f64(p, float64x2x2_t(even.0, odd.0));
-            vst2q_f64(p.add(4), float64x2x2_t(even.1, odd.1));
         }
     }
     #[inline(always)]
@@ -574,6 +585,21 @@ impl Lanes for Neon {
             vst1q_f64(out.as_mut_ptr().add(2), self.1);
         }
         out
+    }
+    #[inline(always)]
+    fn from_array(a: [f64; 4]) -> Self {
+        use core::arch::aarch64::*;
+        unsafe { Neon(vld1q_f64(a.as_ptr()), vld1q_f64(a.as_ptr().add(2))) }
+    }
+    #[inline(always)]
+    fn interleave(even: Self, odd: Self) -> (Self, Self) {
+        use core::arch::aarch64::*;
+        unsafe {
+            (
+                Neon(vzip1q_f64(even.0, odd.0), vzip2q_f64(even.0, odd.0)),
+                Neon(vzip1q_f64(even.1, odd.1), vzip2q_f64(even.1, odd.1)),
+            )
+        }
     }
 }
 
@@ -682,6 +708,12 @@ mod body {
     /// Coincident-row interpolation correction: `frow[2jc] += c0[jc]`,
     /// `frow[2jc+1] += ½(c0[jc] + c0[jc+1])` for `jc in 1..nc-1` (the
     /// `jc = 0` prologue is handled by the caller).
+    ///
+    /// The corrections are built in *deinterleaved* registers and then
+    /// [`Lanes::interleave`]d once, so the fine row itself moves through
+    /// plain loads/stores — no deinterleave/reinterleave round trip on
+    /// the accumulator (the shuffle-count saving that closes the
+    /// interpolation headroom noted in the roadmap).
     #[inline(always)]
     pub(super) unsafe fn interp_row_even<L: Lanes>(c0: *const f64, frow: *mut f64, nc: usize) {
         let half = L::splat(0.5);
@@ -690,10 +722,12 @@ mod body {
             while jc + 5 <= nc {
                 let a = L::load(c0.add(jc));
                 let b = L::load(c0.add(jc + 1));
-                let (fe, fo) = L::load2(frow.add(2 * jc));
-                let even = fe.add(a);
-                let odd = fo.add(half.mul(a.add(b)));
-                L::store2(even, odd, frow.add(2 * jc));
+                let odd = half.mul(a.add(b));
+                let (i0, i1) = L::interleave(a, odd);
+                let p = frow.add(2 * jc);
+                L::load(p).add(i0).store(p);
+                let p = frow.add(2 * jc + 4);
+                L::load(p).add(i1).store(p);
                 jc += 4;
             }
             while jc < nc - 1 {
@@ -706,7 +740,8 @@ mod body {
 
     /// Midpoint-row interpolation correction: `frow[2jc] += ½(c0[jc] +
     /// c1[jc])`, `frow[2jc+1] += ¼(c0[jc] + c0[jc+1] + c1[jc] +
-    /// c1[jc+1])` for `jc in 1..nc-1`.
+    /// c1[jc+1])` for `jc in 1..nc-1`. Same interleave-once scheme as
+    /// [`interp_row_even`].
     #[inline(always)]
     pub(super) unsafe fn interp_row_odd<L: Lanes>(
         c0: *const f64,
@@ -723,11 +758,14 @@ mod body {
                 let b0 = L::load(c0.add(jc + 1));
                 let a1 = L::load(c1.add(jc));
                 let b1 = L::load(c1.add(jc + 1));
-                let (fe, fo) = L::load2(frow.add(2 * jc));
-                let even = fe.add(half.mul(a0.add(a1)));
+                let even = half.mul(a0.add(a1));
                 // ((c0[jc] + c0[jc+1]) + c1[jc]) + c1[jc+1], scalar order.
-                let odd = fo.add(quarter.mul(a0.add(b0).add(a1).add(b1)));
-                L::store2(even, odd, frow.add(2 * jc));
+                let odd = quarter.mul(a0.add(b0).add(a1).add(b1));
+                let (i0, i1) = L::interleave(even, odd);
+                let p = frow.add(2 * jc);
+                L::load(p).add(i0).store(p);
+                let p = frow.add(2 * jc + 4);
+                L::load(p).add(i1).store(p);
                 jc += 4;
             }
             while jc < nc - 1 {
@@ -820,6 +858,344 @@ mod body {
             while j < m {
                 let nb = *up.add(j) + *dn.add(j) + *left.add(j) + *right.add(j);
                 let jac = 0.25 * (nb + h2 * *brow.add(j));
+                let prev = *center.add(j);
+                *out.add(j) = prev + omega * (jac - prev);
+                j += 1;
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Coefficient-aware bodies (the operator-family seam): the same
+    // kernels with per-axis constant weights (anisotropic operators)
+    // or per-cell coefficient rows (variable-coefficient diffusion).
+    // With all weights 1 and diagonal 4 these reduce to the Poisson
+    // bodies bit for bit (multiplication by 1.0 is exact and the
+    // association order is identical) — property-tested in
+    // `petamg-problems`.
+    // -----------------------------------------------------------------
+
+    /// Residual row for a constant five-point stencil
+    /// `(cc·u − cn·N − cs·S − cw·W − ce·E)/h²` over trimmed interior
+    /// pointers of length `m`.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn wres_residual_row<L: Lanes>(
+        up: *const f64,
+        left: *const f64,
+        center: *const f64,
+        right: *const f64,
+        dn: *const f64,
+        brow: *const f64,
+        cw: f64,
+        ce: f64,
+        cn: f64,
+        cs: f64,
+        cc: f64,
+        inv_h2: f64,
+        out: *mut f64,
+        m: usize,
+    ) {
+        let (vw, ve, vn, vs, vc) = (
+            L::splat(cw),
+            L::splat(ce),
+            L::splat(cn),
+            L::splat(cs),
+            L::splat(cc),
+        );
+        let vinv = L::splat(inv_h2);
+        let mut j = 0usize;
+        unsafe {
+            while j + 4 <= m {
+                let c = L::load(center.add(j));
+                let u = L::load(up.add(j));
+                let d = L::load(dn.add(j));
+                let l = L::load(left.add(j));
+                let r = L::load(right.add(j));
+                // ((((cc·c − cn·u) − cs·d) − cw·l) − ce·r) · inv_h2 —
+                // the Poisson association order with weighted terms.
+                let ax = vc
+                    .mul(c)
+                    .sub(vn.mul(u))
+                    .sub(vs.mul(d))
+                    .sub(vw.mul(l))
+                    .sub(ve.mul(r))
+                    .mul(vinv);
+                L::load(brow.add(j)).sub(ax).store(out.add(j));
+                j += 4;
+            }
+            while j < m {
+                let ax = (cc * *center.add(j)
+                    - cn * *up.add(j)
+                    - cs * *dn.add(j)
+                    - cw * *left.add(j)
+                    - ce * *right.add(j))
+                    * inv_h2;
+                *out.add(j) = *brow.add(j) - ax;
+                j += 1;
+            }
+        }
+    }
+
+    /// Residual row for a variable-coefficient stencil: the five weight
+    /// rows are per-cell arrays sharing the trimmed interior offset.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn var_residual_row<L: Lanes>(
+        up: *const f64,
+        left: *const f64,
+        center: *const f64,
+        right: *const f64,
+        dn: *const f64,
+        brow: *const f64,
+        cw: *const f64,
+        ce: *const f64,
+        cn: *const f64,
+        cs: *const f64,
+        cc: *const f64,
+        inv_h2: f64,
+        out: *mut f64,
+        m: usize,
+    ) {
+        let vinv = L::splat(inv_h2);
+        let mut j = 0usize;
+        unsafe {
+            while j + 4 <= m {
+                let c = L::load(center.add(j));
+                let u = L::load(up.add(j));
+                let d = L::load(dn.add(j));
+                let l = L::load(left.add(j));
+                let r = L::load(right.add(j));
+                let ax = L::load(cc.add(j))
+                    .mul(c)
+                    .sub(L::load(cn.add(j)).mul(u))
+                    .sub(L::load(cs.add(j)).mul(d))
+                    .sub(L::load(cw.add(j)).mul(l))
+                    .sub(L::load(ce.add(j)).mul(r))
+                    .mul(vinv);
+                L::load(brow.add(j)).sub(ax).store(out.add(j));
+                j += 4;
+            }
+            while j < m {
+                let ax = (*cc.add(j) * *center.add(j)
+                    - *cn.add(j) * *up.add(j)
+                    - *cs.add(j) * *dn.add(j)
+                    - *cw.add(j) * *left.add(j)
+                    - *ce.add(j) * *right.add(j))
+                    * inv_h2;
+                *out.add(j) = *brow.add(j) - ax;
+                j += 1;
+            }
+        }
+    }
+
+    /// Red/black SOR row for a constant five-point stencil:
+    /// `gs = (cn·N + cs·S + cw·W + ce·E + h²·b) · inv_cc`.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn wres_sor_row<L: Lanes>(
+        up: *const f64,
+        mid: *mut f64,
+        dn: *const f64,
+        brow: *const f64,
+        n: usize,
+        h2: f64,
+        omega: f64,
+        j0: usize,
+        cw: f64,
+        ce: f64,
+        cn: f64,
+        cs: f64,
+        inv_cc: f64,
+    ) {
+        let vh2 = L::splat(h2);
+        let vomega = L::splat(omega);
+        let (vw, ve, vn, vs, vic) = (
+            L::splat(cw),
+            L::splat(ce),
+            L::splat(cn),
+            L::splat(cs),
+            L::splat(inv_cc),
+        );
+        let mut j = j0;
+        unsafe {
+            while j + 9 <= n {
+                let (u, _) = L::load2_perm(up.add(j));
+                let (d, _) = L::load2_perm(dn.add(j));
+                let (l, old) = L::load2_perm(mid.add(j - 1));
+                let (r, _) = L::load2_perm(mid.add(j + 1));
+                let (b, _) = L::load2_perm(brow.add(j));
+                // nb = cn·up + cs·dn + cw·left + ce·right (Poisson order)
+                let nb = vn.mul(u).add(vs.mul(d)).add(vw.mul(l)).add(ve.mul(r));
+                let gs = nb.add(vh2.mul(b)).mul(vic);
+                let new = old.add(vomega.mul(gs.sub(old)));
+                new.store_spaced_perm(mid.add(j));
+                j += 8;
+            }
+            while j < n - 1 {
+                let nb =
+                    cn * *up.add(j) + cs * *dn.add(j) + cw * *mid.add(j - 1) + ce * *mid.add(j + 1);
+                let gs = (nb + h2 * *brow.add(j)) * inv_cc;
+                let old = *mid.add(j);
+                *mid.add(j) = old + omega * (gs - old);
+                j += 2;
+            }
+        }
+    }
+
+    /// Red/black SOR row for a variable-coefficient stencil: the four
+    /// face-weight rows and the inverse-diagonal row are per-cell
+    /// arrays indexed like `mid`.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn var_sor_row<L: Lanes>(
+        up: *const f64,
+        mid: *mut f64,
+        dn: *const f64,
+        brow: *const f64,
+        cw: *const f64,
+        ce: *const f64,
+        cn: *const f64,
+        cs: *const f64,
+        icc: *const f64,
+        n: usize,
+        h2: f64,
+        omega: f64,
+        j0: usize,
+    ) {
+        let vh2 = L::splat(h2);
+        let vomega = L::splat(omega);
+        let mut j = j0;
+        unsafe {
+            while j + 9 <= n {
+                let (u, _) = L::load2_perm(up.add(j));
+                let (d, _) = L::load2_perm(dn.add(j));
+                let (l, old) = L::load2_perm(mid.add(j - 1));
+                let (r, _) = L::load2_perm(mid.add(j + 1));
+                let (b, _) = L::load2_perm(brow.add(j));
+                // All load2_perm results share one lane permutation, so
+                // the coefficient lanes stay element-aligned with the
+                // solution lanes.
+                let (wn, _) = L::load2_perm(cn.add(j));
+                let (ws, _) = L::load2_perm(cs.add(j));
+                let (ww, _) = L::load2_perm(cw.add(j));
+                let (we, _) = L::load2_perm(ce.add(j));
+                let (ic, _) = L::load2_perm(icc.add(j));
+                let nb = wn.mul(u).add(ws.mul(d)).add(ww.mul(l)).add(we.mul(r));
+                let gs = nb.add(vh2.mul(b)).mul(ic);
+                let new = old.add(vomega.mul(gs.sub(old)));
+                new.store_spaced_perm(mid.add(j));
+                j += 8;
+            }
+            while j < n - 1 {
+                let nb = *cn.add(j) * *up.add(j)
+                    + *cs.add(j) * *dn.add(j)
+                    + *cw.add(j) * *mid.add(j - 1)
+                    + *ce.add(j) * *mid.add(j + 1);
+                let gs = (nb + h2 * *brow.add(j)) * *icc.add(j);
+                let old = *mid.add(j);
+                *mid.add(j) = old + omega * (gs - old);
+                j += 2;
+            }
+        }
+    }
+
+    /// Weighted-Jacobi row for a constant five-point stencil over
+    /// trimmed interior pointers of length `m`.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn wres_jacobi_row<L: Lanes>(
+        up: *const f64,
+        dn: *const f64,
+        left: *const f64,
+        center: *const f64,
+        right: *const f64,
+        brow: *const f64,
+        cw: f64,
+        ce: f64,
+        cn: f64,
+        cs: f64,
+        inv_cc: f64,
+        h2: f64,
+        omega: f64,
+        out: *mut f64,
+        m: usize,
+    ) {
+        let vh2 = L::splat(h2);
+        let vomega = L::splat(omega);
+        let (vw, ve, vn, vs, vic) = (
+            L::splat(cw),
+            L::splat(ce),
+            L::splat(cn),
+            L::splat(cs),
+            L::splat(inv_cc),
+        );
+        let mut j = 0usize;
+        unsafe {
+            while j + 4 <= m {
+                let nb = vn
+                    .mul(L::load(up.add(j)))
+                    .add(vs.mul(L::load(dn.add(j))))
+                    .add(vw.mul(L::load(left.add(j))))
+                    .add(ve.mul(L::load(right.add(j))));
+                let jac = nb.add(vh2.mul(L::load(brow.add(j)))).mul(vic);
+                let prev = L::load(center.add(j));
+                prev.add(vomega.mul(jac.sub(prev))).store(out.add(j));
+                j += 4;
+            }
+            while j < m {
+                let nb = cn * *up.add(j) + cs * *dn.add(j) + cw * *left.add(j) + ce * *right.add(j);
+                let jac = (nb + h2 * *brow.add(j)) * inv_cc;
+                let prev = *center.add(j);
+                *out.add(j) = prev + omega * (jac - prev);
+                j += 1;
+            }
+        }
+    }
+
+    /// Weighted-Jacobi row for a variable-coefficient stencil.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn var_jacobi_row<L: Lanes>(
+        up: *const f64,
+        dn: *const f64,
+        left: *const f64,
+        center: *const f64,
+        right: *const f64,
+        brow: *const f64,
+        cw: *const f64,
+        ce: *const f64,
+        cn: *const f64,
+        cs: *const f64,
+        icc: *const f64,
+        h2: f64,
+        omega: f64,
+        out: *mut f64,
+        m: usize,
+    ) {
+        let vh2 = L::splat(h2);
+        let vomega = L::splat(omega);
+        let mut j = 0usize;
+        unsafe {
+            while j + 4 <= m {
+                let nb = L::load(cn.add(j))
+                    .mul(L::load(up.add(j)))
+                    .add(L::load(cs.add(j)).mul(L::load(dn.add(j))))
+                    .add(L::load(cw.add(j)).mul(L::load(left.add(j))))
+                    .add(L::load(ce.add(j)).mul(L::load(right.add(j))));
+                let jac = nb
+                    .add(vh2.mul(L::load(brow.add(j))))
+                    .mul(L::load(icc.add(j)));
+                let prev = L::load(center.add(j));
+                prev.add(vomega.mul(jac.sub(prev))).store(out.add(j));
+                j += 4;
+            }
+            while j < m {
+                let nb = *cn.add(j) * *up.add(j)
+                    + *cs.add(j) * *dn.add(j)
+                    + *cw.add(j) * *left.add(j)
+                    + *ce.add(j) * *right.add(j);
+                let jac = (nb + h2 * *brow.add(j)) * *icc.add(j);
                 let prev = *center.add(j);
                 *out.add(j) = prev + omega * (jac - prev);
                 j += 1;
@@ -1053,6 +1429,90 @@ dispatch! {
     pub unsafe fn jacobi_row / jacobi_row_avx2(
         up: *const f64, dn: *const f64, left: *const f64, center: *const f64,
         right: *const f64, brow: *const f64, h2: f64, omega: f64,
+        out: *mut f64, m: usize,
+    )
+}
+
+dispatch! {
+    /// Vector residual row for a constant five-point stencil (trimmed
+    /// interior pointers, length `m`). Weights `(1,1,1,1,4)` reproduce
+    /// the Poisson `residual_row`'s bits exactly.
+    ///
+    /// # Safety
+    /// All pointers valid for `m` reads (`out` for `m` writes); `out`
+    /// must not alias the inputs.
+    pub unsafe fn wres_residual_row / wres_residual_row_avx2(
+        up: *const f64, left: *const f64, center: *const f64, right: *const f64,
+        dn: *const f64, brow: *const f64, cw: f64, ce: f64, cn: f64, cs: f64,
+        cc: f64, inv_h2: f64, out: *mut f64, m: usize,
+    )
+}
+
+dispatch! {
+    /// Vector residual row for a variable-coefficient stencil: the five
+    /// coefficient rows are trimmed like the solution rows.
+    ///
+    /// # Safety
+    /// All pointers valid for `m` reads (`out` for `m` writes); `out`
+    /// must not alias the inputs.
+    pub unsafe fn var_residual_row / var_residual_row_avx2(
+        up: *const f64, left: *const f64, center: *const f64, right: *const f64,
+        dn: *const f64, brow: *const f64, cw: *const f64, ce: *const f64,
+        cn: *const f64, cs: *const f64, cc: *const f64, inv_h2: f64,
+        out: *mut f64, m: usize,
+    )
+}
+
+dispatch! {
+    /// Vector red/black SOR row for a constant five-point stencil
+    /// (stride 2 from `j0`).
+    ///
+    /// # Safety
+    /// Same contract as [`sor_row`].
+    pub unsafe fn wres_sor_row / wres_sor_row_avx2(
+        up: *const f64, mid: *mut f64, dn: *const f64, brow: *const f64,
+        n: usize, h2: f64, omega: f64, j0: usize,
+        cw: f64, ce: f64, cn: f64, cs: f64, inv_cc: f64,
+    )
+}
+
+dispatch! {
+    /// Vector red/black SOR row for a variable-coefficient stencil:
+    /// face-weight and inverse-diagonal rows are full `n`-length arrays
+    /// indexed like `mid`.
+    ///
+    /// # Safety
+    /// Same contract as [`sor_row`], plus all coefficient rows valid
+    /// for `n` reads.
+    pub unsafe fn var_sor_row / var_sor_row_avx2(
+        up: *const f64, mid: *mut f64, dn: *const f64, brow: *const f64,
+        cw: *const f64, ce: *const f64, cn: *const f64, cs: *const f64,
+        icc: *const f64, n: usize, h2: f64, omega: f64, j0: usize,
+    )
+}
+
+dispatch! {
+    /// Vector weighted-Jacobi row for a constant five-point stencil.
+    ///
+    /// # Safety
+    /// Same contract as [`jacobi_row`].
+    pub unsafe fn wres_jacobi_row / wres_jacobi_row_avx2(
+        up: *const f64, dn: *const f64, left: *const f64, center: *const f64,
+        right: *const f64, brow: *const f64, cw: f64, ce: f64, cn: f64,
+        cs: f64, inv_cc: f64, h2: f64, omega: f64, out: *mut f64, m: usize,
+    )
+}
+
+dispatch! {
+    /// Vector weighted-Jacobi row for a variable-coefficient stencil.
+    ///
+    /// # Safety
+    /// Same contract as [`jacobi_row`], plus all coefficient rows valid
+    /// for `m` reads at the trimmed offset.
+    pub unsafe fn var_jacobi_row / var_jacobi_row_avx2(
+        up: *const f64, dn: *const f64, left: *const f64, center: *const f64,
+        right: *const f64, brow: *const f64, cw: *const f64, ce: *const f64,
+        cn: *const f64, cs: *const f64, icc: *const f64, h2: f64, omega: f64,
         out: *mut f64, m: usize,
     )
 }

@@ -1,0 +1,364 @@
+//! Coefficient fields for the variable-coefficient diffusion operator
+//! `-∇·(a(x,y)∇u) = f` and their restriction to coarse levels.
+//!
+//! The field is stored **vertex-centered**: `a(i, j)` is sampled at the
+//! same grid points as the solution. The finite-volume discretization
+//! turns it into four **face weights** per cell by the *harmonic* mean
+//! of the two adjacent vertex values — the standard choice for jump
+//! coefficients, because flux continuity across an interface is a
+//! harmonic-mean property (an arithmetic face mean over-weights the
+//! stiff side by orders of magnitude at a ×1000 jump).
+//!
+//! Coarse levels re-discretize: the vertex field moves down by the same
+//! **arithmetic** full-weighting average used for residual restriction
+//! (a 9-point [1 2 1; 2 4 2; 1 2 1]/16 stencil), and each coarse level
+//! then derives its own harmonic face weights. With `a ≡ 1` every face
+//! weight is exactly `1.0` and every diagonal exactly `4.0` at every
+//! level, which is what makes the variable-coefficient kernels
+//! bit-for-bit reducible to the Poisson kernels (property-tested in
+//! this crate).
+
+/// Harmonic mean `2ab/(a+b)` of two positive vertex values — the face
+/// weight between the cells holding them. `harmonic(1, 1) == 1.0`
+/// exactly.
+#[inline]
+pub fn harmonic(a: f64, b: f64) -> f64 {
+    (2.0 * a * b) / (a + b)
+}
+
+/// FNV-1a over the bit patterns of a coefficient field (the content
+/// hash carried by [`crate::ProblemFingerprint`]).
+pub fn field_hash(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One level's pre-derived stencil data for the variable-coefficient
+/// operator: per-cell face weights (west/east/north/south), the
+/// diagonal `c = ((w + e) + n) + s`, and its reciprocal `1/c` (so the
+/// relaxation kernels multiply instead of divide; with `c = 4` the
+/// reciprocal is exactly `0.25`, matching the Poisson kernels'
+/// constant).
+///
+/// All six arrays are full `n×n` row-major grids indexed like the
+/// solution; only interior entries are ever read by the kernels.
+#[derive(Clone, Debug)]
+pub struct StencilCoeffs {
+    n: usize,
+    /// Vertex-centered coefficient field this level was derived from.
+    vertex: Vec<f64>,
+    w: Vec<f64>,
+    e: Vec<f64>,
+    nn: Vec<f64>,
+    s: Vec<f64>,
+    c: Vec<f64>,
+    ic: Vec<f64>,
+    hash: u64,
+}
+
+impl StencilCoeffs {
+    /// Derive face weights and diagonals from a vertex-centered field
+    /// (`values.len() == n*n`).
+    ///
+    /// # Panics
+    /// Panics if the field length is not `n²`, `n < 3`, or any value is
+    /// not strictly positive (the operator must stay elliptic/SPD).
+    pub fn from_vertex_field(n: usize, vertex: Vec<f64>) -> Self {
+        assert!(n >= 3, "coefficient field needs n >= 3");
+        assert_eq!(vertex.len(), n * n, "coefficient field must be n^2 values");
+        assert!(
+            vertex.iter().all(|v| *v > 0.0 && v.is_finite()),
+            "coefficients must be strictly positive and finite"
+        );
+        let at = |i: usize, j: usize| vertex[i * n + j];
+        let mut w = vec![1.0; n * n];
+        let mut e = vec![1.0; n * n];
+        let mut nn = vec![1.0; n * n];
+        let mut s = vec![1.0; n * n];
+        let mut c = vec![4.0; n * n];
+        let mut ic = vec![0.25; n * n];
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let u = i * n + j;
+                w[u] = harmonic(at(i, j), at(i, j - 1));
+                e[u] = harmonic(at(i, j), at(i, j + 1));
+                nn[u] = harmonic(at(i, j), at(i - 1, j));
+                s[u] = harmonic(at(i, j), at(i + 1, j));
+                // Same association order as the kernels' neighbor sums.
+                c[u] = ((w[u] + e[u]) + nn[u]) + s[u];
+                ic[u] = 1.0 / c[u];
+            }
+        }
+        let hash = field_hash(&vertex);
+        StencilCoeffs {
+            n,
+            vertex,
+            w,
+            e,
+            nn,
+            s,
+            c,
+            ic,
+            hash,
+        }
+    }
+
+    /// Grid side length this level's arrays are sized for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Content hash of the vertex field (FNV-1a over value bits).
+    #[inline]
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The vertex-centered field (row-major, `n²` values).
+    #[inline]
+    pub fn vertex_field(&self) -> &[f64] {
+        &self.vertex
+    }
+
+    /// West face-weight row `i`.
+    #[inline]
+    pub fn w_row(&self, i: usize) -> &[f64] {
+        &self.w[i * self.n..(i + 1) * self.n]
+    }
+    /// East face-weight row `i`.
+    #[inline]
+    pub fn e_row(&self, i: usize) -> &[f64] {
+        &self.e[i * self.n..(i + 1) * self.n]
+    }
+    /// North face-weight row `i`.
+    #[inline]
+    pub fn n_row(&self, i: usize) -> &[f64] {
+        &self.nn[i * self.n..(i + 1) * self.n]
+    }
+    /// South face-weight row `i`.
+    #[inline]
+    pub fn s_row(&self, i: usize) -> &[f64] {
+        &self.s[i * self.n..(i + 1) * self.n]
+    }
+    /// Diagonal row `i` (`c = ((w+e)+n)+s`).
+    #[inline]
+    pub fn c_row(&self, i: usize) -> &[f64] {
+        &self.c[i * self.n..(i + 1) * self.n]
+    }
+    /// Reciprocal-diagonal row `i`.
+    #[inline]
+    pub fn ic_row(&self, i: usize) -> &[f64] {
+        &self.ic[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Restrict the vertex field to the next coarser grid by the
+    /// full-weighting average (arithmetic; boundary vertices by
+    /// injection) and derive that level's face weights.
+    ///
+    /// # Panics
+    /// Panics if `n <= 3` (no coarser level exists).
+    pub fn coarsen(&self) -> StencilCoeffs {
+        let n = self.n;
+        assert!(n > 3, "cannot coarsen below the 3x3 base case");
+        let nc = (n - 1) / 2 + 1;
+        let at = |i: usize, j: usize| self.vertex[i * n + j];
+        let mut coarse = vec![0.0; nc * nc];
+        for ic in 0..nc {
+            for jc in 0..nc {
+                let (fi, fj) = (2 * ic, 2 * jc);
+                coarse[ic * nc + jc] = if ic == 0 || jc == 0 || ic == nc - 1 || jc == nc - 1 {
+                    at(fi, fj)
+                } else {
+                    let center = at(fi, fj);
+                    let edges = at(fi - 1, fj) + at(fi + 1, fj) + at(fi, fj - 1) + at(fi, fj + 1);
+                    let corners = at(fi - 1, fj - 1)
+                        + at(fi - 1, fj + 1)
+                        + at(fi + 1, fj - 1)
+                        + at(fi + 1, fj + 1);
+                    (4.0 * center + 2.0 * edges + corners) / 16.0
+                };
+            }
+        }
+        StencilCoeffs::from_vertex_field(nc, coarse)
+    }
+}
+
+/// Named coefficient profiles `a(x, y)` on the unit square — the
+/// canonical workloads shipped with the subsystem (plus the tests' and
+/// benches' custom closures via [`CoeffProfile::sample`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CoeffProfile {
+    /// `a ≡ 1`: the constant-coefficient operator (bitwise identical to
+    /// the Poisson kernels — the conformance anchor).
+    Constant,
+    /// `a(x,y) = 1 + amplitude·sin(2πx)·sin(2πy)`, smooth and gentle
+    /// (`amplitude < 1` keeps the operator elliptic).
+    SmoothSinusoidal {
+        /// Peak deviation from 1 (must satisfy `0 < amplitude < 1`).
+        amplitude: f64,
+    },
+    /// `a = ratio` inside the centered square inclusion
+    /// `[3/8, 5/8]²`, `a = 1` outside — the ×1000 jump workload.
+    JumpInclusion {
+        /// Coefficient inside the inclusion (e.g. `1000.0`).
+        ratio: f64,
+    },
+}
+
+impl CoeffProfile {
+    /// Short machine-friendly name (used in fingerprints and bench
+    /// records).
+    pub fn name(&self) -> String {
+        match self {
+            CoeffProfile::Constant => "constant".into(),
+            CoeffProfile::SmoothSinusoidal { .. } => "smooth".into(),
+            CoeffProfile::JumpInclusion { ratio } => format!("jump{ratio}"),
+        }
+    }
+
+    /// The scalar parameter recorded in the fingerprint (amplitude,
+    /// ratio, or 0 for constant).
+    pub fn param(&self) -> f64 {
+        match self {
+            CoeffProfile::Constant => 0.0,
+            CoeffProfile::SmoothSinusoidal { amplitude } => *amplitude,
+            CoeffProfile::JumpInclusion { ratio } => *ratio,
+        }
+    }
+
+    /// Evaluate `a(x, y)`.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        match self {
+            CoeffProfile::Constant => 1.0,
+            CoeffProfile::SmoothSinusoidal { amplitude } => {
+                1.0 + amplitude
+                    * (2.0 * std::f64::consts::PI * x).sin()
+                    * (2.0 * std::f64::consts::PI * y).sin()
+            }
+            CoeffProfile::JumpInclusion { ratio } => {
+                if (0.375..=0.625).contains(&x) && (0.375..=0.625).contains(&y) {
+                    *ratio
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Sample the profile onto an `n×n` vertex grid (row `i` is the `y`
+    /// direction, matching `Grid2d`).
+    pub fn vertex_field(&self, n: usize) -> Vec<f64> {
+        let h = 1.0 / (n as f64 - 1.0);
+        let mut field = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                field[i * n + j] = self.sample(j as f64 * h, i as f64 * h);
+            }
+        }
+        field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_properties() {
+        assert_eq!(harmonic(1.0, 1.0), 1.0);
+        assert!((harmonic(1.0, 1000.0) - 2000.0 / 1001.0).abs() < 1e-12);
+        // Harmonic mean is dominated by the small side.
+        assert!(harmonic(1.0, 1000.0) < 2.0);
+    }
+
+    #[test]
+    fn constant_field_gives_poisson_weights_exactly() {
+        let c = StencilCoeffs::from_vertex_field(9, vec![1.0; 81]);
+        for i in 1..8 {
+            for j in 1..8 {
+                assert_eq!(c.w_row(i)[j], 1.0);
+                assert_eq!(c.e_row(i)[j], 1.0);
+                assert_eq!(c.n_row(i)[j], 1.0);
+                assert_eq!(c.s_row(i)[j], 1.0);
+                assert_eq!(c.c_row(i)[j], 4.0);
+                assert_eq!(c.ic_row(i)[j], 0.25);
+            }
+        }
+    }
+
+    #[test]
+    fn coarsening_preserves_constant_fields_exactly() {
+        let fine = StencilCoeffs::from_vertex_field(9, vec![1.0; 81]);
+        let coarse = fine.coarsen();
+        assert_eq!(coarse.n(), 5);
+        assert!(coarse.vertex_field().iter().all(|&v| v == 1.0));
+        assert_eq!(coarse.c_row(2)[2], 4.0);
+    }
+
+    #[test]
+    fn face_weights_are_symmetric_across_shared_faces() {
+        // e(i,j) and w(i,j+1) describe the same physical face.
+        let field = CoeffProfile::JumpInclusion { ratio: 1000.0 }.vertex_field(17);
+        let c = StencilCoeffs::from_vertex_field(17, field);
+        for i in 1..16 {
+            for j in 1..15 {
+                assert_eq!(
+                    c.e_row(i)[j],
+                    c.w_row(i)[j + 1],
+                    "face ({i},{j})-({i},{})",
+                    j + 1
+                );
+            }
+        }
+        for i in 1..15 {
+            for j in 1..16 {
+                assert_eq!(
+                    c.s_row(i)[j],
+                    c.n_row(i + 1)[j],
+                    "face ({i},{j})-({},{j})",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jump_profile_has_the_inclusion() {
+        let p = CoeffProfile::JumpInclusion { ratio: 1000.0 };
+        assert_eq!(p.sample(0.5, 0.5), 1000.0);
+        assert_eq!(p.sample(0.1, 0.5), 1.0);
+        assert_eq!(p.sample(0.5, 0.9), 1.0);
+    }
+
+    #[test]
+    fn smooth_profile_stays_elliptic() {
+        let p = CoeffProfile::SmoothSinusoidal { amplitude: 0.9 };
+        let field = p.vertex_field(33);
+        assert!(field.iter().all(|&v| v > 0.0));
+        assert!(field.iter().any(|&v| v > 1.5));
+        assert!(field.iter().any(|&v| v < 0.5));
+    }
+
+    #[test]
+    fn hash_distinguishes_fields() {
+        let a = CoeffProfile::Constant.vertex_field(9);
+        let b = CoeffProfile::JumpInclusion { ratio: 1000.0 }.vertex_field(9);
+        assert_ne!(field_hash(&a), field_hash(&b));
+        assert_eq!(field_hash(&a), field_hash(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn rejects_nonpositive_coefficients() {
+        let mut f = vec![1.0; 25];
+        f[12] = 0.0;
+        let _ = StencilCoeffs::from_vertex_field(5, f);
+    }
+}

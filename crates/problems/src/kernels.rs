@@ -1,0 +1,253 @@
+//! Grid-level operator kernels: the staged residual/operator sweeps and
+//! the fused residual + restriction pass, parameterized by
+//! [`StencilOp`].
+//!
+//! These mirror the Poisson kernels in `petamg-grid` exactly — every
+//! residual value comes from [`StencilOp::residual_row_into`] and every
+//! restriction weight from `petamg_grid::restrict_rows_into`, so the
+//! fused and staged paths are **bitwise identical** under every
+//! [`Exec`] policy and [`SimdMode`](petamg_grid::SimdMode), for every
+//! operator variant. With [`StencilOp::Poisson`] they reduce to the
+//! original `petamg_grid` kernels bit for bit and instruction for
+//! instruction.
+
+use crate::op::StencilOp;
+use petamg_grid::{
+    coarse_size, restrict_rows_into, zero_boundary_ring, Exec, Grid2d, GridPtr, Workspace,
+};
+
+/// Row `i` of `g` as a slice.
+#[inline]
+fn row(g: &Grid2d, i: usize) -> &[f64] {
+    let n = g.n();
+    &g.as_slice()[i * n..(i + 1) * n]
+}
+
+/// `out = A x` on the interior for operator `op`; `out`'s boundary ring
+/// is zeroed.
+///
+/// This is the scalar **oracle** form of the operator (per-cell
+/// [`StencilOp::weights_at`] lookups, no SIMD dispatch): tests and
+/// diagnostics use it to cross-check the streaming kernels. Hot paths
+/// go through [`residual_op`] / [`residual_restrict_op`] instead,
+/// which stream whole rows in both SIMD modes.
+///
+/// # Panics
+/// Panics if sizes differ or the operator is bound to another size.
+pub fn apply_operator_op(op: &StencilOp, x: &Grid2d, out: &mut Grid2d, exec: &Exec) {
+    assert_eq!(x.n(), out.n(), "size mismatch in apply_operator_op");
+    op.assert_n(x.n());
+    let n = x.n();
+    let inv_h2 = x.inv_h2();
+    let opr = GridPtr::new(out);
+    exec.for_rows(1, n - 1, |i| {
+        // SAFETY: row `i` of `out` is written by exactly one task; `x`
+        // is only read.
+        let out_row = unsafe { std::slice::from_raw_parts_mut(opr.row_mut(i), n) };
+        let up = row(x, i - 1);
+        let mid = row(x, i);
+        let dn = row(x, i + 1);
+        for j in 1..n - 1 {
+            let (cw, ce, cn, cs, cc) = op.weights_at(i, j);
+            let v = cc * mid[j] - cn * up[j] - cs * dn[j] - cw * mid[j - 1] - ce * mid[j + 1];
+            out_row[j] = v * inv_h2;
+        }
+    });
+    zero_boundary_ring(out);
+}
+
+/// `r = b − A x` on the interior for operator `op`; `r`'s boundary ring
+/// is zeroed.
+///
+/// # Panics
+/// Panics if sizes differ or the operator is bound to another size.
+pub fn residual_op(op: &StencilOp, x: &Grid2d, b: &Grid2d, r: &mut Grid2d, exec: &Exec) {
+    assert_eq!(x.n(), b.n(), "size mismatch in residual_op (x vs b)");
+    assert_eq!(x.n(), r.n(), "size mismatch in residual_op (x vs r)");
+    op.assert_n(x.n());
+    let n = x.n();
+    let inv_h2 = x.inv_h2();
+    let mode = exec.simd();
+    let rp = GridPtr::new(r);
+    exec.for_rows(1, n - 1, |i| {
+        // SAFETY: row `i` of `r` is written by exactly one task; `x`,
+        // `b` are only read.
+        let out_row = unsafe { std::slice::from_raw_parts_mut(rp.row_mut(i), n) };
+        op.residual_row_into(
+            i,
+            row(x, i - 1),
+            row(x, i),
+            row(x, i + 1),
+            row(b, i),
+            inv_h2,
+            out_row,
+            mode,
+        );
+    });
+    zero_boundary_ring(r);
+}
+
+/// Fused kernel for operator `op`: compute the residual `r = b − A x`
+/// and full-weighting restrict it into `coarse` in a single traversal
+/// over the block cursor ([`Exec::for_row_bands`]), never materializing
+/// the fine-grid residual. `coarse`'s boundary ring is zeroed.
+///
+/// Bitwise identical to [`residual_op`] +
+/// `petamg_grid::restrict_full_weighting` under every [`Exec`] policy;
+/// with [`StencilOp::Poisson`] bitwise identical to
+/// [`petamg_grid::residual_restrict`].
+///
+/// # Panics
+/// Panics if sizes differ, are not a coarse/fine pair, or the operator
+/// is bound to another size.
+pub fn residual_restrict_op(
+    op: &StencilOp,
+    x: &Grid2d,
+    b: &Grid2d,
+    coarse: &mut Grid2d,
+    ws: &Workspace,
+    exec: &Exec,
+) {
+    assert_eq!(x.n(), b.n(), "size mismatch in residual_restrict_op");
+    op.assert_n(x.n());
+    let n = x.n();
+    let nc = coarse.n();
+    assert_eq!(
+        nc,
+        coarse_size(n),
+        "coarse grid size mismatch in residual_restrict_op"
+    );
+    let inv_h2 = x.inv_h2();
+    let mode = exec.simd();
+
+    let cp = GridPtr::new(coarse);
+    exec.for_row_bands(1, nc - 1, |c_lo, c_hi| {
+        // Rolling three-row residual window, exactly as the Poisson
+        // fused kernel (see `petamg_grid::residual_restrict`).
+        let mut buf = ws.acquire_buffer_unzeroed(3 * n);
+        let (a, rest) = buf.split_at_mut(n);
+        let (bb, c) = rest.split_at_mut(n);
+        let mut rows = [a, bb, c];
+        let res_row = |fi: usize, out: &mut [f64]| {
+            op.residual_row_into(
+                fi,
+                row(x, fi - 1),
+                row(x, fi),
+                row(x, fi + 1),
+                row(b, fi),
+                inv_h2,
+                out,
+                mode,
+            );
+        };
+        res_row(2 * c_lo - 1, rows[0]);
+        res_row(2 * c_lo, rows[1]);
+        res_row(2 * c_lo + 1, rows[2]);
+        for ic in c_lo..c_hi {
+            // SAFETY: bands partition the coarse interior, so each
+            // coarse row is written by exactly one task.
+            let crow = unsafe { std::slice::from_raw_parts_mut(cp.row_mut(ic), nc) };
+            restrict_rows_into(rows[0], rows[1], rows[2], crow, mode);
+            if ic + 1 < c_hi {
+                rows.rotate_left(2);
+                res_row(2 * ic + 2, rows[1]);
+                res_row(2 * ic + 3, rows[2]);
+            }
+        }
+    });
+    zero_boundary_ring(coarse);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Problem;
+    use petamg_grid::{residual, residual_restrict, restrict_full_weighting};
+
+    fn test_grids(n: usize) -> (Grid2d, Grid2d) {
+        let x = Grid2d::from_fn(n, |i, j| ((i * 31 + j * 17) % 103) as f64 / 7.0 - 5.0);
+        let b = Grid2d::from_fn(n, |i, j| ((i * 13 + j * 71) % 97) as f64 / 3.0);
+        (x, b)
+    }
+
+    #[test]
+    fn poisson_op_residual_bitwise_equals_grid_kernel() {
+        let (x, b) = test_grids(33);
+        let e = Exec::seq();
+        let mut want = Grid2d::zeros(33);
+        residual(&x, &b, &mut want, &e);
+        let mut got = Grid2d::from_fn(33, |_, _| 9.0);
+        residual_op(&StencilOp::Poisson, &x, &b, &mut got, &e);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn poisson_op_fused_bitwise_equals_grid_fused() {
+        let ws = Workspace::new();
+        let (x, b) = test_grids(33);
+        let e = Exec::seq();
+        let mut want = Grid2d::zeros(17);
+        residual_restrict(&x, &b, &mut want, &ws, &e);
+        let mut got = Grid2d::from_fn(17, |_, _| 3.0);
+        residual_restrict_op(&StencilOp::Poisson, &x, &b, &mut got, &ws, &e);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn fused_equals_staged_for_every_family_and_backend() {
+        let ws = Workspace::new();
+        let n = 33;
+        let (x, b) = test_grids(n);
+        let problems = [
+            Problem::poisson(),
+            Problem::anisotropic_canonical(),
+            Problem::smooth_sinusoidal(n),
+            Problem::jump_inclusion(n),
+        ];
+        for p in &problems {
+            let op = p.op_for(n);
+            let e = Exec::seq();
+            let mut r = Grid2d::zeros(n);
+            residual_op(&op, &x, &b, &mut r, &e);
+            let mut want = Grid2d::zeros(17);
+            restrict_full_weighting(&r, &mut want, &e);
+            for exec in [
+                Exec::seq(),
+                Exec::pbrt(2).with_band(2),
+                Exec::rayon().with_band(4),
+            ] {
+                let mut got = Grid2d::from_fn(17, |_, _| 1.5);
+                residual_restrict_op(&op, &x, &b, &mut got, &ws, &exec);
+                assert_eq!(got.as_slice(), want.as_slice(), "{} {exec:?}", p.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_operator_matches_residual_identity() {
+        // r = b − A x  ⇒  A x = b − r, for every family.
+        let n = 17;
+        let (x, b) = test_grids(n);
+        let e = Exec::seq();
+        for p in [
+            Problem::poisson(),
+            Problem::anisotropic(0.25),
+            Problem::jump_inclusion(n),
+        ] {
+            let op = p.op_for(n);
+            let mut ax = Grid2d::zeros(n);
+            apply_operator_op(&op, &x, &mut ax, &e);
+            let mut r = Grid2d::zeros(n);
+            residual_op(&op, &x, &b, &mut r, &e);
+            for (i, j) in x.interior() {
+                let lhs = ax.at(i, j);
+                let rhs = b.at(i, j) - r.at(i, j);
+                assert!(
+                    (lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1.0),
+                    "{} at ({i},{j}): {lhs} vs {rhs}",
+                    p.describe()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! The [`StencilOp`] seam: one value describing "which 5-point operator
+//! are we applying at this level", with the shared row kernels every
+//! solver path (staged, fused, wavefront) dispatches through.
+//!
+//! Three variants cover the operator families:
+//!
+//! * [`StencilOp::Poisson`] — the constant-coefficient 5-point
+//!   Laplacian. Its rows delegate to the original Poisson primitives
+//!   (`petamg_grid::residual_row_into`, `petamg_grid::simd::sor_row`,
+//!   …), so routing existing solvers through the seam changes **no
+//!   bits and no instructions** on the default problem.
+//! * [`StencilOp::ConstFive`] — constant per-axis weights
+//!   `(cw, ce, cn, cs)` with diagonal `cc`: the axis-anisotropic
+//!   Poisson operator `-ε·u_xx - u_yy` (ε scales the west/east
+//!   weights).
+//! * [`StencilOp::Var`] — per-cell face weights from a
+//!   [`StencilCoeffs`] level: variable-coefficient diffusion
+//!   `-∇·(a(x,y)∇u)`.
+//!
+//! Every row body exists in scalar and vector ([`SimdMode`]) form over
+//! the `petamg_grid::simd` lane seam, with identical IEEE-754
+//! association orders; with unit weights the weighted bodies reduce to
+//! the Poisson bodies bit for bit (multiplying by `1.0` is exact), so
+//! the whole conformance story of the Poisson stack carries over to
+//! the operator families.
+
+use crate::coeffs::StencilCoeffs;
+use petamg_grid::residual_row_into;
+use petamg_grid::simd::{self, SimdMode};
+use std::sync::Arc;
+
+/// One level's discrete operator: `A u = (cc·u − cn·N − cs·S − cw·W −
+/// ce·E)/h²` with constant, per-axis-constant, or per-cell weights.
+#[derive(Clone, Debug)]
+pub enum StencilOp {
+    /// The constant-coefficient 5-point Laplacian (weights `1`,
+    /// diagonal `4`) — dispatches to the original Poisson kernels.
+    Poisson,
+    /// Constant five-point weights (the anisotropic family). `cc` must
+    /// equal `((cw + ce) + cn) + cs` and `inv_cc = 1/cc`.
+    ConstFive {
+        /// West/east weights (the `x`-direction; `ε` for `-ε·u_xx`).
+        cw: f64,
+        /// East weight (equals `cw` for the axis-aligned family).
+        ce: f64,
+        /// North weight (the `y`-direction).
+        cn: f64,
+        /// South weight.
+        cs: f64,
+        /// Diagonal `((cw + ce) + cn) + cs`.
+        cc: f64,
+        /// Reciprocal diagonal (relaxation multiplies by this).
+        inv_cc: f64,
+    },
+    /// Per-cell face weights for one level of a variable-coefficient
+    /// problem.
+    Var(Arc<StencilCoeffs>),
+}
+
+impl StencilOp {
+    /// Build the anisotropic operator `-ε·u_xx − u_yy` (ε scales the
+    /// west/east stencil weights).
+    pub fn anisotropic(eps: f64) -> StencilOp {
+        assert!(eps > 0.0 && eps.is_finite(), "anisotropy must be positive");
+        let cc = ((eps + eps) + 1.0) + 1.0;
+        StencilOp::ConstFive {
+            cw: eps,
+            ce: eps,
+            cn: 1.0,
+            cs: 1.0,
+            cc,
+            inv_cc: 1.0 / cc,
+        }
+    }
+
+    /// Whether this is the constant-coefficient Poisson operator (the
+    /// variant that routes through the legacy kernel bodies).
+    #[inline]
+    pub fn is_poisson(&self) -> bool {
+        matches!(self, StencilOp::Poisson)
+    }
+
+    /// Grid size this operator is bound to (`None` for size-independent
+    /// operators).
+    #[inline]
+    pub fn bound_n(&self) -> Option<usize> {
+        match self {
+            StencilOp::Var(c) => Some(c.n()),
+            _ => None,
+        }
+    }
+
+    /// Cache key for per-operator factor caches: distinguishes operator
+    /// *content*, not just family (two jump fields hash differently).
+    pub fn cache_key(&self) -> u64 {
+        match self {
+            StencilOp::Poisson => 0,
+            StencilOp::ConstFive {
+                cw, ce, cn, cs, cc, ..
+            } => {
+                let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+                for v in [cw, ce, cn, cs, cc] {
+                    h ^= v.to_bits();
+                    h = h.rotate_left(17).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h | 1 // never collide with the Poisson key
+            }
+            StencilOp::Var(c) => c.hash() | 1,
+        }
+    }
+
+    /// Short display form for logs and bench records.
+    pub fn describe(&self) -> String {
+        match self {
+            StencilOp::Poisson => "poisson".into(),
+            StencilOp::ConstFive { cw, .. } => format!("aniso(eps={cw})"),
+            StencilOp::Var(c) => format!("var(n={}, hash={:016x})", c.n(), c.hash()),
+        }
+    }
+
+    /// Debug-check that the operator can serve a grid of side `n`.
+    #[inline]
+    pub fn assert_n(&self, n: usize) {
+        if let Some(bound) = self.bound_n() {
+            assert_eq!(
+                bound, n,
+                "variable-coefficient operator bound to n={bound} used on an n={n} grid"
+            );
+        }
+    }
+
+    /// Compute one interior row of the residual `r = b − A x` into
+    /// `out[1..n-1]` (`out[0]`/`out[n-1]` untouched). `i` is the global
+    /// row index (selects the coefficient rows of [`StencilOp::Var`]);
+    /// `up`/`mid`/`dn` are rows `i-1`, `i`, `i+1` of the solution.
+    ///
+    /// For [`StencilOp::Poisson`] this *is*
+    /// [`petamg_grid::residual_row_into`], so every existing bitwise
+    /// guarantee is inherited rather than re-established.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn residual_row_into(
+        &self,
+        i: usize,
+        up: &[f64],
+        mid: &[f64],
+        dn: &[f64],
+        brow: &[f64],
+        inv_h2: f64,
+        out: &mut [f64],
+        mode: SimdMode,
+    ) {
+        let n = mid.len();
+        match self {
+            StencilOp::Poisson => residual_row_into(up, mid, dn, brow, inv_h2, out, mode),
+            StencilOp::ConstFive {
+                cw, ce, cn, cs, cc, ..
+            } => {
+                let m = n - 2;
+                match mode {
+                    SimdMode::Vector => {
+                        // SAFETY: all slices hold `n` values; the
+                        // trimmed windows are `m = n-2` long; `out` (a
+                        // distinct `&mut`) cannot alias the inputs.
+                        unsafe {
+                            simd::wres_residual_row(
+                                up.as_ptr().add(1),
+                                mid.as_ptr(),
+                                mid.as_ptr().add(1),
+                                mid.as_ptr().add(2),
+                                dn.as_ptr().add(1),
+                                brow.as_ptr().add(1),
+                                *cw,
+                                *ce,
+                                *cn,
+                                *cs,
+                                *cc,
+                                inv_h2,
+                                out.as_mut_ptr().add(1),
+                                m,
+                            );
+                        }
+                    }
+                    SimdMode::Scalar => {
+                        let (left, center, right) = (&mid[..n - 2], &mid[1..n - 1], &mid[2..]);
+                        let (up, dn) = (&up[1..n - 1], &dn[1..n - 1]);
+                        let brow = &brow[1..n - 1];
+                        let out = &mut out[1..n - 1];
+                        for j in 0..out.len() {
+                            let ax = (cc * center[j]
+                                - cn * up[j]
+                                - cs * dn[j]
+                                - cw * left[j]
+                                - ce * right[j])
+                                * inv_h2;
+                            out[j] = brow[j] - ax;
+                        }
+                    }
+                }
+            }
+            StencilOp::Var(cf) => {
+                debug_assert_eq!(cf.n(), n, "coefficient level size mismatch");
+                let (wr, er, nr, sr, cr) = (
+                    cf.w_row(i),
+                    cf.e_row(i),
+                    cf.n_row(i),
+                    cf.s_row(i),
+                    cf.c_row(i),
+                );
+                let m = n - 2;
+                match mode {
+                    SimdMode::Vector => {
+                        // SAFETY: all rows (solution, rhs, coefficient)
+                        // hold `n` values; trimmed windows are `m`
+                        // long; `out` aliases nothing.
+                        unsafe {
+                            simd::var_residual_row(
+                                up.as_ptr().add(1),
+                                mid.as_ptr(),
+                                mid.as_ptr().add(1),
+                                mid.as_ptr().add(2),
+                                dn.as_ptr().add(1),
+                                brow.as_ptr().add(1),
+                                wr.as_ptr().add(1),
+                                er.as_ptr().add(1),
+                                nr.as_ptr().add(1),
+                                sr.as_ptr().add(1),
+                                cr.as_ptr().add(1),
+                                inv_h2,
+                                out.as_mut_ptr().add(1),
+                                m,
+                            );
+                        }
+                    }
+                    SimdMode::Scalar => {
+                        let (left, center, right) = (&mid[..n - 2], &mid[1..n - 1], &mid[2..]);
+                        let (up, dn) = (&up[1..n - 1], &dn[1..n - 1]);
+                        let brow = &brow[1..n - 1];
+                        let (wr, er) = (&wr[1..n - 1], &er[1..n - 1]);
+                        let (nr, sr, cr) = (&nr[1..n - 1], &sr[1..n - 1], &cr[1..n - 1]);
+                        let out = &mut out[1..n - 1];
+                        for j in 0..out.len() {
+                            let ax = (cr[j] * center[j]
+                                - nr[j] * up[j]
+                                - sr[j] * dn[j]
+                                - wr[j] * left[j]
+                                - er[j] * right[j])
+                                * inv_h2;
+                            out[j] = brow[j] - ax;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Update the `color` cells of one interior row in place — the
+    /// Gauss-Seidel/SOR row body shared by the staged half-sweeps and
+    /// the temporally blocked wavefront kernels in `petamg-solvers`.
+    /// `i` is the **global** row index (fixes the red/black column
+    /// phase and selects coefficient rows).
+    ///
+    /// # Safety
+    /// All four pointers must be valid for `n` reads (`mid` for
+    /// writes), and no other task may concurrently write the cells read
+    /// here (the `color` cells of `mid` and the opposite-color cells of
+    /// `up`/`dn`).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub unsafe fn sor_row_update(
+        &self,
+        i: usize,
+        up: *const f64,
+        mid: *mut f64,
+        dn: *const f64,
+        brow: *const f64,
+        n: usize,
+        h2: f64,
+        omega: f64,
+        color: usize,
+        mode: SimdMode,
+    ) {
+        // First interior column of this color in row i: cell (i, j) has
+        // color (i + j) % 2, so j starts at 1 when (i+1)%2 == color.
+        let j0 = if (i + 1) % 2 == color { 1 } else { 2 };
+        match self {
+            StencilOp::Poisson => match mode {
+                SimdMode::Vector => {
+                    // SAFETY: forwarded contract.
+                    unsafe { simd::sor_row(up, mid, dn, brow, n, h2, omega, j0) };
+                }
+                SimdMode::Scalar => {
+                    let mut j = j0;
+                    while j < n - 1 {
+                        // SAFETY: forwarded contract; j stays in 1..n-1.
+                        unsafe {
+                            let nb = *up.add(j) + *dn.add(j) + *mid.add(j - 1) + *mid.add(j + 1);
+                            let gs = 0.25 * (nb + h2 * *brow.add(j));
+                            let old = *mid.add(j);
+                            *mid.add(j) = old + omega * (gs - old);
+                        }
+                        j += 2;
+                    }
+                }
+            },
+            StencilOp::ConstFive {
+                cw,
+                ce,
+                cn,
+                cs,
+                inv_cc,
+                ..
+            } => match mode {
+                SimdMode::Vector => {
+                    // SAFETY: forwarded contract.
+                    unsafe {
+                        simd::wres_sor_row(
+                            up, mid, dn, brow, n, h2, omega, j0, *cw, *ce, *cn, *cs, *inv_cc,
+                        );
+                    }
+                }
+                SimdMode::Scalar => {
+                    let mut j = j0;
+                    while j < n - 1 {
+                        // SAFETY: forwarded contract; j stays in 1..n-1.
+                        unsafe {
+                            let nb = cn * *up.add(j)
+                                + cs * *dn.add(j)
+                                + cw * *mid.add(j - 1)
+                                + ce * *mid.add(j + 1);
+                            let gs = (nb + h2 * *brow.add(j)) * inv_cc;
+                            let old = *mid.add(j);
+                            *mid.add(j) = old + omega * (gs - old);
+                        }
+                        j += 2;
+                    }
+                }
+            },
+            StencilOp::Var(cf) => {
+                debug_assert_eq!(cf.n(), n, "coefficient level size mismatch");
+                let (wr, er, nr, sr, icr) = (
+                    cf.w_row(i).as_ptr(),
+                    cf.e_row(i).as_ptr(),
+                    cf.n_row(i).as_ptr(),
+                    cf.s_row(i).as_ptr(),
+                    cf.ic_row(i).as_ptr(),
+                );
+                match mode {
+                    SimdMode::Vector => {
+                        // SAFETY: forwarded contract; coefficient rows
+                        // hold `n` values each.
+                        unsafe {
+                            simd::var_sor_row(
+                                up, mid, dn, brow, wr, er, nr, sr, icr, n, h2, omega, j0,
+                            );
+                        }
+                    }
+                    SimdMode::Scalar => {
+                        let mut j = j0;
+                        while j < n - 1 {
+                            // SAFETY: forwarded contract; j in 1..n-1.
+                            unsafe {
+                                let nb = *nr.add(j) * *up.add(j)
+                                    + *sr.add(j) * *dn.add(j)
+                                    + *wr.add(j) * *mid.add(j - 1)
+                                    + *er.add(j) * *mid.add(j + 1);
+                                let gs = (nb + h2 * *brow.add(j)) * *icr.add(j);
+                                let old = *mid.add(j);
+                                *mid.add(j) = old + omega * (gs - old);
+                            }
+                            j += 2;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One weighted-Jacobi row over trimmed interior slices of length
+    /// `m = n − 2`: `out[j] = prev[j] + ω·(gs − prev[j])` with all
+    /// reads from the previous iterate. `i` is the global row index.
+    ///
+    /// # Panics
+    /// Debug-panics on coefficient level size mismatch.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn jacobi_row_into(
+        &self,
+        i: usize,
+        up: &[f64],
+        dn: &[f64],
+        left: &[f64],
+        center: &[f64],
+        right: &[f64],
+        brow: &[f64],
+        h2: f64,
+        omega: f64,
+        out: &mut [f64],
+        mode: SimdMode,
+    ) {
+        let m = out.len();
+        match self {
+            StencilOp::Poisson => match mode {
+                SimdMode::Vector => {
+                    // SAFETY: all trimmed windows are `m` long; `out`
+                    // aliases none of the reads.
+                    unsafe {
+                        simd::jacobi_row(
+                            up.as_ptr(),
+                            dn.as_ptr(),
+                            left.as_ptr(),
+                            center.as_ptr(),
+                            right.as_ptr(),
+                            brow.as_ptr(),
+                            h2,
+                            omega,
+                            out.as_mut_ptr(),
+                            m,
+                        );
+                    }
+                }
+                SimdMode::Scalar => {
+                    for j in 0..m {
+                        let nb = up[j] + dn[j] + left[j] + right[j];
+                        let jac = 0.25 * (nb + h2 * brow[j]);
+                        let prev = center[j];
+                        out[j] = prev + omega * (jac - prev);
+                    }
+                }
+            },
+            StencilOp::ConstFive {
+                cw,
+                ce,
+                cn,
+                cs,
+                inv_cc,
+                ..
+            } => match mode {
+                SimdMode::Vector => {
+                    // SAFETY: as above.
+                    unsafe {
+                        simd::wres_jacobi_row(
+                            up.as_ptr(),
+                            dn.as_ptr(),
+                            left.as_ptr(),
+                            center.as_ptr(),
+                            right.as_ptr(),
+                            brow.as_ptr(),
+                            *cw,
+                            *ce,
+                            *cn,
+                            *cs,
+                            *inv_cc,
+                            h2,
+                            omega,
+                            out.as_mut_ptr(),
+                            m,
+                        );
+                    }
+                }
+                SimdMode::Scalar => {
+                    for j in 0..m {
+                        let nb = cn * up[j] + cs * dn[j] + cw * left[j] + ce * right[j];
+                        let jac = (nb + h2 * brow[j]) * inv_cc;
+                        let prev = center[j];
+                        out[j] = prev + omega * (jac - prev);
+                    }
+                }
+            },
+            StencilOp::Var(cf) => {
+                let n = cf.n();
+                debug_assert_eq!(
+                    n - 2,
+                    m,
+                    "coefficient level size mismatch in jacobi_row_into"
+                );
+                let (wr, er, nr, sr, icr) = (
+                    &cf.w_row(i)[1..n - 1],
+                    &cf.e_row(i)[1..n - 1],
+                    &cf.n_row(i)[1..n - 1],
+                    &cf.s_row(i)[1..n - 1],
+                    &cf.ic_row(i)[1..n - 1],
+                );
+                match mode {
+                    SimdMode::Vector => {
+                        // SAFETY: as above, coefficient windows are `m`
+                        // long too.
+                        unsafe {
+                            simd::var_jacobi_row(
+                                up.as_ptr(),
+                                dn.as_ptr(),
+                                left.as_ptr(),
+                                center.as_ptr(),
+                                right.as_ptr(),
+                                brow.as_ptr(),
+                                wr.as_ptr(),
+                                er.as_ptr(),
+                                nr.as_ptr(),
+                                sr.as_ptr(),
+                                icr.as_ptr(),
+                                h2,
+                                omega,
+                                out.as_mut_ptr(),
+                                m,
+                            );
+                        }
+                    }
+                    SimdMode::Scalar => {
+                        for j in 0..m {
+                            let nb =
+                                nr[j] * up[j] + sr[j] * dn[j] + wr[j] * left[j] + er[j] * right[j];
+                            let jac = (nb + h2 * brow[j]) * icr[j];
+                            let prev = center[j];
+                            out[j] = prev + omega * (jac - prev);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The stencil weights of cell `(i, j)` as `(cw, ce, cn, cs, cc)` —
+    /// the assembly view used by the banded direct solver,
+    /// [`crate::apply_operator_op`], and the test oracles. (The hot
+    /// relaxation/residual kernels never call this; they stream whole
+    /// rows.)
+    #[inline]
+    pub fn weights_at(&self, i: usize, j: usize) -> (f64, f64, f64, f64, f64) {
+        match self {
+            StencilOp::Poisson => (1.0, 1.0, 1.0, 1.0, 4.0),
+            StencilOp::ConstFive {
+                cw, ce, cn, cs, cc, ..
+            } => (*cw, *ce, *cn, *cs, *cc),
+            StencilOp::Var(cf) => (
+                cf.w_row(i)[j],
+                cf.e_row(i)[j],
+                cf.n_row(i)[j],
+                cf.s_row(i)[j],
+                cf.c_row(i)[j],
+            ),
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Property tests pinning the operator-family determinism contract:
+//!
+//! * `a ≡ 1` variable coefficients ≡ Poisson, **bitwise**, in both SIMD
+//!   modes (the conformance anchor of the whole subsystem);
+//! * unit-weight anisotropic ≡ Poisson, bitwise;
+//! * vector ≡ scalar for every weighted kernel, including 0–3 lane
+//!   tails (grid sizes 5..=16 sweep every tail length);
+//! * fused residual+restrict ≡ staged, bitwise, per operator;
+//! * coefficient coarsening stays inside the fine field's range.
+
+use crate::coeffs::StencilCoeffs;
+use crate::kernels::{residual_op, residual_restrict_op};
+use crate::op::StencilOp;
+use crate::Problem;
+use petamg_grid::{
+    residual, restrict_full_weighting, Exec, Grid2d, SimdMode, SimdPolicy, Workspace,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: an arbitrary full grid (boundary included).
+fn any_grid(n: usize, scale: f64) -> impl Strategy<Value = Grid2d> {
+    prop::collection::vec(-scale..scale, n * n).prop_map(move |vals| Grid2d::from_vec(n, vals))
+}
+
+/// Strategy: a strictly positive coefficient field with jumps up to
+/// three orders of magnitude.
+fn coeff_field(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..50.0, n * n)
+}
+
+fn exec(policy: SimdPolicy) -> Exec {
+    Exec::seq().with_simd(policy)
+}
+
+/// One full red/black SOR sweep driven row-by-row through
+/// [`StencilOp::sor_row_update`] (the canonical row body).
+fn op_sor_sweep(op: &StencilOp, x: &mut Grid2d, b: &Grid2d, omega: f64, mode: SimdMode) {
+    let n = x.n();
+    let h2 = {
+        let h = x.h();
+        h * h
+    };
+    for color in 0..2 {
+        let xp = x.as_mut_slice().as_mut_ptr();
+        let bs = b.as_slice().as_ptr();
+        for i in 1..n - 1 {
+            // SAFETY: sequential row walk; the stencil stays in bounds.
+            unsafe {
+                op.sor_row_update(
+                    i,
+                    xp.add((i - 1) * n),
+                    xp.add(i * n),
+                    xp.add((i + 1) * n),
+                    bs.add(i * n),
+                    n,
+                    h2,
+                    omega,
+                    color,
+                    mode,
+                );
+            }
+        }
+    }
+}
+
+/// One weighted-Jacobi sweep through [`StencilOp::jacobi_row_into`].
+fn op_jacobi_sweep(op: &StencilOp, x: &mut Grid2d, b: &Grid2d, omega: f64, mode: SimdMode) {
+    let n = x.n();
+    let h2 = {
+        let h = x.h();
+        h * h
+    };
+    let old = x.clone();
+    let os = old.as_slice();
+    let bs = b.as_slice();
+    for i in 1..n - 1 {
+        let up = &os[(i - 1) * n + 1..i * n - 1];
+        let dn = &os[(i + 1) * n + 1..(i + 2) * n - 1];
+        let mid = &os[i * n..(i + 1) * n];
+        let (left, center, right) = (&mid[..n - 2], &mid[1..n - 1], &mid[2..]);
+        let brow = &bs[i * n + 1..(i + 1) * n - 1];
+        let xrow = &mut x.as_mut_slice()[i * n + 1..(i + 1) * n - 1];
+        op.jacobi_row_into(i, up, dn, left, center, right, brow, h2, omega, xrow, mode);
+    }
+}
+
+/// `StencilOp::Var` with `a ≡ 1` at size `n`.
+fn unit_var_op(n: usize) -> StencilOp {
+    StencilOp::Var(Arc::new(StencilCoeffs::from_vertex_field(
+        n,
+        vec![1.0; n * n],
+    )))
+}
+
+/// `StencilOp::ConstFive` with unit weights.
+fn unit_const_five() -> StencilOp {
+    StencilOp::ConstFive {
+        cw: 1.0,
+        ce: 1.0,
+        cn: 1.0,
+        cs: 1.0,
+        cc: 4.0,
+        inv_cc: 0.25,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The variable-coefficient operator with `a ≡ 1` matches the
+    /// Poisson kernels **bitwise** — residual, SOR, and Jacobi — in
+    /// both SIMD modes. (The issue's conformance anchor.)
+    #[test]
+    fn unit_coefficients_match_poisson_bitwise(
+        x in any_grid(17, 50.0),
+        b in any_grid(17, 50.0),
+        omega in 0.8f64..1.9,
+    ) {
+        let n = 17;
+        for policy in [SimdPolicy::Scalar, SimdPolicy::Vector] {
+            let e = exec(policy);
+            let mode = e.simd();
+            for op in [unit_var_op(n), unit_const_five()] {
+                // Residual.
+                let mut r_poisson = Grid2d::zeros(n);
+                residual(&x, &b, &mut r_poisson, &e);
+                let mut r_op = Grid2d::from_fn(n, |_, _| 7.0);
+                residual_op(&op, &x, &b, &mut r_op, &e);
+                prop_assert_eq!(r_op.as_slice(), r_poisson.as_slice());
+
+                // SOR (two sweeps to mix colors and rows).
+                let mut x_poisson = x.clone();
+                let mut x_op = x.clone();
+                for _ in 0..2 {
+                    op_sor_sweep(&StencilOp::Poisson, &mut x_poisson, &b, omega, mode);
+                    op_sor_sweep(&op, &mut x_op, &b, omega, mode);
+                }
+                prop_assert_eq!(x_op.as_slice(), x_poisson.as_slice());
+
+                // Jacobi.
+                let mut j_poisson = x.clone();
+                let mut j_op = x.clone();
+                op_jacobi_sweep(&StencilOp::Poisson, &mut j_poisson, &b, omega, mode);
+                op_jacobi_sweep(&op, &mut j_op, &b, omega, mode);
+                prop_assert_eq!(j_op.as_slice(), j_poisson.as_slice());
+            }
+        }
+    }
+
+    /// Vector and scalar paths are bitwise identical for random
+    /// coefficient fields. Sizes 5..=16 sweep every remainder-tail
+    /// length (0–3 lanes) of the vector kernels.
+    #[test]
+    fn vector_equals_scalar_for_random_coefficients(
+        n in 5usize..=16,
+        seed in 0u64..1000,
+        omega in 0.8f64..1.9,
+    ) {
+        let field: Vec<f64> = (0..n * n)
+            .map(|k| 0.1 + ((k as u64 * 2654435761 + seed * 97) % 1000) as f64 / 10.0)
+            .collect();
+        let var = StencilOp::Var(Arc::new(StencilCoeffs::from_vertex_field(n, field)));
+        let aniso = StencilOp::anisotropic(0.01 + (seed % 90) as f64 / 100.0);
+        let x = Grid2d::from_fn(n, |i, j| ((i * 31 + j * 17 + seed as usize) % 103) as f64 / 7.0 - 5.0);
+        let b = Grid2d::from_fn(n, |i, j| ((i * 13 + j * 71) % 97) as f64 / 3.0);
+
+        for op in [var, aniso] {
+            let mut r_s = Grid2d::zeros(n);
+            residual_op(&op, &x, &b, &mut r_s, &exec(SimdPolicy::Scalar));
+            let mut r_v = Grid2d::zeros(n);
+            residual_op(&op, &x, &b, &mut r_v, &exec(SimdPolicy::Vector));
+            prop_assert_eq!(r_s.as_slice(), r_v.as_slice());
+
+            let mut x_s = x.clone();
+            op_sor_sweep(&op, &mut x_s, &b, omega, SimdMode::Scalar);
+            let mut x_v = x.clone();
+            op_sor_sweep(&op, &mut x_v, &b, omega, SimdMode::Vector);
+            prop_assert_eq!(x_s.as_slice(), x_v.as_slice());
+
+            let mut j_s = x.clone();
+            op_jacobi_sweep(&op, &mut j_s, &b, omega, SimdMode::Scalar);
+            let mut j_v = x.clone();
+            op_jacobi_sweep(&op, &mut j_v, &b, omega, SimdMode::Vector);
+            prop_assert_eq!(j_s.as_slice(), j_v.as_slice());
+        }
+    }
+
+    /// The fused residual+restriction pass is bitwise identical to the
+    /// staged composition for random coefficient fields, across
+    /// backends and band heights.
+    #[test]
+    fn fused_residual_restrict_bitwise_equals_staged(
+        field in coeff_field(17),
+        x in any_grid(17, 50.0),
+        b in any_grid(17, 50.0),
+    ) {
+        let n = 17;
+        let ws = Workspace::new();
+        let op = StencilOp::Var(Arc::new(StencilCoeffs::from_vertex_field(n, field)));
+        for policy in [SimdPolicy::Scalar, SimdPolicy::Vector] {
+            let e = exec(policy);
+            let mut r = Grid2d::zeros(n);
+            residual_op(&op, &x, &b, &mut r, &e);
+            let mut want = Grid2d::zeros(9);
+            restrict_full_weighting(&r, &mut want, &e);
+            for par in [
+                Exec::seq().with_simd(policy),
+                Exec::pbrt(2).with_band(2).with_simd(policy),
+            ] {
+                let mut got = Grid2d::from_fn(9, |_, _| 4.5);
+                residual_restrict_op(&op, &x, &b, &mut got, &ws, &par);
+                prop_assert_eq!(got.as_slice(), want.as_slice());
+            }
+        }
+    }
+
+    /// Coefficient coarsening is an average: every coarse vertex value
+    /// stays within the fine field's [min, max].
+    #[test]
+    fn coarsening_stays_in_range(field in coeff_field(17)) {
+        let lo = field.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = field.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let fine = StencilCoeffs::from_vertex_field(17, field);
+        let mut level = fine;
+        while level.n() > 3 {
+            level = level.coarsen();
+            for v in level.vertex_field() {
+                prop_assert!(*v >= lo - 1e-12 && *v <= hi + 1e-12,
+                    "coarse value {} outside [{}, {}]", v, lo, hi);
+            }
+        }
+    }
+
+    /// The canonical problems' fingerprints are stable across
+    /// construction (same inputs → same fingerprint, different n →
+    /// different fingerprint).
+    #[test]
+    fn fingerprints_are_deterministic(k in 2usize..=5) {
+        let n = (1usize << k) + 1;
+        let a = Problem::jump_inclusion(n);
+        let b = Problem::jump_inclusion(n);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        if n > 5 {
+            let c = Problem::jump_inclusion((n - 1) / 2 + 1);
+            prop_assert!(a.fingerprint() != c.fingerprint());
+        }
+    }
+}

@@ -10,13 +10,19 @@
 use parking_lot::Mutex;
 use petamg_grid::Grid2d;
 use petamg_linalg::PoissonDirect;
+use petamg_problems::{OpDirect, StencilOp};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A thread-safe cache of band-Cholesky factors keyed by grid size.
+/// A thread-safe cache of band-Cholesky factors keyed by grid size
+/// (constant-coefficient Poisson) and by `(size, operator content)`
+/// for the operator families of `petamg-problems`.
 #[derive(Default)]
 pub struct DirectSolverCache {
     factors: Mutex<HashMap<usize, Arc<PoissonDirect>>>,
+    /// Factors for non-Poisson operators, keyed by
+    /// `(n, StencilOp::cache_key())`.
+    op_factors: Mutex<HashMap<(usize, u64), Arc<OpDirect>>>,
 }
 
 impl DirectSolverCache {
@@ -49,9 +55,51 @@ impl DirectSolverCache {
         self.get(x.n()).solve(x, b);
     }
 
-    /// Number of distinct sizes currently factored.
+    /// Get (or build) the factored solver for operator `op` on `n×n`
+    /// grids. Poisson operators share the legacy per-size cache (so
+    /// existing factor reuse is unaffected); other operators are keyed
+    /// by `(n, operator content)`.
+    ///
+    /// # Panics
+    /// Panics if the operator fails to factor — impossible for the SPD
+    /// operators `petamg-problems` produces.
+    pub fn get_op(&self, n: usize, op: &StencilOp) -> Arc<OpDirect> {
+        let key = (n, op.cache_key());
+        if let Some(f) = self.op_factors.lock().get(&key) {
+            return Arc::clone(f);
+        }
+        let fresh = Arc::new(
+            OpDirect::new(op.clone(), n).expect("operator-family systems are SPD and must factor"),
+        );
+        let mut map = self.op_factors.lock();
+        Arc::clone(map.entry(key).or_insert(fresh))
+    }
+
+    /// Solve `A x = b` for operator `op` via the cached factor.
+    /// [`StencilOp::Poisson`] routes through the legacy Poisson cache
+    /// (bitwise identical to [`DirectSolverCache::solve`]).
+    pub fn solve_op(&self, x: &mut Grid2d, b: &Grid2d, op: &StencilOp) {
+        if op.is_poisson() {
+            self.solve(x, b);
+        } else {
+            self.get_op(x.n(), op).solve(x, b);
+        }
+    }
+
+    /// Pre-factor `op` at size `n` in whichever cache
+    /// [`DirectSolverCache::solve_op`] will hit, so a later solve pays
+    /// no factorization inside a timed region.
+    pub fn warm_op(&self, n: usize, op: &StencilOp) {
+        if op.is_poisson() {
+            let _ = self.get(n);
+        } else {
+            let _ = self.get_op(n, op);
+        }
+    }
+
+    /// Number of distinct sizes currently factored (both caches).
     pub fn len(&self) -> usize {
-        self.factors.lock().len()
+        self.factors.lock().len() + self.op_factors.lock().len()
     }
 
     /// Whether the cache is empty.
@@ -62,6 +110,7 @@ impl DirectSolverCache {
     /// Drop all cached factors.
     pub fn clear(&self) {
         self.factors.lock().clear();
+        self.op_factors.lock().clear();
     }
 }
 

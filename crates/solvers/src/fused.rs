@@ -34,7 +34,7 @@
 //! [`Exec`] backend. The residual hook trails the last half-sweep by
 //! one more row (its three-row stencil needs fully relaxed neighbors),
 //! streaming rows into the same rolling three-row window the fused
-//! [`residual_restrict`] uses.
+//! [`petamg_grid::residual_restrict`] uses.
 //!
 //! ## Parallel execution: overlapped bands
 //!
@@ -54,12 +54,11 @@
 //! against each other — exactly the kind of machine-dependent choice
 //! the autotuner is for.
 
-use crate::relax::sor_row_update;
 use petamg_grid::{
-    coarse_size, interpolate_correct, interpolate_correct_row, residual_restrict,
-    residual_row_into, restrict_rows_into, zero_boundary_ring, Exec, Grid2d, GridPtr, SimdMode,
-    Workspace,
+    coarse_size, interpolate_correct, interpolate_correct_row, restrict_rows_into,
+    zero_boundary_ring, Exec, Grid2d, GridPtr, SimdMode, Workspace,
 };
+use petamg_problems::{residual_restrict_op, StencilOp};
 
 /// One cursor step of the red/black wavefront over a row-major buffer.
 ///
@@ -75,6 +74,7 @@ use petamg_grid::{
 #[allow(clippy::too_many_arguments)]
 #[inline]
 unsafe fn wavefront_step(
+    op: &StencilOp,
     buf: *mut f64,
     bs: *const f64,
     n: usize,
@@ -99,7 +99,8 @@ unsafe fn wavefront_step(
         // SAFETY: lo >= 1 and r < hi <= rows-1, so rows r-1 and r+1 are
         // in-buffer; disjointness is the caller's contract.
         unsafe {
-            sor_row_update(
+            op.sor_row_update(
+                i,
                 buf.add((r - 1) * n),
                 buf.add(r * n),
                 buf.add((r + 1) * n),
@@ -107,7 +108,6 @@ unsafe fn wavefront_step(
                 n,
                 h2,
                 omega,
-                i,
                 s % 2,
                 mode,
             );
@@ -122,6 +122,7 @@ unsafe fn wavefront_step(
 /// Same contract as [`wavefront_step`].
 #[allow(clippy::too_many_arguments)]
 unsafe fn wavefront_sor(
+    op: &StencilOp,
     buf: *mut f64,
     bs: *const f64,
     n: usize,
@@ -138,7 +139,22 @@ unsafe fn wavefront_sor(
     }
     for t in lo..hi + half_sweeps - 1 {
         // SAFETY: forwarded contract.
-        unsafe { wavefront_step(buf, bs, n, row0, lo, hi, h2, omega, half_sweeps, t, mode) };
+        unsafe {
+            wavefront_step(
+                op,
+                buf,
+                bs,
+                n,
+                row0,
+                lo,
+                hi,
+                h2,
+                omega,
+                half_sweeps,
+                t,
+                mode,
+            )
+        };
     }
 }
 
@@ -200,7 +216,29 @@ pub fn sor_sweeps_blocked(
     ws: &Workspace,
     exec: &Exec,
 ) {
+    sor_sweeps_blocked_op(&StencilOp::Poisson, x, b, omega, sweeps, ws, exec);
+}
+
+/// [`sor_sweeps_blocked`] for an arbitrary operator: `sweeps` Red-Black
+/// SOR sweeps of `op`, temporally blocked into one wavefront traversal.
+/// Bitwise identical to the staged
+/// [`sor_sweeps_op`](crate::relax::sor_sweeps_op) under every [`Exec`]
+/// policy; with [`StencilOp::Poisson`] it *is* [`sor_sweeps_blocked`].
+///
+/// # Panics
+/// Panics if grid sizes differ or the operator is bound to another
+/// size.
+pub fn sor_sweeps_blocked_op(
+    op: &StencilOp,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    omega: f64,
+    sweeps: usize,
+    ws: &Workspace,
+    exec: &Exec,
+) {
     assert_eq!(x.n(), b.n(), "size mismatch in sor_sweeps_blocked");
+    op.assert_n(x.n());
     if sweeps == 0 {
         return;
     }
@@ -218,7 +256,7 @@ pub fn sor_sweeps_blocked(
         let buf = x.as_mut_slice().as_mut_ptr();
         // SAFETY: sequential — no concurrent access; rows 1..n-1
         // are interior, so the stencil stays in bounds.
-        unsafe { wavefront_sor(buf, bs, n, 0, 1, n - 1, h2, omega, half, mode) };
+        unsafe { wavefront_sor(op, buf, bs, n, 0, 1, n - 1, h2, omega, half, mode) };
     } else {
         // Overlapped bands: tasks read the snapshot, write disjoint
         // row ranges of `x`, and never read `x` itself.
@@ -239,6 +277,7 @@ pub fn sor_sweeps_blocked(
             // by exactly one task.
             unsafe {
                 wavefront_sor(
+                    op,
                     scratch.as_mut_ptr(),
                     bs,
                     n,
@@ -263,12 +302,12 @@ pub fn sor_sweeps_blocked(
 /// `A_h x = b` **and** the fused residual + full-weighting restriction
 /// into `coarse`, all in one wavefront traversal — the residual stage
 /// trails the last half-sweep by one row, feeding the same rolling
-/// three-row window as [`residual_restrict`].
+/// three-row window as [`petamg_grid::residual_restrict`].
 ///
 /// Bitwise identical to
 /// [`sor_sweeps`](crate::relax::sor_sweeps) followed by
-/// [`residual_restrict`] under every [`Exec`] policy; with
-/// `sweeps == 0` it *is* [`residual_restrict`]. Parallel backends run
+/// [`petamg_grid::residual_restrict`] under every [`Exec`] policy; with
+/// `sweeps == 0` it *is* [`petamg_grid::residual_restrict`]. Parallel backends run
 /// overlapped bands of coarse rows (each band owns the fine rows under
 /// its coarse rows and recomputes halo rows privately).
 ///
@@ -283,7 +322,32 @@ pub fn relax_residual_restrict(
     ws: &Workspace,
     exec: &Exec,
 ) {
+    relax_residual_restrict_op(&StencilOp::Poisson, x, b, coarse, omega, sweeps, ws, exec);
+}
+
+/// [`relax_residual_restrict`] for an arbitrary operator: the fused
+/// pre-relaxation cycle edge of `op`. Bitwise identical to
+/// [`sor_sweeps_op`](crate::relax::sor_sweeps_op) followed by
+/// [`residual_restrict_op`] under every [`Exec`] policy; with
+/// `sweeps == 0` it *is* [`residual_restrict_op`], and with
+/// [`StencilOp::Poisson`] it *is* [`relax_residual_restrict`].
+///
+/// # Panics
+/// Panics if sizes differ, are not a coarse/fine pair, or the operator
+/// is bound to another size.
+#[allow(clippy::too_many_arguments)]
+pub fn relax_residual_restrict_op(
+    op: &StencilOp,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    coarse: &mut Grid2d,
+    omega: f64,
+    sweeps: usize,
+    ws: &Workspace,
+    exec: &Exec,
+) {
     assert_eq!(x.n(), b.n(), "size mismatch in relax_residual_restrict");
+    op.assert_n(x.n());
     let n = x.n();
     let nc = coarse.n();
     assert_eq!(
@@ -292,7 +356,7 @@ pub fn relax_residual_restrict(
         "coarse grid size mismatch in relax_residual_restrict"
     );
     if sweeps == 0 {
-        residual_restrict(x, b, coarse, ws, exec);
+        residual_restrict_op(op, x, b, coarse, ws, exec);
         return;
     }
     let h2 = {
@@ -312,7 +376,7 @@ pub fn relax_residual_restrict(
         let buf = x.as_mut_slice().as_mut_ptr();
         for t in 1..n - 1 + half {
             // SAFETY: sequential; interior rows only.
-            unsafe { wavefront_step(buf, bs, n, 0, 1, n - 1, h2, omega, half, t, mode) };
+            unsafe { wavefront_step(op, buf, bs, n, 0, 1, n - 1, h2, omega, half, t, mode) };
             // Residual row r = t - 2d: rows r-1..=r+1 finished their
             // last half-sweep at cursors <= t, so they are final.
             if t > half {
@@ -326,7 +390,7 @@ pub fn relax_residual_restrict(
                         std::slice::from_raw_parts(buf.add((r + 1) * n), n),
                     )
                 };
-                residual_row_into(up, mid, dn, b.row(r), inv_h2, win[r % 3], mode);
+                op.residual_row_into(r, up, mid, dn, b.row(r), inv_h2, win[r % 3], mode);
                 if r % 2 == 1 && r >= 3 {
                     let ic = (r - 1) / 2;
                     let crow = &mut coarse.as_mut_slice()[ic * nc..(ic + 1) * nc];
@@ -360,6 +424,7 @@ pub fn relax_residual_restrict(
             // fine and coarse rows.
             unsafe {
                 wavefront_sor(
+                    op,
                     scratch.as_mut_ptr(),
                     bs,
                     n,
@@ -384,7 +449,8 @@ pub fn relax_residual_restrict(
             let win = [wa, wb, wc];
             let srow = |fi: usize| &scratch[(fi - g.g0) * n..(fi - g.g0 + 1) * n];
             for fi in 2 * c_lo - 1..2 * c_hi {
-                residual_row_into(
+                op.residual_row_into(
+                    fi,
                     srow(fi - 1),
                     srow(fi),
                     srow(fi + 1),
@@ -431,7 +497,31 @@ pub fn interpolate_correct_relax(
     ws: &Workspace,
     exec: &Exec,
 ) {
+    interpolate_correct_relax_op(&StencilOp::Poisson, coarse, x, b, omega, sweeps, ws, exec);
+}
+
+/// [`interpolate_correct_relax`] for an arbitrary operator: the fused
+/// post-relaxation cycle edge of `op` (the interpolation itself is
+/// operator-independent; the trailing half-sweeps relax `A x = b` for
+/// `op`). With [`StencilOp::Poisson`] it *is*
+/// [`interpolate_correct_relax`], bit for bit.
+///
+/// # Panics
+/// Panics if sizes differ, are not a coarse/fine pair, or the operator
+/// is bound to another size.
+#[allow(clippy::too_many_arguments)]
+pub fn interpolate_correct_relax_op(
+    op: &StencilOp,
+    coarse: &Grid2d,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    omega: f64,
+    sweeps: usize,
+    ws: &Workspace,
+    exec: &Exec,
+) {
     assert_eq!(x.n(), b.n(), "size mismatch in interpolate_correct_relax");
+    op.assert_n(x.n());
     let n = x.n();
     let nc = coarse.n();
     assert_eq!(
@@ -473,7 +563,8 @@ pub fn interpolate_correct_relax(
                 // SAFETY: sequential; rows r-1..=r+1 are corrected
                 // (lag 0 passed them) and at half-sweep depth s-1.
                 unsafe {
-                    sor_row_update(
+                    op.sor_row_update(
+                        r,
                         buf.add((r - 1) * n),
                         buf.add(r * n),
                         buf.add((r + 1) * n),
@@ -481,7 +572,6 @@ pub fn interpolate_correct_relax(
                         n,
                         h2,
                         omega,
-                        r,
                         (s - 1) % 2,
                         mode,
                     );
@@ -512,6 +602,7 @@ pub fn interpolate_correct_relax(
             // inside the halo; bands write disjoint rows of `x`.
             unsafe {
                 wavefront_sor(
+                    op,
                     scratch.as_mut_ptr(),
                     bs,
                     n,
@@ -536,7 +627,7 @@ pub fn interpolate_correct_relax(
 mod tests {
     use super::*;
     use crate::relax::{sor_sweep, sor_sweeps};
-    use petamg_grid::restrict_full_weighting;
+    use petamg_grid::{residual_restrict, restrict_full_weighting};
 
     fn test_problem(n: usize) -> (Grid2d, Grid2d) {
         let mut x = Grid2d::from_fn(n, |i, j| ((i * 31 + j * 17) % 103) as f64 / 7.0 - 5.0);

@@ -27,6 +27,12 @@ pub mod relax;
 mod proptests;
 
 pub use direct::{direct_solve_uncached, DirectSolverCache};
-pub use fused::{interpolate_correct_relax, relax_residual_restrict, sor_sweeps_blocked};
+pub use fused::{
+    interpolate_correct_relax, interpolate_correct_relax_op, relax_residual_restrict,
+    relax_residual_restrict_op, sor_sweeps_blocked, sor_sweeps_blocked_op,
+};
 pub use multigrid::{MgConfig, ReferenceSolver};
-pub use relax::{gauss_seidel_sweep, jacobi_sweep, omega_opt, sor_sweep, sor_sweeps};
+pub use relax::{
+    gauss_seidel_sweep, jacobi_sweep, jacobi_sweep_op, omega_opt, sor_sweep, sor_sweep_op,
+    sor_sweeps, sor_sweeps_op,
+};

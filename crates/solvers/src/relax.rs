@@ -9,7 +9,8 @@
 //! red cell `(i+j even)` reads only black neighbors and vice versa, so
 //! the parallel result is bitwise identical to the sequential one.
 
-use petamg_grid::{simd, Exec, Grid2d, GridPtr, SimdMode};
+use petamg_grid::{Exec, Grid2d, GridPtr};
+use petamg_problems::StencilOp;
 
 /// The SOR weight inside tuned/reference cycles, fixed by the paper to
 /// 1.15 ("chosen by experimentation to be a good parameter when used in
@@ -30,75 +31,46 @@ pub fn omega_opt(n: usize) -> f64 {
 /// # Panics
 /// Panics if grid sizes differ.
 pub fn sor_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, exec: &Exec) {
-    assert_eq!(x.n(), b.n(), "size mismatch in sor_sweep");
-    sor_half_sweep(x, b, omega, 0, exec); // red: (i + j) % 2 == 0
-    sor_half_sweep(x, b, omega, 1, exec); // black
+    sor_sweep_op(&StencilOp::Poisson, x, b, omega, exec);
 }
 
-/// Update the `color` cells of one interior row in place: the
-/// Gauss-Seidel/SOR row body shared by [`sor_half_sweep`] and the
-/// temporally blocked wavefront kernels in [`crate::fused`]. Sharing
-/// this single expression is what makes the blocked sweeps bitwise
-/// identical to the staged reference. The vector path
-/// ([`SimdMode::Vector`], via `petamg_grid::simd`) handles the
-/// stride-2 color walk with deinterleaved loads and color-masked
-/// stores and is bitwise identical to the scalar walk.
+/// One Red-Black SOR sweep for operator `op` (`A x = b`): the
+/// operator-family generalization of [`sor_sweep`]. With
+/// [`StencilOp::Poisson`] it *is* [`sor_sweep`], bit for bit.
 ///
-/// `i` is the **global** row index (it fixes the red/black column
-/// phase); `up`/`mid`/`dn`/`brow` point at full rows of `n` values.
-///
-/// # Safety
-/// All four pointers must be valid for `n` reads (`mid` for writes),
-/// and no other task may concurrently write the cells read here (the
-/// `color` cells of `mid` and the opposite-color cells of `up`/`dn`).
-#[allow(clippy::too_many_arguments)]
-#[inline]
-pub(crate) unsafe fn sor_row_update(
-    up: *const f64,
-    mid: *mut f64,
-    dn: *const f64,
-    brow: *const f64,
-    n: usize,
-    h2: f64,
-    omega: f64,
-    i: usize,
-    color: usize,
-    mode: SimdMode,
-) {
-    // First interior column of this color in row i: cell (i, j) has
-    // color (i + j) % 2, so j starts at 1 when (i+1)%2 == color.
-    let j0 = if (i + 1) % 2 == color { 1 } else { 2 };
-    match mode {
-        SimdMode::Vector => {
-            // SAFETY: forwarded contract.
-            unsafe { simd::sor_row(up, mid, dn, brow, n, h2, omega, j0) };
-        }
-        SimdMode::Scalar => {
-            let mut j = j0;
-            while j < n - 1 {
-                // SAFETY: forwarded contract; j stays in 1..n-1.
-                unsafe {
-                    let nb = *up.add(j) + *dn.add(j) + *mid.add(j - 1) + *mid.add(j + 1);
-                    let gs = 0.25 * (nb + h2 * *brow.add(j));
-                    let old = *mid.add(j);
-                    *mid.add(j) = old + omega * (gs - old);
-                }
-                j += 2;
-            }
-        }
-    }
+/// # Panics
+/// Panics if grid sizes differ or the operator is bound to another
+/// size.
+pub fn sor_sweep_op(op: &StencilOp, x: &mut Grid2d, b: &Grid2d, omega: f64, exec: &Exec) {
+    assert_eq!(x.n(), b.n(), "size mismatch in sor_sweep");
+    sor_half_sweep_op(op, x, b, omega, 0, exec); // red: (i + j) % 2 == 0
+    sor_half_sweep_op(op, x, b, omega, 1, exec); // black
 }
 
 /// One half-sweep updating only cells of `color` (`(i+j) % 2 == color`).
-///
-/// The inner loop runs a three-row stencil cursor: row base pointers are
-/// hoisted out of the column loop so the stride-2 walk does no index
-/// multiplies. (Row `i±1` cannot be exposed as safe slices here: other
-/// tasks concurrently write the *same-color* cells of those rows, so
-/// element reads must stay raw pointer loads of the opposite-color
-/// cells only.)
 pub fn sor_half_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, color: usize, exec: &Exec) {
+    sor_half_sweep_op(&StencilOp::Poisson, x, b, omega, color, exec);
+}
+
+/// One half-sweep of operator `op` updating only cells of `color`.
+///
+/// Each row runs through [`StencilOp::sor_row_update`] — **the** SOR
+/// row body shared with the temporally blocked wavefront kernels in
+/// [`crate::fused`] — so blocked, staged, scalar, and vector paths stay
+/// bitwise identical per operator. (Row `i±1` cannot be exposed as
+/// safe slices here: other tasks concurrently write the *same-color*
+/// cells of those rows, so element reads must stay raw pointer loads of
+/// the opposite-color cells only.)
+pub fn sor_half_sweep_op(
+    op: &StencilOp,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    omega: f64,
+    color: usize,
+    exec: &Exec,
+) {
     assert!(color < 2);
+    op.assert_n(x.n());
     let n = x.n();
     let h2 = {
         let h = x.h();
@@ -114,7 +86,8 @@ pub fn sor_half_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, color: usize, exec
         // half-sweep by any task. The vector path's color-masked store
         // never touches opposite-color cells.
         unsafe {
-            sor_row_update(
+            op.sor_row_update(
+                i,
                 xp.row(i - 1),
                 xp.row_mut(i),
                 xp.row(i + 1),
@@ -122,7 +95,6 @@ pub fn sor_half_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, color: usize, exec
                 n,
                 h2,
                 omega,
-                i,
                 color,
                 mode,
             );
@@ -139,6 +111,20 @@ pub fn sor_sweeps(x: &mut Grid2d, b: &Grid2d, omega: f64, sweeps: usize, exec: &
     }
 }
 
+/// `sweeps` staged Red-Black SOR sweeps of operator `op`.
+pub fn sor_sweeps_op(
+    op: &StencilOp,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    omega: f64,
+    sweeps: usize,
+    exec: &Exec,
+) {
+    for _ in 0..sweeps {
+        sor_sweep_op(op, x, b, omega, exec);
+    }
+}
+
 /// One weighted-Jacobi sweep: `x ← (1-ω)·x + ω·D⁻¹(b + offdiag)` using
 /// `scratch` for the previous iterate (sizes must match; `scratch`
 /// contents are overwritten).
@@ -146,8 +132,26 @@ pub fn sor_sweeps(x: &mut Grid2d, b: &Grid2d, omega: f64, sweeps: usize, exec: &
 /// # Panics
 /// Panics if grid sizes differ.
 pub fn jacobi_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, scratch: &mut Grid2d, exec: &Exec) {
+    jacobi_sweep_op(&StencilOp::Poisson, x, b, omega, scratch, exec);
+}
+
+/// One weighted-Jacobi sweep of operator `op`; with
+/// [`StencilOp::Poisson`] it *is* [`jacobi_sweep`], bit for bit.
+///
+/// # Panics
+/// Panics if grid sizes differ or the operator is bound to another
+/// size.
+pub fn jacobi_sweep_op(
+    op: &StencilOp,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    omega: f64,
+    scratch: &mut Grid2d,
+    exec: &Exec,
+) {
     assert_eq!(x.n(), b.n(), "size mismatch in jacobi_sweep");
     assert_eq!(x.n(), scratch.n(), "scratch size mismatch in jacobi_sweep");
+    op.assert_n(x.n());
     let n = x.n();
     let h2 = {
         let h = x.h();
@@ -169,36 +173,7 @@ pub fn jacobi_sweep(x: &mut Grid2d, b: &Grid2d, omega: f64, scratch: &mut Grid2d
         let (left, center, right) = (&mid[..n - 2], &mid[1..n - 1], &mid[2..]);
         let brow = &bs[i * n + 1..(i + 1) * n - 1];
         let out = &mut out[1..n - 1];
-        let m = out.len();
-        match mode {
-            SimdMode::Vector => {
-                // SAFETY: all trimmed windows are `m` long; `out` is
-                // the only mutable row and aliases none of the reads
-                // (they come from `scratch`/`b`).
-                unsafe {
-                    simd::jacobi_row(
-                        up.as_ptr(),
-                        dn.as_ptr(),
-                        left.as_ptr(),
-                        center.as_ptr(),
-                        right.as_ptr(),
-                        brow.as_ptr(),
-                        h2,
-                        omega,
-                        out.as_mut_ptr(),
-                        m,
-                    );
-                }
-            }
-            SimdMode::Scalar => {
-                for j in 0..m {
-                    let nb = up[j] + dn[j] + left[j] + right[j];
-                    let jac = 0.25 * (nb + h2 * brow[j]);
-                    let prev = center[j];
-                    out[j] = prev + omega * (jac - prev);
-                }
-            }
-        }
+        op.jacobi_row_into(i, up, dn, left, center, right, brow, h2, omega, out, mode);
     });
 }
 

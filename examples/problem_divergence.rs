@@ -1,0 +1,30 @@
+//! Quick check: do tuned plans diverge across problem families?
+use petamg::prelude::*;
+
+fn main() {
+    let level = 5;
+    let n = (1usize << level) + 1;
+    let problems = vec![
+        ("poisson", Problem::poisson()),
+        ("aniso0.01", Problem::anisotropic_canonical()),
+        ("smooth", Problem::smooth_sinusoidal(n)),
+        ("jump1000", Problem::jump_inclusion(n)),
+    ];
+    let mut plans = Vec::new();
+    for (name, p) in problems {
+        let opts = TunerOptions::quick(level, Distribution::UnbiasedUniform).with_problem(p);
+        let fam = VTuner::new(opts).tune();
+        println!("=== {name} ===");
+        for k in 2..=level {
+            let row: Vec<String> = (0..fam.num_accuracies())
+                .map(|i| fam.plan(k, i).describe())
+                .collect();
+            println!("  level {k}: {}", row.join("  "));
+        }
+        plans.push((name, fam.plans.clone()));
+    }
+    let base = &plans[0].1;
+    for (name, p) in &plans[1..] {
+        println!("{name} differs from poisson: {}", p != base);
+    }
+}

@@ -51,6 +51,7 @@ pub use petamg_choice as choice;
 pub use petamg_core as core;
 pub use petamg_grid as grid;
 pub use petamg_linalg as linalg;
+pub use petamg_problems as problems;
 pub use petamg_runtime as runtime;
 pub use petamg_solvers as solvers;
 
@@ -64,6 +65,9 @@ pub mod prelude {
     pub use petamg_core::tuner::{FmgTuner, KnobSearchOptions, TunerOptions, VTuner};
     pub use petamg_grid::{Exec, Grid2d, Workspace};
     pub use petamg_grid::{SimdMode, SimdPolicy};
+    pub use petamg_problems::{
+        CoeffProfile, Problem, ProblemFingerprint, ProblemMismatch, StencilOp,
+    };
     pub use petamg_runtime::ThreadPool;
     pub use petamg_solvers::multigrid::{MgConfig, ReferenceSolver};
     pub use petamg_solvers::relax::omega_opt;
@@ -92,7 +96,33 @@ pub mod prelude {
 /// ```
 pub mod persist {
     use petamg_core::plan::{TunedFamily, TunedFmgFamily};
+    use petamg_problems::{Problem, ProblemMismatch};
     use std::path::Path;
+
+    /// Typed failure modes of [`load_plan_for`]: I/O, parse/validation,
+    /// or a plan tuned for a different problem than the one posed.
+    #[derive(Debug)]
+    pub enum PlanLoadError {
+        /// Reading the file failed.
+        Io(std::io::Error),
+        /// The file did not parse/validate as a tuned plan.
+        Parse(String),
+        /// The plan's [`ProblemFingerprint`](petamg_problems::ProblemFingerprint)
+        /// does not match the posed problem.
+        ProblemMismatch(ProblemMismatch),
+    }
+
+    impl std::fmt::Display for PlanLoadError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                PlanLoadError::Io(e) => write!(f, "plan file unreadable: {e}"),
+                PlanLoadError::Parse(e) => write!(f, "plan file invalid: {e}"),
+                PlanLoadError::ProblemMismatch(e) => write!(f, "{e}"),
+            }
+        }
+    }
+
+    impl std::error::Error for PlanLoadError {}
 
     /// Save a tuned `MULTIGRID-V` family (with its knob table).
     pub fn save_plan(family: &TunedFamily, path: &Path) -> std::io::Result<()> {
@@ -104,6 +134,22 @@ pub mod persist {
     pub fn load_plan(path: &Path) -> Result<TunedFamily, String> {
         let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
         TunedFamily::from_json(&text)
+    }
+
+    /// Load a tuned `MULTIGRID-V` family **for a posed problem**: the
+    /// plan's `ProblemFingerprint` (schema v4; legacy files upgrade to
+    /// the Poisson fingerprint) must match `problem`'s, otherwise the
+    /// file is rejected with the typed
+    /// [`PlanLoadError::ProblemMismatch`] — a plan tuned for smooth
+    /// coefficients is never silently applied to a jump-coefficient
+    /// run.
+    pub fn load_plan_for(path: &Path, problem: &Problem) -> Result<TunedFamily, PlanLoadError> {
+        let text = std::fs::read_to_string(path).map_err(PlanLoadError::Io)?;
+        let family = TunedFamily::from_json(&text).map_err(PlanLoadError::Parse)?;
+        family
+            .ensure_problem(problem.fingerprint())
+            .map_err(PlanLoadError::ProblemMismatch)?;
+        Ok(family)
     }
 
     /// Save a tuned `FULL-MULTIGRID` family (the knob table travels

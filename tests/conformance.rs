@@ -18,6 +18,14 @@
 //! `end_to_end.rs`. CI runs it per backend via the
 //! `PETAMG_CONFORMANCE_BACKEND` env var (`seq` / `pbrt` / `rayon` /
 //! unset = all) so a parity regression names the offending backend.
+//!
+//! Since the operator-family subsystem, the matrix also carries an
+//! **operator dimension**: every problem family (constant Poisson,
+//! anisotropic, smooth- and jump-coefficient diffusion) is run through
+//! {staged, fused} × {scalar, vector} × backend and must match its own
+//! staged scalar reference bitwise, with identical op counts. Filter
+//! with `PETAMG_CONFORMANCE_PROBLEM` (`poisson` / `aniso` / `smooth` /
+//! `jump` / unset = all).
 
 use petamg::core::cost::OpCounts;
 use petamg::core::plan::{simple_v_family, Choice, ExecCtx, TunedFamily, PAPER_ACCURACIES};
@@ -25,7 +33,8 @@ use petamg::grid::{
     coarse_size, interpolate_add, level_size, residual, restrict_full_weighting, Grid2d,
 };
 use petamg::prelude::*;
-use petamg::solvers::relax::{sor_sweep, OMEGA_CYCLE};
+use petamg::problems::residual_op;
+use petamg::solvers::relax::{sor_sweep, sor_sweep_op, OMEGA_CYCLE};
 use petamg::solvers::DirectSolverCache;
 use std::sync::Arc;
 
@@ -228,6 +237,69 @@ fn staged_recurse(
 // The harness
 // ---------------------------------------------------------------------
 
+/// Execute a plan with staged operator-family kernels: separate
+/// relax/residual/restrict/interpolate passes of the posed problem's
+/// per-level operators, sequential scalar, no fusion. The ground truth
+/// of the operator dimension. With the Poisson problem this performs
+/// exactly the same arithmetic as [`staged_run`].
+fn staged_run_op(
+    problem: &Problem,
+    fam: &TunedFamily,
+    level: usize,
+    acc: usize,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    cache: &Arc<DirectSolverCache>,
+) {
+    let seq = Exec::seq();
+    match fam.plan(level, acc) {
+        Choice::Direct => cache.solve_op(x, b, &problem.op_for(x.n())),
+        Choice::Sor { iterations } => {
+            let op = problem.op_for(x.n());
+            let omega = petamg::solvers::relax::omega_opt(x.n());
+            for _ in 0..iterations {
+                sor_sweep_op(&op, x, b, omega, &seq);
+            }
+        }
+        Choice::Recurse {
+            sub_accuracy,
+            iterations,
+        } => {
+            for _ in 0..iterations {
+                staged_recurse_op(problem, fam, level, sub_accuracy as usize, x, b, cache);
+            }
+        }
+    }
+}
+
+fn staged_recurse_op(
+    problem: &Problem,
+    fam: &TunedFamily,
+    level: usize,
+    sub: usize,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    cache: &Arc<DirectSolverCache>,
+) {
+    let seq = Exec::seq();
+    if level <= 1 {
+        cache.solve_op(x, b, &problem.op_for(x.n()));
+        return;
+    }
+    let n = level_size(level);
+    let nc = coarse_size(n);
+    let op = problem.op_for(n);
+    sor_sweep_op(&op, x, b, OMEGA_CYCLE, &seq);
+    let mut r = Grid2d::zeros(n);
+    residual_op(&op, x, b, &mut r, &seq);
+    let mut bc = Grid2d::zeros(nc);
+    restrict_full_weighting(&r, &mut bc, &seq);
+    let mut ec = Grid2d::zeros(nc);
+    staged_run_op(problem, fam, level - 1, sub, &mut ec, &bc, cache);
+    interpolate_add(&ec, x, &seq);
+    sor_sweep_op(&op, x, b, OMEGA_CYCLE, &seq);
+}
+
 struct CaseResult {
     grid: Grid2d,
     ops: OpCounts,
@@ -241,7 +313,8 @@ fn run_case(
     mode: &KnobMode,
     cache: &Arc<DirectSolverCache>,
 ) -> CaseResult {
-    let mut ctx = ExecCtx::with_cache(exec.clone(), Arc::clone(cache));
+    let mut ctx =
+        ExecCtx::with_cache(exec.clone(), Arc::clone(cache)).with_problem(inst.problem.clone());
     match mode {
         KnobMode::Global { tblock } => ctx = ctx.with_tblock(*tblock),
         KnobMode::Table(table) => ctx = ctx.with_knob_table(table.clone()),
@@ -343,6 +416,98 @@ fn all_backend_knob_combinations_match_staged_reference() {
         "matrix unexpectedly small: {cases} cases"
     );
     println!("conformance: {cases} combinations matched the staged reference");
+}
+
+/// The problem families of the operator dimension, filtered by
+/// `PETAMG_CONFORMANCE_PROBLEM`.
+fn problem_families() -> Vec<(&'static str, Problem)> {
+    let n = level_size(LEVEL);
+    let all = vec![
+        ("poisson", Problem::poisson()),
+        ("aniso", Problem::anisotropic_canonical()),
+        ("smooth", Problem::smooth_sinusoidal(n)),
+        ("jump", Problem::jump_inclusion(n)),
+    ];
+    match std::env::var("PETAMG_CONFORMANCE_PROBLEM") {
+        Ok(filter) if !filter.is_empty() && filter != "all" => all
+            .into_iter()
+            .filter(|(name, _)| name.starts_with(filter.as_str()))
+            .collect(),
+        _ => all,
+    }
+}
+
+/// The operator dimension of the conformance matrix: each problem
+/// family × {staged, fused} × {scalar, vector} × backend × knob mode,
+/// all bitwise-equal (grids) and exactly equal (op counts) to that
+/// family's own staged sequential-scalar reference. Plans here carry
+/// the family's fingerprint, so `run_case`'s executor runs the posed
+/// operator at every level.
+#[test]
+fn operator_families_match_their_staged_references() {
+    let cache = Arc::new(DirectSolverCache::new());
+    let backends = backends();
+    let modes = knob_modes();
+    let mut cases = 0usize;
+
+    // One plan shape exercising SOR, recursion, and a mid-level direct
+    // solve; one instance (the problem data is identical across
+    // families — only the operator differs).
+    let (_, fam) = fixture_families().remove(1);
+    for (prob_name, problem) in problem_families() {
+        let mut fam = fam.clone();
+        fam.problem = problem.fingerprint().clone();
+        let inst =
+            ProblemInstance::random_for(&problem, LEVEL, Distribution::UnbiasedUniform, 0xBEEF);
+        for acc in [0usize, 1] {
+            let mut x_ref = inst.working_grid();
+            staged_run_op(&problem, &fam, LEVEL, acc, &mut x_ref, &inst.b, &cache);
+
+            if problem.is_poisson() {
+                // The operator seam's Poisson path must be the legacy
+                // staged path, bit for bit.
+                let mut x_legacy = inst.working_grid();
+                staged_run(&fam, LEVEL, acc, &mut x_legacy, &inst.b, &cache);
+                assert_eq!(
+                    x_ref.as_slice(),
+                    x_legacy.as_slice(),
+                    "staged op-seam Poisson diverged from the legacy staged kernels"
+                );
+            }
+
+            let baseline = run_case(
+                &fam,
+                &inst,
+                acc,
+                &Exec::seq(),
+                &KnobMode::Global { tblock: 1 },
+                &cache,
+            );
+            assert_eq!(
+                baseline.grid.as_slice(),
+                x_ref.as_slice(),
+                "[{prob_name}/acc{acc}] fused executor diverged from staged op kernels"
+            );
+
+            for (backend_name, exec) in &backends {
+                for (mode_name, mode) in &modes {
+                    let got = run_case(&fam, &inst, acc, exec, mode, &cache);
+                    let tag = format!("[{prob_name}/acc{acc}/{backend_name}/{mode_name}]");
+                    assert_eq!(
+                        got.grid.as_slice(),
+                        x_ref.as_slice(),
+                        "{tag} solution not bitwise identical to staged reference"
+                    );
+                    assert_eq!(
+                        got.ops, baseline.ops,
+                        "{tag} op counts differ across backend/knob mode"
+                    );
+                    cases += 1;
+                }
+            }
+        }
+    }
+    println!("conformance (operator dimension): {cases} combinations matched");
 }
 
 /// A freshly DP-tuned plan (not a hand-built fixture) must also agree

@@ -8,23 +8,30 @@
 //!   knob table (band + tblock, no `simd` field — the pre-SIMD
 //!   schema). It must keep loading forever; each entry upgrades with
 //!   `simd: Auto`.
-//! * `tests/fixtures/tuned_plan_v3.json` — a plan in the current
-//!   schema (knob-table version 2 with per-entry `simd` policies).
-//!   Loading and re-serializing it must reproduce the file byte for
-//!   byte, so any accidental schema drift fails here first.
+//! * `tests/fixtures/tuned_plan_v3.json` — a plan with the version-2
+//!   knob table but **no `problem` fingerprint** (the pre-operator-
+//!   family schema). It must keep loading forever; the fingerprint
+//!   upgrades to constant-coefficient Poisson — exactly what v3-era
+//!   plans were tuned for.
+//! * `tests/fixtures/tuned_plan_v4.json` — a plan in the current
+//!   schema (knob-table v2 **and** a `ProblemFingerprint`). Loading
+//!   and re-serializing it must reproduce the file byte for byte, so
+//!   any accidental schema drift fails here first.
 //!
 //! Regenerate the fixtures (after an *intentional* schema change) with:
 //! `PETAMG_REGEN_GOLDEN=1 cargo test --test golden_plan`.
 
 use petamg::core::plan::TunedFamily;
+use petamg::persist::PlanLoadError;
 use petamg::prelude::*;
 use std::path::PathBuf;
 
 const LEGACY_V1: &str = include_str!("fixtures/tuned_plan_legacy_v1.json");
 const LEGACY_V2: &str = include_str!("fixtures/tuned_plan_v2.json");
-const CURRENT_V3: &str = include_str!("fixtures/tuned_plan_v3.json");
+const LEGACY_V3: &str = include_str!("fixtures/tuned_plan_v3.json");
+const CURRENT_V4: &str = include_str!("fixtures/tuned_plan_v4.json");
 
-/// The deterministic family behind all three fixtures: a modeled-cost
+/// The deterministic family behind all four fixtures: a modeled-cost
 /// quick tune (bit-reproducible) plus hand-pinned non-uniform knob
 /// entries so the table's serialization — including a non-default simd
 /// policy — is actually exercised.
@@ -64,13 +71,29 @@ fn regenerate_golden_fixtures_when_asked() {
     let fam = golden_family();
     let dir = fixtures_dir();
     std::fs::create_dir_all(&dir).unwrap();
-    std::fs::write(dir.join("tuned_plan_v3.json"), fam.to_json()).unwrap();
+    std::fs::write(dir.join("tuned_plan_v4.json"), fam.to_json()).unwrap();
 
-    // The v2 fixture is the same plan with a version-1 knob table:
-    // per-entry simd fields stripped, table version set to 1 — exactly
-    // what a pre-SIMD build would have written.
+    // The v3 fixture is the same plan without the problem fingerprint —
+    // exactly what a pre-operator-family build wrote.
     let mut tree: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
     if let serde_json::Value::Object(obj) = &mut tree {
+        obj.remove("problem").expect("current schema has problem");
+        obj.insert(
+            "provenance".to_string(),
+            serde_json::Value::String("golden fixture (legacy v3 schema, no fingerprint)".into()),
+        );
+    }
+    std::fs::write(
+        dir.join("tuned_plan_v3.json"),
+        serde_json::to_string_pretty(&tree).unwrap(),
+    )
+    .unwrap();
+
+    // The v2 fixture additionally downgrades the knob table to version
+    // 1: per-entry simd fields stripped — what a pre-SIMD build wrote.
+    let mut tree: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
+    if let serde_json::Value::Object(obj) = &mut tree {
+        obj.remove("problem").expect("current schema has problem");
         obj.insert(
             "provenance".to_string(),
             serde_json::Value::String("golden fixture (legacy v2 schema, knob table v1)".into()),
@@ -95,10 +118,11 @@ fn regenerate_golden_fixtures_when_asked() {
     )
     .unwrap();
 
-    // The legacy v1 fixture is the same plan with the knobs field
-    // stripped entirely — what a pre-knob-table build wrote.
+    // The legacy v1 fixture strips the knobs field entirely — what a
+    // pre-knob-table build wrote.
     let mut tree: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
     if let serde_json::Value::Object(obj) = &mut tree {
+        obj.remove("problem").expect("current schema has problem");
         obj.remove("knobs").expect("current schema has knobs");
         obj.insert(
             "provenance".to_string(),
@@ -123,6 +147,11 @@ fn legacy_v1_fixture_still_loads_with_default_table() {
         KnobTable::defaults(3),
         "legacy files fall back to the uniform default table"
     );
+    assert_eq!(
+        fam.problem,
+        ProblemFingerprint::poisson(),
+        "legacy files upgrade to the Poisson fingerprint"
+    );
     // The upgraded plan is executable.
     let mut inst = ProblemInstance::random(3, Distribution::UnbiasedUniform, 77);
     let report = fam.solve(&mut inst, 1e5);
@@ -144,6 +173,7 @@ fn legacy_v2_fixture_loads_with_auto_simd_entries() {
         "v1 knob tables upgrade entry-wise with simd = Auto"
     );
     assert_eq!(fam.knobs.version, petamg::choice::KNOB_TABLE_VERSION);
+    assert_eq!(fam.problem, ProblemFingerprint::poisson());
     assert_eq!(
         fam.knobs.get(3),
         KernelKnobs {
@@ -158,10 +188,28 @@ fn legacy_v2_fixture_loads_with_auto_simd_entries() {
 }
 
 #[test]
-fn current_v3_fixture_roundtrips_byte_for_byte() {
-    let fam = TunedFamily::from_json(CURRENT_V3).expect("current fixture parses");
+fn legacy_v3_fixture_loads_with_poisson_fingerprint() {
+    let fam = TunedFamily::from_json(LEGACY_V3).expect("v3 plan files must keep loading");
+    fam.validate().unwrap();
+    let want = golden_family();
+    assert_eq!(fam.plans, want.plans);
+    assert_eq!(fam.knobs, want.knobs, "v3 knob tables pass through intact");
+    assert_eq!(
+        fam.problem,
+        ProblemFingerprint::poisson(),
+        "pre-operator-family plans were tuned for constant Poisson"
+    );
+    // A load→save pass writes the current (v4) schema.
+    let resaved = fam.to_json();
+    assert!(resaved.contains("\"problem\""));
+}
+
+#[test]
+fn current_v4_fixture_roundtrips_byte_for_byte() {
+    let fam = TunedFamily::from_json(CURRENT_V4).expect("current fixture parses");
     fam.validate().unwrap();
     assert!(!fam.knobs.is_uniform(), "fixture carries a real table");
+    assert!(fam.problem.is_poisson(), "fixture carries the fingerprint");
     assert_eq!(
         fam.knobs.get(3),
         KernelKnobs {
@@ -173,7 +221,7 @@ fn current_v3_fixture_roundtrips_byte_for_byte() {
     // Schema stability: re-serializing reproduces the committed bytes.
     assert_eq!(
         fam.to_json(),
-        CURRENT_V3.trim_end(),
+        CURRENT_V4.trim_end(),
         "serialization schema drifted from the committed golden fixture"
     );
 }
@@ -185,25 +233,66 @@ fn freshly_tuned_plan_parses_under_versioned_schema() {
     assert!(json.contains("\"knobs\""), "schema carries the table");
     assert!(json.contains("\"version\""), "table is versioned");
     assert!(json.contains("\"simd\""), "entries carry the simd policy");
+    assert!(
+        json.contains("\"problem\""),
+        "schema carries the fingerprint"
+    );
     let back = TunedFamily::from_json(&json).unwrap();
     assert_eq!(back.plans, fam.plans);
     assert_eq!(back.knobs, fam.knobs);
+    assert_eq!(back.problem, fam.problem);
     // And it matches the committed fixture (the quick tune is
     // deterministic by construction).
-    assert_eq!(json, CURRENT_V3.trim_end());
+    assert_eq!(json, CURRENT_V4.trim_end());
 }
 
 #[test]
 fn all_fixture_generations_describe_the_same_plan() {
     let v1 = TunedFamily::from_json(LEGACY_V1).unwrap();
     let v2 = TunedFamily::from_json(LEGACY_V2).unwrap();
-    let v3 = TunedFamily::from_json(CURRENT_V3).unwrap();
+    let v3 = TunedFamily::from_json(LEGACY_V3).unwrap();
+    let v4 = TunedFamily::from_json(CURRENT_V4).unwrap();
     assert_eq!(v1.plans, v2.plans);
     assert_eq!(v2.plans, v3.plans);
-    assert_eq!(v1.accuracies, v3.accuracies);
+    assert_eq!(v3.plans, v4.plans);
+    assert_eq!(v1.accuracies, v4.accuracies);
+    // Every generation upgrades to the same (Poisson) fingerprint.
+    for f in [&v1, &v2, &v3, &v4] {
+        assert_eq!(f.problem, ProblemFingerprint::poisson());
+    }
     // Only the knob tables (and provenance notes) differ across
-    // generations: v1 has defaults, v2 upgraded with Auto, v3 carries
+    // generations: v1 has defaults, v2 upgraded with Auto, v3/v4 carry
     // the pinned non-default policies.
     assert_ne!(v1.knobs, v2.knobs);
     assert_ne!(v2.knobs, v3.knobs);
+    assert_eq!(v3.knobs, v4.knobs);
+}
+
+#[test]
+fn mismatched_problem_fingerprint_is_rejected_typed() {
+    // A v4 plan tuned for Poisson must be rejected — with the typed
+    // error — when an anisotropic or jump problem is posed.
+    let dir = fixtures_dir();
+    let path = dir.join("tuned_plan_v4.json");
+
+    // Matching problem loads fine.
+    let ok = petamg::persist::load_plan_for(&path, &Problem::poisson());
+    assert!(ok.is_ok(), "Poisson plan + Poisson problem must load");
+
+    // Mismatched problem: typed rejection carrying both fingerprints.
+    let posed = Problem::anisotropic_canonical();
+    match petamg::persist::load_plan_for(&path, &posed) {
+        Err(PlanLoadError::ProblemMismatch(m)) => {
+            assert_eq!(*m.plan, ProblemFingerprint::poisson());
+            assert_eq!(&*m.posed, posed.fingerprint());
+            let msg = m.to_string();
+            assert!(msg.contains("anisotropic"), "{msg}");
+        }
+        other => panic!("expected ProblemMismatch, got {other:?}"),
+    }
+
+    // And solve_with enforces the same check at execution time.
+    let fam = TunedFamily::from_json(CURRENT_V4).unwrap();
+    let posed2 = Problem::jump_inclusion(9);
+    assert!(fam.ensure_problem(posed2.fingerprint()).is_err());
 }
