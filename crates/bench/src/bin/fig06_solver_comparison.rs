@@ -86,7 +86,9 @@ fn main() {
         let solver = ReferenceSolver::with_cache(MgConfig::default(), Arc::clone(&cache));
         let cycles = {
             let mut x = inst.working_grid();
-            solver.solve_v_until(&mut x, &inst.b, 500, |x| done(x))
+            solver
+                .solve_v_until(&mut x, &inst.b, 500, |x| done(x))
+                .cycles()
         };
         let mg = time_best(2, || {
             let mut x = inst.working_grid();

@@ -72,9 +72,11 @@ fn main() {
         let solver = ReferenceSolver::with_cache(MgConfig::default(), Arc::clone(&cache));
         let cycles = {
             let mut x = inst.working_grid();
-            solver.solve_v_until(&mut x, &inst.b, 200, |x| {
-                ratio_of_errors(e0, l2_diff(x, &x_opt, &exec)) >= target
-            })
+            solver
+                .solve_v_until(&mut x, &inst.b, 200, |x| {
+                    ratio_of_errors(e0, l2_diff(x, &x_opt, &exec)) >= target
+                })
+                .cycles()
         };
         let t_mg = time_best(2, || {
             let mut x = inst.working_grid();

@@ -106,9 +106,11 @@ pub fn reference_v_iters(
         Arc::clone(cache),
     );
     let mut x = inst.working_grid();
-    solver.solve_v_until(&mut x, &inst.b, 500, |x| {
-        ratio_of_errors(e0, l2_diff(x, x_opt, exec)) >= target
-    })
+    solver
+        .solve_v_until(&mut x, &inst.b, 500, |x| {
+            ratio_of_errors(e0, l2_diff(x, x_opt, exec)) >= target
+        })
+        .cycles()
 }
 
 /// Passes (1 FMG + V cycles) of the reference FMG solver to reach
@@ -129,9 +131,11 @@ pub fn reference_fmg_iters(
         Arc::clone(cache),
     );
     let mut x = inst.working_grid();
-    solver.solve_fmg_until(&mut x, &inst.b, 500, |x| {
-        ratio_of_errors(e0, l2_diff(x, x_opt, exec)) >= target
-    })
+    solver
+        .solve_fmg_until(&mut x, &inst.b, 500, |x| {
+            ratio_of_errors(e0, l2_diff(x, x_opt, exec)) >= target
+        })
+        .cycles()
 }
 
 /// Op counts of the convergence test an *iterated* reference solver must

@@ -1,0 +1,569 @@
+//! Guarded solves: the degradation ladder.
+//!
+//! The ROADMAP's north star is a plan-serving engine, and a serving
+//! engine must never turn a bad plan into a panic or a silent wrong
+//! answer. [`GuardedSolver`] wraps plan execution in the per-cycle
+//! [`SolveGuard`] checks from `petamg-solvers` and walks a three-rung
+//! **degradation ladder** when anything misbehaves:
+//!
+//! 1. [`LadderRung::TunedPlan`] — the caller-supplied tuned plan,
+//!    iterated under guard (NaN/Inf, divergence, stagnation, budget);
+//!    rejected up front on a problem-fingerprint mismatch or an
+//!    invalid plan table.
+//! 2. [`LadderRung::HeuristicPlan`] — the hand-built
+//!    `MULTIGRID-V-SIMPLE` family ([`crate::plan::simple_v_family`]),
+//!    same
+//!    guard. Known-good for the paper's operators, no tuning required.
+//! 3. [`LadderRung::Direct`] — a full-size band-Cholesky solve.
+//!    Asymptotically the wrong tool (that is the paper's whole point)
+//!    but unconditionally accurate when it factors.
+//!
+//! Every failed rung is recorded as a [`Degradation`] (and as a
+//! [`CycleEvent::RungFailed`] in the [`Tracer`]); the rung that
+//! produced the returned solution is recorded in the
+//! [`GuardedReport`] and as [`CycleEvent::RungServed`]. If the whole
+//! ladder is exhausted the caller gets a typed [`SolveError`] carrying
+//! the full failure history — never a panic, never an unflagged bad
+//! iterate.
+//!
+//! Convergence here is judged by the *relative residual*
+//! `‖b − A x‖₂ / ‖b‖₂`, which unlike the tuner's error-ratio metric
+//! needs no reference solution and is therefore computable while
+//! serving.
+
+use crate::faults;
+use crate::plan::{simple_v_family, ExecCtx, TunedFamily, PAPER_ACCURACIES};
+use crate::trace::{CycleEvent, LadderRung, Tracer};
+use crate::OpCounts;
+use petamg_grid::{l2_norm_interior, Exec, Grid2d};
+use petamg_problems::{residual_op, Problem};
+use petamg_solvers::{
+    DirectSolverCache, GuardConfig, GuardFailure, GuardVerdict, SolveGuard, SolveStatus,
+};
+use std::sync::Arc;
+
+/// Why a ladder rung failed.
+#[derive(Clone, Debug)]
+pub enum FailureKind {
+    /// The per-cycle guard tripped (NaN/Inf, divergence, stagnation,
+    /// or an exhausted cycle/wall-clock budget).
+    Guard(GuardFailure),
+    /// The rung's plan was rejected before execution (fingerprint
+    /// mismatch, invalid table, or level out of range).
+    PlanRejected(String),
+    /// The direct factorization failed (or was fault-injected to).
+    DirectFactorization(String),
+    /// The rung ran to completion but its solution misses `tol`.
+    ToleranceNotMet {
+        /// Relative residual the rung achieved.
+        rel_residual: f64,
+    },
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Guard(g) => write!(f, "{g}"),
+            FailureKind::PlanRejected(why) => write!(f, "plan rejected: {why}"),
+            FailureKind::DirectFactorization(why) => {
+                write!(f, "direct factorization failed: {why}")
+            }
+            FailureKind::ToleranceNotMet { rel_residual } => {
+                write!(f, "tolerance not met (rel residual {rel_residual:.3e})")
+            }
+        }
+    }
+}
+
+/// One recorded step down the ladder: which rung failed and why.
+#[derive(Clone, Debug)]
+pub struct Degradation {
+    /// The rung that failed.
+    pub rung: LadderRung,
+    /// Why it failed.
+    pub reason: FailureKind,
+}
+
+/// Terminal failure: every rung of the ladder failed. The degradation
+/// history says what happened at each rung, in order.
+#[derive(Clone, Debug)]
+pub struct SolveError {
+    /// Every rung failure, in ladder order.
+    pub degradations: Vec<Degradation>,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all degradation-ladder rungs failed:")?;
+        for d in &self.degradations {
+            write!(f, " [{}: {}]", d.rung, d.reason)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Outcome of a successful [`GuardedSolver::solve`].
+#[derive(Clone, Debug)]
+pub struct GuardedReport {
+    /// Converged-vs-budget status of the serving rung (always
+    /// `Converged` on the ladder's success path).
+    pub status: SolveStatus,
+    /// The rung that produced the returned solution.
+    pub rung: LadderRung,
+    /// Final relative residual `‖b − A x‖₂ / ‖b‖₂`.
+    pub rel_residual: f64,
+    /// Per-cycle relative residuals observed at the serving rung (a
+    /// single entry for a direct solve).
+    pub residual_history: Vec<f64>,
+    /// Rungs that failed before the serving rung, with reasons.
+    pub degradations: Vec<Degradation>,
+    /// Wall time of the whole ladder walk.
+    pub seconds: f64,
+    /// Operation counts across all rungs tried.
+    pub ops: OpCounts,
+    /// The executor's tracer: cycle events plus
+    /// [`CycleEvent::RungFailed`]/[`CycleEvent::RungServed`] markers
+    /// (empty unless [`GuardedSolver::with_tracing`] was requested).
+    pub tracer: Tracer,
+}
+
+impl GuardedReport {
+    /// Whether the solve degraded off the tuned plan.
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+}
+
+/// A solver that executes tuned plans under guard and degrades down
+/// the ladder instead of panicking. See the module docs.
+pub struct GuardedSolver {
+    problem: Problem,
+    plan: Option<TunedFamily>,
+    guard: GuardConfig,
+    exec: Exec,
+    cache: Arc<DirectSolverCache>,
+    tracing: bool,
+}
+
+impl GuardedSolver {
+    /// A guarded solver for `problem`: sequential execution, fresh
+    /// factor cache, default guard budgets, no tuned plan (the ladder
+    /// starts at the heuristic rung until [`GuardedSolver::with_plan`]
+    /// supplies one).
+    pub fn new(problem: Problem) -> Self {
+        GuardedSolver {
+            problem,
+            plan: None,
+            guard: GuardConfig::default(),
+            exec: Exec::seq(),
+            cache: Arc::new(DirectSolverCache::new()),
+            tracing: false,
+        }
+    }
+
+    /// Serve `plan` as the ladder's first rung.
+    pub fn with_plan(mut self, plan: TunedFamily) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Execution policy for all kernels.
+    pub fn with_exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Share a band-Cholesky factor cache across solves.
+    pub fn with_cache(mut self, cache: Arc<DirectSolverCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Override the per-rung guard budgets and detection thresholds.
+    pub fn with_guard_config(mut self, cfg: GuardConfig) -> Self {
+        self.guard = cfg;
+        self
+    }
+
+    /// Record cycle events and rung markers in the report's tracer.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// The configured problem.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Solve `A x = b` to relative residual `tol`, walking the ladder
+    /// on any failure. On success `x` holds the solution of the
+    /// reported rung; on [`SolveError`] `x` holds the initial guess
+    /// again (never a poisoned iterate).
+    pub fn solve(&self, x: &mut Grid2d, b: &Grid2d, tol: f64) -> Result<GuardedReport, SolveError> {
+        let n = x.n();
+        let level = level_of(n);
+        let x0 = x.clone();
+        let mut scratch = Grid2d::zeros(n);
+        let mut ctx = ExecCtx::with_cache(self.exec.clone(), Arc::clone(&self.cache))
+            .with_problem(self.problem.clone());
+        if self.tracing {
+            ctx = ctx.tracing();
+        }
+        if let Some(fam) = &self.plan {
+            // Knobs are pure performance (bitwise-identical results),
+            // so a tuned table may safely serve the heuristic rung too.
+            if !fam.knobs.is_all_default() {
+                ctx = ctx.with_knob_table(fam.knobs.clone());
+            }
+        }
+        let start = std::time::Instant::now();
+        let mut degradations: Vec<Degradation> = Vec::new();
+        let failed = |ctx: &mut ExecCtx, degradations: &mut Vec<Degradation>, rung, reason| {
+            ctx.tracer.record(CycleEvent::RungFailed { rung });
+            degradations.push(Degradation { rung, reason });
+        };
+
+        // Rung 0: the tuned plan, if one was supplied and it matches.
+        if let Some(fam) = &self.plan {
+            let admissible = fam
+                .ensure_problem(self.problem.fingerprint())
+                .map_err(|e| e.to_string())
+                .and_then(|()| fam.validate())
+                .and_then(|()| {
+                    if level <= fam.max_level {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "instance level {level} exceeds tuned max level {}",
+                            fam.max_level
+                        ))
+                    }
+                });
+            match admissible {
+                Err(why) => failed(
+                    &mut ctx,
+                    &mut degradations,
+                    LadderRung::TunedPlan,
+                    FailureKind::PlanRejected(why),
+                ),
+                Ok(()) => {
+                    let acc_idx = fam.num_accuracies() - 1;
+                    match self.run_family_guarded(
+                        fam,
+                        level,
+                        acc_idx,
+                        x,
+                        b,
+                        tol,
+                        &mut ctx,
+                        &mut scratch,
+                    ) {
+                        Ok((status, history)) => {
+                            return Ok(self.report(
+                                LadderRung::TunedPlan,
+                                status,
+                                history,
+                                degradations,
+                                start,
+                                ctx,
+                            ));
+                        }
+                        Err(g) => {
+                            failed(
+                                &mut ctx,
+                                &mut degradations,
+                                LadderRung::TunedPlan,
+                                FailureKind::Guard(g),
+                            );
+                            x.copy_from(&x0);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Rung 1: the hand-built MULTIGRID-V-SIMPLE family.
+        let heuristic = simple_v_family(level.max(1), &PAPER_ACCURACIES);
+        let acc_idx = heuristic.num_accuracies() - 1;
+        match self.run_family_guarded(
+            &heuristic,
+            level,
+            acc_idx,
+            x,
+            b,
+            tol,
+            &mut ctx,
+            &mut scratch,
+        ) {
+            Ok((status, history)) => {
+                return Ok(self.report(
+                    LadderRung::HeuristicPlan,
+                    status,
+                    history,
+                    degradations,
+                    start,
+                    ctx,
+                ));
+            }
+            Err(g) => {
+                failed(
+                    &mut ctx,
+                    &mut degradations,
+                    LadderRung::HeuristicPlan,
+                    FailureKind::Guard(g),
+                );
+                x.copy_from(&x0);
+            }
+        }
+
+        // Rung 2: unconditional full-size direct solve.
+        let op = self.problem.op_for(n);
+        let factor = if faults::fail_direct(n) {
+            Err("injected factorization fault".to_string())
+        } else {
+            self.cache.try_get_op(n, &op).map_err(|e| format!("{e:?}"))
+        };
+        match factor {
+            Err(why) => failed(
+                &mut ctx,
+                &mut degradations,
+                LadderRung::Direct,
+                FailureKind::DirectFactorization(why),
+            ),
+            Ok(direct) => {
+                direct.solve(x, b);
+                ctx.ops.level_mut(level).direct_solves += 1;
+                ctx.tracer.record(CycleEvent::Direct { level });
+                let rel = self.rel_residual(x, b, &mut scratch, &ctx);
+                if rel.is_finite() && rel <= tol {
+                    return Ok(self.report(
+                        LadderRung::Direct,
+                        SolveStatus::Converged { cycles: 1 },
+                        vec![rel],
+                        degradations,
+                        start,
+                        ctx,
+                    ));
+                }
+                failed(
+                    &mut ctx,
+                    &mut degradations,
+                    LadderRung::Direct,
+                    FailureKind::ToleranceNotMet { rel_residual: rel },
+                );
+            }
+        }
+
+        x.copy_from(&x0);
+        Err(SolveError { degradations })
+    }
+
+    /// Iterate one family member under guard until `tol` or failure.
+    /// Returns the converged status and the residual trajectory.
+    #[allow(clippy::too_many_arguments)]
+    fn run_family_guarded(
+        &self,
+        fam: &TunedFamily,
+        level: usize,
+        acc_idx: usize,
+        x: &mut Grid2d,
+        b: &Grid2d,
+        tol: f64,
+        ctx: &mut ExecCtx,
+        scratch: &mut Grid2d,
+    ) -> Result<(SolveStatus, Vec<f64>), GuardFailure> {
+        let mut guard = SolveGuard::new(self.guard, tol);
+        loop {
+            fam.run(level, acc_idx, x, b, ctx);
+            match guard.observe(self.rel_residual(x, b, scratch, ctx)) {
+                GuardVerdict::Continue => {}
+                GuardVerdict::Converged => {
+                    return Ok((
+                        SolveStatus::Converged {
+                            cycles: guard.cycles(),
+                        },
+                        guard.history().to_vec(),
+                    ));
+                }
+                GuardVerdict::Fail(f) => return Err(f),
+            }
+        }
+    }
+
+    /// Relative residual of the posed operator's system, using `r` as
+    /// scratch.
+    fn rel_residual(&self, x: &Grid2d, b: &Grid2d, r: &mut Grid2d, ctx: &ExecCtx) -> f64 {
+        let op = self.problem.op_for(x.n());
+        residual_op(&op, x, b, r, &ctx.exec);
+        l2_norm_interior(r, &ctx.exec) / l2_norm_interior(b, &ctx.exec).max(f64::MIN_POSITIVE)
+    }
+
+    fn report(
+        &self,
+        rung: LadderRung,
+        status: SolveStatus,
+        history: Vec<f64>,
+        degradations: Vec<Degradation>,
+        start: std::time::Instant,
+        mut ctx: ExecCtx,
+    ) -> GuardedReport {
+        ctx.tracer.record(CycleEvent::RungServed { rung });
+        let rel = history.last().copied().unwrap_or(f64::NAN);
+        GuardedReport {
+            status,
+            rung,
+            rel_residual: rel,
+            residual_history: history,
+            degradations,
+            seconds: start.elapsed().as_secs_f64(),
+            ops: ctx.ops,
+            tracer: ctx.tracer,
+        }
+    }
+}
+
+/// The multigrid level of an `n`×`n` grid (`n = 2^k + 1` → `k`).
+///
+/// # Panics
+/// Panics if `n` is not of the form `2^k + 1` with `k ≥ 1` — such a
+/// grid cannot enter the multigrid hierarchy at all, which is a caller
+/// bug rather than a runtime failure the ladder could absorb.
+pub fn level_of(n: usize) -> usize {
+    match petamg_grid::size_level(n) {
+        Some(k) if k >= 1 => k,
+        _ => panic!("grid size {n} is not 2^k + 1"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::Fault;
+    use crate::training::{Distribution, ProblemInstance};
+
+    fn instance(level: usize, problem: &Problem) -> ProblemInstance {
+        ProblemInstance::random_for(problem, level, Distribution::UnbiasedUniform, 7)
+    }
+
+    #[test]
+    fn level_of_round_trips() {
+        assert_eq!(level_of(3), 1);
+        assert_eq!(level_of(5), 2);
+        assert_eq!(level_of(65), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not 2^k + 1")]
+    fn level_of_rejects_bad_sizes() {
+        level_of(10);
+    }
+
+    #[test]
+    fn healthy_solve_serves_the_tuned_rung() {
+        faults::clear();
+        let inst = instance(5, &Problem::poisson());
+        let fam = simple_v_family(5, &PAPER_ACCURACIES);
+        let solver = GuardedSolver::new(Problem::poisson())
+            .with_plan(fam)
+            .with_tracing();
+        let mut x = inst.working_grid();
+        let report = solver.solve(&mut x, &inst.b, 1e-9).expect("must serve");
+        assert_eq!(report.rung, LadderRung::TunedPlan);
+        assert!(!report.degraded());
+        assert!(report.rel_residual <= 1e-9);
+        assert!(report.status.converged());
+        assert_eq!(report.tracer.served_rung(), Some(LadderRung::TunedPlan));
+        assert!(report.tracer.failed_rungs().is_empty());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_degrades_to_heuristic() {
+        faults::clear();
+        let aniso = Problem::anisotropic(0.5);
+        let inst = instance(5, &aniso);
+        // A plan tuned (nominally) for Poisson must not serve aniso.
+        let fam = simple_v_family(5, &PAPER_ACCURACIES);
+        let solver = GuardedSolver::new(aniso).with_plan(fam).with_tracing();
+        let mut x = inst.working_grid();
+        let report = solver.solve(&mut x, &inst.b, 1e-9).expect("must serve");
+        assert_eq!(report.rung, LadderRung::HeuristicPlan);
+        assert_eq!(report.degradations.len(), 1);
+        assert!(matches!(
+            report.degradations[0].reason,
+            FailureKind::PlanRejected(_)
+        ));
+        assert_eq!(report.tracer.failed_rungs(), vec![LadderRung::TunedPlan]);
+        assert!(report.rel_residual <= 1e-9);
+    }
+
+    #[test]
+    fn injected_nan_degrades_and_still_converges() {
+        faults::clear();
+        let inst = instance(5, &Problem::poisson());
+        let fam = simple_v_family(5, &PAPER_ACCURACIES);
+        let solver = GuardedSolver::new(Problem::poisson())
+            .with_plan(fam)
+            .with_tracing();
+        let mut x = inst.working_grid();
+        faults::inject(Fault::PoisonLevel { level: 5 });
+        let report = solver.solve(&mut x, &inst.b, 1e-9).expect("must serve");
+        assert_eq!(report.rung, LadderRung::HeuristicPlan);
+        assert!(matches!(
+            report.degradations[0].reason,
+            FailureKind::Guard(GuardFailure::NonFinite { .. })
+        ));
+        assert!(report.rel_residual <= 1e-9);
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ladder_exhaustion_is_a_typed_error_and_restores_x() {
+        faults::clear();
+        let inst = instance(4, &Problem::poisson());
+        let solver = GuardedSolver::new(Problem::poisson());
+        let mut x = inst.working_grid();
+        let x0 = x.clone();
+        // Poison the heuristic rung (the base direct solve runs exactly
+        // once per cycle, so one fault = one poisoned cycle) and make
+        // the full-size direct factorization fail.
+        faults::inject(Fault::PoisonLevel { level: 1 });
+        faults::inject(Fault::FailDirect { n: 17 });
+        let err = solver
+            .solve(&mut x, &inst.b, 1e-9)
+            .expect_err("every rung was sabotaged");
+        assert_eq!(err.degradations.len(), 2, "no tuned rung: {err}");
+        assert!(matches!(
+            err.degradations[1].reason,
+            FailureKind::DirectFactorization(_)
+        ));
+        assert_eq!(x.as_slice(), x0.as_slice(), "x restored on failure");
+        faults::clear();
+    }
+
+    #[test]
+    fn direct_rung_serves_when_both_plans_are_poisoned() {
+        faults::clear();
+        let inst = instance(4, &Problem::poisson());
+        let fam = simple_v_family(4, &PAPER_ACCURACIES);
+        let solver = GuardedSolver::new(Problem::poisson())
+            .with_plan(fam)
+            .with_tracing();
+        let mut x = inst.working_grid();
+        // The level-1 base direct solve runs exactly once per family
+        // cycle, so one fault per guarded rung poisons each rung's
+        // first cycle.
+        faults::inject(Fault::PoisonLevel { level: 1 });
+        faults::inject(Fault::PoisonLevel { level: 1 });
+        let report = solver.solve(&mut x, &inst.b, 1e-9).expect("direct serves");
+        assert_eq!(report.rung, LadderRung::Direct);
+        assert_eq!(
+            report.tracer.failed_rungs(),
+            vec![LadderRung::TunedPlan, LadderRung::HeuristicPlan]
+        );
+        assert!(report.rel_residual <= 1e-9);
+        assert_eq!(report.status, SolveStatus::Converged { cycles: 1 });
+    }
+}

@@ -35,10 +35,20 @@
 //! * [`heuristics`] — the fixed-accuracy `10^x/10^9` strategies of
 //!   Figs 7–8.
 
+// Robustness: production code in this crate must not `.unwrap()` — a
+// panic inside a solve defeats the guarded-execution ladder. Use
+// `.expect("invariant")` where an invariant genuinely holds, or thread
+// a typed error. Test code is exempt via `allow-unwrap-in-tests` in
+// the workspace `clippy.toml`.
+#![warn(clippy::unwrap_used)]
+
 pub mod accuracy;
 pub mod adaptive;
 pub mod cost;
+pub mod faults;
+pub mod guard;
 pub mod heuristics;
+pub mod persist;
 pub mod plan;
 #[cfg(test)]
 mod proptests;
@@ -49,6 +59,7 @@ pub mod tuner;
 
 pub use accuracy::{error_ratio, AccuracyReport, ACC_CAP};
 pub use cost::{CostModel, MachineProfile, OpCounts};
+pub use guard::{Degradation, FailureKind, GuardedReport, GuardedSolver, SolveError};
 pub use plan::{Choice, SolveReport, TunedFamily, TunedFmgFamily};
 pub use training::{Distribution, ProblemInstance};
 pub use tuner::{FmgTuner, TunerOptions, VTuner};

@@ -242,6 +242,19 @@ impl ExecCtx {
         };
     }
 
+    /// Fault point shared by every kernel: when a
+    /// [`crate::faults::Fault::PoisonLevel`] is armed for `level`, the
+    /// kernel's output grid gets a NaN at its center — an O(1) poke the
+    /// guard's finiteness check must catch. Disabled cost is one
+    /// thread-local flag read per kernel call.
+    #[inline]
+    fn maybe_poison(&self, level: usize, out: &mut Grid2d) {
+        if crate::faults::poison_level(level) {
+            let n = out.n();
+            out.set(n / 2, n / 2, f64::NAN);
+        }
+    }
+
     /// Fused residual + restriction at `level` without relaxation (the
     /// FMG estimate edge). Counted and traced as one residual plus one
     /// restrict, matching the unfused composition it replaces bitwise.
@@ -257,6 +270,7 @@ impl ExecCtx {
         let clock = self.tracer.start_kernel_clock(level);
         relax_residual_restrict_op(&op, x, b, bc, OMEGA_CYCLE, 0, &self.workspace, &exec);
         self.tracer.stop_kernel_clock(clock);
+        self.maybe_poison(level, x);
         self.ops.level_mut(level).residuals += 1;
         self.ops.level_mut(level).restricts += 1;
         self.tracer.record(CycleEvent::Residual { level });
@@ -271,6 +285,7 @@ impl ExecCtx {
         let clock = self.tracer.start_kernel_clock(to);
         interpolate_correct_relax_op(&op, coarse, fine, b, OMEGA_CYCLE, 0, &self.workspace, &exec);
         self.tracer.stop_kernel_clock(clock);
+        self.maybe_poison(to, fine);
         self.ops.level_mut(to).interps += 1;
         self.tracer.record(CycleEvent::Interpolate { to });
     }
@@ -292,6 +307,7 @@ impl ExecCtx {
         let clock = self.tracer.start_kernel_clock(level);
         relax_residual_restrict_op(&op, x, b, bc, omega, 1, &self.workspace, &exec);
         self.tracer.stop_kernel_clock(clock);
+        self.maybe_poison(level, x);
         self.ops.level_mut(level).relax_sweeps += 1;
         self.ops.level_mut(level).residuals += 1;
         self.ops.level_mut(level).restricts += 1;
@@ -315,6 +331,7 @@ impl ExecCtx {
         let clock = self.tracer.start_kernel_clock(to);
         interpolate_correct_relax_op(&op, coarse, fine, b, omega, 1, &self.workspace, &exec);
         self.tracer.stop_kernel_clock(clock);
+        self.maybe_poison(to, fine);
         self.ops.level_mut(to).interps += 1;
         self.ops.level_mut(to).relax_sweeps += 1;
         self.tracer.record(CycleEvent::Interpolate { to });
@@ -326,6 +343,7 @@ impl ExecCtx {
         let clock = self.tracer.start_kernel_clock(level);
         self.cache.solve_op(x, b, &op);
         self.tracer.stop_kernel_clock(clock);
+        self.maybe_poison(level, x);
         self.ops.level_mut(level).direct_solves += 1;
         self.tracer.record(CycleEvent::Direct { level });
     }
@@ -345,6 +363,7 @@ impl ExecCtx {
             left -= chunk;
         }
         self.tracer.stop_kernel_clock(clock);
+        self.maybe_poison(level, x);
         self.ops.level_mut(level).relax_sweeps += iterations as u64;
         self.tracer
             .record(CycleEvent::SorSolve { level, iterations });
@@ -631,25 +650,80 @@ impl TunedFamily {
 
     /// Serialize to pretty JSON (the tuned "configuration file"). The
     /// emitted schema carries the per-level knob table with its own
-    /// `version` field; see [`TunedFamily::from_json`] for the legacy
+    /// `version` field plus a content `checksum` over the rest of the
+    /// envelope (schema v5), so bit rot and truncation are detected at
+    /// load time; see [`TunedFamily::from_json`] for the legacy
     /// fallback on the read side.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plan serialization cannot fail")
+        let mut value = serde::Serialize::to_value(self);
+        attach_checksum(&mut value);
+        serde_json::to_string_pretty(&value).expect("plan serialization cannot fail")
     }
 
     /// Parse and validate from JSON.
     ///
-    /// Accepts both the current versioned schema (with a `knobs` table)
-    /// and legacy plan files written before knob tables existed; legacy
-    /// plans load with a uniform table of the global default knobs, so
-    /// they execute exactly as they always did.
+    /// Accepts the current checksummed schema (v5), the pre-checksum
+    /// v4 schema, and legacy plan files written before knob tables
+    /// existed; legacy plans load with a uniform table of the global
+    /// default knobs, so they execute exactly as they always did. A
+    /// *present but wrong* checksum is a hard error — the file was
+    /// damaged after it was written.
     pub fn from_json(json: &str) -> Result<TunedFamily, String> {
         let mut value: serde_json::Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        verify_checksum(&mut value)?;
         upgrade_legacy_family(&mut value)?;
         let fam =
             <TunedFamily as serde::Deserialize>::from_value(&value).map_err(|e| e.to_string())?;
         fam.validate()?;
         Ok(fam)
+    }
+}
+
+/// FNV-1a (64-bit) over the *compact* serialization of a plan value —
+/// the content checksum of the v5 plan envelope. Computing over the
+/// compact form makes the checksum independent of on-disk pretty
+/// formatting, and the shim's `BTreeMap` object model keeps key order
+/// (and therefore the hash) deterministic.
+fn content_checksum(value: &serde_json::Value) -> String {
+    let compact = serde_json::to_string(value).expect("value serialization cannot fail");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in compact.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fnv1a:{h:016x}")
+}
+
+/// Insert the v5 `checksum` field into a serialized plan object (hash
+/// taken over the object *without* the field).
+fn attach_checksum(value: &mut serde_json::Value) {
+    let checksum = content_checksum(value);
+    if let serde_json::Value::Object(obj) = value {
+        obj.insert("checksum".to_string(), serde_json::Value::String(checksum));
+    }
+}
+
+/// Verify and strip the `checksum` field of a parsed plan object, if
+/// present. Absence is fine (v1–v4 files predate checksums); a
+/// mismatch means the file was corrupted and is a hard error.
+fn verify_checksum(value: &mut serde_json::Value) -> Result<(), String> {
+    let serde_json::Value::Object(obj) = value else {
+        return Err("expected a JSON object for a tuned plan".into());
+    };
+    let Some(stored) = obj.remove("checksum") else {
+        return Ok(());
+    };
+    let serde_json::Value::String(stored) = stored else {
+        return Err("plan checksum field is not a string".into());
+    };
+    let computed = content_checksum(value);
+    if stored == computed {
+        Ok(())
+    } else {
+        Err(format!(
+            "plan checksum mismatch: file says {stored}, content hashes to {computed} — \
+             the file was damaged after it was written"
+        ))
     }
 }
 
@@ -845,14 +919,18 @@ impl TunedFmgFamily {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plan serialization cannot fail")
+        let mut value = serde::Serialize::to_value(self);
+        attach_checksum(&mut value);
+        serde_json::to_string_pretty(&value).expect("plan serialization cannot fail")
     }
 
     /// Parse from JSON (validates the embedded V family). Legacy files
     /// whose embedded V family predates knob tables load with a uniform
-    /// default table, like [`TunedFamily::from_json`].
+    /// default table, like [`TunedFamily::from_json`]; a present but
+    /// wrong envelope checksum is a hard error.
     pub fn from_json(json: &str) -> Result<TunedFmgFamily, String> {
         let mut value: serde_json::Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        verify_checksum(&mut value)?;
         if let serde_json::Value::Object(obj) = &mut value {
             if let Some(v) = obj.get_mut("v") {
                 upgrade_legacy_family(v)?;
@@ -1104,6 +1182,8 @@ mod tests {
         let mut value: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
         if let serde_json::Value::Object(obj) = &mut value {
             obj.remove("knobs").expect("current schema has knobs");
+            // Legacy files predate the checksum envelope too.
+            obj.remove("checksum").expect("current schema has checksum");
         }
         let legacy_json = serde_json::to_string_pretty(&value).unwrap();
         let loaded = TunedFamily::from_json(&legacy_json).unwrap();
@@ -1143,6 +1223,8 @@ mod tests {
             if let Some(serde_json::Value::Object(v_obj)) = obj.get_mut("v") {
                 v_obj.remove("knobs").expect("embedded v has knobs");
             }
+            // Legacy files predate the checksum envelope too.
+            obj.remove("checksum").expect("current schema has checksum");
         }
         let legacy = serde_json::to_string(&value).unwrap();
         let loaded = TunedFmgFamily::from_json(&legacy).unwrap();

@@ -33,7 +33,9 @@ pub fn render_cycle(events: &[CycleEvent]) -> String {
             CycleEvent::Interpolate { to } => drawn.push((*to, '/')),
             CycleEvent::Residual { .. }
             | CycleEvent::EnterV { .. }
-            | CycleEvent::EnterFmg { .. } => continue,
+            | CycleEvent::EnterFmg { .. }
+            | CycleEvent::RungFailed { .. }
+            | CycleEvent::RungServed { .. } => continue,
         }
         let lvl = drawn.last().expect("just pushed").0;
         max_level = max_level.max(lvl);

@@ -9,6 +9,28 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A rung of the guarded-solve degradation ladder (see `crate::guard`):
+/// the strategies tried in order when a solve misbehaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LadderRung {
+    /// The caller-supplied tuned plan (fastest; first choice).
+    TunedPlan,
+    /// The default heuristic V-cycle plan (`plan::simple_v_family`).
+    HeuristicPlan,
+    /// A full-size direct band-Cholesky solve (slow but unconditional).
+    Direct,
+}
+
+impl std::fmt::Display for LadderRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LadderRung::TunedPlan => "tuned plan",
+            LadderRung::HeuristicPlan => "heuristic plan",
+            LadderRung::Direct => "direct solve",
+        })
+    }
+}
+
 /// One multigrid operation, as recorded during plan execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CycleEvent {
@@ -57,6 +79,17 @@ pub enum CycleEvent {
         level: usize,
         /// Accuracy index.
         acc_idx: usize,
+    },
+    /// A degradation-ladder rung failed during a guarded solve; the
+    /// next rung (if any) takes over.
+    RungFailed {
+        /// The rung that failed.
+        rung: LadderRung,
+    },
+    /// The ladder rung whose solution a guarded solve returned.
+    RungServed {
+        /// The serving rung.
+        rung: LadderRung,
     },
 }
 
@@ -148,15 +181,16 @@ impl Tracer {
     pub fn max_level(&self) -> usize {
         self.events
             .iter()
-            .map(|e| match e {
+            .filter_map(|e| match e {
                 CycleEvent::Relax { level }
                 | CycleEvent::Residual { level }
                 | CycleEvent::Direct { level }
                 | CycleEvent::SorSolve { level, .. }
                 | CycleEvent::EnterV { level, .. }
-                | CycleEvent::EnterFmg { level, .. } => *level,
-                CycleEvent::Restrict { from } => *from,
-                CycleEvent::Interpolate { to } => *to,
+                | CycleEvent::EnterFmg { level, .. } => Some(*level),
+                CycleEvent::Restrict { from } => Some(*from),
+                CycleEvent::Interpolate { to } => Some(*to),
+                CycleEvent::RungFailed { .. } | CycleEvent::RungServed { .. } => None,
             })
             .max()
             .unwrap_or(0)
@@ -166,18 +200,38 @@ impl Tracer {
     pub fn min_level(&self) -> usize {
         self.events
             .iter()
-            .map(|e| match e {
+            .filter_map(|e| match e {
                 CycleEvent::Relax { level }
                 | CycleEvent::Residual { level }
                 | CycleEvent::Direct { level }
                 | CycleEvent::SorSolve { level, .. }
                 | CycleEvent::EnterV { level, .. }
-                | CycleEvent::EnterFmg { level, .. } => *level,
-                CycleEvent::Restrict { from } => from - 1,
-                CycleEvent::Interpolate { to } => to - 1,
+                | CycleEvent::EnterFmg { level, .. } => Some(*level),
+                CycleEvent::Restrict { from } => Some(from - 1),
+                CycleEvent::Interpolate { to } => Some(to - 1),
+                CycleEvent::RungFailed { .. } | CycleEvent::RungServed { .. } => None,
             })
             .min()
             .unwrap_or(usize::MAX)
+    }
+
+    /// The rung that served a guarded solve, if one was recorded.
+    pub fn served_rung(&self) -> Option<LadderRung> {
+        self.events.iter().rev().find_map(|e| match e {
+            CycleEvent::RungServed { rung } => Some(*rung),
+            _ => None,
+        })
+    }
+
+    /// Rungs recorded as failed during a guarded solve, in order.
+    pub fn failed_rungs(&self) -> Vec<LadderRung> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                CycleEvent::RungFailed { rung } => Some(*rung),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Count events matching a predicate.

@@ -237,8 +237,7 @@ impl FmgTuner {
                     }
                 }
                 if opts.cost_model.needs_timing()
-                    && budget.is_some()
-                    && wall.elapsed().as_secs_f64() > (3.0 * budget.unwrap()).max(0.25)
+                    && budget.is_some_and(|b| wall.elapsed().as_secs_f64() > (3.0 * b).max(0.25))
                 {
                     return None;
                 }
@@ -307,8 +306,7 @@ impl FmgTuner {
                     }
                 }
                 if opts.cost_model.needs_timing()
-                    && budget.is_some()
-                    && wall.elapsed().as_secs_f64() > (3.0 * budget.unwrap()).max(0.25)
+                    && budget.is_some_and(|b| wall.elapsed().as_secs_f64() > (3.0 * b).max(0.25))
                 {
                     return None;
                 }

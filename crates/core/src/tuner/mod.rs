@@ -23,7 +23,7 @@ mod pareto;
 pub use fmg::FmgTuner;
 pub use knobs::{
     apply_knobs, tune_kernel_knobs, tune_kernel_knobs_for_level, tune_kernel_knobs_seeded,
-    KnobTuneResult, KnobTunerOptions, MAX_QUICK_KNOB_LEVEL,
+    KnobTuneResult, KnobTunerOptions, MAX_QUICK_KNOB_LEVEL, RE_MEASURE_SPREAD,
 };
 pub use pareto::{pareto_front, CandidatePoint, ParetoTuner};
 

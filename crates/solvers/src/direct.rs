@@ -9,7 +9,7 @@
 
 use parking_lot::Mutex;
 use petamg_grid::Grid2d;
-use petamg_linalg::PoissonDirect;
+use petamg_linalg::{LinalgError, PoissonDirect};
 use petamg_problems::{OpDirect, StencilOp};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -73,6 +73,21 @@ impl DirectSolverCache {
         );
         let mut map = self.op_factors.lock();
         Arc::clone(map.entry(key).or_insert(fresh))
+    }
+
+    /// Fallible variant of [`DirectSolverCache::get_op`]: returns the
+    /// factorization error instead of panicking, so callers on a
+    /// degradation path (e.g. the guarded-solve ladder) can convert a
+    /// failed factor into a typed failure. A fault-injection hook in
+    /// `petamg-core` drives the error arm in chaos tests.
+    pub fn try_get_op(&self, n: usize, op: &StencilOp) -> Result<Arc<OpDirect>, LinalgError> {
+        let key = (n, op.cache_key());
+        if let Some(f) = self.op_factors.lock().get(&key) {
+            return Ok(Arc::clone(f));
+        }
+        let fresh = Arc::new(OpDirect::new(op.clone(), n)?);
+        let mut map = self.op_factors.lock();
+        Ok(Arc::clone(map.entry(key).or_insert(fresh)))
     }
 
     /// Solve `A x = b` for operator `op` via the cached factor.

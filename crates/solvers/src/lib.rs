@@ -20,6 +20,7 @@
 
 pub mod direct;
 pub mod fused;
+pub mod guard;
 pub mod multigrid;
 pub mod relax;
 
@@ -31,6 +32,7 @@ pub use fused::{
     interpolate_correct_relax, interpolate_correct_relax_op, relax_residual_restrict,
     relax_residual_restrict_op, sor_sweeps_blocked, sor_sweeps_blocked_op,
 };
+pub use guard::{GuardConfig, GuardFailure, GuardVerdict, SolveGuard, SolveStatus};
 pub use multigrid::{MgConfig, ReferenceSolver};
 pub use relax::{
     gauss_seidel_sweep, jacobi_sweep, jacobi_sweep_op, omega_opt, sor_sweep, sor_sweep_op,

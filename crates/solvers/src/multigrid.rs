@@ -15,12 +15,13 @@ use crate::direct::DirectSolverCache;
 use crate::fused::{
     interpolate_correct_relax_op, relax_residual_restrict_op, sor_sweeps_blocked_op,
 };
+use crate::guard::{GuardFailure, GuardVerdict, SolveGuard, SolveStatus};
 use crate::relax::OMEGA_CYCLE;
 use petamg_grid::{
-    coarse_size, interpolate_into, restrict_full_weighting, restrict_inject, Exec, Grid2d,
-    Workspace,
+    coarse_size, interpolate_into, l2_norm_interior, restrict_full_weighting, restrict_inject,
+    Exec, Grid2d, Workspace,
 };
-use petamg_problems::Problem;
+use petamg_problems::{residual_op, Problem};
 use std::sync::Arc;
 
 /// Configuration for the reference cycles.
@@ -192,50 +193,91 @@ impl ReferenceSolver {
         self.vcycle(x, b);
     }
 
-    /// Iterate cycles until `done(x)` or `max_iters`; returns cycles
-    /// used. `done` is checked after each cycle.
+    /// Iterate cycles until `done(x)` or `max_iters`; `done` is checked
+    /// after each cycle. The returned [`SolveStatus`] distinguishes
+    /// converging on exactly the last budgeted cycle from running out
+    /// of budget — the old bare-`usize` return conflated the two.
     pub fn solve_v_until(
         &self,
         x: &mut Grid2d,
         b: &Grid2d,
         max_iters: usize,
         mut done: impl FnMut(&Grid2d) -> bool,
-    ) -> usize {
+    ) -> SolveStatus {
         for it in 1..=max_iters {
             self.vcycle(x, b);
             if done(x) {
-                return it;
+                return SolveStatus::Converged { cycles: it };
             }
         }
-        max_iters
+        SolveStatus::BudgetExhausted { cycles: max_iters }
     }
 
-    /// One FMG pass, then V cycles until `done(x)` or `max_iters`;
-    /// returns total passes (FMG counts as one).
+    /// One FMG pass, then V cycles until `done(x)` or `max_iters`; the
+    /// status counts total passes (FMG counts as one).
     pub fn solve_fmg_until(
         &self,
         x: &mut Grid2d,
         b: &Grid2d,
         max_iters: usize,
         mut done: impl FnMut(&Grid2d) -> bool,
-    ) -> usize {
+    ) -> SolveStatus {
         self.fmg(x, b);
         if done(x) {
-            return 1;
+            return SolveStatus::Converged { cycles: 1 };
         }
         for it in 2..=max_iters {
             self.vcycle(x, b);
             if done(x) {
-                return it;
+                return SolveStatus::Converged { cycles: it };
             }
         }
-        max_iters
+        SolveStatus::BudgetExhausted { cycles: max_iters }
+    }
+
+    /// The relative residual `‖b − A x‖₂ / ‖b‖₂` of the posed
+    /// operator's system (scratch leased from the workspace; the norm
+    /// scale is clamped so an all-zero `b` cannot divide by zero).
+    pub fn rel_residual(&self, x: &Grid2d, b: &Grid2d) -> f64 {
+        let op = self.cfg.problem.op_for(x.n());
+        let mut r = self.workspace.acquire(x.n());
+        residual_op(&op, x, b, &mut r, &self.cfg.exec);
+        l2_norm_interior(&r, &self.cfg.exec)
+            / l2_norm_interior(b, &self.cfg.exec).max(f64::MIN_POSITIVE)
+    }
+
+    /// Iterate guarded V cycles: after every cycle the relative
+    /// residual is fed to `guard`, which detects NaN/Inf, divergence,
+    /// stagnation, and budget exhaustion (see [`crate::guard`]). On
+    /// success the converged status is returned; on failure the typed
+    /// [`GuardFailure`] is — `x` then holds the last (possibly bad)
+    /// iterate, and the guard's history holds the full residual
+    /// trajectory either way.
+    pub fn solve_v_guarded(
+        &self,
+        x: &mut Grid2d,
+        b: &Grid2d,
+        guard: &mut SolveGuard,
+    ) -> Result<SolveStatus, GuardFailure> {
+        loop {
+            self.vcycle(x, b);
+            match guard.observe(self.rel_residual(x, b)) {
+                GuardVerdict::Continue => {}
+                GuardVerdict::Converged => {
+                    return Ok(SolveStatus::Converged {
+                        cycles: guard.cycles(),
+                    })
+                }
+                GuardVerdict::Fail(f) => return Err(f),
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::guard::GuardConfig;
     use petamg_grid::{l2_diff, l2_norm_interior};
     use petamg_linalg::PoissonDirect;
 
@@ -352,17 +394,104 @@ mod tests {
         let e = Exec::seq();
         let solver = ReferenceSolver::new(MgConfig::default());
         let e0 = l2_diff(&x, &x_opt, &e);
-        let iters = solver.solve_v_until(&mut x, &b, 100, |x| l2_diff(x, &x_opt, &e) <= e0 / 1e5);
+        let status = solver.solve_v_until(&mut x, &b, 100, |x| l2_diff(x, &x_opt, &e) <= e0 / 1e5);
+        assert!(status.converged());
+        let iters = status.cycles();
         assert!(iters > 1 && iters < 20, "iters = {iters}");
         assert!(l2_diff(&x, &x_opt, &e) <= e0 / 1e5);
     }
 
     #[test]
-    fn solve_until_respects_cap() {
+    fn solve_until_reports_budget_exhaustion() {
         let (mut x, b, _) = test_problem(17);
         let solver = ReferenceSolver::new(MgConfig::default());
-        let iters = solver.solve_v_until(&mut x, &b, 3, |_| false);
-        assert_eq!(iters, 3);
+        let status = solver.solve_v_until(&mut x, &b, 3, |_| false);
+        assert_eq!(status, SolveStatus::BudgetExhausted { cycles: 3 });
+        assert!(!status.converged());
+    }
+
+    #[test]
+    fn convergence_on_the_last_budgeted_cycle_is_distinguishable() {
+        // The historical bug this status enum fixes: converging on
+        // exactly cycle `max_iters` used to return the same bare count
+        // as never converging at all.
+        let (x0, b, _) = test_problem(17);
+        let solver = ReferenceSolver::new(MgConfig::default());
+        let mut calls = 0usize;
+        let mut x = x0.clone();
+        let status = solver.solve_v_until(&mut x, &b, 3, |_| {
+            calls += 1;
+            calls == 3
+        });
+        assert_eq!(status, SolveStatus::Converged { cycles: 3 });
+        let mut x = x0.clone();
+        let status = solver.solve_v_until(&mut x, &b, 3, |_| false);
+        assert_eq!(status, SolveStatus::BudgetExhausted { cycles: 3 });
+    }
+
+    #[test]
+    fn guarded_solve_converges_on_poisson() {
+        let (mut x, b, _) = test_problem(33);
+        let solver = ReferenceSolver::new(MgConfig::default());
+        let mut guard = SolveGuard::new(GuardConfig::default(), 1e-10);
+        let status = solver
+            .solve_v_guarded(&mut x, &b, &mut guard)
+            .expect("Poisson V cycles converge well inside the budget");
+        assert!(status.converged());
+        assert!(status.cycles() < 20, "cycles = {}", status.cycles());
+        assert!(solver.rel_residual(&x, &b) <= 1e-10);
+        // The guard kept the whole residual trajectory.
+        assert_eq!(guard.history().len(), status.cycles());
+    }
+
+    #[test]
+    fn guarded_solve_detects_weak_smoothing_on_strong_anisotropy() {
+        // Point relaxation + full coarsening is known-weak on
+        // eps = 0.01 anisotropy: the guard must convert that into a
+        // typed failure (stagnation or budget exhaustion), not spin
+        // forever or return an unconverged x as if it were fine.
+        use petamg_problems::Problem;
+        let n = 33;
+        let mut x = Grid2d::zeros(n);
+        x.set_boundary(|i, j| ((i * 37 + j * 61) % 19) as f64 - 9.0);
+        let b = Grid2d::from_fn(n, |i, j| ((i * 13 + j * 7) % 29) as f64 * 10.0 - 140.0);
+        let solver = ReferenceSolver::new(MgConfig {
+            problem: Problem::anisotropic(0.01),
+            ..MgConfig::default()
+        });
+        let mut guard = SolveGuard::new(
+            GuardConfig {
+                max_cycles: 25,
+                ..GuardConfig::default()
+            },
+            1e-12,
+        );
+        let failure = solver
+            .solve_v_guarded(&mut x, &b, &mut guard)
+            .expect_err("eps=0.01 cannot reach 1e-12 in 25 point-relaxation cycles");
+        assert!(
+            matches!(
+                failure,
+                GuardFailure::Stagnated { .. } | GuardFailure::BudgetExhausted { .. }
+            ),
+            "got {failure}"
+        );
+    }
+
+    #[test]
+    fn guarded_solve_detects_injected_nan() {
+        let (mut x, b, _) = test_problem(17);
+        let solver = ReferenceSolver::new(MgConfig::default());
+        let n = x.n();
+        x.set(n / 2, n / 2, f64::NAN);
+        let mut guard = SolveGuard::new(GuardConfig::default(), 1e-10);
+        let failure = solver
+            .solve_v_guarded(&mut x, &b, &mut guard)
+            .expect_err("a poisoned iterate must be detected");
+        assert!(
+            matches!(failure, GuardFailure::NonFinite { cycle: 1 }),
+            "got {failure}"
+        );
     }
 
     #[test]
@@ -374,10 +503,13 @@ mod tests {
         let target = e0 / 1e7;
 
         let mut xv = x0.clone();
-        let v_iters = solver.solve_v_until(&mut xv, &b, 100, |x| l2_diff(x, &x_opt, &e) <= target);
+        let v_iters = solver
+            .solve_v_until(&mut xv, &b, 100, |x| l2_diff(x, &x_opt, &e) <= target)
+            .cycles();
         let mut xf = x0.clone();
-        let f_iters =
-            solver.solve_fmg_until(&mut xf, &b, 100, |x| l2_diff(x, &x_opt, &e) <= target);
+        let f_iters = solver
+            .solve_fmg_until(&mut xf, &b, 100, |x| l2_diff(x, &x_opt, &e) <= target)
+            .cycles();
         assert!(
             f_iters <= v_iters,
             "FMG ({f_iters}) should need no more passes than V ({v_iters})"

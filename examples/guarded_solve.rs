@@ -1,0 +1,82 @@
+//! Guarded solves and the degradation ladder, end to end — including
+//! the env-driven chaos drill.
+//!
+//! A [`GuardedSolver`] runs a tuned plan under a [`SolveGuard`]
+//! (finiteness, divergence, stagnation, cycle/wall-clock budgets) and
+//! walks the degradation ladder on any failure:
+//!
+//! ```text
+//!   tuned plan  →  heuristic MULTIGRID-V-SIMPLE  →  direct solve
+//! ```
+//!
+//! Run healthy:
+//!
+//! ```bash
+//! cargo run --release --example guarded_solve
+//! ```
+//!
+//! Then break things with the `PETAMG_FAULTS` variable (comma-separated
+//! spec; see `petamg::core::faults`) and watch the ladder absorb it:
+//!
+//! ```bash
+//! # NaN injected into a top-level kernel: tuned rung fails, heuristic serves.
+//! PETAMG_FAULTS=poison-level:7 cargo run --release --example guarded_solve
+//!
+//! # Poison both plan rungs: the direct rung serves.
+//! PETAMG_FAULTS=poison-level:1,poison-level:1 cargo run --release --example guarded_solve
+//!
+//! # Sabotage every rung: a typed SolveError, x restored, no panic.
+//! PETAMG_FAULTS=poison-level:1,poison-level:1,fail-direct:129 \
+//!     cargo run --release --example guarded_solve
+//! ```
+
+use petamg::core::faults;
+use petamg::core::plan::{simple_v_family, PAPER_ACCURACIES};
+use petamg::prelude::*;
+
+fn main() {
+    // Honour PETAMG_FAULTS on this (the solve-driving) thread. This is
+    // opt-in per binary: library users never pay for the env read.
+    let armed = faults::arm_thread_from_env();
+    if armed > 0 {
+        println!("chaos drill: {armed} fault(s) armed from PETAMG_FAULTS\n");
+    }
+
+    let level = 7; // N = 129
+    let problem = Problem::poisson();
+    let inst = ProblemInstance::random_for(&problem, level, Distribution::UnbiasedUniform, 2024);
+
+    let solver = GuardedSolver::new(problem)
+        .with_plan(simple_v_family(level, &PAPER_ACCURACIES))
+        .with_tracing();
+
+    let mut x = inst.working_grid();
+    match solver.solve(&mut x, &inst.b, 1e-9) {
+        Ok(report) => {
+            println!("served by rung:    {}", report.rung);
+            println!(
+                "status:            {:?} ({} cycle(s))",
+                report.status,
+                report.status.cycles()
+            );
+            println!("relative residual: {:.3e}", report.rel_residual);
+            println!("wall time:         {:.1} ms", report.seconds * 1e3);
+            if report.degraded() {
+                println!("\ndegradations on the way down:");
+                for d in &report.degradations {
+                    println!("  {} failed: {}", d.rung, d.reason);
+                }
+            }
+            println!("\nresidual trajectory at the serving rung:");
+            for (i, r) in report.residual_history.iter().enumerate() {
+                println!("  cycle {:>2}: {r:.3e}", i + 1);
+            }
+        }
+        Err(err) => {
+            println!("every rung failed — typed error, x restored to the initial guess:");
+            for d in &err.degradations {
+                println!("  {} failed: {}", d.rung, d.reason);
+            }
+        }
+    }
+}

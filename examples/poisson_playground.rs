@@ -44,9 +44,11 @@ fn main() {
     {
         let mut x = inst.working_grid();
         let start = Instant::now();
-        let iters = solver.solve_v_until(&mut x, &inst.b, 100, |x| {
-            l2_diff(x, &x_opt, &exec) <= e0 / target
-        });
+        let iters = solver
+            .solve_v_until(&mut x, &inst.b, 100, |x| {
+                l2_diff(x, &x_opt, &exec) <= e0 / target
+            })
+            .cycles();
         println!(
             "Reference V cycles to 1e7:     {iters:>6} cycles, {:>9.1} ms",
             start.elapsed().as_secs_f64() * 1e3
@@ -57,9 +59,11 @@ fn main() {
     {
         let mut x = inst.working_grid();
         let start = Instant::now();
-        let iters = solver.solve_fmg_until(&mut x, &inst.b, 100, |x| {
-            l2_diff(x, &x_opt, &exec) <= e0 / target
-        });
+        let iters = solver
+            .solve_fmg_until(&mut x, &inst.b, 100, |x| {
+                l2_diff(x, &x_opt, &exec) <= e0 / target
+            })
+            .cycles();
         println!(
             "Reference FMG to 1e7:          {iters:>6} passes, {:>9.1} ms",
             start.elapsed().as_secs_f64() * 1e3

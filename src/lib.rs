@@ -60,7 +60,9 @@ pub mod prelude {
     pub use petamg_choice::{KernelKnobs, KnobTable};
     pub use petamg_core::accuracy::{error_ratio, AccuracyReport};
     pub use petamg_core::cost::{CostModel, MachineProfile};
+    pub use petamg_core::guard::{GuardedReport, GuardedSolver, SolveError};
     pub use petamg_core::plan::{Choice, ExecCtx, TunedFamily, TunedFmgFamily};
+    pub use petamg_core::trace::LadderRung;
     pub use petamg_core::training::{Distribution, ProblemInstance};
     pub use petamg_core::tuner::{FmgTuner, KnobSearchOptions, TunerOptions, VTuner};
     pub use petamg_grid::{Exec, Grid2d, Workspace};
@@ -69,99 +71,15 @@ pub mod prelude {
         CoeffProfile, Problem, ProblemFingerprint, ProblemMismatch, StencilOp,
     };
     pub use petamg_runtime::ThreadPool;
+    pub use petamg_solvers::guard::{
+        GuardConfig, GuardFailure, GuardVerdict, SolveGuard, SolveStatus,
+    };
     pub use petamg_solvers::multigrid::{MgConfig, ReferenceSolver};
     pub use petamg_solvers::relax::omega_opt;
 }
 
-/// Plan persistence: tuned families — including their per-level kernel
-/// knob tables — as PetaBricks-style JSON configuration files.
-///
-/// Loading accepts both the current versioned schema and legacy files
-/// written before knob tables existed (those fall back to a uniform
-/// table of the global default knobs). Saving always writes the
-/// current schema, so a load→save pass upgrades a legacy file.
-///
-/// ```no_run
-/// use petamg::persist;
-/// use petamg::prelude::*;
-///
-/// let tuned = VTuner::new(TunerOptions::quick(5, Distribution::UnbiasedUniform)).tune();
-/// persist::save_plan(&tuned, "family.json".as_ref()).unwrap();
-/// let loaded = persist::load_plan("family.json".as_ref()).unwrap();
-/// assert_eq!(loaded.knobs, tuned.knobs);
-/// let mut inst = ProblemInstance::random(5, Distribution::UnbiasedUniform, 42);
-/// // solve() executes with the plan's own per-level knob table.
-/// let report = loaded.solve(&mut inst, 1e5);
-/// assert!(report.achieved_accuracy >= 1e5 * 0.5);
-/// ```
-pub mod persist {
-    use petamg_core::plan::{TunedFamily, TunedFmgFamily};
-    use petamg_problems::{Problem, ProblemMismatch};
-    use std::path::Path;
-
-    /// Typed failure modes of [`load_plan_for`]: I/O, parse/validation,
-    /// or a plan tuned for a different problem than the one posed.
-    #[derive(Debug)]
-    pub enum PlanLoadError {
-        /// Reading the file failed.
-        Io(std::io::Error),
-        /// The file did not parse/validate as a tuned plan.
-        Parse(String),
-        /// The plan's [`ProblemFingerprint`](petamg_problems::ProblemFingerprint)
-        /// does not match the posed problem.
-        ProblemMismatch(ProblemMismatch),
-    }
-
-    impl std::fmt::Display for PlanLoadError {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            match self {
-                PlanLoadError::Io(e) => write!(f, "plan file unreadable: {e}"),
-                PlanLoadError::Parse(e) => write!(f, "plan file invalid: {e}"),
-                PlanLoadError::ProblemMismatch(e) => write!(f, "{e}"),
-            }
-        }
-    }
-
-    impl std::error::Error for PlanLoadError {}
-
-    /// Save a tuned `MULTIGRID-V` family (with its knob table).
-    pub fn save_plan(family: &TunedFamily, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, family.to_json())
-    }
-
-    /// Load a tuned `MULTIGRID-V` family; legacy files without a knob
-    /// table load with the uniform default table.
-    pub fn load_plan(path: &Path) -> Result<TunedFamily, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        TunedFamily::from_json(&text)
-    }
-
-    /// Load a tuned `MULTIGRID-V` family **for a posed problem**: the
-    /// plan's `ProblemFingerprint` (schema v4; legacy files upgrade to
-    /// the Poisson fingerprint) must match `problem`'s, otherwise the
-    /// file is rejected with the typed
-    /// [`PlanLoadError::ProblemMismatch`] — a plan tuned for smooth
-    /// coefficients is never silently applied to a jump-coefficient
-    /// run.
-    pub fn load_plan_for(path: &Path, problem: &Problem) -> Result<TunedFamily, PlanLoadError> {
-        let text = std::fs::read_to_string(path).map_err(PlanLoadError::Io)?;
-        let family = TunedFamily::from_json(&text).map_err(PlanLoadError::Parse)?;
-        family
-            .ensure_problem(problem.fingerprint())
-            .map_err(PlanLoadError::ProblemMismatch)?;
-        Ok(family)
-    }
-
-    /// Save a tuned `FULL-MULTIGRID` family (the knob table travels
-    /// inside the embedded V family).
-    pub fn save_fmg_plan(family: &TunedFmgFamily, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, family.to_json())
-    }
-
-    /// Load a tuned `FULL-MULTIGRID` family, upgrading legacy files
-    /// like [`load_plan`].
-    pub fn load_fmg_plan(path: &Path) -> Result<TunedFmgFamily, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        TunedFmgFamily::from_json(&text)
-    }
-}
+/// Hardened plan persistence (atomic writes, content checksums,
+/// quarantine of corrupt files) — re-exported from
+/// [`petamg_core::persist`], where the guarded-solve ladder can reach
+/// it. See that module for the full story.
+pub use petamg_core::persist;

@@ -1,0 +1,299 @@
+//! Chaos suite: deterministic fault injection against the guarded
+//! serving pipeline, crossed over execution backends.
+//!
+//! Every test breaks something on purpose — a plan file, a kernel
+//! output, a direct factorization — and asserts the degradation ladder
+//! (`petamg::core::guard`) absorbs it: the solve still converges on a
+//! lower rung, the rung is visible in the report and the tracer, and a
+//! full ladder exhaustion comes back as a typed error with `x`
+//! restored, never a panic or a poisoned iterate.
+//!
+//! The backend axis mirrors `tests/conformance.rs`: scheduling
+//! backends crossed with SIMD modes, filtered by
+//! `PETAMG_CONFORMANCE_BACKEND` so CI can shard the matrix. Fault
+//! arming is thread-local and every fault point runs on the driving
+//! thread, so the parallel backends exercise the same deterministic
+//! fault schedule as `seq`.
+
+use petamg::core::faults::{self, Fault};
+use petamg::core::plan::{simple_v_family, PAPER_ACCURACIES};
+use petamg::core::FailureKind;
+use petamg::persist::{self, PlanLoadError};
+use petamg::prelude::*;
+use std::path::PathBuf;
+
+/// Grid level the chaos instances live at (`n = 2^5 + 1 = 33`).
+const LEVEL: usize = 5;
+/// Relative-residual tolerance every surviving rung must meet.
+const TOL: f64 = 1e-9;
+
+/// Backends under chaos, filtered by `PETAMG_CONFORMANCE_BACKEND`
+/// exactly like the conformance suite (CI reuses the same matrix
+/// variable for both jobs).
+fn backends() -> Vec<(String, Exec)> {
+    let scheduling = vec![
+        ("seq", Exec::seq()),
+        ("pbrt2", Exec::pbrt(2)),
+        ("rayon", Exec::rayon()),
+    ];
+    let all: Vec<(String, Exec)> = scheduling
+        .into_iter()
+        .flat_map(|(name, exec)| {
+            [SimdPolicy::Scalar, SimdPolicy::Vector].map(|policy| {
+                (
+                    format!("{name}+{}", policy.name()),
+                    exec.clone().with_simd(policy),
+                )
+            })
+        })
+        .collect();
+    match std::env::var("PETAMG_CONFORMANCE_BACKEND") {
+        Ok(filter) if !filter.is_empty() && filter != "all" => all
+            .into_iter()
+            .filter(|(name, _)| name.starts_with(filter.as_str()))
+            .collect(),
+        _ => all,
+    }
+}
+
+fn instance(problem: &Problem, seed: u64) -> ProblemInstance {
+    ProblemInstance::random_for(problem, LEVEL, Distribution::UnbiasedUniform, seed)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("petamg-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Healthy baseline: with no fault armed, every backend serves the
+/// tuned rung with a clean trace — the chaos assertions below would be
+/// meaningless if the happy path itself degraded.
+#[test]
+fn healthy_solves_serve_the_tuned_rung_on_every_backend() {
+    faults::clear();
+    let inst = instance(&Problem::poisson(), 11);
+    for (name, exec) in backends() {
+        let solver = GuardedSolver::new(Problem::poisson())
+            .with_plan(simple_v_family(LEVEL, &PAPER_ACCURACIES))
+            .with_exec(exec)
+            .with_tracing();
+        let mut x = inst.working_grid();
+        let report = solver
+            .solve(&mut x, &inst.b, TOL)
+            .unwrap_or_else(|e| panic!("[{name}] healthy solve failed: {e}"));
+        assert_eq!(report.rung, LadderRung::TunedPlan, "[{name}]");
+        assert!(!report.degraded(), "[{name}]");
+        assert!(report.tracer.failed_rungs().is_empty(), "[{name}]");
+        assert!(
+            report.rel_residual <= TOL,
+            "[{name}] {}",
+            report.rel_residual
+        );
+    }
+}
+
+/// A corrupted plan file is quarantined at load, and the serving path
+/// falls back to the heuristic rung — the full pipeline a service
+/// would run: load-or-degrade, then solve.
+#[test]
+fn corrupted_plan_file_quarantines_then_heuristic_rung_serves() {
+    faults::clear();
+    let inst = instance(&Problem::poisson(), 23);
+    for (name, exec) in backends() {
+        let dir = tmp_dir(&format!("corrupt-{}", name.replace('+', "-")));
+        let path = dir.join("plan.json");
+        persist::save_plan(&simple_v_family(LEVEL, &PAPER_ACCURACIES), &path).unwrap();
+
+        faults::inject(Fault::CorruptPlan);
+        let loaded = persist::load_plan_for(&path, &Problem::poisson());
+        let quarantined = match loaded {
+            Err(PlanLoadError::Parse {
+                quarantined: Some(q),
+                ..
+            }) => q,
+            other => panic!("[{name}] expected quarantining parse error, got {other:?}"),
+        };
+        assert!(quarantined.exists(), "[{name}] quarantined copy kept");
+        assert!(!path.exists(), "[{name}] original moved aside");
+
+        // The service continues without the plan: heuristic rung.
+        let solver = GuardedSolver::new(Problem::poisson())
+            .with_exec(exec)
+            .with_tracing();
+        let mut x = inst.working_grid();
+        let report = solver
+            .solve(&mut x, &inst.b, TOL)
+            .unwrap_or_else(|e| panic!("[{name}] heuristic fallback failed: {e}"));
+        assert_eq!(report.rung, LadderRung::HeuristicPlan, "[{name}]");
+        assert_eq!(
+            report.tracer.served_rung(),
+            Some(LadderRung::HeuristicPlan),
+            "[{name}]"
+        );
+        assert!(report.rel_residual <= TOL, "[{name}]");
+        faults::clear();
+    }
+}
+
+/// A plan whose fingerprint does not match the posed problem is
+/// rejected at rung 0 and the heuristic rung serves, with the failed
+/// rung visible in both the report and the trace.
+#[test]
+fn fingerprint_mismatch_degrades_to_heuristic_on_every_backend() {
+    faults::clear();
+    let aniso = Problem::anisotropic(0.5);
+    let inst = instance(&aniso, 31);
+    for (name, exec) in backends() {
+        // A (nominally Poisson-tuned) plan posed an anisotropic system.
+        let solver = GuardedSolver::new(aniso.clone())
+            .with_plan(simple_v_family(LEVEL, &PAPER_ACCURACIES))
+            .with_exec(exec)
+            .with_tracing();
+        let mut x = inst.working_grid();
+        let report = solver
+            .solve(&mut x, &inst.b, TOL)
+            .unwrap_or_else(|e| panic!("[{name}] must degrade, not die: {e}"));
+        assert_eq!(report.rung, LadderRung::HeuristicPlan, "[{name}]");
+        assert_eq!(report.degradations.len(), 1, "[{name}]");
+        assert!(
+            matches!(report.degradations[0].reason, FailureKind::PlanRejected(_)),
+            "[{name}] {:?}",
+            report.degradations[0].reason
+        );
+        assert_eq!(
+            report.tracer.failed_rungs(),
+            vec![LadderRung::TunedPlan],
+            "[{name}]"
+        );
+        assert!(report.rel_residual <= TOL, "[{name}]");
+    }
+}
+
+/// A NaN injected into a mid-cycle kernel output trips the guard's
+/// finiteness check; the ladder retries on the heuristic rung and the
+/// returned solution is finite and converged on every backend.
+#[test]
+fn injected_mid_cycle_nan_degrades_and_still_converges() {
+    faults::clear();
+    let inst = instance(&Problem::poisson(), 43);
+    for (name, exec) in backends() {
+        let solver = GuardedSolver::new(Problem::poisson())
+            .with_plan(simple_v_family(LEVEL, &PAPER_ACCURACIES))
+            .with_exec(exec)
+            .with_tracing();
+        let mut x = inst.working_grid();
+        faults::inject(Fault::PoisonLevel { level: LEVEL });
+        let report = solver
+            .solve(&mut x, &inst.b, TOL)
+            .unwrap_or_else(|e| panic!("[{name}] must degrade, not die: {e}"));
+        assert_eq!(report.rung, LadderRung::HeuristicPlan, "[{name}]");
+        assert!(
+            matches!(
+                report.degradations[0].reason,
+                FailureKind::Guard(GuardFailure::NonFinite { .. })
+            ),
+            "[{name}] {:?}",
+            report.degradations[0].reason
+        );
+        assert_eq!(
+            report.tracer.failed_rungs(),
+            vec![LadderRung::TunedPlan],
+            "[{name}]"
+        );
+        assert!(x.as_slice().iter().all(|v| v.is_finite()), "[{name}]");
+        assert!(report.rel_residual <= TOL, "[{name}]");
+        assert!(!faults::armed(), "[{name}] fault must be consumed");
+    }
+}
+
+/// Both plan rungs poisoned → the unconditional direct rung serves.
+/// The level-1 base solve runs exactly once per family cycle, so one
+/// armed fault per rung poisons each rung's first cycle.
+#[test]
+fn direct_rung_serves_when_both_plan_rungs_are_poisoned() {
+    faults::clear();
+    let inst = instance(&Problem::poisson(), 47);
+    for (name, exec) in backends() {
+        let solver = GuardedSolver::new(Problem::poisson())
+            .with_plan(simple_v_family(LEVEL, &PAPER_ACCURACIES))
+            .with_exec(exec)
+            .with_tracing();
+        let mut x = inst.working_grid();
+        faults::inject(Fault::PoisonLevel { level: 1 });
+        faults::inject(Fault::PoisonLevel { level: 1 });
+        let report = solver
+            .solve(&mut x, &inst.b, TOL)
+            .unwrap_or_else(|e| panic!("[{name}] direct rung must serve: {e}"));
+        assert_eq!(report.rung, LadderRung::Direct, "[{name}]");
+        assert_eq!(
+            report.tracer.failed_rungs(),
+            vec![LadderRung::TunedPlan, LadderRung::HeuristicPlan],
+            "[{name}]"
+        );
+        assert_eq!(
+            report.tracer.served_rung(),
+            Some(LadderRung::Direct),
+            "[{name}]"
+        );
+        assert!(report.rel_residual <= TOL, "[{name}]");
+        faults::clear();
+    }
+}
+
+/// Sabotage every rung: typed `SolveError` carrying the per-rung
+/// failure history, `x` bit-for-bit restored to the initial guess.
+#[test]
+fn full_ladder_exhaustion_is_typed_and_restores_x() {
+    faults::clear();
+    let n = (1usize << LEVEL) + 1;
+    let inst = instance(&Problem::poisson(), 53);
+    for (name, exec) in backends() {
+        let solver = GuardedSolver::new(Problem::poisson())
+            .with_plan(simple_v_family(LEVEL, &PAPER_ACCURACIES))
+            .with_exec(exec);
+        let mut x = inst.working_grid();
+        let x0 = x.clone();
+        faults::inject(Fault::PoisonLevel { level: 1 });
+        faults::inject(Fault::PoisonLevel { level: 1 });
+        faults::inject(Fault::FailDirect { n });
+        let err = solver
+            .solve(&mut x, &inst.b, TOL)
+            .expect_err("every rung was sabotaged");
+        assert_eq!(err.degradations.len(), 3, "[{name}] {err}");
+        assert!(
+            matches!(
+                err.degradations[2].reason,
+                FailureKind::DirectFactorization(_)
+            ),
+            "[{name}] {:?}",
+            err.degradations[2].reason
+        );
+        assert_eq!(x.as_slice(), x0.as_slice(), "[{name}] x restored");
+        assert!(!faults::armed(), "[{name}] all faults consumed");
+        faults::clear();
+    }
+}
+
+/// The `PETAMG_FAULTS` spec grammar drives the same machinery the
+/// programmatic API does — the env-driven path a chaos drill would
+/// use against a real binary (see `examples/guarded_solve.rs`).
+#[test]
+fn env_spec_grammar_arms_the_same_faults() {
+    faults::clear();
+    let spec = "poison-level:1,poison-level:1,fail-direct:33";
+    let parsed = faults::parse_spec(spec).unwrap();
+    for f in parsed {
+        faults::inject(f);
+    }
+    let inst = instance(&Problem::poisson(), 59);
+    let solver =
+        GuardedSolver::new(Problem::poisson()).with_plan(simple_v_family(LEVEL, &PAPER_ACCURACIES));
+    let mut x = inst.working_grid();
+    let err = solver
+        .solve(&mut x, &inst.b, TOL)
+        .expect_err("spec-armed faults must exhaust the ladder");
+    assert_eq!(err.degradations.len(), 3, "{err}");
+    faults::clear();
+}

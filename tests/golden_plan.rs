@@ -13,10 +13,17 @@
 //!   family schema). It must keep loading forever; the fingerprint
 //!   upgrades to constant-coefficient Poisson — exactly what v3-era
 //!   plans were tuned for.
-//! * `tests/fixtures/tuned_plan_v4.json` — a plan in the current
-//!   schema (knob-table v2 **and** a `ProblemFingerprint`). Loading
-//!   and re-serializing it must reproduce the file byte for byte, so
-//!   any accidental schema drift fails here first.
+//! * `tests/fixtures/tuned_plan_v4.json` — knob-table v2 **and** a
+//!   `ProblemFingerprint`, but no envelope checksum (the pre-checksum
+//!   schema). It must keep loading forever.
+//! * `tests/fixtures/tuned_plan_v5.json` — the current schema: v4 plus
+//!   a content `checksum` over the envelope. Loading and
+//!   re-serializing it must reproduce the file byte for byte, so any
+//!   accidental schema drift fails here first.
+//!
+//! Every generation also gets **damage tests**: truncated, bit-flipped
+//! and wrong-version variants must produce a typed error — never a
+//! panic, never a silently wrong plan.
 //!
 //! Regenerate the fixtures (after an *intentional* schema change) with:
 //! `PETAMG_REGEN_GOLDEN=1 cargo test --test golden_plan`.
@@ -29,9 +36,10 @@ use std::path::PathBuf;
 const LEGACY_V1: &str = include_str!("fixtures/tuned_plan_legacy_v1.json");
 const LEGACY_V2: &str = include_str!("fixtures/tuned_plan_v2.json");
 const LEGACY_V3: &str = include_str!("fixtures/tuned_plan_v3.json");
-const CURRENT_V4: &str = include_str!("fixtures/tuned_plan_v4.json");
+const LEGACY_V4: &str = include_str!("fixtures/tuned_plan_v4.json");
+const CURRENT_V5: &str = include_str!("fixtures/tuned_plan_v5.json");
 
-/// The deterministic family behind all four fixtures: a modeled-cost
+/// The deterministic family behind all five fixtures: a modeled-cost
 /// quick tune (bit-reproducible) plus hand-pinned non-uniform knob
 /// entries so the table's serialization — including a non-default simd
 /// policy — is actually exercised.
@@ -63,6 +71,16 @@ fn fixtures_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
 }
 
+/// The current serialization minus the envelope checksum — what a
+/// v4-era build wrote.
+fn strip_checksum(json: &str) -> serde_json::Value {
+    let mut tree: serde_json::Value = serde_json::from_str(json).unwrap();
+    if let serde_json::Value::Object(obj) = &mut tree {
+        obj.remove("checksum").expect("current schema has checksum");
+    }
+    tree
+}
+
 #[test]
 fn regenerate_golden_fixtures_when_asked() {
     if std::env::var("PETAMG_REGEN_GOLDEN").is_err() {
@@ -71,11 +89,20 @@ fn regenerate_golden_fixtures_when_asked() {
     let fam = golden_family();
     let dir = fixtures_dir();
     std::fs::create_dir_all(&dir).unwrap();
-    std::fs::write(dir.join("tuned_plan_v4.json"), fam.to_json()).unwrap();
+    std::fs::write(dir.join("tuned_plan_v5.json"), fam.to_json()).unwrap();
 
-    // The v3 fixture is the same plan without the problem fingerprint —
+    // The v4 fixture is the same plan without the envelope checksum —
+    // exactly what a pre-checksum build wrote.
+    let tree = strip_checksum(&fam.to_json());
+    std::fs::write(
+        dir.join("tuned_plan_v4.json"),
+        serde_json::to_string_pretty(&tree).unwrap(),
+    )
+    .unwrap();
+
+    // The v3 fixture additionally drops the problem fingerprint —
     // exactly what a pre-operator-family build wrote.
-    let mut tree: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
+    let mut tree = strip_checksum(&fam.to_json());
     if let serde_json::Value::Object(obj) = &mut tree {
         obj.remove("problem").expect("current schema has problem");
         obj.insert(
@@ -91,7 +118,7 @@ fn regenerate_golden_fixtures_when_asked() {
 
     // The v2 fixture additionally downgrades the knob table to version
     // 1: per-entry simd fields stripped — what a pre-SIMD build wrote.
-    let mut tree: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
+    let mut tree = strip_checksum(&fam.to_json());
     if let serde_json::Value::Object(obj) = &mut tree {
         obj.remove("problem").expect("current schema has problem");
         obj.insert(
@@ -120,7 +147,7 @@ fn regenerate_golden_fixtures_when_asked() {
 
     // The legacy v1 fixture strips the knobs field entirely — what a
     // pre-knob-table build wrote.
-    let mut tree: serde_json::Value = serde_json::from_str(&fam.to_json()).unwrap();
+    let mut tree = strip_checksum(&fam.to_json());
     if let serde_json::Value::Object(obj) = &mut tree {
         obj.remove("problem").expect("current schema has problem");
         obj.remove("knobs").expect("current schema has knobs");
@@ -199,14 +226,15 @@ fn legacy_v3_fixture_loads_with_poisson_fingerprint() {
         ProblemFingerprint::poisson(),
         "pre-operator-family plans were tuned for constant Poisson"
     );
-    // A load→save pass writes the current (v4) schema.
+    // A load→save pass writes the current (checksummed) schema.
     let resaved = fam.to_json();
     assert!(resaved.contains("\"problem\""));
+    assert!(resaved.contains("\"checksum\""));
 }
 
 #[test]
-fn current_v4_fixture_roundtrips_byte_for_byte() {
-    let fam = TunedFamily::from_json(CURRENT_V4).expect("current fixture parses");
+fn legacy_v4_fixture_loads_without_checksum() {
+    let fam = TunedFamily::from_json(LEGACY_V4).expect("v4 plan files must keep loading");
     fam.validate().unwrap();
     assert!(!fam.knobs.is_uniform(), "fixture carries a real table");
     assert!(fam.problem.is_poisson(), "fixture carries the fingerprint");
@@ -218,10 +246,24 @@ fn current_v4_fixture_roundtrips_byte_for_byte() {
             simd: SimdPolicy::Vector,
         }
     );
+    // A load→save pass upgrades to the checksummed v5 schema.
+    assert_eq!(fam.to_json(), CURRENT_V5.trim_end());
+}
+
+#[test]
+fn current_v5_fixture_roundtrips_byte_for_byte() {
+    let fam = TunedFamily::from_json(CURRENT_V5).expect("current fixture parses");
+    fam.validate().unwrap();
+    assert!(!fam.knobs.is_uniform(), "fixture carries a real table");
+    assert!(fam.problem.is_poisson(), "fixture carries the fingerprint");
+    assert!(
+        CURRENT_V5.contains("\"checksum\": \"fnv1a:"),
+        "fixture carries the envelope checksum"
+    );
     // Schema stability: re-serializing reproduces the committed bytes.
     assert_eq!(
         fam.to_json(),
-        CURRENT_V4.trim_end(),
+        CURRENT_V5.trim_end(),
         "serialization schema drifted from the committed golden fixture"
     );
 }
@@ -237,13 +279,17 @@ fn freshly_tuned_plan_parses_under_versioned_schema() {
         json.contains("\"problem\""),
         "schema carries the fingerprint"
     );
+    assert!(
+        json.contains("\"checksum\""),
+        "schema carries the envelope checksum"
+    );
     let back = TunedFamily::from_json(&json).unwrap();
     assert_eq!(back.plans, fam.plans);
     assert_eq!(back.knobs, fam.knobs);
     assert_eq!(back.problem, fam.problem);
     // And it matches the committed fixture (the quick tune is
     // deterministic by construction).
-    assert_eq!(json, CURRENT_V4.trim_end());
+    assert_eq!(json, CURRENT_V5.trim_end());
 }
 
 #[test]
@@ -251,29 +297,32 @@ fn all_fixture_generations_describe_the_same_plan() {
     let v1 = TunedFamily::from_json(LEGACY_V1).unwrap();
     let v2 = TunedFamily::from_json(LEGACY_V2).unwrap();
     let v3 = TunedFamily::from_json(LEGACY_V3).unwrap();
-    let v4 = TunedFamily::from_json(CURRENT_V4).unwrap();
+    let v4 = TunedFamily::from_json(LEGACY_V4).unwrap();
+    let v5 = TunedFamily::from_json(CURRENT_V5).unwrap();
     assert_eq!(v1.plans, v2.plans);
     assert_eq!(v2.plans, v3.plans);
     assert_eq!(v3.plans, v4.plans);
-    assert_eq!(v1.accuracies, v4.accuracies);
+    assert_eq!(v4.plans, v5.plans);
+    assert_eq!(v1.accuracies, v5.accuracies);
     // Every generation upgrades to the same (Poisson) fingerprint.
-    for f in [&v1, &v2, &v3, &v4] {
+    for f in [&v1, &v2, &v3, &v4, &v5] {
         assert_eq!(f.problem, ProblemFingerprint::poisson());
     }
     // Only the knob tables (and provenance notes) differ across
-    // generations: v1 has defaults, v2 upgraded with Auto, v3/v4 carry
+    // generations: v1 has defaults, v2 upgraded with Auto, v3–v5 carry
     // the pinned non-default policies.
     assert_ne!(v1.knobs, v2.knobs);
     assert_ne!(v2.knobs, v3.knobs);
     assert_eq!(v3.knobs, v4.knobs);
+    assert_eq!(v4.knobs, v5.knobs);
 }
 
 #[test]
 fn mismatched_problem_fingerprint_is_rejected_typed() {
-    // A v4 plan tuned for Poisson must be rejected — with the typed
-    // error — when an anisotropic or jump problem is posed.
+    // A current plan tuned for Poisson must be rejected — with the
+    // typed error — when an anisotropic or jump problem is posed.
     let dir = fixtures_dir();
-    let path = dir.join("tuned_plan_v4.json");
+    let path = dir.join("tuned_plan_v5.json");
 
     // Matching problem loads fine.
     let ok = petamg::persist::load_plan_for(&path, &Problem::poisson());
@@ -292,7 +341,123 @@ fn mismatched_problem_fingerprint_is_rejected_typed() {
     }
 
     // And solve_with enforces the same check at execution time.
-    let fam = TunedFamily::from_json(CURRENT_V4).unwrap();
+    let fam = TunedFamily::from_json(CURRENT_V5).unwrap();
     let posed2 = Problem::jump_inclusion(9);
     assert!(fam.ensure_problem(posed2.fingerprint()).is_err());
+}
+
+// ---- damage tests ---------------------------------------------------------
+//
+// Every fixture generation, mangled three ways. The contract is typed
+// failure: `from_json` returns `Err`, `load_plan_for` returns
+// `PlanLoadError` and quarantines — nothing panics, nothing loads a
+// scrambled plan.
+
+fn all_generations() -> [(&'static str, &'static str); 5] {
+    [
+        ("v1", LEGACY_V1),
+        ("v2", LEGACY_V2),
+        ("v3", LEGACY_V3),
+        ("v4", LEGACY_V4),
+        ("v5", CURRENT_V5),
+    ]
+}
+
+#[test]
+fn truncated_fixtures_of_every_generation_fail_typed() {
+    for (tag, json) in all_generations() {
+        for frac in [4, 2, 1] {
+            // 1/4, 1/2 and all-but-last-byte truncations.
+            let cut = if frac == 1 {
+                json.len() - 1
+            } else {
+                json.len() / frac
+            };
+            let damaged = &json[..cut];
+            let err = TunedFamily::from_json(damaged);
+            assert!(err.is_err(), "{tag} truncated to {cut} bytes must not load");
+        }
+    }
+}
+
+#[test]
+fn bit_flipped_fixtures_of_every_generation_never_panic() {
+    // Flip a character at every 37th position; each variant must either
+    // fail typed or (when the flip lands in an ignorable spot like a
+    // provenance string of a pre-checksum schema) produce a plan that
+    // still validates. The checksummed generation must *always* reject.
+    for (tag, json) in all_generations() {
+        let bytes = json.as_bytes();
+        let mut rejected = 0usize;
+        let mut positions = 0usize;
+        for pos in (0..bytes.len()).step_by(37) {
+            let mut damaged = bytes.to_vec();
+            damaged[pos] ^= 0x08;
+            let Ok(text) = String::from_utf8(damaged) else {
+                continue;
+            };
+            positions += 1;
+            match TunedFamily::from_json(&text) {
+                Err(_) => rejected += 1,
+                Ok(fam) => {
+                    fam.validate().expect("a plan that loads must validate");
+                }
+            }
+        }
+        assert!(rejected > 0, "{tag}: some flips must be caught");
+        if tag == "v5" {
+            assert_eq!(
+                rejected, positions,
+                "the checksummed schema must catch every flip"
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_version_markers_fail_typed() {
+    // A knob table claiming a future version must be rejected, not
+    // misinterpreted.
+    let mut tree: serde_json::Value = serde_json::from_str(LEGACY_V4).unwrap();
+    if let serde_json::Value::Object(obj) = &mut tree {
+        if let Some(serde_json::Value::Object(knobs)) = obj.get_mut("knobs") {
+            knobs.insert(
+                "version".to_string(),
+                serde_json::Value::Number(serde_json::Number::from_u64(99)),
+            );
+        }
+    }
+    let future = serde_json::to_string_pretty(&tree).unwrap();
+    assert!(TunedFamily::from_json(&future).is_err());
+
+    // A checksum field of the wrong JSON type is typed, not a panic.
+    let mut tree: serde_json::Value = serde_json::from_str(LEGACY_V4).unwrap();
+    if let serde_json::Value::Object(obj) = &mut tree {
+        obj.insert(
+            "checksum".to_string(),
+            serde_json::Value::Number(serde_json::Number::from_u64(12345)),
+        );
+    }
+    let bad = serde_json::to_string_pretty(&tree).unwrap();
+    let err = TunedFamily::from_json(&bad).unwrap_err();
+    assert!(err.contains("checksum"), "{err}");
+}
+
+#[test]
+fn damaged_files_quarantine_through_load_plan_for() {
+    let dir = std::env::temp_dir().join(format!("petamg-golden-damage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (tag, json) in all_generations() {
+        let path = dir.join(format!("{tag}.json"));
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        match petamg::persist::load_plan_for(&path, &Problem::poisson()) {
+            Err(PlanLoadError::Parse { quarantined, .. }) => {
+                let q = quarantined.expect("damaged file must be quarantined");
+                assert!(q.exists(), "{tag}: quarantine destination exists");
+                assert!(!path.exists(), "{tag}: original moved aside");
+            }
+            other => panic!("{tag}: expected Parse error, got {other:?}"),
+        }
+    }
 }

@@ -21,9 +21,11 @@ fn reference_v_cost(
     let solver = ReferenceSolver::with_cache(MgConfig::default(), Arc::clone(cache));
     // Count cycles needed, then price one solve of that many cycles.
     let mut x = inst.working_grid();
-    let iters = solver.solve_v_until(&mut x, &inst.b, 200, |x| {
+    let status = solver.solve_v_until(&mut x, &inst.b, 200, |x| {
         l2_diff(x, &x_opt, &exec) <= e0 / target
     });
+    assert!(status.converged(), "reference V failed to reach {target:e}");
+    let iters = status.cycles();
     let fam = petamg::core::plan::simple_v_family(inst.level, &[target]);
     let (one, _) = priced_run(profile, &exec, cache, |ctx| {
         let mut x = inst.working_grid();
@@ -161,10 +163,11 @@ fn iteration_scaling_matches_complexity_table() {
         // Reference V cycles for the same reduction.
         let solver = ReferenceSolver::with_cache(MgConfig::default(), Arc::clone(&cache));
         let mut x = inst.working_grid();
-        let cycles = solver.solve_v_until(&mut x, &inst.b, 100, |x| {
+        let status = solver.solve_v_until(&mut x, &inst.b, 100, |x| {
             l2_diff(x, &x_opt, &exec) <= e0 / 1e3
         });
-        mg_iters.push(cycles);
+        assert!(status.converged(), "reference V failed to reach 1e3");
+        mg_iters.push(status.cycles());
     }
     // SOR iteration counts grow noticeably with N...
     assert!(
