@@ -35,7 +35,7 @@ use crate::faults;
 use crate::plan::{simple_v_family, ExecCtx, TunedFamily, PAPER_ACCURACIES};
 use crate::trace::{CycleEvent, LadderRung, Tracer};
 use crate::OpCounts;
-use petamg_grid::{l2_norm_interior, Exec, Grid2d};
+use petamg_grid::{l2_norm_interior, Exec, Grid2d, Workspace};
 use petamg_problems::{residual_op, Problem};
 use petamg_solvers::{
     DirectSolverCache, GuardConfig, GuardFailure, GuardVerdict, SolveGuard, SolveStatus,
@@ -140,10 +140,11 @@ impl GuardedReport {
 /// the ladder instead of panicking. See the module docs.
 pub struct GuardedSolver {
     problem: Problem,
-    plan: Option<TunedFamily>,
+    plan: Option<Arc<TunedFamily>>,
     guard: GuardConfig,
     exec: Exec,
     cache: Arc<DirectSolverCache>,
+    workspace: Arc<Workspace>,
     tracing: bool,
 }
 
@@ -159,12 +160,21 @@ impl GuardedSolver {
             guard: GuardConfig::default(),
             exec: Exec::seq(),
             cache: Arc::new(DirectSolverCache::new()),
+            workspace: Arc::new(Workspace::new()),
             tracing: false,
         }
     }
 
     /// Serve `plan` as the ladder's first rung.
     pub fn with_plan(mut self, plan: TunedFamily) -> Self {
+        self.plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Serve an already-shared `plan` as the ladder's first rung
+    /// without cloning it. This is the serving-engine path: one plan
+    /// from the library serves any number of concurrent requests.
+    pub fn with_shared_plan(mut self, plan: Arc<TunedFamily>) -> Self {
         self.plan = Some(plan);
         self
     }
@@ -178,6 +188,16 @@ impl GuardedSolver {
     /// Share a band-Cholesky factor cache across solves.
     pub fn with_cache(mut self, cache: Arc<DirectSolverCache>) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Share a scratch arena across solves. Every grid this solver
+    /// needs per call — the restore snapshot, the residual scratch, and
+    /// all of plan execution's coarse-level leases — comes from this
+    /// arena, so repeated solves through one solver (or one serving
+    /// worker) allocate nothing once the arena is warm.
+    pub fn with_workspace(mut self, workspace: Arc<Workspace>) -> Self {
+        self.workspace = workspace;
         self
     }
 
@@ -205,9 +225,14 @@ impl GuardedSolver {
     pub fn solve(&self, x: &mut Grid2d, b: &Grid2d, tol: f64) -> Result<GuardedReport, SolveError> {
         let n = x.n();
         let level = level_of(n);
-        let x0 = x.clone();
-        let mut scratch = Grid2d::zeros(n);
+        // Both per-call grids are leased from the shared arena (and
+        // fully overwritten before any read), so a warm solver performs
+        // zero steady-state grid allocations per request.
+        let mut x0 = self.workspace.acquire_unzeroed(n);
+        x0.copy_from(x);
+        let mut scratch = self.workspace.acquire_unzeroed(n);
         let mut ctx = ExecCtx::with_cache(self.exec.clone(), Arc::clone(&self.cache))
+            .with_workspace(Arc::clone(&self.workspace))
             .with_problem(self.problem.clone());
         if self.tracing {
             ctx = ctx.tracing();

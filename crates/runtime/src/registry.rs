@@ -266,6 +266,24 @@ impl ThreadPool {
         job.into_result()
     }
 
+    /// Inject a detached fire-and-forget job into this pool and return
+    /// immediately. The job runs on whichever worker dequeues it (local
+    /// pop or steal) — this is the submission path of the plan-serving
+    /// engine in `petamg-serve`, which bounds admission itself before
+    /// spawning.
+    ///
+    /// The closure must not unwind: a panic escaping a detached job
+    /// kills the worker thread that happened to execute it (the pool
+    /// keeps running with one fewer worker). Callers that cannot prove
+    /// their closure panic-free should wrap it in
+    /// `std::panic::catch_unwind`, as the serving engine does.
+    pub fn spawn<F>(&self, op: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.registry.inject(crate::job::HeapJob::into_job_ref(op));
+    }
+
     /// `join` restricted to this pool (convenience: `install` + `join`).
     pub fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
     where
@@ -405,6 +423,26 @@ mod tests {
         assert!(idx.is_some());
         assert!(idx.unwrap() < 4);
         assert_eq!(current_worker_index(), None);
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while counter.load(Ordering::SeqCst) < 64 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "spawned jobs must all run"
+            );
+            std::thread::yield_now();
+        }
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Single-flight request coalescing.
+//!
+//! When several concurrent requests pose the same not-yet-tuned
+//! fingerprint, exactly one of them (the *leader*) runs the tuner; the
+//! rest (*followers*) block on the flight and receive the leader's
+//! plan. Leadership is only ever assigned to a request that is already
+//! executing on a worker, so a full complement of followers cannot
+//! deadlock the pool — the leader is one of them, and it is running.
+//!
+//! A leader that fails (tuner panic, disk error) completes the flight
+//! with `None`; followers observe the failure and retry the
+//! library-then-flight sequence, so one bad tune does not wedge every
+//! waiter forever.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One in-progress tune. `result` is `None` while the leader works;
+/// `Some(outcome)` once complete, where the outcome itself is `None`
+/// if the leader failed.
+struct Flight<T> {
+    result: Mutex<Option<Option<T>>>,
+    done: Condvar,
+}
+
+impl<T: Clone> Flight<T> {
+    fn new() -> Self {
+        Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Option<T> {
+        let mut slot = self.result.lock();
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            // Re-check periodically as a belt-and-braces guard against
+            // a lost wakeup; the leader always completes the flight.
+            let _ = self.done.wait_for(&mut slot, Duration::from_millis(100));
+        }
+    }
+
+    fn complete(&self, outcome: Option<T>) {
+        *self.result.lock() = Some(outcome);
+        self.done.notify_all();
+    }
+}
+
+/// What `join` made of this request.
+pub enum Role<T: Clone> {
+    /// This request leads: run the work, then call
+    /// [`FlightGuard::complete`].
+    Leader(FlightGuard<T>),
+    /// Another request led; this is its (cloned) outcome — `None`
+    /// means the leader failed and the caller should retry.
+    Follower(Option<T>),
+}
+
+/// Leadership token. Completing (or dropping) it resolves the flight
+/// and removes it from the map so later requests start fresh.
+pub struct FlightGuard<T: Clone> {
+    flights: Arc<Mutex<HashMap<u64, Arc<Flight<T>>>>>,
+    key: u64,
+    flight: Arc<Flight<T>>,
+    completed: bool,
+}
+
+impl<T: Clone> FlightGuard<T> {
+    /// Publish the outcome to every follower and retire the flight.
+    pub fn complete(mut self, outcome: Option<T>) {
+        self.resolve(outcome);
+    }
+
+    fn resolve(&mut self, outcome: Option<T>) {
+        if self.completed {
+            return;
+        }
+        self.completed = true;
+        // Retire the flight first: a request arriving after removal
+        // starts a new flight instead of joining a finished one.
+        self.flights.lock().remove(&self.key);
+        self.flight.complete(outcome);
+    }
+}
+
+impl<T: Clone> Drop for FlightGuard<T> {
+    fn drop(&mut self) {
+        // A leader that unwound without completing still resolves the
+        // flight (as a failure) so followers are never stranded.
+        self.resolve(None);
+    }
+}
+
+/// The flight map: at most one in-progress tune per key.
+pub struct SingleFlight<T: Clone> {
+    flights: Arc<Mutex<HashMap<u64, Arc<Flight<T>>>>>,
+}
+
+impl<T: Clone> Default for SingleFlight<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> SingleFlight<T> {
+    pub fn new() -> Self {
+        SingleFlight {
+            flights: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Join the flight for `key`: the first caller becomes the leader,
+    /// everyone else blocks until the leader completes.
+    pub fn join(&self, key: u64) -> Role<T> {
+        let mut flights = self.flights.lock();
+        if let Some(f) = flights.get(&key) {
+            let f = Arc::clone(f);
+            drop(flights);
+            return Role::Follower(f.wait());
+        }
+        let f = Arc::new(Flight::new());
+        flights.insert(key, Arc::clone(&f));
+        drop(flights);
+        Role::Leader(FlightGuard {
+            flights: Arc::clone(&self.flights),
+            key,
+            flight: f,
+            completed: false,
+        })
+    }
+
+    /// Number of in-progress flights (for tests).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn one_leader_many_followers() {
+        let sf: Arc<SingleFlight<u32>> = Arc::new(SingleFlight::new());
+        let leads = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let sf = Arc::clone(&sf);
+            let leads = Arc::clone(&leads);
+            handles.push(std::thread::spawn(move || match sf.join(7) {
+                Role::Leader(token) => {
+                    leads.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(20));
+                    token.complete(Some(42));
+                    42
+                }
+                Role::Follower(v) => v.expect("leader succeeded"),
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert_eq!(leads.load(Ordering::SeqCst), 1, "exactly one leader");
+        assert_eq!(sf.in_flight(), 0, "flight retired");
+    }
+
+    #[test]
+    fn failed_leader_releases_followers_with_none() {
+        let sf: Arc<SingleFlight<u32>> = Arc::new(SingleFlight::new());
+        let token = match sf.join(1) {
+            Role::Leader(t) => t,
+            Role::Follower(_) => panic!("first join must lead"),
+        };
+        let sf2 = Arc::clone(&sf);
+        let follower = std::thread::spawn(move || match sf2.join(1) {
+            Role::Follower(v) => v,
+            Role::Leader(_) => panic!("second join must follow"),
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(token); // leader unwinds without completing
+        assert_eq!(follower.join().unwrap(), None);
+        // The key is free again: the next join leads.
+        assert!(matches!(sf.join(1), Role::Leader(_)));
+    }
+}

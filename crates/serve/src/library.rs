@@ -1,0 +1,356 @@
+//! Fingerprint-keyed plan library: a directory of v5 plan files with a
+//! bounded in-memory LRU cache in front of it.
+//!
+//! Disk is the system of record, memory is an accelerator. Each
+//! [`ProblemFingerprint`] maps to
+//! one file, `plan-<fnv1a-hash>.json`, written atomically by
+//! `petamg_core::persist::save_plan`. A `get` first consults the LRU
+//! cache; on miss it reloads from disk through
+//! [`persist::load_plan_for`], which preserves the quarantine
+//! semantics the guarded-solve story depends on: a corrupt file is
+//! moved aside to `<name>.quarantined` and the library reports a plain
+//! miss, so the caller falls back to tuning (or the heuristic rung)
+//! instead of executing a scrambled plan.
+//!
+//! Eviction is safe by construction — an evicted entry is only a cache
+//! entry, the file stays on disk and the next `get` reloads it
+//! (re-verifying the v5 checksum on the way in).
+
+use parking_lot::Mutex;
+use petamg_core::persist::{self, PlanLoadError};
+use petamg_core::plan::TunedFamily;
+use petamg_problems::{Problem, ProblemFingerprint};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default number of plans held in memory.
+pub const DEFAULT_LIBRARY_CAPACITY: usize = 32;
+
+/// Stable FNV-1a hash over the identity fields of a fingerprint.
+/// Used both as the cache key and as the plan file name, so the
+/// mapping from fingerprint to file survives process restarts.
+pub fn fingerprint_key(fp: &ProblemFingerprint) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+    let mut h = OFFSET;
+    h = eat(h, fp.family.as_bytes());
+    h = eat(h, &[0xff]);
+    h = eat(h, fp.profile.as_bytes());
+    h = eat(h, &[0xff]);
+    h = eat(h, &fp.param.to_bits().to_le_bytes());
+    h = eat(h, &(fp.n as u64).to_le_bytes());
+    h = eat(h, fp.coeff_hash.as_bytes());
+    h
+}
+
+/// File name a fingerprint's plan is stored under.
+pub fn plan_file_name(fp: &ProblemFingerprint) -> String {
+    format!("plan-{:016x}.json", fingerprint_key(fp))
+}
+
+/// Where a served plan came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanOrigin {
+    /// The in-memory LRU cache.
+    Memory,
+    /// Reloaded from the plan directory (checksum re-verified).
+    Disk,
+}
+
+/// Counter snapshot for observability and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LibraryStats {
+    /// `get` calls served from memory.
+    pub hits: u64,
+    /// `get` calls that found nothing (no file, or the file was bad).
+    pub misses: u64,
+    /// `get` calls served by reloading a plan file from disk.
+    pub disk_loads: u64,
+    /// Corrupt plan files moved aside to `<name>.quarantined`.
+    pub quarantined: u64,
+    /// Healthy files rejected because their fingerprint did not match
+    /// the posed problem (hash collision or a hand-edited file).
+    pub mismatches: u64,
+    /// Cache entries dropped to keep the memory bound.
+    pub evictions: u64,
+    /// Plans written through `insert`.
+    pub inserts: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_loads: AtomicU64,
+    quarantined: AtomicU64,
+    mismatches: AtomicU64,
+    evictions: AtomicU64,
+    inserts: AtomicU64,
+}
+
+/// A directory of tuned-plan files with a bounded LRU cache in front.
+///
+/// All methods take `&self`; the library is shared across serving
+/// workers behind an `Arc`.
+pub struct PlanLibrary {
+    dir: PathBuf,
+    capacity: usize,
+    /// key → (plan, last-touched tick). The tick pattern matches
+    /// `DirectSolverCache`: monotone counter, evict the smallest.
+    cache: Mutex<HashMap<u64, (Arc<TunedFamily>, u64)>>,
+    tick: AtomicU64,
+    stats: Counters,
+}
+
+impl PlanLibrary {
+    /// Open (creating if needed) a plan directory with the default
+    /// in-memory capacity.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::with_capacity(dir, DEFAULT_LIBRARY_CAPACITY)
+    }
+
+    /// Open with an explicit in-memory capacity bound (≥ 1).
+    pub fn with_capacity(dir: impl Into<PathBuf>, capacity: usize) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(PlanLibrary {
+            dir,
+            capacity: capacity.max(1),
+            cache: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            stats: Counters::default(),
+        })
+    }
+
+    /// The plan directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The in-memory capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of plans currently cached in memory (≤ capacity).
+    pub fn cached(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Path the plan for `fp` is (or would be) stored at.
+    pub fn path_for(&self, fp: &ProblemFingerprint) -> PathBuf {
+        self.dir.join(plan_file_name(fp))
+    }
+
+    /// Cached keys in most-recently-used-first order (for tests).
+    pub fn cached_keys(&self) -> Vec<u64> {
+        let cache = self.cache.lock();
+        let mut entries: Vec<(u64, u64)> = cache.iter().map(|(k, (_, t))| (*k, *t)).collect();
+        entries.sort_by_key(|&(_, tick)| std::cmp::Reverse(tick));
+        entries.into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LibraryStats {
+        LibraryStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            disk_loads: self.stats.disk_loads.load(Ordering::Relaxed),
+            quarantined: self.stats.quarantined.load(Ordering::Relaxed),
+            mismatches: self.stats.mismatches.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            inserts: self.stats.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Put `plan` in the cache under `key`, evicting the least recently
+    /// used entries to stay within capacity.
+    fn cache_put(&self, key: u64, plan: Arc<TunedFamily>) {
+        let tick = self.next_tick();
+        let mut cache = self.cache.lock();
+        cache.insert(key, (plan, tick));
+        while cache.len() > self.capacity {
+            let stalest = cache
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| *k)
+                .expect("cache over capacity implies at least one entry");
+            cache.remove(&stalest);
+            Self::bump(&self.stats.evictions);
+        }
+    }
+
+    /// Fetch the plan for `problem`: memory first, then disk.
+    ///
+    /// Returns `None` when no usable plan exists — never a corrupt
+    /// one. A file that fails to parse or checksum is quarantined by
+    /// `persist::load_plan_for` and counted; a healthy file whose
+    /// fingerprint does not match the posed problem is left in place
+    /// and counted. Either way the caller should tune (or let the
+    /// guarded ladder fall back to its heuristic rung).
+    pub fn get(&self, problem: &Problem) -> Option<(Arc<TunedFamily>, PlanOrigin)> {
+        let key = fingerprint_key(problem.fingerprint());
+        {
+            let tick = self.next_tick();
+            let mut cache = self.cache.lock();
+            if let Some((plan, stamp)) = cache.get_mut(&key) {
+                *stamp = tick;
+                Self::bump(&self.stats.hits);
+                return Some((Arc::clone(plan), PlanOrigin::Memory));
+            }
+        }
+        match persist::load_plan_for(&self.path_for(problem.fingerprint()), problem) {
+            Ok(family) => {
+                Self::bump(&self.stats.disk_loads);
+                let plan = Arc::new(family);
+                self.cache_put(key, Arc::clone(&plan));
+                Some((plan, PlanOrigin::Disk))
+            }
+            Err(PlanLoadError::Io(_)) => {
+                Self::bump(&self.stats.misses);
+                None
+            }
+            Err(PlanLoadError::Parse { quarantined, .. }) => {
+                if quarantined.is_some() {
+                    Self::bump(&self.stats.quarantined);
+                }
+                Self::bump(&self.stats.misses);
+                None
+            }
+            Err(PlanLoadError::ProblemMismatch(_)) => {
+                Self::bump(&self.stats.mismatches);
+                Self::bump(&self.stats.misses);
+                None
+            }
+        }
+    }
+
+    /// Persist a freshly tuned plan and cache it.
+    ///
+    /// The plan must carry `problem`'s fingerprint (tuners stamp it;
+    /// the service re-stamps hand-built families) — a mismatch is
+    /// rejected here rather than on every future load. The file write
+    /// is atomic, so concurrent readers only ever see whole plans.
+    pub fn insert(
+        &self,
+        problem: &Problem,
+        family: TunedFamily,
+    ) -> std::io::Result<Arc<TunedFamily>> {
+        if family.ensure_problem(problem.fingerprint()).is_err() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "plan fingerprint does not match the problem it is filed under",
+            ));
+        }
+        let key = fingerprint_key(problem.fingerprint());
+        persist::save_plan(&family, &self.path_for(problem.fingerprint()))?;
+        Self::bump(&self.stats.inserts);
+        let plan = Arc::new(family);
+        self.cache_put(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Drop every in-memory entry (disk untouched). Tests use this to
+    /// force disk reloads.
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petamg_core::plan::{simple_v_family, PAPER_ACCURACIES};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("petamg-library-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn stamped(problem: &Problem, max_level: usize) -> TunedFamily {
+        let mut fam = simple_v_family(max_level, &PAPER_ACCURACIES);
+        fam.problem = problem.fingerprint().clone();
+        fam
+    }
+
+    #[test]
+    fn keys_distinguish_canonical_problems() {
+        let problems = [
+            Problem::poisson(),
+            Problem::anisotropic(0.1),
+            Problem::anisotropic(0.01),
+            Problem::smooth_sinusoidal(17),
+            Problem::jump_inclusion(17),
+        ];
+        let keys: Vec<u64> = problems
+            .iter()
+            .map(|p| fingerprint_key(p.fingerprint()))
+            .collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "problems {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_then_get_hits_memory_then_disk() {
+        let lib = PlanLibrary::open(tmp_dir("roundtrip")).unwrap();
+        let poisson = Problem::poisson();
+        assert!(lib.get(&poisson).is_none(), "empty library misses");
+        lib.insert(&poisson, stamped(&poisson, 4)).unwrap();
+        let (_, origin) = lib.get(&poisson).unwrap();
+        assert_eq!(origin, PlanOrigin::Memory);
+        lib.clear_cache();
+        let (plan, origin) = lib.get(&poisson).unwrap();
+        assert_eq!(origin, PlanOrigin::Disk);
+        assert_eq!(plan.max_level, 4);
+        let s = lib.stats();
+        assert_eq!((s.hits, s.disk_loads, s.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_bound_holds_and_disk_backs_evictions() {
+        let lib = PlanLibrary::with_capacity(tmp_dir("evict"), 2).unwrap();
+        let problems = [
+            Problem::poisson(),
+            Problem::anisotropic(0.1),
+            Problem::anisotropic(0.01),
+        ];
+        for p in &problems {
+            lib.insert(p, stamped(p, 3)).unwrap();
+        }
+        assert_eq!(lib.cached(), 2);
+        assert_eq!(lib.stats().evictions, 1);
+        // The evicted (oldest) plan reloads from disk.
+        let (_, origin) = lib.get(&problems[0]).unwrap();
+        assert_eq!(origin, PlanOrigin::Disk);
+    }
+
+    #[test]
+    fn mismatched_insert_is_rejected() {
+        let lib = PlanLibrary::open(tmp_dir("mismatch")).unwrap();
+        let aniso = Problem::anisotropic(0.1);
+        // A Poisson-stamped family filed under anisotropic is a bug.
+        let fam = simple_v_family(3, &PAPER_ACCURACIES);
+        assert!(lib.insert(&aniso, fam).is_err());
+    }
+}

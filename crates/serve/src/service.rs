@@ -1,0 +1,802 @@
+//! The plan-serving solver engine.
+//!
+//! A [`SolverService`] is a long-running front door over the
+//! tune-once/serve-many artifacts: its serving loop is
+//! `PlanLibrary::get` → `GuardedSolver::solve`. Requests enter through
+//! a bounded submission queue over the `petamg-runtime` work-stealing
+//! pool; when the queue is full, [`SolverService::submit`] returns the
+//! typed [`Rejected`] instead of queueing unboundedly. Each pool
+//! worker owns a warm [`Workspace`] arena, every request shares one
+//! [`DirectSolverCache`] for the ladder's direct rung, and concurrent
+//! requests for the same not-yet-tuned fingerprint coalesce into a
+//! single tuning run (see [`crate::coalesce`]).
+//!
+//! Failure domains are per-request: a panic inside a solve is caught
+//! on the worker and surfaces as [`ServeError::Panicked`] on that
+//! request's ticket; a corrupt plan file is quarantined by the library
+//! and the request re-tunes; an exhausted degradation ladder returns
+//! the typed [`ServeError::Ladder`] with the iterate restored to the
+//! initial guess. The service itself keeps serving.
+
+use crate::coalesce::{Role, SingleFlight};
+use crate::library::{fingerprint_key, PlanLibrary, PlanOrigin};
+use parking_lot::{Condvar, Mutex};
+use petamg_core::faults::{self, Fault};
+use petamg_core::guard::{GuardedReport, GuardedSolver, SolveError};
+use petamg_core::plan::{simple_v_family, TunedFamily, PAPER_ACCURACIES};
+use petamg_core::training::Distribution;
+use petamg_core::tuner::{TunerOptions, VTuner};
+use petamg_grid::{size_level, Exec, Grid2d, Workspace, WorkspaceStats};
+use petamg_problems::Problem;
+use petamg_runtime::ThreadPool;
+use petamg_solvers::{DirectSolverCache, GuardConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A caller-supplied tuning function: `(problem, level) -> family`.
+pub type TuneFn = dyn Fn(&Problem, usize) -> TunedFamily + Send + Sync;
+
+/// How the service produces a plan for a fingerprint it has never
+/// seen.
+#[derive(Clone)]
+pub enum TunePolicy {
+    /// File the hand-built `MULTIGRID-V-SIMPLE` family (re-stamped
+    /// with the request's fingerprint). Instant; the right default for
+    /// a service that should never block a request on a tuning run.
+    Heuristic,
+    /// Run the accuracy-aware DP autotuner (`TunerOptions::quick`) at
+    /// the request's level. Expensive — minutes at deep levels — but
+    /// produces a genuinely tuned plan.
+    QuickTune,
+    /// Caller-supplied tuner. The returned family's fingerprint is
+    /// re-stamped by the service, so hand-built families work as-is.
+    Custom(Arc<TuneFn>),
+}
+
+impl std::fmt::Debug for TunePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TunePolicy::Heuristic => write!(f, "Heuristic"),
+            TunePolicy::QuickTune => write!(f, "QuickTune"),
+            TunePolicy::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+/// Configuration for [`SolverService::start`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Directory of plan files (created if missing).
+    pub plan_dir: PathBuf,
+    /// Worker threads in the serving pool.
+    pub workers: usize,
+    /// Admission bound: submitted-but-unfinished requests beyond this
+    /// are rejected.
+    pub queue_capacity: usize,
+    /// In-memory plan cache bound (disk backs evictions).
+    pub library_capacity: usize,
+    /// Factorization cache bound for the ladder's direct rung.
+    pub factor_capacity: usize,
+    /// Execution policy inside a single solve. Defaults to sequential:
+    /// the service parallelizes across requests, not within one.
+    pub exec: Exec,
+    /// Guard budgets applied to every request.
+    pub guard: GuardConfig,
+    /// What to do on a fingerprint miss.
+    pub tuning: TunePolicy,
+}
+
+impl ServiceConfig {
+    /// Defaults: 4 workers, 64-deep queue, sequential per-request
+    /// execution, heuristic tuning.
+    pub fn new(plan_dir: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            plan_dir: plan_dir.into(),
+            workers: 4,
+            queue_capacity: 64,
+            library_capacity: crate::library::DEFAULT_LIBRARY_CAPACITY,
+            factor_capacity: petamg_solvers::DEFAULT_FACTOR_CAPACITY,
+            exec: Exec::seq(),
+            guard: GuardConfig::default(),
+            tuning: TunePolicy::Heuristic,
+        }
+    }
+
+    /// Set the worker count (≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the admission bound (≥ 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the in-memory plan cache bound.
+    pub fn with_library_capacity(mut self, capacity: usize) -> Self {
+        self.library_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the per-solve execution policy.
+    pub fn with_exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Set the guard budgets.
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Set the tuning policy.
+    pub fn with_tuning(mut self, tuning: TunePolicy) -> Self {
+        self.tuning = tuning;
+        self
+    }
+}
+
+/// One solve request. The iterate `x0` is the initial guess; `b` the
+/// right-hand side (boundary ring included, as everywhere else).
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// The posed problem (selects the plan via its fingerprint).
+    pub problem: Problem,
+    /// Initial guess (returned as the solution grid).
+    pub x0: Grid2d,
+    /// Right-hand side.
+    pub b: Grid2d,
+    /// Relative-residual target.
+    pub tol: f64,
+    /// Record the executor's tracer in the response.
+    pub trace: bool,
+    /// Faults to arm on the worker thread serving this request, for
+    /// chaos drills: thread-local faults armed on a client thread
+    /// would never fire on the pool, so the request carries them to
+    /// where the work runs. Cleared when the request finishes.
+    pub faults: Vec<Fault>,
+}
+
+impl SolveRequest {
+    /// A request with tracing off and no faults.
+    pub fn new(problem: Problem, x0: Grid2d, b: Grid2d, tol: f64) -> Self {
+        SolveRequest {
+            problem,
+            x0,
+            b,
+            tol,
+            trace: false,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Record the executor's tracer in the response.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Arm `faults` on the serving worker for this request.
+    pub fn with_faults(mut self, faults: Vec<Fault>) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Where the plan that served a request came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanSource {
+    /// The library's in-memory LRU cache.
+    CacheHit,
+    /// Reloaded from the plan directory.
+    DiskLoad,
+    /// This request led a tuning flight.
+    TunedNow,
+    /// Another in-flight request tuned it; this one waited.
+    Coalesced,
+    /// No plan could be produced (tuner failure); the ladder served
+    /// from its heuristic rung.
+    Untuned,
+}
+
+/// Successful response: the solution grid plus the guarded report.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// The solution iterate.
+    pub x: Grid2d,
+    /// The guarded-solve report (rung, residual history, degradations).
+    pub report: GuardedReport,
+    /// Where the plan came from.
+    pub plan: PlanSource,
+}
+
+/// Typed request failure. The service stays up; only this request is
+/// affected.
+#[derive(Clone, Debug)]
+pub enum ServeError {
+    /// The request was malformed (size not 2^k+1, shape mismatch,
+    /// problem posed at a different size).
+    BadRequest(String),
+    /// Every rung of the degradation ladder failed. `x` is the
+    /// restored initial guess — never a poisoned iterate.
+    Ladder {
+        /// The ladder's failure history.
+        error: SolveError,
+        /// The iterate, restored to the initial guess.
+        x: Grid2d,
+    },
+    /// The solve panicked; the panic was caught on the worker.
+    Panicked(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
+            ServeError::Ladder { error, .. } => write!(f, "{error}"),
+            ServeError::Panicked(msg) => write!(f, "solve panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A response: the solution or a typed error.
+pub type ServeResponse = Result<ServeReport, ServeError>;
+
+/// Admission-control rejection: the submission queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rejected {
+    /// The queue bound that was hit.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "service at capacity ({} requests in flight)",
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Completion handle for a submitted request.
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+struct Slot {
+    response: Mutex<Option<ServeResponse>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            response: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, response: ServeResponse) {
+        *self.response.lock() = Some(response);
+        self.done.notify_all();
+    }
+}
+
+impl Ticket {
+    /// Block until the response is ready.
+    pub fn wait(self) -> ServeResponse {
+        let mut slot = self.slot.response.lock();
+        loop {
+            if let Some(response) = slot.take() {
+                return response;
+            }
+            let _ = self
+                .slot
+                .done
+                .wait_for(&mut slot, Duration::from_millis(100));
+        }
+    }
+
+    /// Whether the response is ready (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.slot.response.lock().is_some()
+    }
+}
+
+/// Counter snapshot of a service's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests offered to `submit` (accepted or not).
+    pub submitted: u64,
+    /// Requests turned away by admission control.
+    pub rejected: u64,
+    /// Requests that produced a response (ok or typed error).
+    pub completed: u64,
+    /// Responses that converged.
+    pub converged: u64,
+    /// Typed ladder failures.
+    pub ladder_failures: u64,
+    /// Malformed requests.
+    pub bad_requests: u64,
+    /// Panics caught on workers.
+    pub panics: u64,
+    /// Tuning runs led (one per fingerprint under coalescing).
+    pub tunes: u64,
+    /// Tuning runs that failed (panicked or unwound).
+    pub tune_failures: u64,
+    /// Requests that waited on another request's tuning flight.
+    pub coalesced: u64,
+}
+
+#[derive(Default)]
+struct StatCounters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    converged: AtomicU64,
+    ladder_failures: AtomicU64,
+    bad_requests: AtomicU64,
+    panics: AtomicU64,
+    tunes: AtomicU64,
+    tune_failures: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+struct Inner {
+    library: PlanLibrary,
+    flights: SingleFlight<Arc<TunedFamily>>,
+    cache: Arc<DirectSolverCache>,
+    /// One warm arena per pool worker, indexed by
+    /// `petamg_runtime::current_worker_index`.
+    arenas: Vec<Arc<Workspace>>,
+    /// Arena for the (never expected) case of a request handled off
+    /// the pool.
+    fallback_arena: Arc<Workspace>,
+    exec: Exec,
+    guard: GuardConfig,
+    tuning: TunePolicy,
+    queue_capacity: usize,
+    /// Submitted-but-unfinished request count, guarded by a mutex so
+    /// admission, blocking submits, and drain can share one condvar.
+    in_flight: Mutex<usize>,
+    changed: Condvar,
+    stats: StatCounters,
+}
+
+/// The plan-serving solver engine. See the module docs.
+pub struct SolverService {
+    // Declared before `inner` so workers are joined while the shared
+    // state is still alive; job closures hold their own `Arc<Inner>`,
+    // and the pool is deliberately *outside* it so the last `Arc` drop
+    // on a worker thread never tries to join the worker's own pool.
+    pool: ThreadPool,
+    inner: Arc<Inner>,
+}
+
+impl SolverService {
+    /// Start a service: spin up the pool, open (or create) the plan
+    /// directory.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Self> {
+        let workers = cfg.workers.max(1);
+        let library = PlanLibrary::with_capacity(&cfg.plan_dir, cfg.library_capacity)?;
+        let pool = ThreadPool::new(workers);
+        let inner = Arc::new(Inner {
+            library,
+            flights: SingleFlight::new(),
+            cache: Arc::new(DirectSolverCache::with_capacity(cfg.factor_capacity)),
+            arenas: (0..workers).map(|_| Arc::new(Workspace::new())).collect(),
+            fallback_arena: Arc::new(Workspace::new()),
+            exec: cfg.exec,
+            guard: cfg.guard,
+            tuning: cfg.tuning,
+            queue_capacity: cfg.queue_capacity.max(1),
+            in_flight: Mutex::new(0),
+            changed: Condvar::new(),
+            stats: StatCounters::default(),
+        });
+        Ok(SolverService { pool, inner })
+    }
+
+    /// Submit a request. Returns the typed [`Rejected`] when the
+    /// submission queue is full — the caller decides whether to shed
+    /// or retry.
+    pub fn submit(&self, request: SolveRequest) -> Result<Ticket, Rejected> {
+        bump(&self.inner.stats.submitted);
+        {
+            let mut in_flight = self.inner.in_flight.lock();
+            if *in_flight >= self.inner.queue_capacity {
+                bump(&self.inner.stats.rejected);
+                return Err(Rejected {
+                    capacity: self.inner.queue_capacity,
+                });
+            }
+            *in_flight += 1;
+        }
+        Ok(self.dispatch(request))
+    }
+
+    /// Submit, blocking until there is room in the queue. The
+    /// backpressure-friendly front door for batch drivers.
+    pub fn submit_blocking(&self, request: SolveRequest) -> Ticket {
+        bump(&self.inner.stats.submitted);
+        {
+            let mut in_flight = self.inner.in_flight.lock();
+            while *in_flight >= self.inner.queue_capacity {
+                self.inner.changed.wait(&mut in_flight);
+            }
+            *in_flight += 1;
+        }
+        self.dispatch(request)
+    }
+
+    /// Submit and wait: the synchronous convenience wrapper.
+    pub fn solve(&self, request: SolveRequest) -> ServeResponse {
+        self.submit_blocking(request).wait()
+    }
+
+    fn dispatch(&self, request: SolveRequest) -> Ticket {
+        let slot = Arc::new(Slot::new());
+        let ticket = Ticket {
+            slot: Arc::clone(&slot),
+        };
+        let inner = Arc::clone(&self.inner);
+        self.pool.spawn(move || {
+            let response = catch_unwind(AssertUnwindSafe(|| handle(&inner, request)))
+                .unwrap_or_else(|p| {
+                    // The handler's own catch covers the solve; this
+                    // outer net covers the handler itself, so a worker
+                    // is never killed by a request.
+                    faults::clear();
+                    bump(&inner.stats.panics);
+                    Err(ServeError::Panicked(panic_message(&p)))
+                });
+            bump(&inner.stats.completed);
+            match &response {
+                Ok(_) => bump(&inner.stats.converged),
+                Err(ServeError::Ladder { .. }) => bump(&inner.stats.ladder_failures),
+                Err(ServeError::BadRequest(_)) => bump(&inner.stats.bad_requests),
+                Err(ServeError::Panicked(_)) => {}
+            }
+            // Release the queue slot before publishing the response:
+            // a client that observes its ticket done must also observe
+            // the request gone from the in-flight count.
+            {
+                let mut in_flight = inner.in_flight.lock();
+                *in_flight -= 1;
+            }
+            inner.changed.notify_all();
+            slot.fill(response);
+        });
+        ticket
+    }
+
+    /// Block until every accepted request has completed.
+    pub fn drain(&self) {
+        let mut in_flight = self.inner.in_flight.lock();
+        while *in_flight > 0 {
+            self.inner.changed.wait(&mut in_flight);
+        }
+    }
+
+    /// Requests currently accepted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        *self.inner.in_flight.lock()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.inner.stats;
+        ServiceStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            converged: s.converged.load(Ordering::Relaxed),
+            ladder_failures: s.ladder_failures.load(Ordering::Relaxed),
+            bad_requests: s.bad_requests.load(Ordering::Relaxed),
+            panics: s.panics.load(Ordering::Relaxed),
+            tunes: s.tunes.load(Ordering::Relaxed),
+            tune_failures: s.tune_failures.load(Ordering::Relaxed),
+            coalesced: s.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The plan library (stats, capacity, cached keys).
+    pub fn library(&self) -> &PlanLibrary {
+        &self.inner.library
+    }
+
+    /// The shared direct-factor cache.
+    pub fn direct_cache(&self) -> &DirectSolverCache {
+        &self.inner.cache
+    }
+
+    /// Per-worker arena statistics, for warm-path allocation
+    /// accounting in tests.
+    pub fn arena_stats(&self) -> Vec<WorkspaceStats> {
+        self.inner.arenas.iter().map(|a| a.stats()).collect()
+    }
+}
+
+impl Drop for SolverService {
+    fn drop(&mut self) {
+        // Let in-flight work finish so tickets never dangle; the pool
+        // (dropped first, field order) then joins its workers.
+        self.drain();
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Serve one request on the current worker thread.
+fn handle(inner: &Inner, request: SolveRequest) -> ServeResponse {
+    let SolveRequest {
+        problem,
+        mut x0,
+        b,
+        tol,
+        trace,
+        faults: request_faults,
+    } = request;
+
+    let n = b.n();
+    if x0.n() != n {
+        return Err(ServeError::BadRequest(format!(
+            "initial guess is {}x{} but rhs is {n}x{n}",
+            x0.n(),
+            x0.n()
+        )));
+    }
+    let level = match size_level(n) {
+        Some(level) if level >= 1 => level,
+        _ => {
+            return Err(ServeError::BadRequest(format!(
+                "grid side {n} is not 2^k+1 with k >= 1"
+            )));
+        }
+    };
+    let posed_sizes = problem.level_sizes();
+    if !posed_sizes.is_empty() && !posed_sizes.contains(&n) {
+        return Err(ServeError::BadRequest(format!(
+            "problem is posed on sizes {posed_sizes:?}, request is {n}"
+        )));
+    }
+
+    // Arm this request's chaos faults on the worker actually running
+    // it, and make sure nothing armed here leaks into the next
+    // request this worker serves.
+    for fault in &request_faults {
+        faults::inject(fault.clone());
+    }
+    let result = serve_solve(inner, &problem, level, &mut x0, &b, tol, trace);
+    faults::clear();
+    result.map(|(report, plan)| ServeReport {
+        x: x0,
+        report,
+        plan,
+    })
+}
+
+fn serve_solve(
+    inner: &Inner,
+    problem: &Problem,
+    level: usize,
+    x: &mut Grid2d,
+    b: &Grid2d,
+    tol: f64,
+    trace: bool,
+) -> Result<(GuardedReport, PlanSource), ServeError> {
+    let (plan, source) = resolve_plan(inner, problem, level);
+    let workspace = match petamg_runtime::current_worker_index() {
+        Some(i) if i < inner.arenas.len() => Arc::clone(&inner.arenas[i]),
+        _ => Arc::clone(&inner.fallback_arena),
+    };
+    let mut solver = GuardedSolver::new(problem.clone())
+        .with_exec(inner.exec.clone())
+        .with_cache(Arc::clone(&inner.cache))
+        .with_workspace(workspace)
+        .with_guard_config(inner.guard);
+    if let Some(plan) = plan {
+        solver = solver.with_shared_plan(plan);
+    }
+    if trace {
+        solver = solver.with_tracing();
+    }
+    match solver.solve(x, b, tol) {
+        Ok(report) => Ok((report, source)),
+        Err(error) => Err(ServeError::Ladder {
+            error,
+            x: x.clone(),
+        }),
+    }
+}
+
+/// Library lookup with single-flight tuning on miss.
+fn resolve_plan(
+    inner: &Inner,
+    problem: &Problem,
+    level: usize,
+) -> (Option<Arc<TunedFamily>>, PlanSource) {
+    let key = fingerprint_key(problem.fingerprint());
+    loop {
+        if let Some((plan, origin)) = inner.library.get(problem) {
+            // A cached plan tuned at a shallower level cannot serve
+            // this request's rung 0; fall through and re-tune at the
+            // deeper level (the file is overwritten in place).
+            if plan.max_level >= level {
+                let source = match origin {
+                    PlanOrigin::Memory => PlanSource::CacheHit,
+                    PlanOrigin::Disk => PlanSource::DiskLoad,
+                };
+                return (Some(plan), source);
+            }
+        }
+        match inner.flights.join(key) {
+            Role::Leader(token) => {
+                bump(&inner.stats.tunes);
+                let tuned = catch_unwind(AssertUnwindSafe(|| tune(inner, problem, level)));
+                match tuned {
+                    Ok(family) => {
+                        let plan = match inner.library.insert(problem, family) {
+                            Ok(plan) => plan,
+                            Err(_) => {
+                                // Disk refused the write; serving can
+                                // continue from memory this once, but
+                                // don't publish a plan the library
+                                // could not file.
+                                token.complete(None);
+                                return (None, PlanSource::Untuned);
+                            }
+                        };
+                        token.complete(Some(Arc::clone(&plan)));
+                        return (Some(plan), PlanSource::TunedNow);
+                    }
+                    Err(_) => {
+                        bump(&inner.stats.tune_failures);
+                        token.complete(None);
+                        return (None, PlanSource::Untuned);
+                    }
+                }
+            }
+            Role::Follower(outcome) => {
+                bump(&inner.stats.coalesced);
+                match outcome {
+                    Some(plan) if plan.max_level >= level => {
+                        return (Some(plan), PlanSource::Coalesced);
+                    }
+                    // Leader failed, or tuned for a shallower request:
+                    // go around again (library hit or fresh flight).
+                    _ => continue,
+                }
+            }
+        }
+    }
+}
+
+/// Produce a plan for `problem` at `level` per the configured policy,
+/// re-stamped with the request's fingerprint.
+fn tune(inner: &Inner, problem: &Problem, level: usize) -> TunedFamily {
+    let mut family = match &inner.tuning {
+        TunePolicy::Heuristic => simple_v_family(level.max(1), &PAPER_ACCURACIES),
+        TunePolicy::QuickTune => VTuner::new(
+            TunerOptions::quick(level.max(1), Distribution::UnbiasedUniform)
+                .with_problem(problem.clone()),
+        )
+        .tune(),
+        TunePolicy::Custom(tuner) => tuner(problem, level),
+    };
+    family.problem = problem.fingerprint().clone();
+    family
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("petamg-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn request(problem: Problem, n: usize, seed: u64) -> SolveRequest {
+        let instance = petamg_core::training::ProblemInstance::random_for(
+            &problem,
+            petamg_grid::size_level(n).unwrap(),
+            Distribution::UnbiasedUniform,
+            seed,
+        );
+        let x0 = instance.working_grid();
+        let b = instance.b.clone();
+        SolveRequest::new(problem, x0, b, 1e-8)
+    }
+
+    #[test]
+    fn serves_a_poisson_request_end_to_end() {
+        let svc = SolverService::start(ServiceConfig::new(tmp_dir("basic"))).unwrap();
+        let response = svc.solve(request(Problem::poisson(), 17, 1));
+        let report = response.expect("poisson at 17 converges");
+        assert!(report.report.rel_residual <= 1e-8);
+        assert_eq!(report.plan, PlanSource::TunedNow);
+        // Second request for the same fingerprint: cache hit, no tune.
+        let response = svc.solve(request(Problem::poisson(), 17, 2));
+        assert_eq!(response.unwrap().plan, PlanSource::CacheHit);
+        let stats = svc.stats();
+        assert_eq!(stats.tunes, 1);
+        assert_eq!(stats.converged, 2);
+    }
+
+    #[test]
+    fn bad_sizes_are_typed_not_panics() {
+        let svc = SolverService::start(ServiceConfig::new(tmp_dir("bad"))).unwrap();
+        let req = SolveRequest::new(
+            Problem::poisson(),
+            Grid2d::zeros(16),
+            Grid2d::zeros(16),
+            1e-8,
+        );
+        match svc.solve(req) {
+            Err(ServeError::BadRequest(why)) => assert!(why.contains("2^k+1"), "{why}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        let req = SolveRequest::new(
+            Problem::poisson(),
+            Grid2d::zeros(9),
+            Grid2d::zeros(17),
+            1e-8,
+        );
+        assert!(matches!(svc.solve(req), Err(ServeError::BadRequest(_))));
+        assert_eq!(svc.stats().bad_requests, 2);
+    }
+
+    #[test]
+    fn plans_persist_across_service_restarts() {
+        let dir = tmp_dir("restart");
+        {
+            let svc = SolverService::start(ServiceConfig::new(&dir)).unwrap();
+            svc.solve(request(Problem::poisson(), 17, 3)).unwrap();
+            assert_eq!(svc.stats().tunes, 1);
+        }
+        // A fresh service over the same directory serves from disk
+        // without re-tuning.
+        let svc = SolverService::start(ServiceConfig::new(&dir)).unwrap();
+        let report = svc.solve(request(Problem::poisson(), 17, 4)).unwrap();
+        assert_eq!(report.plan, PlanSource::DiskLoad);
+        assert_eq!(svc.stats().tunes, 0);
+    }
+
+    #[test]
+    fn deeper_request_retunes_over_shallow_plan() {
+        let svc = SolverService::start(ServiceConfig::new(tmp_dir("deeper"))).unwrap();
+        svc.solve(request(Problem::poisson(), 17, 5)).unwrap();
+        assert_eq!(svc.stats().tunes, 1);
+        // 33 = level 5 > the level-4 plan on file: the service
+        // re-tunes rather than letting rung 0 reject the plan.
+        let report = svc.solve(request(Problem::poisson(), 33, 6)).unwrap();
+        assert_eq!(report.plan, PlanSource::TunedNow);
+        assert_eq!(svc.stats().tunes, 2);
+        assert!(!report.report.degraded(), "rung 0 must serve");
+    }
+}

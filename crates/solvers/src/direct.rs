@@ -12,23 +12,142 @@ use petamg_grid::Grid2d;
 use petamg_linalg::{LinalgError, PoissonDirect};
 use petamg_problems::{OpDirect, StencilOp};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default bound on the number of factors a [`DirectSolverCache`]
+/// retains (Poisson and operator-family factors combined). Factor
+/// memory grows as `O(N^1.5)` per entry, so an unbounded cache shared
+/// across a serving workload would grow without limit; 64 distinct
+/// `(size, operator)` pairs is far beyond what any single tuning run or
+/// serving mix touches.
+pub const DEFAULT_FACTOR_CAPACITY: usize = 64;
+
+/// An LRU map of factors: every hit stamps the entry with a fresh tick,
+/// and inserting beyond `capacity` (shared across both typed maps via
+/// an external count) evicts the stalest entry of *this* map.
+struct LruFactors<K, V> {
+    map: HashMap<K, (V, u64)>,
+}
+
+impl<K: std::hash::Hash + Eq + Copy, V: Clone> LruFactors<K, V> {
+    fn new() -> Self {
+        LruFactors {
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &K, tick: u64) -> Option<V> {
+        self.map.get_mut(key).map(|(v, stamp)| {
+            *stamp = tick;
+            v.clone()
+        })
+    }
+
+    /// The tick of this map's least-recently-used entry, if any.
+    fn oldest(&self) -> Option<u64> {
+        self.map.values().map(|(_, stamp)| *stamp).min()
+    }
+
+    /// Evict the entry carrying `stamp` (the loser of a cross-map
+    /// `oldest()` comparison). Returns whether an entry was removed.
+    fn evict_stamp(&mut self, stamp: u64) -> bool {
+        let victim = self
+            .map
+            .iter()
+            .find(|(_, (_, s))| *s == stamp)
+            .map(|(k, _)| *k);
+        match victim {
+            Some(k) => self.map.remove(&k).is_some(),
+            None => false,
+        }
+    }
+}
 
 /// A thread-safe cache of band-Cholesky factors keyed by grid size
 /// (constant-coefficient Poisson) and by `(size, operator content)`
 /// for the operator families of `petamg-problems`.
-#[derive(Default)]
+///
+/// The cache is **bounded**: it holds at most `capacity` factors
+/// (default [`DEFAULT_FACTOR_CAPACITY`]) across both key spaces and
+/// evicts the least-recently-used factor when full, so a long-running
+/// serving process that touches many `(size, operator)` pairs cannot
+/// grow the cache without limit. Eviction only drops the cache's
+/// reference — outstanding `Arc`s held by in-flight solves stay valid.
 pub struct DirectSolverCache {
-    factors: Mutex<HashMap<usize, Arc<PoissonDirect>>>,
+    factors: Mutex<LruFactors<usize, Arc<PoissonDirect>>>,
     /// Factors for non-Poisson operators, keyed by
     /// `(n, StencilOp::cache_key())`.
-    op_factors: Mutex<HashMap<(usize, u64), Arc<OpDirect>>>,
+    op_factors: Mutex<LruFactors<(usize, u64), Arc<OpDirect>>>,
+    /// Monotonic LRU clock shared by both maps.
+    tick: AtomicU64,
+    capacity: usize,
+    evictions: AtomicU64,
+}
+
+impl Default for DirectSolverCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_FACTOR_CAPACITY)
+    }
 }
 
 impl DirectSolverCache {
-    /// Empty cache.
+    /// Empty cache with the default capacity bound
+    /// ([`DEFAULT_FACTOR_CAPACITY`] factors).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty cache retaining at most `capacity` factors (at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        DirectSolverCache {
+            factors: Mutex::new(LruFactors::new()),
+            op_factors: Mutex::new(LruFactors::new()),
+            tick: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of factors retained across both key spaces.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many factors have been evicted to honour the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Make room for one more entry: while at (or beyond) capacity,
+    /// evict the globally least-recently-used factor, comparing the
+    /// stalest stamp of each typed map. Callers hold neither lock.
+    fn evict_to_fit(&self) {
+        loop {
+            let mut factors = self.factors.lock();
+            let mut op_factors = self.op_factors.lock();
+            if factors.map.len() + op_factors.map.len() < self.capacity {
+                return;
+            }
+            let oldest_poisson = factors.oldest();
+            let oldest_op = op_factors.oldest();
+            let removed = match (oldest_poisson, oldest_op) {
+                (Some(a), Some(b)) if a <= b => factors.evict_stamp(a),
+                (Some(_), Some(b)) => op_factors.evict_stamp(b),
+                (Some(a), None) => factors.evict_stamp(a),
+                (None, Some(b)) => op_factors.evict_stamp(b),
+                (None, None) => return,
+            };
+            if removed {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                return;
+            }
+        }
     }
 
     /// Get (or build) the factored solver for `n×n` grids.
@@ -39,14 +158,16 @@ impl DirectSolverCache {
     pub fn get(&self, n: usize) -> Arc<PoissonDirect> {
         // Fast path under the lock; factorization happens outside it so
         // concurrent first requests for *different* sizes don't serialize.
-        if let Some(f) = self.factors.lock().get(&n) {
-            return Arc::clone(f);
+        let tick = self.next_tick();
+        if let Some(f) = self.factors.lock().get(&n, tick) {
+            return f;
         }
         let fresh = Arc::new(
             PoissonDirect::new(n).expect("5-point Poisson operator is SPD and must factor"),
         );
+        self.evict_to_fit();
         let mut map = self.factors.lock();
-        Arc::clone(map.entry(n).or_insert(fresh))
+        Arc::clone(&map.map.entry(n).or_insert((fresh, tick)).0)
     }
 
     /// Solve `A_h x = b` via the cached factor (boundary-aware; see
@@ -65,14 +186,16 @@ impl DirectSolverCache {
     /// operators `petamg-problems` produces.
     pub fn get_op(&self, n: usize, op: &StencilOp) -> Arc<OpDirect> {
         let key = (n, op.cache_key());
-        if let Some(f) = self.op_factors.lock().get(&key) {
-            return Arc::clone(f);
+        let tick = self.next_tick();
+        if let Some(f) = self.op_factors.lock().get(&key, tick) {
+            return f;
         }
         let fresh = Arc::new(
             OpDirect::new(op.clone(), n).expect("operator-family systems are SPD and must factor"),
         );
+        self.evict_to_fit();
         let mut map = self.op_factors.lock();
-        Arc::clone(map.entry(key).or_insert(fresh))
+        Arc::clone(&map.map.entry(key).or_insert((fresh, tick)).0)
     }
 
     /// Fallible variant of [`DirectSolverCache::get_op`]: returns the
@@ -82,12 +205,14 @@ impl DirectSolverCache {
     /// `petamg-core` drives the error arm in chaos tests.
     pub fn try_get_op(&self, n: usize, op: &StencilOp) -> Result<Arc<OpDirect>, LinalgError> {
         let key = (n, op.cache_key());
-        if let Some(f) = self.op_factors.lock().get(&key) {
-            return Ok(Arc::clone(f));
+        let tick = self.next_tick();
+        if let Some(f) = self.op_factors.lock().get(&key, tick) {
+            return Ok(f);
         }
         let fresh = Arc::new(OpDirect::new(op.clone(), n)?);
+        self.evict_to_fit();
         let mut map = self.op_factors.lock();
-        Ok(Arc::clone(map.entry(key).or_insert(fresh)))
+        Ok(Arc::clone(&map.map.entry(key).or_insert((fresh, tick)).0))
     }
 
     /// Solve `A x = b` for operator `op` via the cached factor.
@@ -114,7 +239,7 @@ impl DirectSolverCache {
 
     /// Number of distinct sizes currently factored (both caches).
     pub fn len(&self) -> usize {
-        self.factors.lock().len() + self.op_factors.lock().len()
+        self.factors.lock().map.len() + self.op_factors.lock().map.len()
     }
 
     /// Whether the cache is empty.
@@ -124,8 +249,8 @@ impl DirectSolverCache {
 
     /// Drop all cached factors.
     pub fn clear(&self) {
-        self.factors.lock().clear();
-        self.op_factors.lock().clear();
+        self.factors.lock().map.clear();
+        self.op_factors.lock().map.clear();
     }
 }
 
@@ -165,6 +290,54 @@ mod tests {
         cache.solve(&mut x1, &b);
         direct_solve_uncached(&mut x2, &b);
         assert!(l2_diff(&x1, &x2, &Exec::seq()) < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = DirectSolverCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let f9 = cache.get(9);
+        let _f17 = cache.get(17);
+        assert_eq!(cache.len(), 2);
+        // Touch 9 so 17 becomes the LRU victim, then insert a third.
+        let f9_again = cache.get(9);
+        assert!(Arc::ptr_eq(&f9, &f9_again), "touch must not refactor");
+        let _f33 = cache.get(33);
+        assert_eq!(cache.len(), 2, "capacity bound holds");
+        assert_eq!(cache.evictions(), 1);
+        // 9 (recently touched) survived; 17 was evicted and refactors.
+        let f9_survivor = cache.get(9);
+        assert!(Arc::ptr_eq(&f9, &f9_survivor), "MRU entry survived");
+    }
+
+    #[test]
+    fn eviction_spans_both_key_spaces() {
+        use petamg_problems::Problem;
+        let cache = DirectSolverCache::with_capacity(2);
+        let aniso = Problem::anisotropic(0.5);
+        let _p = cache.get(9);
+        let op1 = cache.get_op(9, &aniso.op_for(9));
+        assert_eq!(cache.len(), 2);
+        // The Poisson factor is now the globally stalest entry: a new
+        // operator factor evicts it, not the fresher op factor.
+        let _op2 = cache.get_op(17, &aniso.op_for(17));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        let op1_again = cache.get_op(9, &aniso.op_for(9));
+        assert!(Arc::ptr_eq(&op1, &op1_again), "op factor survived");
+    }
+
+    #[test]
+    fn evicted_factors_stay_usable_through_outstanding_arcs() {
+        let cache = DirectSolverCache::with_capacity(1);
+        let f9 = cache.get(9);
+        let _f17 = cache.get(17); // evicts 9 from the cache
+        assert_eq!(cache.len(), 1);
+        // The Arc we hold is unaffected by eviction.
+        let b = Grid2d::from_fn(9, |i, j| (i + j) as f64);
+        let mut x = Grid2d::zeros(9);
+        f9.solve(&mut x, &b);
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod relax;
 #[cfg(test)]
 mod proptests;
 
-pub use direct::{direct_solve_uncached, DirectSolverCache};
+pub use direct::{direct_solve_uncached, DirectSolverCache, DEFAULT_FACTOR_CAPACITY};
 pub use fused::{
     interpolate_correct_relax, interpolate_correct_relax_op, relax_residual_restrict,
     relax_residual_restrict_op, sor_sweeps_blocked, sor_sweeps_blocked_op,

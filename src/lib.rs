@@ -28,6 +28,10 @@
 //! * [`core`] — the paper's contribution: accuracy metric, DP tuner for
 //!   `MULTIGRID-V_i` and `FULL-MULTIGRID_i`, tuned-plan executor, cycle
 //!   tracing/rendering, machine cost models, training distributions.
+//! * [`serve`] — the tune-once/serve-many layer: a fingerprint-keyed
+//!   [`PlanLibrary`](petamg_serve::PlanLibrary) over checksummed plan
+//!   files and a [`SolverService`](petamg_serve::SolverService) with a
+//!   bounded queue, warm per-worker arenas, and single-flight tuning.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +57,7 @@ pub use petamg_grid as grid;
 pub use petamg_linalg as linalg;
 pub use petamg_problems as problems;
 pub use petamg_runtime as runtime;
+pub use petamg_serve as serve;
 pub use petamg_solvers as solvers;
 
 /// Convenience prelude with the most common types.
@@ -71,6 +76,10 @@ pub mod prelude {
         CoeffProfile, Problem, ProblemFingerprint, ProblemMismatch, StencilOp,
     };
     pub use petamg_runtime::ThreadPool;
+    pub use petamg_serve::{
+        PlanLibrary, PlanSource, Rejected, ServeError, ServeReport, ServiceConfig, SolveRequest,
+        SolverService, TunePolicy,
+    };
     pub use petamg_solvers::guard::{
         GuardConfig, GuardFailure, GuardVerdict, SolveGuard, SolveStatus,
     };

@@ -297,3 +297,182 @@ fn env_spec_grammar_arms_the_same_faults() {
     assert_eq!(err.degradations.len(), 3, "{err}");
     faults::clear();
 }
+
+// ---------------------------------------------------------------------------
+// Serving-path chaos: the same faults, fired mid-serve inside a running
+// `SolverService`. Faults are thread-local to the worker executing a
+// request, so each chaos request *carries* its faults
+// (`SolveRequest::with_faults`) and the service arms them on the worker
+// that picks the request up — the env/`PETAMG_FAULTS` route a drill
+// against a real binary would use is exercised by
+// `examples/serve_demo.rs`.
+// ---------------------------------------------------------------------------
+
+use petamg::serve::{PlanSource, ServeError, ServiceConfig, SolveRequest, SolverService};
+
+fn serve_request(problem: &Problem, seed: u64) -> SolveRequest {
+    let inst = instance(problem, seed);
+    SolveRequest::new(problem.clone(), inst.working_grid(), inst.b.clone(), TOL)
+}
+
+/// A corrupt plan file read mid-serve is quarantined, the affected
+/// fingerprint re-tunes on the same request, and other fingerprints
+/// keep serving throughout — no panic, no poisoned response.
+#[test]
+fn serve_corrupt_plan_mid_serve_quarantines_and_retunes() {
+    faults::clear();
+    let victim = Problem::anisotropic(0.5);
+    let bystander = Problem::poisson();
+    for (name, exec) in backends() {
+        let dir = tmp_dir(&format!("serve-corrupt-{}", name.replace('+', "-")));
+        let svc = SolverService::start(
+            ServiceConfig::new(&dir)
+                .with_workers(2)
+                .with_exec(exec.clone()),
+        )
+        .unwrap();
+        // Warm both fingerprints onto disk.
+        svc.solve(serve_request(&victim, 61))
+            .unwrap_or_else(|e| panic!("[{name}] victim warm-up failed: {e}"));
+        svc.solve(serve_request(&bystander, 62))
+            .unwrap_or_else(|e| panic!("[{name}] bystander warm-up failed: {e}"));
+        assert_eq!(svc.stats().tunes, 2, "[{name}]");
+
+        // Force the next get to go to disk, then corrupt that read.
+        svc.library().clear_cache();
+        let chaos = svc
+            .submit(serve_request(&victim, 63).with_faults(vec![Fault::CorruptPlan]))
+            .expect("queue has room");
+        let healthy = svc.submit(serve_request(&bystander, 64)).expect("room");
+
+        let report = chaos
+            .wait()
+            .unwrap_or_else(|e| panic!("[{name}] corrupt plan must retune, not fail: {e}"));
+        assert_eq!(
+            report.plan,
+            PlanSource::TunedNow,
+            "[{name}] the quarantined fingerprint re-tunes on the spot"
+        );
+        assert!(report.report.rel_residual <= TOL, "[{name}]");
+        healthy
+            .wait()
+            .unwrap_or_else(|e| panic!("[{name}] bystander fingerprint must keep serving: {e}"));
+
+        let lib = svc.library().stats();
+        assert_eq!(lib.quarantined, 1, "[{name}] one file quarantined");
+        let mut quarantine_path = svc
+            .library()
+            .path_for(victim.fingerprint())
+            .into_os_string();
+        quarantine_path.push(".quarantined");
+        assert!(
+            std::path::PathBuf::from(quarantine_path).exists(),
+            "[{name}] quarantined artifact preserved for inspection"
+        );
+        assert_eq!(svc.stats().tunes, 3, "[{name}] exactly one re-tune");
+        assert_eq!(svc.stats().panics, 0, "[{name}]");
+        // The freshly re-tuned plan serves the next request from cache.
+        let after = svc
+            .solve(serve_request(&victim, 65))
+            .unwrap_or_else(|e| panic!("[{name}] post-chaos serve failed: {e}"));
+        assert_eq!(after.plan, PlanSource::CacheHit, "[{name}]");
+    }
+}
+
+/// Every rung of one request's ladder sabotaged mid-serve: that
+/// request gets the typed ladder error with its iterate restored, the
+/// worker survives, other fingerprints never notice, and the armed
+/// faults do not leak into the worker's next request.
+#[test]
+fn serve_fail_direct_mid_serve_degrades_per_ladder_and_service_survives() {
+    faults::clear();
+    let n = (1usize << LEVEL) + 1;
+    let victim = Problem::poisson();
+    let bystander = Problem::anisotropic(0.25);
+    for (name, exec) in backends() {
+        let dir = tmp_dir(&format!("serve-direct-{}", name.replace('+', "-")));
+        let svc = SolverService::start(
+            ServiceConfig::new(&dir)
+                .with_workers(2)
+                .with_exec(exec.clone()),
+        )
+        .unwrap();
+        svc.solve(serve_request(&victim, 71))
+            .unwrap_or_else(|e| panic!("[{name}] warm-up failed: {e}"));
+
+        let sabotage = vec![
+            Fault::PoisonLevel { level: 1 },
+            Fault::PoisonLevel { level: 1 },
+            Fault::FailDirect { n },
+        ];
+        let doomed = serve_request(&victim, 72);
+        let x0 = doomed.x0.clone();
+        let chaos = svc
+            .submit(doomed.with_faults(sabotage))
+            .expect("queue has room");
+        let healthy = svc.submit(serve_request(&bystander, 73)).expect("room");
+
+        match chaos.wait() {
+            Err(ServeError::Ladder { error, x }) => {
+                assert_eq!(error.degradations.len(), 3, "[{name}] {error}");
+                assert!(
+                    matches!(
+                        error.degradations[2].reason,
+                        FailureKind::DirectFactorization(_)
+                    ),
+                    "[{name}] {:?}",
+                    error.degradations[2].reason
+                );
+                assert_eq!(
+                    x.as_slice(),
+                    x0.as_slice(),
+                    "[{name}] iterate restored, never poisoned"
+                );
+            }
+            other => panic!("[{name}] expected typed ladder exhaustion, got {other:?}"),
+        }
+        healthy
+            .wait()
+            .unwrap_or_else(|e| panic!("[{name}] bystander must keep serving: {e}"));
+
+        // The sabotaged worker is healthy again: no leaked faults, no
+        // panic, and the victim fingerprint still serves.
+        let after = svc
+            .solve(serve_request(&victim, 74))
+            .unwrap_or_else(|e| panic!("[{name}] post-chaos serve failed: {e}"));
+        assert!(after.report.rel_residual <= TOL, "[{name}]");
+        assert_eq!(svc.stats().panics, 0, "[{name}]");
+        assert_eq!(svc.stats().ladder_failures, 1, "[{name}]");
+        assert!(
+            !faults::armed(),
+            "[{name}] faults never leak to the client thread"
+        );
+    }
+}
+
+/// A fault that never fires (its rung never runs) must not leak into
+/// the worker's next request: the service clears per-request faults on
+/// completion.
+#[test]
+fn serve_unfired_faults_are_cleared_between_requests() {
+    faults::clear();
+    let n = (1usize << LEVEL) + 1;
+    let problem = Problem::poisson();
+    let dir = tmp_dir("serve-leak");
+    // One worker: consecutive requests share a thread by construction.
+    let svc = SolverService::start(ServiceConfig::new(&dir).with_workers(1)).unwrap();
+    // FailDirect never fires here: the tuned rung converges first.
+    let armed = svc
+        .solve(serve_request(&problem, 81).with_faults(vec![Fault::FailDirect { n }]))
+        .expect("tuned rung serves; the direct fault stays dormant");
+    assert!(armed.report.rel_residual <= TOL);
+    // If the dormant fault leaked, this request's ladder would lose
+    // its direct rung. Sabotage the plan rungs to prove it is gone.
+    let probe = svc
+        .solve(serve_request(&problem, 82).with_faults(vec![
+            Fault::PoisonLevel { level: 1 },
+            Fault::PoisonLevel { level: 1 },
+        ]))
+        .expect("direct rung must serve — the previous request's fault was cleared");
+    assert_eq!(probe.report.rung, LadderRung::Direct);
+}

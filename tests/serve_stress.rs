@@ -1,0 +1,325 @@
+//! Concurrency stress suite for the plan-serving engine
+//! (`petamg::serve`): many client threads hammer one `SolverService`
+//! across several problem profiles and every response must be
+//! converged-or-typed-error, every unique fingerprint must tune
+//! exactly once (single-flight coalescing), and no request may ever
+//! observe another request's iterate.
+
+use petamg::core::plan::{simple_v_family, PAPER_ACCURACIES};
+use petamg::prelude::*;
+use petamg::serve::{ServeError, ServiceConfig, SolveRequest, SolverService, TunePolicy};
+use petamg_problems::residual_op;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Grid level the stress instances live at (`n = 2^4 + 1 = 17`).
+const LEVEL: usize = 4;
+const N: usize = 17;
+const TOL: f64 = 1e-8;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("petamg-stress-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Four problem profiles with four distinct fingerprints.
+fn profiles() -> Vec<Problem> {
+    vec![
+        Problem::poisson(),
+        Problem::anisotropic(0.1),
+        Problem::smooth_sinusoidal(N),
+        Problem::jump_inclusion(N),
+    ]
+}
+
+fn request(problem: &Problem, seed: u64) -> SolveRequest {
+    let inst = ProblemInstance::random_for(problem, LEVEL, Distribution::UnbiasedUniform, seed);
+    SolveRequest::new(problem.clone(), inst.working_grid(), inst.b.clone(), TOL)
+}
+
+/// Independent residual check: the returned iterate must solve *this
+/// request's* right-hand side. A response carrying another request's
+/// iterate (cross-request contamination through a shared arena or
+/// cache) cannot pass this.
+fn rel_residual(problem: &Problem, x: &Grid2d, b: &Grid2d) -> f64 {
+    let op = problem.op_for(x.n());
+    let exec = Exec::seq();
+    let mut r = Grid2d::zeros(x.n());
+    residual_op(&op, x, b, &mut r, &exec);
+    petamg::grid::l2_norm_interior(&r, &exec)
+        / petamg::grid::l2_norm_interior(b, &exec).max(f64::MIN_POSITIVE)
+}
+
+/// A tuning policy that counts invocations per fingerprint and is
+/// deliberately slow, so tuning flights overlap with request traffic
+/// and coalescing is actually exercised.
+fn counting_tuner(delay: Duration) -> (TunePolicy, Arc<Mutex<HashMap<u64, usize>>>) {
+    let counts: Arc<Mutex<HashMap<u64, usize>>> = Arc::new(Mutex::new(HashMap::new()));
+    let seen = Arc::clone(&counts);
+    let policy = TunePolicy::Custom(Arc::new(move |problem: &Problem, level: usize| {
+        *seen
+            .lock()
+            .unwrap()
+            .entry(petamg::serve::fingerprint_key(problem.fingerprint()))
+            .or_insert(0) += 1;
+        std::thread::sleep(delay);
+        simple_v_family(level.max(1), &PAPER_ACCURACIES)
+    }));
+    (policy, counts)
+}
+
+/// The headline stress: 8 client threads × 128 requests over 4
+/// profiles — 1024 concurrent requests, one service. Asserts:
+/// exactly one tune per fingerprint, every response converged (with
+/// an independently recomputed residual), and consistent bookkeeping.
+#[test]
+fn thousand_requests_four_profiles_one_tune_each() {
+    let (tuning, counts) = counting_tuner(Duration::from_millis(25));
+    let svc = Arc::new(
+        SolverService::start(
+            ServiceConfig::new(tmp_dir("headline"))
+                .with_workers(4)
+                .with_queue_capacity(2048)
+                .with_tuning(tuning),
+        )
+        .unwrap(),
+    );
+    let profiles = profiles();
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 128;
+    let mut clients = Vec::new();
+    for t in 0..THREADS {
+        let svc = Arc::clone(&svc);
+        let profiles = profiles.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut tickets = Vec::new();
+            for j in 0..PER_THREAD {
+                let problem = &profiles[(t + j) % profiles.len()];
+                let seed = (t * PER_THREAD + j) as u64;
+                let req = request(problem, seed);
+                tickets.push((problem.clone(), req.b.clone(), svc.submit_blocking(req)));
+            }
+            for (problem, b, ticket) in tickets {
+                let report = ticket.wait().expect("stress solves must converge");
+                assert!(
+                    report.report.rel_residual <= TOL,
+                    "reported residual misses tol"
+                );
+                let recomputed = rel_residual(&problem, &report.x, &b);
+                assert!(
+                    recomputed <= TOL * 10.0,
+                    "independent residual {recomputed:.3e} disagrees — cross-request \
+                     contamination or a poisoned iterate"
+                );
+            }
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let stats = svc.stats();
+    let total = (THREADS * PER_THREAD) as u64;
+    assert_eq!(stats.submitted, total);
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.converged, total, "every response must be Converged");
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.panics, 0);
+    assert_eq!(
+        stats.tunes,
+        profiles.len() as u64,
+        "exactly one tuning flight per unique fingerprint"
+    );
+    let counts = counts.lock().unwrap();
+    assert_eq!(counts.len(), profiles.len());
+    for (fp, count) in counts.iter() {
+        assert_eq!(*count, 1, "fingerprint {fp:?} tuned {count} times");
+    }
+    assert_eq!(svc.in_flight(), 0);
+}
+
+/// Simultaneous requests for one brand-new fingerprint: one leader
+/// tunes, everyone else coalesces onto the flight and still converges.
+#[test]
+fn concurrent_cold_fingerprint_coalesces_onto_one_flight() {
+    let (tuning, counts) = counting_tuner(Duration::from_millis(100));
+    let svc = SolverService::start(
+        ServiceConfig::new(tmp_dir("coalesce"))
+            .with_workers(4)
+            .with_queue_capacity(64)
+            .with_tuning(tuning),
+    )
+    .unwrap();
+    let problem = Problem::anisotropic(0.05);
+    let tickets: Vec<_> = (0..8)
+        .map(|i| {
+            svc.submit(request(&problem, 100 + i))
+                .expect("queue has room")
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("coalesced solves converge");
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.tunes, 1, "single flight for the cold fingerprint");
+    assert_eq!(counts.lock().unwrap().values().sum::<usize>(), 1);
+    assert!(
+        stats.coalesced >= 1,
+        "with 4 workers and a 100ms tune, some request must have waited on the flight"
+    );
+}
+
+/// Admission control: a queue of capacity 2 over a slow tuner rejects
+/// the overflow with the typed `Rejected` instead of queueing
+/// unboundedly, and accepted work still completes.
+#[test]
+fn full_queue_rejects_with_typed_error() {
+    let (tuning, _) = counting_tuner(Duration::from_millis(150));
+    let svc = SolverService::start(
+        ServiceConfig::new(tmp_dir("admission"))
+            .with_workers(1)
+            .with_queue_capacity(2)
+            .with_tuning(tuning),
+    )
+    .unwrap();
+    let problem = Problem::poisson();
+    let accepted: Vec<_> = (0..2)
+        .map(|i| svc.submit(request(&problem, i)).expect("under capacity"))
+        .collect();
+    let turned_away = svc.submit(request(&problem, 99));
+    match turned_away {
+        Err(rejected) => assert_eq!(rejected.capacity, 2),
+        Ok(_) => panic!("third submit must be rejected at capacity 2"),
+    }
+    assert_eq!(svc.stats().rejected, 1);
+    for t in accepted {
+        t.wait().expect("accepted requests still complete");
+    }
+    // Once drained there is room again.
+    svc.drain();
+    assert!(svc.submit(request(&problem, 7)).is_ok());
+}
+
+/// Warm-worker allocation accounting: after the service has seen every
+/// profile once, a steady-state burst leases every per-request grid
+/// from the per-worker arenas — the arenas' allocation counters must
+/// not move.
+#[test]
+fn warm_workers_allocate_nothing_at_steady_state() {
+    let svc = Arc::new(
+        SolverService::start(
+            ServiceConfig::new(tmp_dir("warm"))
+                .with_workers(2)
+                .with_queue_capacity(256),
+        )
+        .unwrap(),
+    );
+    let profiles = profiles();
+    // Warm-up: several rounds so every worker has served every profile
+    // and every arena holds grids for each size class it will see.
+    for round in 0..6 {
+        let tickets: Vec<_> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| svc.submit_blocking(request(p, 1000 + (round * 10 + i) as u64)))
+            .collect();
+        for t in tickets {
+            t.wait().expect("warm-up converges");
+        }
+    }
+    svc.drain();
+    let warm: u64 = svc.arena_stats().iter().map(|s| s.allocations).sum();
+
+    // Steady state: 200 more requests across the same profiles.
+    let mut tickets = Vec::new();
+    for j in 0..200 {
+        let p = &profiles[j % profiles.len()];
+        tickets.push(svc.submit_blocking(request(p, 5000 + j as u64)));
+    }
+    for t in tickets {
+        t.wait().expect("steady-state converges");
+    }
+    svc.drain();
+    let steady: u64 = svc.arena_stats().iter().map(|s| s.allocations).sum();
+    assert_eq!(
+        steady, warm,
+        "steady-state requests must lease every grid from the warm arenas"
+    );
+    let reuses: u64 = svc.arena_stats().iter().map(|s| s.reuses).sum();
+    assert!(reuses > 0, "the arenas must actually be serving leases");
+}
+
+/// Responses carry typed errors, not panics, when a request is
+/// malformed — and the service keeps serving afterwards.
+#[test]
+fn malformed_requests_get_typed_errors_and_service_survives() {
+    let svc = SolverService::start(ServiceConfig::new(tmp_dir("typed"))).unwrap();
+    let bad = SolveRequest::new(
+        Problem::poisson(),
+        Grid2d::zeros(12),
+        Grid2d::zeros(12),
+        TOL,
+    );
+    assert!(matches!(svc.solve(bad), Err(ServeError::BadRequest(_))));
+    let mismatched = SolveRequest::new(
+        Problem::poisson(),
+        Grid2d::zeros(17),
+        Grid2d::zeros(33),
+        TOL,
+    );
+    assert!(matches!(
+        svc.solve(mismatched),
+        Err(ServeError::BadRequest(_))
+    ));
+    // The worker that produced the typed errors is still healthy.
+    svc.solve(request(&Problem::poisson(), 1))
+        .expect("service keeps serving after bad requests");
+}
+
+/// The library survives concurrent eviction pressure: a cache bound of
+/// 2 under 4 fingerprints of traffic keeps every response correct
+/// (disk backs evictions) while the bound holds.
+#[test]
+fn tiny_plan_cache_under_concurrent_traffic_stays_correct() {
+    let svc = Arc::new(
+        SolverService::start(
+            ServiceConfig::new(tmp_dir("tinycache"))
+                .with_workers(4)
+                .with_queue_capacity(256)
+                .with_library_capacity(2),
+        )
+        .unwrap(),
+    );
+    let profiles = profiles();
+    let mut clients = Vec::new();
+    for t in 0..4 {
+        let svc = Arc::clone(&svc);
+        let profiles = profiles.clone();
+        clients.push(std::thread::spawn(move || {
+            for j in 0..40 {
+                let p = &profiles[(t + j) % profiles.len()];
+                let report = svc
+                    .solve(request(p, (2000 + t * 100 + j) as u64))
+                    .expect("evictions must not cost correctness");
+                assert!(report.report.rel_residual <= TOL);
+            }
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+    assert!(svc.library().cached() <= 2, "cache bound violated");
+    assert!(
+        svc.library().stats().evictions > 0,
+        "4 fingerprints over a 2-deep cache must evict"
+    );
+    assert_eq!(
+        svc.stats().tunes,
+        4,
+        "evictions reload from disk, not re-tune"
+    );
+}
