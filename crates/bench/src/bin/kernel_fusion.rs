@@ -37,13 +37,13 @@
 
 use petamg_bench::time_best;
 use petamg_choice::KnobTable;
-use petamg_core::plan::{simple_v_family, ExecCtx, TunedFamily};
+use petamg_core::plan::{simple_v_family, ExecCtx, TunedFamily, PAPER_ACCURACIES};
 use petamg_core::training::{Distribution, ProblemInstance};
 use petamg_core::tuner::{tune_kernel_knobs_for_level, KnobTunerOptions, TunerOptions, VTuner};
 use petamg_grid::{
     coarse_size, interpolate_add, interpolate_correct, l2_norm_interior, residual,
-    residual_restrict, restrict_full_weighting, size_level, vector_backend, Exec, Grid2d,
-    SimdPolicy, Workspace,
+    residual_restrict, restrict_full_weighting, size_level, vector_backend, BatchGrid, Exec,
+    Grid2d, SimdPolicy, Workspace, BATCH_WIDTH,
 };
 use petamg_problems::{residual_op, residual_restrict_op, Problem};
 use petamg_solvers::fused::sor_sweeps_blocked;
@@ -186,6 +186,22 @@ struct ProblemRecord {
 }
 
 #[derive(Serialize)]
+struct SolveManyRecord {
+    backend: String,
+    n: usize,
+    /// Systems carried per batched cycle (the interleave width).
+    width: usize,
+    /// Seconds for `width` solo V-cycles, one `run` call per system.
+    solo_vcycles_s: f64,
+    /// Seconds for one `run_batch` V-cycle carrying all `width`
+    /// systems; verified bitwise equal per lane to the solo runs
+    /// before timing.
+    batched_vcycle_s: f64,
+    /// Solo-over-batched throughput ratio (>1: batching wins).
+    speedup: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     bench: String,
     quick: bool,
@@ -210,6 +226,9 @@ struct Report {
     /// Per-operator V-cycle times and tuned-plan divergence across the
     /// canonical problem families (identical input data per family).
     problem_sweep: Vec<ProblemRecord>,
+    /// Batched multi-RHS V-cycles (`run_batch` at width `BATCH_WIDTH`)
+    /// versus the same systems cycled one at a time, per backend.
+    batch_sweep: Vec<SolveManyRecord>,
 }
 
 fn test_grids(n: usize) -> (Grid2d, Grid2d) {
@@ -498,6 +517,7 @@ fn bench_per_level_knobs(
             rounds,
             reps,
             seed: 0xBE9C ^ k as u64,
+            problem: Problem::poisson(),
         };
         let result = tune_kernel_knobs_for_level(pool_exec, &opts, &table);
         tune_evaluations += result.evaluations;
@@ -807,6 +827,88 @@ fn bench_problem_sweep(
     records
 }
 
+/// Batched multi-RHS V-cycles versus solo: the `batch_sweep` section.
+/// Four systems (distinct right-hand sides and initial guesses) go
+/// through one `run_batch` cycle with each SIMD lane carrying one
+/// system; the baseline runs the same four systems through `run` one
+/// at a time. Every lane is verified bitwise equal to its solo twin
+/// before timing — the batched kernels evaluate the solo scalar
+/// expression per lane, so this is equality, not tolerance.
+fn bench_batch_sweep(
+    backend: &str,
+    exec: &Exec,
+    n: usize,
+    trials: usize,
+    quick: bool,
+) -> SolveManyRecord {
+    let level = size_level(n).expect("bench sizes are 2^k + 1");
+    let reps = (reps_for(n, quick) / 8).max(1);
+    let fam = simple_v_family(level, &PAPER_ACCURACIES);
+    let acc_idx = fam.num_accuracies() - 1;
+    let cache = Arc::new(DirectSolverCache::new());
+    let ws = Arc::new(Workspace::new());
+    let mut ctx =
+        ExecCtx::with_cache(exec.clone(), Arc::clone(&cache)).with_workspace(Arc::clone(&ws));
+
+    // Per-lane data: each system gets its own RHS and initial guess.
+    let lane_x0 = |k: usize| {
+        Grid2d::from_fn(n, |i, j| {
+            ((i * 31 + j * 17 + k * 7) % 103) as f64 / 7.0 - 5.0
+        })
+    };
+    let lane_b =
+        |k: usize| Grid2d::from_fn(n, |i, j| ((i * 13 + j * 71 + k * 29) % 97) as f64 / 3.0);
+    let bs: Vec<Grid2d> = (0..BATCH_WIDTH).map(lane_b).collect();
+
+    // Verify: one batched cycle is bitwise equal, per lane, to the
+    // solo cycles on the same data.
+    let mut solos: Vec<Grid2d> = (0..BATCH_WIDTH).map(lane_x0).collect();
+    for (k, x) in solos.iter_mut().enumerate() {
+        fam.run(level, acc_idx, x, &bs[k], &mut ctx);
+    }
+    let mut xb = BatchGrid::zeros(n);
+    let mut bb = BatchGrid::zeros(n);
+    for (k, b) in bs.iter().enumerate() {
+        xb.load_lane(k, &lane_x0(k));
+        bb.load_lane(k, b);
+    }
+    fam.run_batch(level, acc_idx, &mut xb, &bb, &mut ctx);
+    let mut got = Grid2d::zeros(n);
+    for (k, solo) in solos.iter().enumerate() {
+        xb.store_lane(k, &mut got);
+        assert_eq!(
+            got.as_slice(),
+            solo.as_slice(),
+            "batched lane {k} diverged from solo at n={n} on {backend}"
+        );
+    }
+
+    // Time. The cycle shape is fixed by the plan, not by convergence,
+    // so re-cycling a converged iterate does identical work per call.
+    let mut xs = solos;
+    let solo_vcycles_s = time_best(trials, || {
+        for _ in 0..reps {
+            for (k, x) in xs.iter_mut().enumerate() {
+                fam.run(level, acc_idx, black_box(x), &bs[k], &mut ctx);
+            }
+        }
+    }) / reps as f64;
+    let batched_vcycle_s = time_best(trials, || {
+        for _ in 0..reps {
+            fam.run_batch(level, acc_idx, black_box(&mut xb), &bb, &mut ctx);
+        }
+    }) / reps as f64;
+
+    SolveManyRecord {
+        backend: backend.to_string(),
+        n,
+        width: BATCH_WIDTH,
+        solo_vcycles_s,
+        batched_vcycle_s,
+        speedup: solo_vcycles_s / batched_vcycle_s,
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("PETAMG_BENCH_QUICK").is_ok_and(|v| v != "0");
@@ -923,6 +1025,29 @@ fn main() {
     let problem_n = if quick { 65 } else { 129 };
     let problem_sweep = bench_problem_sweep(&pool_exec, problem_n, trials, quick);
 
+    // Batched multi-RHS V-cycles vs solo, per backend.
+    println!("#\nkind,n,backend,width,solo_us,batched_us,speedup");
+    let batch_sizes: &[usize] = if quick { &[129] } else { &[129, 513, 1025] };
+    let mut batch_sweep = Vec::new();
+    for &n in batch_sizes {
+        for (name, exec) in [
+            ("seq", Exec::seq()),
+            (pool_name.as_str(), pool_exec.clone()),
+        ] {
+            let rec = bench_batch_sweep(name, &exec, n, trials, quick);
+            println!(
+                "batch,{},{},{},{:.2},{:.2},{:.3}",
+                rec.n,
+                rec.backend,
+                rec.width,
+                rec.solo_vcycles_s * 1e6,
+                rec.batched_vcycle_s * 1e6,
+                rec.speedup
+            );
+            batch_sweep.push(rec);
+        }
+    }
+
     let report = Report {
         bench: "kernel_fusion".to_string(),
         quick,
@@ -935,6 +1060,7 @@ fn main() {
         per_level_knobs,
         simd_sweep,
         problem_sweep,
+        batch_sweep,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");

@@ -35,7 +35,7 @@ use crate::faults;
 use crate::plan::{simple_v_family, ExecCtx, TunedFamily, PAPER_ACCURACIES};
 use crate::trace::{CycleEvent, LadderRung, Tracer};
 use crate::OpCounts;
-use petamg_grid::{l2_norm_interior, Exec, Grid2d, Workspace};
+use petamg_grid::{l2_norm_interior, Exec, Grid2d, Workspace, BATCH_WIDTH};
 use petamg_problems::{residual_op, Problem};
 use petamg_solvers::{
     DirectSolverCache, GuardConfig, GuardFailure, GuardVerdict, SolveGuard, SolveStatus,
@@ -386,6 +386,241 @@ impl GuardedSolver {
         Err(SolveError { degradations })
     }
 
+    /// Solve many systems of the same size, batching them through the
+    /// multi-RHS plan-execution path in groups of up to
+    /// [`BATCH_WIDTH`].
+    ///
+    /// Each group runs **one** V-cycle schedule carrying every system in
+    /// a SIMD lane: plan admission, kernel dispatch, workspace leasing,
+    /// and coefficient traffic are paid once per group instead of once
+    /// per system. Per-RHS convergence is tracked by an independent
+    /// [`SolveGuard`] per lane; a lane that converges is *frozen* — its
+    /// iterate is captured at the observation point and restored after
+    /// every subsequent batch cycle, never advanced — while the
+    /// remaining lanes keep cycling.
+    ///
+    /// Because the batched kernels evaluate the solo scalar expression
+    /// per lane and never mix lanes, every lane's solution is **bitwise
+    /// identical** to what [`GuardedSolver::solve`] would produce for
+    /// that system alone, for every operator family, execution backend,
+    /// and SIMD mode. A lane whose guard trips (or whose plan is
+    /// inadmissible) leaves the batch and re-walks the full solo
+    /// degradation ladder from its untouched initial guess, so failure
+    /// reporting is also identical to the solo path.
+    ///
+    /// `xs[k]` holds system `k`'s initial guess on entry and its
+    /// solution (or restored guess, on error) on exit. Converged batched
+    /// lanes share the group's wall time and amortized operation
+    /// counts in their reports.
+    ///
+    /// # Panics
+    /// Panics if slice lengths differ, grids disagree in size within a
+    /// group, or a size is not `2^k + 1`.
+    pub fn solve_many(
+        &self,
+        xs: &mut [Grid2d],
+        bs: &[Grid2d],
+        tols: &[f64],
+    ) -> Vec<Result<GuardedReport, SolveError>> {
+        assert_eq!(xs.len(), bs.len(), "xs/bs length mismatch in solve_many");
+        assert_eq!(
+            xs.len(),
+            tols.len(),
+            "xs/tols length mismatch in solve_many"
+        );
+        let mut out = Vec::with_capacity(xs.len());
+        let mut lo = 0;
+        while lo < xs.len() {
+            let hi = (lo + BATCH_WIDTH).min(xs.len());
+            if hi - lo == 1 {
+                out.push(self.solve(&mut xs[lo], &bs[lo], tols[lo]));
+            } else {
+                out.extend(self.solve_chunk(&mut xs[lo..hi], &bs[lo..hi], &tols[lo..hi]));
+            }
+            lo = hi;
+        }
+        out
+    }
+
+    /// Serve one batch group (2 ..= `BATCH_WIDTH` systems) through the
+    /// batched plan-execution path. See [`GuardedSolver::solve_many`].
+    fn solve_chunk(
+        &self,
+        xs: &mut [Grid2d],
+        bs: &[Grid2d],
+        tols: &[f64],
+    ) -> Vec<Result<GuardedReport, SolveError>> {
+        let width = xs.len();
+        debug_assert!((2..=BATCH_WIDTH).contains(&width));
+        let n = xs[0].n();
+        for k in 0..width {
+            assert_eq!(xs[k].n(), n, "grid size mismatch within a batch group");
+            assert_eq!(bs[k].n(), n, "rhs size mismatch within a batch group");
+        }
+        let level = level_of(n);
+
+        let mut ctx = ExecCtx::with_cache(self.exec.clone(), Arc::clone(&self.cache))
+            .with_workspace(Arc::clone(&self.workspace))
+            .with_problem(self.problem.clone());
+        if self.tracing {
+            ctx = ctx.tracing();
+        }
+        if let Some(fam) = &self.plan {
+            if !fam.knobs.is_all_default() {
+                ctx = ctx.with_knob_table(fam.knobs.clone());
+            }
+        }
+
+        // Rung admission, mirroring `solve` exactly. An inadmissible
+        // plan sends every lane down the solo ladder, which records the
+        // per-lane `PlanRejected` degradation and walks the remaining
+        // rungs just as a solo request would.
+        let heuristic;
+        let (fam, rung): (&TunedFamily, LadderRung) = match &self.plan {
+            Some(fam) => {
+                let admissible = fam
+                    .ensure_problem(self.problem.fingerprint())
+                    .map_err(|e| e.to_string())
+                    .and_then(|()| fam.validate())
+                    .and_then(|()| {
+                        if level <= fam.max_level {
+                            Ok(())
+                        } else {
+                            Err(format!(
+                                "instance level {level} exceeds tuned max level {}",
+                                fam.max_level
+                            ))
+                        }
+                    });
+                match admissible {
+                    Ok(()) => (fam.as_ref(), LadderRung::TunedPlan),
+                    Err(_) => {
+                        return xs
+                            .iter_mut()
+                            .zip(bs)
+                            .zip(tols)
+                            .map(|((x, b), &tol)| self.solve(x, b, tol))
+                            .collect();
+                    }
+                }
+            }
+            None => {
+                heuristic = simple_v_family(level.max(1), &PAPER_ACCURACIES);
+                (&heuristic, LadderRung::HeuristicPlan)
+            }
+        };
+        let acc_idx = fam.num_accuracies() - 1;
+
+        let start = std::time::Instant::now();
+        // Interleave the systems into one batch. Unused trailing lanes
+        // (group width < BATCH_WIDTH) stay zero: with a zero rhs they
+        // are fixed points of every kernel and can never produce a
+        // non-finite value, and no kernel mixes lanes.
+        let mut xb = self.workspace.acquire_batch(n);
+        let mut bb = self.workspace.acquire_batch(n);
+        for k in 0..width {
+            xb.load_lane(k, &xs[k]);
+            bb.load_lane(k, &bs[k]);
+        }
+        let mut scratch = self.workspace.acquire_unzeroed(n);
+        let mut resid = self.workspace.acquire_unzeroed(n);
+        let mut guards: Vec<SolveGuard> = tols
+            .iter()
+            .map(|&tol| SolveGuard::new(self.guard, tol))
+            .collect();
+
+        enum Lane {
+            Active,
+            Converged {
+                x: Grid2d,
+                status: SolveStatus,
+                history: Vec<f64>,
+            },
+            Failed,
+        }
+        let mut lanes: Vec<Lane> = (0..width).map(|_| Lane::Active).collect();
+        let mut active = width;
+        while active > 0 {
+            fam.run_batch(level, acc_idx, &mut xb, &bb, &mut ctx);
+            for k in 0..width {
+                match &lanes[k] {
+                    Lane::Active => {}
+                    // The convergence mask: a finished lane is frozen.
+                    // The batch necessarily computed something in its
+                    // lane this cycle, but the result is discarded and
+                    // the lane restored, so the lane is never observed
+                    // past its terminal iterate (and its values stay
+                    // bounded for the lanes still cycling — not that it
+                    // matters: no kernel mixes lanes).
+                    Lane::Converged { x, .. } => {
+                        xb.load_lane(k, x);
+                        continue;
+                    }
+                    Lane::Failed => {
+                        xb.load_lane(k, &xs[k]);
+                        continue;
+                    }
+                }
+                xb.store_lane(k, &mut scratch);
+                let rel = self.rel_residual(&scratch, &bs[k], &mut resid, &ctx);
+                match guards[k].observe(rel) {
+                    GuardVerdict::Continue => {}
+                    GuardVerdict::Converged => {
+                        lanes[k] = Lane::Converged {
+                            x: Grid2d::clone(&scratch),
+                            status: SolveStatus::Converged {
+                                cycles: guards[k].cycles(),
+                            },
+                            history: guards[k].history().to_vec(),
+                        };
+                        active -= 1;
+                    }
+                    GuardVerdict::Fail(_) => {
+                        // The lane leaves the batch. It is re-served
+                        // below through the solo ladder from its
+                        // untouched initial guess, which reproduces the
+                        // failed rung (bitwise-identical arithmetic →
+                        // identical guard trip), records it, and walks
+                        // the remaining rungs exactly as a solo request.
+                        xb.load_lane(k, &xs[k]);
+                        lanes[k] = Lane::Failed;
+                        active -= 1;
+                    }
+                }
+            }
+        }
+        let seconds = start.elapsed().as_secs_f64();
+
+        if lanes.iter().any(|l| matches!(l, Lane::Converged { .. })) {
+            ctx.tracer.record(CycleEvent::RungServed { rung });
+        }
+        // Converged lanes share the batch's amortized cost accounting:
+        // one op-count set and one trace for the whole group.
+        let ops = ctx.ops;
+        let tracer = ctx.tracer;
+        lanes
+            .into_iter()
+            .enumerate()
+            .map(|(k, lane)| match lane {
+                Lane::Converged { x, status, history } => {
+                    xs[k].copy_from(&x);
+                    Ok(GuardedReport {
+                        status,
+                        rung,
+                        rel_residual: history.last().copied().unwrap_or(f64::NAN),
+                        residual_history: history,
+                        degradations: Vec::new(),
+                        seconds,
+                        ops: ops.clone(),
+                        tracer: tracer.clone(),
+                    })
+                }
+                Lane::Failed => self.solve(&mut xs[k], &bs[k], tols[k]),
+                Lane::Active => unreachable!("loop exits only when no lane is active"),
+            })
+            .collect()
+    }
+
     /// Iterate one family member under guard until `tol` or failure.
     /// Returns the converged status and the residual trajectory.
     #[allow(clippy::too_many_arguments)]
@@ -566,6 +801,141 @@ mod tests {
         ));
         assert_eq!(x.as_slice(), x0.as_slice(), "x restored on failure");
         faults::clear();
+    }
+
+    /// Distinct random systems for a batch-parity test.
+    fn batch_instances(level: usize, problem: &Problem, count: usize) -> Vec<ProblemInstance> {
+        (0..count)
+            .map(|k| {
+                ProblemInstance::random_for(
+                    problem,
+                    level,
+                    Distribution::UnbiasedUniform,
+                    11 + k as u64,
+                )
+            })
+            .collect()
+    }
+
+    /// Batched solves must be bitwise identical per RHS to solo solves,
+    /// at every group width 1..=BATCH_WIDTH (0–3 unused lanes), for
+    /// every operator family and backend.
+    #[test]
+    fn solve_many_matches_solo_bitwise_at_every_width() {
+        faults::clear();
+        use petamg_grid::{SimdPolicy, BATCH_WIDTH};
+        let level = 4;
+        let problems = [
+            Problem::poisson(),
+            Problem::anisotropic(0.25),
+            Problem::jump_inclusion(petamg_grid::level_size(level)),
+        ];
+        let execs = [
+            Exec::seq().with_simd(SimdPolicy::Scalar),
+            Exec::seq().with_simd(SimdPolicy::Vector),
+            Exec::rayon().with_band(2).with_simd(SimdPolicy::Vector),
+        ];
+        for problem in &problems {
+            for exec in &execs {
+                let mut fam = simple_v_family(level, &PAPER_ACCURACIES);
+                fam.problem = problem.fingerprint().clone();
+                let solver = GuardedSolver::new(problem.clone())
+                    .with_plan(fam)
+                    .with_exec(exec.clone());
+                for width in 1..=BATCH_WIDTH {
+                    let insts = batch_instances(level, problem, width);
+                    let mut xs: Vec<Grid2d> = insts.iter().map(|i| i.working_grid()).collect();
+                    let bs: Vec<Grid2d> = insts.iter().map(|i| i.b.clone()).collect();
+                    let tols = vec![1e-8; width];
+                    let reports = solver.solve_many(&mut xs, &bs, &tols);
+                    assert_eq!(reports.len(), width);
+                    for k in 0..width {
+                        let mut want = insts[k].working_grid();
+                        let solo = solver.solve(&mut want, &bs[k], 1e-8).expect("solo serves");
+                        let report = reports[k].as_ref().expect("batched lane serves");
+                        assert_eq!(
+                            xs[k].as_slice(),
+                            want.as_slice(),
+                            "{} {exec:?} width={width} lane={k}",
+                            problem.describe()
+                        );
+                        assert_eq!(report.rung, solo.rung);
+                        assert_eq!(report.status, solo.status);
+                        assert_eq!(
+                            report.residual_history, solo.residual_history,
+                            "residual trajectories must match bit for bit"
+                        );
+                        assert_eq!(report.degradations.len(), solo.degradations.len());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lanes with different tolerances converge at different cycles;
+    /// an early-converged lane is frozen (not advanced) while the rest
+    /// keep cycling, and every lane still matches its solo solve.
+    #[test]
+    fn solve_many_partial_convergence_freezes_lanes() {
+        faults::clear();
+        let level = 4;
+        let problem = Problem::poisson();
+        let solver = GuardedSolver::new(problem.clone());
+        let tols = [1e-2, 1e-6, 1e-10, 1e-4];
+        let insts = batch_instances(level, &problem, tols.len());
+        let mut xs: Vec<Grid2d> = insts.iter().map(|i| i.working_grid()).collect();
+        let bs: Vec<Grid2d> = insts.iter().map(|i| i.b.clone()).collect();
+        let reports = solver.solve_many(&mut xs, &bs, &tols);
+        let mut cycles = Vec::new();
+        for k in 0..tols.len() {
+            let mut want = insts[k].working_grid();
+            let solo = solver
+                .solve(&mut want, &bs[k], tols[k])
+                .expect("solo serves");
+            let report = reports[k].as_ref().expect("batched lane serves");
+            assert_eq!(
+                xs[k].as_slice(),
+                want.as_slice(),
+                "lane {k} (tol {:.0e}) must equal its solo solve bitwise",
+                tols[k]
+            );
+            assert_eq!(report.status, solo.status);
+            assert_eq!(report.residual_history, solo.residual_history);
+            match report.status {
+                SolveStatus::Converged { cycles: c } => cycles.push(c),
+                ref other => panic!("lane {k} did not converge: {other:?}"),
+            }
+        }
+        assert!(
+            cycles.iter().any(|&c| c != cycles[0]),
+            "tolerances spanning 8 orders must converge at different cycles: {cycles:?}"
+        );
+    }
+
+    /// An inadmissible plan sends every batched lane down the solo
+    /// ladder: each lane records the rejection and serves from the
+    /// heuristic rung, exactly as a solo request would.
+    #[test]
+    fn solve_many_rejected_plan_degrades_every_lane() {
+        faults::clear();
+        let aniso = Problem::anisotropic(0.5);
+        let level = 4;
+        let insts = batch_instances(level, &aniso, 3);
+        // A plan fingerprinted for Poisson must not serve aniso lanes.
+        let fam = simple_v_family(level, &PAPER_ACCURACIES);
+        let solver = GuardedSolver::new(aniso).with_plan(fam);
+        let mut xs: Vec<Grid2d> = insts.iter().map(|i| i.working_grid()).collect();
+        let bs: Vec<Grid2d> = insts.iter().map(|i| i.b.clone()).collect();
+        let reports = solver.solve_many(&mut xs, &bs, &[1e-8; 3]);
+        for report in &reports {
+            let report = report.as_ref().expect("heuristic rung serves");
+            assert_eq!(report.rung, LadderRung::HeuristicPlan);
+            assert_eq!(report.degradations.len(), 1);
+            assert!(matches!(
+                report.degradations[0].reason,
+                FailureKind::PlanRejected(_)
+            ));
+        }
     }
 
     #[test]

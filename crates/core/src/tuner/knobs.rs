@@ -20,6 +20,7 @@ use petamg_choice::{
     ParamValue, SimdPolicy, PARAM_BAND_ROWS, PARAM_SIMD, PARAM_TBLOCK,
 };
 use petamg_grid::{Exec, Workspace};
+use petamg_problems::Problem;
 use petamg_solvers::DirectSolverCache;
 use std::sync::Arc;
 use std::time::Instant;
@@ -54,10 +55,18 @@ pub struct KnobTunerOptions {
     pub reps: usize,
     /// Training-instance seed.
     pub seed: u64,
+    /// The problem the knobs are tuned for. Candidate timings run this
+    /// family's actual kernels (variable-coefficient rows cost more
+    /// than constant ones, and the best band/tblock follows the
+    /// kernel), so a var-coeff or anisotropic plan's knobs are timed on
+    /// its own operator — not silently on Poisson.
+    pub problem: Problem,
 }
 
 impl KnobTunerOptions {
-    /// A quick search suitable for tests and warm-up tuning.
+    /// A quick search suitable for tests and warm-up tuning, on the
+    /// constant-coefficient Poisson operator
+    /// (see [`KnobTunerOptions::with_problem`] for the rest).
     ///
     /// `level` is clamped into `1..=`[`MAX_QUICK_KNOB_LEVEL`] rather
     /// than trusted: level 0 has no executable plan, and out-of-range
@@ -70,7 +79,14 @@ impl KnobTunerOptions {
             rounds: 2,
             reps: 2,
             seed: 0xBADC0DE,
+            problem: Problem::poisson(),
         }
+    }
+
+    /// Tune against `problem`'s operator instead of Poisson.
+    pub fn with_problem(mut self, problem: Problem) -> Self {
+        self.problem = problem;
+        self
     }
 }
 
@@ -224,7 +240,12 @@ fn tune_kernel_knobs_impl(
             .expect("policy index in domain");
     }
     let fam = simple_v_family(opts.level, &PAPER_ACCURACIES);
-    let inst = ProblemInstance::random(opts.level, Distribution::UnbiasedUniform, opts.seed);
+    let inst = ProblemInstance::random_for(
+        &opts.problem,
+        opts.level,
+        Distribution::UnbiasedUniform,
+        opts.seed,
+    );
     let cache = Arc::new(DirectSolverCache::new());
     let workspace = Arc::new(Workspace::new());
     let mut evaluations = 0usize;
@@ -244,11 +265,13 @@ fn tune_kernel_knobs_impl(
                     trial.set(opts.level, cfg_knobs);
                     ExecCtx::with_cache(exec.clone(), Arc::clone(&cache))
                         .with_workspace(Arc::clone(&workspace))
+                        .with_problem(opts.problem.clone())
                         .with_knob_table(trial)
                 }
                 None => {
                     ExecCtx::with_cache(apply_knobs(exec.clone(), &cfg_knobs), Arc::clone(&cache))
                         .with_workspace(Arc::clone(&workspace))
+                        .with_problem(opts.problem.clone())
                         .with_tblock(cfg_knobs.tblock)
                 }
             };
@@ -536,6 +559,27 @@ mod tests {
         assert!(result.best_seconds < 1e3, "{}", result.best_seconds);
         assert!((1..=8).contains(&result.knobs.tblock));
         faults::clear();
+    }
+
+    /// Regression: knob candidates used to be timed on Poisson training
+    /// instances no matter which family the plan was tuned for. The
+    /// posed problem now threads through the options into both the
+    /// training instance and the timing context — and the run exercises
+    /// the family's own (coefficient-bearing) kernels at every level,
+    /// which requires the posed hierarchy to be threaded correctly.
+    #[test]
+    fn knob_timings_run_the_posed_family() {
+        let problem = Problem::jump_inclusion(petamg_grid::level_size(3));
+        let opts = KnobTunerOptions::quick(3).with_problem(problem.clone());
+        assert_eq!(opts.problem.fingerprint(), problem.fingerprint());
+        let result = tune_kernel_knobs(&Exec::seq(), &opts);
+        assert!(result.evaluations > 0);
+        assert!(result.best_seconds.is_finite());
+        let aniso = tune_kernel_knobs(
+            &Exec::pbrt(2),
+            &KnobTunerOptions::quick(3).with_problem(Problem::anisotropic(0.25)),
+        );
+        assert!(aniso.evaluations > 0);
     }
 
     #[test]

@@ -421,6 +421,10 @@ impl VTuner {
             rounds: search.rounds,
             reps: search.reps,
             seed: self.opts.seed ^ 0x6B_6E_6F_62, // "knob"
+            // Knob timings must run the posed family's own kernels: a
+            // var-coeff plan knob-tuned on Poisson rows would lock in
+            // the wrong band/tblock.
+            problem: self.opts.problem.clone(),
         };
         let table = self.knobs.borrow().clone();
         let result = knobs::tune_kernel_knobs_for_level(&self.opts.exec, &opts, &table);

@@ -1203,6 +1203,355 @@ mod body {
         }
     }
 
+    // -----------------------------------------------------------------
+    // Batched (multi-RHS) row kernels
+    // -----------------------------------------------------------------
+    //
+    // Batch rows interleave `BATCH_WIDTH = 4` systems per grid point
+    // (`row[4j..4j+4]` = point `j`, lane `k` = system `k`), so every
+    // stencil operand is one contiguous four-lane load at element
+    // offset `4j` — neighbours sit at `±4`, the SOR stride-2 walk at
+    // `±8` — and each lane evaluates the solo *scalar* kernel's
+    // expression in the same association order. No deinterleaves, no
+    // permutes, no tails, and no cross-lane arithmetic: lane `k`'s
+    // bits match the solo scalar path exactly, and garbage in an
+    // unused or frozen lane cannot leak into its neighbours.
+
+    /// Batched Poisson residual row: points `1..n-1` of `out` get
+    /// `b − Ax` per lane (rows are `4n` elements, untrimmed).
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn batch_residual_row<L: Lanes>(
+        up: *const f64,
+        mid: *const f64,
+        dn: *const f64,
+        brow: *const f64,
+        inv_h2: f64,
+        out: *mut f64,
+        n: usize,
+    ) {
+        let four = L::splat(4.0);
+        let vinv = L::splat(inv_h2);
+        unsafe {
+            for j in 1..n - 1 {
+                let c = L::load(mid.add(4 * j));
+                let u = L::load(up.add(4 * j));
+                let d = L::load(dn.add(4 * j));
+                let l = L::load(mid.add(4 * (j - 1)));
+                let r = L::load(mid.add(4 * (j + 1)));
+                // (((4c − u) − d) − l) − r, then · inv_h2 — solo scalar order.
+                let ax = four.mul(c).sub(u).sub(d).sub(l).sub(r).mul(vinv);
+                L::load(brow.add(4 * j)).sub(ax).store(out.add(4 * j));
+            }
+        }
+    }
+
+    /// Batched residual row for a constant five-point stencil.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn batch_wres_residual_row<L: Lanes>(
+        up: *const f64,
+        mid: *const f64,
+        dn: *const f64,
+        brow: *const f64,
+        cw: f64,
+        ce: f64,
+        cn: f64,
+        cs: f64,
+        cc: f64,
+        inv_h2: f64,
+        out: *mut f64,
+        n: usize,
+    ) {
+        let vinv = L::splat(inv_h2);
+        let (vw, ve, vn, vs, vc) = (
+            L::splat(cw),
+            L::splat(ce),
+            L::splat(cn),
+            L::splat(cs),
+            L::splat(cc),
+        );
+        unsafe {
+            for j in 1..n - 1 {
+                let c = L::load(mid.add(4 * j));
+                let u = L::load(up.add(4 * j));
+                let d = L::load(dn.add(4 * j));
+                let l = L::load(mid.add(4 * (j - 1)));
+                let r = L::load(mid.add(4 * (j + 1)));
+                // (cc·c − cn·u − cs·d − cw·l − ce·r) · inv_h2, solo order.
+                let ax = vc
+                    .mul(c)
+                    .sub(vn.mul(u))
+                    .sub(vs.mul(d))
+                    .sub(vw.mul(l))
+                    .sub(ve.mul(r))
+                    .mul(vinv);
+                L::load(brow.add(4 * j)).sub(ax).store(out.add(4 * j));
+            }
+        }
+    }
+
+    /// Batched residual row for a variable-coefficient stencil. The
+    /// coefficient rows are *solo*-stride (`n` values, indexed by `j`):
+    /// every lane shares the operator, so each weight is splatted.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn batch_var_residual_row<L: Lanes>(
+        up: *const f64,
+        mid: *const f64,
+        dn: *const f64,
+        brow: *const f64,
+        cw: *const f64,
+        ce: *const f64,
+        cn: *const f64,
+        cs: *const f64,
+        cc: *const f64,
+        inv_h2: f64,
+        out: *mut f64,
+        n: usize,
+    ) {
+        let vinv = L::splat(inv_h2);
+        unsafe {
+            for j in 1..n - 1 {
+                let c = L::load(mid.add(4 * j));
+                let u = L::load(up.add(4 * j));
+                let d = L::load(dn.add(4 * j));
+                let l = L::load(mid.add(4 * (j - 1)));
+                let r = L::load(mid.add(4 * (j + 1)));
+                let ax = L::splat(*cc.add(j))
+                    .mul(c)
+                    .sub(L::splat(*cn.add(j)).mul(u))
+                    .sub(L::splat(*cs.add(j)).mul(d))
+                    .sub(L::splat(*cw.add(j)).mul(l))
+                    .sub(L::splat(*ce.add(j)).mul(r))
+                    .mul(vinv);
+                L::load(brow.add(4 * j)).sub(ax).store(out.add(4 * j));
+            }
+        }
+    }
+
+    /// Batched red/black SOR row (Poisson): color cells `j0, j0+2, …`
+    /// of `mid`, all four lanes per cell at once.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn batch_sor_row<L: Lanes>(
+        up: *const f64,
+        mid: *mut f64,
+        dn: *const f64,
+        brow: *const f64,
+        n: usize,
+        h2: f64,
+        omega: f64,
+        j0: usize,
+    ) {
+        let vh2 = L::splat(h2);
+        let vomega = L::splat(omega);
+        let quarter = L::splat(0.25);
+        let mut j = j0;
+        unsafe {
+            while j < n - 1 {
+                let u = L::load(up.add(4 * j));
+                let d = L::load(dn.add(4 * j));
+                let l = L::load(mid.add(4 * (j - 1)));
+                let r = L::load(mid.add(4 * (j + 1)));
+                let old = L::load(mid.add(4 * j));
+                // nb = up[j] + dn[j] + mid[j-1] + mid[j+1], solo order.
+                let nb = u.add(d).add(l).add(r);
+                let gs = quarter.mul(nb.add(vh2.mul(L::load(brow.add(4 * j)))));
+                old.add(vomega.mul(gs.sub(old))).store(mid.add(4 * j));
+                j += 2;
+            }
+        }
+    }
+
+    /// Batched red/black SOR row for a constant five-point stencil.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn batch_wres_sor_row<L: Lanes>(
+        up: *const f64,
+        mid: *mut f64,
+        dn: *const f64,
+        brow: *const f64,
+        n: usize,
+        h2: f64,
+        omega: f64,
+        j0: usize,
+        cw: f64,
+        ce: f64,
+        cn: f64,
+        cs: f64,
+        inv_cc: f64,
+    ) {
+        let vh2 = L::splat(h2);
+        let vomega = L::splat(omega);
+        let (vw, ve, vn, vs, vic) = (
+            L::splat(cw),
+            L::splat(ce),
+            L::splat(cn),
+            L::splat(cs),
+            L::splat(inv_cc),
+        );
+        let mut j = j0;
+        unsafe {
+            while j < n - 1 {
+                let u = L::load(up.add(4 * j));
+                let d = L::load(dn.add(4 * j));
+                let l = L::load(mid.add(4 * (j - 1)));
+                let r = L::load(mid.add(4 * (j + 1)));
+                let old = L::load(mid.add(4 * j));
+                // nb = cn·up + cs·dn + cw·left + ce·right, solo order.
+                let nb = vn.mul(u).add(vs.mul(d)).add(vw.mul(l)).add(ve.mul(r));
+                let gs = nb.add(vh2.mul(L::load(brow.add(4 * j)))).mul(vic);
+                old.add(vomega.mul(gs.sub(old))).store(mid.add(4 * j));
+                j += 2;
+            }
+        }
+    }
+
+    /// Batched red/black SOR row for a variable-coefficient stencil;
+    /// coefficient rows are solo-stride, splatted per color cell.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(super) unsafe fn batch_var_sor_row<L: Lanes>(
+        up: *const f64,
+        mid: *mut f64,
+        dn: *const f64,
+        brow: *const f64,
+        cw: *const f64,
+        ce: *const f64,
+        cn: *const f64,
+        cs: *const f64,
+        icc: *const f64,
+        n: usize,
+        h2: f64,
+        omega: f64,
+        j0: usize,
+    ) {
+        let vh2 = L::splat(h2);
+        let vomega = L::splat(omega);
+        let mut j = j0;
+        unsafe {
+            while j < n - 1 {
+                let u = L::load(up.add(4 * j));
+                let d = L::load(dn.add(4 * j));
+                let l = L::load(mid.add(4 * (j - 1)));
+                let r = L::load(mid.add(4 * (j + 1)));
+                let old = L::load(mid.add(4 * j));
+                let nb = L::splat(*cn.add(j))
+                    .mul(u)
+                    .add(L::splat(*cs.add(j)).mul(d))
+                    .add(L::splat(*cw.add(j)).mul(l))
+                    .add(L::splat(*ce.add(j)).mul(r));
+                let gs = nb
+                    .add(vh2.mul(L::load(brow.add(4 * j))))
+                    .mul(L::splat(*icc.add(j)));
+                old.add(vomega.mul(gs.sub(old))).store(mid.add(4 * j));
+                j += 2;
+            }
+        }
+    }
+
+    /// Batched full-weighting restriction row (coarse points `1..nc-1`).
+    #[inline(always)]
+    pub(super) unsafe fn batch_restrict_row<L: Lanes>(
+        r_up: *const f64,
+        r_mid: *const f64,
+        r_dn: *const f64,
+        coarse_row: *mut f64,
+        nc: usize,
+    ) {
+        let four = L::splat(4.0);
+        let two = L::splat(2.0);
+        let sixteen = L::splat(16.0);
+        unsafe {
+            for jc in 1..nc - 1 {
+                let fj = 2 * jc;
+                let center = L::load(r_mid.add(4 * fj));
+                // edges = up[fj] + dn[fj] + mid[fj-1] + mid[fj+1]
+                let edges = L::load(r_up.add(4 * fj))
+                    .add(L::load(r_dn.add(4 * fj)))
+                    .add(L::load(r_mid.add(4 * (fj - 1))))
+                    .add(L::load(r_mid.add(4 * (fj + 1))));
+                // corners = up[fj-1] + up[fj+1] + dn[fj-1] + dn[fj+1]
+                let corners = L::load(r_up.add(4 * (fj - 1)))
+                    .add(L::load(r_up.add(4 * (fj + 1))))
+                    .add(L::load(r_dn.add(4 * (fj - 1))))
+                    .add(L::load(r_dn.add(4 * (fj + 1))));
+                four.mul(center)
+                    .add(two.mul(edges))
+                    .add(corners)
+                    .div(sixteen)
+                    .store(coarse_row.add(4 * jc));
+            }
+        }
+    }
+
+    /// Batched coincident-row interpolation correction, *including* the
+    /// `jc = 0` prologue (`frow[1] += ½(c0[0] + c0[1])` per lane) —
+    /// unlike the solo kernel there is no stride reason to exclude it.
+    #[inline(always)]
+    pub(super) unsafe fn batch_interp_row_even<L: Lanes>(
+        c0: *const f64,
+        frow: *mut f64,
+        nc: usize,
+    ) {
+        let half = L::splat(0.5);
+        unsafe {
+            let p = frow.add(4);
+            L::load(p)
+                .add(half.mul(L::load(c0).add(L::load(c0.add(4)))))
+                .store(p);
+            for jc in 1..nc - 1 {
+                let a = L::load(c0.add(4 * jc));
+                let b = L::load(c0.add(4 * (jc + 1)));
+                let p = frow.add(4 * 2 * jc);
+                L::load(p).add(a).store(p);
+                let p = frow.add(4 * (2 * jc + 1));
+                L::load(p).add(half.mul(a.add(b))).store(p);
+            }
+        }
+    }
+
+    /// Batched midpoint-row interpolation correction, including the
+    /// `jc = 0` prologue.
+    #[inline(always)]
+    pub(super) unsafe fn batch_interp_row_odd<L: Lanes>(
+        c0: *const f64,
+        c1: *const f64,
+        frow: *mut f64,
+        nc: usize,
+    ) {
+        let half = L::splat(0.5);
+        let quarter = L::splat(0.25);
+        unsafe {
+            let p = frow.add(4);
+            // ((c0[0] + c0[1]) + c1[0]) + c1[1], scalar order.
+            L::load(p)
+                .add(
+                    quarter.mul(
+                        L::load(c0)
+                            .add(L::load(c0.add(4)))
+                            .add(L::load(c1))
+                            .add(L::load(c1.add(4))),
+                    ),
+                )
+                .store(p);
+            for jc in 1..nc - 1 {
+                let a0 = L::load(c0.add(4 * jc));
+                let b0 = L::load(c0.add(4 * (jc + 1)));
+                let a1 = L::load(c1.add(4 * jc));
+                let b1 = L::load(c1.add(4 * (jc + 1)));
+                let p = frow.add(4 * 2 * jc);
+                L::load(p).add(half.mul(a0.add(a1))).store(p);
+                let p = frow.add(4 * (2 * jc + 1));
+                // ((c0[jc] + c0[jc+1]) + c1[jc]) + c1[jc+1], scalar order.
+                L::load(p)
+                    .add(quarter.mul(a0.add(b0).add(a1).add(b1)))
+                    .store(p);
+            }
+        }
+    }
+
     /// Fixed-lane tree combine: `(a0 + a1) + (a2 + a3)`.
     #[inline(always)]
     fn tree(a: [f64; 4]) -> f64 {
@@ -1514,6 +1863,119 @@ dispatch! {
         right: *const f64, brow: *const f64, cw: *const f64, ce: *const f64,
         cn: *const f64, cs: *const f64, icc: *const f64, h2: f64, omega: f64,
         out: *mut f64, m: usize,
+    )
+}
+
+dispatch! {
+    /// Batched Poisson residual row over untrimmed batch-row pointers
+    /// (`4n` values each); writes points `1..n-1` of `out`.
+    ///
+    /// # Safety
+    /// All pointers must be valid for `4n` reads (`out` for `4n`
+    /// writes) and `out` must not alias the inputs.
+    pub unsafe fn batch_residual_row / batch_residual_row_avx2(
+        up: *const f64, mid: *const f64, dn: *const f64, brow: *const f64,
+        inv_h2: f64, out: *mut f64, n: usize,
+    )
+}
+
+dispatch! {
+    /// Batched residual row for a constant five-point stencil.
+    ///
+    /// # Safety
+    /// Same contract as [`batch_residual_row`].
+    pub unsafe fn batch_wres_residual_row / batch_wres_residual_row_avx2(
+        up: *const f64, mid: *const f64, dn: *const f64, brow: *const f64,
+        cw: f64, ce: f64, cn: f64, cs: f64, cc: f64, inv_h2: f64,
+        out: *mut f64, n: usize,
+    )
+}
+
+dispatch! {
+    /// Batched residual row for a variable-coefficient stencil; the
+    /// coefficient rows are solo-stride (`n` values each).
+    ///
+    /// # Safety
+    /// Same contract as [`batch_residual_row`], plus all coefficient
+    /// rows valid for `n` reads.
+    pub unsafe fn batch_var_residual_row / batch_var_residual_row_avx2(
+        up: *const f64, mid: *const f64, dn: *const f64, brow: *const f64,
+        cw: *const f64, ce: *const f64, cn: *const f64, cs: *const f64,
+        cc: *const f64, inv_h2: f64, out: *mut f64, n: usize,
+    )
+}
+
+dispatch! {
+    /// Batched red/black SOR row update (Poisson), stride 2 from `j0`.
+    ///
+    /// # Safety
+    /// All batch rows valid for `4n` reads (`mid` for writes), no
+    /// concurrent access to the color cells of `mid`, and `j0 >= 1`.
+    pub unsafe fn batch_sor_row / batch_sor_row_avx2(
+        up: *const f64, mid: *mut f64, dn: *const f64, brow: *const f64,
+        n: usize, h2: f64, omega: f64, j0: usize,
+    )
+}
+
+dispatch! {
+    /// Batched red/black SOR row for a constant five-point stencil.
+    ///
+    /// # Safety
+    /// Same contract as [`batch_sor_row`].
+    pub unsafe fn batch_wres_sor_row / batch_wres_sor_row_avx2(
+        up: *const f64, mid: *mut f64, dn: *const f64, brow: *const f64,
+        n: usize, h2: f64, omega: f64, j0: usize,
+        cw: f64, ce: f64, cn: f64, cs: f64, inv_cc: f64,
+    )
+}
+
+dispatch! {
+    /// Batched red/black SOR row for a variable-coefficient stencil;
+    /// coefficient rows are solo-stride (`n` values each).
+    ///
+    /// # Safety
+    /// Same contract as [`batch_sor_row`], plus all coefficient rows
+    /// valid for `n` reads.
+    pub unsafe fn batch_var_sor_row / batch_var_sor_row_avx2(
+        up: *const f64, mid: *mut f64, dn: *const f64, brow: *const f64,
+        cw: *const f64, ce: *const f64, cn: *const f64, cs: *const f64,
+        icc: *const f64, n: usize, h2: f64, omega: f64, j0: usize,
+    )
+}
+
+dispatch! {
+    /// Batched full-weighting restriction row (coarse points `1..nc-1`).
+    ///
+    /// # Safety
+    /// The three fine batch rows must be valid for `4(2(nc-1)+1)` reads
+    /// and `coarse_row` for `4nc` writes, with no aliasing.
+    pub(crate) unsafe fn batch_restrict_row / batch_restrict_row_avx2(
+        r_up: *const f64, r_mid: *const f64, r_dn: *const f64,
+        coarse_row: *mut f64, nc: usize,
+    )
+}
+
+dispatch! {
+    /// Batched coincident-row interpolation correction (includes the
+    /// `jc = 0` prologue, unlike the solo kernel).
+    ///
+    /// # Safety
+    /// `c0` must be valid for `4nc` reads and `frow` for `4(2(nc-1)+1)`
+    /// reads and writes, with no aliasing.
+    pub(crate) unsafe fn batch_interp_row_even / batch_interp_row_even_avx2(
+        c0: *const f64, frow: *mut f64, nc: usize,
+    )
+}
+
+dispatch! {
+    /// Batched midpoint-row interpolation correction (includes the
+    /// `jc = 0` prologue).
+    ///
+    /// # Safety
+    /// `c0`/`c1` must be valid for `4nc` reads and `frow` for
+    /// `4(2(nc-1)+1)` reads and writes, with no aliasing.
+    pub(crate) unsafe fn batch_interp_row_odd / batch_interp_row_odd_avx2(
+        c0: *const f64, c1: *const f64, frow: *mut f64, nc: usize,
     )
 }
 

@@ -25,8 +25,8 @@
 //! the operator families.
 
 use crate::coeffs::StencilCoeffs;
-use petamg_grid::residual_row_into;
 use petamg_grid::simd::{self, SimdMode};
+use petamg_grid::{batch_residual_row_into, residual_row_into, BATCH_WIDTH};
 use std::sync::Arc;
 
 /// One level's discrete operator: `A u = (cc·u − cn·N − cs·S − cw·W −
@@ -367,6 +367,247 @@ impl StencilOp {
                                 let gs = (nb + h2 * *brow.add(j)) * *icr.add(j);
                                 let old = *mid.add(j);
                                 *mid.add(j) = old + omega * (gs - old);
+                            }
+                            j += 2;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched (multi-RHS) residual row: like
+    /// [`StencilOp::residual_row_into`], but every slice is a *batch*
+    /// row of `n · BATCH_WIDTH` values (lane `k` of point `j` at
+    /// `[4j + k]`). Writes points `1..n-1` of `out`; boundary points
+    /// untouched. Per lane this reproduces the solo scalar expression
+    /// bit for bit — the operator is shared across lanes, so
+    /// coefficient rows stay solo-stride and are splatted per point.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn batch_residual_row_into(
+        &self,
+        i: usize,
+        up: &[f64],
+        mid: &[f64],
+        dn: &[f64],
+        brow: &[f64],
+        inv_h2: f64,
+        out: &mut [f64],
+        mode: SimdMode,
+    ) {
+        let n = mid.len() / BATCH_WIDTH;
+        match self {
+            StencilOp::Poisson => batch_residual_row_into(up, mid, dn, brow, inv_h2, out, mode),
+            StencilOp::ConstFive {
+                cw, ce, cn, cs, cc, ..
+            } => match mode {
+                SimdMode::Vector => {
+                    // SAFETY: all batch rows hold `4n` values; every
+                    // access is a four-lane op at element offset `4j`,
+                    // `j` in `1..n-1`; `out` aliases nothing.
+                    unsafe {
+                        simd::batch_wres_residual_row(
+                            up.as_ptr(),
+                            mid.as_ptr(),
+                            dn.as_ptr(),
+                            brow.as_ptr(),
+                            *cw,
+                            *ce,
+                            *cn,
+                            *cs,
+                            *cc,
+                            inv_h2,
+                            out.as_mut_ptr(),
+                            n,
+                        );
+                    }
+                }
+                SimdMode::Scalar => {
+                    for j in 1..n - 1 {
+                        for k in 0..BATCH_WIDTH {
+                            let e = j * BATCH_WIDTH + k;
+                            let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                            let ax =
+                                (cc * mid[e] - cn * up[e] - cs * dn[e] - cw * mid[l] - ce * mid[r])
+                                    * inv_h2;
+                            out[e] = brow[e] - ax;
+                        }
+                    }
+                }
+            },
+            StencilOp::Var(cf) => {
+                debug_assert_eq!(cf.n(), n, "coefficient level size mismatch");
+                let (wr, er, nr, sr, cr) = (
+                    cf.w_row(i),
+                    cf.e_row(i),
+                    cf.n_row(i),
+                    cf.s_row(i),
+                    cf.c_row(i),
+                );
+                match mode {
+                    SimdMode::Vector => {
+                        // SAFETY: batch rows hold `4n` values, the
+                        // solo-stride coefficient rows `n`; `out`
+                        // aliases nothing.
+                        unsafe {
+                            simd::batch_var_residual_row(
+                                up.as_ptr(),
+                                mid.as_ptr(),
+                                dn.as_ptr(),
+                                brow.as_ptr(),
+                                wr.as_ptr(),
+                                er.as_ptr(),
+                                nr.as_ptr(),
+                                sr.as_ptr(),
+                                cr.as_ptr(),
+                                inv_h2,
+                                out.as_mut_ptr(),
+                                n,
+                            );
+                        }
+                    }
+                    SimdMode::Scalar => {
+                        for j in 1..n - 1 {
+                            for k in 0..BATCH_WIDTH {
+                                let e = j * BATCH_WIDTH + k;
+                                let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                                let ax = (cr[j] * mid[e]
+                                    - nr[j] * up[e]
+                                    - sr[j] * dn[e]
+                                    - wr[j] * mid[l]
+                                    - er[j] * mid[r])
+                                    * inv_h2;
+                                out[e] = brow[e] - ax;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched (multi-RHS) red/black SOR row update: like
+    /// [`StencilOp::sor_row_update`], but over batch rows of
+    /// `n · BATCH_WIDTH` values — every color cell updates all four
+    /// lanes at once, each with the solo scalar expression.
+    ///
+    /// # Safety
+    /// All four pointers must be valid for `n · BATCH_WIDTH` reads
+    /// (`mid` for writes), and no other task may concurrently write the
+    /// cells read here.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub unsafe fn batch_sor_row_update(
+        &self,
+        i: usize,
+        up: *const f64,
+        mid: *mut f64,
+        dn: *const f64,
+        brow: *const f64,
+        n: usize,
+        h2: f64,
+        omega: f64,
+        color: usize,
+        mode: SimdMode,
+    ) {
+        let j0 = if (i + 1) % 2 == color { 1 } else { 2 };
+        match self {
+            StencilOp::Poisson => match mode {
+                SimdMode::Vector => {
+                    // SAFETY: forwarded contract.
+                    unsafe { simd::batch_sor_row(up, mid, dn, brow, n, h2, omega, j0) };
+                }
+                SimdMode::Scalar => {
+                    let mut j = j0;
+                    while j < n - 1 {
+                        for k in 0..BATCH_WIDTH {
+                            let e = j * BATCH_WIDTH + k;
+                            let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                            // SAFETY: forwarded contract; j in 1..n-1.
+                            unsafe {
+                                let nb = *up.add(e) + *dn.add(e) + *mid.add(l) + *mid.add(r);
+                                let gs = 0.25 * (nb + h2 * *brow.add(e));
+                                let old = *mid.add(e);
+                                *mid.add(e) = old + omega * (gs - old);
+                            }
+                        }
+                        j += 2;
+                    }
+                }
+            },
+            StencilOp::ConstFive {
+                cw,
+                ce,
+                cn,
+                cs,
+                inv_cc,
+                ..
+            } => match mode {
+                SimdMode::Vector => {
+                    // SAFETY: forwarded contract.
+                    unsafe {
+                        simd::batch_wres_sor_row(
+                            up, mid, dn, brow, n, h2, omega, j0, *cw, *ce, *cn, *cs, *inv_cc,
+                        );
+                    }
+                }
+                SimdMode::Scalar => {
+                    let mut j = j0;
+                    while j < n - 1 {
+                        for k in 0..BATCH_WIDTH {
+                            let e = j * BATCH_WIDTH + k;
+                            let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                            // SAFETY: forwarded contract; j in 1..n-1.
+                            unsafe {
+                                let nb = cn * *up.add(e)
+                                    + cs * *dn.add(e)
+                                    + cw * *mid.add(l)
+                                    + ce * *mid.add(r);
+                                let gs = (nb + h2 * *brow.add(e)) * inv_cc;
+                                let old = *mid.add(e);
+                                *mid.add(e) = old + omega * (gs - old);
+                            }
+                        }
+                        j += 2;
+                    }
+                }
+            },
+            StencilOp::Var(cf) => {
+                debug_assert_eq!(cf.n(), n, "coefficient level size mismatch");
+                let (wr, er, nr, sr, icr) = (
+                    cf.w_row(i).as_ptr(),
+                    cf.e_row(i).as_ptr(),
+                    cf.n_row(i).as_ptr(),
+                    cf.s_row(i).as_ptr(),
+                    cf.ic_row(i).as_ptr(),
+                );
+                match mode {
+                    SimdMode::Vector => {
+                        // SAFETY: forwarded contract; the solo-stride
+                        // coefficient rows hold `n` values each.
+                        unsafe {
+                            simd::batch_var_sor_row(
+                                up, mid, dn, brow, wr, er, nr, sr, icr, n, h2, omega, j0,
+                            );
+                        }
+                    }
+                    SimdMode::Scalar => {
+                        let mut j = j0;
+                        while j < n - 1 {
+                            for k in 0..BATCH_WIDTH {
+                                let e = j * BATCH_WIDTH + k;
+                                let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                                // SAFETY: forwarded contract; j in 1..n-1.
+                                unsafe {
+                                    let nb = *nr.add(j) * *up.add(e)
+                                        + *sr.add(j) * *dn.add(e)
+                                        + *wr.add(j) * *mid.add(l)
+                                        + *er.add(j) * *mid.add(r);
+                                    let gs = (nb + h2 * *brow.add(e)) * *icr.add(j);
+                                    let old = *mid.add(e);
+                                    *mid.add(e) = old + omega * (gs - old);
+                                }
                             }
                             j += 2;
                         }

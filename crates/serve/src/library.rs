@@ -77,9 +77,13 @@ pub struct LibraryStats {
     pub disk_loads: u64,
     /// Corrupt plan files moved aside to `<name>.quarantined`.
     pub quarantined: u64,
-    /// Healthy files rejected because their fingerprint did not match
-    /// the posed problem (hash collision or a hand-edited file).
+    /// Healthy plans (cached or on disk) rejected because their
+    /// fingerprint did not match the posed problem (hash collision or a
+    /// hand-edited file).
     pub mismatches: u64,
+    /// Real I/O failures reading a plan file (permissions, truncated
+    /// device reads, …) — **not** the routine file-absent miss.
+    pub io_errors: u64,
     /// Cache entries dropped to keep the memory bound.
     pub evictions: u64,
     /// Plans written through `insert`.
@@ -93,6 +97,7 @@ struct Counters {
     disk_loads: AtomicU64,
     quarantined: AtomicU64,
     mismatches: AtomicU64,
+    io_errors: AtomicU64,
     evictions: AtomicU64,
     inserts: AtomicU64,
 }
@@ -109,6 +114,11 @@ pub struct PlanLibrary {
     cache: Mutex<HashMap<u64, (Arc<TunedFamily>, u64)>>,
     tick: AtomicU64,
     stats: Counters,
+    /// Fingerprint → cache key / file name. [`fingerprint_key`] in
+    /// production; tests swap in a colliding function to exercise the
+    /// aliasing defenses (the key is a *locator*, never an identity —
+    /// every hit is re-verified against the full fingerprint).
+    key_fn: fn(&ProblemFingerprint) -> u64,
 }
 
 impl PlanLibrary {
@@ -128,7 +138,16 @@ impl PlanLibrary {
             cache: Mutex::new(HashMap::new()),
             tick: AtomicU64::new(0),
             stats: Counters::default(),
+            key_fn: fingerprint_key,
         })
+    }
+
+    /// Replace the fingerprint→key function (cache key **and** file
+    /// name). A test seam: forcing distinct fingerprints onto one key
+    /// exercises the collision defenses without reversing FNV-1a.
+    pub fn with_key_fn(mut self, key_fn: fn(&ProblemFingerprint) -> u64) -> Self {
+        self.key_fn = key_fn;
+        self
     }
 
     /// The plan directory.
@@ -148,7 +167,8 @@ impl PlanLibrary {
 
     /// Path the plan for `fp` is (or would be) stored at.
     pub fn path_for(&self, fp: &ProblemFingerprint) -> PathBuf {
-        self.dir.join(plan_file_name(fp))
+        self.dir
+            .join(format!("plan-{:016x}.json", (self.key_fn)(fp)))
     }
 
     /// Cached keys in most-recently-used-first order (for tests).
@@ -167,6 +187,7 @@ impl PlanLibrary {
             disk_loads: self.stats.disk_loads.load(Ordering::Relaxed),
             quarantined: self.stats.quarantined.load(Ordering::Relaxed),
             mismatches: self.stats.mismatches.load(Ordering::Relaxed),
+            io_errors: self.stats.io_errors.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             inserts: self.stats.inserts.load(Ordering::Relaxed),
         }
@@ -206,14 +227,29 @@ impl PlanLibrary {
     /// and counted. Either way the caller should tune (or let the
     /// guarded ladder fall back to its heuristic rung).
     pub fn get(&self, problem: &Problem) -> Option<(Arc<TunedFamily>, PlanOrigin)> {
-        let key = fingerprint_key(problem.fingerprint());
+        let key = (self.key_fn)(problem.fingerprint());
         {
             let tick = self.next_tick();
             let mut cache = self.cache.lock();
             if let Some((plan, stamp)) = cache.get_mut(&key) {
-                *stamp = tick;
-                Self::bump(&self.stats.hits);
-                return Some((Arc::clone(plan), PlanOrigin::Memory));
+                // The key is only a locator: a cache hit must be
+                // verified against the full posed fingerprint before it
+                // is served. Two distinct problems whose fingerprints
+                // hash to one key would otherwise alias — the second
+                // would silently execute a plan tuned for the first.
+                if plan.ensure_problem(problem.fingerprint()).is_ok() {
+                    *stamp = tick;
+                    Self::bump(&self.stats.hits);
+                    return Some((Arc::clone(plan), PlanOrigin::Memory));
+                }
+                // The colliding key also names the on-disk file, so the
+                // disk path below could only reproduce the same
+                // mismatch; report the miss here without the wasted
+                // load. The cached entry stays — it is correct for the
+                // problem that inserted it.
+                Self::bump(&self.stats.mismatches);
+                Self::bump(&self.stats.misses);
+                return None;
             }
         }
         match persist::load_plan_for(&self.path_for(problem.fingerprint()), problem) {
@@ -223,7 +259,17 @@ impl PlanLibrary {
                 self.cache_put(key, Arc::clone(&plan));
                 Some((plan, PlanOrigin::Disk))
             }
+            Err(PlanLoadError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                // No file: the routine cold miss.
+                Self::bump(&self.stats.misses);
+                None
+            }
             Err(PlanLoadError::Io(_)) => {
+                // The file exists but could not be read (permissions,
+                // device error, …). Still a miss — the ladder's
+                // heuristic rung covers it — but distinguishable from
+                // "never tuned" so operators can see a sick plan dir.
+                Self::bump(&self.stats.io_errors);
                 Self::bump(&self.stats.misses);
                 None
             }
@@ -259,7 +305,7 @@ impl PlanLibrary {
                 "plan fingerprint does not match the problem it is filed under",
             ));
         }
-        let key = fingerprint_key(problem.fingerprint());
+        let key = (self.key_fn)(problem.fingerprint());
         persist::save_plan(&family, &self.path_for(problem.fingerprint()))?;
         Self::bump(&self.stats.inserts);
         let plan = Arc::new(family);
@@ -343,6 +389,69 @@ mod tests {
         // The evicted (oldest) plan reloads from disk.
         let (_, origin) = lib.get(&problems[0]).unwrap();
         assert_eq!(origin, PlanOrigin::Disk);
+    }
+
+    /// Regression test for plan-cache collision aliasing: force two
+    /// distinct fingerprints onto one cache key (and thus one file) and
+    /// assert the second problem is **never** served the first's plan —
+    /// neither from memory nor from disk. Before the fix, the memory
+    /// path trusted the key alone and handed problem B problem A's
+    /// plan.
+    #[test]
+    fn colliding_keys_never_alias_plans() {
+        fn collide(_: &ProblemFingerprint) -> u64 {
+            0xdead_beef
+        }
+        let lib = PlanLibrary::open(tmp_dir("collide"))
+            .unwrap()
+            .with_key_fn(collide);
+        let poisson = Problem::poisson();
+        let aniso = Problem::anisotropic(0.1);
+        assert_ne!(
+            fingerprint_key(poisson.fingerprint()),
+            fingerprint_key(aniso.fingerprint()),
+            "distinct problems (collision is forced by the key seam)"
+        );
+        lib.insert(&poisson, stamped(&poisson, 4)).unwrap();
+
+        // Memory path: the cached entry under the shared key carries
+        // Poisson's fingerprint; posing aniso must miss, not alias.
+        assert!(lib.get(&aniso).is_none(), "aliased memory hit");
+        let s = lib.stats();
+        assert_eq!((s.hits, s.mismatches, s.misses), (0, 1, 1));
+
+        // Disk path: the shared key also names the file, so a cold
+        // cache must reject it by fingerprint too.
+        lib.clear_cache();
+        assert!(lib.get(&aniso).is_none(), "aliased disk load");
+        let s = lib.stats();
+        assert_eq!((s.mismatches, s.misses, s.disk_loads), (2, 2, 0));
+
+        // The rightful owner still gets its plan back.
+        let (plan, _) = lib.get(&poisson).expect("owner must still be served");
+        assert!(plan.ensure_problem(poisson.fingerprint()).is_ok());
+        // And a hit for the owner leaves the entry cached without
+        // evicting it for the mismatched prober.
+        assert!(lib.get(&poisson).is_some());
+        assert!(lib.get(&aniso).is_none());
+    }
+
+    #[test]
+    fn unreadable_file_counts_io_error_not_plain_miss() {
+        let dir = tmp_dir("ioerr");
+        let lib = PlanLibrary::open(&dir).unwrap();
+        let poisson = Problem::poisson();
+        // Absent file: a plain miss, no io_errors.
+        assert!(lib.get(&poisson).is_none());
+        let s = lib.stats();
+        assert_eq!((s.misses, s.io_errors), (1, 0));
+
+        // A directory where the plan file should be: reading it fails
+        // with a real I/O error, not NotFound.
+        std::fs::create_dir_all(lib.path_for(poisson.fingerprint())).unwrap();
+        assert!(lib.get(&poisson).is_none());
+        let s = lib.stats();
+        assert_eq!((s.misses, s.io_errors), (2, 1));
     }
 
     #[test]

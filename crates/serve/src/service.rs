@@ -26,7 +26,7 @@ use petamg_core::guard::{GuardedReport, GuardedSolver, SolveError};
 use petamg_core::plan::{simple_v_family, TunedFamily, PAPER_ACCURACIES};
 use petamg_core::training::Distribution;
 use petamg_core::tuner::{TunerOptions, VTuner};
-use petamg_grid::{size_level, Exec, Grid2d, Workspace, WorkspaceStats};
+use petamg_grid::{size_level, Exec, Grid2d, Workspace, WorkspaceStats, BATCH_WIDTH};
 use petamg_problems::Problem;
 use petamg_runtime::ThreadPool;
 use petamg_solvers::{DirectSolverCache, GuardConfig};
@@ -337,6 +337,11 @@ pub struct ServiceStats {
     pub tune_failures: u64,
     /// Requests that waited on another request's tuning flight.
     pub coalesced: u64,
+    /// Multi-RHS batch groups dispatched (each is one pool job serving
+    /// 2+ requests through one batched guarded solve).
+    pub batches: u64,
+    /// Requests served inside a batch group.
+    pub batched_requests: u64,
 }
 
 #[derive(Default)]
@@ -351,6 +356,8 @@ struct StatCounters {
     tunes: AtomicU64,
     tune_failures: AtomicU64,
     coalesced: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
 }
 
 fn bump(c: &AtomicU64) {
@@ -449,11 +456,140 @@ impl SolverService {
         self.submit_blocking(request).wait()
     }
 
+    /// Submit many requests at once, blocking for queue room, and
+    /// return their tickets in request order.
+    ///
+    /// Requests posing the **same problem at the same size** are
+    /// grouped — up to [`BATCH_WIDTH`] per
+    /// group, in arrival order — and each group is served by one
+    /// multi-RHS guarded solve on one worker, amortizing plan lookup,
+    /// workspace leasing, and coefficient traffic across the group.
+    /// Grouping compares the full problem fingerprint (never just its
+    /// hash), so colliding fingerprints cannot share a batch. Requests
+    /// that can't batch — traced, fault-armed, shape-mismatched, or
+    /// alone on their fingerprint — dispatch solo, so mixed batch/solo
+    /// traffic needs no special handling by the caller. Every request
+    /// counts individually toward the admission bound.
+    pub fn submit_many(&self, requests: Vec<SolveRequest>) -> Vec<Ticket> {
+        let max_group = BATCH_WIDTH.min(self.inner.queue_capacity);
+        let mut slots: Vec<Arc<Slot>> = Vec::with_capacity(requests.len());
+        for _ in 0..requests.len() {
+            bump(&self.inner.stats.submitted);
+            slots.push(Arc::new(Slot::new()));
+        }
+        // Group in arrival order. `open` tracks, per (key, n), the
+        // group still accepting members.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut open: Vec<(u64, usize, usize)> = Vec::new();
+        for (idx, req) in requests.iter().enumerate() {
+            let batchable = !req.trace && req.faults.is_empty() && req.x0.n() == req.b.n();
+            if !batchable {
+                groups.push(vec![idx]);
+                continue;
+            }
+            let key = fingerprint_key(req.problem.fingerprint());
+            let n = req.b.n();
+            let joined = open.iter().find(|&&(k, gn, gi)| {
+                k == key
+                    && gn == n
+                    && groups[gi].len() < max_group
+                    && requests[groups[gi][0]].problem.fingerprint() == req.problem.fingerprint()
+            });
+            match joined {
+                Some(&(_, _, gi)) => groups[gi].push(idx),
+                None => {
+                    groups.push(vec![idx]);
+                    open.push((key, n, groups.len() - 1));
+                }
+            }
+        }
+        let mut requests: Vec<Option<SolveRequest>> = requests.into_iter().map(Some).collect();
+        for idxs in groups {
+            let width = idxs.len();
+            {
+                let mut in_flight = self.inner.in_flight.lock();
+                while *in_flight + width > self.inner.queue_capacity {
+                    self.inner.changed.wait(&mut in_flight);
+                }
+                *in_flight += width;
+            }
+            let batch: Vec<(SolveRequest, Arc<Slot>)> = idxs
+                .into_iter()
+                .map(|i| {
+                    let req = requests[i].take().expect("each request dispatched once");
+                    (req, Arc::clone(&slots[i]))
+                })
+                .collect();
+            self.spawn_group(batch);
+        }
+        slots.into_iter().map(|slot| Ticket { slot }).collect()
+    }
+
+    /// [`SolverService::submit_many`], then wait for every response.
+    /// Responses are in request order.
+    pub fn solve_many(&self, requests: Vec<SolveRequest>) -> Vec<ServeResponse> {
+        self.submit_many(requests)
+            .into_iter()
+            .map(Ticket::wait)
+            .collect()
+    }
+
+    /// Dispatch one admitted group: solo for singletons, one batched
+    /// pool job otherwise.
+    fn spawn_group(&self, batch: Vec<(SolveRequest, Arc<Slot>)>) {
+        let width = batch.len();
+        if width == 1 {
+            let (request, slot) = batch.into_iter().next().expect("width == 1");
+            self.spawn_request(request, slot);
+            return;
+        }
+        bump(&self.inner.stats.batches);
+        self.inner
+            .stats
+            .batched_requests
+            .fetch_add(width as u64, Ordering::Relaxed);
+        let inner = Arc::clone(&self.inner);
+        self.pool.spawn(move || {
+            let (requests, slots): (Vec<SolveRequest>, Vec<Arc<Slot>>) = batch.into_iter().unzip();
+            let responses = catch_unwind(AssertUnwindSafe(|| handle_group(&inner, requests)))
+                .unwrap_or_else(|p| {
+                    faults::clear();
+                    bump(&inner.stats.panics);
+                    let msg = panic_message(&p);
+                    (0..width)
+                        .map(|_| Err(ServeError::Panicked(msg.clone())))
+                        .collect()
+                });
+            for response in &responses {
+                bump(&inner.stats.completed);
+                match response {
+                    Ok(_) => bump(&inner.stats.converged),
+                    Err(ServeError::Ladder { .. }) => bump(&inner.stats.ladder_failures),
+                    Err(ServeError::BadRequest(_)) => bump(&inner.stats.bad_requests),
+                    Err(ServeError::Panicked(_)) => {}
+                }
+            }
+            {
+                let mut in_flight = inner.in_flight.lock();
+                *in_flight -= width;
+            }
+            inner.changed.notify_all();
+            for (slot, response) in slots.iter().zip(responses) {
+                slot.fill(response);
+            }
+        });
+    }
+
     fn dispatch(&self, request: SolveRequest) -> Ticket {
         let slot = Arc::new(Slot::new());
         let ticket = Ticket {
             slot: Arc::clone(&slot),
         };
+        self.spawn_request(request, slot);
+        ticket
+    }
+
+    fn spawn_request(&self, request: SolveRequest, slot: Arc<Slot>) {
         let inner = Arc::clone(&self.inner);
         self.pool.spawn(move || {
             let response = catch_unwind(AssertUnwindSafe(|| handle(&inner, request)))
@@ -482,7 +618,6 @@ impl SolverService {
             inner.changed.notify_all();
             slot.fill(response);
         });
-        ticket
     }
 
     /// Block until every accepted request has completed.
@@ -512,6 +647,8 @@ impl SolverService {
             tunes: s.tunes.load(Ordering::Relaxed),
             tune_failures: s.tune_failures.load(Ordering::Relaxed),
             coalesced: s.coalesced.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            batched_requests: s.batched_requests.load(Ordering::Relaxed),
         }
     }
 
@@ -561,6 +698,26 @@ fn handle(inner: &Inner, request: SolveRequest) -> ServeResponse {
         faults: request_faults,
     } = request;
 
+    let level = validate(&problem, &x0, &b)?;
+
+    // Arm this request's chaos faults on the worker actually running
+    // it, and make sure nothing armed here leaks into the next
+    // request this worker serves.
+    for fault in &request_faults {
+        faults::inject(fault.clone());
+    }
+    let result = serve_solve(inner, &problem, level, &mut x0, &b, tol, trace);
+    faults::clear();
+    result.map(|(report, plan)| ServeReport {
+        x: x0,
+        report,
+        plan,
+    })
+}
+
+/// Shape/size validation shared by the solo and batched paths. Returns
+/// the request's multigrid level.
+fn validate(problem: &Problem, x0: &Grid2d, b: &Grid2d) -> Result<usize, ServeError> {
     let n = b.n();
     if x0.n() != n {
         return Err(ServeError::BadRequest(format!(
@@ -583,20 +740,74 @@ fn handle(inner: &Inner, request: SolveRequest) -> ServeResponse {
             "problem is posed on sizes {posed_sizes:?}, request is {n}"
         )));
     }
+    Ok(level)
+}
 
-    // Arm this request's chaos faults on the worker actually running
-    // it, and make sure nothing armed here leaks into the next
-    // request this worker serves.
-    for fault in &request_faults {
-        faults::inject(fault.clone());
+/// Serve one batch group on the current worker thread: resolve the
+/// shared plan once, then carry every request through one multi-RHS
+/// guarded solve ([`GuardedSolver::solve_many`]). Per-request results
+/// are positionally aligned with `requests`. The grouping in
+/// [`SolverService::submit_many`] guarantees a shared problem and size,
+/// and no traced or fault-armed members; validation failures answer
+/// `BadRequest` for their slot and drop out of the batch.
+fn handle_group(inner: &Inner, requests: Vec<SolveRequest>) -> Vec<ServeResponse> {
+    let count = requests.len();
+    let mut responses: Vec<Option<ServeResponse>> =
+        std::iter::repeat_with(|| None).take(count).collect();
+    let mut members: Vec<usize> = Vec::with_capacity(count);
+    let mut xs: Vec<Grid2d> = Vec::with_capacity(count);
+    let mut bs: Vec<Grid2d> = Vec::with_capacity(count);
+    let mut tols: Vec<f64> = Vec::with_capacity(count);
+    let mut posed: Option<(Problem, usize)> = None;
+    for (i, req) in requests.into_iter().enumerate() {
+        let SolveRequest {
+            problem,
+            x0,
+            b,
+            tol,
+            ..
+        } = req;
+        match validate(&problem, &x0, &b) {
+            Err(e) => responses[i] = Some(Err(e)),
+            Ok(level) => {
+                posed.get_or_insert((problem, level));
+                members.push(i);
+                xs.push(x0);
+                bs.push(b);
+                tols.push(tol);
+            }
+        }
     }
-    let result = serve_solve(inner, &problem, level, &mut x0, &b, tol, trace);
-    faults::clear();
-    result.map(|(report, plan)| ServeReport {
-        x: x0,
-        report,
-        plan,
-    })
+    if let Some((problem, level)) = posed {
+        let (plan, source) = resolve_plan(inner, &problem, level);
+        let workspace = match petamg_runtime::current_worker_index() {
+            Some(i) if i < inner.arenas.len() => Arc::clone(&inner.arenas[i]),
+            _ => Arc::clone(&inner.fallback_arena),
+        };
+        let mut solver = GuardedSolver::new(problem)
+            .with_exec(inner.exec.clone())
+            .with_cache(Arc::clone(&inner.cache))
+            .with_workspace(workspace)
+            .with_guard_config(inner.guard);
+        if let Some(plan) = plan {
+            solver = solver.with_shared_plan(plan);
+        }
+        let results = solver.solve_many(&mut xs, &bs, &tols);
+        for ((i, x), result) in members.into_iter().zip(xs).zip(results) {
+            responses[i] = Some(match result {
+                Ok(report) => Ok(ServeReport {
+                    x,
+                    report,
+                    plan: source,
+                }),
+                Err(error) => Err(ServeError::Ladder { error, x }),
+            });
+        }
+    }
+    responses
+        .into_iter()
+        .map(|r| r.expect("every group slot is answered"))
+        .collect()
 }
 
 fn serve_solve(
@@ -798,5 +1009,116 @@ mod tests {
         assert_eq!(report.plan, PlanSource::TunedNow);
         assert_eq!(svc.stats().tunes, 2);
         assert!(!report.report.degraded(), "rung 0 must serve");
+    }
+
+    /// Same-fingerprint requests group into one batched dispatch, and
+    /// every batched answer is bitwise identical to the same request
+    /// served solo.
+    #[test]
+    fn batched_dispatch_matches_solo_bitwise() {
+        let svc = SolverService::start(ServiceConfig::new(tmp_dir("batch"))).unwrap();
+        let requests: Vec<SolveRequest> = (0..4)
+            .map(|k| request(Problem::poisson(), 17, 10 + k))
+            .collect();
+        let solo: Vec<Grid2d> = requests
+            .iter()
+            .map(|r| {
+                let again = SolveRequest::new(r.problem.clone(), r.x0.clone(), r.b.clone(), r.tol);
+                svc.solve(again).expect("solo serves").x
+            })
+            .collect();
+        let responses = svc.solve_many(requests);
+        assert_eq!(responses.len(), 4);
+        for (k, response) in responses.into_iter().enumerate() {
+            let report = response.expect("batched lane serves");
+            assert_eq!(
+                report.x.as_slice(),
+                solo[k].as_slice(),
+                "lane {k} must be bitwise identical to its solo solve"
+            );
+            assert!(report.report.rel_residual <= 1e-8);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_requests, 4);
+        assert_eq!(stats.converged, 8);
+    }
+
+    /// Mixed batch/solo traffic: different fingerprints, different
+    /// sizes, a traced request, and a malformed request all submitted
+    /// together. Groups form only where legal, everything completes,
+    /// answers stay positionally aligned.
+    #[test]
+    fn mixed_batch_and_solo_traffic_stress() {
+        let svc = SolverService::start(
+            ServiceConfig::new(tmp_dir("mixed"))
+                .with_workers(3)
+                .with_queue_capacity(8),
+        )
+        .unwrap();
+        let mut requests = Vec::new();
+        // Three Poisson@17 (group of 3), two aniso@17 (group of 2), one
+        // Poisson@33 (size singleton), one traced Poisson@17 (solo by
+        // policy), one malformed.
+        for k in 0..3 {
+            requests.push(request(Problem::poisson(), 17, 20 + k));
+        }
+        for k in 0..2 {
+            requests.push(request(Problem::anisotropic(0.1), 17, 30 + k));
+        }
+        requests.push(request(Problem::poisson(), 33, 40));
+        requests.push(request(Problem::poisson(), 17, 41).with_trace());
+        requests.push(SolveRequest::new(
+            Problem::poisson(),
+            Grid2d::zeros(16),
+            Grid2d::zeros(16),
+            1e-8,
+        ));
+        let responses = svc.solve_many(requests);
+        assert_eq!(responses.len(), 8);
+        for (k, response) in responses.iter().enumerate() {
+            match k {
+                7 => assert!(
+                    matches!(response, Err(ServeError::BadRequest(_))),
+                    "slot 7 is malformed"
+                ),
+                6 => {
+                    let report = response.as_ref().expect("traced request serves");
+                    assert!(
+                        !report.report.tracer.events.is_empty(),
+                        "traced request keeps its trace on the solo path"
+                    );
+                }
+                _ => {
+                    let report = response.as_ref().expect("request {k} serves");
+                    assert!(report.report.rel_residual <= 1e-8, "slot {k}");
+                }
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.batches, 2, "poisson@17 x3 and aniso@17 x2");
+        assert_eq!(stats.batched_requests, 5);
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.bad_requests, 1);
+        assert_eq!(svc.in_flight(), 0);
+    }
+
+    /// A full-width group admits even when the queue bound is smaller
+    /// than the batch width (groups are capped at the queue bound).
+    #[test]
+    fn tiny_queue_still_serves_batches() {
+        let svc = SolverService::start(ServiceConfig::new(tmp_dir("tinyq")).with_queue_capacity(2))
+            .unwrap();
+        let requests: Vec<SolveRequest> = (0..5)
+            .map(|k| request(Problem::poisson(), 17, 50 + k))
+            .collect();
+        let responses = svc.solve_many(requests);
+        assert_eq!(responses.len(), 5);
+        for response in responses {
+            assert!(response.expect("serves").report.rel_residual <= 1e-8);
+        }
+        let stats = svc.stats();
+        assert!(stats.batches >= 2, "groups capped at the queue bound");
+        assert_eq!(svc.in_flight(), 0);
     }
 }

@@ -18,6 +18,7 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod direct;
 pub mod fused;
 pub mod guard;
@@ -27,6 +28,10 @@ pub mod relax;
 #[cfg(test)]
 mod proptests;
 
+pub use batch::{
+    batch_interpolate_correct_relax_op, batch_relax_residual_restrict_op,
+    batch_residual_restrict_op, batch_sor_half_sweep_op, batch_sor_sweep_op, batch_sor_sweeps_op,
+};
 pub use direct::{direct_solve_uncached, DirectSolverCache, DEFAULT_FACTOR_CAPACITY};
 pub use fused::{
     interpolate_correct_relax, interpolate_correct_relax_op, relax_residual_restrict,

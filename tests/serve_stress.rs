@@ -323,3 +323,142 @@ fn tiny_plan_cache_under_concurrent_traffic_stays_correct() {
         "evictions reload from disk, not re-tune"
     );
 }
+
+/// Backends under batched stress, filtered by
+/// `PETAMG_CONFORMANCE_BACKEND` exactly like the conformance and chaos
+/// suites (CI reuses the same matrix variable).
+fn backends() -> Vec<(String, Exec)> {
+    let scheduling = vec![
+        ("seq", Exec::seq()),
+        ("pbrt2", Exec::pbrt(2)),
+        ("rayon", Exec::rayon()),
+    ];
+    let all: Vec<(String, Exec)> = scheduling
+        .into_iter()
+        .flat_map(|(name, exec)| {
+            [SimdPolicy::Scalar, SimdPolicy::Vector].map(|policy| {
+                (
+                    format!("{name}+{}", policy.name()),
+                    exec.clone().with_simd(policy),
+                )
+            })
+        })
+        .collect();
+    match std::env::var("PETAMG_CONFORMANCE_BACKEND") {
+        Ok(filter) if !filter.is_empty() && filter != "all" => all
+            .into_iter()
+            .filter(|(name, _)| name.starts_with(filter.as_str()))
+            .collect(),
+        _ => all,
+    }
+}
+
+/// Mixed batched and solo traffic under concurrency, on every backend:
+/// one client submits a `solve_many` mix that groups into batches
+/// (same-fingerprint runs), singles out a different size, and forces a
+/// traced request solo, while other clients hammer plain `solve` on
+/// the same service. Every response must pass the independent residual
+/// check — a batched lane leaking another lane's iterate cannot.
+#[test]
+fn batched_and_solo_mixed_traffic_stress() {
+    for (name, exec) in backends() {
+        let svc = Arc::new(
+            SolverService::start(
+                ServiceConfig::new(tmp_dir(&format!("batchmix-{}", name.replace('+', "-"))))
+                    .with_workers(3)
+                    .with_queue_capacity(64)
+                    .with_exec(exec),
+            )
+            .unwrap(),
+        );
+        let profiles = profiles();
+
+        // Batched client: 4 Poisson@17 + 3 aniso@17 + 1 Poisson@33 +
+        // 1 traced Poisson@17 in one submission.
+        let batch_svc = Arc::clone(&svc);
+        let batch_name = name.clone();
+        let batched = std::thread::spawn(move || {
+            let mut requests = Vec::new();
+            for k in 0..4 {
+                requests.push(request(&Problem::poisson(), 500 + k));
+            }
+            for k in 0..3 {
+                requests.push(request(&Problem::anisotropic(0.1), 510 + k));
+            }
+            let big = ProblemInstance::random_for(
+                &Problem::poisson(),
+                LEVEL + 1,
+                Distribution::UnbiasedUniform,
+                520,
+            );
+            requests.push(SolveRequest::new(
+                Problem::poisson(),
+                big.working_grid(),
+                big.b.clone(),
+                TOL,
+            ));
+            requests.push(request(&Problem::poisson(), 521).with_trace());
+            let inputs: Vec<(Problem, Grid2d)> = requests
+                .iter()
+                .map(|r| (r.problem.clone(), r.b.clone()))
+                .collect();
+            let responses = batch_svc.solve_many(requests);
+            assert_eq!(responses.len(), 9);
+            for (k, ((problem, b), response)) in inputs.iter().zip(&responses).enumerate() {
+                let report = response
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("[{batch_name}] slot {k} failed: {e:?}"));
+                assert!(report.report.rel_residual <= TOL);
+                let recomputed = rel_residual(problem, &report.x, b);
+                assert!(
+                    recomputed <= TOL * 10.0,
+                    "[{batch_name}] slot {k}: independent residual {recomputed:.3e} \
+                     disagrees — a batched lane leaked another system's iterate"
+                );
+            }
+            assert!(
+                !responses[8]
+                    .as_ref()
+                    .unwrap()
+                    .report
+                    .tracer
+                    .events
+                    .is_empty(),
+                "[{batch_name}] traced request lost its trace in the batch path"
+            );
+        });
+
+        // Solo clients on the same service, overlapping the batches.
+        let mut clients = vec![batched];
+        for t in 0..2u64 {
+            let svc = Arc::clone(&svc);
+            let profiles = profiles.clone();
+            let name = name.clone();
+            clients.push(std::thread::spawn(move || {
+                for j in 0..6u64 {
+                    let p = &profiles[((t + j) % profiles.len() as u64) as usize];
+                    let report = svc
+                        .solve(request(p, 600 + t * 50 + j))
+                        .unwrap_or_else(|e| panic!("[{name}] solo solve failed: {e:?}"));
+                    assert!(report.report.rel_residual <= TOL);
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 21, "[{name}] 9 batched-submit + 12 solo");
+        assert_eq!(stats.panics, 0, "[{name}] worker panicked");
+        assert_eq!(stats.bad_requests, 0);
+        assert!(
+            stats.batches >= 2 && stats.batched_requests >= 7,
+            "[{name}] mixed submission must batch the two same-fingerprint runs \
+             (got {} batches / {} batched requests)",
+            stats.batches,
+            stats.batched_requests
+        );
+        assert_eq!(svc.in_flight(), 0, "[{name}] in-flight leak");
+    }
+}
