@@ -41,9 +41,9 @@ use petamg_core::plan::{simple_v_family, ExecCtx, TunedFamily, PAPER_ACCURACIES}
 use petamg_core::training::{Distribution, ProblemInstance};
 use petamg_core::tuner::{tune_kernel_knobs_for_level, KnobTunerOptions, TunerOptions, VTuner};
 use petamg_grid::{
-    coarse_size, interpolate_add, interpolate_correct, l2_norm_interior, residual,
+    batch_width, coarse_size, interpolate_add, interpolate_correct, l2_norm_interior, residual,
     residual_restrict, restrict_full_weighting, size_level, vector_backend, BatchGrid, Exec,
-    Grid2d, SimdPolicy, Workspace, BATCH_WIDTH,
+    Grid2d, SimdPolicy, Workspace,
 };
 use petamg_problems::{residual_op, residual_restrict_op, Problem};
 use petamg_solvers::fused::sor_sweeps_blocked;
@@ -122,8 +122,8 @@ struct SimdRecord {
     /// `sor_sweep`, `jacobi`, `l2_norm`.
     kernel: String,
     /// The ISA backend the vector path dispatched to on this machine:
-    /// `avx2`, `neon`, or `portable` (no `simd` feature / unsupported
-    /// CPU — the portable lane fallback).
+    /// `avx512`, `avx2+fma`, `neon`, or `portable` (no `simd` feature
+    /// / unsupported CPU — the portable lane fallback).
     vector_backend: String,
     /// Forced-scalar time, seconds.
     scalar_s: f64,
@@ -208,8 +208,12 @@ struct Report {
     trials: usize,
     reps_scale: String,
     /// The ISA backend `SimdMode::Vector` dispatches to on this
-    /// machine: `avx2`, `neon`, or `portable`.
+    /// machine: `avx512`, `avx2+fma`, `neon`, or `portable`.
     vector_backend: String,
+    /// The host's batched dispatch width (`petamg_grid::batch_width`):
+    /// 8 on AVX-512 hosts, 4 elsewhere. The batch sweep times both
+    /// widths regardless; this is what the serving stack would pick.
+    batch_width: usize,
     sizes: Vec<SizeRecord>,
     /// Fused residual_restrict across block-cursor band heights
     /// (band_rows = 1 reproduces the PR 1 pooled path).
@@ -226,8 +230,9 @@ struct Report {
     /// Per-operator V-cycle times and tuned-plan divergence across the
     /// canonical problem families (identical input data per family).
     problem_sweep: Vec<ProblemRecord>,
-    /// Batched multi-RHS V-cycles (`run_batch` at width `BATCH_WIDTH`)
-    /// versus the same systems cycled one at a time, per backend.
+    /// Batched multi-RHS V-cycles (`run_batch` at widths 4 and 8)
+    /// versus the same systems cycled one at a time, per backend —
+    /// the width axis of the amortization story.
     batch_sweep: Vec<SolveManyRecord>,
 }
 
@@ -828,16 +833,18 @@ fn bench_problem_sweep(
 }
 
 /// Batched multi-RHS V-cycles versus solo: the `batch_sweep` section.
-/// Four systems (distinct right-hand sides and initial guesses) go
+/// `width` systems (distinct right-hand sides and initial guesses) go
 /// through one `run_batch` cycle with each SIMD lane carrying one
-/// system; the baseline runs the same four systems through `run` one
-/// at a time. Every lane is verified bitwise equal to its solo twin
-/// before timing — the batched kernels evaluate the solo scalar
-/// expression per lane, so this is equality, not tolerance.
+/// system; the baseline runs the same `width` systems through `run`
+/// one at a time. Every lane is verified bitwise equal to its solo
+/// twin before timing — the batched kernels evaluate the solo scalar
+/// expression per lane, so this is equality, not tolerance, at every
+/// width.
 fn bench_batch_sweep(
     backend: &str,
     exec: &Exec,
     n: usize,
+    width: usize,
     trials: usize,
     quick: bool,
 ) -> SolveManyRecord {
@@ -858,16 +865,16 @@ fn bench_batch_sweep(
     };
     let lane_b =
         |k: usize| Grid2d::from_fn(n, |i, j| ((i * 13 + j * 71 + k * 29) % 97) as f64 / 3.0);
-    let bs: Vec<Grid2d> = (0..BATCH_WIDTH).map(lane_b).collect();
+    let bs: Vec<Grid2d> = (0..width).map(lane_b).collect();
 
     // Verify: one batched cycle is bitwise equal, per lane, to the
     // solo cycles on the same data.
-    let mut solos: Vec<Grid2d> = (0..BATCH_WIDTH).map(lane_x0).collect();
+    let mut solos: Vec<Grid2d> = (0..width).map(lane_x0).collect();
     for (k, x) in solos.iter_mut().enumerate() {
         fam.run(level, acc_idx, x, &bs[k], &mut ctx);
     }
-    let mut xb = BatchGrid::zeros(n);
-    let mut bb = BatchGrid::zeros(n);
+    let mut xb = BatchGrid::zeros(n, width);
+    let mut bb = BatchGrid::zeros(n, width);
     for (k, b) in bs.iter().enumerate() {
         xb.load_lane(k, &lane_x0(k));
         bb.load_lane(k, b);
@@ -879,7 +886,7 @@ fn bench_batch_sweep(
         assert_eq!(
             got.as_slice(),
             solo.as_slice(),
-            "batched lane {k} diverged from solo at n={n} on {backend}"
+            "batched lane {k} diverged from solo at n={n} width={width} on {backend}"
         );
     }
 
@@ -902,7 +909,7 @@ fn bench_batch_sweep(
     SolveManyRecord {
         backend: backend.to_string(),
         n,
-        width: BATCH_WIDTH,
+        width,
         solo_vcycles_s,
         batched_vcycle_s,
         speedup: solo_vcycles_s / batched_vcycle_s,
@@ -930,6 +937,11 @@ fn main() {
          band rows: band_rows=1 is the PR 1 pooled path (3 residual rows per\n\
          coarse-row task); taller bands share the rolling window.\n\
          Fused/unfused/blocked verified bitwise equal before timing.",
+    );
+    println!(
+        "# vector_backend={} batch_width={}",
+        vector_backend(),
+        batch_width()
     );
     println!("n,backend,step_unfused_us,step_fused_us,step_speedup,rr_speedup,interp_speedup");
 
@@ -1025,7 +1037,7 @@ fn main() {
     let problem_n = if quick { 65 } else { 129 };
     let problem_sweep = bench_problem_sweep(&pool_exec, problem_n, trials, quick);
 
-    // Batched multi-RHS V-cycles vs solo, per backend.
+    // Batched multi-RHS V-cycles vs solo, per backend and width.
     println!("#\nkind,n,backend,width,solo_us,batched_us,speedup");
     let batch_sizes: &[usize] = if quick { &[129] } else { &[129, 513, 1025] };
     let mut batch_sweep = Vec::new();
@@ -1034,17 +1046,19 @@ fn main() {
             ("seq", Exec::seq()),
             (pool_name.as_str(), pool_exec.clone()),
         ] {
-            let rec = bench_batch_sweep(name, &exec, n, trials, quick);
-            println!(
-                "batch,{},{},{},{:.2},{:.2},{:.3}",
-                rec.n,
-                rec.backend,
-                rec.width,
-                rec.solo_vcycles_s * 1e6,
-                rec.batched_vcycle_s * 1e6,
-                rec.speedup
-            );
-            batch_sweep.push(rec);
+            for width in [4, 8] {
+                let rec = bench_batch_sweep(name, &exec, n, width, trials, quick);
+                println!(
+                    "batch,{},{},{},{:.2},{:.2},{:.3}",
+                    rec.n,
+                    rec.backend,
+                    rec.width,
+                    rec.solo_vcycles_s * 1e6,
+                    rec.batched_vcycle_s * 1e6,
+                    rec.speedup
+                );
+                batch_sweep.push(rec);
+            }
         }
     }
 
@@ -1054,6 +1068,7 @@ fn main() {
         trials,
         reps_scale: "~16M points touched per trial".to_string(),
         vector_backend: vector_backend().to_string(),
+        batch_width: batch_width(),
         sizes: size_records,
         band_sweep,
         tblock_sweep,

@@ -35,7 +35,7 @@ use crate::faults;
 use crate::plan::{simple_v_family, ExecCtx, TunedFamily, PAPER_ACCURACIES};
 use crate::trace::{CycleEvent, LadderRung, Tracer};
 use crate::OpCounts;
-use petamg_grid::{l2_norm_interior, Exec, Grid2d, Workspace, BATCH_WIDTH};
+use petamg_grid::{batch_width, l2_norm_interior, Exec, Grid2d, Workspace};
 use petamg_problems::{residual_op, Problem};
 use petamg_solvers::{
     DirectSolverCache, GuardConfig, GuardFailure, GuardVerdict, SolveGuard, SolveStatus,
@@ -127,6 +127,10 @@ pub struct GuardedReport {
     /// [`CycleEvent::RungFailed`]/[`CycleEvent::RungServed`] markers
     /// (empty unless [`GuardedSolver::with_tracing`] was requested).
     pub tracer: Tracer,
+    /// Batch lanes the serving dispatch carried: 1 for a solo solve,
+    /// 4 or 8 for a batched group. Observational only — the solution
+    /// bits are independent of the width that served them.
+    pub batch_width: usize,
 }
 
 impl GuardedReport {
@@ -146,6 +150,7 @@ pub struct GuardedSolver {
     cache: Arc<DirectSolverCache>,
     workspace: Arc<Workspace>,
     tracing: bool,
+    batch_width: usize,
 }
 
 impl GuardedSolver {
@@ -162,6 +167,7 @@ impl GuardedSolver {
             cache: Arc::new(DirectSolverCache::new()),
             workspace: Arc::new(Workspace::new()),
             tracing: false,
+            batch_width: batch_width(),
         }
     }
 
@@ -211,6 +217,26 @@ impl GuardedSolver {
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
         self
+    }
+
+    /// Override the batch width [`GuardedSolver::solve_many`] groups
+    /// by. Defaults to the host-resolved [`petamg_grid::batch_width`]
+    /// (8 on AVX-512, 4 elsewhere). The width only changes how work is
+    /// amortized — every lane's solution is bitwise identical at every
+    /// width — so forcing 4 on an AVX-512 host reproduces another
+    /// machine's results exactly.
+    ///
+    /// # Panics
+    /// Panics if `width` is not 4 or 8.
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        assert!(width == 4 || width == 8, "batch width must be 4 or 8");
+        self.batch_width = width;
+        self
+    }
+
+    /// The width [`GuardedSolver::solve_many`] groups by.
+    pub fn batch_width(&self) -> usize {
+        self.batch_width
     }
 
     /// The configured problem.
@@ -388,7 +414,8 @@ impl GuardedSolver {
 
     /// Solve many systems of the same size, batching them through the
     /// multi-RHS plan-execution path in groups of up to
-    /// [`BATCH_WIDTH`].
+    /// [`GuardedSolver::batch_width`] (8 on AVX-512 hosts, 4
+    /// elsewhere, unless overridden).
     ///
     /// Each group runs **one** V-cycle schedule carrying every system in
     /// a SIMD lane: plan admission, kernel dispatch, workspace leasing,
@@ -431,7 +458,7 @@ impl GuardedSolver {
         let mut out = Vec::with_capacity(xs.len());
         let mut lo = 0;
         while lo < xs.len() {
-            let hi = (lo + BATCH_WIDTH).min(xs.len());
+            let hi = (lo + self.batch_width).min(xs.len());
             if hi - lo == 1 {
                 out.push(self.solve(&mut xs[lo], &bs[lo], tols[lo]));
             } else {
@@ -442,8 +469,9 @@ impl GuardedSolver {
         out
     }
 
-    /// Serve one batch group (2 ..= `BATCH_WIDTH` systems) through the
-    /// batched plan-execution path. See [`GuardedSolver::solve_many`].
+    /// Serve one batch group (2 ..= `self.batch_width` systems)
+    /// through the batched plan-execution path. See
+    /// [`GuardedSolver::solve_many`].
     fn solve_chunk(
         &self,
         xs: &mut [Grid2d],
@@ -451,7 +479,7 @@ impl GuardedSolver {
         tols: &[f64],
     ) -> Vec<Result<GuardedReport, SolveError>> {
         let width = xs.len();
-        debug_assert!((2..=BATCH_WIDTH).contains(&width));
+        debug_assert!((2..=self.batch_width).contains(&width));
         let n = xs[0].n();
         for k in 0..width {
             assert_eq!(xs[k].n(), n, "grid size mismatch within a batch group");
@@ -512,12 +540,12 @@ impl GuardedSolver {
         let acc_idx = fam.num_accuracies() - 1;
 
         let start = std::time::Instant::now();
-        // Interleave the systems into one batch. Unused trailing lanes
-        // (group width < BATCH_WIDTH) stay zero: with a zero rhs they
-        // are fixed points of every kernel and can never produce a
-        // non-finite value, and no kernel mixes lanes.
-        let mut xb = self.workspace.acquire_batch(n);
-        let mut bb = self.workspace.acquire_batch(n);
+        // Interleave the systems into one batch of the dispatch width.
+        // Unused trailing lanes (group width < batch width) stay zero:
+        // with a zero rhs they are fixed points of every kernel and can
+        // never produce a non-finite value, and no kernel mixes lanes.
+        let mut xb = self.workspace.acquire_batch(n, self.batch_width);
+        let mut bb = self.workspace.acquire_batch(n, self.batch_width);
         for k in 0..width {
             xb.load_lane(k, &xs[k]);
             bb.load_lane(k, &bs[k]);
@@ -592,7 +620,10 @@ impl GuardedSolver {
         let seconds = start.elapsed().as_secs_f64();
 
         if lanes.iter().any(|l| matches!(l, Lane::Converged { .. })) {
-            ctx.tracer.record(CycleEvent::RungServed { rung });
+            ctx.tracer.record(CycleEvent::RungServed {
+                rung,
+                width: self.batch_width,
+            });
         }
         // Converged lanes share the batch's amortized cost accounting:
         // one op-count set and one trace for the whole group.
@@ -613,6 +644,7 @@ impl GuardedSolver {
                         seconds,
                         ops: ops.clone(),
                         tracer: tracer.clone(),
+                        batch_width: self.batch_width,
                     })
                 }
                 Lane::Failed => self.solve(&mut xs[k], &bs[k], tols[k]),
@@ -670,7 +702,7 @@ impl GuardedSolver {
         start: std::time::Instant,
         mut ctx: ExecCtx,
     ) -> GuardedReport {
-        ctx.tracer.record(CycleEvent::RungServed { rung });
+        ctx.tracer.record(CycleEvent::RungServed { rung, width: 1 });
         let rel = history.last().copied().unwrap_or(f64::NAN);
         GuardedReport {
             status,
@@ -681,6 +713,7 @@ impl GuardedSolver {
             seconds: start.elapsed().as_secs_f64(),
             ops: ctx.ops,
             tracer: ctx.tracer,
+            batch_width: 1,
         }
     }
 }
@@ -818,12 +851,12 @@ mod tests {
     }
 
     /// Batched solves must be bitwise identical per RHS to solo solves,
-    /// at every group width 1..=BATCH_WIDTH (0–3 unused lanes), for
-    /// every operator family and backend.
+    /// at every group width 1..=8 under both dispatch widths (so up to
+    /// 7 unused lanes), for every operator family and backend.
     #[test]
     fn solve_many_matches_solo_bitwise_at_every_width() {
         faults::clear();
-        use petamg_grid::{SimdPolicy, BATCH_WIDTH};
+        use petamg_grid::SimdPolicy;
         let level = 4;
         let problems = [
             Problem::poisson(),
@@ -837,79 +870,185 @@ mod tests {
         ];
         for problem in &problems {
             for exec in &execs {
-                let mut fam = simple_v_family(level, &PAPER_ACCURACIES);
-                fam.problem = problem.fingerprint().clone();
-                let solver = GuardedSolver::new(problem.clone())
-                    .with_plan(fam)
-                    .with_exec(exec.clone());
-                for width in 1..=BATCH_WIDTH {
-                    let insts = batch_instances(level, problem, width);
-                    let mut xs: Vec<Grid2d> = insts.iter().map(|i| i.working_grid()).collect();
-                    let bs: Vec<Grid2d> = insts.iter().map(|i| i.b.clone()).collect();
-                    let tols = vec![1e-8; width];
-                    let reports = solver.solve_many(&mut xs, &bs, &tols);
-                    assert_eq!(reports.len(), width);
-                    for k in 0..width {
-                        let mut want = insts[k].working_grid();
-                        let solo = solver.solve(&mut want, &bs[k], 1e-8).expect("solo serves");
-                        let report = reports[k].as_ref().expect("batched lane serves");
-                        assert_eq!(
-                            xs[k].as_slice(),
-                            want.as_slice(),
-                            "{} {exec:?} width={width} lane={k}",
-                            problem.describe()
-                        );
-                        assert_eq!(report.rung, solo.rung);
-                        assert_eq!(report.status, solo.status);
-                        assert_eq!(
-                            report.residual_history, solo.residual_history,
-                            "residual trajectories must match bit for bit"
-                        );
-                        assert_eq!(report.degradations.len(), solo.degradations.len());
+                for dispatch_width in [4usize, 8] {
+                    let mut fam = simple_v_family(level, &PAPER_ACCURACIES);
+                    fam.problem = problem.fingerprint().clone();
+                    let solver = GuardedSolver::new(problem.clone())
+                        .with_plan(fam)
+                        .with_exec(exec.clone())
+                        .with_batch_width(dispatch_width);
+                    for width in 1..=dispatch_width {
+                        let insts = batch_instances(level, problem, width);
+                        let mut xs: Vec<Grid2d> = insts.iter().map(|i| i.working_grid()).collect();
+                        let bs: Vec<Grid2d> = insts.iter().map(|i| i.b.clone()).collect();
+                        let tols = vec![1e-8; width];
+                        let reports = solver.solve_many(&mut xs, &bs, &tols);
+                        assert_eq!(reports.len(), width);
+                        for k in 0..width {
+                            let mut want = insts[k].working_grid();
+                            let solo = solver.solve(&mut want, &bs[k], 1e-8).expect("solo serves");
+                            let report = reports[k].as_ref().expect("batched lane serves");
+                            assert_eq!(
+                                xs[k].as_slice(),
+                                want.as_slice(),
+                                "{} {exec:?} bw={dispatch_width} width={width} lane={k}",
+                                problem.describe()
+                            );
+                            assert_eq!(report.rung, solo.rung);
+                            assert_eq!(report.status, solo.status);
+                            assert_eq!(
+                                report.residual_history, solo.residual_history,
+                                "residual trajectories must match bit for bit"
+                            );
+                            assert_eq!(report.degradations.len(), solo.degradations.len());
+                            // A lane served by the batch reports the
+                            // dispatch width; a solo request — or a
+                            // lane that degraded out of the batch and
+                            // was re-served by the solo ladder —
+                            // reports 1.
+                            let expected_width = if width == 1 || report.degraded() {
+                                1
+                            } else {
+                                dispatch_width
+                            };
+                            assert_eq!(
+                                report.batch_width, expected_width,
+                                "report must surface the dispatch width"
+                            );
+                        }
                     }
                 }
             }
         }
     }
 
+    /// Forcing width 4 on any host (the dispatcher override seam) must
+    /// produce solutions, residual histories, and rungs bitwise
+    /// identical to width-8 dispatch — width is a locator for
+    /// amortization, never identity.
+    #[test]
+    fn solve_many_width4_and_width8_agree_bitwise() {
+        faults::clear();
+        let level = 4;
+        let problem = Problem::anisotropic(0.25);
+        let count = 6; // spans two width-4 groups, one width-8 group
+        let insts = batch_instances(level, &problem, count);
+        let bs: Vec<Grid2d> = insts.iter().map(|i| i.b.clone()).collect();
+        let tols = vec![1e-8; count];
+        let mut results = Vec::new();
+        for bw in [4usize, 8] {
+            let mut fam = simple_v_family(level, &PAPER_ACCURACIES);
+            fam.problem = problem.fingerprint().clone();
+            let solver = GuardedSolver::new(problem.clone())
+                .with_plan(fam)
+                .with_batch_width(bw);
+            let mut xs: Vec<Grid2d> = insts.iter().map(|i| i.working_grid()).collect();
+            let reports = solver.solve_many(&mut xs, &bs, &tols);
+            results.push((xs, reports));
+        }
+        let (xs4, r4) = &results[0];
+        let (xs8, r8) = &results[1];
+        for k in 0..count {
+            assert_eq!(
+                xs4[k].as_slice(),
+                xs8[k].as_slice(),
+                "lane {k}: width-4 and width-8 dispatch must agree bitwise"
+            );
+            let (a, b) = (r4[k].as_ref().unwrap(), r8[k].as_ref().unwrap());
+            assert_eq!(a.rung, b.rung);
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.residual_history, b.residual_history);
+            assert_eq!(a.batch_width, 4);
+            assert_eq!(b.batch_width, 8);
+        }
+    }
+
     /// Lanes with different tolerances converge at different cycles;
     /// an early-converged lane is frozen (not advanced) while the rest
-    /// keep cycling, and every lane still matches its solo solve.
+    /// keep cycling, and every lane still matches its solo solve —
+    /// under both dispatch widths.
     #[test]
     fn solve_many_partial_convergence_freezes_lanes() {
         faults::clear();
         let level = 4;
         let problem = Problem::poisson();
-        let solver = GuardedSolver::new(problem.clone());
-        let tols = [1e-2, 1e-6, 1e-10, 1e-4];
-        let insts = batch_instances(level, &problem, tols.len());
+        for (bw, tols) in [
+            (4usize, &[1e-2, 1e-6, 1e-10, 1e-4][..]),
+            (8, &[1e-2, 1e-6, 1e-10, 1e-4, 1e-3, 1e-8, 1e-5, 1e-7][..]),
+        ] {
+            let solver = GuardedSolver::new(problem.clone()).with_batch_width(bw);
+            let insts = batch_instances(level, &problem, tols.len());
+            let mut xs: Vec<Grid2d> = insts.iter().map(|i| i.working_grid()).collect();
+            let bs: Vec<Grid2d> = insts.iter().map(|i| i.b.clone()).collect();
+            let reports = solver.solve_many(&mut xs, &bs, tols);
+            let mut cycles = Vec::new();
+            for k in 0..tols.len() {
+                let mut want = insts[k].working_grid();
+                let solo = solver
+                    .solve(&mut want, &bs[k], tols[k])
+                    .expect("solo serves");
+                let report = reports[k].as_ref().expect("batched lane serves");
+                assert_eq!(
+                    xs[k].as_slice(),
+                    want.as_slice(),
+                    "bw={bw} lane {k} (tol {:.0e}) must equal its solo solve bitwise",
+                    tols[k]
+                );
+                assert_eq!(report.status, solo.status);
+                assert_eq!(report.residual_history, solo.residual_history);
+                match report.status {
+                    SolveStatus::Converged { cycles: c } => cycles.push(c),
+                    ref other => panic!("bw={bw} lane {k} did not converge: {other:?}"),
+                }
+            }
+            assert!(
+                cycles.iter().any(|&c| c != cycles[0]),
+                "tolerances spanning 8 orders must converge at different cycles: {cycles:?}"
+            );
+        }
+    }
+
+    /// One lane with an unreachable tolerance trips its guard and
+    /// re-walks the solo ladder, while its batchmates converge and stay
+    /// bitwise equal to their solo solves — at width 8 that means up to
+    /// seven healthy lanes survive a single lane's failure.
+    #[test]
+    fn solve_many_per_lane_ladder_failure_at_width_8() {
+        faults::clear();
+        let level = 4;
+        let problem = Problem::poisson();
+        let solver = GuardedSolver::new(problem.clone()).with_batch_width(8);
+        let count = 8;
+        let insts = batch_instances(level, &problem, count);
         let mut xs: Vec<Grid2d> = insts.iter().map(|i| i.working_grid()).collect();
         let bs: Vec<Grid2d> = insts.iter().map(|i| i.b.clone()).collect();
+        // Lane 2 asks for an accuracy double precision cannot reach:
+        // its guard stagnates out on every rung and the lane fails.
+        let mut tols = vec![1e-8; count];
+        tols[2] = 1e-300;
         let reports = solver.solve_many(&mut xs, &bs, &tols);
-        let mut cycles = Vec::new();
-        for k in 0..tols.len() {
-            let mut want = insts[k].working_grid();
-            let solo = solver
-                .solve(&mut want, &bs[k], tols[k])
-                .expect("solo serves");
-            let report = reports[k].as_ref().expect("batched lane serves");
-            assert_eq!(
-                xs[k].as_slice(),
-                want.as_slice(),
-                "lane {k} (tol {:.0e}) must equal its solo solve bitwise",
-                tols[k]
-            );
-            assert_eq!(report.status, solo.status);
-            assert_eq!(report.residual_history, solo.residual_history);
-            match report.status {
-                SolveStatus::Converged { cycles: c } => cycles.push(c),
-                ref other => panic!("lane {k} did not converge: {other:?}"),
+        assert_eq!(reports.len(), count);
+        for k in 0..count {
+            if k == 2 {
+                let err = reports[k].as_ref().expect_err("unreachable tol must fail");
+                assert!(!err.degradations.is_empty());
+                // The failed lane's x is restored to its initial guess,
+                // exactly like a solo failure.
+                assert_eq!(xs[k].as_slice(), insts[k].working_grid().as_slice());
+            } else {
+                let mut want = insts[k].working_grid();
+                let solo = solver
+                    .solve(&mut want, &bs[k], tols[k])
+                    .expect("solo serves");
+                let report = reports[k].as_ref().expect("healthy lane serves");
+                assert_eq!(
+                    xs[k].as_slice(),
+                    want.as_slice(),
+                    "lane {k} must survive lane 2's failure bitwise-intact"
+                );
+                assert_eq!(report.status, solo.status);
             }
         }
-        assert!(
-            cycles.iter().any(|&c| c != cycles[0]),
-            "tolerances spanning 8 orders must converge at different cycles: {cycles:?}"
-        );
     }
 
     /// An inadmissible plan sends every batched lane down the solo

@@ -27,7 +27,7 @@ use crate::cost::OpCounts;
 use crate::trace::{CycleEvent, Tracer};
 use crate::training::ProblemInstance;
 use petamg_choice::{KernelKnobs, KnobTable};
-use petamg_grid::{coarse_size, level_size, BatchGrid, Exec, Grid2d, Workspace, BATCH_WIDTH};
+use petamg_grid::{coarse_size, level_size, BatchGrid, Exec, Grid2d, Workspace};
 use petamg_problems::{Problem, ProblemFingerprint, ProblemMismatch};
 use petamg_solvers::batch::{
     batch_interpolate_correct_relax_op, batch_relax_residual_restrict_op, batch_sor_sweeps_op,
@@ -386,8 +386,9 @@ impl ExecCtx {
     fn batch_maybe_poison(&self, level: usize, out: &mut BatchGrid) {
         if crate::faults::poison_level(level) {
             let n = out.n();
-            let base = (n / 2 * n + n / 2) * BATCH_WIDTH;
-            out.as_mut_slice()[base..base + BATCH_WIDTH].fill(f64::NAN);
+            let width = out.width();
+            let base = (n / 2 * n + n / 2) * width;
+            out.as_mut_slice()[base..base + width].fill(f64::NAN);
         }
     }
 
@@ -446,7 +447,7 @@ impl ExecCtx {
         let mut xs = ws.acquire_unzeroed(x.n());
         let mut bs = ws.acquire_unzeroed(b.n());
         let clock = self.tracer.start_kernel_clock(level);
-        for k in 0..BATCH_WIDTH {
+        for k in 0..x.width() {
             x.store_lane(k, &mut xs);
             b.store_lane(k, &mut bs);
             self.cache.solve_op(&mut xs, &bs, &op);
@@ -668,11 +669,12 @@ impl TunedFamily {
     }
 
     /// Execute `MULTIGRID-V_{acc_idx}` at `level` on a batch of
-    /// [`BATCH_WIDTH`] systems at once. Lane
-    /// `k` of `(x, b)` follows exactly the schedule [`TunedFamily::run`]
-    /// would drive for system `k` alone, and produces the same bits —
-    /// the batched kernels evaluate the solo scalar arithmetic per lane
-    /// and never mix lanes.
+    /// [`BatchGrid::width`] systems at once (4 or 8, per the host's
+    /// vector tier). Lane `k` of `(x, b)` follows exactly the schedule
+    /// [`TunedFamily::run`] would drive for system `k` alone, and
+    /// produces the same bits — the batched kernels evaluate the solo
+    /// scalar arithmetic per lane and never mix lanes, so the plan and
+    /// its results are portable across widths.
     ///
     /// # Panics
     /// Panics if `x` is not sized for `level` or indices are out of
@@ -719,9 +721,9 @@ impl TunedFamily {
         let n = level_size(level);
         let nc = coarse_size(n);
         let ws = Arc::clone(&ctx.workspace);
-        let mut bc = ws.acquire_batch(nc);
+        let mut bc = ws.acquire_batch(nc, x.width());
         ctx.batch_relax_residual_restrict_into(level, x, b, &mut bc, OMEGA_CYCLE);
-        let mut ec = ws.acquire_batch(nc);
+        let mut ec = ws.acquire_batch(nc, x.width());
         self.run_batch(level - 1, sub_acc, &mut ec, &bc, ctx);
         ctx.batch_interpolate_relax(level, &ec, x, b, OMEGA_CYCLE);
     }

@@ -90,6 +90,10 @@ pub enum CycleEvent {
     RungServed {
         /// The serving rung.
         rung: LadderRung,
+        /// Batch lanes the serving dispatch carried (1 for a solo
+        /// solve, 4 or 8 for a batched group). Purely observational —
+        /// results are bitwise independent of width.
+        width: usize,
     },
 }
 
@@ -218,7 +222,16 @@ impl Tracer {
     /// The rung that served a guarded solve, if one was recorded.
     pub fn served_rung(&self) -> Option<LadderRung> {
         self.events.iter().rev().find_map(|e| match e {
-            CycleEvent::RungServed { rung } => Some(*rung),
+            CycleEvent::RungServed { rung, .. } => Some(*rung),
+            _ => None,
+        })
+    }
+
+    /// The batch width of the serving dispatch, if one was recorded
+    /// (1 for solo, 4 or 8 for batched groups).
+    pub fn served_width(&self) -> Option<usize> {
+        self.events.iter().rev().find_map(|e| match e {
+            CycleEvent::RungServed { width, .. } => Some(*width),
             _ => None,
         })
     }

@@ -1,16 +1,18 @@
-//! Batched multi-RHS grids: `BATCH_WIDTH` systems marching through one
+//! Batched multi-RHS grids: `width` systems marching through one
 //! V-cycle together, vectorized **across systems**.
 //!
 //! A [`BatchGrid`] stores the same `n × n` mesh as a [`Grid2d`], but
-//! every grid point holds [`BATCH_WIDTH`] consecutive `f64` lanes —
-//! lane `k` is grid point `(i, j)` of system `k` (an *interleaved*
-//! layout, `data[(i·n + j)·BATCH_WIDTH + k]`). Under this layout every
-//! stencil operand of every kernel — including the stride-2 column
-//! walk of red/black SOR — becomes one contiguous four-lane load at
-//! element offset `4j`, so the batched kernels need only the plain
-//! `splat/load/store` + arithmetic subset of the `Lanes` seam: no
-//! deinterleaving, no permutes, and **no cross-lane operations
-//! anywhere**. Lanes never mix.
+//! every grid point holds `width` consecutive `f64` lanes — lane `k`
+//! is grid point `(i, j)` of system `k` (an *interleaved* layout,
+//! `data[(i·n + j)·width + k]`). The width is a **runtime property**
+//! of the batch — 4 (AVX2/NEON/portable) or 8 (AVX-512), resolved by
+//! [`crate::batch_width`] — not a compile-time constant. Under this
+//! layout every stencil operand of every kernel — including the
+//! stride-2 column walk of red/black SOR — becomes one contiguous
+//! `width`-lane load at element offset `width·j`, so the batched
+//! kernels need only the plain `splat/load/store` + arithmetic subset
+//! of the lane seam: no deinterleaving, no permutes, and **no
+//! cross-lane operations anywhere**. Lanes never mix.
 //!
 //! ## Determinism
 //!
@@ -19,36 +21,48 @@
 //! order. Since the solo vector/fused/blocked paths are all bitwise
 //! identical to the solo scalar reference, a batched solve is bitwise
 //! identical **per lane** to the corresponding solo solve under every
-//! backend, SIMD mode, and knob setting. Unused lanes (batches
-//! narrower than [`BATCH_WIDTH`]) carry zeros: all-zero data stays
-//! finite under the stencil arithmetic and is never read out.
+//! backend, SIMD mode, knob setting, *and batch width* — the width is
+//! a locator for amortization, never identity. Unused lanes (batches
+//! narrower than `width`) carry zeros: all-zero data stays finite
+//! under the stencil arithmetic and is never read out.
 
 use crate::simd::{self, SimdMode};
 use crate::{coarse_size, Exec, Grid2d};
 
-/// Number of systems a batch carries: the `f64` lane width of the
-/// vector backends (AVX2/NEON/portable all drive four lanes).
-pub const BATCH_WIDTH: usize = 4;
+/// The widest batch any backend drives: the AVX-512 `f64` lane count.
+/// The width actually used at runtime is [`crate::batch_width`] (4 or
+/// 8); this constant only bounds it.
+pub const MAX_BATCH_WIDTH: usize = 8;
 
-/// An `n × n` mesh of [`BATCH_WIDTH`]-lane grid points — the working
-/// state of a batched multi-RHS solve. Lane `k` of every point belongs
-/// to system `k`.
+fn assert_width(width: usize) {
+    assert!(
+        width == 4 || width == 8,
+        "batch width must be 4 or 8, got {width}"
+    );
+}
+
+/// An `n × n` mesh of `width`-lane grid points — the working state of
+/// a batched multi-RHS solve. Lane `k` of every point belongs to
+/// system `k`.
 #[derive(Clone, Debug)]
 pub struct BatchGrid {
     n: usize,
+    width: usize,
     data: Vec<f64>,
 }
 
 impl BatchGrid {
-    /// An all-zero batch over an `n × n` mesh.
+    /// An all-zero batch of `width` lanes over an `n × n` mesh.
     ///
     /// # Panics
-    /// Panics if `n < 3` (no interior).
-    pub fn zeros(n: usize) -> Self {
+    /// Panics if `n < 3` (no interior) or `width` is not 4 or 8.
+    pub fn zeros(n: usize, width: usize) -> Self {
         assert!(n >= 3, "grid must have an interior (n >= 3), got {n}");
+        assert_width(width);
         BatchGrid {
             n,
-            data: vec![0.0; n * n * BATCH_WIDTH],
+            width,
+            data: vec![0.0; n * n * width],
         }
     }
 
@@ -56,6 +70,12 @@ impl BatchGrid {
     #[inline]
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Lanes per grid point (4 or 8).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
     }
 
     /// Mesh spacing `h = 1/(n-1)` on the unit square.
@@ -72,7 +92,7 @@ impl BatchGrid {
         nm1 * nm1
     }
 
-    /// The full interleaved buffer (`n · n · BATCH_WIDTH` values).
+    /// The full interleaved buffer (`n · n · width` values).
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
@@ -84,19 +104,19 @@ impl BatchGrid {
         &mut self.data
     }
 
-    /// Batch row `i`: `n · BATCH_WIDTH` values, point `j` at
-    /// `[4j..4j+4]`.
+    /// Batch row `i`: `n · width` values, point `j` at
+    /// `[width·j..width·(j+1)]`.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        let w = self.n * BATCH_WIDTH;
+        let w = self.n * self.width;
         &self.data[i * w..(i + 1) * w]
     }
 
     /// Lane `k` of point `(i, j)`.
     #[inline]
     pub fn lane_at(&self, i: usize, j: usize, k: usize) -> f64 {
-        debug_assert!(k < BATCH_WIDTH);
-        self.data[(i * self.n + j) * BATCH_WIDTH + k]
+        debug_assert!(k < self.width);
+        self.data[(i * self.n + j) * self.width + k]
     }
 
     /// Zero every lane of every point.
@@ -107,26 +127,26 @@ impl BatchGrid {
     /// Copy a solo grid into lane `k` (all points, boundary included).
     ///
     /// # Panics
-    /// Panics on size mismatch or `k >= BATCH_WIDTH`.
+    /// Panics on size mismatch or `k >= width`.
     pub fn load_lane(&mut self, k: usize, src: &Grid2d) {
         assert_eq!(self.n, src.n(), "size mismatch in load_lane");
-        assert!(k < BATCH_WIDTH, "lane {k} out of range");
+        assert!(k < self.width, "lane {k} out of range");
         let s = src.as_slice();
         for (p, &v) in s.iter().enumerate() {
-            self.data[p * BATCH_WIDTH + k] = v;
+            self.data[p * self.width + k] = v;
         }
     }
 
     /// Copy lane `k` out into a solo grid (all points).
     ///
     /// # Panics
-    /// Panics on size mismatch or `k >= BATCH_WIDTH`.
+    /// Panics on size mismatch or `k >= width`.
     pub fn store_lane(&self, k: usize, dst: &mut Grid2d) {
         assert_eq!(self.n, dst.n(), "size mismatch in store_lane");
-        assert!(k < BATCH_WIDTH, "lane {k} out of range");
+        assert!(k < self.width, "lane {k} out of range");
         let d = dst.as_mut_slice();
         for (p, v) in d.iter_mut().enumerate() {
-            *v = self.data[p * BATCH_WIDTH + k];
+            *v = self.data[p * self.width + k];
         }
     }
 
@@ -135,19 +155,20 @@ impl BatchGrid {
     /// discarded and its snapshot reinstated after every cycle).
     ///
     /// # Panics
-    /// Panics on size mismatch or `k >= BATCH_WIDTH`.
+    /// Panics on size or width mismatch or `k >= width`.
     pub fn copy_lane_from(&mut self, k: usize, src: &BatchGrid) {
         assert_eq!(self.n, src.n, "size mismatch in copy_lane_from");
-        assert!(k < BATCH_WIDTH, "lane {k} out of range");
+        assert_eq!(self.width, src.width, "width mismatch in copy_lane_from");
+        assert!(k < self.width, "lane {k} out of range");
         for p in 0..self.n * self.n {
-            self.data[p * BATCH_WIDTH + k] = src.data[p * BATCH_WIDTH + k];
+            self.data[p * self.width + k] = src.data[p * self.width + k];
         }
     }
 }
 
 /// An unchecked, shareable pointer into a batch buffer, the
 /// [`crate::GridPtr`] analogue for batched sweeps (rows are
-/// `n · BATCH_WIDTH` long).
+/// `n · width` long).
 ///
 /// # Safety contract for users
 /// Same as [`crate::GridPtr`]: concurrent tasks must never write the
@@ -157,6 +178,7 @@ impl BatchGrid {
 pub struct BatchPtr {
     ptr: *mut f64,
     n: usize,
+    width: usize,
 }
 
 // SAFETY: a pointer + size; aliasing discipline is delegated to call
@@ -169,6 +191,7 @@ impl BatchPtr {
     pub fn new(g: &mut BatchGrid) -> Self {
         BatchPtr {
             n: g.n,
+            width: g.width,
             ptr: g.data.as_mut_ptr(),
         }
     }
@@ -177,8 +200,15 @@ impl BatchPtr {
     pub fn new_read(g: &BatchGrid) -> Self {
         BatchPtr {
             n: g.n,
+            width: g.width,
             ptr: g.data.as_ptr() as *mut f64,
         }
+    }
+
+    /// Lanes per grid point of the underlying batch.
+    #[inline(always)]
+    pub fn width(&self) -> usize {
+        self.width
     }
 
     /// Raw batch-row pointer (read).
@@ -188,7 +218,7 @@ impl BatchPtr {
     #[inline(always)]
     pub unsafe fn row(&self, i: usize) -> *const f64 {
         debug_assert!(i < self.n);
-        unsafe { self.ptr.add(i * self.n * BATCH_WIDTH) }
+        unsafe { self.ptr.add(i * self.n * self.width) }
     }
 
     /// Raw mutable batch-row pointer.
@@ -199,7 +229,7 @@ impl BatchPtr {
     #[inline(always)]
     pub unsafe fn row_mut(&self, i: usize) -> *mut f64 {
         debug_assert!(i < self.n);
-        unsafe { self.ptr.add(i * self.n * BATCH_WIDTH) }
+        unsafe { self.ptr.add(i * self.n * self.width) }
     }
 }
 
@@ -208,22 +238,25 @@ impl BatchPtr {
 /// boundary in every lane).
 pub fn batch_zero_boundary_ring(g: &mut BatchGrid) {
     let n = g.n;
-    let w = n * BATCH_WIDTH;
+    let width = g.width;
+    let w = n * width;
     let data = g.as_mut_slice();
     data[..w].fill(0.0);
     data[(n - 1) * w..].fill(0.0);
     for i in 1..n - 1 {
-        data[i * w..i * w + BATCH_WIDTH].fill(0.0);
-        data[(i + 1) * w - BATCH_WIDTH..(i + 1) * w].fill(0.0);
+        data[i * w..i * w + width].fill(0.0);
+        data[(i + 1) * w - width..(i + 1) * w].fill(0.0);
     }
 }
 
 /// One interior batch row of the Poisson residual `r = b − A x` into
 /// `out` (points `1..n-1`; the boundary points of `out` are left
 /// untouched). `up`/`mid`/`dn` are batch rows `i-1`, `i`, `i+1`, each
-/// of `n · BATCH_WIDTH` values. Per lane this is exactly
+/// of `n · width` values. Per lane this is exactly
 /// [`crate::residual_row_into`]'s scalar expression.
+#[allow(clippy::too_many_arguments)]
 pub fn batch_residual_row_into(
+    width: usize,
     up: &[f64],
     mid: &[f64],
     dn: &[f64],
@@ -232,14 +265,16 @@ pub fn batch_residual_row_into(
     out: &mut [f64],
     mode: SimdMode,
 ) {
-    let n = mid.len() / BATCH_WIDTH;
+    let n = mid.len() / width;
     match mode {
         SimdMode::Vector => {
-            // SAFETY: all batch rows hold `4n` values; every access is
-            // a four-lane load/store at element offset `4j`, `j` in
-            // `1..n-1`; `out` (a distinct `&mut`) aliases nothing.
+            // SAFETY: all batch rows hold `width·n` values; every
+            // access is a `width`-lane load/store at element offset
+            // `width·j`, `j` in `1..n-1`; `out` (a distinct `&mut`)
+            // aliases nothing.
             unsafe {
                 simd::batch_residual_row(
+                    width,
                     up.as_ptr(),
                     mid.as_ptr(),
                     dn.as_ptr(),
@@ -252,9 +287,9 @@ pub fn batch_residual_row_into(
         }
         SimdMode::Scalar => {
             for j in 1..n - 1 {
-                for k in 0..BATCH_WIDTH {
-                    let e = j * BATCH_WIDTH + k;
-                    let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                for k in 0..width {
+                    let e = j * width + k;
+                    let (l, r) = (e - width, e + width);
                     let ax = (4.0 * mid[e] - up[e] - dn[e] - mid[l] - mid[r]) * inv_h2;
                     out[e] = brow[e] - ax;
                 }
@@ -267,20 +302,23 @@ pub fn batch_residual_row_into(
 /// weighting (`coarse_row` points `1..nc-1`). Per lane this is exactly
 /// [`crate::restrict_rows_into`]'s scalar expression.
 pub fn batch_restrict_rows_into(
+    width: usize,
     r_up: &[f64],
     r_mid: &[f64],
     r_dn: &[f64],
     coarse_row: &mut [f64],
     mode: SimdMode,
 ) {
-    let nc = coarse_row.len() / BATCH_WIDTH;
+    let nc = coarse_row.len() / width;
     match mode {
         SimdMode::Vector => {
-            debug_assert!(r_mid.len() > (2 * (nc - 1)) * BATCH_WIDTH);
-            // SAFETY: the fine batch rows hold at least `4(2(nc-1)+1)`
-            // values and `coarse_row` (a distinct `&mut`) holds `4nc`.
+            debug_assert!(r_mid.len() > (2 * (nc - 1)) * width);
+            // SAFETY: the fine batch rows hold at least
+            // `width·(2(nc-1)+1)` values and `coarse_row` (a distinct
+            // `&mut`) holds `width·nc`.
             unsafe {
                 simd::batch_restrict_row(
+                    width,
                     r_up.as_ptr(),
                     r_mid.as_ptr(),
                     r_dn.as_ptr(),
@@ -292,14 +330,13 @@ pub fn batch_restrict_rows_into(
         SimdMode::Scalar => {
             for jc in 1..nc - 1 {
                 let fj = 2 * jc;
-                for k in 0..BATCH_WIDTH {
-                    let e = fj * BATCH_WIDTH + k;
-                    let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                for k in 0..width {
+                    let e = fj * width + k;
+                    let (l, r) = (e - width, e + width);
                     let center = r_mid[e];
                     let edges = r_up[e] + r_dn[e] + r_mid[l] + r_mid[r];
                     let corners = r_up[l] + r_up[r] + r_dn[l] + r_dn[r];
-                    coarse_row[jc * BATCH_WIDTH + k] =
-                        (4.0 * center + 2.0 * edges + corners) / 16.0;
+                    coarse_row[jc * width + k] = (4.0 * center + 2.0 * edges + corners) / 16.0;
                 }
             }
         }
@@ -308,35 +345,36 @@ pub fn batch_restrict_rows_into(
 
 /// Add the bilinear interpolation of a coarse batch into one interior
 /// fine batch row. `cs` is the coarse batch's full buffer
-/// (`nc · nc · BATCH_WIDTH` values); `frow` is the fine batch row
-/// (`(2(nc-1)+1) · BATCH_WIDTH` values, boundary points untouched).
-/// Per lane this is exactly [`crate::interpolate_correct_row`].
+/// (`nc · nc · width` values); `frow` is the fine batch row
+/// (`(2(nc-1)+1) · width` values, boundary points untouched). Per lane
+/// this is exactly [`crate::interpolate_correct_row`].
 pub fn batch_interpolate_correct_row(
+    width: usize,
     fi: usize,
     cs: &[f64],
     nc: usize,
     frow: &mut [f64],
     mode: SimdMode,
 ) {
-    let w = nc * BATCH_WIDTH;
+    let w = nc * width;
     let ic = fi / 2;
     let c0 = &cs[ic * w..(ic + 1) * w];
     if fi.is_multiple_of(2) {
         match mode {
             SimdMode::Vector => {
-                // SAFETY: `c0` holds `4nc` values, `frow` (a distinct
-                // `&mut`) the full fine batch row.
-                unsafe { simd::batch_interp_row_even(c0.as_ptr(), frow.as_mut_ptr(), nc) }
+                // SAFETY: `c0` holds `width·nc` values, `frow` (a
+                // distinct `&mut`) the full fine batch row.
+                unsafe { simd::batch_interp_row_even(width, c0.as_ptr(), frow.as_mut_ptr(), nc) }
             }
             SimdMode::Scalar => {
-                for k in 0..BATCH_WIDTH {
-                    frow[BATCH_WIDTH + k] += 0.5 * (c0[k] + c0[BATCH_WIDTH + k]);
+                for k in 0..width {
+                    frow[width + k] += 0.5 * (c0[k] + c0[width + k]);
                 }
                 for jc in 1..nc - 1 {
-                    for k in 0..BATCH_WIDTH {
-                        let c = jc * BATCH_WIDTH + k;
-                        frow[2 * jc * BATCH_WIDTH + k] += c0[c];
-                        frow[(2 * jc + 1) * BATCH_WIDTH + k] += 0.5 * (c0[c] + c0[c + BATCH_WIDTH]);
+                    for k in 0..width {
+                        let c = jc * width + k;
+                        frow[2 * jc * width + k] += c0[c];
+                        frow[(2 * jc + 1) * width + k] += 0.5 * (c0[c] + c0[c + width]);
                     }
                 }
             }
@@ -347,20 +385,25 @@ pub fn batch_interpolate_correct_row(
             SimdMode::Vector => {
                 // SAFETY: both coarse batch rows are in bounds.
                 unsafe {
-                    simd::batch_interp_row_odd(c0.as_ptr(), c1.as_ptr(), frow.as_mut_ptr(), nc)
+                    simd::batch_interp_row_odd(
+                        width,
+                        c0.as_ptr(),
+                        c1.as_ptr(),
+                        frow.as_mut_ptr(),
+                        nc,
+                    )
                 }
             }
             SimdMode::Scalar => {
-                for k in 0..BATCH_WIDTH {
-                    frow[BATCH_WIDTH + k] +=
-                        0.25 * (c0[k] + c0[BATCH_WIDTH + k] + c1[k] + c1[BATCH_WIDTH + k]);
+                for k in 0..width {
+                    frow[width + k] += 0.25 * (c0[k] + c0[width + k] + c1[k] + c1[width + k]);
                 }
                 for jc in 1..nc - 1 {
-                    for k in 0..BATCH_WIDTH {
-                        let c = jc * BATCH_WIDTH + k;
-                        frow[2 * jc * BATCH_WIDTH + k] += 0.5 * (c0[c] + c1[c]);
-                        frow[(2 * jc + 1) * BATCH_WIDTH + k] +=
-                            0.25 * (c0[c] + c0[c + BATCH_WIDTH] + c1[c] + c1[c + BATCH_WIDTH]);
+                    for k in 0..width {
+                        let c = jc * width + k;
+                        frow[2 * jc * width + k] += 0.5 * (c0[c] + c1[c]);
+                        frow[(2 * jc + 1) * width + k] +=
+                            0.25 * (c0[c] + c0[c + width] + c1[c] + c1[c + width]);
                     }
                 }
             }
@@ -373,7 +416,7 @@ pub fn batch_interpolate_correct_row(
 /// batched [`crate::restrict_full_weighting`].
 ///
 /// # Panics
-/// Panics if the sizes are not a coarse/fine pair.
+/// Panics if the sizes are not a coarse/fine pair or the widths differ.
 pub fn batch_restrict_full_weighting(fine: &BatchGrid, coarse: &mut BatchGrid, exec: &Exec) {
     let nc = coarse.n();
     let nf = fine.n();
@@ -382,8 +425,14 @@ pub fn batch_restrict_full_weighting(fine: &BatchGrid, coarse: &mut BatchGrid, e
         coarse_size(nf),
         "coarse grid size mismatch in batch restriction"
     );
+    assert_eq!(
+        fine.width(),
+        coarse.width(),
+        "width mismatch in batch restriction"
+    );
+    let width = fine.width();
     let cp = BatchPtr::new(coarse);
-    let w = nf * BATCH_WIDTH;
+    let w = nf * width;
     let fs = fine.as_slice();
     let mode = exec.simd();
     exec.for_rows(1, nc - 1, |ic| {
@@ -393,8 +442,8 @@ pub fn batch_restrict_full_weighting(fine: &BatchGrid, coarse: &mut BatchGrid, e
         let f_dn = &fs[(fi + 1) * w..(fi + 2) * w];
         // SAFETY: each task writes one distinct coarse batch row;
         // `fine` is read-only.
-        let crow = unsafe { std::slice::from_raw_parts_mut(cp.row_mut(ic), nc * BATCH_WIDTH) };
-        batch_restrict_rows_into(f_up, f_mid, f_dn, crow, mode);
+        let crow = unsafe { std::slice::from_raw_parts_mut(cp.row_mut(ic), nc * width) };
+        batch_restrict_rows_into(width, f_up, f_mid, f_dn, crow, mode);
     });
     batch_zero_boundary_ring(coarse);
 }
@@ -404,7 +453,7 @@ pub fn batch_restrict_full_weighting(fine: &BatchGrid, coarse: &mut BatchGrid, e
 /// [`crate::interpolate_correct`].
 ///
 /// # Panics
-/// Panics if the sizes are not a coarse/fine pair.
+/// Panics if the sizes are not a coarse/fine pair or the widths differ.
 pub fn batch_interpolate_correct(coarse: &BatchGrid, fine: &mut BatchGrid, exec: &Exec) {
     let nf = fine.n();
     let nc = coarse.n();
@@ -413,6 +462,12 @@ pub fn batch_interpolate_correct(coarse: &BatchGrid, fine: &mut BatchGrid, exec:
         coarse_size(nf),
         "grid size mismatch in batch interpolation"
     );
+    assert_eq!(
+        fine.width(),
+        coarse.width(),
+        "width mismatch in batch interpolation"
+    );
+    let width = fine.width();
     let fp = BatchPtr::new(fine);
     let cs = coarse.as_slice();
     let mode = exec.simd();
@@ -421,8 +476,8 @@ pub fn batch_interpolate_correct(coarse: &BatchGrid, fine: &mut BatchGrid, exec:
             // SAFETY: bands partition the fine interior, so each fine
             // batch row is written by exactly one task; `coarse` is
             // read-only.
-            let frow = unsafe { std::slice::from_raw_parts_mut(fp.row_mut(fi), nf * BATCH_WIDTH) };
-            batch_interpolate_correct_row(fi, cs, nc, frow, mode);
+            let frow = unsafe { std::slice::from_raw_parts_mut(fp.row_mut(fi), nf * width) };
+            batch_interpolate_correct_row(width, fi, cs, nc, frow, mode);
         }
     });
 }
@@ -434,8 +489,8 @@ mod tests {
         interpolate_correct, residual, restrict_full_weighting, zero_boundary_ring, Grid2d,
     };
 
-    fn lanes(n: usize, seed: usize) -> Vec<Grid2d> {
-        (0..BATCH_WIDTH)
+    fn lanes(n: usize, width: usize, seed: usize) -> Vec<Grid2d> {
+        (0..width)
             .map(|k| {
                 Grid2d::from_fn(n, |i, j| {
                     ((i * 31 + j * 17 + k * 7 + seed) % 101) as f64 / 9.0 - 5.0
@@ -444,57 +499,68 @@ mod tests {
             .collect()
     }
 
+    const WIDTHS: [usize; 2] = [4, 8];
+
     #[test]
     fn lane_roundtrip() {
-        let gs = lanes(9, 3);
-        let mut b = BatchGrid::zeros(9);
-        for (k, g) in gs.iter().enumerate() {
-            b.load_lane(k, g);
-        }
-        for (k, g) in gs.iter().enumerate() {
-            let mut out = Grid2d::zeros(9);
-            b.store_lane(k, &mut out);
-            assert_eq!(out.as_slice(), g.as_slice(), "lane {k}");
+        for width in WIDTHS {
+            let gs = lanes(9, width, 3);
+            let mut b = BatchGrid::zeros(9, width);
+            for (k, g) in gs.iter().enumerate() {
+                b.load_lane(k, g);
+            }
+            for (k, g) in gs.iter().enumerate() {
+                let mut out = Grid2d::zeros(9);
+                b.store_lane(k, &mut out);
+                assert_eq!(out.as_slice(), g.as_slice(), "width={width} lane {k}");
+            }
         }
     }
 
     #[test]
     fn batched_residual_matches_solo_bitwise() {
-        for n in [5usize, 9, 17, 33] {
-            let xs = lanes(n, 1);
-            let bs = lanes(n, 2);
-            for mode in [SimdMode::Scalar, SimdMode::Vector] {
-                let mut xb = BatchGrid::zeros(n);
-                let mut bb = BatchGrid::zeros(n);
-                for k in 0..BATCH_WIDTH {
-                    xb.load_lane(k, &xs[k]);
-                    bb.load_lane(k, &bs[k]);
-                }
-                let mut rb = BatchGrid::zeros(n);
-                let inv_h2 = xb.inv_h2();
-                for i in 1..n - 1 {
-                    let w = n * BATCH_WIDTH;
-                    let (head, tail) = rb.as_mut_slice().split_at_mut(i * w);
-                    let _ = head;
-                    let out = &mut tail[..w];
-                    let xs_all = xb.as_slice();
-                    batch_residual_row_into(
-                        &xs_all[(i - 1) * w..i * w],
-                        &xs_all[i * w..(i + 1) * w],
-                        &xs_all[(i + 1) * w..(i + 2) * w],
-                        bb.row(i),
-                        inv_h2,
-                        out,
-                        mode,
-                    );
-                }
-                batch_zero_boundary_ring(&mut rb);
-                for k in 0..BATCH_WIDTH {
-                    let mut want = Grid2d::zeros(n);
-                    residual(&xs[k], &bs[k], &mut want, &Exec::seq());
-                    let mut got = Grid2d::zeros(n);
-                    rb.store_lane(k, &mut got);
-                    assert_eq!(got.as_slice(), want.as_slice(), "n={n} lane={k} {mode:?}");
+        for width in WIDTHS {
+            for n in [5usize, 9, 17, 33] {
+                let xs = lanes(n, width, 1);
+                let bs = lanes(n, width, 2);
+                for mode in [SimdMode::Scalar, SimdMode::Vector] {
+                    let mut xb = BatchGrid::zeros(n, width);
+                    let mut bb = BatchGrid::zeros(n, width);
+                    for k in 0..width {
+                        xb.load_lane(k, &xs[k]);
+                        bb.load_lane(k, &bs[k]);
+                    }
+                    let mut rb = BatchGrid::zeros(n, width);
+                    let inv_h2 = xb.inv_h2();
+                    for i in 1..n - 1 {
+                        let w = n * width;
+                        let (head, tail) = rb.as_mut_slice().split_at_mut(i * w);
+                        let _ = head;
+                        let out = &mut tail[..w];
+                        let xs_all = xb.as_slice();
+                        batch_residual_row_into(
+                            width,
+                            &xs_all[(i - 1) * w..i * w],
+                            &xs_all[i * w..(i + 1) * w],
+                            &xs_all[(i + 1) * w..(i + 2) * w],
+                            bb.row(i),
+                            inv_h2,
+                            out,
+                            mode,
+                        );
+                    }
+                    batch_zero_boundary_ring(&mut rb);
+                    for k in 0..width {
+                        let mut want = Grid2d::zeros(n);
+                        residual(&xs[k], &bs[k], &mut want, &Exec::seq());
+                        let mut got = Grid2d::zeros(n);
+                        rb.store_lane(k, &mut got);
+                        assert_eq!(
+                            got.as_slice(),
+                            want.as_slice(),
+                            "width={width} n={n} lane={k} {mode:?}"
+                        );
+                    }
                 }
             }
         }
@@ -502,27 +568,33 @@ mod tests {
 
     #[test]
     fn batched_restrict_matches_solo_bitwise() {
-        for nf in [5usize, 9, 17, 33] {
-            let nc = coarse_size(nf);
-            let rs = lanes(nf, 4);
-            for mode in [SimdMode::Scalar, SimdMode::Vector] {
-                let mut rb = BatchGrid::zeros(nf);
-                for (k, r) in rs.iter().enumerate() {
-                    rb.load_lane(k, r);
-                }
-                let mut cb = BatchGrid::zeros(nc);
-                let policy = match mode {
-                    SimdMode::Scalar => crate::SimdPolicy::Scalar,
-                    SimdMode::Vector => crate::SimdPolicy::Vector,
-                };
-                let exec = Exec::seq().with_simd(policy);
-                batch_restrict_full_weighting(&rb, &mut cb, &exec);
-                for (k, r) in rs.iter().enumerate() {
-                    let mut want = Grid2d::zeros(nc);
-                    restrict_full_weighting(r, &mut want, &exec);
-                    let mut got = Grid2d::zeros(nc);
-                    cb.store_lane(k, &mut got);
-                    assert_eq!(got.as_slice(), want.as_slice(), "nf={nf} lane={k} {mode:?}");
+        for width in WIDTHS {
+            for nf in [5usize, 9, 17, 33] {
+                let nc = coarse_size(nf);
+                let rs = lanes(nf, width, 4);
+                for mode in [SimdMode::Scalar, SimdMode::Vector] {
+                    let mut rb = BatchGrid::zeros(nf, width);
+                    for (k, r) in rs.iter().enumerate() {
+                        rb.load_lane(k, r);
+                    }
+                    let mut cb = BatchGrid::zeros(nc, width);
+                    let policy = match mode {
+                        SimdMode::Scalar => crate::SimdPolicy::Scalar,
+                        SimdMode::Vector => crate::SimdPolicy::Vector,
+                    };
+                    let exec = Exec::seq().with_simd(policy);
+                    batch_restrict_full_weighting(&rb, &mut cb, &exec);
+                    for (k, r) in rs.iter().enumerate() {
+                        let mut want = Grid2d::zeros(nc);
+                        restrict_full_weighting(r, &mut want, &exec);
+                        let mut got = Grid2d::zeros(nc);
+                        cb.store_lane(k, &mut got);
+                        assert_eq!(
+                            got.as_slice(),
+                            want.as_slice(),
+                            "width={width} nf={nf} lane={k} {mode:?}"
+                        );
+                    }
                 }
             }
         }
@@ -530,29 +602,31 @@ mod tests {
 
     #[test]
     fn batched_interpolate_matches_solo_bitwise() {
-        for nf in [5usize, 9, 17, 33] {
-            let nc = coarse_size(nf);
-            let cs = lanes(nc, 5);
-            let fs = lanes(nf, 6);
-            for policy in [crate::SimdPolicy::Scalar, crate::SimdPolicy::Vector] {
-                let exec = Exec::seq().with_simd(policy);
-                let mut cb = BatchGrid::zeros(nc);
-                let mut fb = BatchGrid::zeros(nf);
-                for k in 0..BATCH_WIDTH {
-                    cb.load_lane(k, &cs[k]);
-                    fb.load_lane(k, &fs[k]);
-                }
-                batch_interpolate_correct(&cb, &mut fb, &exec);
-                for k in 0..BATCH_WIDTH {
-                    let mut want = fs[k].clone();
-                    interpolate_correct(&cs[k], &mut want, &exec);
-                    let mut got = Grid2d::zeros(nf);
-                    fb.store_lane(k, &mut got);
-                    assert_eq!(
-                        got.as_slice(),
-                        want.as_slice(),
-                        "nf={nf} lane={k} {policy:?}"
-                    );
+        for width in WIDTHS {
+            for nf in [5usize, 9, 17, 33] {
+                let nc = coarse_size(nf);
+                let cs = lanes(nc, width, 5);
+                let fs = lanes(nf, width, 6);
+                for policy in [crate::SimdPolicy::Scalar, crate::SimdPolicy::Vector] {
+                    let exec = Exec::seq().with_simd(policy);
+                    let mut cb = BatchGrid::zeros(nc, width);
+                    let mut fb = BatchGrid::zeros(nf, width);
+                    for k in 0..width {
+                        cb.load_lane(k, &cs[k]);
+                        fb.load_lane(k, &fs[k]);
+                    }
+                    batch_interpolate_correct(&cb, &mut fb, &exec);
+                    for k in 0..width {
+                        let mut want = fs[k].clone();
+                        interpolate_correct(&cs[k], &mut want, &exec);
+                        let mut got = Grid2d::zeros(nf);
+                        fb.store_lane(k, &mut got);
+                        assert_eq!(
+                            got.as_slice(),
+                            want.as_slice(),
+                            "width={width} nf={nf} lane={k} {policy:?}"
+                        );
+                    }
                 }
             }
         }
@@ -560,18 +634,20 @@ mod tests {
 
     #[test]
     fn zero_ring_zeroes_every_lane() {
-        let gs = lanes(9, 7);
-        let mut b = BatchGrid::zeros(9);
-        for (k, g) in gs.iter().enumerate() {
-            b.load_lane(k, g);
-        }
-        batch_zero_boundary_ring(&mut b);
-        for (k, g) in gs.iter().enumerate() {
-            let mut out = Grid2d::zeros(9);
-            b.store_lane(k, &mut out);
-            let mut want = g.clone();
-            zero_boundary_ring(&mut want);
-            assert_eq!(out.as_slice(), want.as_slice(), "lane {k}");
+        for width in WIDTHS {
+            let gs = lanes(9, width, 7);
+            let mut b = BatchGrid::zeros(9, width);
+            for (k, g) in gs.iter().enumerate() {
+                b.load_lane(k, g);
+            }
+            batch_zero_boundary_ring(&mut b);
+            for (k, g) in gs.iter().enumerate() {
+                let mut out = Grid2d::zeros(9);
+                b.store_lane(k, &mut out);
+                let mut want = g.clone();
+                zero_boundary_ring(&mut want);
+                assert_eq!(out.as_slice(), want.as_slice(), "width={width} lane {k}");
+            }
         }
     }
 }

@@ -89,7 +89,7 @@ mod workspace;
 pub use batch::{
     batch_interpolate_correct, batch_interpolate_correct_row, batch_residual_row_into,
     batch_restrict_full_weighting, batch_restrict_rows_into, batch_zero_boundary_ring, BatchGrid,
-    BatchPtr, BATCH_WIDTH,
+    BatchPtr, MAX_BATCH_WIDTH,
 };
 pub use exec::{Exec, DEFAULT_BAND_ROWS, DEFAULT_ROW_GRAIN};
 pub use grid::{coarse_size, fine_size, level_size, size_level, Grid2d};
@@ -99,7 +99,7 @@ pub use ops::{
     zero_boundary_ring,
 };
 pub use ptr::GridPtr;
-pub use simd::{vector_available, vector_backend, SimdMode, SimdPolicy};
+pub use simd::{batch_width, vector_available, vector_backend, SimdMode, SimdPolicy};
 pub use transfer::{
     interpolate_add, interpolate_correct, interpolate_correct_row, interpolate_into,
     restrict_full_weighting, restrict_inject,

@@ -148,14 +148,24 @@ pub fn vector_available() -> bool {
     }
 }
 
-/// Name of the backend [`SimdMode::Vector`] dispatches to on this
-/// build + machine: `"avx2"`, `"neon"`, or `"portable"`. Recorded in
-/// the `simd_sweep` bench section.
+/// Name of the vector tier this build + machine dispatches to:
+/// `"avx512"`, `"avx2+fma"`, `"neon"`, or `"portable"`. Recorded in
+/// the `simd_sweep` / `batch_sweep` bench sections and the bench
+/// report header.
+///
+/// `"avx512"` means the machine *additionally* drives the eight-lane
+/// batched kernels natively (AVX-512F/VL); the four-lane solo kernels
+/// still run the AVX2+FMA path — their strides and the fixed 4-lane
+/// reduction tree are pinned at width 4 so result bits never depend on
+/// the machine tier.
 pub fn vector_backend() -> &'static str {
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     {
+        if avx512_available() {
+            return "avx512";
+        }
         if avx2_available() {
-            return "avx2";
+            return "avx2+fma";
         }
     }
     #[cfg(all(feature = "simd", target_arch = "aarch64"))]
@@ -164,6 +174,33 @@ pub fn vector_backend() -> &'static str {
     }
     #[allow(unreachable_code)]
     "portable"
+}
+
+/// The batch width the multi-RHS dispatcher resolves to on this
+/// machine, decided **once per process** (like [`vector_backend`]):
+/// 8 on AVX-512F/VL hosts, 4 everywhere else. The environment variable
+/// `PETAMG_BATCH_WIDTH` (value `4` or `8`; anything else is ignored)
+/// overrides the probe — the operator seam for forcing the narrow
+/// path on wide machines (or exercising the portable eight-lane
+/// fallback on narrow ones).
+///
+/// Width is a *locator for amortization, never identity*: every lane
+/// of a batched kernel evaluates the solo scalar expression, so
+/// results are bitwise independent of the width the dispatcher picks.
+pub fn batch_width() -> usize {
+    static WIDTH: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        match std::env::var("PETAMG_BATCH_WIDTH").ok().as_deref() {
+            Some("4") => return 4,
+            Some("8") => return 8,
+            _ => {}
+        }
+        if avx512_available() {
+            8
+        } else {
+            4
+        }
+    })
 }
 
 /// Cached runtime probe for AVX2 + FMA (both must be present: the
@@ -185,26 +222,82 @@ fn avx2_available() -> bool {
     }
 }
 
+/// Cached runtime probe for AVX-512F + AVX-512VL (both must be
+/// present: the eight-lane batch kernels are compiled with
+/// `target_feature(enable = "avx512f,avx512vl")`).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn avx512_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let ok = std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl");
+            STATE.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
+            ok
+        }
+    }
+}
+
+/// `avx512_available` is only probed on x86_64 + `simd`; elsewhere the
+/// wide tier never exists, so the probe is a constant `false`.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+fn avx512_available() -> bool {
+    false
+}
+
 // ---------------------------------------------------------------------
-// The four-lane abstraction
+// The lane abstractions
 // ---------------------------------------------------------------------
 
-/// Four `f64` lanes. Implementations must be bit-transparent: lane `k`
-/// of every arithmetic op is exactly the scalar IEEE-754 op on lane `k`
-/// of the inputs (no reassociation, no implicit FMA contraction).
-trait Lanes: Copy {
+/// The width-generic lane core: `splat`/`load`/`store` plus lane-wise
+/// arithmetic, with the lane count as an associated constant.
+/// Implementations must be bit-transparent: lane `k` of every
+/// arithmetic op is exactly the scalar IEEE-754 op on lane `k` of the
+/// inputs (no reassociation, no implicit FMA contraction).
+///
+/// The batched (multi-RHS) kernel bodies are written over this trait
+/// *alone* — no shuffles, no cross-lane ops — so one body serves both
+/// the four-lane tier (AVX2 / NEON / [`Portable`]) and the eight-lane
+/// tier (AVX-512 / [`Portable8`]).
+trait LaneOps: Copy {
+    /// Number of `f64` lanes this backend carries.
+    const WIDTH: usize;
     /// Broadcast.
     fn splat(v: f64) -> Self;
-    /// Load 4 consecutive values (unaligned).
+    /// Load `WIDTH` consecutive values (unaligned).
     ///
     /// # Safety
-    /// `p` must be valid for 4 reads.
+    /// `p` must be valid for `WIDTH` reads.
     unsafe fn load(p: *const f64) -> Self;
-    /// Store 4 consecutive values (unaligned).
+    /// Store `WIDTH` consecutive values (unaligned).
     ///
     /// # Safety
-    /// `p` must be valid for 4 writes.
+    /// `p` must be valid for `WIDTH` writes.
     unsafe fn store(self, p: *mut f64);
+    /// Lane-wise `+`.
+    fn add(self, o: Self) -> Self;
+    /// Lane-wise `-`.
+    fn sub(self, o: Self) -> Self;
+    /// Lane-wise `*`.
+    fn mul(self, o: Self) -> Self;
+    /// Lane-wise `/`.
+    fn div(self, o: Self) -> Self;
+    /// Lane-wise IEEE max (inputs are never NaN here).
+    fn max(self, o: Self) -> Self;
+    /// Lane-wise absolute value.
+    fn abs(self) -> Self;
+}
+
+/// The four-lane *solo* tier: the stride-2 shuffles, interleaves, and
+/// lane extraction the solo row kernels and fixed-lane reductions
+/// additionally need. Only the width-4 backends implement this — the
+/// solo kernels' strides and the deterministic 4-lane reduction tree
+/// are pinned at width 4 by design (widening them would change result
+/// bits).
+trait Lanes: LaneOps {
     /// Load 8 consecutive values, split into (evens, odds):
     /// `p[0],p[2],p[4],p[6]` and `p[1],p[3],p[5],p[7]`.
     ///
@@ -271,18 +364,6 @@ trait Lanes: Copy {
     /// Build a vector from four lane values (used by the default
     /// [`Lanes::interleave`]; backends override both).
     fn from_array(a: [f64; 4]) -> Self;
-    /// Lane-wise `+`.
-    fn add(self, o: Self) -> Self;
-    /// Lane-wise `-`.
-    fn sub(self, o: Self) -> Self;
-    /// Lane-wise `*`.
-    fn mul(self, o: Self) -> Self;
-    /// Lane-wise `/`.
-    fn div(self, o: Self) -> Self;
-    /// Lane-wise IEEE max (inputs are never NaN here).
-    fn max(self, o: Self) -> Self;
-    /// Lane-wise absolute value.
-    fn abs(self) -> Self;
     /// Extract the lanes.
     fn to_array(self) -> [f64; 4];
 }
@@ -294,7 +375,8 @@ trait Lanes: Copy {
 #[derive(Clone, Copy)]
 struct Portable([f64; 4]);
 
-impl Lanes for Portable {
+impl LaneOps for Portable {
+    const WIDTH: usize = 4;
     #[inline(always)]
     fn splat(v: f64) -> Self {
         Portable([v; 4])
@@ -310,23 +392,6 @@ impl Lanes for Portable {
             *p.add(1) = self.0[1];
             *p.add(2) = self.0[2];
             *p.add(3) = self.0[3];
-        }
-    }
-    #[inline(always)]
-    unsafe fn load2(p: *const f64) -> (Self, Self) {
-        unsafe {
-            (
-                Portable([*p, *p.add(2), *p.add(4), *p.add(6)]),
-                Portable([*p.add(1), *p.add(3), *p.add(5), *p.add(7)]),
-            )
-        }
-    }
-    #[inline(always)]
-    unsafe fn store_spaced(self, p: *mut f64) {
-        unsafe {
-            for k in 0..4 {
-                *p.add(2 * k) = self.0[k];
-            }
         }
     }
     #[inline(always)]
@@ -353,6 +418,26 @@ impl Lanes for Portable {
     fn abs(self) -> Self {
         Portable(std::array::from_fn(|k| self.0[k].abs()))
     }
+}
+
+impl Lanes for Portable {
+    #[inline(always)]
+    unsafe fn load2(p: *const f64) -> (Self, Self) {
+        unsafe {
+            (
+                Portable([*p, *p.add(2), *p.add(4), *p.add(6)]),
+                Portable([*p.add(1), *p.add(3), *p.add(5), *p.add(7)]),
+            )
+        }
+    }
+    #[inline(always)]
+    unsafe fn store_spaced(self, p: *mut f64) {
+        unsafe {
+            for k in 0..4 {
+                *p.add(2 * k) = self.0[k];
+            }
+        }
+    }
     #[inline(always)]
     fn to_array(self) -> [f64; 4] {
         self.0
@@ -360,6 +445,57 @@ impl Lanes for Portable {
     #[inline(always)]
     fn from_array(a: [f64; 4]) -> Self {
         Portable(a)
+    }
+}
+
+/// The portable eight-lane backend: plain `[f64; 8]` lane arithmetic.
+/// Always compiled — it serves a forced width-8 batch dispatch when
+/// AVX-512 is absent, and defines the reference semantics the AVX-512
+/// backend must match bit for bit (property-tested on every host).
+#[derive(Clone, Copy)]
+struct Portable8([f64; 8]);
+
+impl LaneOps for Portable8 {
+    const WIDTH: usize = 8;
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        Portable8([v; 8])
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        unsafe { Portable8(std::array::from_fn(|k| *p.add(k))) }
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        unsafe {
+            for k in 0..8 {
+                *p.add(k) = self.0[k];
+            }
+        }
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        Portable8(std::array::from_fn(|k| self.0[k] + o.0[k]))
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        Portable8(std::array::from_fn(|k| self.0[k] - o.0[k]))
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        Portable8(std::array::from_fn(|k| self.0[k] * o.0[k]))
+    }
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        Portable8(std::array::from_fn(|k| self.0[k] / o.0[k]))
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        Portable8(std::array::from_fn(|k| self.0[k].max(o.0[k])))
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        Portable8(std::array::from_fn(|k| self.0[k].abs()))
     }
 }
 
@@ -371,7 +507,8 @@ impl Lanes for Portable {
 struct Avx(core::arch::x86_64::__m256d);
 
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-impl Lanes for Avx {
+impl LaneOps for Avx {
+    const WIDTH: usize = 4;
     #[inline(always)]
     fn splat(v: f64) -> Self {
         use core::arch::x86_64::*;
@@ -387,6 +524,40 @@ impl Lanes for Avx {
         use core::arch::x86_64::*;
         unsafe { _mm256_storeu_pd(p, self.0) }
     }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_add_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_sub_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_mul_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_div_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_max_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx(_mm256_andnot_pd(_mm256_set1_pd(-0.0), self.0)) }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+impl Lanes for Avx {
     #[inline(always)]
     unsafe fn load2(p: *const f64) -> (Self, Self) {
         use core::arch::x86_64::*;
@@ -443,36 +614,6 @@ impl Lanes for Avx {
         }
     }
     #[inline(always)]
-    fn add(self, o: Self) -> Self {
-        use core::arch::x86_64::*;
-        unsafe { Avx(_mm256_add_pd(self.0, o.0)) }
-    }
-    #[inline(always)]
-    fn sub(self, o: Self) -> Self {
-        use core::arch::x86_64::*;
-        unsafe { Avx(_mm256_sub_pd(self.0, o.0)) }
-    }
-    #[inline(always)]
-    fn mul(self, o: Self) -> Self {
-        use core::arch::x86_64::*;
-        unsafe { Avx(_mm256_mul_pd(self.0, o.0)) }
-    }
-    #[inline(always)]
-    fn div(self, o: Self) -> Self {
-        use core::arch::x86_64::*;
-        unsafe { Avx(_mm256_div_pd(self.0, o.0)) }
-    }
-    #[inline(always)]
-    fn max(self, o: Self) -> Self {
-        use core::arch::x86_64::*;
-        unsafe { Avx(_mm256_max_pd(self.0, o.0)) }
-    }
-    #[inline(always)]
-    fn abs(self) -> Self {
-        use core::arch::x86_64::*;
-        unsafe { Avx(_mm256_andnot_pd(_mm256_set1_pd(-0.0), self.0)) }
-    }
-    #[inline(always)]
     fn to_array(self) -> [f64; 4] {
         use core::arch::x86_64::*;
         let mut out = [0.0; 4];
@@ -498,6 +639,65 @@ impl Lanes for Avx {
     }
 }
 
+/// The `core::arch` AVX-512 eight-lane backend. Methods wrap raw
+/// intrinsics; they must only *execute* inside the
+/// `target_feature(enable = "avx512f,avx512vl")` trampolines below,
+/// after the runtime probe passed. Only AVX-512F intrinsics are used
+/// (`abs`/`max` are F, not DQ), so F+VL is the complete requirement.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[derive(Clone, Copy)]
+struct Avx512(core::arch::x86_64::__m512d);
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+impl LaneOps for Avx512 {
+    const WIDTH: usize = 8;
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx512(_mm512_set1_pd(v)) }
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f64) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx512(_mm512_loadu_pd(p)) }
+    }
+    #[inline(always)]
+    unsafe fn store(self, p: *mut f64) {
+        use core::arch::x86_64::*;
+        unsafe { _mm512_storeu_pd(p, self.0) }
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx512(_mm512_add_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx512(_mm512_sub_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx512(_mm512_mul_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx512(_mm512_div_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx512(_mm512_max_pd(self.0, o.0)) }
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        use core::arch::x86_64::*;
+        unsafe { Avx512(_mm512_abs_pd(self.0)) }
+    }
+}
+
 /// The `core::arch` NEON backend: a pair of 128-bit registers. NEON is
 /// baseline on aarch64, so no runtime probe or trampoline is needed.
 #[cfg(all(feature = "simd", target_arch = "aarch64"))]
@@ -508,7 +708,8 @@ struct Neon(
 );
 
 #[cfg(all(feature = "simd", target_arch = "aarch64"))]
-impl Lanes for Neon {
+impl LaneOps for Neon {
+    const WIDTH: usize = 4;
     #[inline(always)]
     fn splat(v: f64) -> Self {
         use core::arch::aarch64::*;
@@ -525,25 +726,6 @@ impl Lanes for Neon {
         unsafe {
             vst1q_f64(p, self.0);
             vst1q_f64(p.add(2), self.1);
-        }
-    }
-    #[inline(always)]
-    unsafe fn load2(p: *const f64) -> (Self, Self) {
-        use core::arch::aarch64::*;
-        unsafe {
-            let a = vld2q_f64(p); // deinterleaves p[0..4]
-            let b = vld2q_f64(p.add(4)); // deinterleaves p[4..8]
-            (Neon(a.0, b.0), Neon(a.1, b.1))
-        }
-    }
-    #[inline(always)]
-    unsafe fn store_spaced(self, p: *mut f64) {
-        use core::arch::aarch64::*;
-        unsafe {
-            *p = vgetq_lane_f64::<0>(self.0);
-            *p.add(2) = vgetq_lane_f64::<1>(self.0);
-            *p.add(4) = vgetq_lane_f64::<0>(self.1);
-            *p.add(6) = vgetq_lane_f64::<1>(self.1);
         }
     }
     #[inline(always)]
@@ -575,6 +757,29 @@ impl Lanes for Neon {
     fn abs(self) -> Self {
         use core::arch::aarch64::*;
         unsafe { Neon(vabsq_f64(self.0), vabsq_f64(self.1)) }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+impl Lanes for Neon {
+    #[inline(always)]
+    unsafe fn load2(p: *const f64) -> (Self, Self) {
+        use core::arch::aarch64::*;
+        unsafe {
+            let a = vld2q_f64(p); // deinterleaves p[0..4]
+            let b = vld2q_f64(p.add(4)); // deinterleaves p[4..8]
+            (Neon(a.0, b.0), Neon(a.1, b.1))
+        }
+    }
+    #[inline(always)]
+    unsafe fn store_spaced(self, p: *mut f64) {
+        use core::arch::aarch64::*;
+        unsafe {
+            *p = vgetq_lane_f64::<0>(self.0);
+            *p.add(2) = vgetq_lane_f64::<1>(self.0);
+            *p.add(4) = vgetq_lane_f64::<0>(self.1);
+            *p.add(6) = vgetq_lane_f64::<1>(self.1);
+        }
     }
     #[inline(always)]
     fn to_array(self) -> [f64; 4] {
@@ -608,7 +813,7 @@ impl Lanes for Neon {
 // ---------------------------------------------------------------------
 
 mod body {
-    use super::Lanes;
+    use super::{LaneOps, Lanes};
 
     /// Residual row over trimmed interior slices, all of length `m`:
     /// `out[j] = brow[j] - (4·center[j] − up[j] − dn[j] − left[j] −
@@ -1207,21 +1412,25 @@ mod body {
     // Batched (multi-RHS) row kernels
     // -----------------------------------------------------------------
     //
-    // Batch rows interleave `BATCH_WIDTH = 4` systems per grid point
-    // (`row[4j..4j+4]` = point `j`, lane `k` = system `k`), so every
-    // stencil operand is one contiguous four-lane load at element
-    // offset `4j` — neighbours sit at `±4`, the SOR stride-2 walk at
-    // `±8` — and each lane evaluates the solo *scalar* kernel's
+    // Batch rows interleave `W = L::WIDTH` systems per grid point
+    // (`row[W·j..W·j+W]` = point `j`, lane `k` = system `k`), so every
+    // stencil operand is one contiguous `W`-lane load at element
+    // offset `W·j` — neighbours sit at `±W`, the SOR stride-2 walk at
+    // `±2W` — and each lane evaluates the solo *scalar* kernel's
     // expression in the same association order. No deinterleaves, no
     // permutes, no tails, and no cross-lane arithmetic: lane `k`'s
-    // bits match the solo scalar path exactly, and garbage in an
-    // unused or frozen lane cannot leak into its neighbours.
+    // bits match the solo scalar path exactly — at width 4 *and*
+    // width 8 — and garbage in an unused or frozen lane cannot leak
+    // into its neighbours. The bodies are generic over [`LaneOps`]
+    // only (the width-agnostic core), so one definition serves the
+    // AVX2/NEON/portable four-lane tier and the AVX-512/portable
+    // eight-lane tier.
 
     /// Batched Poisson residual row: points `1..n-1` of `out` get
-    /// `b − Ax` per lane (rows are `4n` elements, untrimmed).
+    /// `b − Ax` per lane (rows are `W·n` elements, untrimmed).
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    pub(super) unsafe fn batch_residual_row<L: Lanes>(
+    pub(super) unsafe fn batch_residual_row<L: LaneOps>(
         up: *const f64,
         mid: *const f64,
         dn: *const f64,
@@ -1230,18 +1439,19 @@ mod body {
         out: *mut f64,
         n: usize,
     ) {
+        let w = L::WIDTH;
         let four = L::splat(4.0);
         let vinv = L::splat(inv_h2);
         unsafe {
             for j in 1..n - 1 {
-                let c = L::load(mid.add(4 * j));
-                let u = L::load(up.add(4 * j));
-                let d = L::load(dn.add(4 * j));
-                let l = L::load(mid.add(4 * (j - 1)));
-                let r = L::load(mid.add(4 * (j + 1)));
+                let c = L::load(mid.add(w * j));
+                let u = L::load(up.add(w * j));
+                let d = L::load(dn.add(w * j));
+                let l = L::load(mid.add(w * (j - 1)));
+                let r = L::load(mid.add(w * (j + 1)));
                 // (((4c − u) − d) − l) − r, then · inv_h2 — solo scalar order.
                 let ax = four.mul(c).sub(u).sub(d).sub(l).sub(r).mul(vinv);
-                L::load(brow.add(4 * j)).sub(ax).store(out.add(4 * j));
+                L::load(brow.add(w * j)).sub(ax).store(out.add(w * j));
             }
         }
     }
@@ -1249,7 +1459,7 @@ mod body {
     /// Batched residual row for a constant five-point stencil.
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    pub(super) unsafe fn batch_wres_residual_row<L: Lanes>(
+    pub(super) unsafe fn batch_wres_residual_row<L: LaneOps>(
         up: *const f64,
         mid: *const f64,
         dn: *const f64,
@@ -1263,6 +1473,7 @@ mod body {
         out: *mut f64,
         n: usize,
     ) {
+        let w = L::WIDTH;
         let vinv = L::splat(inv_h2);
         let (vw, ve, vn, vs, vc) = (
             L::splat(cw),
@@ -1273,11 +1484,11 @@ mod body {
         );
         unsafe {
             for j in 1..n - 1 {
-                let c = L::load(mid.add(4 * j));
-                let u = L::load(up.add(4 * j));
-                let d = L::load(dn.add(4 * j));
-                let l = L::load(mid.add(4 * (j - 1)));
-                let r = L::load(mid.add(4 * (j + 1)));
+                let c = L::load(mid.add(w * j));
+                let u = L::load(up.add(w * j));
+                let d = L::load(dn.add(w * j));
+                let l = L::load(mid.add(w * (j - 1)));
+                let r = L::load(mid.add(w * (j + 1)));
                 // (cc·c − cn·u − cs·d − cw·l − ce·r) · inv_h2, solo order.
                 let ax = vc
                     .mul(c)
@@ -1286,7 +1497,7 @@ mod body {
                     .sub(vw.mul(l))
                     .sub(ve.mul(r))
                     .mul(vinv);
-                L::load(brow.add(4 * j)).sub(ax).store(out.add(4 * j));
+                L::load(brow.add(w * j)).sub(ax).store(out.add(w * j));
             }
         }
     }
@@ -1296,7 +1507,7 @@ mod body {
     /// every lane shares the operator, so each weight is splatted.
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    pub(super) unsafe fn batch_var_residual_row<L: Lanes>(
+    pub(super) unsafe fn batch_var_residual_row<L: LaneOps>(
         up: *const f64,
         mid: *const f64,
         dn: *const f64,
@@ -1310,14 +1521,15 @@ mod body {
         out: *mut f64,
         n: usize,
     ) {
+        let w = L::WIDTH;
         let vinv = L::splat(inv_h2);
         unsafe {
             for j in 1..n - 1 {
-                let c = L::load(mid.add(4 * j));
-                let u = L::load(up.add(4 * j));
-                let d = L::load(dn.add(4 * j));
-                let l = L::load(mid.add(4 * (j - 1)));
-                let r = L::load(mid.add(4 * (j + 1)));
+                let c = L::load(mid.add(w * j));
+                let u = L::load(up.add(w * j));
+                let d = L::load(dn.add(w * j));
+                let l = L::load(mid.add(w * (j - 1)));
+                let r = L::load(mid.add(w * (j + 1)));
                 let ax = L::splat(*cc.add(j))
                     .mul(c)
                     .sub(L::splat(*cn.add(j)).mul(u))
@@ -1325,7 +1537,7 @@ mod body {
                     .sub(L::splat(*cw.add(j)).mul(l))
                     .sub(L::splat(*ce.add(j)).mul(r))
                     .mul(vinv);
-                L::load(brow.add(4 * j)).sub(ax).store(out.add(4 * j));
+                L::load(brow.add(w * j)).sub(ax).store(out.add(w * j));
             }
         }
     }
@@ -1334,7 +1546,7 @@ mod body {
     /// of `mid`, all four lanes per cell at once.
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    pub(super) unsafe fn batch_sor_row<L: Lanes>(
+    pub(super) unsafe fn batch_sor_row<L: LaneOps>(
         up: *const f64,
         mid: *mut f64,
         dn: *const f64,
@@ -1344,21 +1556,22 @@ mod body {
         omega: f64,
         j0: usize,
     ) {
+        let w = L::WIDTH;
         let vh2 = L::splat(h2);
         let vomega = L::splat(omega);
         let quarter = L::splat(0.25);
         let mut j = j0;
         unsafe {
             while j < n - 1 {
-                let u = L::load(up.add(4 * j));
-                let d = L::load(dn.add(4 * j));
-                let l = L::load(mid.add(4 * (j - 1)));
-                let r = L::load(mid.add(4 * (j + 1)));
-                let old = L::load(mid.add(4 * j));
+                let u = L::load(up.add(w * j));
+                let d = L::load(dn.add(w * j));
+                let l = L::load(mid.add(w * (j - 1)));
+                let r = L::load(mid.add(w * (j + 1)));
+                let old = L::load(mid.add(w * j));
                 // nb = up[j] + dn[j] + mid[j-1] + mid[j+1], solo order.
                 let nb = u.add(d).add(l).add(r);
-                let gs = quarter.mul(nb.add(vh2.mul(L::load(brow.add(4 * j)))));
-                old.add(vomega.mul(gs.sub(old))).store(mid.add(4 * j));
+                let gs = quarter.mul(nb.add(vh2.mul(L::load(brow.add(w * j)))));
+                old.add(vomega.mul(gs.sub(old))).store(mid.add(w * j));
                 j += 2;
             }
         }
@@ -1367,7 +1580,7 @@ mod body {
     /// Batched red/black SOR row for a constant five-point stencil.
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    pub(super) unsafe fn batch_wres_sor_row<L: Lanes>(
+    pub(super) unsafe fn batch_wres_sor_row<L: LaneOps>(
         up: *const f64,
         mid: *mut f64,
         dn: *const f64,
@@ -1382,6 +1595,7 @@ mod body {
         cs: f64,
         inv_cc: f64,
     ) {
+        let w = L::WIDTH;
         let vh2 = L::splat(h2);
         let vomega = L::splat(omega);
         let (vw, ve, vn, vs, vic) = (
@@ -1394,15 +1608,15 @@ mod body {
         let mut j = j0;
         unsafe {
             while j < n - 1 {
-                let u = L::load(up.add(4 * j));
-                let d = L::load(dn.add(4 * j));
-                let l = L::load(mid.add(4 * (j - 1)));
-                let r = L::load(mid.add(4 * (j + 1)));
-                let old = L::load(mid.add(4 * j));
+                let u = L::load(up.add(w * j));
+                let d = L::load(dn.add(w * j));
+                let l = L::load(mid.add(w * (j - 1)));
+                let r = L::load(mid.add(w * (j + 1)));
+                let old = L::load(mid.add(w * j));
                 // nb = cn·up + cs·dn + cw·left + ce·right, solo order.
                 let nb = vn.mul(u).add(vs.mul(d)).add(vw.mul(l)).add(ve.mul(r));
-                let gs = nb.add(vh2.mul(L::load(brow.add(4 * j)))).mul(vic);
-                old.add(vomega.mul(gs.sub(old))).store(mid.add(4 * j));
+                let gs = nb.add(vh2.mul(L::load(brow.add(w * j)))).mul(vic);
+                old.add(vomega.mul(gs.sub(old))).store(mid.add(w * j));
                 j += 2;
             }
         }
@@ -1412,7 +1626,7 @@ mod body {
     /// coefficient rows are solo-stride, splatted per color cell.
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    pub(super) unsafe fn batch_var_sor_row<L: Lanes>(
+    pub(super) unsafe fn batch_var_sor_row<L: LaneOps>(
         up: *const f64,
         mid: *mut f64,
         dn: *const f64,
@@ -1427,25 +1641,26 @@ mod body {
         omega: f64,
         j0: usize,
     ) {
+        let w = L::WIDTH;
         let vh2 = L::splat(h2);
         let vomega = L::splat(omega);
         let mut j = j0;
         unsafe {
             while j < n - 1 {
-                let u = L::load(up.add(4 * j));
-                let d = L::load(dn.add(4 * j));
-                let l = L::load(mid.add(4 * (j - 1)));
-                let r = L::load(mid.add(4 * (j + 1)));
-                let old = L::load(mid.add(4 * j));
+                let u = L::load(up.add(w * j));
+                let d = L::load(dn.add(w * j));
+                let l = L::load(mid.add(w * (j - 1)));
+                let r = L::load(mid.add(w * (j + 1)));
+                let old = L::load(mid.add(w * j));
                 let nb = L::splat(*cn.add(j))
                     .mul(u)
                     .add(L::splat(*cs.add(j)).mul(d))
                     .add(L::splat(*cw.add(j)).mul(l))
                     .add(L::splat(*ce.add(j)).mul(r));
                 let gs = nb
-                    .add(vh2.mul(L::load(brow.add(4 * j))))
+                    .add(vh2.mul(L::load(brow.add(w * j))))
                     .mul(L::splat(*icc.add(j)));
-                old.add(vomega.mul(gs.sub(old))).store(mid.add(4 * j));
+                old.add(vomega.mul(gs.sub(old))).store(mid.add(w * j));
                 j += 2;
             }
         }
@@ -1453,35 +1668,36 @@ mod body {
 
     /// Batched full-weighting restriction row (coarse points `1..nc-1`).
     #[inline(always)]
-    pub(super) unsafe fn batch_restrict_row<L: Lanes>(
+    pub(super) unsafe fn batch_restrict_row<L: LaneOps>(
         r_up: *const f64,
         r_mid: *const f64,
         r_dn: *const f64,
         coarse_row: *mut f64,
         nc: usize,
     ) {
+        let w = L::WIDTH;
         let four = L::splat(4.0);
         let two = L::splat(2.0);
         let sixteen = L::splat(16.0);
         unsafe {
             for jc in 1..nc - 1 {
                 let fj = 2 * jc;
-                let center = L::load(r_mid.add(4 * fj));
+                let center = L::load(r_mid.add(w * fj));
                 // edges = up[fj] + dn[fj] + mid[fj-1] + mid[fj+1]
-                let edges = L::load(r_up.add(4 * fj))
-                    .add(L::load(r_dn.add(4 * fj)))
-                    .add(L::load(r_mid.add(4 * (fj - 1))))
-                    .add(L::load(r_mid.add(4 * (fj + 1))));
+                let edges = L::load(r_up.add(w * fj))
+                    .add(L::load(r_dn.add(w * fj)))
+                    .add(L::load(r_mid.add(w * (fj - 1))))
+                    .add(L::load(r_mid.add(w * (fj + 1))));
                 // corners = up[fj-1] + up[fj+1] + dn[fj-1] + dn[fj+1]
-                let corners = L::load(r_up.add(4 * (fj - 1)))
-                    .add(L::load(r_up.add(4 * (fj + 1))))
-                    .add(L::load(r_dn.add(4 * (fj - 1))))
-                    .add(L::load(r_dn.add(4 * (fj + 1))));
+                let corners = L::load(r_up.add(w * (fj - 1)))
+                    .add(L::load(r_up.add(w * (fj + 1))))
+                    .add(L::load(r_dn.add(w * (fj - 1))))
+                    .add(L::load(r_dn.add(w * (fj + 1))));
                 four.mul(center)
                     .add(two.mul(edges))
                     .add(corners)
                     .div(sixteen)
-                    .store(coarse_row.add(4 * jc));
+                    .store(coarse_row.add(w * jc));
             }
         }
     }
@@ -1490,23 +1706,24 @@ mod body {
     /// `jc = 0` prologue (`frow[1] += ½(c0[0] + c0[1])` per lane) —
     /// unlike the solo kernel there is no stride reason to exclude it.
     #[inline(always)]
-    pub(super) unsafe fn batch_interp_row_even<L: Lanes>(
+    pub(super) unsafe fn batch_interp_row_even<L: LaneOps>(
         c0: *const f64,
         frow: *mut f64,
         nc: usize,
     ) {
+        let w = L::WIDTH;
         let half = L::splat(0.5);
         unsafe {
-            let p = frow.add(4);
+            let p = frow.add(w);
             L::load(p)
-                .add(half.mul(L::load(c0).add(L::load(c0.add(4)))))
+                .add(half.mul(L::load(c0).add(L::load(c0.add(w)))))
                 .store(p);
             for jc in 1..nc - 1 {
-                let a = L::load(c0.add(4 * jc));
-                let b = L::load(c0.add(4 * (jc + 1)));
-                let p = frow.add(4 * 2 * jc);
+                let a = L::load(c0.add(w * jc));
+                let b = L::load(c0.add(w * (jc + 1)));
+                let p = frow.add(w * 2 * jc);
                 L::load(p).add(a).store(p);
-                let p = frow.add(4 * (2 * jc + 1));
+                let p = frow.add(w * (2 * jc + 1));
                 L::load(p).add(half.mul(a.add(b))).store(p);
             }
         }
@@ -1515,35 +1732,36 @@ mod body {
     /// Batched midpoint-row interpolation correction, including the
     /// `jc = 0` prologue.
     #[inline(always)]
-    pub(super) unsafe fn batch_interp_row_odd<L: Lanes>(
+    pub(super) unsafe fn batch_interp_row_odd<L: LaneOps>(
         c0: *const f64,
         c1: *const f64,
         frow: *mut f64,
         nc: usize,
     ) {
+        let w = L::WIDTH;
         let half = L::splat(0.5);
         let quarter = L::splat(0.25);
         unsafe {
-            let p = frow.add(4);
+            let p = frow.add(w);
             // ((c0[0] + c0[1]) + c1[0]) + c1[1], scalar order.
             L::load(p)
                 .add(
                     quarter.mul(
                         L::load(c0)
-                            .add(L::load(c0.add(4)))
+                            .add(L::load(c0.add(w)))
                             .add(L::load(c1))
-                            .add(L::load(c1.add(4))),
+                            .add(L::load(c1.add(w))),
                     ),
                 )
                 .store(p);
             for jc in 1..nc - 1 {
-                let a0 = L::load(c0.add(4 * jc));
-                let b0 = L::load(c0.add(4 * (jc + 1)));
-                let a1 = L::load(c1.add(4 * jc));
-                let b1 = L::load(c1.add(4 * (jc + 1)));
-                let p = frow.add(4 * 2 * jc);
+                let a0 = L::load(c0.add(w * jc));
+                let b0 = L::load(c0.add(w * (jc + 1)));
+                let a1 = L::load(c1.add(w * jc));
+                let b1 = L::load(c1.add(w * (jc + 1)));
+                let p = frow.add(w * 2 * jc);
                 L::load(p).add(half.mul(a0.add(a1))).store(p);
-                let p = frow.add(4 * (2 * jc + 1));
+                let p = frow.add(w * (2 * jc + 1));
                 // ((c0[jc] + c0[jc+1]) + c1[jc]) + c1[jc+1], scalar order.
                 L::load(p)
                     .add(quarter.mul(a0.add(b0).add(a1).add(b1)))
@@ -1708,6 +1926,56 @@ macro_rules! dispatch {
     };
 }
 
+// `dispatch_batch!` is the width-adaptive analogue for the batched
+// kernels: it expands to an AVX2+FMA trampoline (width 4), an
+// AVX-512F/VL trampoline (width 8), and a public entry taking the
+// batch `width` as its leading argument. Width 8 dispatches to the
+// AVX-512 trampoline when the probe passes and to the portable
+// eight-lane body otherwise (a forced width-8 run is *always*
+// bitwise correct); width 4 walks the same AVX2 → NEON → portable
+// chain as `dispatch!`.
+
+macro_rules! dispatch_batch {
+    ($(#[$doc:meta])* $vis:vis unsafe fn $name:ident / $avx:ident / $avx512:ident ( $($arg:ident : $ty:ty),* $(,)? )) => {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        #[target_feature(enable = "avx2,fma")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx($($arg: $ty),*) {
+            unsafe { body::$name::<Avx>($($arg),*) }
+        }
+
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        #[target_feature(enable = "avx512f,avx512vl")]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $avx512($($arg: $ty),*) {
+            unsafe { body::$name::<Avx512>($($arg),*) }
+        }
+
+        $(#[$doc])*
+        #[allow(clippy::too_many_arguments)]
+        $vis unsafe fn $name(width: usize, $($arg: $ty),*) {
+            debug_assert!(width == 4 || width == 8, "batch width must be 4 or 8");
+            if width == 8 {
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                if avx512_available() {
+                    // SAFETY: the probe confirmed AVX-512F + AVX-512VL.
+                    return unsafe { $avx512($($arg),*) };
+                }
+                return unsafe { body::$name::<Portable8>($($arg),*) };
+            }
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            if avx2_available() {
+                // SAFETY: the probe confirmed AVX2+FMA.
+                return unsafe { $avx($($arg),*) };
+            }
+            #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+            return unsafe { body::$name::<Neon>($($arg),*) };
+            #[allow(unreachable_code)]
+            unsafe { body::$name::<Portable>($($arg),*) }
+        }
+    };
+}
+
 dispatch! {
     /// Vector residual row over trimmed interior pointers (length `m`).
     ///
@@ -1866,115 +2134,115 @@ dispatch! {
     )
 }
 
-dispatch! {
+dispatch_batch! {
     /// Batched Poisson residual row over untrimmed batch-row pointers
-    /// (`4n` values each); writes points `1..n-1` of `out`.
+    /// (`width·n` values each); writes points `1..n-1` of `out`.
     ///
     /// # Safety
-    /// All pointers must be valid for `4n` reads (`out` for `4n`
-    /// writes) and `out` must not alias the inputs.
-    pub unsafe fn batch_residual_row / batch_residual_row_avx2(
+    /// All pointers must be valid for `width·n` reads (`out` for
+    /// `width·n` writes) and `out` must not alias the inputs.
+    pub unsafe fn batch_residual_row / batch_residual_row_avx2 / batch_residual_row_avx512(
         up: *const f64, mid: *const f64, dn: *const f64, brow: *const f64,
         inv_h2: f64, out: *mut f64, n: usize,
     )
 }
 
-dispatch! {
+dispatch_batch! {
     /// Batched residual row for a constant five-point stencil.
     ///
     /// # Safety
     /// Same contract as [`batch_residual_row`].
-    pub unsafe fn batch_wres_residual_row / batch_wres_residual_row_avx2(
+    pub unsafe fn batch_wres_residual_row / batch_wres_residual_row_avx2 / batch_wres_residual_row_avx512(
         up: *const f64, mid: *const f64, dn: *const f64, brow: *const f64,
         cw: f64, ce: f64, cn: f64, cs: f64, cc: f64, inv_h2: f64,
         out: *mut f64, n: usize,
     )
 }
 
-dispatch! {
+dispatch_batch! {
     /// Batched residual row for a variable-coefficient stencil; the
     /// coefficient rows are solo-stride (`n` values each).
     ///
     /// # Safety
     /// Same contract as [`batch_residual_row`], plus all coefficient
     /// rows valid for `n` reads.
-    pub unsafe fn batch_var_residual_row / batch_var_residual_row_avx2(
+    pub unsafe fn batch_var_residual_row / batch_var_residual_row_avx2 / batch_var_residual_row_avx512(
         up: *const f64, mid: *const f64, dn: *const f64, brow: *const f64,
         cw: *const f64, ce: *const f64, cn: *const f64, cs: *const f64,
         cc: *const f64, inv_h2: f64, out: *mut f64, n: usize,
     )
 }
 
-dispatch! {
+dispatch_batch! {
     /// Batched red/black SOR row update (Poisson), stride 2 from `j0`.
     ///
     /// # Safety
-    /// All batch rows valid for `4n` reads (`mid` for writes), no
+    /// All batch rows valid for `width·n` reads (`mid` for writes), no
     /// concurrent access to the color cells of `mid`, and `j0 >= 1`.
-    pub unsafe fn batch_sor_row / batch_sor_row_avx2(
+    pub unsafe fn batch_sor_row / batch_sor_row_avx2 / batch_sor_row_avx512(
         up: *const f64, mid: *mut f64, dn: *const f64, brow: *const f64,
         n: usize, h2: f64, omega: f64, j0: usize,
     )
 }
 
-dispatch! {
+dispatch_batch! {
     /// Batched red/black SOR row for a constant five-point stencil.
     ///
     /// # Safety
     /// Same contract as [`batch_sor_row`].
-    pub unsafe fn batch_wres_sor_row / batch_wres_sor_row_avx2(
+    pub unsafe fn batch_wres_sor_row / batch_wres_sor_row_avx2 / batch_wres_sor_row_avx512(
         up: *const f64, mid: *mut f64, dn: *const f64, brow: *const f64,
         n: usize, h2: f64, omega: f64, j0: usize,
         cw: f64, ce: f64, cn: f64, cs: f64, inv_cc: f64,
     )
 }
 
-dispatch! {
+dispatch_batch! {
     /// Batched red/black SOR row for a variable-coefficient stencil;
     /// coefficient rows are solo-stride (`n` values each).
     ///
     /// # Safety
     /// Same contract as [`batch_sor_row`], plus all coefficient rows
     /// valid for `n` reads.
-    pub unsafe fn batch_var_sor_row / batch_var_sor_row_avx2(
+    pub unsafe fn batch_var_sor_row / batch_var_sor_row_avx2 / batch_var_sor_row_avx512(
         up: *const f64, mid: *mut f64, dn: *const f64, brow: *const f64,
         cw: *const f64, ce: *const f64, cn: *const f64, cs: *const f64,
         icc: *const f64, n: usize, h2: f64, omega: f64, j0: usize,
     )
 }
 
-dispatch! {
+dispatch_batch! {
     /// Batched full-weighting restriction row (coarse points `1..nc-1`).
     ///
     /// # Safety
-    /// The three fine batch rows must be valid for `4(2(nc-1)+1)` reads
-    /// and `coarse_row` for `4nc` writes, with no aliasing.
-    pub(crate) unsafe fn batch_restrict_row / batch_restrict_row_avx2(
+    /// The three fine batch rows must be valid for `width·(2(nc-1)+1)`
+    /// reads and `coarse_row` for `width·nc` writes, with no aliasing.
+    pub(crate) unsafe fn batch_restrict_row / batch_restrict_row_avx2 / batch_restrict_row_avx512(
         r_up: *const f64, r_mid: *const f64, r_dn: *const f64,
         coarse_row: *mut f64, nc: usize,
     )
 }
 
-dispatch! {
+dispatch_batch! {
     /// Batched coincident-row interpolation correction (includes the
     /// `jc = 0` prologue, unlike the solo kernel).
     ///
     /// # Safety
-    /// `c0` must be valid for `4nc` reads and `frow` for `4(2(nc-1)+1)`
-    /// reads and writes, with no aliasing.
-    pub(crate) unsafe fn batch_interp_row_even / batch_interp_row_even_avx2(
+    /// `c0` must be valid for `width·nc` reads and `frow` for
+    /// `width·(2(nc-1)+1)` reads and writes, with no aliasing.
+    pub(crate) unsafe fn batch_interp_row_even / batch_interp_row_even_avx2 / batch_interp_row_even_avx512(
         c0: *const f64, frow: *mut f64, nc: usize,
     )
 }
 
-dispatch! {
+dispatch_batch! {
     /// Batched midpoint-row interpolation correction (includes the
     /// `jc = 0` prologue).
     ///
     /// # Safety
-    /// `c0`/`c1` must be valid for `4nc` reads and `frow` for
-    /// `4(2(nc-1)+1)` reads and writes, with no aliasing.
-    pub(crate) unsafe fn batch_interp_row_odd / batch_interp_row_odd_avx2(
+    /// `c0`/`c1` must be valid for `width·nc` reads and `frow` for
+    /// `width·(2(nc-1)+1)` reads and writes, with no aliasing.
+    pub(crate) unsafe fn batch_interp_row_odd / batch_interp_row_odd_avx2 / batch_interp_row_odd_avx512(
         c0: *const f64, c1: *const f64, frow: *mut f64, nc: usize,
     )
 }
@@ -2076,9 +2344,136 @@ mod tests {
     #[test]
     fn backend_name_is_consistent() {
         let name = vector_backend();
-        assert!(["avx2", "neon", "portable"].contains(&name));
+        assert!(["avx512", "avx2+fma", "neon", "portable"].contains(&name));
         if name != "portable" {
             assert!(vector_available());
+        }
+        if name == "avx512" {
+            assert!(avx512_available());
+        }
+    }
+
+    #[test]
+    fn batch_width_is_valid_and_stable() {
+        let w = batch_width();
+        assert!(w == 4 || w == 8, "batch_width() must be 4 or 8, got {w}");
+        // Resolved once per process: repeated calls agree.
+        assert_eq!(batch_width(), w);
+        // Without AVX-512 the dispatcher must resolve to 4 (unless the
+        // env override forced it).
+        if std::env::var("PETAMG_BATCH_WIDTH").is_err() && !avx512_available() {
+            assert_eq!(w, 4);
+        }
+    }
+
+    /// The 8-lane batch bodies (Portable8 reference and, where the host
+    /// supports it, AVX-512) must evaluate the solo scalar expression
+    /// bitwise per lane — including lanes filled with unrelated values
+    /// (the "0–7 tails": a partially-filled batch carries zeros or
+    /// leftovers in its unused lanes, and those lanes must neither
+    /// perturb nor be perturbed by their neighbours).
+    #[test]
+    fn batch_residual_row_width8_matches_solo_scalar_per_lane() {
+        for n in [3usize, 5, 9, 17] {
+            for filled in 0..=8usize {
+                let width = 8usize;
+                let w = n * width;
+                // Lane k: its own values when k < filled, zeros above.
+                let mk = |s: usize| -> Vec<f64> {
+                    (0..w)
+                        .map(|e| {
+                            let (j, k) = (e / width, e % width);
+                            if k < filled {
+                                ((j * 31 + k * 7 + s * 13) % 101) as f64 / 9.0 - 5.0
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect()
+                };
+                let (up, mid, dn, brow) = (mk(1), mk(2), mk(3), mk(4));
+                let inv_h2 = (n as f64 - 1.0) * (n as f64 - 1.0);
+                let mut got = vec![0.0; w];
+                unsafe {
+                    batch_residual_row(
+                        width,
+                        up.as_ptr(),
+                        mid.as_ptr(),
+                        dn.as_ptr(),
+                        brow.as_ptr(),
+                        inv_h2,
+                        got.as_mut_ptr(),
+                        n,
+                    );
+                }
+                for j in 1..n - 1 {
+                    for k in 0..width {
+                        let e = j * width + k;
+                        let (l, r) = (e - width, e + width);
+                        let ax = (4.0 * mid[e] - up[e] - dn[e] - mid[l] - mid[r]) * inv_h2;
+                        let want = brow[e] - ax;
+                        assert_eq!(
+                            got[e].to_bits(),
+                            want.to_bits(),
+                            "n={n} filled={filled} j={j} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Same per-lane bitwise property for the width-8 SOR body (the
+    /// stride-2 red/black column walk).
+    #[test]
+    fn batch_sor_row_width8_matches_solo_scalar_per_lane() {
+        for n in [5usize, 9, 17] {
+            for j0 in [1usize, 2] {
+                let width = 8usize;
+                let w = n * width;
+                let mk = |s: usize| -> Vec<f64> {
+                    (0..w)
+                        .map(|e| ((e * 29 + s * 17) % 103) as f64 / 8.0 - 6.0)
+                        .collect()
+                };
+                let (up, dn, brow) = (mk(1), mk(3), mk(4));
+                let mid0 = mk(2);
+                let h2 = 1.0 / ((n as f64 - 1.0) * (n as f64 - 1.0));
+                let omega = 1.15;
+                let mut got = mid0.clone();
+                unsafe {
+                    batch_sor_row(
+                        width,
+                        up.as_ptr(),
+                        got.as_mut_ptr(),
+                        dn.as_ptr(),
+                        brow.as_ptr(),
+                        n,
+                        h2,
+                        omega,
+                        j0,
+                    );
+                }
+                // Scalar reference: the solo SOR update per lane, same
+                // stride-2 schedule (updates see earlier updates of the
+                // same color through `want` itself, exactly like the
+                // kernel sees them through `mid`).
+                let mut want = mid0.clone();
+                let mut j = j0;
+                while j < n - 1 {
+                    for k in 0..width {
+                        let e = j * width + k;
+                        let (l, r) = (e - width, e + width);
+                        let sum = up[e] + dn[e] + want[l] + want[r];
+                        let gs = 0.25 * (sum + h2 * brow[e]);
+                        want[e] += omega * (gs - want[e]);
+                    }
+                    j += 2;
+                }
+                for e in 0..w {
+                    assert_eq!(got[e].to_bits(), want[e].to_bits(), "n={n} j0={j0} e={e}");
+                }
+            }
         }
     }
 

@@ -104,8 +104,8 @@ struct Pools {
     grids: HashMap<usize, Vec<Grid2d>>,
     /// Scratch row buffers keyed by length (64-byte-aligned storage).
     buffers: HashMap<usize, Vec<AlignedBuf>>,
-    /// Scratch batch grids keyed by side length `n` (multi-RHS solves).
-    batches: HashMap<usize, Vec<BatchGrid>>,
+    /// Scratch batch grids keyed by `(n, width)` (multi-RHS solves).
+    batches: HashMap<(usize, usize), Vec<BatchGrid>>,
 }
 
 /// A pool of reusable scratch grids and row buffers.
@@ -218,10 +218,16 @@ impl Workspace {
         }
     }
 
-    /// Lease an all-zero `n`×`n` batch grid ([`BatchGrid`]) for a
-    /// multi-RHS solve, reusing pooled storage when available.
-    pub fn acquire_batch(&self, n: usize) -> BatchLease<'_> {
-        let pooled = lock(&self.pools).batches.get_mut(&n).and_then(Vec::pop);
+    /// Lease an all-zero `n`×`n` batch grid ([`BatchGrid`]) of `width`
+    /// lanes for a multi-RHS solve, reusing pooled storage when
+    /// available. Batches pool per `(n, width)` pair, so a process that
+    /// mixes widths (e.g. a forced-width-4 run next to native width 8)
+    /// never hands a lease of the wrong shape.
+    pub fn acquire_batch(&self, n: usize, width: usize) -> BatchLease<'_> {
+        let pooled = lock(&self.pools)
+            .batches
+            .get_mut(&(n, width))
+            .and_then(Vec::pop);
         let batch = match pooled {
             Some(mut b) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
@@ -230,7 +236,7 @@ impl Workspace {
             }
             None => {
                 self.allocations.fetch_add(1, Ordering::Relaxed);
-                BatchGrid::zeros(n)
+                BatchGrid::zeros(n, width)
             }
         };
         BatchLease {
@@ -239,11 +245,14 @@ impl Workspace {
         }
     }
 
-    /// Lease an `n`×`n` batch grid **without** clearing pooled contents
-    /// (fresh allocations are still zeroed); for batch scratch that is
-    /// fully overwritten before any read.
-    pub fn acquire_batch_unzeroed(&self, n: usize) -> BatchLease<'_> {
-        let pooled = lock(&self.pools).batches.get_mut(&n).and_then(Vec::pop);
+    /// Lease an `n`×`n` batch grid of `width` lanes **without**
+    /// clearing pooled contents (fresh allocations are still zeroed);
+    /// for batch scratch that is fully overwritten before any read.
+    pub fn acquire_batch_unzeroed(&self, n: usize, width: usize) -> BatchLease<'_> {
+        let pooled = lock(&self.pools)
+            .batches
+            .get_mut(&(n, width))
+            .and_then(Vec::pop);
         let batch = match pooled {
             Some(b) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
@@ -251,7 +260,7 @@ impl Workspace {
             }
             None => {
                 self.allocations.fetch_add(1, Ordering::Relaxed);
-                BatchGrid::zeros(n)
+                BatchGrid::zeros(n, width)
             }
         };
         BatchLease {
@@ -295,7 +304,7 @@ impl Workspace {
     fn release_batch(&self, batch: BatchGrid) {
         lock(&self.pools)
             .batches
-            .entry(batch.n())
+            .entry((batch.n(), batch.width()))
             .or_default()
             .push(batch);
     }
@@ -397,13 +406,29 @@ mod tests {
     fn batch_grids_pool_and_zero() {
         let ws = Workspace::new();
         {
-            let mut b = ws.acquire_batch(9);
+            let mut b = ws.acquire_batch(9, 4);
             b.as_mut_slice()[17] = 3.0;
         }
-        let b = ws.acquire_batch(9);
+        let b = ws.acquire_batch(9, 4);
         assert_eq!(b.n(), 9);
+        assert_eq!(b.width(), 4);
         assert!(b.as_slice().iter().all(|&v| v == 0.0));
         assert_eq!(ws.stats().reuses, 1);
+    }
+
+    #[test]
+    fn batch_widths_pool_separately() {
+        let ws = Workspace::new();
+        {
+            let _a = ws.acquire_batch(9, 4);
+        }
+        // Same n, different width: must be a fresh allocation of the
+        // right shape, never the pooled width-4 batch.
+        let b = ws.acquire_batch(9, 8);
+        assert_eq!(b.width(), 8);
+        assert_eq!(b.as_slice().len(), 9 * 9 * 8);
+        assert_eq!(ws.stats().allocations, 2);
+        assert_eq!(ws.stats().reuses, 0);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::op::StencilOp;
 use petamg_grid::{
     batch_zero_boundary_ring, coarse_size, restrict_rows_into, zero_boundary_ring, BatchGrid,
-    BatchPtr, Exec, Grid2d, GridPtr, Workspace, BATCH_WIDTH,
+    BatchPtr, Exec, Grid2d, GridPtr, Workspace,
 };
 
 /// Row `i` of `g` as a slice.
@@ -174,9 +174,15 @@ pub fn batch_residual_op(
 ) {
     assert_eq!(x.n(), b.n(), "size mismatch in batch_residual_op (x vs b)");
     assert_eq!(x.n(), r.n(), "size mismatch in batch_residual_op (x vs r)");
+    assert_eq!(
+        x.width(),
+        r.width(),
+        "width mismatch in batch_residual_op (x vs r)"
+    );
     op.assert_n(x.n());
     let n = x.n();
-    let w = n * BATCH_WIDTH;
+    let width = x.width();
+    let w = n * width;
     let inv_h2 = x.inv_h2();
     let mode = exec.simd();
     let rp = BatchPtr::new(r);
@@ -187,6 +193,7 @@ pub fn batch_residual_op(
         let out_row = unsafe { std::slice::from_raw_parts_mut(rp.row_mut(i), w) };
         op.batch_residual_row_into(
             i,
+            width,
             &xs[(i - 1) * w..i * w],
             &xs[i * w..(i + 1) * w],
             &xs[(i + 1) * w..(i + 2) * w],

@@ -26,7 +26,7 @@
 
 use crate::coeffs::StencilCoeffs;
 use petamg_grid::simd::{self, SimdMode};
-use petamg_grid::{batch_residual_row_into, residual_row_into, BATCH_WIDTH};
+use petamg_grid::{batch_residual_row_into, residual_row_into};
 use std::sync::Arc;
 
 /// One level's discrete operator: `A u = (cc·u − cn·N − cs·S − cw·W −
@@ -378,16 +378,18 @@ impl StencilOp {
 
     /// Batched (multi-RHS) residual row: like
     /// [`StencilOp::residual_row_into`], but every slice is a *batch*
-    /// row of `n · BATCH_WIDTH` values (lane `k` of point `j` at
-    /// `[4j + k]`). Writes points `1..n-1` of `out`; boundary points
-    /// untouched. Per lane this reproduces the solo scalar expression
-    /// bit for bit — the operator is shared across lanes, so
-    /// coefficient rows stay solo-stride and are splatted per point.
+    /// row of `n · width` values (lane `k` of point `j` at
+    /// `[width·j + k]`, `width` 4 or 8). Writes points `1..n-1` of
+    /// `out`; boundary points untouched. Per lane this reproduces the
+    /// solo scalar expression bit for bit — the operator is shared
+    /// across lanes, so coefficient rows stay solo-stride and are
+    /// splatted per point.
     #[allow(clippy::too_many_arguments)]
     #[inline]
     pub fn batch_residual_row_into(
         &self,
         i: usize,
+        width: usize,
         up: &[f64],
         mid: &[f64],
         dn: &[f64],
@@ -396,18 +398,22 @@ impl StencilOp {
         out: &mut [f64],
         mode: SimdMode,
     ) {
-        let n = mid.len() / BATCH_WIDTH;
+        let n = mid.len() / width;
         match self {
-            StencilOp::Poisson => batch_residual_row_into(up, mid, dn, brow, inv_h2, out, mode),
+            StencilOp::Poisson => {
+                batch_residual_row_into(width, up, mid, dn, brow, inv_h2, out, mode)
+            }
             StencilOp::ConstFive {
                 cw, ce, cn, cs, cc, ..
             } => match mode {
                 SimdMode::Vector => {
-                    // SAFETY: all batch rows hold `4n` values; every
-                    // access is a four-lane op at element offset `4j`,
-                    // `j` in `1..n-1`; `out` aliases nothing.
+                    // SAFETY: all batch rows hold `width·n` values;
+                    // every access is a `width`-lane op at element
+                    // offset `width·j`, `j` in `1..n-1`; `out` aliases
+                    // nothing.
                     unsafe {
                         simd::batch_wres_residual_row(
+                            width,
                             up.as_ptr(),
                             mid.as_ptr(),
                             dn.as_ptr(),
@@ -425,9 +431,9 @@ impl StencilOp {
                 }
                 SimdMode::Scalar => {
                     for j in 1..n - 1 {
-                        for k in 0..BATCH_WIDTH {
-                            let e = j * BATCH_WIDTH + k;
-                            let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                        for k in 0..width {
+                            let e = j * width + k;
+                            let (l, r) = (e - width, e + width);
                             let ax =
                                 (cc * mid[e] - cn * up[e] - cs * dn[e] - cw * mid[l] - ce * mid[r])
                                     * inv_h2;
@@ -447,11 +453,12 @@ impl StencilOp {
                 );
                 match mode {
                     SimdMode::Vector => {
-                        // SAFETY: batch rows hold `4n` values, the
-                        // solo-stride coefficient rows `n`; `out`
+                        // SAFETY: batch rows hold `width·n` values,
+                        // the solo-stride coefficient rows `n`; `out`
                         // aliases nothing.
                         unsafe {
                             simd::batch_var_residual_row(
+                                width,
                                 up.as_ptr(),
                                 mid.as_ptr(),
                                 dn.as_ptr(),
@@ -469,9 +476,9 @@ impl StencilOp {
                     }
                     SimdMode::Scalar => {
                         for j in 1..n - 1 {
-                            for k in 0..BATCH_WIDTH {
-                                let e = j * BATCH_WIDTH + k;
-                                let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                            for k in 0..width {
+                                let e = j * width + k;
+                                let (l, r) = (e - width, e + width);
                                 let ax = (cr[j] * mid[e]
                                     - nr[j] * up[e]
                                     - sr[j] * dn[e]
@@ -489,18 +496,19 @@ impl StencilOp {
 
     /// Batched (multi-RHS) red/black SOR row update: like
     /// [`StencilOp::sor_row_update`], but over batch rows of
-    /// `n · BATCH_WIDTH` values — every color cell updates all four
+    /// `n · width` values — every color cell updates all `width`
     /// lanes at once, each with the solo scalar expression.
     ///
     /// # Safety
-    /// All four pointers must be valid for `n · BATCH_WIDTH` reads
-    /// (`mid` for writes), and no other task may concurrently write the
-    /// cells read here.
+    /// All four pointers must be valid for `n · width` reads (`mid`
+    /// for writes), and no other task may concurrently write the cells
+    /// read here.
     #[allow(clippy::too_many_arguments)]
     #[inline]
     pub unsafe fn batch_sor_row_update(
         &self,
         i: usize,
+        width: usize,
         up: *const f64,
         mid: *mut f64,
         dn: *const f64,
@@ -516,14 +524,14 @@ impl StencilOp {
             StencilOp::Poisson => match mode {
                 SimdMode::Vector => {
                     // SAFETY: forwarded contract.
-                    unsafe { simd::batch_sor_row(up, mid, dn, brow, n, h2, omega, j0) };
+                    unsafe { simd::batch_sor_row(width, up, mid, dn, brow, n, h2, omega, j0) };
                 }
                 SimdMode::Scalar => {
                     let mut j = j0;
                     while j < n - 1 {
-                        for k in 0..BATCH_WIDTH {
-                            let e = j * BATCH_WIDTH + k;
-                            let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                        for k in 0..width {
+                            let e = j * width + k;
+                            let (l, r) = (e - width, e + width);
                             // SAFETY: forwarded contract; j in 1..n-1.
                             unsafe {
                                 let nb = *up.add(e) + *dn.add(e) + *mid.add(l) + *mid.add(r);
@@ -548,16 +556,16 @@ impl StencilOp {
                     // SAFETY: forwarded contract.
                     unsafe {
                         simd::batch_wres_sor_row(
-                            up, mid, dn, brow, n, h2, omega, j0, *cw, *ce, *cn, *cs, *inv_cc,
+                            width, up, mid, dn, brow, n, h2, omega, j0, *cw, *ce, *cn, *cs, *inv_cc,
                         );
                     }
                 }
                 SimdMode::Scalar => {
                     let mut j = j0;
                     while j < n - 1 {
-                        for k in 0..BATCH_WIDTH {
-                            let e = j * BATCH_WIDTH + k;
-                            let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                        for k in 0..width {
+                            let e = j * width + k;
+                            let (l, r) = (e - width, e + width);
                             // SAFETY: forwarded contract; j in 1..n-1.
                             unsafe {
                                 let nb = cn * *up.add(e)
@@ -588,16 +596,16 @@ impl StencilOp {
                         // coefficient rows hold `n` values each.
                         unsafe {
                             simd::batch_var_sor_row(
-                                up, mid, dn, brow, wr, er, nr, sr, icr, n, h2, omega, j0,
+                                width, up, mid, dn, brow, wr, er, nr, sr, icr, n, h2, omega, j0,
                             );
                         }
                     }
                     SimdMode::Scalar => {
                         let mut j = j0;
                         while j < n - 1 {
-                            for k in 0..BATCH_WIDTH {
-                                let e = j * BATCH_WIDTH + k;
-                                let (l, r) = (e - BATCH_WIDTH, e + BATCH_WIDTH);
+                            for k in 0..width {
+                                let e = j * width + k;
+                                let (l, r) = (e - width, e + width);
                                 // SAFETY: forwarded contract; j in 1..n-1.
                                 unsafe {
                                     let nb = *nr.add(j) * *up.add(e)

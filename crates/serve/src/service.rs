@@ -26,7 +26,7 @@ use petamg_core::guard::{GuardedReport, GuardedSolver, SolveError};
 use petamg_core::plan::{simple_v_family, TunedFamily, PAPER_ACCURACIES};
 use petamg_core::training::Distribution;
 use petamg_core::tuner::{TunerOptions, VTuner};
-use petamg_grid::{size_level, Exec, Grid2d, Workspace, WorkspaceStats, BATCH_WIDTH};
+use petamg_grid::{batch_width, size_level, Exec, Grid2d, Workspace, WorkspaceStats};
 use petamg_problems::Problem;
 use petamg_runtime::ThreadPool;
 use petamg_solvers::{DirectSolverCache, GuardConfig};
@@ -87,6 +87,12 @@ pub struct ServiceConfig {
     pub guard: GuardConfig,
     /// What to do on a fingerprint miss.
     pub tuning: TunePolicy,
+    /// Batched dispatch width override (4 or 8). `None` resolves the
+    /// host's width once at startup via [`petamg_grid::batch_width`]:
+    /// 8 on AVX-512 hosts, 4 elsewhere. Width only sets how many
+    /// same-fingerprint requests amortize one guarded solve — results
+    /// are bitwise identical at every width.
+    pub batch_width: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -102,6 +108,7 @@ impl ServiceConfig {
             exec: Exec::seq(),
             guard: GuardConfig::default(),
             tuning: TunePolicy::Heuristic,
+            batch_width: None,
         }
     }
 
@@ -138,6 +145,19 @@ impl ServiceConfig {
     /// Set the tuning policy.
     pub fn with_tuning(mut self, tuning: TunePolicy) -> Self {
         self.tuning = tuning;
+        self
+    }
+
+    /// Force the batched dispatch width (4 or 8) instead of resolving
+    /// the host's width. A width-8 override on a non-AVX-512 host is
+    /// legal — the portable 8-lane backend serves it. Results are
+    /// bitwise identical at every width; this is an amortization knob.
+    ///
+    /// # Panics
+    /// Panics if `width` is not 4 or 8.
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        assert!(width == 4 || width == 8, "batch width must be 4 or 8");
+        self.batch_width = Some(width);
         self
     }
 }
@@ -342,6 +362,13 @@ pub struct ServiceStats {
     pub batches: u64,
     /// Requests served inside a batch group.
     pub batched_requests: u64,
+    /// The service's batched dispatch width (4 or 8): the group cap
+    /// for [`SolverService::submit_many`] and the lane count of each
+    /// batched guarded solve. Resolved once at startup (or forced via
+    /// [`ServiceConfig::with_batch_width`]); constant for the
+    /// service's lifetime, surfaced here so operators can see which
+    /// width serves batched traffic.
+    pub batch_width: usize,
 }
 
 #[derive(Default)]
@@ -378,6 +405,8 @@ struct Inner {
     guard: GuardConfig,
     tuning: TunePolicy,
     queue_capacity: usize,
+    /// Batched dispatch width (4 or 8), resolved once at startup.
+    batch_width: usize,
     /// Submitted-but-unfinished request count, guarded by a mutex so
     /// admission, blocking submits, and drain can share one condvar.
     in_flight: Mutex<usize>,
@@ -412,6 +441,7 @@ impl SolverService {
             guard: cfg.guard,
             tuning: cfg.tuning,
             queue_capacity: cfg.queue_capacity.max(1),
+            batch_width: cfg.batch_width.unwrap_or_else(batch_width),
             in_flight: Mutex::new(0),
             changed: Condvar::new(),
             stats: StatCounters::default(),
@@ -460,7 +490,10 @@ impl SolverService {
     /// return their tickets in request order.
     ///
     /// Requests posing the **same problem at the same size** are
-    /// grouped — up to [`BATCH_WIDTH`] per
+    /// grouped — up to the service's dispatch width
+    /// ([`ServiceStats::batch_width`]: 8 on AVX-512 hosts, 4
+    /// elsewhere, unless forced by
+    /// [`ServiceConfig::with_batch_width`]) per
     /// group, in arrival order — and each group is served by one
     /// multi-RHS guarded solve on one worker, amortizing plan lookup,
     /// workspace leasing, and coefficient traffic across the group.
@@ -471,7 +504,7 @@ impl SolverService {
     /// traffic needs no special handling by the caller. Every request
     /// counts individually toward the admission bound.
     pub fn submit_many(&self, requests: Vec<SolveRequest>) -> Vec<Ticket> {
-        let max_group = BATCH_WIDTH.min(self.inner.queue_capacity);
+        let max_group = self.inner.batch_width.min(self.inner.queue_capacity);
         let mut slots: Vec<Arc<Slot>> = Vec::with_capacity(requests.len());
         for _ in 0..requests.len() {
             bump(&self.inner.stats.submitted);
@@ -649,7 +682,13 @@ impl SolverService {
             coalesced: s.coalesced.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
             batched_requests: s.batched_requests.load(Ordering::Relaxed),
+            batch_width: self.inner.batch_width,
         }
+    }
+
+    /// The service's batched dispatch width (4 or 8).
+    pub fn batch_width(&self) -> usize {
+        self.inner.batch_width
     }
 
     /// The plan library (stats, capacity, cached keys).
@@ -788,7 +827,8 @@ fn handle_group(inner: &Inner, requests: Vec<SolveRequest>) -> Vec<ServeResponse
             .with_exec(inner.exec.clone())
             .with_cache(Arc::clone(&inner.cache))
             .with_workspace(workspace)
-            .with_guard_config(inner.guard);
+            .with_guard_config(inner.guard)
+            .with_batch_width(inner.batch_width);
         if let Some(plan) = plan {
             solver = solver.with_shared_plan(plan);
         }
@@ -1120,5 +1160,53 @@ mod tests {
         let stats = svc.stats();
         assert!(stats.batches >= 2, "groups capped at the queue bound");
         assert_eq!(svc.in_flight(), 0);
+    }
+
+    /// Width is a locator for amortization, never identity: the same
+    /// traffic served through a forced-width-4 service and a
+    /// forced-width-8 service produces bitwise-identical solutions,
+    /// and each service surfaces its dispatch width in the stats and
+    /// per-request reports.
+    #[test]
+    fn forced_width_4_and_8_agree_bitwise() {
+        let make = |tag: &str, width: usize| {
+            SolverService::start(ServiceConfig::new(tmp_dir(tag)).with_batch_width(width)).unwrap()
+        };
+        let requests: Vec<SolveRequest> = (0..8)
+            .map(|k| request(Problem::anisotropic(0.1), 17, 60 + k))
+            .collect();
+        let clone_all = |rs: &[SolveRequest]| -> Vec<SolveRequest> {
+            rs.iter()
+                .map(|r| SolveRequest::new(r.problem.clone(), r.x0.clone(), r.b.clone(), r.tol))
+                .collect()
+        };
+
+        let svc4 = make("w4", 4);
+        assert_eq!(svc4.batch_width(), 4);
+        let at4 = svc4.solve_many(clone_all(&requests));
+        let stats4 = svc4.stats();
+        assert_eq!(stats4.batch_width, 4);
+        assert_eq!(stats4.batches, 2, "8 requests = two width-4 groups");
+        assert_eq!(stats4.batched_requests, 8);
+
+        let svc8 = make("w8", 8);
+        assert_eq!(svc8.batch_width(), 8);
+        let at8 = svc8.solve_many(clone_all(&requests));
+        let stats8 = svc8.stats();
+        assert_eq!(stats8.batch_width, 8);
+        assert_eq!(stats8.batches, 1, "8 requests = one width-8 group");
+        assert_eq!(stats8.batched_requests, 8);
+
+        for (k, (r4, r8)) in at4.into_iter().zip(at8).enumerate() {
+            let r4 = r4.expect("width-4 lane serves");
+            let r8 = r8.expect("width-8 lane serves");
+            assert_eq!(
+                r4.x.as_slice(),
+                r8.x.as_slice(),
+                "slot {k}: results must be bitwise independent of width"
+            );
+            assert_eq!(r4.report.batch_width, 4, "slot {k}");
+            assert_eq!(r8.report.batch_width, 8, "slot {k}");
+        }
     }
 }

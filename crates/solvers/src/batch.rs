@@ -1,28 +1,28 @@
 //! Batched (multi-RHS) relaxation sweeps and V-cycle edge kernels.
 //!
-//! These carry [`BATCH_WIDTH`](petamg_grid::BATCH_WIDTH) systems — one
-//! per SIMD lane — through the same sweep schedule as the solo path.
-//! Because the batched row kernels evaluate the solo scalar expression
-//! per lane (see `petamg_grid::batch`), and because the solo fused /
-//! blocked variants are bitwise identical to their staged references,
-//! each lane of every batched composition is bitwise identical to
-//! **every** solo execution mode of the same operator. The batched
-//! cycle edges are therefore built as staged compositions — relax then
+//! These carry [`BatchGrid::width`] systems — one per SIMD lane, 4 or
+//! 8 depending on the host's vector tier (see
+//! [`petamg_grid::batch_width`]) — through the same sweep schedule as
+//! the solo path. Because the batched row kernels evaluate the solo
+//! scalar expression per lane (see `petamg_grid::batch`), and because
+//! the solo fused / blocked variants are bitwise identical to their
+//! staged references, each lane of every batched composition is
+//! bitwise identical to **every** solo execution mode of the same
+//! operator, at **every** batch width. The batched cycle edges are
+//! therefore built as staged compositions — relax then
 //! residual+restrict, interpolate then relax — with no separate fused
 //! variant to conform.
 
-#[cfg(test)]
-use petamg_grid::BATCH_WIDTH;
 use petamg_grid::{
     batch_interpolate_correct, batch_restrict_full_weighting, BatchGrid, BatchPtr, Exec, Workspace,
 };
 use petamg_problems::{batch_residual_op, StencilOp};
 
 /// One batched half-sweep of operator `op` updating only cells of
-/// `color` (`(i+j) % 2 == color`) — all
-/// [`BATCH_WIDTH`](petamg_grid::BATCH_WIDTH) lanes of each
-/// color cell at once. The red/black schedule, row order, and per-lane
-/// arithmetic match [`crate::relax::sor_half_sweep_op`] exactly.
+/// `color` (`(i+j) % 2 == color`) — all [`BatchGrid::width`] lanes of
+/// each color cell at once. The red/black schedule, row order, and
+/// per-lane arithmetic match [`crate::relax::sor_half_sweep_op`]
+/// exactly.
 ///
 /// # Panics
 /// Panics if grid sizes differ, `color >= 2`, or the operator is bound
@@ -37,8 +37,14 @@ pub fn batch_sor_half_sweep_op(
 ) {
     assert!(color < 2);
     assert_eq!(x.n(), b.n(), "size mismatch in batch_sor_half_sweep_op");
+    assert_eq!(
+        x.width(),
+        b.width(),
+        "width mismatch in batch_sor_half_sweep_op"
+    );
     op.assert_n(x.n());
     let n = x.n();
+    let width = x.width();
     let h2 = {
         let h = x.h();
         h * h
@@ -55,6 +61,7 @@ pub fn batch_sor_half_sweep_op(
         unsafe {
             op.batch_sor_row_update(
                 i,
+                width,
                 xp.row(i - 1),
                 xp.row_mut(i),
                 xp.row(i + 1),
@@ -113,7 +120,7 @@ pub fn batch_residual_restrict_op(
     ws: &Workspace,
     exec: &Exec,
 ) {
-    let mut r = ws.acquire_batch_unzeroed(x.n());
+    let mut r = ws.acquire_batch_unzeroed(x.n(), x.width());
     batch_residual_op(op, x, b, &mut r, exec);
     batch_restrict_full_weighting(&r, coarse, exec);
 }
@@ -161,8 +168,10 @@ mod tests {
     use petamg_grid::{coarse_size, Grid2d, SimdPolicy};
     use petamg_problems::Problem;
 
-    fn lanes(n: usize, seed: usize) -> Vec<Grid2d> {
-        (0..BATCH_WIDTH)
+    const WIDTHS: [usize; 2] = [4, 8];
+
+    fn lanes(n: usize, width: usize, seed: usize) -> Vec<Grid2d> {
+        (0..width)
             .map(|k| {
                 Grid2d::from_fn(n, |i, j| {
                     ((i * 29 + j * 23 + k * 11 + seed) % 107) as f64 / 8.0 - 6.0
@@ -171,8 +180,8 @@ mod tests {
             .collect()
     }
 
-    fn load(xs: &[Grid2d]) -> BatchGrid {
-        let mut b = BatchGrid::zeros(xs[0].n());
+    fn load(xs: &[Grid2d], width: usize) -> BatchGrid {
+        let mut b = BatchGrid::zeros(xs[0].n(), width);
         for (k, g) in xs.iter().enumerate() {
             b.load_lane(k, g);
         }
@@ -199,24 +208,26 @@ mod tests {
     #[test]
     fn batched_sor_sweeps_match_solo_bitwise() {
         let n = 17;
-        let xs = lanes(n, 1);
-        let bs = lanes(n, 2);
-        for op in families(n) {
-            for exec in execs() {
-                let mut xb = load(&xs);
-                let bb = load(&bs);
-                batch_sor_sweeps_op(&op, &mut xb, &bb, 1.15, 3, &exec);
-                for k in 0..BATCH_WIDTH {
-                    let mut want = xs[k].clone();
-                    sor_sweeps_op(&op, &mut want, &bs[k], 1.15, 3, &exec);
-                    let mut got = Grid2d::zeros(n);
-                    xb.store_lane(k, &mut got);
-                    assert_eq!(
-                        got.as_slice(),
-                        want.as_slice(),
-                        "{} lane={k} {exec:?}",
-                        op.describe()
-                    );
+        for width in WIDTHS {
+            let xs = lanes(n, width, 1);
+            let bs = lanes(n, width, 2);
+            for op in families(n) {
+                for exec in execs() {
+                    let mut xb = load(&xs, width);
+                    let bb = load(&bs, width);
+                    batch_sor_sweeps_op(&op, &mut xb, &bb, 1.15, 3, &exec);
+                    for k in 0..width {
+                        let mut want = xs[k].clone();
+                        sor_sweeps_op(&op, &mut want, &bs[k], 1.15, 3, &exec);
+                        let mut got = Grid2d::zeros(n);
+                        xb.store_lane(k, &mut got);
+                        assert_eq!(
+                            got.as_slice(),
+                            want.as_slice(),
+                            "{} width={width} lane={k} {exec:?}",
+                            op.describe()
+                        );
+                    }
                 }
             }
         }
@@ -227,49 +238,60 @@ mod tests {
         let n = 17;
         let nc = coarse_size(n);
         let ws = Workspace::new();
-        let xs = lanes(n, 3);
-        let bs = lanes(n, 4);
-        let es = lanes(nc, 5);
-        for op in families(n) {
-            for exec in execs() {
-                // Down edge: relax + residual + restrict.
-                let mut xb = load(&xs);
-                let bb = load(&bs);
-                let mut cb = BatchGrid::zeros(nc);
-                batch_relax_residual_restrict_op(&op, &mut xb, &bb, &mut cb, 1.15, 2, &ws, &exec);
-                for k in 0..BATCH_WIDTH {
-                    let mut x = xs[k].clone();
-                    let mut want = Grid2d::zeros(nc);
-                    relax_residual_restrict_op(&op, &mut x, &bs[k], &mut want, 1.15, 2, &ws, &exec);
-                    let mut gx = Grid2d::zeros(n);
-                    xb.store_lane(k, &mut gx);
-                    let mut gc = Grid2d::zeros(nc);
-                    cb.store_lane(k, &mut gc);
-                    assert_eq!(gx.as_slice(), x.as_slice(), "{} x lane={k}", op.describe());
-                    assert_eq!(
-                        gc.as_slice(),
-                        want.as_slice(),
-                        "{} c lane={k}",
-                        op.describe()
+        for width in WIDTHS {
+            let xs = lanes(n, width, 3);
+            let bs = lanes(n, width, 4);
+            let es = lanes(nc, width, 5);
+            for op in families(n) {
+                for exec in execs() {
+                    // Down edge: relax + residual + restrict.
+                    let mut xb = load(&xs, width);
+                    let bb = load(&bs, width);
+                    let mut cb = BatchGrid::zeros(nc, width);
+                    batch_relax_residual_restrict_op(
+                        &op, &mut xb, &bb, &mut cb, 1.15, 2, &ws, &exec,
                     );
-                }
-                // Up edge: interpolate-correct + relax.
-                let mut xb = load(&xs);
-                let eb = load(&es);
-                batch_interpolate_correct_relax_op(&op, &eb, &mut xb, &bb, 1.15, 2, &exec);
-                for k in 0..BATCH_WIDTH {
-                    let mut want = xs[k].clone();
-                    interpolate_correct_relax_op(
-                        &op, &es[k], &mut want, &bs[k], 1.15, 2, &ws, &exec,
-                    );
-                    let mut got = Grid2d::zeros(n);
-                    xb.store_lane(k, &mut got);
-                    assert_eq!(
-                        got.as_slice(),
-                        want.as_slice(),
-                        "{} up lane={k} {exec:?}",
-                        op.describe()
-                    );
+                    for k in 0..width {
+                        let mut x = xs[k].clone();
+                        let mut want = Grid2d::zeros(nc);
+                        relax_residual_restrict_op(
+                            &op, &mut x, &bs[k], &mut want, 1.15, 2, &ws, &exec,
+                        );
+                        let mut gx = Grid2d::zeros(n);
+                        xb.store_lane(k, &mut gx);
+                        let mut gc = Grid2d::zeros(nc);
+                        cb.store_lane(k, &mut gc);
+                        assert_eq!(
+                            gx.as_slice(),
+                            x.as_slice(),
+                            "{} x width={width} lane={k}",
+                            op.describe()
+                        );
+                        assert_eq!(
+                            gc.as_slice(),
+                            want.as_slice(),
+                            "{} c width={width} lane={k}",
+                            op.describe()
+                        );
+                    }
+                    // Up edge: interpolate-correct + relax.
+                    let mut xb = load(&xs, width);
+                    let eb = load(&es, width);
+                    batch_interpolate_correct_relax_op(&op, &eb, &mut xb, &bb, 1.15, 2, &exec);
+                    for k in 0..width {
+                        let mut want = xs[k].clone();
+                        interpolate_correct_relax_op(
+                            &op, &es[k], &mut want, &bs[k], 1.15, 2, &ws, &exec,
+                        );
+                        let mut got = Grid2d::zeros(n);
+                        xb.store_lane(k, &mut got);
+                        assert_eq!(
+                            got.as_slice(),
+                            want.as_slice(),
+                            "{} up width={width} lane={k} {exec:?}",
+                            op.describe()
+                        );
+                    }
                 }
             }
         }
