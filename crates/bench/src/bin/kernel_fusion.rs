@@ -37,9 +37,11 @@
 
 use petamg_bench::time_best;
 use petamg_choice::KnobTable;
+use petamg_core::obs::{self, TelemetryMode};
 use petamg_core::plan::{simple_v_family, ExecCtx, TunedFamily, PAPER_ACCURACIES};
 use petamg_core::training::{Distribution, ProblemInstance};
 use petamg_core::tuner::{tune_kernel_knobs_for_level, KnobTunerOptions, TunerOptions, VTuner};
+use petamg_core::{GuardedSolver, SolveTelemetry};
 use petamg_grid::{
     batch_width, coarse_size, interpolate_add, interpolate_correct, l2_norm_interior, residual,
     residual_restrict, restrict_full_weighting, size_level, vector_backend, BatchGrid, Exec,
@@ -202,6 +204,23 @@ struct SolveManyRecord {
 }
 
 #[derive(Serialize)]
+struct TelemetryOverheadRecord {
+    n: usize,
+    /// Warm guarded solve with no telemetry feed attached, seconds.
+    baseline_s: f64,
+    /// Same solve with a feed attached but the process gate closed —
+    /// the shipped default. One relaxed atomic load per solve.
+    gated_off_s: f64,
+    /// Same solve with the gate open in metrics mode: per-kernel
+    /// clocks, phase timers, histogram records.
+    enabled_s: f64,
+    /// gated_off / baseline - 1. Asserted < 1% at n = 513.
+    gated_off_overhead: f64,
+    /// enabled / baseline - 1 (informational).
+    enabled_overhead: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     bench: String,
     quick: bool,
@@ -234,6 +253,11 @@ struct Report {
     /// versus the same systems cycled one at a time, per backend —
     /// the width axis of the amortization story.
     batch_sweep: Vec<SolveManyRecord>,
+    /// Telemetry tax on a warm guarded solve: a feed attached with the
+    /// process gate closed must be free next to no feed at all (< 1%
+    /// at n = 513, asserted in-bench); the gate-open column prices the
+    /// per-kernel clocks and histogram records the metrics mode buys.
+    telemetry_overhead: Vec<TelemetryOverheadRecord>,
 }
 
 fn test_grids(n: usize) -> (Grid2d, Grid2d) {
@@ -916,11 +940,74 @@ fn bench_batch_sweep(
     }
 }
 
+/// Telemetry tax on a warm guarded solve. Three configurations run the
+/// identical work — the converged iterate is re-solved, which replays
+/// the open-loop tuned rung plus one residual check per call — with
+/// (a) no telemetry feed attached, (b) a feed attached but the process
+/// gate closed (the shipped default), and (c) the gate open in metrics
+/// mode.
+fn bench_telemetry_overhead(n: usize, trials: usize, quick: bool) -> TelemetryOverheadRecord {
+    let level = size_level(n).expect("bench sizes are 2^k + 1");
+    let problem = Problem::poisson();
+    let inst = ProblemInstance::random_for(&problem, level, Distribution::UnbiasedUniform, 0x7E1E);
+    let cache = Arc::new(DirectSolverCache::new());
+    let workspace = Arc::new(Workspace::new());
+    let fam = simple_v_family(level, &PAPER_ACCURACIES);
+    let registry = obs::Registry::new();
+    let feed = Arc::new(SolveTelemetry::register(&registry));
+
+    let plain = GuardedSolver::new(problem.clone())
+        .with_plan(fam.clone())
+        .with_cache(Arc::clone(&cache))
+        .with_workspace(Arc::clone(&workspace));
+    let instrumented = GuardedSolver::new(problem)
+        .with_plan(fam)
+        .with_cache(cache)
+        .with_workspace(workspace)
+        .with_telemetry(feed);
+
+    let tol = 1e-6;
+    let mut x = inst.working_grid();
+    obs::set_mode(TelemetryMode::Off);
+    plain
+        .solve(&mut x, &inst.b, tol)
+        .expect("poisson converges on the tuned rung");
+
+    // The disabled-path delta is nanoseconds against milliseconds of
+    // solve, so this sweep takes more best-of trials than the kernel
+    // sweeps to make the < 1% assertion robust to scheduler noise.
+    let trials = trials.max(5);
+    let reps = (reps_for(n, quick) / 4).max(2);
+    let mut timed = |solver: &GuardedSolver, mode: TelemetryMode| {
+        obs::set_mode(mode);
+        let s = time_best(trials, || {
+            for _ in 0..reps {
+                solver
+                    .solve(black_box(&mut x), &inst.b, tol)
+                    .expect("warm re-solve stays converged");
+            }
+        }) / reps as f64;
+        obs::set_mode(TelemetryMode::Off);
+        s
+    };
+    let baseline_s = timed(&plain, TelemetryMode::Off);
+    let gated_off_s = timed(&instrumented, TelemetryMode::Off);
+    let enabled_s = timed(&instrumented, TelemetryMode::Metrics);
+
+    TelemetryOverheadRecord {
+        n,
+        baseline_s,
+        gated_off_s,
+        enabled_s,
+        gated_off_overhead: gated_off_s / baseline_s - 1.0,
+        enabled_overhead: enabled_s / baseline_s - 1.0,
+    }
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick")
-        || std::env::var("PETAMG_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let quick = std::env::args().any(|a| a == "--quick") || petamg_core::env::bench_quick();
     let out_path =
-        std::env::var("PETAMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+        petamg_core::env::bench_out().unwrap_or_else(|| "BENCH_kernels.json".to_string());
     let trials = if quick { 2 } else { 5 };
     let sizes: &[usize] = if quick {
         &[65, 513]
@@ -1062,6 +1149,33 @@ fn main() {
         }
     }
 
+    // Telemetry tax: attached-but-gated-off must be free.
+    println!("#\nkind,n,baseline_us,gated_off_us,enabled_us,off_overhead,enabled_overhead");
+    let mut telemetry_overhead = Vec::new();
+    for &n in &[65usize, 513] {
+        let rec = bench_telemetry_overhead(n, trials, quick);
+        println!(
+            "telemetry,{},{:.2},{:.2},{:.2},{:+.4},{:+.4}",
+            rec.n,
+            rec.baseline_s * 1e6,
+            rec.gated_off_s * 1e6,
+            rec.enabled_s * 1e6,
+            rec.gated_off_overhead,
+            rec.enabled_overhead
+        );
+        if rec.n == 513 {
+            assert!(
+                rec.gated_off_overhead < 0.01,
+                "attached-but-disabled telemetry must cost < 1% at n=513 \
+                 (measured {:+.4})",
+                rec.gated_off_overhead
+            );
+        }
+        telemetry_overhead.push(rec);
+    }
+    // Leave the gate where the environment asked for it.
+    obs::set_mode(petamg_core::env::telemetry_mode());
+
     let report = Report {
         bench: "kernel_fusion".to_string(),
         quick,
@@ -1076,6 +1190,7 @@ fn main() {
         simd_sweep,
         problem_sweep,
         batch_sweep,
+        telemetry_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");

@@ -22,13 +22,10 @@ use petamg_solvers::{DirectSolverCache, MgConfig, ReferenceSolver};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Read an environment override for the maximum sweep level.
+/// Read an environment override for the maximum sweep level
+/// (`PETAMG_MAX_LEVEL`, parsed by the one env module in `petamg-obs`).
 pub fn env_max_level(default: usize) -> usize {
-    std::env::var("PETAMG_MAX_LEVEL")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&l| (2..=13).contains(&l))
-        .unwrap_or(default)
+    petamg_core::env::max_level().unwrap_or(default)
 }
 
 /// Print the standard experiment banner.

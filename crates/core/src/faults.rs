@@ -208,8 +208,8 @@ pub fn parse_spec(spec: &str) -> Result<Vec<Fault>, String> {
 /// it is deliberately *not* automatic, so library users never pay for
 /// an env read and tests stay hermetic.
 pub fn arm_thread_from_env() -> usize {
-    match std::env::var("PETAMG_FAULTS") {
-        Ok(spec) => {
+    match petamg_obs::env::faults_spec() {
+        Some(spec) => {
             let faults = parse_spec(&spec).unwrap_or_else(|e| panic!("PETAMG_FAULTS: {e}"));
             let n = faults.len();
             for f in faults {
@@ -217,7 +217,7 @@ pub fn arm_thread_from_env() -> usize {
             }
             n
         }
-        Err(_) => 0,
+        None => 0,
     }
 }
 

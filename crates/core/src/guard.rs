@@ -33,6 +33,7 @@
 
 use crate::faults;
 use crate::plan::{simple_v_family, ExecCtx, TunedFamily, PAPER_ACCURACIES};
+use crate::telemetry::SolveTelemetry;
 use crate::trace::{CycleEvent, LadderRung, Tracer};
 use crate::OpCounts;
 use petamg_grid::{batch_width, l2_norm_interior, Exec, Grid2d, Workspace};
@@ -75,13 +76,16 @@ impl std::fmt::Display for FailureKind {
     }
 }
 
-/// One recorded step down the ladder: which rung failed and why.
+/// One recorded step down the ladder: which rung failed, why, and how
+/// long the failed attempt ran before the guard rejected it.
 #[derive(Clone, Debug)]
 pub struct Degradation {
     /// The rung that failed.
     pub rung: LadderRung,
     /// Why it failed.
     pub reason: FailureKind,
+    /// Wall-clock seconds the failed attempt consumed.
+    pub seconds: f64,
 }
 
 /// Terminal failure: every rung of the ladder failed. The degradation
@@ -121,6 +125,14 @@ pub struct GuardedReport {
     pub degradations: Vec<Degradation>,
     /// Wall time of the whole ladder walk.
     pub seconds: f64,
+    /// Wall time of the serving rung's attempt alone (equals
+    /// `seconds` minus the failed attempts above it; the shared group
+    /// wall time for a batched lane).
+    pub rung_seconds: f64,
+    /// Wall time spent in per-cycle residual checks at the serving
+    /// rung (the guard's observation cost, separated from kernel
+    /// time).
+    pub residual_check_seconds: f64,
     /// Operation counts across all rungs tried.
     pub ops: OpCounts,
     /// The executor's tracer: cycle events plus
@@ -151,6 +163,7 @@ pub struct GuardedSolver {
     workspace: Arc<Workspace>,
     tracing: bool,
     batch_width: usize,
+    telemetry: Option<Arc<SolveTelemetry>>,
 }
 
 impl GuardedSolver {
@@ -168,6 +181,7 @@ impl GuardedSolver {
             workspace: Arc::new(Workspace::new()),
             tracing: false,
             batch_width: batch_width(),
+            telemetry: None,
         }
     }
 
@@ -219,6 +233,26 @@ impl GuardedSolver {
         self
     }
 
+    /// Feed solve phases (rung attempts, residual checks, per-level
+    /// kernel time) into `telemetry`. The feed — and the per-kernel
+    /// clocking behind the per-level histograms — only runs when the
+    /// process telemetry gate ([`petamg_obs::enabled`]) is open, so an
+    /// attached-but-gated-off feed costs one relaxed atomic load per
+    /// solve.
+    pub fn with_telemetry(mut self, telemetry: Arc<SolveTelemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The telemetry feed, when one is attached *and* the process gate
+    /// is open.
+    fn active_telemetry(&self) -> Option<&SolveTelemetry> {
+        match &self.telemetry {
+            Some(t) if petamg_obs::enabled() => Some(t),
+            _ => None,
+        }
+    }
+
     /// Override the batch width [`GuardedSolver::solve_many`] groups
     /// by. Defaults to the host-resolved [`petamg_grid::batch_width`]
     /// (8 on AVX-512, 4 elsewhere). The width only changes how work is
@@ -263,6 +297,12 @@ impl GuardedSolver {
         if self.tracing {
             ctx = ctx.tracing();
         }
+        if self.active_telemetry().is_some() {
+            // Clock every level's kernels for the per-level histograms
+            // (two timestamps per kernel call — only paid when the
+            // telemetry gate is open).
+            ctx.tracer = std::mem::take(&mut ctx.tracer).with_timing_all();
+        }
         if let Some(fam) = &self.plan {
             // Knobs are pure performance (bitwise-identical results),
             // so a tuned table may safely serve the heuristic rung too.
@@ -272,13 +312,20 @@ impl GuardedSolver {
         }
         let start = std::time::Instant::now();
         let mut degradations: Vec<Degradation> = Vec::new();
-        let failed = |ctx: &mut ExecCtx, degradations: &mut Vec<Degradation>, rung, reason| {
-            ctx.tracer.record(CycleEvent::RungFailed { rung });
-            degradations.push(Degradation { rung, reason });
-        };
+        let mut resid_seconds = 0.0f64;
+        let failed =
+            |ctx: &mut ExecCtx, degradations: &mut Vec<Degradation>, rung, reason, seconds: f64| {
+                ctx.tracer.record(CycleEvent::RungFailed { rung, seconds });
+                degradations.push(Degradation {
+                    rung,
+                    reason,
+                    seconds,
+                });
+            };
 
         // Rung 0: the tuned plan, if one was supplied and it matches.
         if let Some(fam) = &self.plan {
+            let rung_start = std::time::Instant::now();
             let admissible = fam
                 .ensure_problem(self.problem.fingerprint())
                 .map_err(|e| e.to_string())
@@ -299,6 +346,7 @@ impl GuardedSolver {
                     &mut degradations,
                     LadderRung::TunedPlan,
                     FailureKind::PlanRejected(why),
+                    rung_start.elapsed().as_secs_f64(),
                 ),
                 Ok(()) => {
                     let acc_idx = fam.num_accuracies() - 1;
@@ -311,6 +359,7 @@ impl GuardedSolver {
                         tol,
                         &mut ctx,
                         &mut scratch,
+                        &mut resid_seconds,
                     ) {
                         Ok((status, history)) => {
                             return Ok(self.report(
@@ -319,6 +368,8 @@ impl GuardedSolver {
                                 history,
                                 degradations,
                                 start,
+                                rung_start.elapsed().as_secs_f64(),
+                                resid_seconds,
                                 ctx,
                             ));
                         }
@@ -328,6 +379,7 @@ impl GuardedSolver {
                                 &mut degradations,
                                 LadderRung::TunedPlan,
                                 FailureKind::Guard(g),
+                                rung_start.elapsed().as_secs_f64(),
                             );
                             x.copy_from(&x0);
                         }
@@ -339,6 +391,7 @@ impl GuardedSolver {
         // Rung 1: the hand-built MULTIGRID-V-SIMPLE family.
         let heuristic = simple_v_family(level.max(1), &PAPER_ACCURACIES);
         let acc_idx = heuristic.num_accuracies() - 1;
+        let rung_start = std::time::Instant::now();
         match self.run_family_guarded(
             &heuristic,
             level,
@@ -348,6 +401,7 @@ impl GuardedSolver {
             tol,
             &mut ctx,
             &mut scratch,
+            &mut resid_seconds,
         ) {
             Ok((status, history)) => {
                 return Ok(self.report(
@@ -356,6 +410,8 @@ impl GuardedSolver {
                     history,
                     degradations,
                     start,
+                    rung_start.elapsed().as_secs_f64(),
+                    resid_seconds,
                     ctx,
                 ));
             }
@@ -365,6 +421,7 @@ impl GuardedSolver {
                     &mut degradations,
                     LadderRung::HeuristicPlan,
                     FailureKind::Guard(g),
+                    rung_start.elapsed().as_secs_f64(),
                 );
                 x.copy_from(&x0);
             }
@@ -372,6 +429,7 @@ impl GuardedSolver {
 
         // Rung 2: unconditional full-size direct solve.
         let op = self.problem.op_for(n);
+        let rung_start = std::time::Instant::now();
         let factor = if faults::fail_direct(n) {
             Err("injected factorization fault".to_string())
         } else {
@@ -383,12 +441,15 @@ impl GuardedSolver {
                 &mut degradations,
                 LadderRung::Direct,
                 FailureKind::DirectFactorization(why),
+                rung_start.elapsed().as_secs_f64(),
             ),
             Ok(direct) => {
                 direct.solve(x, b);
                 ctx.ops.level_mut(level).direct_solves += 1;
                 ctx.tracer.record(CycleEvent::Direct { level });
+                let check_start = std::time::Instant::now();
                 let rel = self.rel_residual(x, b, &mut scratch, &ctx);
+                resid_seconds += check_start.elapsed().as_secs_f64();
                 if rel.is_finite() && rel <= tol {
                     return Ok(self.report(
                         LadderRung::Direct,
@@ -396,6 +457,8 @@ impl GuardedSolver {
                         vec![rel],
                         degradations,
                         start,
+                        rung_start.elapsed().as_secs_f64(),
+                        resid_seconds,
                         ctx,
                     ));
                 }
@@ -404,12 +467,17 @@ impl GuardedSolver {
                     &mut degradations,
                     LadderRung::Direct,
                     FailureKind::ToleranceNotMet { rel_residual: rel },
+                    rung_start.elapsed().as_secs_f64(),
                 );
             }
         }
 
         x.copy_from(&x0);
-        Err(SolveError { degradations })
+        let err = SolveError { degradations };
+        if let Some(telemetry) = self.active_telemetry() {
+            telemetry.observe_error(&err, &ctx.tracer);
+        }
+        Err(err)
     }
 
     /// Solve many systems of the same size, batching them through the
@@ -493,6 +561,9 @@ impl GuardedSolver {
         if self.tracing {
             ctx = ctx.tracing();
         }
+        if self.active_telemetry().is_some() {
+            ctx.tracer = std::mem::take(&mut ctx.tracer).with_timing_all();
+        }
         if let Some(fam) = &self.plan {
             if !fam.knobs.is_all_default() {
                 ctx = ctx.with_knob_table(fam.knobs.clone());
@@ -568,6 +639,7 @@ impl GuardedSolver {
         }
         let mut lanes: Vec<Lane> = (0..width).map(|_| Lane::Active).collect();
         let mut active = width;
+        let mut resid_seconds = 0.0f64;
         while active > 0 {
             fam.run_batch(level, acc_idx, &mut xb, &bb, &mut ctx);
             for k in 0..width {
@@ -590,7 +662,9 @@ impl GuardedSolver {
                     }
                 }
                 xb.store_lane(k, &mut scratch);
+                let check_start = std::time::Instant::now();
                 let rel = self.rel_residual(&scratch, &bs[k], &mut resid, &ctx);
+                resid_seconds += check_start.elapsed().as_secs_f64();
                 match guards[k].observe(rel) {
                     GuardVerdict::Continue => {}
                     GuardVerdict::Converged => {
@@ -623,13 +697,14 @@ impl GuardedSolver {
             ctx.tracer.record(CycleEvent::RungServed {
                 rung,
                 width: self.batch_width,
+                seconds,
             });
         }
         // Converged lanes share the batch's amortized cost accounting:
         // one op-count set and one trace for the whole group.
         let ops = ctx.ops;
         let tracer = ctx.tracer;
-        lanes
+        let reports: Vec<Result<GuardedReport, SolveError>> = lanes
             .into_iter()
             .enumerate()
             .map(|(k, lane)| match lane {
@@ -642,6 +717,8 @@ impl GuardedSolver {
                         residual_history: history,
                         degradations: Vec::new(),
                         seconds,
+                        rung_seconds: seconds,
+                        residual_check_seconds: resid_seconds,
                         ops: ops.clone(),
                         tracer: tracer.clone(),
                         batch_width: self.batch_width,
@@ -650,11 +727,28 @@ impl GuardedSolver {
                 Lane::Failed => self.solve(&mut xs[k], &bs[k], tols[k]),
                 Lane::Active => unreachable!("loop exits only when no lane is active"),
             })
-            .collect()
+            .collect();
+        if let Some(telemetry) = self.active_telemetry() {
+            // One group-level observation: the serving rung counted
+            // once per converged lane (matching the per-report view a
+            // consumer reconciles against), phase times once for the
+            // shared group attempt. Lanes that left the batch fed
+            // telemetry through their solo ladder re-walk above.
+            let converged = reports
+                .iter()
+                .filter(|r| r.as_ref().is_ok_and(|rep| rep.degradations.is_empty()))
+                .count();
+            if converged > 0 {
+                telemetry.observe_group(rung, converged as u64, seconds, resid_seconds, &tracer);
+            }
+        }
+        reports
     }
 
     /// Iterate one family member under guard until `tol` or failure.
-    /// Returns the converged status and the residual trajectory.
+    /// Returns the converged status and the residual trajectory;
+    /// accumulates the wall time of the per-cycle residual checks into
+    /// `resid_seconds`.
     #[allow(clippy::too_many_arguments)]
     fn run_family_guarded(
         &self,
@@ -666,11 +760,15 @@ impl GuardedSolver {
         tol: f64,
         ctx: &mut ExecCtx,
         scratch: &mut Grid2d,
+        resid_seconds: &mut f64,
     ) -> Result<(SolveStatus, Vec<f64>), GuardFailure> {
         let mut guard = SolveGuard::new(self.guard, tol);
         loop {
             fam.run(level, acc_idx, x, b, ctx);
-            match guard.observe(self.rel_residual(x, b, scratch, ctx)) {
+            let check_start = std::time::Instant::now();
+            let rel = self.rel_residual(x, b, scratch, ctx);
+            *resid_seconds += check_start.elapsed().as_secs_f64();
+            match guard.observe(rel) {
                 GuardVerdict::Continue => {}
                 GuardVerdict::Converged => {
                     return Ok((
@@ -693,6 +791,7 @@ impl GuardedSolver {
         l2_norm_interior(r, &ctx.exec) / l2_norm_interior(b, &ctx.exec).max(f64::MIN_POSITIVE)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &self,
         rung: LadderRung,
@@ -700,21 +799,33 @@ impl GuardedSolver {
         history: Vec<f64>,
         degradations: Vec<Degradation>,
         start: std::time::Instant,
+        rung_seconds: f64,
+        residual_check_seconds: f64,
         mut ctx: ExecCtx,
     ) -> GuardedReport {
-        ctx.tracer.record(CycleEvent::RungServed { rung, width: 1 });
+        ctx.tracer.record(CycleEvent::RungServed {
+            rung,
+            width: 1,
+            seconds: rung_seconds,
+        });
         let rel = history.last().copied().unwrap_or(f64::NAN);
-        GuardedReport {
+        let report = GuardedReport {
             status,
             rung,
             rel_residual: rel,
             residual_history: history,
             degradations,
             seconds: start.elapsed().as_secs_f64(),
+            rung_seconds,
+            residual_check_seconds,
             ops: ctx.ops,
             tracer: ctx.tracer,
             batch_width: 1,
+        };
+        if let Some(telemetry) = self.active_telemetry() {
+            telemetry.observe_report(&report);
         }
+        report
     }
 }
 

@@ -53,13 +53,23 @@ pub mod plan;
 #[cfg(test)]
 mod proptests;
 pub mod render;
+pub mod telemetry;
 pub mod trace;
 pub mod training;
 pub mod tuner;
+
+/// The telemetry substrate (metric registry, histograms, spans,
+/// sinks), re-exported so consumers of `petamg-core` need no direct
+/// `petamg-obs` dependency.
+pub use petamg_obs as obs;
+/// The one home for `PETAMG_*` environment parsing (re-exported from
+/// `petamg-obs`, where it lives so `petamg-grid` can reach it too).
+pub use petamg_obs::env;
 
 pub use accuracy::{error_ratio, AccuracyReport, ACC_CAP};
 pub use cost::{CostModel, MachineProfile, OpCounts};
 pub use guard::{Degradation, FailureKind, GuardedReport, GuardedSolver, SolveError};
 pub use plan::{Choice, SolveReport, TunedFamily, TunedFmgFamily};
+pub use telemetry::SolveTelemetry;
 pub use training::{Distribution, ProblemInstance};
 pub use tuner::{FmgTuner, TunerOptions, VTuner};

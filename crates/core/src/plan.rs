@@ -234,15 +234,11 @@ impl ExecCtx {
 
     /// Reset counters, knob stats, and trace (keeps cache, policy, and
     /// the tracer's configuration — event recording and armed kernel
-    /// clock level survive with zeroed accumulators).
+    /// clocks survive with zeroed accumulators).
     pub fn reset_counters(&mut self) {
         self.ops = OpCounts::default();
         self.knob_stats = KnobStats::default();
-        self.tracer = match (self.tracer.is_enabled(), self.tracer.timed_level()) {
-            (true, _) => Tracer::enabled(),
-            (false, Some(level)) => Tracer::timing_level(level),
-            (false, None) => Tracer::disabled(),
-        };
+        self.tracer = self.tracer.reconfigured();
     }
 
     /// Fault point shared by every kernel: when a

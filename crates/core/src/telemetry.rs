@@ -1,0 +1,194 @@
+//! The solve-side telemetry feed: guarded-solve phases as metrics.
+//!
+//! [`SolveTelemetry`] pre-registers every metric family the guarded
+//! solver reports into — counters per degradation-ladder rung,
+//! latency histograms for rung attempts and residual checks, and
+//! per-level kernel-time histograms fed from the executor's
+//! kernel-clock hooks ([`crate::trace::Tracer::timing_all`]). Handles
+//! are resolved once at registration, so the per-solve observation
+//! path is a handful of relaxed atomic adds with zero registry lookups
+//! and zero allocation.
+//!
+//! Attach one to a solver with [`crate::GuardedSolver::with_telemetry`].
+//! Observation is gated on [`petamg_obs::enabled`] by the solver, not
+//! here — tests may drive a `SolveTelemetry` directly.
+
+use crate::guard::{GuardedReport, SolveError};
+use crate::trace::{LadderRung, Tracer, MAX_TIMED_LEVELS};
+use petamg_obs::{Counter, Histogram, Registry};
+
+/// The Prometheus-style label value for a ladder rung.
+pub fn rung_label(rung: LadderRung) -> &'static str {
+    match rung {
+        LadderRung::TunedPlan => "tuned",
+        LadderRung::HeuristicPlan => "heuristic",
+        LadderRung::Direct => "direct",
+    }
+}
+
+const RUNGS: [LadderRung; 3] = [
+    LadderRung::TunedPlan,
+    LadderRung::HeuristicPlan,
+    LadderRung::Direct,
+];
+
+fn rung_idx(rung: LadderRung) -> usize {
+    match rung {
+        LadderRung::TunedPlan => 0,
+        LadderRung::HeuristicPlan => 1,
+        LadderRung::Direct => 2,
+    }
+}
+
+/// Pre-resolved metric handles for guarded-solve observation.
+pub struct SolveTelemetry {
+    served: [Counter; 3],
+    failed: [Counter; 3],
+    attempt_seconds: [Histogram; 3],
+    residual_check_seconds: Histogram,
+    kernel_seconds: Vec<Histogram>,
+    exhausted: Counter,
+}
+
+impl SolveTelemetry {
+    /// Register the solve metric families in `registry` and resolve
+    /// every handle this feed will ever touch.
+    pub fn register(registry: &Registry) -> Self {
+        let per_rung_counter = |name: &'static str| -> [Counter; 3] {
+            std::array::from_fn(|i| registry.counter(name, &[("rung", rung_label(RUNGS[i]))]))
+        };
+        SolveTelemetry {
+            served: per_rung_counter("petamg_rung_served_total"),
+            failed: per_rung_counter("petamg_rung_failed_total"),
+            attempt_seconds: std::array::from_fn(|i| {
+                registry.histogram(
+                    "petamg_rung_attempt_seconds",
+                    &[("rung", rung_label(RUNGS[i]))],
+                )
+            }),
+            residual_check_seconds: registry.histogram("petamg_residual_check_seconds", &[]),
+            kernel_seconds: (0..MAX_TIMED_LEVELS)
+                .map(|level| {
+                    registry.histogram("petamg_kernel_seconds", &[("level", &level.to_string())])
+                })
+                .collect(),
+            exhausted: registry.counter("petamg_ladder_exhausted_total", &[]),
+        }
+    }
+
+    /// Record a served guarded solve: the serving rung, its attempt
+    /// time, every degradation along the way, the residual-check time,
+    /// and whatever per-level kernel times the tracer clocked.
+    pub fn observe_report(&self, report: &GuardedReport) {
+        self.served[rung_idx(report.rung)].inc();
+        self.attempt_seconds[rung_idx(report.rung)].record_seconds(report.rung_seconds);
+        self.residual_check_seconds
+            .record_seconds(report.residual_check_seconds);
+        for d in &report.degradations {
+            self.failed[rung_idx(d.rung)].inc();
+            self.attempt_seconds[rung_idx(d.rung)].record_seconds(d.seconds);
+        }
+        self.observe_kernel_levels(&report.tracer);
+    }
+
+    /// Record one batched group: the serving rung counted once per
+    /// converged lane (matching the per-lane reports a consumer
+    /// reconciles against), the shared group attempt and
+    /// residual-check times once.
+    pub fn observe_group(
+        &self,
+        rung: LadderRung,
+        converged_lanes: u64,
+        rung_seconds: f64,
+        residual_check_seconds: f64,
+        tracer: &Tracer,
+    ) {
+        self.served[rung_idx(rung)].add(converged_lanes);
+        self.attempt_seconds[rung_idx(rung)].record_seconds(rung_seconds);
+        self.residual_check_seconds
+            .record_seconds(residual_check_seconds);
+        self.observe_kernel_levels(tracer);
+    }
+
+    /// Record a ladder-exhausted solve: every rung failed.
+    pub fn observe_error(&self, err: &SolveError, tracer: &Tracer) {
+        self.exhausted.inc();
+        for d in &err.degradations {
+            self.failed[rung_idx(d.rung)].inc();
+            self.attempt_seconds[rung_idx(d.rung)].record_seconds(d.seconds);
+        }
+        self.observe_kernel_levels(tracer);
+    }
+
+    fn observe_kernel_levels(&self, tracer: &Tracer) {
+        if !tracer.is_timing_all() {
+            return;
+        }
+        for (level, &seconds) in tracer.level_kernel_seconds().iter().enumerate() {
+            if seconds > 0.0 {
+                self.kernel_seconds[level].record_seconds(seconds);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::GuardedSolver;
+    use crate::training::{Distribution, ProblemInstance};
+    use petamg_problems::Problem;
+    use std::sync::Arc;
+
+    #[test]
+    fn served_solve_lands_in_every_family() {
+        let registry = Arc::new(Registry::new());
+        let telemetry = Arc::new(SolveTelemetry::register(&registry));
+        let problem = Problem::poisson();
+        let inst = ProblemInstance::random_for(&problem, 4, Distribution::UnbiasedUniform, 3);
+        // The solver's built-in feed gates on the global telemetry
+        // mode; drive the feed directly so this test is independent of
+        // the environment (no `with_telemetry` here).
+        let solver = GuardedSolver::new(problem);
+        let mut x = inst.working_grid();
+        let report = solver.solve(&mut x, &inst.b, 1e-8).expect("serves");
+        telemetry.observe_report(&report);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("petamg_rung_served_total", &[("rung", "heuristic")]),
+            1
+        );
+        assert_eq!(
+            snap.histogram_count("petamg_rung_attempt_seconds", &[("rung", "heuristic")]),
+            1
+        );
+        assert_eq!(
+            snap.histogram_count("petamg_residual_check_seconds", &[]),
+            1
+        );
+        assert_eq!(snap.counter("petamg_ladder_exhausted_total", &[]), 0);
+    }
+
+    #[test]
+    fn degradations_count_as_failures() {
+        let registry = Registry::new();
+        let telemetry = SolveTelemetry::register(&registry);
+        let aniso = Problem::anisotropic(0.5);
+        let inst = ProblemInstance::random_for(&aniso, 4, Distribution::UnbiasedUniform, 5);
+        // A plan fingerprinted for Poisson is rejected for aniso.
+        let fam = crate::plan::simple_v_family(4, &crate::plan::PAPER_ACCURACIES);
+        let solver = GuardedSolver::new(aniso).with_plan(fam);
+        let mut x = inst.working_grid();
+        let report = solver.solve(&mut x, &inst.b, 1e-8).expect("serves");
+        telemetry.observe_report(&report);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("petamg_rung_failed_total", &[("rung", "tuned")]),
+            1
+        );
+        assert_eq!(
+            snap.counter("petamg_rung_served_total", &[("rung", "heuristic")]),
+            1
+        );
+    }
+}

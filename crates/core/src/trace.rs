@@ -32,7 +32,13 @@ impl std::fmt::Display for LadderRung {
 }
 
 /// One multigrid operation, as recorded during plan execution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (below) rather than
+/// derived so the ladder events' `seconds` fields can default to `0.0`
+/// when absent: traces serialized before durations existed still
+/// deserialize, and the wire shape of every other variant is exactly
+/// what the derive produced.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum CycleEvent {
     /// A relaxation sweep at `level`.
     Relax {
@@ -85,6 +91,10 @@ pub enum CycleEvent {
     RungFailed {
         /// The rung that failed.
         rung: LadderRung,
+        /// Wall-clock seconds the failed attempt consumed before the
+        /// guard rejected it (0.0 in traces recorded before durations
+        /// existed).
+        seconds: f64,
     },
     /// The ladder rung whose solution a guarded solve returned.
     RungServed {
@@ -94,18 +104,173 @@ pub enum CycleEvent {
         /// solve, 4 or 8 for a batched group). Purely observational —
         /// results are bitwise independent of width.
         width: usize,
+        /// Wall-clock seconds of the serving attempt (0.0 in traces
+        /// recorded before durations existed).
+        seconds: f64,
     },
+}
+
+impl Serialize for CycleEvent {
+    fn to_value(&self) -> serde::value::Value {
+        use serde::value::{Map, Number, Value};
+        let variant = |name: &str, fields: Vec<(&str, Value)>| {
+            let mut body = Map::new();
+            for (k, v) in fields {
+                body.insert(k.to_string(), v);
+            }
+            let mut outer = Map::new();
+            outer.insert(name.to_string(), Value::Object(body));
+            Value::Object(outer)
+        };
+        let num = |n: usize| Value::Number(Number::from_u64(n as u64));
+        let float = |s: f64| Value::Number(Number::from_f64(s));
+        match *self {
+            CycleEvent::Relax { level } => variant("Relax", vec![("level", num(level))]),
+            CycleEvent::Residual { level } => variant("Residual", vec![("level", num(level))]),
+            CycleEvent::Restrict { from } => variant("Restrict", vec![("from", num(from))]),
+            CycleEvent::Interpolate { to } => variant("Interpolate", vec![("to", num(to))]),
+            CycleEvent::Direct { level } => variant("Direct", vec![("level", num(level))]),
+            CycleEvent::SorSolve { level, iterations } => variant(
+                "SorSolve",
+                vec![
+                    ("level", num(level)),
+                    (
+                        "iterations",
+                        Value::Number(Number::from_u64(iterations as u64)),
+                    ),
+                ],
+            ),
+            CycleEvent::EnterV { level, acc_idx } => variant(
+                "EnterV",
+                vec![("level", num(level)), ("acc_idx", num(acc_idx))],
+            ),
+            CycleEvent::EnterFmg { level, acc_idx } => variant(
+                "EnterFmg",
+                vec![("level", num(level)), ("acc_idx", num(acc_idx))],
+            ),
+            CycleEvent::RungFailed { rung, seconds } => variant(
+                "RungFailed",
+                vec![("rung", rung.to_value()), ("seconds", float(seconds))],
+            ),
+            CycleEvent::RungServed {
+                rung,
+                width,
+                seconds,
+            } => variant(
+                "RungServed",
+                vec![
+                    ("rung", rung.to_value()),
+                    ("width", num(width)),
+                    ("seconds", float(seconds)),
+                ],
+            ),
+        }
+    }
+}
+
+impl Deserialize for CycleEvent {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::Error> {
+        use serde::value::{Map, Value};
+        let (name, body): (&str, &Map) = match v {
+            Value::Object(m) if m.len() == 1 => {
+                let (name, payload) = m.iter().next().expect("len checked");
+                match payload {
+                    Value::Object(body) => (name.as_str(), body),
+                    other => {
+                        return Err(serde::Error::custom(format!(
+                            "expected object payload for CycleEvent::{name}, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            other => {
+                return Err(serde::Error::custom(format!(
+                    "expected single-key object for CycleEvent, got {other:?}"
+                )))
+            }
+        };
+        let field = |key: &str| -> Result<&Value, serde::Error> {
+            body.get(key)
+                .ok_or_else(|| serde::Error::missing_field(key))
+        };
+        let usize_field =
+            |key: &str| -> Result<usize, serde::Error> { usize::from_value(field(key)?) };
+        // Absent in traces recorded before durations existed: default 0.
+        let seconds = match body.get("seconds") {
+            Some(v) => f64::from_value(v)?,
+            None => 0.0,
+        };
+        match name {
+            "Relax" => Ok(CycleEvent::Relax {
+                level: usize_field("level")?,
+            }),
+            "Residual" => Ok(CycleEvent::Residual {
+                level: usize_field("level")?,
+            }),
+            "Restrict" => Ok(CycleEvent::Restrict {
+                from: usize_field("from")?,
+            }),
+            "Interpolate" => Ok(CycleEvent::Interpolate {
+                to: usize_field("to")?,
+            }),
+            "Direct" => Ok(CycleEvent::Direct {
+                level: usize_field("level")?,
+            }),
+            "SorSolve" => Ok(CycleEvent::SorSolve {
+                level: usize_field("level")?,
+                iterations: u32::from_value(field("iterations")?)?,
+            }),
+            "EnterV" => Ok(CycleEvent::EnterV {
+                level: usize_field("level")?,
+                acc_idx: usize_field("acc_idx")?,
+            }),
+            "EnterFmg" => Ok(CycleEvent::EnterFmg {
+                level: usize_field("level")?,
+                acc_idx: usize_field("acc_idx")?,
+            }),
+            "RungFailed" => Ok(CycleEvent::RungFailed {
+                rung: LadderRung::from_value(field("rung")?)?,
+                seconds,
+            }),
+            "RungServed" => Ok(CycleEvent::RungServed {
+                rung: LadderRung::from_value(field("rung")?)?,
+                width: usize_field("width")?,
+                seconds,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "unknown CycleEvent variant `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Deepest grid level the per-level kernel-time table covers when a
+/// tracer clocks **all** levels ([`Tracer::timing_all`]). Level 13 is
+/// already n = 8193 — beyond every sweep in the workspace.
+pub const MAX_TIMED_LEVELS: usize = 16;
+
+/// An in-flight kernel timing started by
+/// [`Tracer::start_kernel_clock`]: the level being clocked and its
+/// start timestamp. Opaque to the plan executor — call sites pass it
+/// straight back to [`Tracer::stop_kernel_clock`].
+#[derive(Clone, Copy, Debug)]
+pub struct KernelClock {
+    level: usize,
+    t0: std::time::Instant,
 }
 
 /// An event recorder that can be disabled (zero-cost in tuning loops).
 ///
-/// Besides cycle events, a tracer can **clock one level's kernels**:
-/// armed with [`Tracer::timing_level`], the plan executor brackets
-/// every kernel invocation at that level with a timestamp pair and
-/// accumulates the elapsed time into [`Tracer::kernel_seconds`]. The
-/// kernel-knob tuner uses this to judge a level's knob candidates by
-/// the level's *own* kernel time instead of whole-cycle wall time —
-/// cutting the coarse-level noise that full-cycle timing mixes in.
+/// Besides cycle events, a tracer can **clock kernels**: armed with
+/// [`Tracer::timing_level`], the plan executor brackets every kernel
+/// invocation at that level with a timestamp pair and accumulates the
+/// elapsed time into [`Tracer::kernel_seconds`]. The kernel-knob tuner
+/// uses this to judge a level's knob candidates by the level's *own*
+/// kernel time instead of whole-cycle wall time — cutting the
+/// coarse-level noise that full-cycle timing mixes in. Armed with
+/// [`Tracer::timing_all`] instead, every level's kernel time lands in
+/// a per-level table ([`Tracer::level_kernel_seconds`]) — the feed for
+/// the telemetry layer's per-level kernel histograms.
 #[derive(Clone, Debug, Default)]
 pub struct Tracer {
     enabled: bool,
@@ -113,8 +278,14 @@ pub struct Tracer {
     pub events: Vec<CycleEvent>,
     /// Level whose kernel invocations are being clocked, if any.
     timed_level: Option<usize>,
+    /// Whether every level's kernels are being clocked into
+    /// `level_seconds`.
+    timed_all: bool,
     /// Accumulated kernel seconds at the clocked level.
     kernel_seconds: f64,
+    /// Per-level kernel seconds when `timed_all` (levels ≥
+    /// [`MAX_TIMED_LEVELS`] accumulate into the last slot).
+    level_seconds: [f64; MAX_TIMED_LEVELS],
 }
 
 impl Tracer {
@@ -139,6 +310,35 @@ impl Tracer {
         }
     }
 
+    /// A tracer that clocks every level's kernels into the per-level
+    /// table (events stay off) — the telemetry layer's feed.
+    pub fn timing_all() -> Self {
+        Tracer {
+            timed_all: true,
+            ..Tracer::default()
+        }
+    }
+
+    /// Additionally clock every level's kernels into the per-level
+    /// table, keeping this tracer's other configuration (composes with
+    /// event recording and a single armed level).
+    pub fn with_timing_all(mut self) -> Self {
+        self.timed_all = true;
+        self
+    }
+
+    /// Rebuild this tracer's *configuration* (event recording, armed
+    /// timed level, timing-all flag) with all counters and events
+    /// cleared — what "reset" means for a reused execution context.
+    pub fn reconfigured(&self) -> Self {
+        Tracer {
+            enabled: self.enabled,
+            timed_level: self.timed_level,
+            timed_all: self.timed_all,
+            ..Tracer::default()
+        }
+    }
+
     /// Record an event (no-op when disabled).
     #[inline]
     pub fn record(&mut self, e: CycleEvent) {
@@ -153,21 +353,35 @@ impl Tracer {
     }
 
     /// Start clocking one kernel invocation at `level`: returns a
-    /// timestamp when `level` is the armed timed level, `None`
-    /// otherwise. Pass the result to [`Tracer::stop_kernel_clock`].
+    /// clock when `level` is the armed timed level or the tracer is in
+    /// timing-all mode, `None` otherwise. Pass the result to
+    /// [`Tracer::stop_kernel_clock`].
     #[inline]
-    pub fn start_kernel_clock(&self, level: usize) -> Option<std::time::Instant> {
-        match self.timed_level {
-            Some(t) if t == level => Some(std::time::Instant::now()),
-            _ => None,
+    pub fn start_kernel_clock(&self, level: usize) -> Option<KernelClock> {
+        let armed = self.timed_all || self.timed_level == Some(level);
+        if armed {
+            Some(KernelClock {
+                level,
+                t0: std::time::Instant::now(),
+            })
+        } else {
+            None
         }
     }
 
-    /// Accumulate a clock started by [`Tracer::start_kernel_clock`].
+    /// Accumulate a clock started by [`Tracer::start_kernel_clock`]:
+    /// into [`Tracer::kernel_seconds`] when the clocked level is the
+    /// armed timed level, and into the per-level table when timing all.
     #[inline]
-    pub fn stop_kernel_clock(&mut self, start: Option<std::time::Instant>) {
-        if let Some(t0) = start {
-            self.kernel_seconds += t0.elapsed().as_secs_f64();
+    pub fn stop_kernel_clock(&mut self, start: Option<KernelClock>) {
+        if let Some(clock) = start {
+            let dt = clock.t0.elapsed().as_secs_f64();
+            if self.timed_level == Some(clock.level) {
+                self.kernel_seconds += dt;
+            }
+            if self.timed_all {
+                self.level_seconds[clock.level.min(MAX_TIMED_LEVELS - 1)] += dt;
+            }
         }
     }
 
@@ -176,9 +390,21 @@ impl Tracer {
         self.timed_level
     }
 
+    /// Whether every level's kernels are being clocked (survives
+    /// counter resets).
+    pub fn is_timing_all(&self) -> bool {
+        self.timed_all
+    }
+
     /// Total kernel seconds accumulated at the clocked level.
     pub fn kernel_seconds(&self) -> f64 {
         self.kernel_seconds
+    }
+
+    /// Per-level kernel seconds accumulated in timing-all mode (all
+    /// zeros otherwise).
+    pub fn level_kernel_seconds(&self) -> &[f64; MAX_TIMED_LEVELS] {
+        &self.level_seconds
     }
 
     /// Deepest level mentioned by any event (0 if empty).
@@ -241,7 +467,7 @@ impl Tracer {
         self.events
             .iter()
             .filter_map(|e| match e {
-                CycleEvent::RungFailed { rung } => Some(*rung),
+                CycleEvent::RungFailed { rung, .. } => Some(*rung),
                 _ => None,
             })
             .collect()
@@ -285,5 +511,99 @@ mod tests {
         t.record(CycleEvent::Restrict { from: 5 });
         assert_eq!(t.min_level(), 4);
         assert_eq!(t.max_level(), 5);
+    }
+
+    #[test]
+    fn cycle_events_round_trip_through_json() {
+        let events = vec![
+            CycleEvent::Relax { level: 4 },
+            CycleEvent::Residual { level: 4 },
+            CycleEvent::Restrict { from: 4 },
+            CycleEvent::Interpolate { to: 4 },
+            CycleEvent::Direct { level: 2 },
+            CycleEvent::SorSolve {
+                level: 3,
+                iterations: 9,
+            },
+            CycleEvent::EnterV {
+                level: 5,
+                acc_idx: 2,
+            },
+            CycleEvent::EnterFmg {
+                level: 5,
+                acc_idx: 1,
+            },
+            CycleEvent::RungFailed {
+                rung: LadderRung::TunedPlan,
+                seconds: 0.25,
+            },
+            CycleEvent::RungServed {
+                rung: LadderRung::HeuristicPlan,
+                width: 4,
+                seconds: 1.5,
+            },
+        ];
+        let json = serde_json::to_string(&events).expect("serializes");
+        let back: Vec<CycleEvent> = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, events);
+    }
+
+    /// Ladder events serialized before durations existed carry no
+    /// `seconds` field; they must still deserialize (seconds = 0.0).
+    #[test]
+    fn pre_duration_ladder_events_still_deserialize() {
+        let legacy = r#"[
+            {"RungFailed": {"rung": "TunedPlan"}},
+            {"RungServed": {"rung": "Direct", "width": 1}},
+            {"Relax": {"level": 3}}
+        ]"#;
+        let events: Vec<CycleEvent> = serde_json::from_str(legacy).expect("legacy shape parses");
+        assert_eq!(
+            events,
+            vec![
+                CycleEvent::RungFailed {
+                    rung: LadderRung::TunedPlan,
+                    seconds: 0.0
+                },
+                CycleEvent::RungServed {
+                    rung: LadderRung::Direct,
+                    width: 1,
+                    seconds: 0.0
+                },
+                CycleEvent::Relax { level: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn timing_all_attributes_kernel_time_per_level() {
+        let mut t = Tracer::timing_all();
+        assert!(t.is_timing_all());
+        let clock = t.start_kernel_clock(3);
+        assert!(clock.is_some());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        t.stop_kernel_clock(clock);
+        let clock = t.start_kernel_clock(7);
+        t.stop_kernel_clock(clock);
+        let per_level = t.level_kernel_seconds();
+        assert!(per_level[3] > 0.0, "level 3 accumulated");
+        assert!(per_level[7] >= 0.0 && per_level[2] == 0.0);
+        // Single-level kernel_seconds stays zero: nothing is armed.
+        assert_eq!(t.kernel_seconds(), 0.0);
+        // Reconfiguring keeps the mode, clears the table.
+        let fresh = t.reconfigured();
+        assert!(fresh.is_timing_all());
+        assert_eq!(fresh.level_kernel_seconds()[3], 0.0);
+    }
+
+    #[test]
+    fn timing_level_clock_ignores_other_levels() {
+        let mut t = Tracer::timing_level(5);
+        assert!(t.start_kernel_clock(4).is_none());
+        let clock = t.start_kernel_clock(5);
+        assert!(clock.is_some());
+        t.stop_kernel_clock(clock);
+        assert!(t.kernel_seconds() >= 0.0);
+        assert_eq!(t.level_kernel_seconds()[5], 0.0, "not in timing-all mode");
     }
 }

@@ -190,10 +190,8 @@ pub fn vector_backend() -> &'static str {
 pub fn batch_width() -> usize {
     static WIDTH: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *WIDTH.get_or_init(|| {
-        match std::env::var("PETAMG_BATCH_WIDTH").ok().as_deref() {
-            Some("4") => return 4,
-            Some("8") => return 8,
-            _ => {}
+        if let Some(width) = petamg_obs::env::batch_width_override() {
+            return width;
         }
         if avx512_available() {
             8
@@ -2361,7 +2359,7 @@ mod tests {
         assert_eq!(batch_width(), w);
         // Without AVX-512 the dispatcher must resolve to 4 (unless the
         // env override forced it).
-        if std::env::var("PETAMG_BATCH_WIDTH").is_err() && !avx512_available() {
+        if petamg_obs::env::batch_width_override().is_none() && !avx512_available() {
             assert_eq!(w, 4);
         }
     }

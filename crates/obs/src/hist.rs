@@ -1,0 +1,207 @@
+//! Fixed-bucket log₂-scale latency histograms with lock-free
+//! per-thread shards.
+//!
+//! The record path must sit inside the serving hot loop, so it is two
+//! relaxed `fetch_add`s on a cache-line-aligned shard picked by the
+//! calling thread's dense index ([`crate::thread_index`]) — no locks,
+//! no allocation, no contention until the thread count exceeds the
+//! shard count. Shards are only ever *merged* at snapshot time, which
+//! is where all the allocation lives.
+//!
+//! Buckets are powers of two of nanoseconds: bucket `i` counts values
+//! `v` with `2^(i-1) ≤ v < 2^i` (bucket 0 counts exactly 0 ns). That
+//! spans 1 ns to ~9.2 s of latency in 64 buckets at ≤ 2× resolution —
+//! plenty for queue waits, plan resolves, kernel times, and whole
+//! solves alike.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log₂ buckets per histogram.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Number of independently recorded shards per histogram.
+const SHARDS: usize = 16;
+
+/// One thread shard, aligned so concurrent recorders on different
+/// shards never false-share a cache line.
+#[repr(align(128))]
+struct Shard {
+    sum_ns: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            sum_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+struct Shards([Shard; SHARDS]);
+
+/// A shareable latency histogram. Cloning shares the shards — every
+/// clone records into (and snapshots) the same distribution.
+#[derive(Clone)]
+pub struct Histogram {
+    shards: Arc<Shards>,
+}
+
+/// The log₂ bucket a nanosecond value falls into.
+#[inline]
+fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (64 - ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` in nanoseconds (`u64::MAX` for
+/// the overflow bucket).
+pub fn bucket_le_ns(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A merged histogram: the sum of every shard at one instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of recorded values in nanoseconds.
+    pub sum_ns: u64,
+    /// Per-bucket (non-cumulative) sample counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// A fresh all-zero histogram.
+    pub fn new() -> Self {
+        Histogram {
+            shards: Arc::new(Shards(std::array::from_fn(|_| Shard::new()))),
+        }
+    }
+
+    /// Record one duration in nanoseconds: two relaxed `fetch_add`s on
+    /// this thread's shard. Never allocates, never locks.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let shard = &self.shards.0[crate::thread_index() as usize % SHARDS];
+        shard.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        shard.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record one duration in seconds (negative and non-finite values
+    /// clamp to 0).
+    #[inline]
+    pub fn record_seconds(&self, seconds: f64) {
+        let ns = if seconds.is_finite() && seconds > 0.0 {
+            (seconds * 1e9) as u64
+        } else {
+            0
+        };
+        self.record_ns(ns);
+    }
+
+    /// Record the elapsed time of `start` (convenience for span-less
+    /// phase timing).
+    #[inline]
+    pub fn record_elapsed(&self, start: std::time::Instant) {
+        self.record_ns(start.elapsed().as_nanos() as u64);
+    }
+
+    /// Merge every shard into one [`HistogramData`]. Concurrent
+    /// recorders may land on either side of the merge (each sample
+    /// atomically, so `count` always equals the bucket total).
+    pub fn merged(&self) -> HistogramData {
+        let mut data = HistogramData {
+            count: 0,
+            sum_ns: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        for shard in &self.shards.0 {
+            data.sum_ns = data
+                .sum_ns
+                .wrapping_add(shard.sum_ns.load(Ordering::Relaxed));
+            for (i, bucket) in shard.buckets.iter().enumerate() {
+                let c = bucket.load(Ordering::Relaxed);
+                data.buckets[i] += c;
+                data.count += c;
+            }
+        }
+        data
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = self.merged();
+        write!(
+            f,
+            "Histogram {{ count: {}, sum_ns: {} }}",
+            d.count, d.sum_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_bracket_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every value is ≤ its bucket's upper bound and > the previous
+        // bucket's.
+        for ns in [1u64, 7, 64, 1000, 123_456_789, 1 << 40] {
+            let i = bucket_index(ns);
+            assert!(ns <= bucket_le_ns(i), "{ns} in bucket {i}");
+            assert!(ns > bucket_le_ns(i - 1), "{ns} in bucket {i}");
+        }
+    }
+
+    #[test]
+    fn record_and_merge_round_trip() {
+        let h = Histogram::new();
+        h.record_ns(0);
+        h.record_ns(1);
+        h.record_ns(1000);
+        h.record_seconds(1e-6);
+        h.record_seconds(-1.0); // clamps to 0
+        let d = h.merged();
+        assert_eq!(d.count, 5);
+        assert_eq!(d.sum_ns, 1 + 1000 + 1000);
+        assert_eq!(d.buckets.iter().sum::<u64>(), d.count);
+    }
+
+    #[test]
+    fn clones_share_the_distribution() {
+        let h = Histogram::new();
+        let h2 = h.clone();
+        h.record_ns(5);
+        h2.record_ns(9);
+        assert_eq!(h.merged(), h2.merged());
+        assert_eq!(h.merged().count, 2);
+    }
+}

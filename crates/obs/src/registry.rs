@@ -1,0 +1,296 @@
+//! The metric registry: named, labeled counter/gauge/histogram
+//! families.
+//!
+//! A [`Registry`] is the unit of isolation: each `SolverService` owns
+//! one, so concurrent services (and concurrent tests) never mix
+//! counts. Registration — `registry.counter("petamg_x_total", &[...])`
+//! — happens at construction time and may allocate; the returned
+//! handles are `Arc`-backed and their hot paths (increment, record)
+//! never touch the registry again. Re-registering the same
+//! (name, labels) pair returns a handle to the same underlying metric.
+
+use crate::hist::Histogram;
+use crate::snapshot::{
+    BucketSample, CounterSample, GaugeSample, HistogramSample, LabelSample, TelemetrySnapshot,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotone counter. Cloning shares the count.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not filed in any registry (for components that can be
+    /// built standalone; the service path registers instead).
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge. Cloning shares the cell.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge not filed in any registry.
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Kind {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+    kind: Kind,
+}
+
+/// A collection of named metrics with one consistent snapshot.
+///
+/// Metric names follow Prometheus conventions (`petamg_*_total` for
+/// counters, `petamg_*_seconds` for latency histograms); labels are
+/// `(key, value)` pairs like `("rung", "tuned")` or
+/// `("source", "cache-hit")`.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn find_or_insert(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        make: impl FnOnce() -> Kind,
+    ) -> Kind {
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(entry) = entries.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2)
+        }) {
+            return match &entry.kind {
+                Kind::Counter(c) => Kind::Counter(c.clone()),
+                Kind::Gauge(g) => Kind::Gauge(g.clone()),
+                Kind::Histogram(h) => Kind::Histogram(h.clone()),
+            };
+        }
+        let kind = make();
+        let shared = match &kind {
+            Kind::Counter(c) => Kind::Counter(c.clone()),
+            Kind::Gauge(g) => Kind::Gauge(g.clone()),
+            Kind::Histogram(h) => Kind::Histogram(h.clone()),
+        };
+        entries.push(Entry {
+            name,
+            labels: labels.iter().map(|&(k, v)| (k, v.to_string())).collect(),
+            kind,
+        });
+        shared
+    }
+
+    /// Register (or re-fetch) a counter.
+    ///
+    /// # Panics
+    /// Panics if `(name, labels)` is already registered as a different
+    /// metric kind.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+        match self.find_or_insert(name, labels, || Kind::Counter(Counter::detached())) {
+            Kind::Counter(c) => c,
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Register (or re-fetch) a gauge.
+    ///
+    /// # Panics
+    /// Panics if `(name, labels)` is already registered as a different
+    /// metric kind.
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+        match self.find_or_insert(name, labels, || Kind::Gauge(Gauge::detached())) {
+            Kind::Gauge(g) => g,
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Register (or re-fetch) a latency histogram.
+    ///
+    /// # Panics
+    /// Panics if `(name, labels)` is already registered as a different
+    /// metric kind.
+    pub fn histogram(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Histogram {
+        match self.find_or_insert(name, labels, || Kind::Histogram(Histogram::new())) {
+            Kind::Histogram(h) => h,
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// One consistent snapshot of every registered metric, sorted by
+    /// `(name, labels)` so the schema is stable across runs.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut snapshot = TelemetrySnapshot::default();
+        for entry in entries.iter() {
+            let labels: Vec<LabelSample> = entry
+                .labels
+                .iter()
+                .map(|(k, v)| LabelSample {
+                    key: (*k).to_string(),
+                    value: v.clone(),
+                })
+                .collect();
+            match &entry.kind {
+                Kind::Counter(c) => snapshot.counters.push(CounterSample {
+                    name: entry.name.to_string(),
+                    labels,
+                    value: c.get(),
+                }),
+                Kind::Gauge(g) => snapshot.gauges.push(GaugeSample {
+                    name: entry.name.to_string(),
+                    labels,
+                    value: g.get(),
+                }),
+                Kind::Histogram(h) => {
+                    let data = h.merged();
+                    let buckets = data
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &count)| count > 0)
+                        .map(|(i, &count)| BucketSample {
+                            le_ns: crate::hist::bucket_le_ns(i),
+                            count,
+                        })
+                        .collect();
+                    snapshot.histograms.push(HistogramSample {
+                        name: entry.name.to_string(),
+                        labels,
+                        count: data.count,
+                        sum_ns: data.sum_ns,
+                        buckets,
+                    });
+                }
+            }
+        }
+        drop(entries);
+        let label_key = |labels: &[LabelSample]| {
+            labels
+                .iter()
+                .map(|l| format!("{}={}", l.key, l.value))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        snapshot
+            .counters
+            .sort_by(|a, b| (&a.name, label_key(&a.labels)).cmp(&(&b.name, label_key(&b.labels))));
+        snapshot
+            .gauges
+            .sort_by(|a, b| (&a.name, label_key(&a.labels)).cmp(&(&b.name, label_key(&b.labels))));
+        snapshot
+            .histograms
+            .sort_by(|a, b| (&a.name, label_key(&a.labels)).cmp(&(&b.name, label_key(&b.labels))));
+        snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reregistration_shares_the_metric() {
+        let reg = Registry::new();
+        let a = reg.counter("petamg_test_total", &[("kind", "x")]);
+        let b = reg.counter("petamg_test_total", &[("kind", "x")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 3);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_metrics() {
+        let reg = Registry::new();
+        reg.counter("petamg_test_total", &[("kind", "x")]).inc();
+        reg.counter("petamg_test_total", &[("kind", "y")]).add(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 2);
+        // Sorted by label string: x before y.
+        assert_eq!(snap.counters[0].value, 1);
+        assert_eq!(snap.counters[1].value, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_panic() {
+        let reg = Registry::new();
+        reg.counter("petamg_conflict", &[]);
+        reg.gauge("petamg_conflict", &[]);
+    }
+
+    #[test]
+    fn snapshot_contains_histogram_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("petamg_test_seconds", &[]);
+        h.record_ns(100);
+        h.record_ns(100_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms.len(), 1);
+        let hist = &snap.histograms[0];
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum_ns, 100_100);
+        assert_eq!(hist.buckets.iter().map(|b| b.count).sum::<u64>(), 2);
+    }
+}

@@ -1,0 +1,339 @@
+//! Telemetry sinks: the structured snapshot, the Prometheus text
+//! exposition, and the Chrome trace-event export.
+//!
+//! The snapshot is the stable machine-readable schema — plain
+//! named-field structs serialized through the serde shim, with
+//! histogram buckets carried sparsely (zero buckets omitted) and all
+//! durations in integer nanoseconds. The Prometheus rendering derives
+//! from a snapshot (cumulative `le` buckets in seconds, `_sum`/`_count`
+//! series); the Chrome export renders span records as complete
+//! (`"ph": "X"`) trace events for `chrome://tracing` /
+//! `ui.perfetto.dev`.
+
+use crate::span::SpanRecord;
+use serde::{Deserialize, Serialize};
+
+/// One `key=value` metric label.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelSample {
+    /// Label key (e.g. `rung`).
+    pub key: String,
+    /// Label value (e.g. `tuned`).
+    pub value: String,
+}
+
+/// A counter's value at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name (`petamg_*_total`).
+    pub name: String,
+    /// Metric labels.
+    pub labels: Vec<LabelSample>,
+    /// Monotone count.
+    pub value: u64,
+}
+
+/// A gauge's value at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Metric labels.
+    pub labels: Vec<LabelSample>,
+    /// Last-set value.
+    pub value: u64,
+}
+
+/// One non-empty histogram bucket.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketSample {
+    /// Inclusive upper bound in nanoseconds (`u64::MAX` = overflow).
+    pub le_ns: u64,
+    /// Samples in this bucket (non-cumulative).
+    pub count: u64,
+}
+
+/// A merged histogram at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name (`petamg_*_seconds`).
+    pub name: String,
+    /// Metric labels.
+    pub labels: Vec<LabelSample>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples in nanoseconds.
+    pub sum_ns: u64,
+    /// Non-empty buckets, ascending by bound.
+    pub buckets: Vec<BucketSample>,
+}
+
+/// Every metric of one [`crate::Registry`] at one instant, sorted by
+/// `(name, labels)` — the stable JSON schema telemetry consumers parse.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSample>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl TelemetrySnapshot {
+    /// The value of the counter named `name` whose labels include
+    /// every `(key, value)` pair in `labels` (0 when absent) — the
+    /// lookup tests and reconciliation checks use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name && has_labels(&c.labels, labels))
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Total sample count of the histogram(s) matching `name` +
+    /// `labels` (0 when absent).
+    pub fn histogram_count(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.histograms
+            .iter()
+            .filter(|h| h.name == name && has_labels(&h.labels, labels))
+            .map(|h| h.count)
+            .sum()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+}
+
+fn has_labels(have: &[LabelSample], want: &[(&str, &str)]) -> bool {
+    want.iter()
+        .all(|&(k, v)| have.iter().any(|l| l.key == k && l.value == v))
+}
+
+fn label_block(labels: &[LabelSample], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|l| format!("{}=\"{}\"", l.key, l.value))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn le_label(le_ns: u64) -> String {
+    if le_ns == u64::MAX {
+        "+Inf".to_string()
+    } else {
+        // Seconds with enough digits to round-trip every 2^i bound.
+        format!("{:.9}", le_ns as f64 / 1e9)
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format:
+/// counters as-is, histograms as cumulative `_bucket{le="..."}` series
+/// (bounds in seconds) plus `_sum` (seconds) and `_count`.
+pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type: Option<String> = None;
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let key = format!("{name} {kind}");
+        if last_type.as_deref() != Some(key.as_str()) {
+            out.push_str(&format!("# TYPE {key}\n"));
+            last_type = Some(key);
+        }
+    };
+    for c in &snapshot.counters {
+        type_line(&mut out, &c.name, "counter");
+        out.push_str(&format!(
+            "{}{} {}\n",
+            c.name,
+            label_block(&c.labels, None),
+            c.value
+        ));
+    }
+    for g in &snapshot.gauges {
+        type_line(&mut out, &g.name, "gauge");
+        out.push_str(&format!(
+            "{}{} {}\n",
+            g.name,
+            label_block(&g.labels, None),
+            g.value
+        ));
+    }
+    for h in &snapshot.histograms {
+        type_line(&mut out, &h.name, "histogram");
+        let mut cumulative = 0u64;
+        for b in &h.buckets {
+            cumulative += b.count;
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                h.name,
+                label_block(&h.labels, Some(("le", &le_label(b.le_ns)))),
+                cumulative
+            ));
+        }
+        if h.buckets.last().map(|b| b.le_ns) != Some(u64::MAX) {
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                h.name,
+                label_block(&h.labels, Some(("le", "+Inf"))),
+                cumulative
+            ));
+        }
+        out.push_str(&format!(
+            "{}_sum{} {:.9}\n",
+            h.name,
+            label_block(&h.labels, None),
+            h.sum_ns as f64 / 1e9
+        ));
+        out.push_str(&format!(
+            "{}_count{} {}\n",
+            h.name,
+            label_block(&h.labels, None),
+            h.count
+        ));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render spans as a Chrome trace-event document: load the result in
+/// `chrome://tracing` or `ui.perfetto.dev` to see each request's
+/// queue-wait / plan-resolve / solve phases laid out per worker
+/// thread. Events are complete (`"ph": "X"`) with microsecond
+/// timestamps measured from the process epoch.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"detail\":\"{}\"}}}}",
+            json_escape(s.name),
+            json_escape(s.cat),
+            s.start_us,
+            s.dur_us,
+            s.tid,
+            json_escape(s.detail),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let reg = Registry::new();
+        reg.counter("petamg_requests_total", &[]).add(7);
+        reg.counter("petamg_rung_served_total", &[("rung", "tuned")])
+            .add(5);
+        let h = reg.histogram("petamg_solve_seconds", &[]);
+        h.record_ns(900);
+        h.record_ns(1_000_000);
+        reg.gauge("petamg_in_flight", &[]).set(2);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("petamg_requests_total", &[]), 7);
+        assert_eq!(
+            back.counter("petamg_rung_served_total", &[("rung", "tuned")]),
+            5
+        );
+        assert_eq!(
+            back.counter("petamg_rung_served_total", &[("rung", "direct")]),
+            0
+        );
+        assert_eq!(back.histogram_count("petamg_solve_seconds", &[]), 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_typed() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE petamg_requests_total counter"));
+        assert!(text.contains("petamg_requests_total 7"));
+        assert!(text.contains("petamg_rung_served_total{rung=\"tuned\"} 5"));
+        assert!(text.contains("# TYPE petamg_solve_seconds histogram"));
+        assert!(text.contains("petamg_solve_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("petamg_solve_seconds_count 2"));
+        // The two samples (900 ns and 1 ms) are in different buckets;
+        // the later bucket's cumulative count covers both.
+        let inf_line = text
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .expect("inf bucket");
+        assert!(inf_line.ends_with(" 2"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_one_event_per_span() {
+        let spans = [
+            SpanRecord {
+                name: "queue_wait",
+                cat: "serve",
+                detail: "",
+                start_us: 10,
+                dur_us: 5,
+                tid: 0,
+            },
+            SpanRecord {
+                name: "solve",
+                cat: "serve",
+                detail: "rung=tuned",
+                start_us: 15,
+                dur_us: 1400,
+                tid: 3,
+            },
+        ];
+        let doc = chrome_trace_json(&spans);
+        let v: serde_json::Value = serde_json::from_str(&doc).expect("valid JSON");
+        let events = v
+            .as_object()
+            .and_then(|o| o.get("traceEvents"))
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        let dur = events[1]
+            .as_object()
+            .and_then(|o| o.get("dur"))
+            .and_then(|d| match d {
+                serde_json::Value::Number(n) => n.as_u64(),
+                _ => None,
+            });
+        assert_eq!(dur, Some(1400), "duration survives");
+    }
+}

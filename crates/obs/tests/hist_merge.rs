@@ -1,0 +1,113 @@
+//! Property test: the sharded histogram's merge is exactly the
+//! sequential reference model, under any assignment of samples to
+//! recording threads.
+//!
+//! The histogram's correctness claim is that sharding is invisible:
+//! `merged()` after N concurrent `record_ns` calls equals one
+//! unsharded tally of the same N samples — same total count, same
+//! nanosecond sum, same count in every bucket. The property drives
+//! the recorder from several threads (so distinct shards really are
+//! exercised) and compares against a model built with plain integer
+//! arithmetic.
+
+use petamg_obs::{bucket_le_ns, Histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+/// The reference model: one pass, no shards, no atomics.
+fn reference(samples: &[u64]) -> (u64, u64, Vec<u64>) {
+    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    let mut sum = 0u64;
+    for &ns in samples {
+        let idx = (0..HISTOGRAM_BUCKETS)
+            .find(|&i| ns <= bucket_le_ns(i))
+            .expect("the overflow bucket admits everything");
+        buckets[idx] += 1;
+        sum = sum.wrapping_add(ns);
+    }
+    (samples.len() as u64, sum, buckets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Concurrent sharded recording merges to the sequential model.
+    #[test]
+    fn sharded_merge_equals_reference_model(
+        raw in prop::collection::vec(0u64..u64::MAX, 1..400),
+        threads in 1usize..9,
+    ) {
+        // Spread the magnitudes across the full bucket range: the raw
+        // u64s mostly land in the top buckets, so mix in small values
+        // by reducing every third sample.
+        let samples: Vec<u64> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| match i % 3 {
+                0 => v,
+                1 => v % 1_000_000,
+                _ => v % 64,
+            })
+            .collect();
+
+        let hist = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let hist = &hist;
+                let chunk: Vec<u64> = samples
+                    .iter()
+                    .copied()
+                    .skip(t)
+                    .step_by(threads)
+                    .collect();
+                scope.spawn(move || {
+                    for ns in chunk {
+                        hist.record_ns(ns);
+                    }
+                });
+            }
+        });
+
+        let merged = hist.merged();
+        let (count, sum, buckets) = reference(&samples);
+        prop_assert_eq!(merged.count, count);
+        prop_assert_eq!(merged.sum_ns, sum);
+        for (&got, &want) in merged.buckets.iter().zip(&buckets) {
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(merged.buckets.iter().sum::<u64>(), merged.count);
+    }
+}
+
+/// A snapshot taken *while* recorders run can tear between count and
+/// sum, but each sample lands atomically: the bucket total always
+/// equals the merged count, and a quiesced merge is exact.
+#[test]
+fn concurrent_snapshot_bucket_total_matches_count() {
+    let hist = Histogram::new();
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let hist = &hist;
+            scope.spawn(move || {
+                for i in 0..20_000u64 {
+                    hist.record_ns(i.wrapping_mul(2654435761).wrapping_add(t));
+                }
+            });
+        }
+        let hist = &hist;
+        let done = &done;
+        scope.spawn(move || {
+            while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                let snap = hist.merged();
+                assert_eq!(
+                    snap.buckets.iter().sum::<u64>(),
+                    snap.count,
+                    "mid-flight merge must still partition"
+                );
+            }
+        });
+        for _ in 0..4 {}
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(hist.merged().count, 80_000);
+}

@@ -10,9 +10,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
-/// Environment variable consulted for the global pool's worker count.
-pub const NUM_THREADS_ENV: &str = "PETAMG_NUM_THREADS";
-
 /// Counters exposed for benchmarking and diagnostics. All counters are
 /// monotonically increasing over the pool's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -335,15 +332,11 @@ static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 /// available parallelism.
 pub(crate) fn global() -> &'static ThreadPool {
     GLOBAL.get_or_init(|| {
-        let threads = std::env::var(NUM_THREADS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&t| t >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+        let threads = petamg_obs::env::num_threads().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
         ThreadPool::new(threads)
     })
 }

@@ -29,6 +29,7 @@
 pub mod coalesce;
 pub mod library;
 pub mod service;
+pub mod telemetry;
 
 pub use coalesce::{Role, SingleFlight};
 pub use library::{
@@ -39,6 +40,7 @@ pub use service::{
     PlanSource, Rejected, ServeError, ServeReport, ServeResponse, ServiceConfig, ServiceStats,
     SolveRequest, SolverService, Ticket, TunePolicy,
 };
+pub use telemetry::{plan_source_label, ServeTelemetry};
 
 #[cfg(test)]
 mod proptests;

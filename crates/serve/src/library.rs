@@ -19,6 +19,7 @@
 use parking_lot::Mutex;
 use petamg_core::persist::{self, PlanLoadError};
 use petamg_core::plan::TunedFamily;
+use petamg_obs::{Counter, Registry};
 use petamg_problems::{Problem, ProblemFingerprint};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -90,16 +91,49 @@ pub struct LibraryStats {
     pub inserts: u64,
 }
 
-#[derive(Default)]
 struct Counters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    disk_loads: AtomicU64,
-    quarantined: AtomicU64,
-    mismatches: AtomicU64,
-    io_errors: AtomicU64,
-    evictions: AtomicU64,
-    inserts: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    disk_loads: Counter,
+    quarantined: Counter,
+    mismatches: Counter,
+    io_errors: Counter,
+    evictions: Counter,
+    inserts: Counter,
+}
+
+impl Default for Counters {
+    /// Detached counters: a library built standalone counts without
+    /// any registry. [`PlanLibrary::with_registry`] swaps these for
+    /// registered handles.
+    fn default() -> Self {
+        Counters {
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            disk_loads: Counter::detached(),
+            quarantined: Counter::detached(),
+            mismatches: Counter::detached(),
+            io_errors: Counter::detached(),
+            evictions: Counter::detached(),
+            inserts: Counter::detached(),
+        }
+    }
+}
+
+impl Counters {
+    fn registered(registry: &Registry) -> Self {
+        let c = |name: &'static str| registry.counter(name, &[]);
+        Counters {
+            hits: c("petamg_library_hits_total"),
+            misses: c("petamg_library_misses_total"),
+            disk_loads: c("petamg_library_disk_loads_total"),
+            quarantined: c("petamg_library_quarantined_total"),
+            mismatches: c("petamg_library_mismatches_total"),
+            io_errors: c("petamg_library_io_errors_total"),
+            evictions: c("petamg_library_evictions_total"),
+            inserts: c("petamg_library_inserts_total"),
+        }
+    }
 }
 
 /// A directory of tuned-plan files with a bounded LRU cache in front.
@@ -142,6 +176,15 @@ impl PlanLibrary {
         })
     }
 
+    /// File this library's counters in `registry` under the
+    /// `petamg_library_*_total` names, replacing the detached
+    /// defaults. Counts made before the swap are dropped — call this
+    /// at construction (the service does).
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.stats = Counters::registered(registry);
+        self
+    }
+
     /// Replace the fingerprint→key function (cache key **and** file
     /// name). A test seam: forcing distinct fingerprints onto one key
     /// exercises the collision defenses without reversing FNV-1a.
@@ -182,19 +225,19 @@ impl PlanLibrary {
     /// Counter snapshot.
     pub fn stats(&self) -> LibraryStats {
         LibraryStats {
-            hits: self.stats.hits.load(Ordering::Relaxed),
-            misses: self.stats.misses.load(Ordering::Relaxed),
-            disk_loads: self.stats.disk_loads.load(Ordering::Relaxed),
-            quarantined: self.stats.quarantined.load(Ordering::Relaxed),
-            mismatches: self.stats.mismatches.load(Ordering::Relaxed),
-            io_errors: self.stats.io_errors.load(Ordering::Relaxed),
-            evictions: self.stats.evictions.load(Ordering::Relaxed),
-            inserts: self.stats.inserts.load(Ordering::Relaxed),
+            hits: self.stats.hits.get(),
+            misses: self.stats.misses.get(),
+            disk_loads: self.stats.disk_loads.get(),
+            quarantined: self.stats.quarantined.get(),
+            mismatches: self.stats.mismatches.get(),
+            io_errors: self.stats.io_errors.get(),
+            evictions: self.stats.evictions.get(),
+            inserts: self.stats.inserts.get(),
         }
     }
 
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn bump(counter: &Counter) {
+        counter.inc();
     }
 
     fn next_tick(&self) -> u64 {
@@ -452,6 +495,25 @@ mod tests {
         assert!(lib.get(&poisson).is_none());
         let s = lib.stats();
         assert_eq!((s.misses, s.io_errors), (2, 1));
+    }
+
+    #[test]
+    fn registered_counters_surface_in_the_snapshot() {
+        let registry = Registry::new();
+        let lib = PlanLibrary::open(tmp_dir("registry"))
+            .unwrap()
+            .with_registry(&registry);
+        let poisson = Problem::poisson();
+        assert!(lib.get(&poisson).is_none());
+        lib.insert(&poisson, stamped(&poisson, 4)).unwrap();
+        lib.get(&poisson).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("petamg_library_misses_total", &[]), 1);
+        assert_eq!(snap.counter("petamg_library_inserts_total", &[]), 1);
+        assert_eq!(snap.counter("petamg_library_hits_total", &[]), 1);
+        // The legacy stats shape reads through the same counters.
+        let s = lib.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
     }
 
     #[test]

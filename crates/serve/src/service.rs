@@ -20,21 +20,22 @@
 
 use crate::coalesce::{Role, SingleFlight};
 use crate::library::{fingerprint_key, PlanLibrary, PlanOrigin};
+use crate::telemetry::{PhaseStamp, ServeTelemetry};
 use parking_lot::{Condvar, Mutex};
 use petamg_core::faults::{self, Fault};
 use petamg_core::guard::{GuardedReport, GuardedSolver, SolveError};
 use petamg_core::plan::{simple_v_family, TunedFamily, PAPER_ACCURACIES};
+use petamg_core::telemetry::{rung_label, SolveTelemetry};
 use petamg_core::training::Distribution;
 use petamg_core::tuner::{TunerOptions, VTuner};
 use petamg_grid::{batch_width, size_level, Exec, Grid2d, Workspace, WorkspaceStats};
+use petamg_obs::{self as obs, Counter, Gauge, Registry, TelemetrySnapshot};
 use petamg_problems::Problem;
 use petamg_runtime::ThreadPool;
 use petamg_solvers::{DirectSolverCache, GuardConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// A caller-supplied tuning function: `(problem, level) -> family`.
 pub type TuneFn = dyn Fn(&Problem, usize) -> TunedFamily + Send + Sync;
@@ -314,17 +315,17 @@ impl Slot {
 }
 
 impl Ticket {
-    /// Block until the response is ready.
+    /// Block until the response is ready. Purely signal-driven: the
+    /// worker fills the slot while holding the lock and then notifies,
+    /// so an untimed wait can never miss the wakeup and there is no
+    /// poll interval to add latency.
     pub fn wait(self) -> ServeResponse {
         let mut slot = self.slot.response.lock();
         loop {
             if let Some(response) = slot.take() {
                 return response;
             }
-            let _ = self
-                .slot
-                .done
-                .wait_for(&mut slot, Duration::from_millis(100));
+            self.slot.done.wait(&mut slot);
         }
     }
 
@@ -371,24 +372,47 @@ pub struct ServiceStats {
     pub batch_width: usize,
 }
 
-#[derive(Default)]
+/// Request counters, registered in the service's metric registry (one
+/// `petamg_requests_*`/`petamg_tuning_*` counter family each) and read
+/// back through the legacy [`ServiceStats`] shape. Counters are
+/// unconditional — they predate the telemetry gate and stay free.
 struct StatCounters {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    converged: AtomicU64,
-    ladder_failures: AtomicU64,
-    bad_requests: AtomicU64,
-    panics: AtomicU64,
-    tunes: AtomicU64,
-    tune_failures: AtomicU64,
-    coalesced: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
+    submitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    converged: Counter,
+    ladder_failures: Counter,
+    bad_requests: Counter,
+    panics: Counter,
+    tunes: Counter,
+    tune_failures: Counter,
+    coalesced: Counter,
+    batches: Counter,
+    batched_requests: Counter,
 }
 
-fn bump(c: &AtomicU64) {
-    c.fetch_add(1, Ordering::Relaxed);
+impl StatCounters {
+    fn register(registry: &Registry) -> Self {
+        let c = |name: &'static str| registry.counter(name, &[]);
+        StatCounters {
+            submitted: c("petamg_requests_submitted_total"),
+            rejected: c("petamg_requests_rejected_total"),
+            completed: c("petamg_requests_completed_total"),
+            converged: c("petamg_requests_converged_total"),
+            ladder_failures: c("petamg_requests_ladder_failures_total"),
+            bad_requests: c("petamg_requests_bad_total"),
+            panics: c("petamg_requests_panicked_total"),
+            tunes: c("petamg_tuning_runs_total"),
+            tune_failures: c("petamg_tuning_failures_total"),
+            coalesced: c("petamg_tuning_coalesced_total"),
+            batches: c("petamg_batch_groups_total"),
+            batched_requests: c("petamg_batched_requests_total"),
+        }
+    }
+}
+
+fn bump(c: &Counter) {
+    c.inc();
 }
 
 struct Inner {
@@ -412,6 +436,20 @@ struct Inner {
     in_flight: Mutex<usize>,
     changed: Condvar,
     stats: StatCounters,
+    /// The service's metric registry: request counters, library
+    /// counters, request-phase and solve-phase histograms, and the
+    /// snapshot-time gauges all live here. Per-service, so concurrent
+    /// services never mix counts.
+    registry: Arc<Registry>,
+    /// Request-phase histograms and the span ring.
+    telemetry: ServeTelemetry,
+    /// Solve-phase feed attached to every guarded solver this service
+    /// builds (rung counters, attempt/residual/kernel histograms).
+    solve_telemetry: Arc<SolveTelemetry>,
+    /// Gauges refreshed at snapshot time.
+    in_flight_gauge: Gauge,
+    arena_allocations: Gauge,
+    arena_reuses: Gauge,
 }
 
 /// The plan-serving solver engine. See the module docs.
@@ -426,11 +464,16 @@ pub struct SolverService {
 
 impl SolverService {
     /// Start a service: spin up the pool, open (or create) the plan
-    /// directory.
+    /// directory, register the telemetry families.
     pub fn start(cfg: ServiceConfig) -> std::io::Result<Self> {
+        obs::env::warn_unknown_once();
         let workers = cfg.workers.max(1);
-        let library = PlanLibrary::with_capacity(&cfg.plan_dir, cfg.library_capacity)?;
+        let registry = Arc::new(Registry::new());
+        let library = PlanLibrary::with_capacity(&cfg.plan_dir, cfg.library_capacity)?
+            .with_registry(&registry);
         let pool = ThreadPool::new(workers);
+        let width = cfg.batch_width.unwrap_or_else(batch_width);
+        registry.gauge("petamg_batch_width", &[]).set(width as u64);
         let inner = Arc::new(Inner {
             library,
             flights: SingleFlight::new(),
@@ -441,10 +484,16 @@ impl SolverService {
             guard: cfg.guard,
             tuning: cfg.tuning,
             queue_capacity: cfg.queue_capacity.max(1),
-            batch_width: cfg.batch_width.unwrap_or_else(batch_width),
+            batch_width: width,
             in_flight: Mutex::new(0),
             changed: Condvar::new(),
-            stats: StatCounters::default(),
+            stats: StatCounters::register(&registry),
+            telemetry: ServeTelemetry::register(&registry),
+            solve_telemetry: Arc::new(SolveTelemetry::register(&registry)),
+            in_flight_gauge: registry.gauge("petamg_in_flight", &[]),
+            arena_allocations: registry.gauge("petamg_arena_allocations", &[]),
+            arena_reuses: registry.gauge("petamg_arena_reuses", &[]),
+            registry,
         });
         Ok(SolverService { pool, inner })
     }
@@ -504,6 +553,7 @@ impl SolverService {
     /// traffic needs no special handling by the caller. Every request
     /// counts individually toward the admission bound.
     pub fn submit_many(&self, requests: Vec<SolveRequest>) -> Vec<Ticket> {
+        let assembly = PhaseStamp::capture();
         let max_group = self.inner.batch_width.min(self.inner.queue_capacity);
         let mut slots: Vec<Arc<Slot>> = Vec::with_capacity(requests.len());
         for _ in 0..requests.len() {
@@ -536,6 +586,9 @@ impl SolverService {
                 }
             }
         }
+        if let Some(stamp) = assembly {
+            self.inner.telemetry.observe_batch_assembly(stamp);
+        }
         let mut requests: Vec<Option<SolveRequest>> = requests.into_iter().map(Some).collect();
         for idxs in groups {
             let width = idxs.len();
@@ -553,7 +606,7 @@ impl SolverService {
                     (req, Arc::clone(&slots[i]))
                 })
                 .collect();
-            self.spawn_group(batch);
+            self.spawn_group(batch, PhaseStamp::capture());
         }
         slots.into_iter().map(|slot| Ticket { slot }).collect()
     }
@@ -568,21 +621,22 @@ impl SolverService {
     }
 
     /// Dispatch one admitted group: solo for singletons, one batched
-    /// pool job otherwise.
-    fn spawn_group(&self, batch: Vec<(SolveRequest, Arc<Slot>)>) {
+    /// pool job otherwise. `queued` is the admission timestamp (taken
+    /// only when telemetry is on) for the queue-wait histogram.
+    fn spawn_group(&self, batch: Vec<(SolveRequest, Arc<Slot>)>, queued: Option<PhaseStamp>) {
         let width = batch.len();
         if width == 1 {
             let (request, slot) = batch.into_iter().next().expect("width == 1");
-            self.spawn_request(request, slot);
+            self.spawn_request(request, slot, queued);
             return;
         }
         bump(&self.inner.stats.batches);
-        self.inner
-            .stats
-            .batched_requests
-            .fetch_add(width as u64, Ordering::Relaxed);
+        self.inner.stats.batched_requests.add(width as u64);
         let inner = Arc::clone(&self.inner);
         self.pool.spawn(move || {
+            if let Some(stamp) = queued {
+                inner.telemetry.observe_queue_wait(stamp);
+            }
             let (requests, slots): (Vec<SolveRequest>, Vec<Arc<Slot>>) = batch.into_iter().unzip();
             let responses = catch_unwind(AssertUnwindSafe(|| handle_group(&inner, requests)))
                 .unwrap_or_else(|p| {
@@ -618,13 +672,16 @@ impl SolverService {
         let ticket = Ticket {
             slot: Arc::clone(&slot),
         };
-        self.spawn_request(request, slot);
+        self.spawn_request(request, slot, PhaseStamp::capture());
         ticket
     }
 
-    fn spawn_request(&self, request: SolveRequest, slot: Arc<Slot>) {
+    fn spawn_request(&self, request: SolveRequest, slot: Arc<Slot>, queued: Option<PhaseStamp>) {
         let inner = Arc::clone(&self.inner);
         self.pool.spawn(move || {
+            if let Some(stamp) = queued {
+                inner.telemetry.observe_queue_wait(stamp);
+            }
             let response = catch_unwind(AssertUnwindSafe(|| handle(&inner, request)))
                 .unwrap_or_else(|p| {
                     // The handler's own catch covers the solve; this
@@ -670,20 +727,59 @@ impl SolverService {
     pub fn stats(&self) -> ServiceStats {
         let s = &self.inner.stats;
         ServiceStats {
-            submitted: s.submitted.load(Ordering::Relaxed),
-            rejected: s.rejected.load(Ordering::Relaxed),
-            completed: s.completed.load(Ordering::Relaxed),
-            converged: s.converged.load(Ordering::Relaxed),
-            ladder_failures: s.ladder_failures.load(Ordering::Relaxed),
-            bad_requests: s.bad_requests.load(Ordering::Relaxed),
-            panics: s.panics.load(Ordering::Relaxed),
-            tunes: s.tunes.load(Ordering::Relaxed),
-            tune_failures: s.tune_failures.load(Ordering::Relaxed),
-            coalesced: s.coalesced.load(Ordering::Relaxed),
-            batches: s.batches.load(Ordering::Relaxed),
-            batched_requests: s.batched_requests.load(Ordering::Relaxed),
+            submitted: s.submitted.get(),
+            rejected: s.rejected.get(),
+            completed: s.completed.get(),
+            converged: s.converged.get(),
+            ladder_failures: s.ladder_failures.get(),
+            bad_requests: s.bad_requests.get(),
+            panics: s.panics.get(),
+            tunes: s.tunes.get(),
+            tune_failures: s.tune_failures.get(),
+            coalesced: s.coalesced.get(),
+            batches: s.batches.get(),
+            batched_requests: s.batched_requests.get(),
             batch_width: self.inner.batch_width,
         }
+    }
+
+    /// The service's metric registry. Every request counter, library
+    /// counter, phase histogram, and gauge is registered here; the
+    /// registry is per-service, so concurrent services never mix.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// One consistent snapshot of every registered metric, with the
+    /// snapshot-time gauges (in-flight count, arena allocation
+    /// counters, batch width) refreshed first. This is the stable
+    /// machine-readable telemetry schema ([`TelemetrySnapshot::to_json`]).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.inner
+            .in_flight_gauge
+            .set(*self.inner.in_flight.lock() as u64);
+        let (allocations, reuses) = self
+            .inner
+            .arenas
+            .iter()
+            .chain(std::iter::once(&self.inner.fallback_arena))
+            .map(|a| a.stats())
+            .fold((0, 0), |(a, r), s| (a + s.allocations, r + s.reuses));
+        self.inner.arena_allocations.set(allocations);
+        self.inner.arena_reuses.set(reuses);
+        self.inner.registry.snapshot()
+    }
+
+    /// The Prometheus text exposition of [`Self::telemetry_snapshot`].
+    pub fn prometheus(&self) -> String {
+        obs::render_prometheus(&self.telemetry_snapshot())
+    }
+
+    /// The retained request-phase spans as a Chrome trace-event JSON
+    /// document (load in `chrome://tracing` / `ui.perfetto.dev`).
+    /// Empty unless the service ran with `PETAMG_TELEMETRY=2`.
+    pub fn chrome_trace(&self) -> String {
+        obs::chrome_trace_json(&self.inner.telemetry.spans.spans())
     }
 
     /// The service's batched dispatch width (4 or 8).
@@ -828,11 +924,16 @@ fn handle_group(inner: &Inner, requests: Vec<SolveRequest>) -> Vec<ServeResponse
             .with_cache(Arc::clone(&inner.cache))
             .with_workspace(workspace)
             .with_guard_config(inner.guard)
-            .with_batch_width(inner.batch_width);
+            .with_batch_width(inner.batch_width)
+            .with_telemetry(Arc::clone(&inner.solve_telemetry));
         if let Some(plan) = plan {
             solver = solver.with_shared_plan(plan);
         }
+        let solve_stamp = PhaseStamp::capture();
         let results = solver.solve_many(&mut xs, &bs, &tols);
+        if let Some(stamp) = solve_stamp {
+            inner.telemetry.observe_solve("batch", stamp);
+        }
         for ((i, x), result) in members.into_iter().zip(xs).zip(results) {
             responses[i] = Some(match result {
                 Ok(report) => Ok(ServeReport {
@@ -868,24 +969,54 @@ fn serve_solve(
         .with_exec(inner.exec.clone())
         .with_cache(Arc::clone(&inner.cache))
         .with_workspace(workspace)
-        .with_guard_config(inner.guard);
+        .with_guard_config(inner.guard)
+        .with_telemetry(Arc::clone(&inner.solve_telemetry));
     if let Some(plan) = plan {
         solver = solver.with_shared_plan(plan);
     }
     if trace {
         solver = solver.with_tracing();
     }
+    let stamp = PhaseStamp::capture();
     match solver.solve(x, b, tol) {
-        Ok(report) => Ok((report, source)),
-        Err(error) => Err(ServeError::Ladder {
-            error,
-            x: x.clone(),
-        }),
+        Ok(report) => {
+            if let Some(stamp) = stamp {
+                inner
+                    .telemetry
+                    .observe_solve(rung_label(report.rung), stamp);
+            }
+            Ok((report, source))
+        }
+        Err(error) => {
+            if let Some(stamp) = stamp {
+                inner.telemetry.observe_solve("ladder-exhausted", stamp);
+            }
+            Err(ServeError::Ladder {
+                error,
+                x: x.clone(),
+            })
+        }
     }
 }
 
-/// Library lookup with single-flight tuning on miss.
+/// Library lookup with single-flight tuning on miss, timed into the
+/// `petamg_plan_resolve_seconds{source}` histogram (and a span) when
+/// telemetry is on.
 fn resolve_plan(
+    inner: &Inner,
+    problem: &Problem,
+    level: usize,
+) -> (Option<Arc<TunedFamily>>, PlanSource) {
+    let stamp = PhaseStamp::capture();
+    let (plan, source) = lookup_or_tune(inner, problem, level);
+    if let Some(stamp) = stamp {
+        inner.telemetry.observe_plan_resolve(source, stamp);
+    }
+    (plan, source)
+}
+
+/// The untimed body of [`resolve_plan`].
+fn lookup_or_tune(
     inner: &Inner,
     problem: &Problem,
     level: usize,
@@ -1160,6 +1291,128 @@ mod tests {
         let stats = svc.stats();
         assert!(stats.batches >= 2, "groups capped at the queue bound");
         assert_eq!(svc.in_flight(), 0);
+    }
+
+    /// Regression test for the ticket wakeup path: `wait` must return
+    /// as soon as `fill` signals, not on a poll tick. The old
+    /// implementation re-checked every 100 ms; a signal-driven wait
+    /// returns within scheduler noise of the fill.
+    #[test]
+    fn ticket_wait_is_signal_driven_not_polled() {
+        use std::time::{Duration, Instant};
+        let slot = Arc::new(Slot::new());
+        let ticket = Ticket {
+            slot: Arc::clone(&slot),
+        };
+        let t0 = Instant::now();
+        let filler = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            slot.fill(Err(ServeError::Panicked("wakeup drill".into())));
+        });
+        let _ = ticket.wait();
+        let waited = t0.elapsed();
+        filler.join().unwrap();
+        assert!(waited >= Duration::from_millis(25), "{waited:?}");
+        assert!(
+            waited < Duration::from_millis(95),
+            "wait must wake on the fill signal, not a 100 ms poll tick: {waited:?}"
+        );
+    }
+
+    /// End-to-end telemetry: with the gate open, every request phase
+    /// lands in its histogram, the snapshot counters reconcile exactly
+    /// with the returned reports and the legacy stats shape, and the
+    /// spans export as a Chrome trace. One test drives metrics *and*
+    /// spans so the global mode is set once (`Trace` ⊇ `Metrics`).
+    #[test]
+    fn telemetry_end_to_end_reconciles_with_reports() {
+        petamg_obs::set_mode(petamg_obs::TelemetryMode::Trace);
+        let svc = SolverService::start(ServiceConfig::new(tmp_dir("telemetry"))).unwrap();
+        let r1 = svc
+            .solve(request(Problem::poisson(), 17, 70))
+            .expect("first solo serves");
+        assert_eq!(r1.plan, PlanSource::TunedNow);
+        let r2 = svc
+            .solve(request(Problem::poisson(), 17, 71))
+            .expect("second solo serves");
+        assert_eq!(r2.plan, PlanSource::CacheHit);
+        let batch: Vec<SolveRequest> = (0..4)
+            .map(|k| request(Problem::poisson(), 17, 80 + k))
+            .collect();
+        let mut reports = vec![r1, r2];
+        for response in svc.solve_many(batch) {
+            reports.push(response.expect("batched lane serves"));
+        }
+        let snap = svc.telemetry_snapshot();
+        let stats = svc.stats();
+
+        // Snapshot counters reconcile exactly with the returned
+        // reports and the legacy stats shape.
+        assert_eq!(stats.completed, 6);
+        assert_eq!(
+            snap.counter("petamg_requests_completed_total", &[]),
+            stats.completed
+        );
+        assert_eq!(
+            snap.counter("petamg_requests_submitted_total", &[]),
+            stats.submitted
+        );
+        assert_eq!(snap.counter("petamg_tuning_runs_total", &[]), stats.tunes);
+        assert_eq!(
+            snap.counter("petamg_batched_requests_total", &[]),
+            stats.batched_requests
+        );
+        let served_total: u64 = ["tuned", "heuristic", "direct"]
+            .iter()
+            .map(|&r| snap.counter("petamg_rung_served_total", &[("rung", r)]))
+            .sum();
+        assert_eq!(
+            served_total,
+            reports.len() as u64,
+            "one served-rung count per converged report"
+        );
+        assert_eq!(
+            snap.counter("petamg_library_inserts_total", &[]),
+            svc.library().stats().inserts
+        );
+
+        // One queue wait and one solve per dispatched job: two solo
+        // jobs plus one batch group.
+        assert_eq!(snap.histogram_count("petamg_queue_wait_seconds", &[]), 3);
+        assert_eq!(snap.histogram_count("petamg_solve_seconds", &[]), 3);
+        assert_eq!(
+            snap.histogram_count("petamg_plan_resolve_seconds", &[("source", "tuned-now")]),
+            1
+        );
+        assert_eq!(
+            snap.histogram_count("petamg_plan_resolve_seconds", &[("source", "cache-hit")]),
+            2
+        );
+        assert_eq!(
+            snap.histogram_count("petamg_batch_assembly_seconds", &[]),
+            1
+        );
+
+        // Gauges are refreshed at snapshot time.
+        let gauge = |name: &str| snap.gauges.iter().find(|g| g.name == name).map(|g| g.value);
+        assert_eq!(gauge("petamg_batch_width"), Some(svc.batch_width() as u64));
+        assert_eq!(gauge("petamg_in_flight"), Some(0));
+        assert!(gauge("petamg_arena_reuses").is_some());
+
+        // Spans export as a Chrome trace document with every phase.
+        let trace = svc.chrome_trace();
+        for phase in ["queue_wait", "plan_resolve", "solve", "batch_assembly"] {
+            assert!(
+                trace.contains(&format!("\"name\":\"{phase}\"")),
+                "missing {phase} span in {trace}"
+            );
+        }
+
+        // And the Prometheus rendering carries the same families.
+        let prom = svc.prometheus();
+        assert!(prom.contains("# TYPE petamg_queue_wait_seconds histogram"));
+        assert!(prom.contains("petamg_requests_completed_total 6"));
+        assert!(prom.contains("petamg_rung_served_total{rung="));
     }
 
     /// Width is a locator for amortization, never identity: the same

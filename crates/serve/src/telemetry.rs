@@ -1,0 +1,199 @@
+//! Serve-side telemetry: request-phase histograms and spans.
+//!
+//! [`ServeTelemetry`] pre-registers the request-lifecycle metric
+//! families — queue wait, plan resolution (labeled by
+//! [`PlanSource`]), end-to-end solve time, and batch-group assembly —
+//! plus a preallocated [`SpanRing`] for Chrome-trace export. Handles
+//! are resolved once at service startup, so the per-request
+//! observation path never touches the registry.
+//!
+//! Gating is the service's job: every observation site checks
+//! [`petamg_obs::enabled`] (one relaxed atomic load) before taking a
+//! timestamp, and spans additionally check [`petamg_obs::trace_enabled`].
+//! The struct itself is mode-agnostic so tests can drive it directly.
+
+use crate::service::PlanSource;
+use petamg_obs::{Histogram, Registry, SpanRing};
+use std::time::Instant;
+
+/// Spans retained for Chrome-trace export (oldest overwritten first).
+pub const SPAN_RING_CAPACITY: usize = 4096;
+
+/// The Prometheus-style label value for a plan source.
+pub fn plan_source_label(source: PlanSource) -> &'static str {
+    match source {
+        PlanSource::CacheHit => "cache-hit",
+        PlanSource::DiskLoad => "disk-load",
+        PlanSource::TunedNow => "tuned-now",
+        PlanSource::Coalesced => "coalesced",
+        PlanSource::Untuned => "untuned",
+    }
+}
+
+const SOURCES: [PlanSource; 5] = [
+    PlanSource::CacheHit,
+    PlanSource::DiskLoad,
+    PlanSource::TunedNow,
+    PlanSource::Coalesced,
+    PlanSource::Untuned,
+];
+
+fn source_idx(source: PlanSource) -> usize {
+    match source {
+        PlanSource::CacheHit => 0,
+        PlanSource::DiskLoad => 1,
+        PlanSource::TunedNow => 2,
+        PlanSource::Coalesced => 3,
+        PlanSource::Untuned => 4,
+    }
+}
+
+/// A phase timestamp taken only when telemetry is on: the `Instant`
+/// feeds histograms (nanosecond durations), the epoch-relative
+/// microsecond start feeds spans.
+#[derive(Clone, Copy)]
+pub struct PhaseStamp {
+    /// Wall-clock start for histogram durations.
+    pub at: Instant,
+    /// Microseconds since the process epoch, for span records.
+    pub start_us: u64,
+}
+
+impl PhaseStamp {
+    /// `Some` stamp when latency telemetry is enabled, `None` (one
+    /// relaxed atomic load, no clock read) otherwise.
+    #[inline]
+    pub fn capture() -> Option<Self> {
+        if !petamg_obs::enabled() {
+            return None;
+        }
+        Some(PhaseStamp {
+            at: Instant::now(),
+            start_us: petamg_obs::now_us(),
+        })
+    }
+}
+
+/// Pre-resolved request-phase metric handles plus the span ring.
+pub struct ServeTelemetry {
+    /// Submission-to-worker-pickup latency.
+    pub queue_wait_seconds: Histogram,
+    /// Plan resolution latency by [`PlanSource`].
+    plan_resolve_seconds: [Histogram; 5],
+    /// End-to-end guarded-solve latency (per request or batch group).
+    pub solve_seconds: Histogram,
+    /// Time spent grouping a `submit_many` burst into batch groups.
+    pub batch_assembly_seconds: Histogram,
+    /// Request-phase spans for Chrome-trace export.
+    pub spans: SpanRing,
+}
+
+impl ServeTelemetry {
+    /// Register the serve metric families in `registry` and resolve
+    /// every handle this feed will ever touch.
+    pub fn register(registry: &Registry) -> Self {
+        ServeTelemetry {
+            queue_wait_seconds: registry.histogram("petamg_queue_wait_seconds", &[]),
+            plan_resolve_seconds: std::array::from_fn(|i| {
+                registry.histogram(
+                    "petamg_plan_resolve_seconds",
+                    &[("source", plan_source_label(SOURCES[i]))],
+                )
+            }),
+            solve_seconds: registry.histogram("petamg_solve_seconds", &[]),
+            batch_assembly_seconds: registry.histogram("petamg_batch_assembly_seconds", &[]),
+            spans: SpanRing::with_capacity(SPAN_RING_CAPACITY),
+        }
+    }
+
+    /// Record one queue wait that started at `stamp` and ended now.
+    pub fn observe_queue_wait(&self, stamp: PhaseStamp) {
+        self.queue_wait_seconds.record_elapsed(stamp.at);
+        if petamg_obs::trace_enabled() {
+            self.spans
+                .record_since("queue_wait", "serve", "", stamp.start_us);
+        }
+    }
+
+    /// Record one plan resolution that started at `stamp`.
+    pub fn observe_plan_resolve(&self, source: PlanSource, stamp: PhaseStamp) {
+        self.plan_resolve_seconds[source_idx(source)].record_elapsed(stamp.at);
+        if petamg_obs::trace_enabled() {
+            self.spans.record_since(
+                "plan_resolve",
+                "serve",
+                plan_source_label(source),
+                stamp.start_us,
+            );
+        }
+    }
+
+    /// Record one guarded solve that started at `stamp`. `detail` is
+    /// the serving rung label (or `"ladder-exhausted"`).
+    pub fn observe_solve(&self, detail: &'static str, stamp: PhaseStamp) {
+        self.solve_seconds.record_elapsed(stamp.at);
+        if petamg_obs::trace_enabled() {
+            self.spans
+                .record_since("solve", "serve", detail, stamp.start_us);
+        }
+    }
+
+    /// Record one `submit_many` grouping pass that started at `stamp`.
+    pub fn observe_batch_assembly(&self, stamp: PhaseStamp) {
+        self.batch_assembly_seconds.record_elapsed(stamp.at);
+        if petamg_obs::trace_enabled() {
+            self.spans
+                .record_since("batch_assembly", "serve", "", stamp.start_us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petamg_obs::Registry;
+
+    #[test]
+    fn every_plan_source_has_its_own_series() {
+        let registry = Registry::new();
+        let telemetry = ServeTelemetry::register(&registry);
+        let stamp = PhaseStamp {
+            at: Instant::now(),
+            start_us: 0,
+        };
+        for source in SOURCES {
+            telemetry.observe_plan_resolve(source, stamp);
+        }
+        let snap = registry.snapshot();
+        for source in SOURCES {
+            assert_eq!(
+                snap.histogram_count(
+                    "petamg_plan_resolve_seconds",
+                    &[("source", plan_source_label(source))]
+                ),
+                1,
+                "{source:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_observations_land_in_their_families() {
+        let registry = Registry::new();
+        let telemetry = ServeTelemetry::register(&registry);
+        let stamp = PhaseStamp {
+            at: Instant::now(),
+            start_us: 0,
+        };
+        telemetry.observe_queue_wait(stamp);
+        telemetry.observe_solve("tuned", stamp);
+        telemetry.observe_batch_assembly(stamp);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram_count("petamg_queue_wait_seconds", &[]), 1);
+        assert_eq!(snap.histogram_count("petamg_solve_seconds", &[]), 1);
+        assert_eq!(
+            snap.histogram_count("petamg_batch_assembly_seconds", &[]),
+            1
+        );
+    }
+}

@@ -26,8 +26,18 @@
 //! PETAMG_FAULTS=poison-level:1,poison-level:1,fail-direct:33 \
 //!     cargo run --release --example serve_demo
 //! ```
+//!
+//! Turn on telemetry to see the same run through the metric registry —
+//! `PETAMG_TELEMETRY=1` prints the Prometheus exposition,
+//! `PETAMG_TELEMETRY=2` additionally writes a Chrome trace
+//! (`chrome://tracing` / `ui.perfetto.dev`) next to the plan dir:
+//!
+//! ```bash
+//! PETAMG_TELEMETRY=2 cargo run --release --example serve_demo
+//! ```
 
 use petamg::core::faults;
+use petamg::obs;
 use petamg::prelude::*;
 use petamg::serve::ServeError;
 
@@ -37,9 +47,10 @@ fn request(problem: &Problem, level: usize, seed: u64) -> SolveRequest {
 }
 
 fn main() {
+    obs::env::warn_unknown_once();
     let level = 5; // N = 33
     let n = (1usize << level) + 1;
-    let plan_dir = std::env::var("PETAMG_PLAN_DIR").unwrap_or_else(|_| {
+    let plan_dir = obs::env::plan_dir().unwrap_or_else(|| {
         std::env::temp_dir()
             .join("petamg-serve-demo-plans")
             .to_string_lossy()
@@ -56,8 +67,8 @@ fn main() {
 
     // The service arms faults on the worker serving a request, so an
     // env-driven drill translates PETAMG_FAULTS into request faults.
-    let drill = match std::env::var("PETAMG_FAULTS") {
-        Ok(spec) if !spec.is_empty() => {
+    let drill = match obs::env::faults_spec() {
+        Some(spec) if !spec.is_empty() => {
             let parsed = faults::parse_spec(&spec).expect("PETAMG_FAULTS spec");
             println!(
                 "chaos drill: {} fault(s) ride the poisson request\n",
@@ -123,4 +134,22 @@ fn main() {
         petamg::solvers::DEFAULT_FACTOR_CAPACITY,
         svc.direct_cache().evictions()
     );
+
+    // With the telemetry gate open, surface the same run through the
+    // sinks: Prometheus text for scrapers, and (in trace mode) a
+    // Chrome trace-event file for chrome://tracing / ui.perfetto.dev.
+    if obs::enabled() {
+        println!("\n--- telemetry (Prometheus exposition) ---");
+        print!("{}", svc.prometheus());
+        if obs::trace_enabled() {
+            let trace_path = std::path::Path::new(&plan_dir).join("serve-trace.json");
+            match std::fs::write(&trace_path, svc.chrome_trace()) {
+                Ok(()) => println!(
+                    "\nwrote request-phase chrome trace to {}",
+                    trace_path.display()
+                ),
+                Err(e) => println!("\ncould not write chrome trace: {e}"),
+            }
+        }
+    }
 }

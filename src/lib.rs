@@ -32,6 +32,12 @@
 //!   [`PlanLibrary`](petamg_serve::PlanLibrary) over checksummed plan
 //!   files and a [`SolverService`](petamg_serve::SolverService) with a
 //!   bounded queue, warm per-worker arenas, and single-flight tuning.
+//! * [`obs`] — the telemetry substrate: metric registry (counters,
+//!   gauges, lock-free sharded latency histograms), request-phase
+//!   spans, and three sinks (structured JSON snapshot, Prometheus text
+//!   exposition, Chrome trace-event export), all gated by
+//!   `PETAMG_TELEMETRY` so the disabled fast path is one relaxed
+//!   atomic load.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +61,7 @@ pub use petamg_choice as choice;
 pub use petamg_core as core;
 pub use petamg_grid as grid;
 pub use petamg_linalg as linalg;
+pub use petamg_obs as obs;
 pub use petamg_problems as problems;
 pub use petamg_runtime as runtime;
 pub use petamg_serve as serve;
@@ -72,6 +79,7 @@ pub mod prelude {
     pub use petamg_core::tuner::{FmgTuner, KnobSearchOptions, TunerOptions, VTuner};
     pub use petamg_grid::{Exec, Grid2d, Workspace};
     pub use petamg_grid::{SimdMode, SimdPolicy};
+    pub use petamg_obs::{render_prometheus, Registry, TelemetryMode, TelemetrySnapshot};
     pub use petamg_problems::{
         CoeffProfile, Problem, ProblemFingerprint, ProblemMismatch, StencilOp,
     };

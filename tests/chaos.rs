@@ -47,8 +47,8 @@ fn backends() -> Vec<(String, Exec)> {
             })
         })
         .collect();
-    match std::env::var("PETAMG_CONFORMANCE_BACKEND") {
-        Ok(filter) if !filter.is_empty() && filter != "all" => all
+    match petamg::obs::env::conformance_backend() {
+        Some(filter) if !filter.is_empty() && filter != "all" => all
             .into_iter()
             .filter(|(name, _)| name.starts_with(filter.as_str()))
             .collect(),
@@ -206,6 +206,55 @@ fn injected_mid_cycle_nan_degrades_and_still_converges() {
         assert!(report.rel_residual <= TOL, "[{name}]");
         assert!(!faults::armed(), "[{name}] fault must be consumed");
     }
+}
+
+/// The failure taxonomy is visible through the metric registry: with
+/// the gate open, an injected tuned-rung failure lands in
+/// `petamg_rung_failed_total{rung="tuned"}`, the degraded serve lands
+/// in the heuristic rung's serve counter, and every rung attempt —
+/// served or failed — contributes one attempt-histogram sample. This
+/// is the snapshot-vs-report reconciliation CI's `PETAMG_TELEMETRY=1`
+/// chaos leg re-runs with the gate opened from the environment.
+#[test]
+fn telemetry_counts_injected_degradations() {
+    faults::clear();
+    petamg::obs::set_mode(petamg::obs::TelemetryMode::Metrics);
+    let inst = instance(&Problem::poisson(), 71);
+    let registry = petamg::obs::Registry::new();
+    let feed = std::sync::Arc::new(petamg::core::SolveTelemetry::register(&registry));
+    let solver = GuardedSolver::new(Problem::poisson())
+        .with_plan(simple_v_family(LEVEL, &PAPER_ACCURACIES))
+        .with_telemetry(std::sync::Arc::clone(&feed));
+
+    // One healthy solve, then one with the tuned rung poisoned.
+    let mut x = inst.working_grid();
+    let healthy = solver.solve(&mut x, &inst.b, TOL).expect("healthy solve");
+    assert_eq!(healthy.rung, LadderRung::TunedPlan);
+    let mut x = inst.working_grid();
+    faults::inject(Fault::PoisonLevel { level: LEVEL });
+    let degraded = solver.solve(&mut x, &inst.b, TOL).expect("must degrade");
+    assert_eq!(degraded.rung, LadderRung::HeuristicPlan);
+    assert_eq!(degraded.degradations.len(), 1);
+
+    let snap = registry.snapshot();
+    let served = |rung| snap.counter("petamg_rung_served_total", &[("rung", rung)]);
+    let failed = |rung| snap.counter("petamg_rung_failed_total", &[("rung", rung)]);
+    assert_eq!(served("tuned"), 1, "one healthy tuned serve");
+    assert_eq!(served("heuristic"), 1, "one degraded serve");
+    assert_eq!(failed("tuned"), 1, "exactly the injected poison");
+    assert_eq!(failed("heuristic"), 0);
+    assert_eq!(snap.counter("petamg_ladder_exhausted_total", &[]), 0);
+    // One attempt sample per rung attempt: two tuned (healthy serve +
+    // poisoned failure), one heuristic (the degraded serve).
+    assert_eq!(
+        snap.histogram_count("petamg_rung_attempt_seconds", &[("rung", "tuned")]),
+        2
+    );
+    assert_eq!(
+        snap.histogram_count("petamg_rung_attempt_seconds", &[("rung", "heuristic")]),
+        1
+    );
+    assert!(!faults::armed(), "fault must be consumed");
 }
 
 /// Both plan rungs poisoned → the unconditional direct rung serves.

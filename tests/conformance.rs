@@ -107,8 +107,8 @@ fn backends() -> Vec<(String, Exec)> {
             })
         })
         .collect();
-    match std::env::var("PETAMG_CONFORMANCE_BACKEND") {
-        Ok(filter) if !filter.is_empty() && filter != "all" => all
+    match petamg::obs::env::conformance_backend() {
+        Some(filter) if !filter.is_empty() && filter != "all" => all
             .into_iter()
             .filter(|(name, _)| name.starts_with(filter.as_str()))
             .collect(),
@@ -428,8 +428,8 @@ fn problem_families() -> Vec<(&'static str, Problem)> {
         ("smooth", Problem::smooth_sinusoidal(n)),
         ("jump", Problem::jump_inclusion(n)),
     ];
-    match std::env::var("PETAMG_CONFORMANCE_PROBLEM") {
-        Ok(filter) if !filter.is_empty() && filter != "all" => all
+    match petamg::obs::env::conformance_problem() {
+        Some(filter) if !filter.is_empty() && filter != "all" => all
             .into_iter()
             .filter(|(name, _)| name.starts_with(filter.as_str()))
             .collect(),

@@ -83,7 +83,7 @@ fn strip_checksum(json: &str) -> serde_json::Value {
 
 #[test]
 fn regenerate_golden_fixtures_when_asked() {
-    if std::env::var("PETAMG_REGEN_GOLDEN").is_err() {
+    if !petamg::obs::env::regen_golden() {
         return;
     }
     let fam = golden_family();

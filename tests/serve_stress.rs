@@ -142,6 +142,103 @@ fn thousand_requests_four_profiles_one_tune_each() {
     assert_eq!(svc.in_flight(), 0);
 }
 
+/// A stress burst with the telemetry gate open: the service's metric
+/// registry must reconcile *exactly* with the responses the clients
+/// got back — request counters against counted responses, per-rung
+/// serve counters against the reports' rungs, and one queue-wait /
+/// plan-resolve / solve histogram sample per request. The gate is
+/// opened explicitly (not via `PETAMG_TELEMETRY`) so this leg runs in
+/// every CI matrix entry; the env-driven telemetry legs additionally
+/// rerun the whole suite with the gate open from the environment.
+#[test]
+fn telemetry_snapshot_reconciles_with_stress_reports() {
+    petamg::obs::set_mode(petamg::obs::TelemetryMode::Metrics);
+    let (tuning, _) = counting_tuner(Duration::from_millis(5));
+    let svc = Arc::new(
+        SolverService::start(
+            ServiceConfig::new(tmp_dir("telemetry"))
+                .with_workers(4)
+                .with_queue_capacity(512)
+                .with_tuning(tuning),
+        )
+        .unwrap(),
+    );
+    let profiles = profiles();
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 32;
+    let rungs = Arc::new(Mutex::new(HashMap::<&'static str, u64>::new()));
+    let mut clients = Vec::new();
+    for t in 0..THREADS {
+        let svc = Arc::clone(&svc);
+        let profiles = profiles.clone();
+        let rungs = Arc::clone(&rungs);
+        clients.push(std::thread::spawn(move || {
+            let mut tickets = Vec::new();
+            for j in 0..PER_THREAD {
+                let problem = &profiles[(t + j) % profiles.len()];
+                tickets.push(svc.submit_blocking(request(problem, (t * PER_THREAD + j) as u64)));
+            }
+            for ticket in tickets {
+                let report = ticket.wait().expect("telemetry burst must converge");
+                *rungs
+                    .lock()
+                    .unwrap()
+                    .entry(petamg::core::telemetry::rung_label(report.report.rung))
+                    .or_insert(0) += 1;
+            }
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    let stats = svc.stats();
+    let snap = svc.telemetry_snapshot();
+    let total = (THREADS * PER_THREAD) as u64;
+    assert_eq!(stats.completed, total);
+    assert_eq!(snap.counter("petamg_requests_submitted_total", &[]), total);
+    assert_eq!(
+        snap.counter("petamg_requests_completed_total", &[]),
+        stats.completed
+    );
+    assert_eq!(
+        snap.counter("petamg_requests_converged_total", &[]),
+        stats.converged
+    );
+    assert_eq!(snap.counter("petamg_tuning_runs_total", &[]), stats.tunes);
+
+    // Every response's serving rung shows up in the per-rung counters.
+    let rungs = rungs.lock().unwrap();
+    for rung in ["tuned", "heuristic", "direct"] {
+        assert_eq!(
+            snap.counter("petamg_rung_served_total", &[("rung", rung)]),
+            rungs.get(rung).copied().unwrap_or(0),
+            "rung counter `{rung}` disagrees with the client-side reports"
+        );
+    }
+
+    // Phase histograms: one queue wait and one solve per request, and
+    // every request resolved its plan through exactly one source.
+    assert_eq!(
+        snap.histogram_count("petamg_queue_wait_seconds", &[]),
+        total
+    );
+    assert_eq!(snap.histogram_count("petamg_solve_seconds", &[]), total);
+    let resolved: u64 = [
+        "cache-hit",
+        "disk-load",
+        "tuned-now",
+        "coalesced",
+        "untuned",
+    ]
+    .iter()
+    .map(|&s| snap.histogram_count("petamg_plan_resolve_seconds", &[("source", s)]))
+    .sum();
+    assert_eq!(resolved, total, "plan resolutions must cover every request");
+    assert_eq!(svc.in_flight(), 0);
+}
+
 /// Simultaneous requests for one brand-new fingerprint: one leader
 /// tunes, everyone else coalesces onto the flight and still converges.
 #[test]
@@ -344,8 +441,8 @@ fn backends() -> Vec<(String, Exec)> {
             })
         })
         .collect();
-    match std::env::var("PETAMG_CONFORMANCE_BACKEND") {
-        Ok(filter) if !filter.is_empty() && filter != "all" => all
+    match petamg::obs::env::conformance_backend() {
+        Some(filter) if !filter.is_empty() && filter != "all" => all
             .into_iter()
             .filter(|(name, _)| name.starts_with(filter.as_str()))
             .collect(),
